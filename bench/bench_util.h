@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: consistent headers,
+ * paper-vs-measured annotation, fast-mode switch, and cached CPU /
+ * Ironman engine acquisition.
+ *
+ * Every bench prints the rows/series of one table or figure of the
+ * paper. Absolute values are this host's / this simulator's; the
+ * paper's published values are printed alongside where available so
+ * EXPERIMENTS.md can record both.
+ */
+
+#ifndef IRONMAN_BENCH_BENCH_UTIL_H
+#define IRONMAN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ot/ferret_params.h"
+
+namespace ironman::bench {
+
+/** IRONMAN_BENCH_FAST=1 trims sweeps for smoke runs. */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("IRONMAN_BENCH_FAST");
+    return v && v[0] == '1';
+}
+
+inline void
+banner(const char *experiment, const char *what)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s — %s\n", experiment, what);
+    std::printf("==============================================================================\n");
+}
+
+inline void
+note(const char *text)
+{
+    std::printf("note: %s\n", text);
+}
+
+/** The paper's CPU baseline algorithm: Ferret's 2-ary AES GGM trees. */
+inline ot::FerretParams
+cpuBaselineParams(int log_ots)
+{
+    ot::FerretParams p = ot::paperParamSet(log_ots);
+    p.arity = 2;
+    p.prg = crypto::PrgKind::Aes;
+    return p;
+}
+
+/** Ironman's algorithm: 4-ary ChaCha8 trees (paperParamSet default). */
+inline ot::FerretParams
+ironmanParams(int log_ots)
+{
+    return ot::paperParamSet(log_ots);
+}
+
+} // namespace ironman::bench
+
+#endif // IRONMAN_BENCH_BENCH_UTIL_H

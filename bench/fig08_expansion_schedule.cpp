@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 8 — GGM expansion schedules on the 8-stage ChaCha pipeline:
+ * depth-first (bubbles on every descent, small buffer), breadth-first
+ * (full pipe, O(l) buffer), and Ironman's hybrid (full pipe AND small
+ * buffer via inter-tree parallelism).
+ */
+
+#include "bench_util.h"
+#include "ot/ggm_tree.h"
+#include "sim/pipeline.h"
+
+using namespace ironman;
+using namespace ironman::bench;
+
+int
+main()
+{
+    banner("Figure 8", "GGM expansion schedule comparison "
+                       "(8-stage pipeline, 4-ary ChaCha trees)");
+
+    struct Shape
+    {
+        size_t leaves;
+        uint64_t trees;
+    };
+    const Shape shapes[] = {{4, 4}, {4096, 16}, {4096, 480},
+                            {16384, 2100}};
+
+    std::printf("%-14s %-6s | %12s %12s %9s %7s %12s\n", "workload",
+                "sched", "ops", "cycles", "util%", "bubbles",
+                "peak buffer");
+    for (const Shape &s : shapes) {
+        sim::ExpandWorkload wl;
+        wl.arities = ot::treeArities(s.leaves, 4);
+        wl.numTrees = s.trees;
+        for (auto strat : {sim::ExpandStrategy::DepthFirst,
+                           sim::ExpandStrategy::BreadthFirst,
+                           sim::ExpandStrategy::Hybrid}) {
+            auto sched = sim::scheduleExpansion(wl, strat, 8);
+            std::printf("l=%-5zu t=%-4llu %-6.6s | %12llu %12llu "
+                        "%8.1f%% %7llu %12llu\n",
+                        s.leaves,
+                        static_cast<unsigned long long>(s.trees),
+                        sim::expandStrategyName(strat),
+                        static_cast<unsigned long long>(sched.ops),
+                        static_cast<unsigned long long>(sched.cycles),
+                        sched.utilization() * 100,
+                        static_cast<unsigned long long>(sched.bubbles),
+                        static_cast<unsigned long long>(
+                            sched.peakBuffer));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("paper: depth-first stalls the pipe on every descent; "
+                "hybrid reaches 100%% utilization with the depth-first "
+                "buffer footprint.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Design-space exploration of the Ironman-NMP accelerator: sweep rank
+ * count and memory-side cache size for one OTE parameter set and
+ * print latency / throughput / hit rate / area / power — the view an
+ * architect uses to pick the Sec. 6 configurations.
+ *
+ * Run: ./nmp_design_space [log2_ots=20]
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nmp/ironman_model.h"
+#include "ot/ferret_params.h"
+
+using namespace ironman;
+
+int
+main(int argc, char **argv)
+{
+    int log_ots = argc > 1 ? std::atoi(argv[1]) : 20;
+    ot::FerretParams params = ot::paperParamSet(log_ots);
+
+    std::printf("Ironman design space, parameter set %s "
+                "(n=%zu, k=%zu, t=%zu)\n\n",
+                params.name.c_str(), params.n, params.k, params.t);
+    std::printf("%6s %8s | %9s %9s %9s | %7s %9s | %8s %7s\n", "ranks",
+                "cache", "spcot_ms", "lpn_ms", "total_ms", "hit%",
+                "MCOT/s", "mm^2/PU", "W");
+
+    for (unsigned dimms : {1u, 2u, 4u, 8u}) {
+        for (uint64_t cache_kb : {256u, 1024u}) {
+            nmp::IronmanConfig cfg;
+            cfg.numDimms = dimms;
+            cfg.cacheBytes = cache_kb * 1024;
+            cfg.sampleRows = 150000;
+            nmp::IronmanModel model(cfg, params);
+            nmp::IronmanReport r = model.simulate();
+            std::printf("%6u %6" PRIu64 "KB | %9.3f %9.3f %9.3f | "
+                        "%6.1f%% %9.1f | %8.3f %7.3f\n",
+                        cfg.totalRanks(), cache_kb, r.spcotSeconds * 1e3,
+                        r.lpnSeconds * 1e3, r.totalSeconds * 1e3,
+                        r.cache.hitRate() * 100,
+                        r.otThroughput(params.usableOts()) / 1e6,
+                        r.areaMm2, r.powerWatt);
+        }
+    }
+
+    std::printf("\nReading guide: LPN scales with ranks (rank-level "
+                "parallelism);\nSPCOT is rank-independent; the knee "
+                "where SPCOT == LPN is the paper's\nbalanced design "
+                "point (Fig. 13(b)).\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Private-inference planner: for a model / framework / network
+ * setting, print the end-to-end latency decomposition with the CPU
+ * software OT stack vs the Ironman accelerator — the per-deployment
+ * view behind Table 5.
+ *
+ * Run: ./ppml_inference [model] [framework] [lan|wan]
+ *   model:     mobilenetv2 squeezenet resnet18 resnet34 resnet50
+ *              densenet121 vit bert-base bert-large gpt2-large
+ *   framework: cryptflow2 cheetah bolt sirnn
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "nmp/ironman_model.h"
+#include "ppml/estimator.h"
+
+using namespace ironman;
+using namespace ironman::ppml;
+
+namespace {
+
+ModelProfile
+pickModel(const std::string &name)
+{
+    for (const ModelProfile &m : allModels()) {
+        std::string lower;
+        for (char c : m.name)
+            lower.push_back(c == ' ' ? '-' : char(std::tolower(c)));
+        if (lower == name)
+            return m;
+    }
+    std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+FrameworkModel
+pickFramework(const std::string &name)
+{
+    if (name == "cryptflow2") return FrameworkModel::crypTFlow2();
+    if (name == "cheetah") return FrameworkModel::cheetah();
+    if (name == "bolt") return FrameworkModel::bolt();
+    if (name == "sirnn") return FrameworkModel::sirnn();
+    std::fprintf(stderr, "unknown framework '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+void
+show(const char *label, const LatencyBreakdown &b)
+{
+    std::printf("  %-8s total %8.2f s  =  linear %7.2f + OTE %7.2f "
+                "+ online %6.2f + comm %6.2f + other %5.2f   "
+                "(OTE share %4.1f%%)\n",
+                label, b.totalSeconds(), b.linearSeconds,
+                b.oteComputeSeconds, b.onlineComputeSeconds,
+                b.commSeconds, b.otherSeconds, b.oteFraction() * 100);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = argc > 1 ? argv[1] : "resnet50";
+    std::string fw_name = argc > 2 ? argv[2] : "cheetah";
+    std::string net_name = argc > 3 ? argv[3] : "lan";
+
+    ModelProfile model = pickModel(model_name);
+    FrameworkModel framework = pickFramework(fw_name);
+    net::NetworkModel network =
+        net_name == "wan" ? net::wanNetwork() : net::lanNetwork();
+
+    if (!framework.supports(model)) {
+        std::fprintf(stderr, "%s does not evaluate %s\n",
+                     framework.name().c_str(), model.name.c_str());
+        return 1;
+    }
+
+    // OT engines: a representative full-thread CPU rate and a live
+    // Ironman simulation at the paper's largest configuration.
+    OtEngine cpu = OtEngine::cpu(2.5e6);
+    nmp::IronmanConfig cfg;
+    cfg.numDimms = 8;
+    cfg.cacheBytes = 1024 * 1024;
+    cfg.sampleRows = 100000;
+    ot::FerretParams params = ot::paperParamSet(22);
+    nmp::IronmanReport rep = nmp::IronmanModel(cfg, params).simulate();
+    OtEngine ironman =
+        OtEngine::ironman(rep.otThroughput(params.usableOts()));
+
+    std::printf("%s on %s over %s\n", model.name.c_str(),
+                framework.name().c_str(), network.name);
+    std::printf("  nonlinear elements: %.2f M, linear %.2f GMAC\n",
+                model.totalNonlinearElements() / 1e6, model.linearGmacs);
+    std::printf("  Ironman engine: %.0f M COT/s "
+                "(16 ranks, 1 MB caches, simulated)\n\n",
+                ironman.cotsPerSecond / 1e6);
+
+    LatencyBreakdown base = estimateInference(model, framework, network,
+                                              cpu);
+    LatencyBreakdown ours = estimateInference(model, framework, network,
+                                              ironman);
+    show("CPU", base);
+    show("Ironman", ours);
+    std::printf("\n  speedup: %.2fx\n",
+                base.totalSeconds() / ours.totalSeconds());
+    return 0;
+}

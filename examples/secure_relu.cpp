@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Secure ReLU end to end: two parties hold additive shares of a
+ * vector of fixed-point activations and compute shares of ReLU(x)
+ * using only XOR/addition and pre-generated COT correlations — the
+ * exact online workload (Sec. 2.2) whose preprocessing Ironman
+ * accelerates.
+ *
+ * Both OT directions are needed (GMW AND gates are symmetric), which
+ * is the role-switching requirement motivating the unified
+ * architecture of Sec. 5.2.
+ *
+ * Run: ./secure_relu
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/two_party.h"
+#include "ppml/secure_compute.h"
+
+using namespace ironman;
+using ppml::DualCotPool;
+using ppml::SecureCompute;
+
+int
+main()
+{
+    constexpr unsigned kWidth = 32;
+    constexpr size_t kElems = 256;
+
+    // A toy activation vector in fixed point (already secret in a real
+    // deployment; sampled here so we can verify the result).
+    Rng rng(7);
+    std::vector<int64_t> activations(kElems);
+    for (auto &a : activations)
+        a = int64_t(rng.nextBelow(1 << 16)) - (1 << 15);
+
+    // Additive shares mod 2^32.
+    auto msk = [](uint64_t v) { return v & 0xffffffffULL; };
+    std::vector<uint64_t> share0(kElems), share1(kElems);
+    for (size_t i = 0; i < kElems; ++i) {
+        share0[i] = msk(rng.nextUint64());
+        share1[i] = msk(uint64_t(activations[i]) - share0[i]);
+    }
+
+    // Preprocessing: COTs in both directions (in production these come
+    // from two Ironman-accelerated OTE sessions with swapped roles).
+    size_t budget = kElems * (4 * (kWidth - 1) + 2);
+    Rng dealer(99);
+    auto [pool0, pool1] = ppml::dealDualPools(dealer, budget);
+    std::printf("preprocessing: %zu COT correlations per direction\n",
+                budget);
+
+    std::vector<uint64_t> out0, out1;
+    size_t used = 0;
+    auto wire = net::runTwoParty(
+        [&](net::Channel &ch) {
+            SecureCompute party0(ch, 0, std::move(pool0), kWidth);
+            out0 = party0.relu(share0);
+            used = party0.cotsConsumed();
+        },
+        [&](net::Channel &ch) {
+            SecureCompute party1(ch, 1, std::move(pool1), kWidth);
+            out1 = party1.relu(share1);
+        });
+
+    // Reconstruct and verify.
+    size_t ok = 0;
+    for (size_t i = 0; i < kElems; ++i) {
+        int64_t got = int64_t(msk(out0[i] + out1[i]));
+        int64_t expect = activations[i] > 0 ? activations[i] : 0;
+        ok += (got == expect);
+    }
+    std::printf("secure ReLU on %zu elements: %zu correct\n", kElems, ok);
+    std::printf("consumed %zu COTs (%.1f per ReLU), moved %" PRIu64
+                " KB online\n",
+                used, double(used) / kElems, wire.totalBytes / 1024);
+    std::printf("-> preprocessing at CPU OTE (~2.5M COT/s): %.1f ms; "
+                "with Ironman (~450M COT/s): %.3f ms\n",
+                used / 2.5e6 * 1e3, used / 450e6 * 1e3);
+    return ok == kElems ? 0 : 1;
+}

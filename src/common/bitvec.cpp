@@ -1,0 +1,59 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace ironman {
+
+BitVec::BitVec(size_t n, bool value)
+    : numBits(n), words((n + 63) / 64, value ? ~0ULL : 0ULL)
+{
+    // Clear any bits beyond the logical length so popcount/== stay exact.
+    if (value && (n & 63))
+        words.back() &= (1ULL << (n & 63)) - 1;
+}
+
+void
+BitVec::pushBack(bool v)
+{
+    if ((numBits & 63) == 0)
+        words.push_back(0);
+    ++numBits;
+    set(numBits - 1, v);
+}
+
+void
+BitVec::resize(size_t n)
+{
+    words.resize((n + 63) / 64, 0);
+    if (n < numBits && (n & 63))
+        words.back() &= (1ULL << (n & 63)) - 1;
+    numBits = n;
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t w : words)
+        total += std::popcount(w);
+    return total;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &o)
+{
+    IRONMAN_CHECK(numBits == o.numBits);
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] ^= o.words[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec &o) const
+{
+    return numBits == o.numBits && words == o.words;
+}
+
+} // namespace ironman

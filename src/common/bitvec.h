@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Compact bit vector.
+ *
+ * Used for the receiver's choice-bit vector u, the LPN error vector e,
+ * and every GF(2) vector the protocols exchange. Storage is packed
+ * 64-bit words, LSB-first within a word.
+ */
+
+#ifndef IRONMAN_COMMON_BITVEC_H
+#define IRONMAN_COMMON_BITVEC_H
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ironman {
+
+/** Packed vector of bits with GF(2) arithmetic. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct @p n bits, all set to @p value. */
+    explicit BitVec(size_t n, bool value = false);
+
+    size_t size() const { return numBits; }
+    bool empty() const { return numBits == 0; }
+
+    bool
+    get(size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(size_t i, bool v)
+    {
+        uint64_t mask = 1ULL << (i & 63);
+        if (v)
+            words[i >> 6] |= mask;
+        else
+            words[i >> 6] &= ~mask;
+    }
+
+    /** Flip bit i. */
+    void flip(size_t i) { words[i >> 6] ^= 1ULL << (i & 63); }
+
+    /** Append a bit. */
+    void pushBack(bool v);
+
+    /** Change length to @p n, new bits are zero. */
+    void resize(size_t n);
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** XOR another vector of the same length into this one. */
+    BitVec &operator^=(const BitVec &o);
+
+    bool operator==(const BitVec &o) const;
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+
+    /** Raw word storage (rounded up to a multiple of 64 bits). */
+    const std::vector<uint64_t> &rawWords() const { return words; }
+    std::vector<uint64_t> &rawWords() { return words; }
+
+  private:
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace ironman
+
+#endif // IRONMAN_COMMON_BITVEC_H

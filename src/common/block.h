@@ -1,0 +1,175 @@
+/**
+ * @file
+ * 128-bit block type used throughout the OT-extension stack.
+ *
+ * A Block is the atomic unit of every OT/COT correlation (the security
+ * parameter lambda = 128 in the paper). The representation is two
+ * little-endian 64-bit lanes; `lo` holds bytes 0..7 and `hi` bytes
+ * 8..15 of the canonical byte serialization.
+ */
+
+#ifndef IRONMAN_COMMON_BLOCK_H
+#define IRONMAN_COMMON_BLOCK_H
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace ironman {
+
+/** 128-bit value with GF(2)-friendly operations. */
+struct Block
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    constexpr Block() = default;
+    constexpr Block(uint64_t hi_word, uint64_t lo_word)
+        : lo(lo_word), hi(hi_word) {}
+
+    /** Build a block whose low lane is @p v and high lane is zero. */
+    static constexpr Block
+    fromUint64(uint64_t v)
+    {
+        return Block(0, v);
+    }
+
+    /** All-zero block. */
+    static constexpr Block zero() { return Block(); }
+
+    /** All-one block. */
+    static constexpr Block
+    ones()
+    {
+        return Block(~0ULL, ~0ULL);
+    }
+
+    /** Load 16 bytes (little-endian lanes) from @p src. */
+    static Block
+    fromBytes(const uint8_t *src)
+    {
+        Block b;
+        std::memcpy(&b.lo, src, 8);
+        std::memcpy(&b.hi, src + 8, 8);
+        return b;
+    }
+
+    /** Store the canonical 16-byte serialization into @p dst. */
+    void
+    toBytes(uint8_t *dst) const
+    {
+        std::memcpy(dst, &lo, 8);
+        std::memcpy(dst + 8, &hi, 8);
+    }
+
+    constexpr Block
+    operator^(const Block &o) const
+    {
+        return Block(hi ^ o.hi, lo ^ o.lo);
+    }
+
+    constexpr Block &
+    operator^=(const Block &o)
+    {
+        lo ^= o.lo;
+        hi ^= o.hi;
+        return *this;
+    }
+
+    constexpr Block
+    operator&(const Block &o) const
+    {
+        return Block(hi & o.hi, lo & o.lo);
+    }
+
+    constexpr Block
+    operator|(const Block &o) const
+    {
+        return Block(hi | o.hi, lo | o.lo);
+    }
+
+    constexpr bool
+    operator==(const Block &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+
+    constexpr bool operator!=(const Block &o) const { return !(*this == o); }
+
+    /** Total order (hi, lo) — handy for maps and dedup tests. */
+    constexpr bool
+    operator<(const Block &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** Bit i of the 128-bit value, i in [0, 128). */
+    constexpr bool
+    getBit(unsigned i) const
+    {
+        return i < 64 ? (lo >> i) & 1 : (hi >> (i - 64)) & 1;
+    }
+
+    /** Set bit i to @p v. */
+    constexpr void
+    setBit(unsigned i, bool v)
+    {
+        if (i < 64) {
+            lo = (lo & ~(1ULL << i)) | (uint64_t(v) << i);
+        } else {
+            hi = (hi & ~(1ULL << (i - 64))) | (uint64_t(v) << (i - 64));
+        }
+    }
+
+    /** Force the least significant bit to @p v (used for COT choice bits). */
+    constexpr Block
+    withLsb(bool v) const
+    {
+        Block b = *this;
+        b.lo = (b.lo & ~1ULL) | uint64_t(v);
+        return b;
+    }
+
+    /** Least significant bit. */
+    constexpr bool lsb() const { return lo & 1; }
+
+    /** True iff every bit is zero. */
+    constexpr bool isZero() const { return lo == 0 && hi == 0; }
+
+    /** Hex string (32 nibbles, most significant first) for diagnostics. */
+    std::string toHex() const;
+};
+
+static_assert(sizeof(Block) == 16, "Block must be exactly 128 bits");
+
+/**
+ * Multiply a block by a GF(2) scalar bit: returns b when bit is set,
+ * zero otherwise. This is the `u * Delta` operation of the COT
+ * correlation w = v XOR u*Delta.
+ */
+constexpr Block
+scalarMul(bool bit, const Block &b)
+{
+    const uint64_t mask = bit ? ~0ULL : 0ULL;
+    return Block(b.hi & mask, b.lo & mask);
+}
+
+/** FNV-1a style mixing of a block — for hash maps in tests only. */
+struct BlockHasher
+{
+    size_t
+    operator()(const Block &b) const
+    {
+        uint64_t h = 1469598103934665603ULL;
+        for (uint64_t w : {b.lo, b.hi}) {
+            h ^= w;
+            h *= 1099511628211ULL;
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+} // namespace ironman
+
+#endif // IRONMAN_COMMON_BLOCK_H

@@ -1,0 +1,65 @@
+#include "common/hexutil.h"
+
+#include <cctype>
+
+#include "common/block.h"
+#include "common/logging.h"
+
+namespace ironman {
+
+std::string
+hexEncode(const uint8_t *data, size_t len)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+hexDecode(const std::string &hex)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+    };
+
+    std::vector<uint8_t> out;
+    int pending = -1;
+    for (char c : hex) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        int v = nibble(c);
+        if (v < 0)
+            IRONMAN_FATAL("invalid hex character '%c'", c);
+        if (pending < 0) {
+            pending = v;
+        } else {
+            out.push_back(static_cast<uint8_t>((pending << 4) | v));
+            pending = -1;
+        }
+    }
+    if (pending >= 0)
+        IRONMAN_FATAL("odd number of hex digits");
+    return out;
+}
+
+std::string
+Block::toHex() const
+{
+    uint8_t bytes[16];
+    toBytes(bytes);
+    // Print most-significant byte first for human readability.
+    uint8_t rev[16];
+    for (int i = 0; i < 16; ++i)
+        rev[i] = bytes[15 - i];
+    return hexEncode(rev, 16);
+}
+
+} // namespace ironman

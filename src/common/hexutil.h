@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hex encode/decode helpers shared by tests and diagnostics.
+ */
+
+#ifndef IRONMAN_COMMON_HEXUTIL_H
+#define IRONMAN_COMMON_HEXUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ironman {
+
+/** Encode @p data as lowercase hex. */
+std::string hexEncode(const uint8_t *data, size_t len);
+
+/**
+ * Decode a hex string (whitespace tolerated) into bytes.
+ * Calls IRONMAN_FATAL on malformed input.
+ */
+std::vector<uint8_t> hexDecode(const std::string &hex);
+
+} // namespace ironman
+
+#endif // IRONMAN_COMMON_HEXUTIL_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (library bug); aborts.
+ * fatal()  — the caller supplied an impossible configuration; exits(1).
+ * warn()   — something is suspicious but execution can continue.
+ */
+
+#ifndef IRONMAN_COMMON_LOGGING_H
+#define IRONMAN_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace ironman {
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted warning to stderr and continue. */
+void warnImpl(const char *file, int line, const char *fmt, ...);
+
+} // namespace ironman
+
+#define IRONMAN_PANIC(...) \
+    ::ironman::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define IRONMAN_FATAL(...) \
+    ::ironman::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define IRONMAN_WARN(...) \
+    ::ironman::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Always-on invariant check (independent of NDEBUG). */
+#define IRONMAN_CHECK(cond, ...)                 \
+    do {                                         \
+        if (!(cond)) {                           \
+            IRONMAN_PANIC("check failed: %s — " #cond, #__VA_ARGS__); \
+        }                                        \
+    } while (0)
+
+#endif // IRONMAN_COMMON_LOGGING_H

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace ironman {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &lane : s)
+        lane = splitmix64(sm);
+}
+
+uint64_t
+Rng::nextUint64()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    IRONMAN_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = bound * (UINT64_MAX / bound);
+    uint64_t v;
+    do {
+        v = nextUint64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+Block
+Rng::nextBlock()
+{
+    uint64_t lo = nextUint64();
+    uint64_t hi = nextUint64();
+    return Block(hi, lo);
+}
+
+std::vector<Block>
+Rng::nextBlocks(size_t n)
+{
+    std::vector<Block> out(n);
+    for (auto &b : out)
+        b = nextBlock();
+    return out;
+}
+
+BitVec
+Rng::nextBits(size_t n)
+{
+    BitVec out(n);
+    auto &words = out.rawWords();
+    for (auto &w : words)
+        w = nextUint64();
+    // Trim the tail word to the logical length.
+    if (n & 63)
+        words.back() &= (1ULL << (n & 63)) - 1;
+    return out;
+}
+
+std::vector<uint64_t>
+Rng::sampleDistinct(uint64_t range, size_t count)
+{
+    IRONMAN_CHECK(count <= range);
+    std::unordered_set<uint64_t> seen;
+    std::vector<uint64_t> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        uint64_t v = nextBelow(range);
+        if (seen.insert(v).second)
+            out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace ironman

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for protocol sampling.
+ *
+ * Every place a party "samples a random value" in the protocols draws
+ * from an Rng so whole protocol executions are reproducible from a
+ * seed. The generator is xoshiro256** (public-domain construction by
+ * Blackman & Vigna) seeded through splitmix64.
+ *
+ * This is NOT a cryptographic PRG — the cryptographic PRGs live in
+ * src/crypto (AES / ChaCha based). Rng models the local randomness
+ * tape of a party in a simulated execution.
+ */
+
+#ifndef IRONMAN_COMMON_RNG_H
+#define IRONMAN_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+
+namespace ironman {
+
+/** Seedable, reproducible random source. */
+class Rng
+{
+  public:
+    /** Seed the randomness tape; equal seeds give equal tapes. */
+    explicit Rng(uint64_t seed = 0x1234abcd5678ef90ULL);
+
+    /** Next 64 uniform bits. */
+    uint64_t nextUint64();
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform 128-bit block. */
+    Block nextBlock();
+
+    /** Uniform bit. */
+    bool nextBit() { return nextUint64() & 1; }
+
+    /** Fill @p n blocks. */
+    std::vector<Block> nextBlocks(size_t n);
+
+    /** Uniform bit vector of length @p n. */
+    BitVec nextBits(size_t n);
+
+    /**
+     * Sample @p count distinct indices in [0, range), uniformly.
+     * Used for noise-position sampling in tests; the LPN protocols use
+     * regular noise (one index per fixed-size bucket) instead.
+     */
+    std::vector<uint64_t> sampleDistinct(uint64_t range, size_t count);
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace ironman
+
+#endif // IRONMAN_COMMON_RNG_H

@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace ironman {
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatSet::merge(const StatSet &o)
+{
+    for (const auto &[name, value] : o.counters)
+        counters[name] += value;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << "=" << value << "\n";
+    return os.str();
+}
+
+} // namespace ironman

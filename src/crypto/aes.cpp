@@ -1,0 +1,234 @@
+#include "crypto/aes.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace ironman::crypto {
+
+namespace {
+
+/** FIPS-197 S-box. */
+const uint8_t sbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+struct Tables
+{
+    uint32_t te0[256];
+    uint32_t te1[256];
+    uint32_t te2[256];
+    uint32_t te3[256];
+
+    Tables()
+    {
+        for (int x = 0; x < 256; ++x) {
+            uint32_t s = sbox[x];
+            uint32_t s2 = (s << 1) ^ ((s >> 7) * 0x11b);
+            uint32_t s3 = s2 ^ s;
+            te0[x] = (s2 << 24) | (s << 16) | (s << 8) | s3;
+            te1[x] = (s3 << 24) | (s2 << 16) | (s << 8) | s;
+            te2[x] = (s << 24) | (s3 << 16) | (s2 << 8) | s;
+            te3[x] = (s << 24) | (s << 16) | (s3 << 8) | s2;
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+uint32_t
+loadBe32(const uint8_t *p)
+{
+    return (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) |
+           (uint32_t(p[2]) << 8) | uint32_t(p[3]);
+}
+
+void
+storeBe32(uint8_t *p, uint32_t v)
+{
+    p[0] = uint8_t(v >> 24);
+    p[1] = uint8_t(v >> 16);
+    p[2] = uint8_t(v >> 8);
+    p[3] = uint8_t(v);
+}
+
+uint32_t
+subWord(uint32_t w)
+{
+    return (uint32_t(sbox[(w >> 24) & 0xff]) << 24) |
+           (uint32_t(sbox[(w >> 16) & 0xff]) << 16) |
+           (uint32_t(sbox[(w >> 8) & 0xff]) << 8) |
+           uint32_t(sbox[w & 0xff]);
+}
+
+std::atomic<bool> forceSoftwareEngine{false};
+
+} // namespace
+
+Aes128::Aes128(const Block &key)
+{
+    static const uint32_t rcon[10] = {
+        0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+        0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+    };
+
+    uint8_t kb[16];
+    key.toBytes(kb);
+    for (int i = 0; i < 4; ++i)
+        rk[i] = loadBe32(kb + 4 * i);
+    for (int i = 4; i < 44; ++i) {
+        uint32_t temp = rk[i - 1];
+        if (i % 4 == 0) {
+            temp = subWord((temp << 8) | (temp >> 24)) ^ rcon[i / 4 - 1];
+        }
+        rk[i] = rk[i - 4] ^ temp;
+    }
+
+    // Pre-serialize the byte-ordered schedule the AES-NI engine loads.
+    for (int i = 0; i < 44; ++i) {
+        niSchedule[4 * i + 0] = uint8_t(rk[i] >> 24);
+        niSchedule[4 * i + 1] = uint8_t(rk[i] >> 16);
+        niSchedule[4 * i + 2] = uint8_t(rk[i] >> 8);
+        niSchedule[4 * i + 3] = uint8_t(rk[i]);
+    }
+}
+
+void
+Aes128::softwareEncrypt(const uint8_t in[16], uint8_t out[16]) const
+{
+    const Tables &t = tables();
+
+    uint32_t s0 = loadBe32(in + 0) ^ rk[0];
+    uint32_t s1 = loadBe32(in + 4) ^ rk[1];
+    uint32_t s2 = loadBe32(in + 8) ^ rk[2];
+    uint32_t s3 = loadBe32(in + 12) ^ rk[3];
+
+    uint32_t t0, t1, t2, t3;
+    for (int round = 1; round < 10; ++round) {
+        const uint32_t *k = &rk[4 * round];
+        t0 = t.te0[s0 >> 24] ^ t.te1[(s1 >> 16) & 0xff] ^
+             t.te2[(s2 >> 8) & 0xff] ^ t.te3[s3 & 0xff] ^ k[0];
+        t1 = t.te0[s1 >> 24] ^ t.te1[(s2 >> 16) & 0xff] ^
+             t.te2[(s3 >> 8) & 0xff] ^ t.te3[s0 & 0xff] ^ k[1];
+        t2 = t.te0[s2 >> 24] ^ t.te1[(s3 >> 16) & 0xff] ^
+             t.te2[(s0 >> 8) & 0xff] ^ t.te3[s1 & 0xff] ^ k[2];
+        t3 = t.te0[s3 >> 24] ^ t.te1[(s0 >> 16) & 0xff] ^
+             t.te2[(s1 >> 8) & 0xff] ^ t.te3[s2 & 0xff] ^ k[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    const uint32_t *k = &rk[40];
+    t0 = (uint32_t(sbox[s0 >> 24]) << 24) |
+         (uint32_t(sbox[(s1 >> 16) & 0xff]) << 16) |
+         (uint32_t(sbox[(s2 >> 8) & 0xff]) << 8) |
+         uint32_t(sbox[s3 & 0xff]);
+    t1 = (uint32_t(sbox[s1 >> 24]) << 24) |
+         (uint32_t(sbox[(s2 >> 16) & 0xff]) << 16) |
+         (uint32_t(sbox[(s3 >> 8) & 0xff]) << 8) |
+         uint32_t(sbox[s0 & 0xff]);
+    t2 = (uint32_t(sbox[s2 >> 24]) << 24) |
+         (uint32_t(sbox[(s3 >> 16) & 0xff]) << 16) |
+         (uint32_t(sbox[(s0 >> 8) & 0xff]) << 8) |
+         uint32_t(sbox[s1 & 0xff]);
+    t3 = (uint32_t(sbox[s3 >> 24]) << 24) |
+         (uint32_t(sbox[(s0 >> 16) & 0xff]) << 16) |
+         (uint32_t(sbox[(s1 >> 8) & 0xff]) << 8) |
+         uint32_t(sbox[s2 & 0xff]);
+
+    storeBe32(out + 0, t0 ^ k[0]);
+    storeBe32(out + 4, t1 ^ k[1]);
+    storeBe32(out + 8, t2 ^ k[2]);
+    storeBe32(out + 12, t3 ^ k[3]);
+}
+
+void
+Aes128::encryptBytes(const uint8_t in[16], uint8_t out[16]) const
+{
+    if (usingAesni()) {
+        Block b = Block::fromBytes(in);
+        Block o;
+        detail::aesniEncryptBatch(niSchedule.data(), &b, &o, 1);
+        o.toBytes(out);
+    } else {
+        softwareEncrypt(in, out);
+    }
+}
+
+Block
+Aes128::encrypt(const Block &in) const
+{
+    if (usingAesni()) {
+        Block out;
+        detail::aesniEncryptBatch(niSchedule.data(), &in, &out, 1);
+        return out;
+    }
+    uint8_t ib[16], ob[16];
+    in.toBytes(ib);
+    softwareEncrypt(ib, ob);
+    return Block::fromBytes(ob);
+}
+
+void
+Aes128::encryptBatch(const Block *in, Block *out, size_t n) const
+{
+    if (usingAesni()) {
+        detail::aesniEncryptBatch(niSchedule.data(), in, out, n);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        out[i] = encrypt(in[i]);
+}
+
+bool
+Aes128::usingAesni()
+{
+    static const bool supported = detail::aesniSupported();
+    return supported && !forceSoftwareEngine.load(std::memory_order_relaxed);
+}
+
+void
+Aes128::forceSoftware(bool force)
+{
+    forceSoftwareEngine.store(force, std::memory_order_relaxed);
+}
+
+} // namespace ironman::crypto

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * AES-128 block cipher.
+ *
+ * Two engines are provided behind one class:
+ *  - a portable table-based software implementation (always available,
+ *    validated against the FIPS-197 known-answer vector), and
+ *  - an AES-NI implementation compiled with -maes and selected at
+ *    runtime when the CPU supports it (this mirrors the paper's CPU
+ *    baseline, which relies on AES-NI for the GGM-tree PRG).
+ *
+ * The cipher is used in three places:
+ *  - the AES-based double/m-ary length PRG for GGM trees,
+ *  - the MMO correlation-robust hash converting COT to OT,
+ *  - the index generator of the LPN encoder.
+ */
+
+#ifndef IRONMAN_CRYPTO_AES_H
+#define IRONMAN_CRYPTO_AES_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/block.h"
+
+namespace ironman::crypto {
+
+/** AES-128 with a fixed expanded key. */
+class Aes128
+{
+  public:
+    /** Expand @p key into the round-key schedule. */
+    explicit Aes128(const Block &key);
+
+    /** Encrypt one 16-byte block (byte-oriented API). */
+    void encryptBytes(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Encrypt one Block. */
+    Block encrypt(const Block &in) const;
+
+    /**
+     * Encrypt @p n blocks; uses the widest engine available
+     * (AES-NI pipelines 8 blocks at a time when present).
+     */
+    void encryptBatch(const Block *in, Block *out, size_t n) const;
+
+    /** True when the process selected the AES-NI engine. */
+    static bool usingAesni();
+
+    /** Force the software engine for all future Aes128 uses (tests). */
+    static void forceSoftware(bool force);
+
+    /** Round keys as 44 big-endian words (exposed for the NI engine). */
+    const std::array<uint32_t, 44> &roundKeys() const { return rk; }
+
+  private:
+    void softwareEncrypt(const uint8_t in[16], uint8_t out[16]) const;
+
+    std::array<uint32_t, 44> rk;
+    /// Byte-ordered schedule for the AES-NI engine (11 x 16 bytes).
+    alignas(16) std::array<uint8_t, 176> niSchedule;
+};
+
+namespace detail {
+
+/** AES-NI engine entry points (defined in aes_ni.cpp, built with -maes). */
+bool aesniSupported();
+void aesniEncryptBatch(const uint8_t *schedule, const Block *in,
+                       Block *out, size_t n);
+
+} // namespace detail
+
+} // namespace ironman::crypto
+
+#endif // IRONMAN_CRYPTO_AES_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * AES-NI engine. This translation unit is the only one compiled with
+ * -maes; everything else stays portable. Entry is guarded by a runtime
+ * CPUID check so the binary still runs on machines without AES-NI.
+ */
+
+#include "crypto/aes.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <wmmintrin.h>
+#define IRONMAN_HAVE_AESNI_BUILD 1
+#endif
+
+namespace ironman::crypto::detail {
+
+bool
+aesniSupported()
+{
+#ifdef IRONMAN_HAVE_AESNI_BUILD
+    return __builtin_cpu_supports("aes");
+#else
+    return false;
+#endif
+}
+
+#ifdef IRONMAN_HAVE_AESNI_BUILD
+
+void
+aesniEncryptBatch(const uint8_t *schedule, const Block *in, Block *out,
+                  size_t n)
+{
+    __m128i keys[11];
+    for (int r = 0; r < 11; ++r)
+        keys[r] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(schedule + 16 * r));
+
+    size_t i = 0;
+    // Eight-wide main loop keeps the AES units' pipelines full.
+    for (; i + 8 <= n; i += 8) {
+        __m128i s[8];
+        for (int j = 0; j < 8; ++j) {
+            s[j] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(&in[i + j]));
+            s[j] = _mm_xor_si128(s[j], keys[0]);
+        }
+        for (int r = 1; r < 10; ++r)
+            for (int j = 0; j < 8; ++j)
+                s[j] = _mm_aesenc_si128(s[j], keys[r]);
+        for (int j = 0; j < 8; ++j) {
+            s[j] = _mm_aesenclast_si128(s[j], keys[10]);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(&out[i + j]), s[j]);
+        }
+    }
+    for (; i < n; ++i) {
+        __m128i s =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(&in[i]));
+        s = _mm_xor_si128(s, keys[0]);
+        for (int r = 1; r < 10; ++r)
+            s = _mm_aesenc_si128(s, keys[r]);
+        s = _mm_aesenclast_si128(s, keys[10]);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(&out[i]), s);
+    }
+}
+
+#else // !IRONMAN_HAVE_AESNI_BUILD
+
+void
+aesniEncryptBatch(const uint8_t *, const Block *, Block *, size_t)
+{
+    // Unreachable: aesniSupported() returned false.
+}
+
+#endif
+
+} // namespace ironman::crypto::detail

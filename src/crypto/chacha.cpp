@@ -1,0 +1,98 @@
+#include "crypto/chacha.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ironman::crypto {
+
+namespace {
+
+uint32_t
+rotl32(uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+void
+quarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+} // namespace
+
+ChaCha::ChaCha(int rounds) : numRounds(rounds)
+{
+    IRONMAN_CHECK(rounds > 0 && rounds % 2 == 0);
+}
+
+void
+ChaCha::block(const std::array<uint32_t, 8> &key, uint32_t counter,
+              const std::array<uint32_t, 3> &nonce, uint8_t out[64]) const
+{
+    // "expand 32-byte k"
+    uint32_t state[16] = {
+        0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+        key[0], key[1], key[2], key[3],
+        key[4], key[5], key[6], key[7],
+        counter, nonce[0], nonce[1], nonce[2],
+    };
+
+    uint32_t x[16];
+    std::memcpy(x, state, sizeof(x));
+
+    for (int r = 0; r < numRounds; r += 2) {
+        // Column round.
+        quarterRound(x[0], x[4], x[8], x[12]);
+        quarterRound(x[1], x[5], x[9], x[13]);
+        quarterRound(x[2], x[6], x[10], x[14]);
+        quarterRound(x[3], x[7], x[11], x[15]);
+        // Diagonal round.
+        quarterRound(x[0], x[5], x[10], x[15]);
+        quarterRound(x[1], x[6], x[11], x[12]);
+        quarterRound(x[2], x[7], x[8], x[13]);
+        quarterRound(x[3], x[4], x[9], x[14]);
+    }
+
+    for (int i = 0; i < 16; ++i) {
+        uint32_t v = x[i] + state[i];
+        out[4 * i + 0] = uint8_t(v);
+        out[4 * i + 1] = uint8_t(v >> 8);
+        out[4 * i + 2] = uint8_t(v >> 16);
+        out[4 * i + 3] = uint8_t(v >> 24);
+    }
+}
+
+void
+ChaCha::expandSeed(const Block &seed, uint64_t tweak,
+                   std::array<Block, 4> &out) const
+{
+    uint8_t seed_bytes[16];
+    seed.toBytes(seed_bytes);
+
+    std::array<uint32_t, 8> key;
+    for (int i = 0; i < 4; ++i) {
+        std::memcpy(&key[i], seed_bytes + 4 * i, 4);
+    }
+    // Fixed domain-separation constant in the upper key half. Any value
+    // works for correctness; fixing it makes executions reproducible.
+    key[4] = 0x49524f4e; // "IRON"
+    key[5] = 0x4d414e2d; // "MAN-"
+    key[6] = 0x4f545047; // "OTPG"
+    key[7] = 0x52474747; // "RGGG"
+
+    std::array<uint32_t, 3> nonce = {
+        uint32_t(tweak), uint32_t(tweak >> 32), 0
+    };
+
+    uint8_t ks[64];
+    block(key, 0, nonce, ks);
+    for (int i = 0; i < 4; ++i)
+        out[i] = Block::fromBytes(ks + 16 * i);
+}
+
+} // namespace ironman::crypto

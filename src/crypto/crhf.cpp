@@ -1,0 +1,45 @@
+#include "crypto/crhf.h"
+
+#include <vector>
+
+namespace ironman::crypto {
+
+namespace {
+
+/** Arbitrary fixed key (nothing-up-my-sleeve: digits of pi). */
+const Block kCrhfKey(0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL);
+
+Block
+tweakBlock(uint64_t tweak)
+{
+    // Spread the tweak across both lanes so tweaks differing only in
+    // low bits still produce unrelated sigma values.
+    return Block(tweak * 0x9e3779b97f4a7c15ULL, tweak);
+}
+
+} // namespace
+
+Crhf::Crhf() : cipher(kCrhfKey)
+{
+}
+
+Block
+Crhf::hash(const Block &x, uint64_t tweak) const
+{
+    Block sigma = x ^ tweakBlock(tweak);
+    return cipher.encrypt(sigma) ^ sigma;
+}
+
+void
+Crhf::hashBatch(const Block *in, Block *out, size_t n,
+                uint64_t tweak_base) const
+{
+    std::vector<Block> sigma(n);
+    for (size_t i = 0; i < n; ++i)
+        sigma[i] = in[i] ^ tweakBlock(tweak_base + i);
+    cipher.encryptBatch(sigma.data(), out, n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] ^= sigma[i];
+}
+
+} // namespace ironman::crypto

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Correlation-robust hash function (CRHF).
+ *
+ * COT correlations r1 = r0 XOR Delta leak Delta if used directly as OT
+ * pads, so the online phase hashes them first (Fig. 2 of the paper):
+ * (y0, y1) = (m0 XOR H(r0), m1 XOR H(r1)). We instantiate H with the
+ * standard MMO construction over fixed-key AES:
+ *
+ *   H(x, tweak) = AES_K(sigma) XOR sigma,  sigma = x XOR tweakBlock
+ *
+ * which is the construction used by Ferret/EMP and is correlation
+ * robust in the ideal-cipher model.
+ */
+
+#ifndef IRONMAN_CRYPTO_CRHF_H
+#define IRONMAN_CRYPTO_CRHF_H
+
+#include "common/block.h"
+#include "crypto/aes.h"
+
+namespace ironman::crypto {
+
+/** MMO hash with a process-wide fixed AES key. */
+class Crhf
+{
+  public:
+    Crhf();
+
+    /** Hash one block under tweak @p tweak (e.g. the OT instance id). */
+    Block hash(const Block &x, uint64_t tweak) const;
+
+    /** Hash a batch sharing one base tweak (tweak + index per entry). */
+    void hashBatch(const Block *in, Block *out, size_t n,
+                   uint64_t tweak_base) const;
+
+  private:
+    Aes128 cipher;
+};
+
+} // namespace ironman::crypto
+
+#endif // IRONMAN_CRYPTO_CRHF_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Length-expanding PRGs for GGM-tree construction.
+ *
+ * The paper's SPCOT optimization (Sec. 4.1) is a joint choice of
+ * (PRG construction, tree arity):
+ *
+ *   - AES:    expanding one parent into m children costs m AES calls
+ *             (one fixed key per child slot), Fig. 6(a)/(b);
+ *   - ChaCha: one core call yields 512 bits = 4 children, so m children
+ *             cost ceil(m/4) calls, Fig. 6(c)/(d).
+ *
+ * TreePrg abstracts this and counts primitive invocations so benches
+ * can reproduce the operation-reduction numbers of Fig. 7(a).
+ */
+
+#ifndef IRONMAN_CRYPTO_PRG_H
+#define IRONMAN_CRYPTO_PRG_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+#include "crypto/aes.h"
+#include "crypto/chacha.h"
+
+namespace ironman::crypto {
+
+/** Which primitive instantiates the GGM PRG. */
+enum class PrgKind
+{
+    Aes,      ///< AES-128, one call per child (AES-NI when available).
+    ChaCha8,  ///< 8-round ChaCha, four children per call (Ironman's pick).
+    ChaCha12, ///< 12-round ChaCha.
+    ChaCha20, ///< 20-round ChaCha (conservative margin).
+};
+
+/** Human-readable name ("AES", "ChaCha8", ...). */
+std::string prgKindName(PrgKind kind);
+
+/**
+ * Seed-to-children expander used by GGM trees.
+ *
+ * Both parties must construct the expander with identical parameters
+ * (the key material is fixed, derived from public constants), so the
+ * receiver's reconstruction matches the sender's expansion.
+ */
+class TreePrg
+{
+  public:
+    /**
+     * @param kind Primitive choice.
+     * @param max_arity Largest child count expand() will be asked for.
+     */
+    TreePrg(PrgKind kind, unsigned max_arity);
+
+    /** Expand @p parent into @p arity children (deterministic). */
+    void expand(const Block &parent, Block *children, unsigned arity);
+
+    /**
+     * Expand a whole tree level: @p count parents, children written to
+     * children[j*arity + c]. Identical output to calling expand() per
+     * parent, but batches the AES pipeline (the software analogue of
+     * the breadth-first hardware schedule of Sec. 4.3).
+     */
+    void expandLevel(const Block *parents, size_t count, Block *children,
+                     unsigned arity);
+
+    /** Primitive calls one expansion of width @p arity costs. */
+    uint64_t opsForExpansion(unsigned arity) const;
+
+    /** Total primitive invocations since construction / resetOps(). */
+    uint64_t ops() const { return opCount; }
+
+    void resetOps() { opCount = 0; }
+
+    PrgKind kind() const { return prgKind; }
+
+  private:
+    PrgKind prgKind;
+    unsigned maxArity;
+    uint64_t opCount = 0;
+
+    /// One fixed-key AES instance per child slot (AES mode).
+    std::vector<Aes128> aesSlots;
+    /// ChaCha core (ChaCha modes).
+    std::unique_ptr<ChaCha> chacha;
+    /// Scratch for batched level expansion.
+    std::vector<Block> scratch;
+};
+
+/**
+ * Counter-mode pseudo-random stream over a primitive; used for the LPN
+ * index generator ("LPN uses [AES] to generate indices of random
+ * access", Sec. 1) and anywhere a party needs a long public
+ * pseudo-random tape bound to a seed.
+ */
+class CtrStream
+{
+  public:
+    CtrStream(PrgKind kind, const Block &seed);
+
+    /** Next 32 uniform bits. */
+    uint32_t nextUint32();
+
+    /** Uniform value in [0, bound), bound > 0 (rejection sampled). */
+    uint32_t nextBelow(uint32_t bound);
+
+    /** Primitive invocations so far. */
+    uint64_t ops() const { return opCount; }
+
+  private:
+    void refill();
+
+    PrgKind prgKind;
+    Block seed;
+    uint64_t counter = 0;
+    uint64_t opCount = 0;
+
+    std::unique_ptr<Aes128> aes;
+    std::unique_ptr<ChaCha> chacha;
+
+    uint32_t buffer[16];
+    unsigned bufferLen = 0; ///< valid words in buffer
+    unsigned bufferPos = 0;
+};
+
+} // namespace ironman::crypto
+
+#endif // IRONMAN_CRYPTO_PRG_H

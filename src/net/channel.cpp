@@ -1,0 +1,201 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ironman::net {
+
+// ---------------------------------------------------------------------------
+// Typed helpers
+// ---------------------------------------------------------------------------
+
+void
+Channel::sendBlock(const Block &b)
+{
+    uint8_t buf[16];
+    b.toBytes(buf);
+    sendBytes(buf, sizeof(buf));
+}
+
+Block
+Channel::recvBlock()
+{
+    uint8_t buf[16];
+    recvBytes(buf, sizeof(buf));
+    return Block::fromBytes(buf);
+}
+
+void
+Channel::sendBlocks(const Block *blocks, size_t n)
+{
+    // Block layout is two little-endian u64 lanes == the canonical
+    // serialization, so the vector can go out as one flat buffer.
+    sendBytes(blocks, n * sizeof(Block));
+}
+
+void
+Channel::recvBlocks(Block *blocks, size_t n)
+{
+    recvBytes(blocks, n * sizeof(Block));
+}
+
+void
+Channel::sendUint64(uint64_t v)
+{
+    sendBytes(&v, sizeof(v));
+}
+
+uint64_t
+Channel::recvUint64()
+{
+    uint64_t v;
+    recvBytes(&v, sizeof(v));
+    return v;
+}
+
+void
+Channel::sendBits(const BitVec &bits)
+{
+    sendUint64(bits.size());
+    const auto &words = bits.rawWords();
+    sendBytes(words.data(), words.size() * sizeof(uint64_t));
+}
+
+BitVec
+Channel::recvBits()
+{
+    uint64_t n = recvUint64();
+    BitVec out(n);
+    auto &words = out.rawWords();
+    recvBytes(words.data(), words.size() * sizeof(uint64_t));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryDuplex
+// ---------------------------------------------------------------------------
+
+struct MemoryDuplex::Shared
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    /** One direction of the pipe: a queue of buffers + read cursor. */
+    struct Stream
+    {
+        std::deque<std::vector<uint8_t>> segments;
+        size_t frontPos = 0; ///< consumed bytes of segments.front()
+    };
+
+    // Index 0 = A->B, 1 = B->A.
+    Stream stream[2];
+    uint64_t sent[2] = {0, 0};
+
+    int lastSender = -1;  ///< 0 = A, 1 = B
+    uint64_t turnCount = 0;
+};
+
+struct MemoryDuplex::Endpoint : Channel
+{
+    Endpoint(std::shared_ptr<Shared> s, int id) : shared(std::move(s)), me(id)
+    {}
+
+    void
+    sendBytes(const void *data, size_t len) override
+    {
+        const auto *bytes = static_cast<const uint8_t *>(data);
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->stream[me].segments.emplace_back(bytes, bytes + len);
+        shared->sent[me] += len;
+        if (shared->lastSender != me) {
+            shared->lastSender = me;
+            ++shared->turnCount;
+        }
+        shared->cv.notify_all();
+    }
+
+    void
+    recvBytes(void *data, size_t len) override
+    {
+        auto *bytes = static_cast<uint8_t *>(data);
+        std::unique_lock<std::mutex> lock(shared->mutex);
+        auto &s = shared->stream[1 - me];
+        size_t got = 0;
+        while (got < len) {
+            shared->cv.wait(lock, [&] { return !s.segments.empty(); });
+            while (!s.segments.empty() && got < len) {
+                auto &seg = s.segments.front();
+                size_t avail = seg.size() - s.frontPos;
+                size_t take = std::min(avail, len - got);
+                std::memcpy(bytes + got, seg.data() + s.frontPos, take);
+                got += take;
+                s.frontPos += take;
+                if (s.frontPos == seg.size()) {
+                    s.segments.pop_front();
+                    s.frontPos = 0;
+                }
+            }
+        }
+    }
+
+    uint64_t
+    bytesSent() const override
+    {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        return shared->sent[me];
+    }
+
+    std::shared_ptr<Shared> shared;
+    int me;
+};
+
+MemoryDuplex::MemoryDuplex()
+    : shared(std::make_shared<Shared>()),
+      endA(std::make_unique<Endpoint>(shared, 0)),
+      endB(std::make_unique<Endpoint>(shared, 1))
+{
+}
+
+MemoryDuplex::~MemoryDuplex() = default;
+
+Channel &
+MemoryDuplex::a()
+{
+    return *endA;
+}
+
+Channel &
+MemoryDuplex::b()
+{
+    return *endB;
+}
+
+uint64_t
+MemoryDuplex::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    return shared->sent[0] + shared->sent[1];
+}
+
+uint64_t
+MemoryDuplex::turns() const
+{
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    return shared->turnCount;
+}
+
+NetworkModel
+wanNetwork()
+{
+    return NetworkModel{400e6, 20e-3, "WAN(400Mbps,20ms)"};
+}
+
+NetworkModel
+lanNetwork()
+{
+    return NetworkModel{3e9, 0.15e-3, "LAN(3Gbps,0.15ms)"};
+}
+
+} // namespace ironman::net

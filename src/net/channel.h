@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Two-party transport.
+ *
+ * Protocols in this library are written against the Channel interface;
+ * tests and benches connect the two parties with an in-memory duplex
+ * (two byte queues + condition variables) and run them on two threads.
+ * The duplex counts bytes and message "turns" (direction changes), from
+ * which the analytic NetworkModel derives wire time for a configured
+ * bandwidth/RTT pair — this is how the WAN/LAN rows of Fig. 7(c) and
+ * Table 5 are produced without a real network.
+ */
+
+#ifndef IRONMAN_NET_CHANNEL_H
+#define IRONMAN_NET_CHANNEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+
+namespace ironman::net {
+
+/** Byte-oriented, blocking, ordered, reliable pipe endpoint. */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+
+    virtual void sendBytes(const void *data, size_t len) = 0;
+    virtual void recvBytes(void *data, size_t len) = 0;
+
+    /** Bytes this endpoint has sent. */
+    virtual uint64_t bytesSent() const = 0;
+
+    // -- typed helpers ----------------------------------------------------
+
+    void sendBlock(const Block &b);
+    Block recvBlock();
+
+    void sendBlocks(const Block *blocks, size_t n);
+    void recvBlocks(Block *blocks, size_t n);
+
+    void sendUint64(uint64_t v);
+    uint64_t recvUint64();
+
+    /** Send a bit vector (length prefix + packed words). */
+    void sendBits(const BitVec &bits);
+    BitVec recvBits();
+};
+
+/**
+ * An in-memory full-duplex link between two endpoints running on two
+ * threads of one process.
+ */
+class MemoryDuplex
+{
+  public:
+    MemoryDuplex();
+    ~MemoryDuplex();
+
+    MemoryDuplex(const MemoryDuplex &) = delete;
+    MemoryDuplex &operator=(const MemoryDuplex &) = delete;
+
+    /** Endpoint for party A (sender by convention, but symmetric). */
+    Channel &a();
+    /** Endpoint for party B. */
+    Channel &b();
+
+    /** Total bytes moved in both directions. */
+    uint64_t totalBytes() const;
+
+    /**
+     * Number of direction changes observed on the wire; a classic
+     * half-duplex protocol with r round trips shows ~2r turns.
+     */
+    uint64_t turns() const;
+
+  private:
+    struct Shared;
+    struct Endpoint;
+    std::shared_ptr<Shared> shared;
+    std::unique_ptr<Endpoint> endA;
+    std::unique_ptr<Endpoint> endB;
+};
+
+/** Analytic wire-time model: serialization + propagation delay. */
+struct NetworkModel
+{
+    double bandwidthBitsPerSec;
+    double rttSeconds;
+    const char *name;
+
+    /** Wire seconds for @p bytes moved over @p round_trips exchanges. */
+    double
+    seconds(uint64_t bytes, double round_trips) const
+    {
+        return double(bytes) * 8.0 / bandwidthBitsPerSec +
+               round_trips * rttSeconds;
+    }
+};
+
+/** The two network settings evaluated by the paper (Sec. 6.5). */
+NetworkModel wanNetwork(); ///< 400 Mbps, 20 ms RTT
+NetworkModel lanNetwork(); ///< 3 Gbps, 0.15 ms RTT
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_CHANNEL_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Helper that runs a two-party protocol on two threads over an
+ * in-memory duplex and reports wire statistics.
+ */
+
+#ifndef IRONMAN_NET_TWO_PARTY_H
+#define IRONMAN_NET_TWO_PARTY_H
+
+#include <exception>
+#include <functional>
+#include <thread>
+
+#include "net/channel.h"
+
+namespace ironman::net {
+
+/** Wire statistics of one protocol execution. */
+struct WireStats
+{
+    uint64_t totalBytes = 0;
+    uint64_t turns = 0;
+
+    /** Approximate sequential round trips (two turns ~ one round). */
+    double roundTrips() const { return turns / 2.0; }
+};
+
+/**
+ * Run @p party_a and @p party_b concurrently, each with its endpoint of
+ * a fresh duplex. Exceptions from either thread are rethrown on the
+ * caller thread after both join.
+ */
+inline WireStats
+runTwoParty(const std::function<void(Channel &)> &party_a,
+            const std::function<void(Channel &)> &party_b)
+{
+    MemoryDuplex duplex;
+    std::exception_ptr err_a, err_b;
+
+    std::thread ta([&] {
+        try {
+            party_a(duplex.a());
+        } catch (...) {
+            err_a = std::current_exception();
+        }
+    });
+    std::thread tb([&] {
+        try {
+            party_b(duplex.b());
+        } catch (...) {
+            err_b = std::current_exception();
+        }
+    });
+    ta.join();
+    tb.join();
+
+    if (err_a)
+        std::rethrow_exception(err_a);
+    if (err_b)
+        std::rethrow_exception(err_b);
+
+    WireStats stats;
+    stats.totalBytes = duplex.totalBytes();
+    stats.turns = duplex.turns();
+    return stats;
+}
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_TWO_PARTY_H

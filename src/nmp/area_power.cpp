@@ -1,0 +1,47 @@
+#include "nmp/area_power.h"
+
+namespace ironman::nmp {
+
+PrgCoreSpec
+chaCha8Core()
+{
+    return PrgCoreSpec{"ChaCha8", 0.215, 45.33e-3, 512};
+}
+
+PrgCoreSpec
+aes128Core()
+{
+    return PrgCoreSpec{"AES-128", 0.233, 35.05e-3, 128};
+}
+
+double
+sramAreaMm2(uint64_t bytes)
+{
+    // Linear fit through the two Table 6 PU configurations (see
+    // header): ~1.008 mm^2 per MB plus a small periphery constant.
+    double mb = double(bytes) / (1024.0 * 1024.0);
+    return 0.0096 + 1.008 * mb;
+}
+
+double
+sramPowerWatt(uint64_t bytes)
+{
+    double mb = double(bytes) / (1024.0 * 1024.0);
+    return 0.010 + 0.086 * mb;
+}
+
+double
+PuSpec::areaMm2() const
+{
+    return logicAreaMm2 + chachaCores * chaCha8Core().areaMm2 +
+           rankModules * sramAreaMm2(cacheBytes);
+}
+
+double
+PuSpec::powerWatt() const
+{
+    return logicPowerWatt + chachaCores * chaCha8Core().powerWatt +
+           rankModules * sramPowerWatt(cacheBytes);
+}
+
+} // namespace ironman::nmp

@@ -1,0 +1,158 @@
+#include "nmp/ironman_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ot/ggm_tree.h"
+#include "ot/lpn.h"
+
+namespace ironman::nmp {
+
+IronmanModel::IronmanModel(const IronmanConfig &config,
+                           const ot::FerretParams &params_in)
+    : cfg(config), params(params_in)
+{
+    IRONMAN_CHECK(cfg.numDimms >= 1 && cfg.ranksPerDimm >= 1);
+}
+
+IronmanReport
+IronmanModel::lpnPhase(const SortOptions &sort) const
+{
+    IronmanReport report;
+
+    ot::LpnParams lp;
+    lp.n = params.n;
+    lp.k = params.k;
+    lp.d = params.lpnWeight;
+    lp.seed = params.lpnSeed;
+    ot::LpnEncoder enc(lp);
+
+    const size_t rows_per_rank =
+        (params.n + cfg.totalRanks() - 1) / cfg.totalRanks();
+    const size_t sim_rows = cfg.sampleRows == 0
+                                ? rows_per_rank
+                                : std::min(rows_per_rank, cfg.sampleRows);
+
+    SortedLpnLayout layout = buildSortedLayout(enc, 0, sim_rows, sort);
+
+    // Memory map of one rank: [0, k*16) holds the (permuted) input
+    // vector; the sorted Colidx/Rowidx arrays stream from just above
+    // it (8 bytes per access -> one 64-byte line per 8 accesses).
+    sim::CacheConfig cache_cfg;
+    cache_cfg.sizeBytes = cfg.cacheBytes;
+    cache_cfg.ways = cfg.cacheWays;
+    sim::CacheSim cache(cache_cfg);
+
+    const uint64_t stream_base =
+        (uint64_t(params.k) * sizeof(Block) + 4095) / 4096 * 4096;
+
+    std::vector<sim::DramRequest> trace;
+    trace.reserve(layout.accesses() / 3);
+    for (size_t a = 0; a < layout.accesses(); ++a) {
+        uint64_t addr = uint64_t(layout.colidx[a]) * sizeof(Block);
+        if (!cache.access(addr)) {
+            trace.push_back({addr / 64 * 64, false});
+        }
+        if ((a & 7) == 7)
+            trace.push_back({stream_base + (a / 8) * 64, false});
+    }
+
+    sim::DramRankSim dram_sim(cfg.dram, cfg.geom, 16);
+    report.dram = dram_sim.replay(trace);
+    report.cache = cache.stats();
+
+    // Service-rate bound of the rank logic: the XOR tree folds one
+    // 128-bit value per cycle; SRAM reads pipeline, but deeper arrays
+    // lower the sustainable rate (Sec. 6.3's "longer cache access
+    // latencies degrade overall performance").
+    const double service_cycles = std::max(
+        1.0, sim::CacheSim::accessLatencyCycles(cfg.cacheBytes) / 4.0);
+    const double logic_secs =
+        layout.accesses() * service_cycles / cfg.logicClockHz;
+    const double dram_secs = report.dram.seconds(cfg.dram);
+
+    const double scale = double(rows_per_rank) / double(sim_rows);
+    report.lpnLogicSeconds = logic_secs * scale;
+    report.lpnDramSeconds = dram_secs * scale;
+    report.lpnSeconds =
+        std::max(report.lpnLogicSeconds, report.lpnDramSeconds);
+    return report;
+}
+
+void
+IronmanModel::spcotPhase(IronmanReport &report) const
+{
+    sim::ExpandWorkload wl;
+    wl.arities = ot::treeArities(params.treeLeaves(), params.arity);
+    wl.numTrees = params.t;
+    // ChaCha emits 4 blocks per invocation (default rule); a pipelined
+    // AES bank needs one invocation per child.
+    wl.opsPerNodeOverride =
+        params.prg == crypto::PrgKind::Aes ? params.arity : 0;
+
+    report.spcotSchedule = sim::scheduleExpansionMultiCore(
+        wl, cfg.schedule, cfg.spcotPipelines, cfg.pipelineStages);
+    report.spcotSeconds =
+        double(report.spcotSchedule.cycles) / cfg.spcotClockHz;
+}
+
+void
+IronmanModel::rollupEnergy(IronmanReport &report) const
+{
+    PuSpec pu;
+    pu.chachaCores = cfg.chachaCoresPerDimm;
+    pu.cacheBytes = cfg.cacheBytes;
+    pu.rankModules = cfg.ranksPerDimm;
+
+    report.areaMm2 = pu.areaMm2();
+
+    const double time = report.totalSeconds;
+    const double pu_energy = pu.powerWatt() * cfg.numDimms * time;
+
+    // One rank was simulated (possibly on a sample); every rank does
+    // the same amount of work, so scale counts by ranks and sample.
+    const size_t rows_per_rank =
+        (params.n + cfg.totalRanks() - 1) / cfg.totalRanks();
+    const size_t sim_rows = cfg.sampleRows == 0
+                                ? rows_per_rank
+                                : std::min(rows_per_rank, cfg.sampleRows);
+    const double scale = double(rows_per_rank) / double(sim_rows) *
+                         cfg.totalRanks();
+
+    DramEnergy de;
+    const double dram_energy =
+        scale * (report.dram.activates * de.actEnergy +
+                 report.dram.reads * de.readEnergy +
+                 report.dram.writes * de.writeEnergy) +
+        de.backgroundWatt * cfg.totalRanks() * time;
+
+    report.energyJoule = pu_energy + dram_energy;
+    report.powerWatt = time > 0 ? report.energyJoule / time : 0;
+}
+
+IronmanReport
+IronmanModel::simulate() const
+{
+    IronmanReport report = lpnPhase(cfg.sort);
+    spcotPhase(report);
+
+    // SPCOT and LPN are decoupled and overlap (Sec. 5.1); COT
+    // offloading back to the host overlaps generation, leaving a
+    // small fixed control tail.
+    const double control_tail = 10e-6;
+    report.totalSeconds =
+        std::max(report.spcotSeconds, report.lpnSeconds) + control_tail;
+    rollupEnergy(report);
+    return report;
+}
+
+IronmanReport
+IronmanModel::simulateLpn(const SortOptions &override_sort) const
+{
+    IronmanReport report = lpnPhase(override_sort);
+    report.totalSeconds = report.lpnSeconds;
+    rollupEnergy(report);
+    return report;
+}
+
+} // namespace ironman::nmp

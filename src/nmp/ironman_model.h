@@ -1,0 +1,131 @@
+/**
+ * @file
+ * End-to-end performance/energy model of the Ironman accelerator
+ * (Sec. 5): SPCOT on the DIMM module's ChaCha pipeline, LPN on the
+ * Rank-NMP modules (memory-side cache + DDR4 rank timing), with the
+ * two phases overlapped as in the paper ("the SPCOT and LPN
+ * operations are decoupled, allowing us to overlap these two
+ * operations").
+ *
+ * Methodology mirrors the paper's Ramulator/ZSim setup, with one
+ * twist for tractability: the LPN access stream of the largest
+ * parameter sets is simulated on a row-range sample (SMARTS-style)
+ * and scaled — hit rates and DRAM service rates converge within a few
+ * hundred thousand accesses (full-stream mode is a flag away).
+ */
+
+#ifndef IRONMAN_NMP_IRONMAN_MODEL_H
+#define IRONMAN_NMP_IRONMAN_MODEL_H
+
+#include <cstdint>
+
+#include "nmp/area_power.h"
+#include "nmp/index_sort.h"
+#include "ot/ferret_params.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/pipeline.h"
+
+namespace ironman::nmp {
+
+/** Hardware configuration of one simulated system. */
+struct IronmanConfig
+{
+    unsigned numDimms = 2;              ///< PUs; Fig. 12 sweeps 1..8
+    unsigned ranksPerDimm = 2;
+    uint64_t cacheBytes = 256 * 1024;   ///< memory-side cache per rank
+    unsigned cacheWays = 8;
+    unsigned chachaCoresPerDimm = 4;    ///< area/power; feed the XOR tree
+    unsigned pipelineStages = 8;
+
+    /**
+     * SPCOT engine: the protocol chains trees through the per-level
+     * OT messages of one host session, so GGM expansion throughput is
+     * a fixed number of pipelines at the 45 nm logic clock, not a
+     * per-rank resource (Fig. 13(b)'s SPCOT curves are flat in the
+     * rank count). 1 pipeline @ 350 MHz reproduces the paper's
+     * absolute SPCOT latencies (e.g. 2^24 set, ChaCha 4-ary:
+     * 2100 trees -> 16.4 ms, the floor of the Fig. 12 range).
+     */
+    unsigned spcotPipelines = 1;
+    double spcotClockHz = 350e6;
+
+    /// Rank-NMP service clock (command-rate matched to DDR4-2400).
+    double logicClockHz = 1.2e9;
+
+    sim::DramTimings dram;
+    sim::DramGeometry geom;
+    SortOptions sort;
+
+    /// GGM expansion schedule (Ironman uses Hybrid; Fig. 8 ablation).
+    sim::ExpandStrategy schedule = sim::ExpandStrategy::Hybrid;
+
+    /// Rows of the LPN matrix simulated per rank before scaling
+    /// (0 = simulate every row).
+    size_t sampleRows = 200000;
+
+    unsigned totalRanks() const { return numDimms * ranksPerDimm; }
+    unsigned totalCores() const { return numDimms * chachaCoresPerDimm; }
+};
+
+/** Per-phase and roll-up results of one simulated extension. */
+struct IronmanReport
+{
+    // Phase latencies for one OTE execution (seconds).
+    double spcotSeconds = 0;
+    double lpnSeconds = 0;
+    double totalSeconds = 0;   ///< max(spcot, lpn) + serial tail
+
+    // SPCOT pipeline details.
+    sim::ExpandSchedule spcotSchedule;
+
+    // LPN details (one representative rank; ranks are symmetric).
+    sim::CacheStats cache;
+    sim::DramStats dram;
+    double lpnLogicSeconds = 0; ///< XOR-tree/cache service bound
+    double lpnDramSeconds = 0;  ///< DRAM service bound
+
+    // Energy for the full execution (J) and average power (W).
+    double energyJoule = 0;
+    double powerWatt = 0;
+    double areaMm2 = 0;
+
+    /** Output COTs per second of this execution. */
+    double
+    otThroughput(uint64_t usable_ots) const
+    {
+        return totalSeconds > 0 ? usable_ots / totalSeconds : 0;
+    }
+};
+
+/** The simulator. */
+class IronmanModel
+{
+  public:
+    IronmanModel(const IronmanConfig &config,
+                 const ot::FerretParams &params);
+
+    /** Simulate one OTE execution end to end. */
+    IronmanReport simulate() const;
+
+    /**
+     * Simulate only the LPN phase (used by the cache-sweep and
+     * ablation benches). @p override_sort substitutes the config's
+     * sorting options.
+     */
+    IronmanReport simulateLpn(const SortOptions &override_sort) const;
+
+    const IronmanConfig &config() const { return cfg; }
+
+  private:
+    IronmanReport lpnPhase(const SortOptions &sort) const;
+    void spcotPhase(IronmanReport &report) const;
+    void rollupEnergy(IronmanReport &report) const;
+
+    IronmanConfig cfg;
+    ot::FerretParams params;
+};
+
+} // namespace ironman::nmp
+
+#endif // IRONMAN_NMP_IRONMAN_MODEL_H

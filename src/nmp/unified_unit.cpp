@@ -1,0 +1,47 @@
+#include "nmp/unified_unit.h"
+
+#include "common/logging.h"
+
+namespace ironman::nmp {
+
+UnifiedUnit::UnifiedUnit(unsigned chacha_cores) : cores(chacha_cores)
+{
+    IRONMAN_CHECK(cores >= 1);
+}
+
+std::vector<Block>
+UnifiedUnit::levelSums(const std::vector<Block> &nodes, unsigned arity)
+{
+    std::vector<Block> sums(arity, Block::zero());
+    for (size_t j = 0; j < nodes.size(); ++j)
+        sums[j % arity] ^= nodes[j];
+    return sums;
+}
+
+uint64_t
+UnifiedUnit::levelCycles(uint64_t nodes, unsigned arity,
+                         UnitRole role) const
+{
+    // One pass folds the slot's nodes/arity members through the
+    // 2x-wide tree; log2(fan-in) drain cycles hide under pipelining.
+    uint64_t per_slot = (nodes / arity + fanIn() - 1) / fanIn();
+    switch (role) {
+      case UnitRole::KeyGenerator:
+        return per_slot * arity;       // all m sums
+      case UnitRole::MessageDecoder:
+        return per_slot + 1;           // one sum + write-back
+    }
+    IRONMAN_PANIC("unknown role");
+}
+
+uint64_t
+UnifiedUnit::treeCycles(uint64_t leaves, unsigned arity,
+                        UnitRole role) const
+{
+    uint64_t total = 0;
+    for (uint64_t width = arity; width <= leaves; width *= arity)
+        total += levelCycles(width, arity, role);
+    return total;
+}
+
+} // namespace ironman::nmp

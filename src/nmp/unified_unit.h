@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Unified Unit (Sec. 5.2, Fig. 10): one XOR tree that acts as
+ *
+ *  - Key Generator (sender role): folds a GGM level's nodes into the
+ *    per-slot sums K^i_c — all m of them, so m reduction passes;
+ *  - Message Decoder (receiver role): folds the known nodes of a level
+ *    into the single sum needed to recover the punctured child — one
+ *    pass, writing the recovered node back to the Node Buffer.
+ *
+ * The functional half is shared with the protocol code (the sums must
+ * equal GgmExpansion::levelSums); the timing half models a 2x-input
+ * XOR tree fed by x ChaCha cores, used by the role-switching analysis
+ * of Fig. 16.
+ */
+
+#ifndef IRONMAN_NMP_UNIFIED_UNIT_H
+#define IRONMAN_NMP_UNIFIED_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/block.h"
+
+namespace ironman::nmp {
+
+/** Role the host assigns to the unit for one OTE execution. */
+enum class UnitRole
+{
+    KeyGenerator,   ///< sender
+    MessageDecoder, ///< receiver
+};
+
+/** XOR-tree model of the Unified Unit. */
+class UnifiedUnit
+{
+  public:
+    /** @param chacha_cores x: cores feeding the 2x-input tree. */
+    explicit UnifiedUnit(unsigned chacha_cores);
+
+    /** Tree fan-in (blocks folded per cycle). */
+    unsigned fanIn() const { return 2 * cores; }
+
+    /**
+     * Functional reduction: per-slot XOR sums of a level's nodes
+     * (node j contributes to slot j % arity). Matches
+     * GgmExpansion::levelSums by construction — tested.
+     */
+    static std::vector<Block> levelSums(const std::vector<Block> &nodes,
+                                        unsigned arity);
+
+    /**
+     * Cycles to process one level of @p nodes nodes with arity m in
+     * the given role: the sender folds every slot (m passes), the
+     * receiver folds one slot and spends one cycle on the node-buffer
+     * write-back.
+     */
+    uint64_t levelCycles(uint64_t nodes, unsigned arity,
+                         UnitRole role) const;
+
+    /** Cycles for a whole tree (all levels, leaves l, arity m). */
+    uint64_t treeCycles(uint64_t leaves, unsigned arity,
+                        UnitRole role) const;
+
+  private:
+    unsigned cores;
+};
+
+} // namespace ironman::nmp
+
+#endif // IRONMAN_NMP_UNIFIED_UNIT_H

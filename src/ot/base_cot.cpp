@@ -1,0 +1,21 @@
+#include "ot/base_cot.h"
+
+namespace ironman::ot {
+
+std::pair<CotSenderBatch, CotReceiverBatch>
+dealBaseCots(Rng &rng, const Block &delta, size_t n)
+{
+    CotSenderBatch s;
+    s.delta = delta;
+    s.q = rng.nextBlocks(n);
+
+    CotReceiverBatch r;
+    r.choice = rng.nextBits(n);
+    r.t.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        r.t[i] = s.q[i] ^ scalarMul(r.choice.get(i), delta);
+
+    return {std::move(s), std::move(r)};
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Base-COT generation (the one-time initialization of PCG-style OTE).
+ *
+ * The paper excludes initialization from every measurement ("Except for
+ * the initialization phase that runs only once", Sec. 2.3) and treats
+ * base COTs as a consumable resource, normally produced from a handful
+ * of public-key base OTs plus IKNP-style extension. This repository
+ * substitutes a trusted dealer: a local function that samples a
+ * perfectly correlated batch for both parties. The substitution keeps
+ * every downstream byte and cycle identical (see DESIGN.md).
+ */
+
+#ifndef IRONMAN_OT_BASE_COT_H
+#define IRONMAN_OT_BASE_COT_H
+
+#include <utility>
+
+#include "common/rng.h"
+#include "ot/cot.h"
+
+namespace ironman::ot {
+
+/**
+ * Deal @p n COT correlations with offset @p delta.
+ *
+ * @param rng Randomness tape (deterministic for reproducible runs).
+ * @param delta Global correlation offset (sender's secret).
+ * @param n Number of correlations.
+ */
+std::pair<CotSenderBatch, CotReceiverBatch>
+dealBaseCots(Rng &rng, const Block &delta, size_t n);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_BASE_COT_H

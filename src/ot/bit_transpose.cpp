@@ -1,0 +1,65 @@
+#include "ot/bit_transpose.h"
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ironman::ot {
+
+void
+transpose64(uint64_t a[64])
+{
+    // The classic butterfly network transposes about the
+    // anti-diagonal under an LSB-first bit convention; reversing the
+    // row order before and after yields the main-diagonal transpose
+    // (a'[i] bit j == a[j] bit i).
+    for (int i = 0; i < 32; ++i)
+        std::swap(a[i], a[63 - i]);
+
+    uint64_t m = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            uint64_t t = (a[k] ^ (a[k + j] >> j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t << j;
+        }
+    }
+
+    for (int i = 0; i < 32; ++i)
+        std::swap(a[i], a[63 - i]);
+}
+
+std::vector<Block>
+transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n)
+{
+    IRONMAN_CHECK(columns.size() == 128);
+    IRONMAN_CHECK(n % 64 == 0);
+    for (const BitVec &c : columns)
+        IRONMAN_CHECK(c.size() >= n);
+
+    std::vector<Block> rows(n);
+    uint64_t tile[64];
+
+    // Process 64 rows at a time; within them, the low 64 and high 64
+    // columns each form one 64x64 tile.
+    for (size_t r0 = 0; r0 < n; r0 += 64) {
+        for (int half = 0; half < 2; ++half) {
+            // tile[c] = bits r0..r0+63 of column (half*64 + c).
+            for (int c = 0; c < 64; ++c)
+                tile[c] =
+                    columns[half * 64 + c].rawWords()[r0 / 64];
+            transpose64(tile);
+            // After transpose, tile[i] holds row (r0+i)'s 64 bits for
+            // this half's columns... with transpose64's convention,
+            // bit c of tile[i] corresponds to column c's bit i.
+            for (int i = 0; i < 64; ++i) {
+                if (half == 0)
+                    rows[r0 + i].lo = tile[i];
+                else
+                    rows[r0 + i].hi = tile[i];
+            }
+        }
+    }
+    return rows;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * 128 x n GF(2) matrix transpose — the core data movement of
+ * IKNP-style OT extension (column-major PRG output to row-major COT
+ * strings). Implemented with 64x64 bit-block transposes
+ * (Hacker's-Delight style butterflies).
+ */
+
+#ifndef IRONMAN_OT_BIT_TRANSPOSE_H
+#define IRONMAN_OT_BIT_TRANSPOSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+
+namespace ironman::ot {
+
+/** In-place transpose of a 64x64 bit matrix (row i = a[i]). */
+void transpose64(uint64_t a[64]);
+
+/**
+ * Transpose 128 column bit-vectors of length n (n a multiple of 64)
+ * into n row blocks: row i's bit j equals columns[j].get(i).
+ */
+std::vector<Block> transposeColumnsToBlocks(
+    const std::vector<BitVec> &columns, size_t n);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_BIT_TRANSPOSE_H

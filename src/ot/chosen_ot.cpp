@@ -1,0 +1,48 @@
+#include "ot/chosen_ot.h"
+
+#include "common/logging.h"
+
+namespace ironman::ot {
+
+void
+chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf, const Block *m0,
+             const Block *m1, size_t n, const Block &delta, const Block *q,
+             uint64_t tweak_base)
+{
+    BitVec d = ch.recvBits();
+    IRONMAN_CHECK(d.size() == n);
+
+    std::vector<Block> cipher(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+        bool di = d.get(i);
+        Block pad0 = crhf.hash(q[i] ^ scalarMul(di, delta), tweak_base + i);
+        Block pad1 =
+            crhf.hash(q[i] ^ scalarMul(!di, delta), tweak_base + i);
+        cipher[2 * i] = m0[i] ^ pad0;
+        cipher[2 * i + 1] = m1[i] ^ pad1;
+    }
+    ch.sendBlocks(cipher.data(), cipher.size());
+}
+
+void
+chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
+             const BitVec &choices, const BitVec &b, size_t b_offset,
+             const Block *t, size_t n, Block *out, uint64_t tweak_base)
+{
+    IRONMAN_CHECK(choices.size() == n);
+
+    BitVec d(n);
+    for (size_t i = 0; i < n; ++i)
+        d.set(i, choices.get(i) ^ b.get(b_offset + i));
+    ch.sendBits(d);
+
+    std::vector<Block> cipher(2 * n);
+    ch.recvBlocks(cipher.data(), cipher.size());
+
+    for (size_t i = 0; i < n; ++i) {
+        Block pad = crhf.hash(t[i], tweak_base + i);
+        out[i] = cipher[2 * i + choices.get(i)] ^ pad;
+    }
+}
+
+} // namespace ironman::ot

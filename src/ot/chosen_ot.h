@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Chosen-message 1-out-of-2 OT from COT correlations (Fig. 2).
+ *
+ * Given one COT correlation (q / b, t = q ^ b*Delta) and the MMO
+ * correlation-robust hash H, a chosen OT of the pair (m0, m1) with
+ * receiver choice c costs one bit receiver->sender and two blocks
+ * sender->receiver:
+ *
+ *   R->S:  d = c ^ b
+ *   S->R:  e_j = m_j ^ H(q ^ (j^d)*Delta, tweak)   for j in {0,1}
+ *   R:     m_c = e_c ^ H(t, tweak)
+ *
+ * The batch API moves all bits, then all ciphertexts, in single
+ * messages so a batch is one round regardless of size.
+ */
+
+#ifndef IRONMAN_OT_CHOSEN_OT_H
+#define IRONMAN_OT_CHOSEN_OT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "crypto/crhf.h"
+#include "net/channel.h"
+#include "ot/cot.h"
+
+namespace ironman::ot {
+
+/**
+ * Sender side of a batched chosen OT.
+ *
+ * @param ch Channel to the receiver.
+ * @param m0,m1 Message arrays, @p n each.
+ * @param delta COT offset.
+ * @param q Sender COT strings (n of them, consumed).
+ * @param tweak_base Hash tweaks; instance i uses tweak_base + i.
+ */
+void chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf,
+                  const Block *m0, const Block *m1, size_t n,
+                  const Block &delta, const Block *q, uint64_t tweak_base);
+
+/**
+ * Receiver side of a batched chosen OT.
+ *
+ * @param choices Receiver's selection bits (n of them).
+ * @param b COT choice bits (n, consumed, offset @p b_offset).
+ * @param t Receiver COT strings (n, consumed).
+ * @param out Receives m_{c_i}.
+ */
+void chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
+                  const BitVec &choices, const BitVec &b, size_t b_offset,
+                  const Block *t, size_t n, Block *out, uint64_t tweak_base);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_CHOSEN_OT_H

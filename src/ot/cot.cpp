@@ -1,0 +1,30 @@
+#include "ot/cot.h"
+
+#include "common/logging.h"
+
+namespace ironman::ot {
+
+bool
+verifyCotCorrelation(const CotSenderBatch &s, const CotReceiverBatch &r)
+{
+    if (s.size() != r.size() || r.choice.size() != r.size())
+        return false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        Block expect = s.q[i] ^ scalarMul(r.choice.get(i), s.delta);
+        if (expect != r.t[i])
+            return false;
+    }
+    return true;
+}
+
+size_t
+CotCursor::take(size_t n)
+{
+    IRONMAN_CHECK(next + n <= limit,
+                  "COT pool exhausted");
+    size_t first = next;
+    next += n;
+    return first;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Correlated-OT (COT) correlation types.
+ *
+ * A batch of COT correlations with global offset Delta (Sec. 2.1):
+ *   sender   holds q_i            (message pair is (q_i, q_i ^ Delta))
+ *   receiver holds b_i, t_i = q_i ^ b_i*Delta.
+ *
+ * Everything the OTE stack produces and consumes is expressed in these
+ * two views plus the CotPool cursor that hands out sub-ranges (base
+ * COTs for SPCOT levels, LPN inputs, bootstrap reserves).
+ */
+
+#ifndef IRONMAN_OT_COT_H
+#define IRONMAN_OT_COT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+
+namespace ironman::ot {
+
+/** Sender view of a COT batch. */
+struct CotSenderBatch
+{
+    Block delta;
+    std::vector<Block> q; ///< q_i; message pair is (q_i, q_i ^ delta)
+
+    size_t size() const { return q.size(); }
+};
+
+/** Receiver view of a COT batch. */
+struct CotReceiverBatch
+{
+    BitVec choice;         ///< b_i
+    std::vector<Block> t;  ///< t_i = q_i ^ b_i * delta
+
+    size_t size() const { return t.size(); }
+};
+
+/** True iff the two views satisfy t_i == q_i ^ b_i*delta for all i. */
+bool verifyCotCorrelation(const CotSenderBatch &s, const CotReceiverBatch &r);
+
+/**
+ * Cursor over a COT batch: protocols consume disjoint prefixes.
+ * Both parties must consume in the same order for indices to line up.
+ */
+class CotCursor
+{
+  public:
+    explicit CotCursor(size_t total) : limit(total) {}
+
+    /** Claim @p n correlations; returns the first index. */
+    size_t take(size_t n);
+
+    size_t used() const { return next; }
+    size_t remaining() const { return limit - next; }
+
+  private:
+    size_t next = 0;
+    size_t limit;
+};
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_COT_H

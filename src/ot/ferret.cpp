@@ -1,0 +1,172 @@
+#include "ot/ferret.h"
+
+#include "common/logging.h"
+#include "ot/spcot.h"
+
+namespace ironman::ot {
+
+namespace {
+
+LpnParams
+lpnParamsOf(const FerretParams &p)
+{
+    LpnParams lp;
+    lp.n = p.n;
+    lp.k = p.k;
+    lp.d = p.lpnWeight;
+    lp.seed = p.lpnSeed;
+    return lp;
+}
+
+SpcotConfig
+spcotConfigOf(const FerretParams &p)
+{
+    SpcotConfig cfg;
+    cfg.numLeaves = p.treeLeaves();
+    cfg.arity = p.arity;
+    cfg.prg = p.prg;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+FerretCotSender::FerretCotSender(net::Channel &channel,
+                                 const FerretParams &params,
+                                 const Block &delta,
+                                 std::vector<Block> base)
+    : ch(channel), p(params), delta_(delta), baseQ(std::move(base)),
+      encoder(lpnParamsOf(params))
+{
+    IRONMAN_CHECK(baseQ.size() >= p.reservedCots(),
+                  "need k + t*log2(l) base COTs");
+}
+
+std::vector<Block>
+FerretCotSender::extend(Rng &rng)
+{
+    Timer total;
+    const SpcotConfig cfg = spcotConfigOf(p);
+    const size_t bucket = p.bucketSize();
+    const size_t spcot_cots = p.t * cfg.cotsPerTree();
+
+    // 1. Split the base reserve.
+    const Block *lpn_r = baseQ.data();            // k entries
+    const Block *spcot_q = baseQ.data() + p.k;    // t*log2(l) entries
+
+    // 2. Interactive SPCOT.
+    Timer phase;
+    SpcotSenderOutput sp =
+        spcotSend(ch, cfg, p.t, delta_, spcot_q, rng, tweak);
+    stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+    stats_.add("spcot_prg_ops", sp.prgOps);
+
+    // 3. Scatter tree leaves into the length-n w vector, then LPN.
+    phase.reset();
+    std::vector<Block> z(p.n);
+    for (size_t tr = 0; tr < p.t; ++tr) {
+        size_t row0 = tr * bucket;
+        size_t width = std::min(bucket, p.n - row0);
+        std::copy_n(sp.w[tr].begin(), width, z.begin() + row0);
+    }
+    encoder.encodeBlocksParallel(lpn_r, z.data(), p.n, threads);
+    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+    stats_.add("lpn_index_aes_ops",
+               uint64_t(LpnEncoder::aesCallsPerRow) * p.n);
+
+    // 4. Bootstrap: re-reserve, hand out the rest.
+    const size_t reserved = p.k + spcot_cots;
+    baseQ.assign(z.begin(), z.begin() + reserved);
+    std::vector<Block> out(z.begin() + reserved, z.end());
+
+    stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
+    stats_.add("extensions", 1);
+    stats_.add("output_cots", out.size());
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+FerretCotReceiver::FerretCotReceiver(net::Channel &channel,
+                                     const FerretParams &params,
+                                     BitVec base_choice,
+                                     std::vector<Block> base_t)
+    : ch(channel), p(params), baseChoice(std::move(base_choice)),
+      baseT(std::move(base_t)), encoder(lpnParamsOf(params))
+{
+    IRONMAN_CHECK(baseT.size() >= p.reservedCots() &&
+                      baseChoice.size() == baseT.size(),
+                  "need k + t*log2(l) base COTs");
+}
+
+FerretCotReceiver::Output
+FerretCotReceiver::extend(Rng &rng)
+{
+    Timer total;
+    const SpcotConfig cfg = spcotConfigOf(p);
+    const size_t bucket = p.bucketSize();
+    const size_t spcot_cots = p.t * cfg.cotsPerTree();
+
+    // 1. Split the base reserve: bits e / blocks s feed LPN, the rest
+    // feeds SPCOT.
+    BitVec e(p.k);
+    for (size_t i = 0; i < p.k; ++i)
+        e.set(i, baseChoice.get(i));
+    const Block *lpn_s = baseT.data();
+
+    // 2. Sample one punctured position per bucket and run SPCOT.
+    std::vector<size_t> alphas(p.t);
+    for (size_t tr = 0; tr < p.t; ++tr) {
+        size_t row0 = tr * bucket;
+        size_t width = std::min(bucket, p.n - row0);
+        alphas[tr] = rng.nextBelow(width);
+    }
+
+    Timer phase;
+    SpcotReceiverOutput sp = spcotRecv(ch, cfg, p.t, alphas, baseChoice,
+                                       p.k, baseT.data() + p.k, tweak);
+    stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+    stats_.add("spcot_prg_ops", sp.prgOps);
+
+    // 3. Build (u, v) over the n rows, then LPN-encode into (x, y).
+    phase.reset();
+    BitVec x(p.n);
+    std::vector<Block> y(p.n);
+    for (size_t tr = 0; tr < p.t; ++tr) {
+        size_t row0 = tr * bucket;
+        size_t width = std::min(bucket, p.n - row0);
+        std::copy_n(sp.v[tr].begin(), width, y.begin() + row0);
+        x.set(row0 + alphas[tr], true);
+    }
+    encoder.encodeBits(e, x);
+    encoder.encodeBlocksParallel(lpn_s, y.data(), p.n, threads);
+    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+    stats_.add("lpn_index_aes_ops",
+               uint64_t(LpnEncoder::aesCallsPerRow) * p.n * 2);
+
+    // 4. Bootstrap.
+    const size_t reserved = p.k + spcot_cots;
+    BitVec next_choice(reserved);
+    for (size_t i = 0; i < reserved; ++i)
+        next_choice.set(i, x.get(i));
+    baseChoice = std::move(next_choice);
+    baseT.assign(y.begin(), y.begin() + reserved);
+
+    Output out;
+    out.choice.resize(p.n - reserved);
+    for (size_t i = 0; i < out.choice.size(); ++i)
+        out.choice.set(i, x.get(reserved + i));
+    out.t.assign(y.begin() + reserved, y.end());
+
+    stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
+    stats_.add("extensions", 1);
+    stats_.add("output_cots", out.t.size());
+    return out;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ferret-style PCG OT extension (Sec. 2.3): the end-to-end protocol
+ * that turns a reserve of base COTs into n fresh COT correlations per
+ * execution, with sub-linear communication.
+ *
+ * One extension (both parties):
+ *   1. Split the base reserve: k correlations feed the LPN input,
+ *      t*log2(l) feed the batched SPCOT.
+ *   2. Interactive SPCOT produces t single-point vectors covering the
+ *      n output rows (regular noise: row j belongs to bucket
+ *      j / bucketSize()).
+ *   3. Local LPN encoding: z = r*A ^ w (sender) / x = e*A ^ u,
+ *      y = s*A ^ v (receiver).
+ *   4. Bootstrap: the first reservedCots() outputs become the next
+ *      base reserve; the remaining usableOts() are handed out.
+ *
+ * Semi-honest security (the paper's frameworks are semi-honest);
+ * Ferret's malicious consistency check is out of scope and noted in
+ * DESIGN.md.
+ */
+
+#ifndef IRONMAN_OT_FERRET_H
+#define IRONMAN_OT_FERRET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/channel.h"
+#include "ot/cot.h"
+#include "ot/ferret_params.h"
+#include "ot/lpn.h"
+
+namespace ironman::ot {
+
+/** Sender half of the OTE protocol. */
+class FerretCotSender
+{
+  public:
+    /**
+     * @param base Base-COT sender strings; at least
+     *        params.reservedCots() entries (from dealBaseCots() or a
+     *        previous run).
+     */
+    FerretCotSender(net::Channel &ch, const FerretParams &params,
+                    const Block &delta, std::vector<Block> base);
+
+    /**
+     * Run one extension; returns usableOts() fresh sender strings
+     * (each defines the pair (q_i, q_i ^ delta)).
+     */
+    std::vector<Block> extend(Rng &rng);
+
+    const Block &delta() const { return delta_; }
+    const FerretParams &params() const { return p; }
+
+    /** Worker threads for the local LPN encode (CPU baseline knob). */
+    void setThreads(int n) { threads = n; }
+
+    /** Counters: prg ops, lpn AES ops, per-phase microseconds. */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    net::Channel &ch;
+    FerretParams p;
+    Block delta_;
+    std::vector<Block> baseQ;
+    LpnEncoder encoder;
+    uint64_t tweak = 1;
+    int threads = 1;
+    StatSet stats_;
+};
+
+/** Receiver half of the OTE protocol. */
+class FerretCotReceiver
+{
+  public:
+    /** Receiver output of one extension. */
+    struct Output
+    {
+        BitVec choice;          ///< x_i (pseudo-random choice bits)
+        std::vector<Block> t;   ///< t_i = q_i ^ x_i*delta
+    };
+
+    FerretCotReceiver(net::Channel &ch, const FerretParams &params,
+                      BitVec base_choice, std::vector<Block> base_t);
+
+    /** Run one extension; returns usableOts() fresh correlations. */
+    Output extend(Rng &rng);
+
+    const FerretParams &params() const { return p; }
+    void setThreads(int n) { threads = n; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    net::Channel &ch;
+    FerretParams p;
+    BitVec baseChoice;
+    std::vector<Block> baseT;
+    LpnEncoder encoder;
+    uint64_t tweak = 1;
+    int threads = 1;
+    StatSet stats_;
+};
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_FERRET_H

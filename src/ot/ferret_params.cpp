@@ -1,0 +1,55 @@
+#include "ot/ferret_params.h"
+
+#include "common/logging.h"
+
+namespace ironman::ot {
+
+FerretParams
+paperParamSet(int log_ots)
+{
+    FerretParams p;
+    switch (log_ots) {
+      case 20:
+        p = {"2^20", 1221516, 168000, 480, 4096, 139.8};
+        break;
+      case 21:
+        p = {"2^21", 2365652, 262000, 600, 4096, 141.8};
+        break;
+      case 22:
+        p = {"2^22", 4531924, 328000, 740, 8192, 132.3};
+        break;
+      case 23:
+        p = {"2^23", 8866608, 452000, 1024, 8192, 130.2};
+        break;
+      case 24:
+        p = {"2^24", 17262496, 480000, 2100, 8192, 135.4};
+        break;
+      default:
+        IRONMAN_FATAL("no Table 4 parameter set for 2^%d OTs", log_ots);
+    }
+    return p;
+}
+
+std::vector<FerretParams>
+allPaperParamSets()
+{
+    std::vector<FerretParams> sets;
+    for (int lg = 20; lg <= 24; ++lg)
+        sets.push_back(paperParamSet(lg));
+    return sets;
+}
+
+FerretParams
+tinyTestParams()
+{
+    FerretParams p;
+    p.name = "tiny";
+    p.n = 12800;
+    p.k = 1024;
+    p.t = 20;
+    p.paperEll = 1024;
+    p.paperBitSec = 0.0;
+    return p;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PCG-style OTE parameter sets (Table 4 of the paper).
+ *
+ * Each set fixes the LPN instance (n, k, t) and the GGM tree size l.
+ * Our tree size is derived as the next power of two >= ceil(n/t) (the
+ * regular-noise bucket width). For the 2^20..2^22 sets this equals the
+ * paper's l; for 2^23/2^24 the paper lists l = 8192 although
+ * ceil(n/t) > 8192 — we keep the paper's (n, k, t) and grow the tree
+ * to 16384 so every bucket is fully covered by its tree (documented in
+ * EXPERIMENTS.md; noise weight and security are unchanged).
+ */
+
+#ifndef IRONMAN_OT_FERRET_PARAMS_H
+#define IRONMAN_OT_FERRET_PARAMS_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/prg.h"
+
+namespace ironman::ot {
+
+/** One OTE protocol configuration. */
+struct FerretParams
+{
+    std::string name;     ///< e.g. "2^20"
+    size_t n = 0;         ///< LPN output length
+    size_t k = 0;         ///< LPN input length (pre-generated COTs)
+    size_t t = 0;         ///< noise weight == number of GGM trees
+    size_t paperEll = 0;  ///< l as printed in Table 4 (reporting only)
+    double paperBitSec = 0.0; ///< bit security claimed in Table 4
+
+    unsigned arity = 4;   ///< GGM tree arity (Ironman default: 4-ary)
+    crypto::PrgKind prg = crypto::PrgKind::ChaCha8;
+    unsigned lpnWeight = 10; ///< non-zeros per row of A
+    uint64_t lpnSeed = 0x120394785612aa01ULL;
+
+    /** Regular-noise bucket width: ceil(n / t). */
+    size_t bucketSize() const { return (n + t - 1) / t; }
+
+    /** GGM tree leaf count: next power of two >= bucketSize(). */
+    size_t treeLeaves() const { return std::bit_ceil(bucketSize()); }
+
+    /** Base COTs consumed per tree. */
+    size_t cotsPerTree() const { return std::countr_zero(treeLeaves()); }
+
+    /** Base COTs one extension consumes (and re-reserves): k + t*log2(l). */
+    size_t reservedCots() const { return k + t * cotsPerTree(); }
+
+    /** Fresh COTs each extension hands to the application. */
+    size_t usableOts() const { return n - reservedCots(); }
+};
+
+/**
+ * Table 4 parameter set for 2^logOts output OTs per execution,
+ * logOts in [20, 24].
+ */
+FerretParams paperParamSet(int log_ots);
+
+/** All five Table 4 sets, in order. */
+std::vector<FerretParams> allPaperParamSets();
+
+/**
+ * A small set for unit tests and examples: n = 12800, k = 1024,
+ * t = 20 (NOT cryptographically sized — protocol-correctness only).
+ */
+FerretParams tinyTestParams();
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_FERRET_PARAMS_H

@@ -1,0 +1,142 @@
+#include "ot/ggm_tree.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace ironman::ot {
+
+std::vector<unsigned>
+treeArities(size_t leaves, unsigned m)
+{
+    IRONMAN_CHECK(leaves >= 2 && std::has_single_bit(leaves),
+                  "leaf count must be a power of two");
+    IRONMAN_CHECK(m >= 2 && std::has_single_bit(uint64_t(m)),
+                  "arity must be a power of two");
+
+    unsigned total_bits = std::countr_zero(leaves);
+    unsigned m_bits = std::countr_zero(uint64_t(m));
+
+    std::vector<unsigned> arities;
+    unsigned rem = total_bits % m_bits;
+    if (rem)
+        arities.push_back(1u << rem);
+    for (unsigned i = 0; i < total_bits / m_bits; ++i)
+        arities.push_back(m);
+    return arities;
+}
+
+std::vector<unsigned>
+alphaDigits(size_t alpha, const std::vector<unsigned> &arities)
+{
+    size_t leaves = 1;
+    for (unsigned a : arities)
+        leaves *= a;
+    IRONMAN_CHECK(alpha < leaves);
+
+    std::vector<unsigned> digits(arities.size());
+    for (size_t i = arities.size(); i-- > 0;) {
+        digits[i] = alpha % arities[i];
+        alpha /= arities[i];
+    }
+    return digits;
+}
+
+GgmExpansion
+ggmExpand(crypto::TreePrg &prg, const Block &seed,
+          const std::vector<unsigned> &arities)
+{
+    GgmExpansion out;
+    out.levelSums.resize(arities.size());
+
+    std::vector<Block> cur{seed};
+    std::vector<Block> next;
+
+    for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
+        unsigned m = arities[lvl];
+        next.resize(cur.size() * m);
+        prg.expandLevel(cur.data(), cur.size(), next.data(), m);
+
+        auto &sums = out.levelSums[lvl];
+        sums.assign(m, Block::zero());
+        for (size_t j = 0; j < cur.size(); ++j)
+            for (unsigned c = 0; c < m; ++c)
+                sums[c] ^= next[j * m + c];
+
+        cur.swap(next);
+    }
+
+    out.leafSum = Block::zero();
+    for (const Block &b : cur)
+        out.leafSum ^= b;
+    out.leaves = std::move(cur);
+    return out;
+}
+
+GgmReconstruction
+ggmReconstruct(crypto::TreePrg &prg, size_t alpha,
+               const std::vector<unsigned> &arities,
+               const std::vector<std::vector<Block>> &known_sums)
+{
+    IRONMAN_CHECK(known_sums.size() == arities.size());
+    auto digits = alphaDigits(alpha, arities);
+
+    // cur holds all nodes of the current level; the entry at the path
+    // index `hole` is unknown (kept zero and never read as a parent).
+    std::vector<Block> cur{Block::zero()};
+    size_t hole = 0;
+
+    std::vector<Block> next;
+    std::vector<Block> acc;
+    std::vector<Block> known_parents;
+    std::vector<Block> known_children;
+
+    for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
+        unsigned m = arities[lvl];
+        unsigned digit = digits[lvl];
+        next.assign(cur.size() * m, Block::zero());
+
+        // Expand every *known* parent (batched, skipping the hole);
+        // accumulate per-slot sums over the children we just derived.
+        known_parents.clear();
+        for (size_t j = 0; j < cur.size(); ++j)
+            if (j != hole)
+                known_parents.push_back(cur[j]);
+        known_children.resize(known_parents.size() * m);
+        prg.expandLevel(known_parents.data(), known_parents.size(),
+                        known_children.data(), m);
+
+        acc.assign(m, Block::zero());
+        size_t src = 0;
+        for (size_t j = 0; j < cur.size(); ++j) {
+            if (j == hole)
+                continue;
+            for (unsigned c = 0; c < m; ++c) {
+                Block child = known_children[src * m + c];
+                next[j * m + c] = child;
+                acc[c] ^= child;
+            }
+            ++src;
+        }
+
+        // Recover the punctured parent's children at every slot except
+        // the path digit: child = K_c ^ (sum of known slot-c children).
+        IRONMAN_CHECK(known_sums[lvl].size() == m);
+        for (unsigned c = 0; c < m; ++c) {
+            if (c == digit)
+                continue;
+            next[hole * m + c] = known_sums[lvl][c] ^ acc[c];
+        }
+
+        hole = hole * m + digit;
+        cur.swap(next);
+    }
+
+    IRONMAN_CHECK(hole == alpha);
+    GgmReconstruction out;
+    out.leaves = std::move(cur);
+    out.alpha = alpha;
+    return out;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * GGM puncturable-PRF trees with mixed-radix m-ary expansion.
+ *
+ * The sender expands a seed level by level; at every level it records,
+ * for each child-slot residue c, the XOR of all nodes occupying slot c
+ * (the K^i_c "keys" of Sec. 2.3.1 / Fig. 3(b), generalized from
+ * even/odd to m residues). The receiver, holding for each level all
+ * sums except the one at its punctured digit, reconstructs every leaf
+ * except the one at index alpha.
+ *
+ * Tree shapes are mixed-radix: a leaf count of 8192 with target arity
+ * 4 becomes level arities [2, 4, 4, 4, 4, 4, 4]. This is how the
+ * paper's Table 4 trees (l = 8192, 4-ary) are realizable.
+ */
+
+#ifndef IRONMAN_OT_GGM_TREE_H
+#define IRONMAN_OT_GGM_TREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/block.h"
+#include "crypto/prg.h"
+
+namespace ironman::ot {
+
+/**
+ * Per-level arities for a tree with @p leaves leaves (power of two)
+ * and target arity @p m (power of two, >= 2). Lower-arity levels, if
+ * any, are placed at the top so the wide levels get the bulk of the
+ * nodes.
+ */
+std::vector<unsigned> treeArities(size_t leaves, unsigned m);
+
+/** Digits of @p alpha in the mixed radix of @p arities (MSD first). */
+std::vector<unsigned> alphaDigits(size_t alpha,
+                                  const std::vector<unsigned> &arities);
+
+/** Sender-side expansion result. */
+struct GgmExpansion
+{
+    /// All leaf values, in index order.
+    std::vector<Block> leaves;
+    /// levelSums[i][c]: XOR of slot-c nodes at level i+1 (the K keys).
+    std::vector<std::vector<Block>> levelSums;
+    /// XOR of all leaves (consumed by the final node-recovery step).
+    Block leafSum;
+};
+
+/** Expand @p seed through levels of @p arities. */
+GgmExpansion ggmExpand(crypto::TreePrg &prg, const Block &seed,
+                       const std::vector<unsigned> &arities);
+
+/** Receiver-side reconstruction result. */
+struct GgmReconstruction
+{
+    /// Leaf values; entry at alpha is Block::zero() (unknown).
+    std::vector<Block> leaves;
+    size_t alpha;
+};
+
+/**
+ * Reconstruct all leaves except @p alpha.
+ *
+ * @param known_sums known_sums[i][c] must equal the sender's
+ *        levelSums[i][c] for every c != digit_i(alpha); the entry at
+ *        the punctured digit is ignored (pass anything).
+ */
+GgmReconstruction ggmReconstruct(crypto::TreePrg &prg, size_t alpha,
+                                 const std::vector<unsigned> &arities,
+                                 const std::vector<std::vector<Block>>
+                                     &known_sums);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_GGM_TREE_H

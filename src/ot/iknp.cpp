@@ -1,0 +1,96 @@
+#include "ot/iknp.h"
+
+#include "common/logging.h"
+#include "crypto/aes.h"
+#include "ot/bit_transpose.h"
+
+namespace ironman::ot {
+
+namespace {
+
+/**
+ * Column PRG: n bits from a seed, offset by session so every
+ * extension consumes a fresh slice of the keystream.
+ */
+BitVec
+expandColumn(const Block &seed, size_t n, uint64_t session)
+{
+    crypto::Aes128 aes(seed);
+    BitVec out(n);
+    auto &words = out.rawWords();
+    const uint64_t base = session * ((n + 127) / 128 + 1);
+
+    std::vector<Block> ctr(words.size() / 2 + 1);
+    for (size_t i = 0; i < ctr.size(); ++i)
+        ctr[i] = Block::fromUint64(base + i);
+    std::vector<Block> ks(ctr.size());
+    aes.encryptBatch(ctr.data(), ks.data(), ctr.size());
+
+    for (size_t w = 0; w < words.size(); ++w) {
+        const Block &b = ks[w / 2];
+        words[w] = (w % 2 == 0) ? b.lo : b.hi;
+    }
+    if (n % 64)
+        words.back() &= (uint64_t(1) << (n % 64)) - 1;
+    return out;
+}
+
+} // namespace
+
+IknpSetup
+dealIknpSetup(Rng &rng)
+{
+    IknpSetup setup;
+    setup.delta = rng.nextBlock();
+    for (int j = 0; j < 128; ++j) {
+        setup.receiverSeeds[j][0] = rng.nextBlock();
+        setup.receiverSeeds[j][1] = rng.nextBlock();
+        setup.senderSeeds[j] =
+            setup.receiverSeeds[j][setup.delta.getBit(j)];
+    }
+    return setup;
+}
+
+std::vector<Block>
+iknpExtendSender(net::Channel &ch, const IknpSetup &setup, size_t n,
+                 uint64_t session)
+{
+    IRONMAN_CHECK(n % 64 == 0);
+
+    // Receive the derandomization columns d_j = c_j^0 ^ c_j^1 ^ x,
+    // then q_j = c_j^{s_j} ^ s_j * d_j = c_j^0 ^ s_j * x.
+    std::vector<BitVec> q(128);
+    for (int j = 0; j < 128; ++j) {
+        BitVec d = ch.recvBits();
+        IRONMAN_CHECK(d.size() == n);
+        BitVec col = expandColumn(setup.senderSeeds[j], n, session);
+        if (setup.delta.getBit(j))
+            col ^= d;
+        q[j] = std::move(col);
+    }
+
+    return transposeColumnsToBlocks(q, n);
+}
+
+std::vector<Block>
+iknpExtendReceiver(net::Channel &ch, const IknpSetup &setup,
+                   const BitVec &choices, uint64_t session)
+{
+    const size_t n = choices.size();
+    IRONMAN_CHECK(n % 64 == 0);
+
+    std::vector<BitVec> t(128);
+    for (int j = 0; j < 128; ++j) {
+        BitVec c0 = expandColumn(setup.receiverSeeds[j][0], n, session);
+        BitVec c1 = expandColumn(setup.receiverSeeds[j][1], n, session);
+        BitVec d = c0;
+        d ^= c1;
+        d ^= choices;
+        ch.sendBits(d);
+        t[j] = std::move(c0);
+    }
+
+    return transposeColumnsToBlocks(t, n);
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IKNP-style COT extension (Ishai-Kilian-Nissim-Petrank, CRYPTO'03) —
+ * the *linear-communication* OTE family the paper contrasts PCG-style
+ * OTE against (Sec. 2.3: PCG trades IKNP's n*lambda bits of wire for
+ * ~4.3x more computation).
+ *
+ * Semi-honest protocol: lambda = 128 base OTs seed column PRGs; each
+ * extension moves one n-bit derandomization column per base OT
+ * (16 bytes per COT), then a 128 x n bit transpose turns columns into
+ * row correlations q_i = t_i ^ x_i * Delta.
+ *
+ * Included so the repository can regenerate the paper's motivating
+ * comparison (bench/iknp_vs_pcg); Ferret remains the production path.
+ */
+
+#ifndef IRONMAN_OT_IKNP_H
+#define IRONMAN_OT_IKNP_H
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/rng.h"
+#include "net/channel.h"
+
+namespace ironman::ot {
+
+/** Output of the lambda base OTs (dealt, like the Ferret base COTs). */
+struct IknpSetup
+{
+    /// Extension sender's secret: Delta bit j selects seed j.
+    Block delta;
+    /// Sender view: the seed matching each Delta bit.
+    std::array<Block, 128> senderSeeds;
+    /// Receiver view: both seeds of every pair.
+    std::array<std::array<Block, 2>, 128> receiverSeeds;
+};
+
+/** Deal the one-time base-OT setup. */
+IknpSetup dealIknpSetup(Rng &rng);
+
+/**
+ * Sender side of one extension producing @p n COTs (n multiple of 64).
+ * @param session Must be fresh per extension (PRG column offset).
+ * @return q_i; the correlation pair is (q_i, q_i ^ delta).
+ */
+std::vector<Block> iknpExtendSender(net::Channel &ch,
+                                    const IknpSetup &setup, size_t n,
+                                    uint64_t session);
+
+/**
+ * Receiver side: chooses its own @p choices (size n).
+ * @return t_i = q_i ^ choices_i * delta.
+ */
+std::vector<Block> iknpExtendReceiver(net::Channel &ch,
+                                      const IknpSetup &setup,
+                                      const BitVec &choices,
+                                      uint64_t session);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_IKNP_H

@@ -1,0 +1,121 @@
+#include "ot/lpn.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "crypto/aes.h"
+
+namespace ironman::ot {
+
+namespace {
+
+/** AES key binding the matrix to its public seed. */
+Block
+matrixKey(uint64_t seed)
+{
+    return Block(seed ^ 0xa5a5a5a5deadbeefULL, ~seed);
+}
+
+constexpr size_t kRowsPerChunk = 256;
+
+} // namespace
+
+LpnEncoder::LpnEncoder(const LpnParams &params)
+    : p(params), aes(matrixKey(params.seed))
+{
+    IRONMAN_CHECK(p.n > 0 && p.k > 1 && p.d >= 1);
+    IRONMAN_CHECK(p.d <= 12, "3 AES calls supply at most 12 indices");
+}
+
+void
+LpnEncoder::rowIndices(uint64_t row, uint32_t *out) const
+{
+    rowIndicesBatch(row, 1, out);
+}
+
+void
+LpnEncoder::rowIndicesBatch(uint64_t row0, size_t count,
+                            uint32_t *out) const
+{
+    std::vector<Block> ctr(count * aesCallsPerRow);
+    std::vector<Block> ks(count * aesCallsPerRow);
+    for (size_t r = 0; r < count; ++r)
+        for (unsigned c = 0; c < aesCallsPerRow; ++c)
+            ctr[r * aesCallsPerRow + c] =
+                Block::fromUint64((row0 + r) * aesCallsPerRow + c);
+    aes.encryptBatch(ctr.data(), ks.data(), ctr.size());
+
+    for (size_t r = 0; r < count; ++r) {
+        uint32_t words[aesCallsPerRow * 4];
+        for (unsigned c = 0; c < aesCallsPerRow; ++c) {
+            const Block &b = ks[r * aesCallsPerRow + c];
+            words[4 * c + 0] = uint32_t(b.lo);
+            words[4 * c + 1] = uint32_t(b.lo >> 32);
+            words[4 * c + 2] = uint32_t(b.hi);
+            words[4 * c + 3] = uint32_t(b.hi >> 32);
+        }
+        for (unsigned i = 0; i < p.d; ++i)
+            out[r * p.d + i] = words[i] % uint32_t(p.k);
+    }
+}
+
+void
+LpnEncoder::encodeBlocks(const Block *in, Block *inout, uint64_t row0,
+                         size_t count) const
+{
+    std::vector<uint32_t> idx(kRowsPerChunk * p.d);
+    for (size_t done = 0; done < count; done += kRowsPerChunk) {
+        size_t chunk = std::min(kRowsPerChunk, count - done);
+        rowIndicesBatch(row0 + done, chunk, idx.data());
+        for (size_t r = 0; r < chunk; ++r) {
+            Block acc = inout[done + r];
+            const uint32_t *row_idx = &idx[r * p.d];
+            for (unsigned i = 0; i < p.d; ++i)
+                acc ^= in[row_idx[i]];
+            inout[done + r] = acc;
+        }
+    }
+}
+
+void
+LpnEncoder::encodeBlocksParallel(const Block *in, Block *inout,
+                                 size_t count, int threads) const
+{
+    if (threads <= 1) {
+        encodeBlocks(in, inout, 0, count);
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    size_t per = (count + threads - 1) / threads;
+    for (int w = 0; w < threads; ++w) {
+        size_t lo = std::min(count, w * per);
+        size_t hi = std::min(count, lo + per);
+        if (lo >= hi)
+            break;
+        pool.emplace_back([this, in, inout, lo, hi] {
+            encodeBlocks(in, inout + lo, lo, hi - lo);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+void
+LpnEncoder::encodeBits(const BitVec &in, BitVec &inout) const
+{
+    IRONMAN_CHECK(in.size() == p.k && inout.size() == p.n);
+    std::vector<uint32_t> idx(kRowsPerChunk * p.d);
+    for (size_t done = 0; done < p.n; done += kRowsPerChunk) {
+        size_t chunk = std::min(kRowsPerChunk, p.n - done);
+        rowIndicesBatch(done, chunk, idx.data());
+        for (size_t r = 0; r < chunk; ++r) {
+            bool acc = inout.get(done + r);
+            for (unsigned i = 0; i < p.d; ++i)
+                acc ^= in.get(idx[r * p.d + i]);
+            inout.set(done + r, acc);
+        }
+    }
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,121 @@
+#include "ot/one_of_n.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "ot/chosen_ot.h"
+
+namespace ironman::ot {
+
+namespace {
+
+unsigned
+indexBits(size_t n_msgs)
+{
+    IRONMAN_CHECK(n_msgs >= 2 && std::has_single_bit(n_msgs),
+                  "message count must be a power of two");
+    return std::countr_zero(n_msgs);
+}
+
+/**
+ * Pad of index @p idx: a hash chain over the keys selected by idx's
+ * bits (LSB first). keys[j*2 + bit] is key j of value bit.
+ */
+Block
+padOf(const crypto::Crhf &crhf, const Block *keys, unsigned bits,
+      uint32_t idx, uint64_t tweak_base)
+{
+    Block acc = Block::zero();
+    for (unsigned j = 0; j < bits; ++j) {
+        unsigned bit = (idx >> j) & 1;
+        acc = crhf.hash(acc ^ keys[2 * j + bit], tweak_base + j);
+    }
+    return acc;
+}
+
+} // namespace
+
+void
+oneOfNOtSend(net::Channel &ch, const crypto::Crhf &crhf,
+             const Block *msgs, size_t n_msgs, size_t batch,
+             const Block &delta, const Block *q, Rng &rng,
+             uint64_t &tweak)
+{
+    const unsigned bits = indexBits(n_msgs);
+    const size_t n_inst = batch * bits;
+
+    // Fresh key pairs; delivered through one batched chosen OT.
+    std::vector<Block> keys(batch * bits * 2);
+    for (Block &k : keys)
+        k = rng.nextBlock();
+
+    std::vector<Block> m0(n_inst), m1(n_inst);
+    for (size_t inst = 0; inst < batch; ++inst) {
+        for (unsigned j = 0; j < bits; ++j) {
+            m0[inst * bits + j] = keys[(inst * bits + j) * 2 + 0];
+            m1[inst * bits + j] = keys[(inst * bits + j) * 2 + 1];
+        }
+    }
+
+    uint64_t ot_tweak = tweak;
+    uint64_t pad_tweak = tweak + n_inst;
+    tweak += n_inst + batch * bits;
+
+    chosenOtSend(ch, crhf, m0.data(), m1.data(), n_inst, delta, q,
+                 ot_tweak);
+
+    // Every message masked by its index's pad.
+    std::vector<Block> cipher(batch * n_msgs);
+    for (size_t inst = 0; inst < batch; ++inst) {
+        const Block *inst_keys = &keys[inst * bits * 2];
+        for (uint32_t i = 0; i < n_msgs; ++i) {
+            Block pad = padOf(crhf, inst_keys, bits, i,
+                              pad_tweak + inst * bits);
+            cipher[inst * n_msgs + i] = msgs[inst * n_msgs + i] ^ pad;
+        }
+    }
+    ch.sendBlocks(cipher.data(), cipher.size());
+}
+
+std::vector<Block>
+oneOfNOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
+             const std::vector<uint32_t> &choices, size_t n_msgs,
+             const BitVec &b, size_t b_offset, const Block *t,
+             uint64_t &tweak)
+{
+    const unsigned bits = indexBits(n_msgs);
+    const size_t batch = choices.size();
+    const size_t n_inst = batch * bits;
+
+    BitVec bit_choices(n_inst);
+    for (size_t inst = 0; inst < batch; ++inst) {
+        IRONMAN_CHECK(choices[inst] < n_msgs);
+        for (unsigned j = 0; j < bits; ++j)
+            bit_choices.set(inst * bits + j,
+                            (choices[inst] >> j) & 1);
+    }
+
+    uint64_t ot_tweak = tweak;
+    uint64_t pad_tweak = tweak + n_inst;
+    tweak += n_inst + batch * bits;
+
+    std::vector<Block> got_keys(n_inst);
+    chosenOtRecv(ch, crhf, bit_choices, b, b_offset, t, n_inst,
+                 got_keys.data(), ot_tweak);
+
+    std::vector<Block> cipher(batch * n_msgs);
+    ch.recvBlocks(cipher.data(), cipher.size());
+
+    std::vector<Block> out(batch);
+    for (size_t inst = 0; inst < batch; ++inst) {
+        // Chain the received keys in index-bit order.
+        Block acc = Block::zero();
+        for (unsigned j = 0; j < bits; ++j)
+            acc = crhf.hash(acc ^ got_keys[inst * bits + j],
+                            pad_tweak + inst * bits + j);
+        out[inst] = cipher[inst * n_msgs + choices[inst]] ^ acc;
+    }
+    return out;
+}
+
+} // namespace ironman::ot

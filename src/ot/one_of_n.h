@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Chosen 1-out-of-N oblivious transfer (N a power of two) from
+ * log2(N) COT correlations — the building block of the table-lookup
+ * protocols (Sec. 2.2: "comparison, truncation, or table lookup")
+ * that frameworks like CrypTFlow2/SiRNN/Bolt use for GELU, Softmax
+ * and friends.
+ *
+ * Construction: log N batched chosen 1-of-2 OTs deliver one key of
+ * each pair (k_j^0, k_j^1) according to the receiver's index bits; the
+ * pad of message i is a hash chain over the keys selected by i's
+ * bits, so the receiver can strip exactly one ciphertext.
+ */
+
+#ifndef IRONMAN_OT_ONE_OF_N_H
+#define IRONMAN_OT_ONE_OF_N_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/rng.h"
+#include "crypto/crhf.h"
+#include "net/channel.h"
+
+namespace ironman::ot {
+
+/**
+ * Sender side of @p batch parallel 1-of-N OTs.
+ *
+ * @param msgs batch*N blocks, instance-major (msgs[inst*N + i]).
+ * @param q Sender COT strings, batch*log2(N), consumed in order.
+ * @param rng Source of the per-instance key pairs.
+ * @param tweak In/out hash tweak counter (shared with the receiver).
+ */
+void oneOfNOtSend(net::Channel &ch, const crypto::Crhf &crhf,
+                  const Block *msgs, size_t n_msgs, size_t batch,
+                  const Block &delta, const Block *q, Rng &rng,
+                  uint64_t &tweak);
+
+/**
+ * Receiver side; @p choices holds one index < n_msgs per instance.
+ * Returns msgs[inst*N + choices[inst]] for each instance.
+ */
+std::vector<Block> oneOfNOtRecv(net::Channel &ch,
+                                const crypto::Crhf &crhf,
+                                const std::vector<uint32_t> &choices,
+                                size_t n_msgs, const BitVec &b,
+                                size_t b_offset, const Block *t,
+                                uint64_t &tweak);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_ONE_OF_N_H

@@ -1,0 +1,58 @@
+#include "ot/security.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ironman::ot {
+
+namespace {
+
+/// Matrix-multiplication exponent used for linear-algebra cost.
+constexpr double kOmega = 2.8;
+
+/** log2(n choose k) via lgamma. */
+double
+log2Choose(double n, double k)
+{
+    if (k < 0 || k > n)
+        return -1e9;
+    return (std::lgamma(n + 1) - std::lgamma(k + 1) -
+            std::lgamma(n - k + 1)) / std::log(2.0);
+}
+
+} // namespace
+
+double
+LpnSecurityEstimate::bits() const
+{
+    return std::min({gaussBits, isdBits, exhaustiveBits});
+}
+
+LpnSecurityEstimate
+estimateLpnSecurity(size_t n_in, size_t k_in, size_t t_in)
+{
+    const double n = double(n_in);
+    const double k = double(k_in);
+    const double t = double(t_in);
+
+    LpnSecurityEstimate e{};
+
+    // Pooled Gauss: a draw of k coordinates is noiseless with
+    // probability ((n-t)/n)^k; each trial costs one k x k solve.
+    const double log2_p_noiseless = k * std::log2((n - t) / n);
+    e.gaussBits = kOmega * std::log2(k) - log2_p_noiseless;
+
+    // Prange ISD: a random size-(n-k) information set contains all t
+    // noise positions with probability C(n-k, t)/C(n, t); each trial
+    // costs one (n-k)-sized solve.
+    e.isdBits = kOmega * std::log2(n - k) +
+                (log2Choose(n, t) - log2Choose(n - k, t));
+
+    // Exhaustive search over noise supports (regular noise: one
+    // position per bucket of n/t).
+    e.exhaustiveBits = t * std::log2(n / t) + kOmega * std::log2(k);
+
+    return e;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bit-security estimator for the primal LPN instances of Table 4.
+ *
+ * Follows the standard attack-cost methodology for PCG parameters
+ * (Boyle et al., and Liu-Wang-Yang-Yu "The Hardness of LPN over Any
+ * Integer Ring and Field for PCG Applications" [59], which the paper
+ * cites for its parameter validation): the claimed security is the
+ * minimum log2 cost over
+ *
+ *   - Pooled Gaussian elimination: draw k samples, succeed if all are
+ *     noiseless; cost ~ k^omega / Pr[noiseless draw],
+ *   - Prange-style information-set decoding on the dual code,
+ *   - exhaustive noise-support search (never the minimum here but
+ *     included for completeness).
+ *
+ * Constants differ slightly between published estimators; ours tracks
+ * the Table 4 numbers within a few bits (recorded in EXPERIMENTS.md).
+ */
+
+#ifndef IRONMAN_OT_SECURITY_H
+#define IRONMAN_OT_SECURITY_H
+
+#include <cstddef>
+
+namespace ironman::ot {
+
+/** Attack-cost estimates, all in log2(bit operations). */
+struct LpnSecurityEstimate
+{
+    double gaussBits;        ///< pooled Gaussian elimination
+    double isdBits;          ///< Prange information-set decoding
+    double exhaustiveBits;   ///< brute-force noise positions
+
+    /** Claimed security: the cheapest attack. */
+    double bits() const;
+};
+
+/**
+ * Estimate the security of LPN with @p n samples, dimension @p k and
+ * (regular) noise weight @p t.
+ */
+LpnSecurityEstimate estimateLpnSecurity(size_t n, size_t k, size_t t);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_SECURITY_H

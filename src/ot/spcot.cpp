@@ -1,0 +1,205 @@
+#include "ot/spcot.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "crypto/crhf.h"
+#include "ot/chosen_ot.h"
+#include "ot/ggm_tree.h"
+
+namespace ironman::ot {
+
+std::vector<unsigned>
+SpcotConfig::levelArities() const
+{
+    return treeArities(numLeaves, arity);
+}
+
+size_t
+SpcotConfig::cotsPerTree() const
+{
+    return std::countr_zero(numLeaves);
+}
+
+namespace {
+
+/** log2 of a power-of-two arity. */
+unsigned
+log2Arity(unsigned m)
+{
+    return std::countr_zero(m);
+}
+
+} // namespace
+
+SpcotSenderOutput
+spcotSend(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+          const Block &delta, const Block *q, Rng &rng, uint64_t &tweak)
+{
+    const auto arities = cfg.levelArities();
+    crypto::TreePrg main_prg(cfg.prg, cfg.arity);
+    crypto::TreePrg mini_prg(cfg.prg, 2);
+    crypto::Crhf crhf;
+
+    SpcotSenderOutput out;
+    out.w.resize(num_trees);
+
+    // OT instance messages, in traversal order.
+    std::vector<Block> ot_m0, ot_m1;
+    // Masked K sums for the (m-1)-of-m levels + final recovery blocks.
+    std::vector<Block> extra;
+
+    // Tweak layout: [tweak, +n_inst) pads the chosen OTs,
+    // [tweak+n_inst, ...) pads the masked sums. Both parties derive
+    // the same split, so reserve the OT range after counting.
+    size_t n_inst = num_trees * cfg.cotsPerTree();
+    uint64_t sum_tweak = tweak + n_inst;
+
+    for (size_t tr = 0; tr < num_trees; ++tr) {
+        Block seed = rng.nextBlock();
+        GgmExpansion exp = ggmExpand(main_prg, seed, arities);
+
+        for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
+            unsigned m = arities[lvl];
+            const auto &sums = exp.levelSums[lvl];
+            if (m == 2) {
+                ot_m0.push_back(sums[0]);
+                ot_m1.push_back(sums[1]);
+                continue;
+            }
+
+            // (m-1)-out-of-m OT from an m-leaf binary mini GGM tree.
+            Block mini_seed = rng.nextBlock();
+            auto mini_arities = treeArities(m, 2);
+            GgmExpansion mini = ggmExpand(mini_prg, mini_seed,
+                                          mini_arities);
+            for (size_t ml = 0; ml < mini_arities.size(); ++ml) {
+                ot_m0.push_back(mini.levelSums[ml][0]);
+                ot_m1.push_back(mini.levelSums[ml][1]);
+            }
+            for (unsigned c = 0; c < m; ++c)
+                extra.push_back(sums[c] ^
+                                crhf.hash(mini.leaves[c], sum_tweak++));
+        }
+
+        // Final node recovery: Delta ^ XOR of all leaves (step 4 of
+        // Fig. 3(b)).
+        extra.push_back(exp.leafSum ^ delta);
+        out.w[tr] = std::move(exp.leaves);
+    }
+
+    IRONMAN_CHECK(ot_m0.size() == n_inst);
+    chosenOtSend(ch, crhf, ot_m0.data(), ot_m1.data(), n_inst, delta, q,
+                 tweak);
+    ch.sendBlocks(extra.data(), extra.size());
+
+    tweak = sum_tweak;
+    out.prgOps = main_prg.ops() + mini_prg.ops();
+    return out;
+}
+
+SpcotReceiverOutput
+spcotRecv(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+          const std::vector<size_t> &alphas, const BitVec &b,
+          size_t b_offset, const Block *t, uint64_t &tweak)
+{
+    IRONMAN_CHECK(alphas.size() == num_trees);
+    const auto arities = cfg.levelArities();
+    crypto::TreePrg main_prg(cfg.prg, cfg.arity);
+    crypto::TreePrg mini_prg(cfg.prg, 2);
+    crypto::Crhf crhf;
+
+    size_t n_inst = num_trees * cfg.cotsPerTree();
+    uint64_t sum_tweak = tweak + n_inst;
+
+    // Choice bits in traversal order: !digit for arity-2 levels,
+    // !digit-bit for each mini level of wider ones.
+    BitVec choices;
+    size_t extra_blocks = 0;
+    std::vector<std::vector<unsigned>> digits(num_trees);
+    for (size_t tr = 0; tr < num_trees; ++tr) {
+        digits[tr] = alphaDigits(alphas[tr], arities);
+        for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
+            unsigned m = arities[lvl];
+            unsigned digit = digits[tr][lvl];
+            if (m == 2) {
+                choices.pushBack(!(digit & 1));
+            } else {
+                unsigned bits = log2Arity(m);
+                for (unsigned j = 0; j < bits; ++j) {
+                    unsigned bit = (digit >> (bits - 1 - j)) & 1;
+                    choices.pushBack(!bit);
+                }
+                extra_blocks += m;
+            }
+        }
+        extra_blocks += 1; // final recovery block
+    }
+    IRONMAN_CHECK(choices.size() == n_inst);
+
+    std::vector<Block> ot_out(n_inst);
+    chosenOtRecv(ch, crhf, choices, b, b_offset, t, n_inst, ot_out.data(),
+                 tweak);
+
+    std::vector<Block> extra(extra_blocks);
+    ch.recvBlocks(extra.data(), extra.size());
+
+    SpcotReceiverOutput out;
+    out.v.resize(num_trees);
+    out.alpha = alphas;
+
+    size_t inst = 0;
+    size_t extra_pos = 0;
+    for (size_t tr = 0; tr < num_trees; ++tr) {
+        std::vector<std::vector<Block>> known(arities.size());
+        for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
+            unsigned m = arities[lvl];
+            unsigned digit = digits[tr][lvl];
+            known[lvl].assign(m, Block::zero());
+
+            if (m == 2) {
+                known[lvl][digit ^ 1] = ot_out[inst++];
+                continue;
+            }
+
+            // Reconstruct the mini tree, then unmask the real sums.
+            unsigned bits = log2Arity(m);
+            auto mini_arities = treeArities(m, 2);
+            std::vector<std::vector<Block>> mini_known(bits);
+            for (unsigned j = 0; j < bits; ++j) {
+                unsigned bit = (digit >> (bits - 1 - j)) & 1;
+                mini_known[j].assign(2, Block::zero());
+                mini_known[j][bit ^ 1] = ot_out[inst++];
+            }
+            GgmReconstruction mini = ggmReconstruct(mini_prg, digit,
+                                                    mini_arities,
+                                                    mini_known);
+            for (unsigned c = 0; c < m; ++c) {
+                Block masked = extra[extra_pos++];
+                uint64_t tw = sum_tweak++;
+                if (c == digit)
+                    continue; // r_digit unknown by design
+                known[lvl][c] = masked ^ crhf.hash(mini.leaves[c], tw);
+            }
+        }
+
+        GgmReconstruction rec = ggmReconstruct(main_prg, alphas[tr],
+                                               arities, known);
+
+        // Final node recovery: v_alpha = (Delta ^ sum of all w) ^
+        // (sum of the leaves we know) = w_alpha ^ Delta.
+        Block final_block = extra[extra_pos++];
+        Block known_sum = Block::zero();
+        for (const Block &leaf : rec.leaves)
+            known_sum ^= leaf;
+        rec.leaves[alphas[tr]] = final_block ^ known_sum;
+
+        out.v[tr] = std::move(rec.leaves);
+    }
+
+    tweak = sum_tweak;
+    out.prgOps = main_prg.ops() + mini_prg.ops();
+    return out;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Batched SPCOT (single-point correlated OT), Sec. 2.3.1 and 4 of the
+ * paper.
+ *
+ * One SPCOT instance over a tree with l leaves gives:
+ *   sender:   w_0..w_{l-1}  (the GGM leaves) and its global Delta
+ *   receiver: alpha, v_0..v_{l-1}  with  w_j = v_j ^ (j==alpha)*Delta
+ *
+ * Per tree level of arity m the receiver obtains all child-slot sums
+ * except the one at its path digit:
+ *   - m == 2: one chosen 1-of-2 OT on (K_0, K_1), choice = !digit
+ *             (consumes 1 base COT);
+ *   - m  > 2: an (m-1)-out-of-m OT built from an m-leaf binary
+ *             mini-GGM tree (Sec. 4.2): log2(m) chosen OTs deliver the
+ *             mini level sums, the mini leaves r_c then pad the real
+ *             sums (y_c = K_c ^ H(r_c)). Consumes log2(m) base COTs.
+ *
+ * Every OT of every level of every tree is batched into a single
+ * round: the receiver's choices depend only on its alphas, never on
+ * sender data, so the whole batched SPCOT costs one round trip plus
+ * one sender->receiver flush (matching Ferret's low-round design —
+ * this is what makes the WAN rows of Fig. 7(c) flat in tree depth).
+ *
+ * Base-COT consumption per tree is exactly log2(l) independent of m.
+ */
+
+#ifndef IRONMAN_OT_SPCOT_H
+#define IRONMAN_OT_SPCOT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "crypto/prg.h"
+#include "net/channel.h"
+
+namespace ironman::ot {
+
+/** Shape of every tree in a batched SPCOT execution. */
+struct SpcotConfig
+{
+    size_t numLeaves = 4096;                      ///< l (power of two)
+    unsigned arity = 4;                           ///< m (power of two)
+    crypto::PrgKind prg = crypto::PrgKind::ChaCha8;
+
+    /** Per-level arities (mixed radix; see treeArities()). */
+    std::vector<unsigned> levelArities() const;
+
+    /** Base COTs consumed per tree: log2(numLeaves). */
+    size_t cotsPerTree() const;
+};
+
+/** Sender output of a batched SPCOT. */
+struct SpcotSenderOutput
+{
+    /// w[tree][leaf] — the expanded GGM leaves.
+    std::vector<std::vector<Block>> w;
+    /// PRG primitive invocations (for the Fig. 7(a) operation counts).
+    uint64_t prgOps = 0;
+};
+
+/** Receiver output of a batched SPCOT. */
+struct SpcotReceiverOutput
+{
+    /// v[tree][leaf]; v = w except v[alpha] = w[alpha] ^ Delta.
+    std::vector<std::vector<Block>> v;
+    std::vector<size_t> alpha;
+    uint64_t prgOps = 0;
+};
+
+/**
+ * Sender side of a batched SPCOT over @p num_trees trees.
+ *
+ * @param q Base-COT sender strings, num_trees*cotsPerTree() entries,
+ *          consumed in traversal order (must mirror the receiver).
+ * @param rng Source of the tree and mini-tree seeds.
+ * @param tweak In/out hash-tweak counter shared by both parties.
+ */
+SpcotSenderOutput
+spcotSend(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+          const Block &delta, const Block *q, Rng &rng, uint64_t &tweak);
+
+/**
+ * Receiver side of a batched SPCOT.
+ *
+ * @param alphas Punctured index per tree, each < cfg.numLeaves.
+ * @param b,b_offset,t Base-COT receiver view (choice bits + strings),
+ *        consumed from @p b_offset in the same order as the sender.
+ */
+SpcotReceiverOutput
+spcotRecv(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+          const std::vector<size_t> &alphas, const BitVec &b,
+          size_t b_offset, const Block *t, uint64_t &tweak);
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_SPCOT_H

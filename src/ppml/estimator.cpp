@@ -1,0 +1,93 @@
+#include "ppml/estimator.h"
+
+#include "common/logging.h"
+
+namespace ironman::ppml {
+
+namespace {
+
+/** COTs produced per OTE execution, for round accounting. */
+constexpr double kCotsPerExecution = 4.0e6;
+
+LatencyBreakdown
+combine(uint64_t total_cots, uint64_t online_bytes, double online_rounds,
+        double online_compute_seconds, double linear_seconds,
+        double linear_bytes, const FrameworkModel &framework,
+        const net::NetworkModel &network, const OtEngine &engine)
+{
+    LatencyBreakdown b;
+    b.totalCots = total_cots;
+    b.onlineBytes = online_bytes;
+
+    b.linearSeconds = linear_seconds;
+    b.onlineComputeSeconds = online_compute_seconds;
+    b.oteComputeSeconds =
+        engine.cotsPerSecond > 0 ? total_cots / engine.cotsPerSecond : 0;
+
+    // Preprocessing wire: sub-linear PCG communication, two rounds per
+    // execution.
+    double preproc_bytes = total_cots * framework.preprocBytesPerCot();
+    double preproc_rounds =
+        2.0 * (double(total_cots) / kCotsPerExecution + 1);
+
+    b.rounds = online_rounds + preproc_rounds;
+    b.commSeconds =
+        network.seconds(online_bytes + uint64_t(preproc_bytes) +
+                            uint64_t(linear_bytes),
+                        b.rounds);
+
+    // Share conversions, truncations, key setup: a few percent slack.
+    b.otherSeconds = 0.04 * (b.linearSeconds + b.oteComputeSeconds +
+                             b.onlineComputeSeconds + b.commSeconds);
+    return b;
+}
+
+} // namespace
+
+LatencyBreakdown
+estimateInference(const ModelProfile &model,
+                  const FrameworkModel &framework,
+                  const net::NetworkModel &network, const OtEngine &engine)
+{
+    IRONMAN_CHECK(framework.supports(model),
+                  "%s cannot run %s", framework.name().c_str(),
+                  model.name.c_str());
+
+    uint64_t total_cots = 0;
+    uint64_t online_bytes = 0;
+    double online_compute = 0;
+    for (const OpCount &c : model.nonlinear) {
+        OpCost cost = framework.cost(c.op);
+        total_cots += uint64_t(cost.cotsPerElement * c.elements);
+        online_bytes += uint64_t(cost.onlineBytesPerElement * c.elements);
+        online_compute += cost.onlineSecondsPerElement * c.elements;
+    }
+
+    double online_rounds =
+        double(model.protocolLayers) * framework.roundsPerLayer();
+    double linear_seconds =
+        model.linearGmacs * framework.linearSecondsPerGmac();
+    double linear_bytes =
+        model.linearGmacs * framework.linearBytesPerGmac();
+
+    return combine(total_cots, online_bytes, online_rounds,
+                   online_compute, linear_seconds, linear_bytes,
+                   framework, network, engine);
+}
+
+LatencyBreakdown
+estimateNonlinearOp(NonlinearOp op, uint64_t elements,
+                    const FrameworkModel &framework,
+                    const net::NetworkModel &network,
+                    const OtEngine &engine)
+{
+    OpCost cost = framework.cost(op);
+    uint64_t total_cots = uint64_t(cost.cotsPerElement * elements);
+    uint64_t online_bytes =
+        uint64_t(cost.onlineBytesPerElement * elements);
+    double online_compute = cost.onlineSecondsPerElement * elements;
+    return combine(total_cots, online_bytes, framework.roundsPerLayer(),
+                   online_compute, 0.0, 0.0, framework, network, engine);
+}
+
+} // namespace ironman::ppml

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * End-to-end private-inference latency estimator (Table 5, Fig. 1(a),
+ * Fig. 15): combines the model zoo's op counts, a framework cost
+ * model, a network setting and an OT engine (the measured CPU
+ * software stack or the simulated Ironman accelerator) into the
+ * latency decomposition the paper reports.
+ */
+
+#ifndef IRONMAN_PPML_ESTIMATOR_H
+#define IRONMAN_PPML_ESTIMATOR_H
+
+#include <cstdint>
+
+#include "net/channel.h"
+#include "ppml/framework.h"
+#include "ppml/model_zoo.h"
+
+namespace ironman::ppml {
+
+/** Where the COT correlations come from. */
+struct OtEngine
+{
+    const char *name;
+    double cotsPerSecond;
+
+    static OtEngine
+    cpu(double cots_per_second)
+    {
+        return {"CPU", cots_per_second};
+    }
+
+    static OtEngine
+    ironman(double cots_per_second)
+    {
+        return {"Ironman", cots_per_second};
+    }
+};
+
+/** Latency decomposition of one private inference. */
+struct LatencyBreakdown
+{
+    double linearSeconds = 0;        ///< HE linear layers
+    double oteComputeSeconds = 0;    ///< OT-extension computation
+    double onlineComputeSeconds = 0; ///< online protocol CPU work
+    double commSeconds = 0;          ///< wire time (online + preproc)
+    double otherSeconds = 0;         ///< truncation/conversion slack
+
+    uint64_t totalCots = 0;
+    uint64_t onlineBytes = 0;
+    double rounds = 0;
+
+    double
+    totalSeconds() const
+    {
+        return linearSeconds + oteComputeSeconds +
+               onlineComputeSeconds + commSeconds + otherSeconds;
+    }
+
+    /** OT-extension share of end-to-end time (Fig. 1(a)). */
+    double
+    oteFraction() const
+    {
+        double t = totalSeconds();
+        return t > 0 ? oteComputeSeconds / t : 0;
+    }
+};
+
+/** Estimate one inference of @p model under @p framework. */
+LatencyBreakdown estimateInference(const ModelProfile &model,
+                                   const FrameworkModel &framework,
+                                   const net::NetworkModel &network,
+                                   const OtEngine &engine);
+
+/**
+ * Latency of evaluating @p elements instances of a single nonlinear
+ * op (Fig. 15's per-op benchmark), decomposed the same way.
+ */
+LatencyBreakdown estimateNonlinearOp(NonlinearOp op, uint64_t elements,
+                                     const FrameworkModel &framework,
+                                     const net::NetworkModel &network,
+                                     const OtEngine &engine);
+
+} // namespace ironman::ppml
+
+#endif // IRONMAN_PPML_ESTIMATOR_H

@@ -1,0 +1,92 @@
+#include "ppml/framework.h"
+
+namespace ironman::ppml {
+
+FrameworkModel
+FrameworkModel::crypTFlow2()
+{
+    FrameworkModel f;
+    f.name_ = "CrypTFlow2";
+    // 2^25 COTs for ResNet18's 802,816-ReLU first layer (Sec. 1).
+    f.relu_ = {42, 280, 2.5e-6};
+    f.maxpool_ = {126, 840, 7.0e-6}; // 3 comparisons per 2x2 window
+    f.roundsPerLayer_ = 12;
+    f.linearSecPerGmac_ = 15.0;  // SCI-HE convolutions
+    f.linearBytesPerGmac_ = 22e6;
+    f.cnnOnly_ = true;
+    return f;
+}
+
+FrameworkModel
+FrameworkModel::cheetah()
+{
+    FrameworkModel f;
+    f.name_ = "Cheetah";
+    // Silent-OT based millionaire + 1-bit approximate truncation.
+    f.relu_ = {7, 110, 1.2e-6};
+    f.maxpool_ = {21, 330, 3.6e-6};
+    f.roundsPerLayer_ = 7;
+    f.linearSecPerGmac_ = 3.5;   // lattice tricks: much cheaper convs
+    f.linearBytesPerGmac_ = 6e6;
+    f.cnnOnly_ = true;
+    return f;
+}
+
+FrameworkModel
+FrameworkModel::bolt()
+{
+    FrameworkModel f;
+    f.name_ = "Bolt";
+    // Word-wise LUT protocols for Transformer nonlinearities.
+    f.gelu_ = {90, 520, 8.0e-6};
+    f.softmax_ = {110, 640, 10.0e-6};
+    f.layernorm_ = {30, 210, 2.5e-6};
+    f.relu_ = {16, 110, 1.5e-6};
+    f.roundsPerLayer_ = 16;
+    f.linearSecPerGmac_ = 12.0;  // HE matmul
+    f.linearBytesPerGmac_ = 7e6;
+    f.transformerOnly_ = true;
+    return f;
+}
+
+FrameworkModel
+FrameworkModel::sirnn()
+{
+    FrameworkModel f;
+    f.name_ = "EzPC-SiRNN";
+    // Math-library protocols (bit-faithful, more OT-hungry than Bolt).
+    f.gelu_ = {140, 760, 12.0e-6};
+    f.softmax_ = {170, 900, 15.0e-6};
+    f.layernorm_ = {45, 260, 4.0e-6};
+    f.relu_ = {42, 280, 2.5e-6};
+    f.maxpool_ = {126, 840, 7.0e-6};
+    f.roundsPerLayer_ = 18;
+    f.linearSecPerGmac_ = 14.0;
+    f.linearBytesPerGmac_ = 15e6;
+    return f;
+}
+
+OpCost
+FrameworkModel::cost(NonlinearOp op) const
+{
+    switch (op) {
+      case NonlinearOp::ReLU: return relu_;
+      case NonlinearOp::MaxPool: return maxpool_;
+      case NonlinearOp::GELU: return gelu_;
+      case NonlinearOp::Softmax: return softmax_;
+      case NonlinearOp::LayerNorm: return layernorm_;
+    }
+    return {};
+}
+
+bool
+FrameworkModel::supports(const ModelProfile &model) const
+{
+    if (transformerOnly_ && !model.transformer)
+        return false;
+    if (cnnOnly_ && model.transformer)
+        return false;
+    return true;
+}
+
+} // namespace ironman::ppml

@@ -1,0 +1,41 @@
+#include "ppml/matmul.h"
+
+#include <algorithm>
+
+namespace ironman::ppml {
+
+MatMulCost
+secureMatMulCost(const MatMulDims &dims, unsigned bits, bool unified,
+                 double cot_throughput)
+{
+    // COT-based multiplication triples: each secret input bit of the
+    // contracted operand drives one COT whose message carries the
+    // 2*bits-wide partial sum. Orientation A sends over the
+    // activation volume (M*K), orientation B over the weight volume
+    // (K*N); the wire cost per element-bit is 2*bits of masked
+    // payload.
+    const uint64_t payload = 2ull * bits; // bits on the wire per COT
+
+    const uint64_t cots_a = dims.m * dims.k * bits; // activation side
+    const uint64_t cots_b = dims.k * dims.n * bits; // weight side
+
+    // A full secure MatMul needs OTs in both orientations (each
+    // party's operand is secret). With the unified architecture each
+    // orientation runs natively. Without it, the accelerated party is
+    // pinned to one role, so the opposite orientation must be emulated
+    // by OT reversal, which doubles that direction's wire traffic —
+    // and since the two orientations alternate across layers, the
+    // whole stream pays 2x (PrivQuant Sec. 4.1 / Fig. 16).
+    const uint64_t cots = cots_a + cots_b;
+
+    MatMulCost cost;
+    cost.cots = cots;
+    cost.bytes = cots * payload / 8;
+    if (!unified)
+        cost.bytes *= 2;
+    cost.computeSeconds =
+        cot_throughput > 0 ? double(cots) / cot_throughput : 0.0;
+    return cost;
+}
+
+} // namespace ironman::ppml

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * OT-based secure matrix multiplication with role switching (Fig. 16,
+ * after PrivQuant Sec. 4.1).
+ *
+ * In an OT-based MatMul of X (M x K, client) by W (K x N, server),
+ * the OT messages carry the weight-scaled partial sums: the party
+ * acting as OT *sender* pays communication proportional to its
+ * operand volume times the bit width. Without a unified architecture
+ * the accelerator-equipped party must keep one fixed role, forcing
+ * the expensive direction half the time; with the Unified Unit both
+ * directions run at hardware speed and every matmul picks the cheap
+ * orientation — a 2x communication reduction on the Fig. 16 shapes
+ * and ~1.4x latency at WAN bandwidth.
+ */
+
+#ifndef IRONMAN_PPML_MATMUL_H
+#define IRONMAN_PPML_MATMUL_H
+
+#include <cstdint>
+
+#include "net/channel.h"
+
+namespace ironman::ppml {
+
+/** Problem shape: (input, hidden, output) as in Fig. 16. */
+struct MatMulDims
+{
+    uint64_t m; ///< batch/sequence
+    uint64_t k; ///< hidden (contraction)
+    uint64_t n; ///< output
+};
+
+/** Communication/latency estimate of one secure MatMul. */
+struct MatMulCost
+{
+    uint64_t bytes = 0;
+    uint64_t cots = 0;
+    double computeSeconds = 0;
+
+    double
+    latencySeconds(const net::NetworkModel &net) const
+    {
+        return computeSeconds + net.seconds(bytes, 2.0);
+    }
+};
+
+/**
+ * Cost of a secure MatMul at @p bits fixed-point width.
+ *
+ * @param unified With the unified architecture the protocol picks the
+ *        cheaper OT orientation per matmul; without it the
+ *        accelerated party is pinned to one role and both directions'
+ *        messages flow the expensive way.
+ * @param cot_throughput COT generation rate of the preprocessing
+ *        engine (Ironman or CPU).
+ */
+MatMulCost secureMatMulCost(const MatMulDims &dims, unsigned bits,
+                            bool unified, double cot_throughput);
+
+} // namespace ironman::ppml
+
+#endif // IRONMAN_PPML_MATMUL_H

@@ -1,0 +1,138 @@
+#include "ppml/model_zoo.h"
+
+namespace ironman::ppml {
+
+const char *
+nonlinearOpName(NonlinearOp op)
+{
+    switch (op) {
+      case NonlinearOp::ReLU: return "ReLU";
+      case NonlinearOp::MaxPool: return "MaxPool";
+      case NonlinearOp::GELU: return "GELU";
+      case NonlinearOp::Softmax: return "Softmax";
+      case NonlinearOp::LayerNorm: return "LayerNorm";
+    }
+    return "?";
+}
+
+uint64_t
+ModelProfile::totalNonlinearElements() const
+{
+    uint64_t total = 0;
+    for (const OpCount &c : nonlinear)
+        total += c.elements;
+    return total;
+}
+
+ModelProfile
+mobileNetV2()
+{
+    // ReLU6 after every inverted-residual expansion. Count calibrated
+    // to the Table 5 latency ordering (MobileNetV2 < SqueezeNet <
+    // ResNet18), which implies the evaluated variant's activation
+    // volume rather than the full-width 224x224 network.
+    return {"MobileNetV2", false,
+            {{NonlinearOp::ReLU, 1450000}},
+            0.30, 35};
+}
+
+ModelProfile
+squeezeNet()
+{
+    return {"SqueezeNet", false,
+            {{NonlinearOp::ReLU, 3820000},
+             {NonlinearOp::MaxPool, 480000}},
+            0.35, 22};
+}
+
+ModelProfile
+resNet18()
+{
+    // conv1 (0.80M) + 16 residual convs + shortcut adds.
+    return {"ResNet18", false,
+            {{NonlinearOp::ReLU, 2310000},
+             {NonlinearOp::MaxPool, 600000}},
+            1.82, 17};
+}
+
+ModelProfile
+resNet34()
+{
+    return {"ResNet34", false,
+            {{NonlinearOp::ReLU, 3880000},
+             {NonlinearOp::MaxPool, 600000}},
+            3.67, 33};
+}
+
+ModelProfile
+resNet50()
+{
+    return {"ResNet50", false,
+            {{NonlinearOp::ReLU, 9610000},
+             {NonlinearOp::MaxPool, 600000}},
+            4.10, 49};
+}
+
+ModelProfile
+denseNet121()
+{
+    // Dense connectivity: many activations relative to MACs.
+    return {"DenseNet121", false,
+            {{NonlinearOp::ReLU, 15200000},
+             {NonlinearOp::MaxPool, 700000}},
+            2.87, 120};
+}
+
+ModelProfile
+vitBase()
+{
+    // 197 tokens, 12 layers, d = 768, 12 heads, MLP 3072.
+    return {"ViT", true,
+            {{NonlinearOp::GELU, 12ull * 197 * 3072},     // 7.26M
+             {NonlinearOp::Softmax, 12ull * 12 * 197 * 197}, // 5.59M
+             {NonlinearOp::LayerNorm, 25ull * 197 * 768}},   // 3.78M
+            17.6, 50};
+}
+
+ModelProfile
+bertBase()
+{
+    // 128 tokens, 12 layers, d = 768.
+    return {"BERT-Base", true,
+            {{NonlinearOp::GELU, 12ull * 128 * 3072},        // 4.72M
+             {NonlinearOp::Softmax, 12ull * 12 * 128 * 128}, // 2.36M
+             {NonlinearOp::LayerNorm, 25ull * 128 * 768}},   // 2.46M
+            11.2, 50};
+}
+
+ModelProfile
+bertLarge()
+{
+    // 128 tokens, 24 layers, d = 1024, 16 heads, MLP 4096.
+    return {"BERT-Large", true,
+            {{NonlinearOp::GELU, 24ull * 128 * 4096},        // 12.6M
+             {NonlinearOp::Softmax, 24ull * 16 * 128 * 128}, // 6.29M
+             {NonlinearOp::LayerNorm, 49ull * 128 * 1024}},  // 6.42M
+            39.5, 98};
+}
+
+ModelProfile
+gpt2Large()
+{
+    // 128 tokens, 36 layers, d = 1280, 20 heads, MLP 5120.
+    return {"GPT2-Large", true,
+            {{NonlinearOp::GELU, 36ull * 128 * 5120},        // 23.6M
+             {NonlinearOp::Softmax, 36ull * 20 * 128 * 128}, // 11.8M
+             {NonlinearOp::LayerNorm, 73ull * 128 * 1280}},  // 12.0M
+            92.4, 146};
+}
+
+std::vector<ModelProfile>
+allModels()
+{
+    return {mobileNetV2(), squeezeNet(), resNet18(),  resNet34(),
+            resNet50(),    denseNet121(), vitBase(),  bertBase(),
+            bertLarge(),   gpt2Large()};
+}
+
+} // namespace ironman::ppml

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload descriptions of the models evaluated in Sec. 6.4/6.5:
+ * per-model counts of nonlinear elements (the quantities that consume
+ * OT correlations) and linear-layer volume (served by HE/GPU in the
+ * hybrid frameworks).
+ *
+ * CNN counts assume 224x224 ImageNet inputs; Transformer counts use
+ * sequence length 128 (Bolt's setting) except ViT (197 patch tokens).
+ * Counts are derived from the published architectures and rounded;
+ * they drive ratios, not bit-exact layer replays.
+ */
+
+#ifndef IRONMAN_PPML_MODEL_ZOO_H
+#define IRONMAN_PPML_MODEL_ZOO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ironman::ppml {
+
+/** Nonlinear function kinds the frameworks evaluate with OT. */
+enum class NonlinearOp
+{
+    ReLU,
+    MaxPool,   ///< per comparison window
+    GELU,
+    Softmax,   ///< per attention matrix element
+    LayerNorm, ///< per normalized element
+};
+
+const char *nonlinearOpName(NonlinearOp op);
+
+/** Count of one nonlinear op kind in one model. */
+struct OpCount
+{
+    NonlinearOp op;
+    uint64_t elements;
+};
+
+/** One evaluated network. */
+struct ModelProfile
+{
+    std::string name;
+    bool transformer = false;
+    std::vector<OpCount> nonlinear;
+    double linearGmacs = 0;   ///< linear-layer multiply-accumulates (1e9)
+    unsigned protocolLayers = 0; ///< sequential nonlinear layers (rounds)
+
+    uint64_t totalNonlinearElements() const;
+};
+
+ModelProfile mobileNetV2();
+ModelProfile squeezeNet();
+ModelProfile resNet18();
+ModelProfile resNet34();
+ModelProfile resNet50();
+ModelProfile denseNet121();
+ModelProfile vitBase();
+ModelProfile bertBase();
+ModelProfile bertLarge();
+ModelProfile gpt2Large();
+
+/** All models in Table 5 order (CNNs then Transformers). */
+std::vector<ModelProfile> allModels();
+
+} // namespace ironman::ppml
+
+#endif // IRONMAN_PPML_MODEL_ZOO_H

@@ -1,0 +1,277 @@
+#include "ppml/secure_compute.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "ot/base_cot.h"
+#include "ot/chosen_ot.h"
+#include "ot/one_of_n.h"
+
+namespace ironman::ppml {
+
+std::pair<DualCotPool, DualCotPool>
+dealDualPools(Rng &rng, size_t per_direction)
+{
+    DualCotPool p0, p1;
+
+    // Direction A: party 0 sends.
+    Block delta_a = rng.nextBlock();
+    auto [sa, ra] = ot::dealBaseCots(rng, delta_a, per_direction);
+    p0.delta = delta_a;
+    p0.sendQ = std::move(sa.q);
+    p1.recvBits = std::move(ra.choice);
+    p1.recvT = std::move(ra.t);
+
+    // Direction B: party 1 sends.
+    Block delta_b = rng.nextBlock();
+    auto [sb, rb] = ot::dealBaseCots(rng, delta_b, per_direction);
+    p1.delta = delta_b;
+    p1.sendQ = std::move(sb.q);
+    p0.recvBits = std::move(rb.choice);
+    p0.recvT = std::move(rb.t);
+
+    return {std::move(p0), std::move(p1)};
+}
+
+SecureCompute::SecureCompute(net::Channel &channel, int party_id,
+                             DualCotPool pool_in, unsigned bitwidth)
+    : ch(channel), party(party_id), pool(std::move(pool_in)),
+      width(bitwidth), localRng(0xfeed1234 + party_id)
+{
+    IRONMAN_CHECK(party == 0 || party == 1);
+    IRONMAN_CHECK(width >= 2 && width <= 64);
+}
+
+void
+SecureCompute::otSendBatch(const std::vector<Block> &m0,
+                           const std::vector<Block> &m1)
+{
+    const size_t n = m0.size();
+    IRONMAN_CHECK(pool.sendUsed + n <= pool.sendQ.size(),
+                  "send-direction COT pool exhausted");
+    uint64_t tw = tweak;
+    tweak += n;
+    ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n, pool.delta,
+                     pool.sendQ.data() + pool.sendUsed, tw);
+    pool.sendUsed += n;
+}
+
+std::vector<Block>
+SecureCompute::otRecvBatch(const BitVec &choices)
+{
+    const size_t n = choices.size();
+    IRONMAN_CHECK(pool.recvUsed + n <= pool.recvT.size(),
+                  "recv-direction COT pool exhausted");
+    uint64_t tw = tweak;
+    tweak += n;
+    std::vector<Block> out(n);
+    ot::chosenOtRecv(ch, crhf, choices, pool.recvBits, pool.recvUsed,
+                     pool.recvT.data() + pool.recvUsed, n, out.data(), tw);
+    pool.recvUsed += n;
+    return out;
+}
+
+BitVec
+SecureCompute::xorShares(const BitVec &a, const BitVec &b)
+{
+    BitVec out = a;
+    out ^= b;
+    return out;
+}
+
+BitVec
+SecureCompute::andShares(const BitVec &a, const BitVec &b)
+{
+    IRONMAN_CHECK(a.size() == b.size());
+    const size_t n = a.size();
+
+    // Fresh masks for the cross terms.
+    Rng mask_rng(0x5eed0000 + party + 31 * tweak);
+    BitVec r(n);
+    for (size_t i = 0; i < n; ++i)
+        r.set(i, mask_rng.nextBit());
+
+    // Messages for the direction where we are the sender:
+    // m_c = r_i ^ (a_i & c)  ->  receiver with choice b' learns
+    // r_i ^ a_i*b'.
+    std::vector<Block> m0(n), m1(n);
+    for (size_t i = 0; i < n; ++i) {
+        m0[i] = Block::fromUint64(r.get(i));
+        m1[i] = Block::fromUint64(r.get(i) ^ a.get(i));
+    }
+
+    std::vector<Block> got;
+    if (party == 0) {
+        otSendBatch(m0, m1);
+        got = otRecvBatch(b);
+    } else {
+        got = otRecvBatch(b);
+        otSendBatch(m0, m1);
+    }
+
+    // z_p = a_p*b_p ^ r_p ^ (r_{1-p} ^ a_{1-p}*b_p).
+    BitVec z(n);
+    for (size_t i = 0; i < n; ++i) {
+        bool cross_in = got[i].lo & 1;
+        z.set(i, (a.get(i) & b.get(i)) ^ r.get(i) ^ cross_in);
+    }
+    return z;
+}
+
+BitVec
+SecureCompute::drelu(const std::vector<uint64_t> &shares)
+{
+    const size_t n = shares.size();
+
+    // Boolean shares of each bit of x = x0 + x1: party p's share of
+    // bit i is bit i of its own addend; the carry is computed with a
+    // ripple of AND gates (2 per bit position, batched over the whole
+    // vector).
+    auto bit_shares = [&](unsigned i) {
+        BitVec v(n);
+        for (size_t j = 0; j < n; ++j)
+            v.set(j, (shares[j] >> i) & 1);
+        return v;
+    };
+
+    BitVec carry(n); // zero shares
+    for (unsigned i = 0; i + 1 < width; ++i) {
+        BitVec ai = bit_shares(i);
+        // The two addends' bits as boolean shares: party 0 contributes
+        // its bits on the left operand, party 1 on the right, with
+        // zero shares on the opposite side.
+        BitVec lhs = party == 0 ? ai : BitVec(n);
+        BitVec rhs = party == 0 ? BitVec(n) : ai;
+        BitVec gen = andShares(lhs, rhs);              // a_i & b_i
+        BitVec prop = xorShares(lhs, rhs);             // a_i ^ b_i
+        BitVec prop_and_c = andShares(carry, prop);    // c_i & (a^b)
+        carry = xorShares(gen, prop_and_c);
+    }
+
+    // msb(x) = a_{w-1} ^ b_{w-1} ^ carry; DReLU = NOT msb.
+    BitVec msb_own = bit_shares(width - 1);
+    BitVec out = xorShares(msb_own, carry);
+    if (party == 0) {
+        for (size_t j = 0; j < n; ++j)
+            out.flip(j);
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+SecureCompute::mux(const BitVec &b_shares,
+                   const std::vector<uint64_t> &x_shares)
+{
+    const size_t n = x_shares.size();
+    IRONMAN_CHECK(b_shares.size() == n);
+
+    Rng mask_rng(0xabcd0000 + party + 31 * tweak);
+    std::vector<uint64_t> r(n);
+    for (auto &v : r)
+        v = maskValue(mask_rng.nextUint64());
+
+    // m_c = (b_p ^ c) * x_p - r_p: the receiver with choice b_{1-p}
+    // learns b*x_p - r_p (b = b_p ^ b_{1-p}).
+    std::vector<Block> m0(n), m1(n);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t on = maskValue(x_shares[i] - r[i]);
+        uint64_t off = maskValue(0 - r[i]);
+        bool bp = b_shares.get(i);
+        m0[i] = Block::fromUint64(bp ? on : off);
+        m1[i] = Block::fromUint64(bp ? off : on);
+    }
+
+    std::vector<Block> got;
+    if (party == 0) {
+        otSendBatch(m0, m1);
+        got = otRecvBatch(b_shares);
+    } else {
+        got = otRecvBatch(b_shares);
+        otSendBatch(m0, m1);
+    }
+
+    std::vector<uint64_t> y(n);
+    for (size_t i = 0; i < n; ++i)
+        y[i] = maskValue(r[i] + got[i].lo);
+    return y;
+}
+
+std::vector<uint64_t>
+SecureCompute::relu(const std::vector<uint64_t> &shares)
+{
+    BitVec positive = drelu(shares);
+    return mux(positive, shares);
+}
+
+std::vector<uint64_t>
+SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
+                       const std::vector<uint64_t> &table)
+{
+    const size_t n_msgs = table.size();
+    const size_t batch = x_shares.size();
+    IRONMAN_CHECK(n_msgs >= 2 && std::has_single_bit(n_msgs));
+    const unsigned bits = std::countr_zero(n_msgs);
+    const size_t cots = batch * bits;
+
+    if (party == 0) {
+        // Build the rotated, masked tables: message i of instance e is
+        // table[(x0_e + i) mod N] - r_e.
+        IRONMAN_CHECK(pool.sendUsed + cots <= pool.sendQ.size(),
+                      "send-direction COT pool exhausted");
+        std::vector<uint64_t> r(batch);
+        std::vector<Block> msgs(batch * n_msgs);
+        for (size_t e = 0; e < batch; ++e) {
+            IRONMAN_CHECK(x_shares[e] < n_msgs,
+                          "index shares must be reduced mod N");
+            r[e] = maskValue(localRng.nextUint64());
+            for (size_t i = 0; i < n_msgs; ++i) {
+                uint64_t entry =
+                    table[(x_shares[e] + i) & (n_msgs - 1)];
+                msgs[e * n_msgs + i] =
+                    Block::fromUint64(maskValue(entry - r[e]));
+            }
+        }
+        ot::oneOfNOtSend(ch, crhf, msgs.data(), n_msgs, batch,
+                         pool.delta, pool.sendQ.data() + pool.sendUsed,
+                         localRng, tweak);
+        pool.sendUsed += cots;
+        return r;
+    }
+
+    // Party 1: select with its own index share.
+    IRONMAN_CHECK(pool.recvUsed + cots <= pool.recvT.size(),
+                  "recv-direction COT pool exhausted");
+    std::vector<uint32_t> choices(batch);
+    for (size_t e = 0; e < batch; ++e) {
+        IRONMAN_CHECK(x_shares[e] < n_msgs,
+                      "index shares must be reduced mod N");
+        choices[e] = uint32_t(x_shares[e]);
+    }
+    std::vector<Block> got = ot::oneOfNOtRecv(
+        ch, crhf, choices, n_msgs, pool.recvBits, pool.recvUsed,
+        pool.recvT.data() + pool.recvUsed, tweak);
+    pool.recvUsed += cots;
+
+    std::vector<uint64_t> out(batch);
+    for (size_t e = 0; e < batch; ++e)
+        out[e] = maskValue(got[e].lo);
+    return out;
+}
+
+std::vector<uint64_t>
+SecureCompute::maxElementwise(const std::vector<uint64_t> &a,
+                              const std::vector<uint64_t> &b)
+{
+    IRONMAN_CHECK(a.size() == b.size());
+    // max(a, b) = b + relu(a - b).
+    std::vector<uint64_t> diff(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        diff[i] = maskValue(a[i] - b[i]);
+    std::vector<uint64_t> r = relu(diff);
+    std::vector<uint64_t> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = maskValue(b[i] + r[i]);
+    return out;
+}
+
+} // namespace ironman::ppml

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * OT-based online protocols for nonlinear functions (Sec. 2.2).
+ *
+ * This is the "online OT protocol" half of the PPML stack: GMW-style
+ * two-party computation over XOR/additive secret shares, where every
+ * AND gate and multiplexer consumes pre-generated COT correlations —
+ * exactly the resource Ironman accelerates. The engine implements:
+ *
+ *   - batched AND on boolean shares (2 COTs per bit, one per
+ *     direction — this is why the protocol needs role switching and a
+ *     unified sender/receiver architecture, Sec. 5.2),
+ *   - DReLU: the sign bit of an additively shared fixed-point value,
+ *     via a ripple carry over boolean shares,
+ *   - MUX and ReLU on additive shares (2 COTs per element),
+ *   - max-pool style pairwise maximum.
+ *
+ * These are faithful (semi-honest) protocols, tested against plain
+ * evaluation; the per-element COT counts they report anchor the
+ * framework cost models in ppml/framework.h.
+ */
+
+#ifndef IRONMAN_PPML_SECURE_COMPUTE_H
+#define IRONMAN_PPML_SECURE_COMPUTE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/rng.h"
+#include "crypto/crhf.h"
+#include "net/channel.h"
+#include "ot/cot.h"
+
+namespace ironman::ppml {
+
+/**
+ * Per-party bundle of COT material for both OT directions.
+ * In production both pools come from two OTE sessions with swapped
+ * roles (the paper's parallel role-switching execution); tests use the
+ * dealer.
+ */
+struct DualCotPool
+{
+    // Pool where this party acts as OT sender.
+    Block delta;
+    std::vector<Block> sendQ;
+
+    // Pool where this party acts as OT receiver.
+    BitVec recvBits;
+    std::vector<Block> recvT;
+
+    size_t sendUsed = 0;
+    size_t recvUsed = 0;
+
+    size_t
+    consumed() const
+    {
+        return sendUsed + recvUsed;
+    }
+};
+
+/** Deal matching pools for parties 0 and 1. */
+std::pair<DualCotPool, DualCotPool> dealDualPools(Rng &rng,
+                                                  size_t per_direction);
+
+/** Two-party GMW engine; instantiate one per party with its pool. */
+class SecureCompute
+{
+  public:
+    /**
+     * @param party 0 or 1 (party 0 sends first in every batch).
+     * @param pool COT material; consumed monotonically.
+     * @param bitwidth Fixed-point width for arithmetic ops (<= 64).
+     */
+    SecureCompute(net::Channel &ch, int party, DualCotPool pool,
+                  unsigned bitwidth = 32);
+
+    // ---- boolean-share operations ------------------------------------
+
+    /** Local XOR. */
+    static BitVec xorShares(const BitVec &a, const BitVec &b);
+
+    /** Batched AND of boolean shares; consumes 2 COTs per bit. */
+    BitVec andShares(const BitVec &a, const BitVec &b);
+
+    // ---- additive-share operations (mod 2^bitwidth) -------------------
+
+    /**
+     * DReLU: boolean shares of (x >= 0) for additively shared x,
+     * where x is interpreted as a signed bitwidth-bit integer.
+     */
+    BitVec drelu(const std::vector<uint64_t> &shares);
+
+    /**
+     * MUX: additive shares of (b ? x : 0) from boolean shares of b
+     * and additive shares of x. 2 COTs per element.
+     */
+    std::vector<uint64_t> mux(const BitVec &b_shares,
+                              const std::vector<uint64_t> &x_shares);
+
+    /** ReLU = MUX(DReLU(x), x). */
+    std::vector<uint64_t> relu(const std::vector<uint64_t> &shares);
+
+    /** Pairwise maximum of two shared vectors (max-pool building block). */
+    std::vector<uint64_t> maxElementwise(const std::vector<uint64_t> &a,
+                                         const std::vector<uint64_t> &b);
+
+    /**
+     * Secure table lookup (the GELU/Softmax/exp building block of
+     * SiRNN/Bolt): given additive shares mod N of indices x (N =
+     * table.size(), a power of two), returns additive shares mod
+     * 2^bitwidth of table[x]. Party 0 acts as the 1-of-N OT sender;
+     * log2(N) COTs per element.
+     */
+    std::vector<uint64_t> lutEval(const std::vector<uint64_t> &x_shares,
+                                  const std::vector<uint64_t> &table);
+
+    /** Total COT correlations consumed so far. */
+    size_t cotsConsumed() const { return pool.consumed(); }
+
+    unsigned bitwidth() const { return width; }
+
+    uint64_t
+    maskValue(uint64_t v) const
+    {
+        return width == 64 ? v : (v & ((uint64_t(1) << width) - 1));
+    }
+
+  private:
+    /** One batched chosen-OT where this party is the sender. */
+    void otSendBatch(const std::vector<Block> &m0,
+                     const std::vector<Block> &m1);
+    /** One batched chosen-OT where this party is the receiver. */
+    std::vector<Block> otRecvBatch(const BitVec &choices);
+
+    net::Channel &ch;
+    int party;
+    DualCotPool pool;
+    unsigned width;
+    crypto::Crhf crhf;
+    Rng localRng;
+    uint64_t tweak = 0x10000000;
+};
+
+} // namespace ironman::ppml
+
+#endif // IRONMAN_PPML_SECURE_COMPUTE_H

@@ -1,0 +1,74 @@
+#include "sim/cache.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace ironman::sim {
+
+CacheSim::CacheSim(const CacheConfig &config) : cfg(config)
+{
+    IRONMAN_CHECK(cfg.sizeBytes % (cfg.lineBytes * cfg.ways) == 0,
+                  "size must be a whole number of sets");
+    IRONMAN_CHECK(std::has_single_bit(cfg.sets()),
+                  "set count must be a power of two");
+    lines.assign(cfg.sets() * cfg.ways, Line{});
+}
+
+void
+CacheSim::reset()
+{
+    lines.assign(lines.size(), Line{});
+    stats_ = CacheStats{};
+    tick = 0;
+}
+
+bool
+CacheSim::access(uint64_t addr)
+{
+    ++tick;
+    uint64_t line_addr = addr / cfg.lineBytes;
+    uint64_t set = line_addr & (cfg.sets() - 1);
+    uint64_t tag = line_addr >> std::countr_zero(cfg.sets());
+
+    Line *set_base = &lines[set * cfg.ways];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line &l = set_base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = tick;
+            ++stats_.hits;
+            return true;
+        }
+    }
+
+    // Miss: choose an invalid way first, else true LRU.
+    Line *victim = set_base;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Line &l = set_base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick;
+    ++stats_.misses;
+    return false;
+}
+
+unsigned
+CacheSim::accessLatencyCycles(uint64_t size_bytes)
+{
+    unsigned lat = 1;
+    uint64_t size = 32 * 1024;
+    while (size < size_bytes) {
+        size *= 2;
+        ++lat;
+    }
+    return lat;
+}
+
+} // namespace ironman::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Set-associative LRU cache model — the memory-side cache each
+ * Rank-NMP module places in front of its LPN error-vector accesses
+ * (Sec. 5.3 / Fig. 14).
+ *
+ * The model is a pure hit/miss filter: it classifies an address
+ * stream and emits the miss stream (which the DRAM model then prices).
+ * Read-only traffic (the LPN input vector never changes during an
+ * encode), so there is no dirty-writeback path.
+ */
+
+#ifndef IRONMAN_SIM_CACHE_H
+#define IRONMAN_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ironman::sim {
+
+/** Cache shape. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 256 * 1024;
+    unsigned lineBytes = 64;  ///< matches the DRAM burst (Sec. 6.3)
+    unsigned ways = 8;
+
+    uint64_t sets() const { return sizeBytes / (lineBytes * ways); }
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+    double
+    hitRate() const
+    {
+        return accesses() ? double(hits) / double(accesses()) : 0.0;
+    }
+};
+
+/** LRU set-associative cache simulator. */
+class CacheSim
+{
+  public:
+    explicit CacheSim(const CacheConfig &config);
+
+    /** Access one byte address; returns true on hit. */
+    bool access(uint64_t addr);
+
+    /** Reset contents and statistics. */
+    void reset();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg; }
+
+    /**
+     * Model of the SRAM access latency in DIMM-logic cycles: larger
+     * arrays pay longer wordlines/bitlines. Anchored so 32 KB costs 1
+     * cycle and each 4x capacity adds a cycle (CACTI-flavoured; this
+     * is what turns the Fig. 14(a) latency curve back up past 256 KB).
+     */
+    static unsigned accessLatencyCycles(uint64_t size_bytes);
+
+  private:
+    CacheConfig cfg;
+    CacheStats stats_;
+
+    struct Line
+    {
+        uint64_t tag = ~0ull;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+    std::vector<Line> lines; ///< sets * ways, way-major within a set
+    uint64_t tick = 0;
+};
+
+} // namespace ironman::sim
+
+#endif // IRONMAN_SIM_CACHE_H

@@ -1,0 +1,177 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace ironman::sim {
+
+DramRankSim::DramRankSim(const DramTimings &timings,
+                         const DramGeometry &geometry,
+                         unsigned scheduler_window)
+    : t(timings), g(geometry), window(scheduler_window)
+{
+    IRONMAN_CHECK(window >= 1);
+}
+
+DramRankSim::Decoded
+DramRankSim::decode(uint64_t addr) const
+{
+    // Line interleaving: [row | column | bank | bank-group] from MSB to
+    // LSB of the line index, i.e. consecutive lines stripe across bank
+    // groups first (maximises ACT overlap for streams).
+    uint64_t line = addr / g.lineBytes;
+    Decoded d;
+    d.bankGroup = line % g.bankGroups;
+    line /= g.bankGroups;
+    unsigned bank_in_group = line % g.banksPerGroup;
+    line /= g.banksPerGroup;
+    uint64_t column = line % g.linesPerRow();
+    (void)column;
+    d.row = line / g.linesPerRow();
+    d.bank = d.bankGroup * g.banksPerGroup + bank_in_group;
+    return d;
+}
+
+DramStats
+DramRankSim::replay(const std::vector<DramRequest> &trace)
+{
+    DramStats stats;
+    if (trace.empty())
+        return stats;
+
+    std::vector<Bank> banks(g.banks());
+
+    // Rank-level constraints.
+    std::deque<uint64_t> faw;      // times of the last 4 ACTs
+    uint64_t last_act_time = 0;
+    unsigned last_act_group = ~0u;
+    bool any_act = false;
+    uint64_t last_col_time = 0;
+    unsigned last_col_group = ~0u;
+    bool any_col = false;
+
+    // Sliding scheduler window over the trace.
+    struct Pending
+    {
+        size_t idx;
+        Decoded d;
+        uint64_t arrival;
+    };
+    std::deque<Pending> pending;
+    size_t next_admit = 0;
+    uint64_t admit_clock = 0;
+    uint64_t next_refresh = t.tREFI;
+    auto admit = [&] {
+        while (next_admit < trace.size() && pending.size() < window) {
+            pending.push_back({next_admit, decode(trace[next_admit].addr),
+                               admit_clock});
+            ++next_admit;
+        }
+    };
+    admit();
+
+    uint64_t last_done = 0;
+
+    while (!pending.empty()) {
+        // FR-FCFS: first pass, oldest row-hit request; second pass,
+        // the oldest request outright.
+        size_t pick = 0;
+        bool found_hit = false;
+        for (size_t i = 0; i < pending.size(); ++i) {
+            const Bank &b = banks[pending[i].d.bank];
+            if (b.open && b.row == pending[i].d.row) {
+                pick = i;
+                found_hit = true;
+                break;
+            }
+        }
+        if (!found_hit)
+            pick = 0;
+
+        Pending req = pending[pick];
+        pending.erase(pending.begin() + pick);
+
+        // All-bank refresh: when the command stream crosses a tREFI
+        // boundary, every bank closes and stalls for tRFC.
+        while (t.tREFI > 0 && last_col_time >= next_refresh) {
+            for (Bank &b : banks) {
+                b.open = false;
+                b.readyAct =
+                    std::max<uint64_t>(b.readyAct,
+                                       next_refresh + t.tRFC);
+            }
+            next_refresh += t.tREFI;
+            ++stats.refreshes;
+        }
+
+        Bank &bank = banks[req.d.bank];
+
+        bool row_hit = bank.open && bank.row == req.d.row;
+        if (!row_hit) {
+            uint64_t act_ready = std::max(bank.readyAct, req.arrival);
+            if (bank.open) {
+                uint64_t pre_t = std::max(bank.readyPre, req.arrival);
+                ++stats.precharges;
+                act_ready = std::max(act_ready, pre_t + t.tRP);
+            }
+            // ACT-to-ACT spacing across the rank.
+            if (any_act) {
+                unsigned rrd = req.d.bankGroup == last_act_group
+                                   ? t.tRRD_L : t.tRRD_S;
+                act_ready = std::max(act_ready, last_act_time + rrd);
+            }
+            if (faw.size() == 4)
+                act_ready = std::max(act_ready, faw.front() + t.tFAW);
+
+            uint64_t act_t = act_ready;
+            if (faw.size() == 4)
+                faw.pop_front();
+            faw.push_back(act_t);
+            last_act_time = act_t;
+            last_act_group = req.d.bankGroup;
+            any_act = true;
+            ++stats.activates;
+
+            bank.open = true;
+            bank.row = req.d.row;
+            bank.readyCol = act_t + t.tRCD;
+            bank.readyPre = act_t + (t.tRC - t.tRP); // tRAS
+            bank.readyAct = act_t + t.tRC;
+            ++stats.rowMisses;
+        } else {
+            ++stats.rowHits;
+        }
+
+        // Column command.
+        uint64_t col_ready = std::max(bank.readyCol, req.arrival);
+        if (any_col) {
+            unsigned ccd = req.d.bankGroup == last_col_group
+                               ? t.tCCD_L : t.tCCD_S;
+            col_ready = std::max(col_ready, last_col_time + ccd);
+        }
+        uint64_t col_t = col_ready;
+        last_col_time = col_t;
+        last_col_group = req.d.bankGroup;
+        any_col = true;
+
+        uint64_t done = col_t + t.tCL + t.tBL;
+        bank.readyPre = std::max(bank.readyPre, col_t + t.tBL);
+        last_done = std::max(last_done, done);
+
+        if (trace[req.idx].write)
+            ++stats.writes;
+        else
+            ++stats.reads;
+
+        // Admit replacements as of this command's issue time.
+        admit_clock = col_t;
+        admit();
+    }
+
+    stats.cycles = last_done;
+    return stats;
+}
+
+} // namespace ironman::sim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle-level DDR4 rank timing model.
+ *
+ * This is the repository's substitute for Ramulator (see DESIGN.md):
+ * a bank-state-machine simulator with an FR-FCFS scheduler that
+ * replays a request trace against the DDR4-2400 timing parameters of
+ * Table 3 and reports cycles, row-buffer behaviour and command counts
+ * (the command counts also drive the DRAM energy model).
+ *
+ * Scope: one rank at a time. Ironman's Rank-NMP modules operate on
+ * their local rank with rank-level parallelism, so whole-system LPN
+ * time is the max over per-rank simulations (Sec. 5.1); the shared
+ * channel is modelled by a configurable per-access bus tax.
+ */
+
+#ifndef IRONMAN_SIM_DRAM_H
+#define IRONMAN_SIM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ironman::sim {
+
+/** DDR4 timing parameters, in memory-clock cycles (Table 3). */
+struct DramTimings
+{
+    unsigned tRCD = 16;   ///< ACT -> column command
+    unsigned tCL = 16;    ///< RD -> data
+    unsigned tRP = 16;    ///< PRE -> ACT
+    unsigned tRC = 55;    ///< ACT -> ACT, same bank
+    unsigned tRRD_S = 4;  ///< ACT -> ACT, different bank group
+    unsigned tRRD_L = 6;  ///< ACT -> ACT, same bank group
+    unsigned tFAW = 26;   ///< four-ACT window per rank
+    unsigned tCCD_S = 4;  ///< col -> col, different bank group
+    unsigned tCCD_L = 6;  ///< col -> col, same bank group
+    unsigned tBL = 4;     ///< burst length on the data bus (BL8)
+
+    /// All-bank refresh cadence/penalty (DDR4 8Gb: 7.8us / 350ns).
+    unsigned tREFI = 9360;
+    unsigned tRFC = 420;
+
+    /** DDR4-2400: 1200 MHz memory clock. */
+    double clockHz = 1200e6;
+};
+
+/** Geometry of one rank. */
+struct DramGeometry
+{
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rowBytes = 8192;      ///< row-buffer size
+    unsigned lineBytes = 64;       ///< one BL8 access moves 64 B
+
+    unsigned banks() const { return bankGroups * banksPerGroup; }
+    unsigned linesPerRow() const { return rowBytes / lineBytes; }
+};
+
+/** One request: a 64-byte line read or write at a byte address. */
+struct DramRequest
+{
+    uint64_t addr = 0;   ///< byte address within the rank
+    bool write = false;
+};
+
+/** Aggregate results of replaying a trace. */
+struct DramStats
+{
+    uint64_t cycles = 0;       ///< completion time of the last request
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t activates = 0;
+    uint64_t precharges = 0;
+    uint64_t refreshes = 0;
+    uint64_t rowHits = 0;      ///< column commands that hit an open row
+    uint64_t rowMisses = 0;
+
+    double rowHitRate() const
+    {
+        uint64_t total = rowHits + rowMisses;
+        return total ? double(rowHits) / double(total) : 0.0;
+    }
+
+    /** Seconds at the configured clock. */
+    double seconds(const DramTimings &t) const
+    {
+        return double(cycles) / t.clockHz;
+    }
+
+    /** Effective data bandwidth in bytes/second. */
+    double
+    bandwidthBytesPerSec(const DramTimings &t,
+                         const DramGeometry &g) const
+    {
+        double secs = seconds(t);
+        return secs > 0 ?
+            double(reads + writes) * g.lineBytes / secs : 0.0;
+    }
+};
+
+/**
+ * FR-FCFS rank simulator.
+ *
+ * Address mapping (byte address -> line): low bits select the bank
+ * group then bank (interleaving consecutive lines across banks for
+ * parallelism), remaining bits split column/row.
+ */
+class DramRankSim
+{
+  public:
+    DramRankSim(const DramTimings &timings, const DramGeometry &geometry,
+                unsigned scheduler_window = 16);
+
+    /**
+     * Replay @p trace and return stats. The request stream is treated
+     * as fully pipelined (the consumer never back-pressures), so the
+     * result is the memory-limited completion time.
+     */
+    DramStats replay(const std::vector<DramRequest> &trace);
+
+    const DramTimings &timings() const { return t; }
+    const DramGeometry &geometry() const { return g; }
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        uint64_t row = 0;
+        uint64_t readyAct = 0;  ///< earliest cycle for ACT
+        uint64_t readyCol = 0;  ///< earliest cycle for RD/WR
+        uint64_t readyPre = 0;  ///< earliest cycle for PRE
+    };
+
+    struct Decoded
+    {
+        unsigned bank;
+        unsigned bankGroup;
+        uint64_t row;
+    };
+
+    Decoded decode(uint64_t addr) const;
+
+    DramTimings t;
+    DramGeometry g;
+    unsigned window;
+};
+
+} // namespace ironman::sim
+
+#endif // IRONMAN_SIM_DRAM_H

@@ -1,0 +1,296 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace ironman::sim {
+
+const char *
+expandStrategyName(ExpandStrategy s)
+{
+    switch (s) {
+      case ExpandStrategy::DepthFirst: return "depth-first";
+      case ExpandStrategy::BreadthFirst: return "breadth-first";
+      case ExpandStrategy::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+namespace {
+
+/** One internal node of the (shared) tree shape. */
+struct ShapeNode
+{
+    unsigned level;
+    int parent;            ///< index into the order list; -1 for root
+    unsigned ops;          ///< pipeline issues to expand this node
+    bool childrenInternal; ///< children need further expansion?
+    unsigned arity;
+};
+
+/** Internal nodes of one tree, in DFS preorder. */
+std::vector<ShapeNode>
+dfsShape(const std::vector<unsigned> &arities, unsigned ops_override)
+{
+    std::vector<ShapeNode> order;
+    struct Frame
+    {
+        unsigned level;
+        int self;
+        unsigned next_child;
+    };
+
+    auto ops_of = [&](unsigned m) {
+        return ops_override ? ops_override : (m + 3) / 4;
+    };
+
+    const unsigned levels = arities.size();
+    std::vector<Frame> stack;
+    order.push_back({0, -1, ops_of(arities[0]), levels > 1, arities[0]});
+    stack.push_back({0, 0, 0});
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        if (f.level + 1 >= levels || f.next_child >= arities[f.level]) {
+            stack.pop_back();
+            continue;
+        }
+        ++f.next_child;
+        unsigned lvl = f.level + 1;
+        order.push_back({lvl, f.self, ops_of(arities[lvl]),
+                         lvl + 1 < levels, arities[lvl]});
+        stack.push_back({lvl, int(order.size()) - 1, 0});
+    }
+    return order;
+}
+
+/** Same nodes in breadth-first (level) order. */
+std::vector<ShapeNode>
+bfsShape(const std::vector<unsigned> &arities, unsigned ops_override)
+{
+    auto ops_of = [&](unsigned m) {
+        return ops_override ? ops_override : (m + 3) / 4;
+    };
+    const unsigned levels = arities.size();
+    std::vector<ShapeNode> order;
+    // Level l holds prod(arities[0..l)) nodes; parents are contiguous
+    // in the previous level span.
+    order.push_back({0, -1, ops_of(arities[0]), levels > 1, arities[0]});
+    size_t prev_begin = 0, prev_count = 1;
+    for (unsigned lvl = 1; lvl < levels; ++lvl) {
+        size_t begin = order.size();
+        for (size_t par = 0; par < prev_count; ++par)
+            for (unsigned c = 0; c < arities[lvl - 1]; ++c)
+                order.push_back({lvl, int(prev_begin + par),
+                                 ops_of(arities[lvl]),
+                                 lvl + 1 < levels, arities[lvl]});
+        prev_begin = begin;
+        prev_count = order.size() - begin;
+    }
+    return order;
+}
+
+/** Tracks live node values to report peak buffer occupancy. */
+class BufferTracker
+{
+  public:
+    /**
+     * Register a node completion at @p time: its children appear
+     * (internal ones stay buffered), its own input value retires.
+     */
+    void
+    onComplete(uint64_t time, int64_t delta)
+    {
+        events.push({time, delta});
+    }
+
+    /** Advance to @p time and fold in every due event. */
+    void
+    advance(uint64_t time)
+    {
+        while (!events.empty() && events.top().time <= time) {
+            live += events.top().delta;
+            events.pop();
+            peak_ = std::max(peak_, live);
+        }
+        peak_ = std::max(peak_, live);
+    }
+
+    uint64_t peak() const { return uint64_t(std::max<int64_t>(peak_, 0)); }
+
+  private:
+    struct Event
+    {
+        uint64_t time;
+        int64_t delta;
+        bool operator>(const Event &o) const { return time > o.time; }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    int64_t live = 1; // the root seed
+    int64_t peak_ = 1;
+};
+
+/** Sequential (one tree after another) strict-order scheduler. */
+ExpandSchedule
+scheduleSequential(const std::vector<ShapeNode> &order, uint64_t num_trees,
+                   unsigned stages)
+{
+    ExpandSchedule result;
+    BufferTracker buffer;
+    std::vector<uint64_t> done(order.size());
+
+    uint64_t next_slot = 0;
+    for (uint64_t tree = 0; tree < num_trees; ++tree) {
+        for (size_t i = 0; i < order.size(); ++i) {
+            const ShapeNode &node = order[i];
+            uint64_t ready = node.parent < 0 ? 0 : done[node.parent];
+            uint64_t issue = std::max(next_slot, ready);
+            result.bubbles += issue - next_slot;
+            buffer.advance(issue);
+
+            uint64_t completion = issue + node.ops - 1 + stages;
+            done[i] = completion;
+            next_slot = issue + node.ops;
+            result.ops += node.ops;
+
+            // children appear (+internal ones), own value retires (-1).
+            int64_t delta =
+                (node.childrenInternal ? int64_t(node.arity) : 0) - 1;
+            buffer.onComplete(completion, delta);
+            result.cycles = std::max(result.cycles, completion);
+        }
+    }
+    buffer.advance(result.cycles);
+    result.peakBuffer = buffer.peak();
+    return result;
+}
+
+/** Hybrid: per-tree DFS cursors, bubbles filled across trees. */
+ExpandSchedule
+scheduleHybrid(const std::vector<ShapeNode> &order, uint64_t num_trees,
+               unsigned stages)
+{
+    ExpandSchedule result;
+    BufferTracker buffer;
+
+    // done[] per tree, lazily allocated per active tree; trees beyond
+    // the active window start only when a cursor finishes (bounding
+    // memory). Window of `stages` trees is enough to fill the pipe.
+    const uint64_t max_active = std::min<uint64_t>(
+        num_trees, std::max<uint64_t>(stages * 2, 2));
+
+    struct TreeState
+    {
+        size_t cursor = 0;
+        std::vector<uint64_t> done;
+    };
+
+    std::vector<TreeState> states(max_active);
+    for (auto &s : states)
+        s.done.resize(order.size());
+
+    uint64_t next_fresh = 0; // next tree id to start
+    // (ready_time, state slot) of each in-flight tree's cursor node.
+    using Entry = std::pair<uint64_t, size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> waiting;
+
+    auto start_tree = [&](size_t slot_idx) {
+        states[slot_idx].cursor = 0;
+        waiting.push({0, slot_idx});
+        ++next_fresh;
+    };
+    for (size_t s = 0; s < max_active && next_fresh < num_trees + 0; ++s) {
+        if (next_fresh >= num_trees)
+            break;
+        start_tree(s);
+    }
+
+    uint64_t next_slot = 0;
+    uint64_t trees_finished = 0;
+    while (!waiting.empty()) {
+        auto [ready, slot_idx] = waiting.top();
+        waiting.pop();
+
+        uint64_t issue = std::max(next_slot, ready);
+        result.bubbles += issue - next_slot;
+        buffer.advance(issue);
+
+        TreeState &st = states[slot_idx];
+        const ShapeNode &node = order[st.cursor];
+        uint64_t completion = issue + node.ops - 1 + stages;
+        st.done[st.cursor] = completion;
+        next_slot = issue + node.ops;
+        result.ops += node.ops;
+        result.cycles = std::max(result.cycles, completion);
+
+        int64_t delta =
+            (node.childrenInternal ? int64_t(node.arity) : 0) - 1;
+        buffer.onComplete(completion, delta);
+
+        ++st.cursor;
+        if (st.cursor < order.size()) {
+            const ShapeNode &next_node = order[st.cursor];
+            uint64_t next_ready =
+                next_node.parent < 0 ? 0 : st.done[next_node.parent];
+            waiting.push({next_ready, slot_idx});
+        } else {
+            ++trees_finished;
+            if (next_fresh < num_trees) {
+                states[slot_idx].cursor = 0;
+                waiting.push({0, slot_idx});
+                ++next_fresh;
+            }
+        }
+    }
+    (void)trees_finished;
+
+    buffer.advance(result.cycles);
+    result.peakBuffer = buffer.peak();
+    return result;
+}
+
+} // namespace
+
+ExpandSchedule
+scheduleExpansion(const ExpandWorkload &wl, ExpandStrategy strategy,
+                  unsigned stages)
+{
+    IRONMAN_CHECK(!wl.arities.empty() && wl.numTrees >= 1);
+    switch (strategy) {
+      case ExpandStrategy::DepthFirst:
+        return scheduleSequential(
+            dfsShape(wl.arities, wl.opsPerNodeOverride), wl.numTrees,
+            stages);
+      case ExpandStrategy::BreadthFirst:
+        return scheduleSequential(
+            bfsShape(wl.arities, wl.opsPerNodeOverride), wl.numTrees,
+            stages);
+      case ExpandStrategy::Hybrid:
+        return scheduleHybrid(dfsShape(wl.arities, wl.opsPerNodeOverride),
+                              wl.numTrees, stages);
+    }
+    IRONMAN_PANIC("unknown strategy");
+}
+
+ExpandSchedule
+scheduleExpansionMultiCore(const ExpandWorkload &wl,
+                           ExpandStrategy strategy, unsigned cores,
+                           unsigned stages)
+{
+    IRONMAN_CHECK(cores >= 1);
+    uint64_t per_core = (wl.numTrees + cores - 1) / cores;
+    ExpandWorkload share = wl;
+    share.numTrees = per_core;
+    ExpandSchedule sched = scheduleExpansion(share, strategy, stages);
+
+    // The slowest core bounds the makespan; total ops scale with the
+    // real tree count.
+    ExpandWorkload one = wl;
+    one.numTrees = 1;
+    ExpandSchedule single = scheduleExpansion(one, strategy, stages);
+    sched.ops = single.ops * wl.numTrees;
+    return sched;
+}
+
+} // namespace ironman::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Memory-side cache model tests: LRU behaviour, set mapping, spatial
+ * locality through 64-byte lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/cache.h"
+
+namespace ironman::sim {
+namespace {
+
+CacheConfig
+tinyConfig()
+{
+    CacheConfig c;
+    c.sizeBytes = 4096; // 64 lines
+    c.lineBytes = 64;
+    c.ways = 4;         // 16 sets
+    return c;
+}
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    CacheSim cache(tinyConfig());
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(63));   // same line
+    EXPECT_FALSE(cache.access(64));  // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheTest, LruEvictionWithinSet)
+{
+    CacheConfig cfg = tinyConfig();
+    CacheSim cache(cfg);
+    const uint64_t set_stride = cfg.sets() * cfg.lineBytes; // 1024
+
+    // Fill one set's 4 ways: tags 0..3.
+    for (uint64_t w = 0; w < 4; ++w)
+        EXPECT_FALSE(cache.access(w * set_stride));
+    // All resident.
+    for (uint64_t w = 0; w < 4; ++w)
+        EXPECT_TRUE(cache.access(w * set_stride));
+    // Touch tag 0 to refresh it, then insert tag 4: victim must be
+    // tag 1 (least recently used).
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(4 * set_stride));
+    EXPECT_TRUE(cache.access(0));                 // still resident
+    EXPECT_FALSE(cache.access(1 * set_stride));   // evicted
+}
+
+TEST(CacheTest, DistinctSetsDoNotInterfere)
+{
+    CacheConfig cfg = tinyConfig();
+    CacheSim cache(cfg);
+    // 16 consecutive lines land in 16 different sets.
+    for (uint64_t i = 0; i < cfg.sets(); ++i)
+        EXPECT_FALSE(cache.access(i * cfg.lineBytes));
+    for (uint64_t i = 0; i < cfg.sets(); ++i)
+        EXPECT_TRUE(cache.access(i * cfg.lineBytes));
+}
+
+TEST(CacheTest, WorkingSetFitDrivesHitRate)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    CacheSim cache(cfg);
+    Rng rng(4);
+
+    // Working set half the cache: after warmup, ~every access hits.
+    for (int i = 0; i < 50000; ++i)
+        cache.access(rng.nextBelow(32 * 1024));
+    double fit_rate = cache.stats().hitRate();
+    EXPECT_GT(fit_rate, 0.95);
+
+    cache.reset();
+    // Working set 64x the cache: hit rate collapses toward 1/64.
+    for (int i = 0; i < 50000; ++i)
+        cache.access(rng.nextBelow(4 * 1024 * 1024));
+    EXPECT_LT(cache.stats().hitRate(), 0.10);
+}
+
+TEST(CacheTest, SequentialScanHitsWithinLines)
+{
+    // 16-byte blocks, 64-byte lines: 3 of 4 sequential block reads hit.
+    CacheSim cache(tinyConfig());
+    for (uint64_t addr = 0; addr < 2048; addr += 16)
+        cache.access(addr);
+    EXPECT_EQ(cache.stats().misses, 32u);
+    EXPECT_EQ(cache.stats().hits, 96u);
+}
+
+TEST(CacheTest, ResetClearsContents)
+{
+    CacheSim cache(tinyConfig());
+    cache.access(0);
+    EXPECT_TRUE(cache.access(0));
+    cache.reset();
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CacheTest, AccessLatencyGrowsWithCapacity)
+{
+    EXPECT_EQ(CacheSim::accessLatencyCycles(32 * 1024), 1u);
+    EXPECT_EQ(CacheSim::accessLatencyCycles(128 * 1024), 3u);
+    EXPECT_EQ(CacheSim::accessLatencyCycles(256 * 1024), 4u);
+    EXPECT_EQ(CacheSim::accessLatencyCycles(1024 * 1024), 6u);
+    EXPECT_EQ(CacheSim::accessLatencyCycles(2 * 1024 * 1024), 7u);
+}
+
+TEST(CacheTest, PaperCacheShapesConstructible)
+{
+    for (uint64_t kb : {32, 64, 128, 256, 512, 1024, 2048}) {
+        CacheConfig cfg;
+        cfg.sizeBytes = kb * 1024;
+        CacheSim cache(cfg);
+        cache.access(0);
+        EXPECT_EQ(cache.stats().accesses(), 1u) << kb << "KB";
+    }
+}
+
+} // namespace
+} // namespace ironman::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the in-memory duplex channel and the network-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/channel.h"
+#include "net/two_party.h"
+
+namespace ironman::net {
+namespace {
+
+TEST(ChannelTest, BytesRoundTrip)
+{
+    auto stats = runTwoParty(
+        [](Channel &ch) {
+            const char msg[] = "hello ironman";
+            ch.sendBytes(msg, sizeof(msg));
+            char back[4];
+            ch.recvBytes(back, 4);
+            EXPECT_EQ(std::string(back, 4), "pong");
+        },
+        [](Channel &ch) {
+            char buf[14];
+            ch.recvBytes(buf, sizeof(buf));
+            EXPECT_EQ(std::string(buf), "hello ironman");
+            ch.sendBytes("pong", 4);
+        });
+    EXPECT_EQ(stats.totalBytes, 18u);
+    EXPECT_EQ(stats.turns, 2u);
+}
+
+TEST(ChannelTest, BlocksAndBitsRoundTrip)
+{
+    Rng rng(21);
+    std::vector<Block> blocks = rng.nextBlocks(1000);
+    BitVec bits = rng.nextBits(777);
+
+    runTwoParty(
+        [&](Channel &ch) {
+            ch.sendBlocks(blocks.data(), blocks.size());
+            ch.sendBits(bits);
+            ch.sendUint64(424242);
+        },
+        [&](Channel &ch) {
+            std::vector<Block> got(blocks.size());
+            ch.recvBlocks(got.data(), got.size());
+            EXPECT_EQ(got, blocks);
+            BitVec got_bits = ch.recvBits();
+            EXPECT_EQ(got_bits, bits);
+            EXPECT_EQ(ch.recvUint64(), 424242u);
+        });
+}
+
+TEST(ChannelTest, PartialReadsAcrossSegments)
+{
+    runTwoParty(
+        [](Channel &ch) {
+            // Three small sends...
+            ch.sendBytes("abc", 3);
+            ch.sendBytes("defg", 4);
+            ch.sendBytes("h", 1);
+        },
+        [](Channel &ch) {
+            // ...consumed by two reads with unaligned sizes.
+            char buf[8];
+            ch.recvBytes(buf, 5);
+            EXPECT_EQ(std::string(buf, 5), "abcde");
+            ch.recvBytes(buf, 3);
+            EXPECT_EQ(std::string(buf, 3), "fgh");
+        });
+}
+
+TEST(ChannelTest, TurnCountTracksDirectionChanges)
+{
+    auto stats = runTwoParty(
+        [](Channel &ch) {
+            for (int i = 0; i < 5; ++i) {
+                ch.sendUint64(i);
+                EXPECT_EQ(ch.recvUint64(), uint64_t(i) * 10);
+            }
+        },
+        [](Channel &ch) {
+            for (int i = 0; i < 5; ++i) {
+                uint64_t v = ch.recvUint64();
+                ch.sendUint64(v * 10);
+            }
+        });
+    // Five ping-pongs = 10 direction changes.
+    EXPECT_EQ(stats.turns, 10u);
+    EXPECT_DOUBLE_EQ(stats.roundTrips(), 5.0);
+}
+
+TEST(NetworkModelTest, WireTimeFormula)
+{
+    NetworkModel wan = wanNetwork();
+    // 1 MB at 400 Mbps = 0.02 s serialization + 2 RTT of 20 ms.
+    double t = wan.seconds(1000000, 2.0);
+    EXPECT_NEAR(t, 0.02 + 0.04, 1e-9);
+
+    NetworkModel lan = lanNetwork();
+    EXPECT_LT(lan.seconds(1000000, 2.0), t);
+}
+
+TEST(NetworkModelTest, PaperSettingsEncoded)
+{
+    EXPECT_DOUBLE_EQ(wanNetwork().bandwidthBitsPerSec, 400e6);
+    EXPECT_DOUBLE_EQ(wanNetwork().rttSeconds, 20e-3);
+    EXPECT_DOUBLE_EQ(lanNetwork().bandwidthBitsPerSec, 3e9);
+    EXPECT_DOUBLE_EQ(lanNetwork().rttSeconds, 0.15e-3);
+}
+
+} // namespace
+} // namespace ironman::net

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the common substrate: Block, BitVec, Rng, hex.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/hexutil.h"
+#include "common/rng.h"
+
+namespace ironman {
+namespace {
+
+TEST(BlockTest, XorAndEquality)
+{
+    Block a(0x0123456789abcdefULL, 0xfedcba9876543210ULL);
+    Block b(0x1111111111111111ULL, 0x2222222222222222ULL);
+    Block c = a ^ b;
+    EXPECT_NE(c, a);
+    EXPECT_EQ(c ^ b, a);
+    EXPECT_EQ(c ^ a, b);
+    EXPECT_EQ(a ^ a, Block::zero());
+    EXPECT_TRUE((a ^ a).isZero());
+}
+
+TEST(BlockTest, ByteRoundTrip)
+{
+    Block a(0x0123456789abcdefULL, 0xfedcba9876543210ULL);
+    uint8_t bytes[16];
+    a.toBytes(bytes);
+    EXPECT_EQ(Block::fromBytes(bytes), a);
+    // lo lane serializes first, little-endian.
+    EXPECT_EQ(bytes[0], 0x10);
+    EXPECT_EQ(bytes[7], 0xfe);
+    EXPECT_EQ(bytes[8], 0xef);
+    EXPECT_EQ(bytes[15], 0x01);
+}
+
+TEST(BlockTest, BitAccess)
+{
+    Block b = Block::zero();
+    b.setBit(0, true);
+    b.setBit(63, true);
+    b.setBit(64, true);
+    b.setBit(127, true);
+    EXPECT_TRUE(b.getBit(0));
+    EXPECT_TRUE(b.getBit(63));
+    EXPECT_TRUE(b.getBit(64));
+    EXPECT_TRUE(b.getBit(127));
+    EXPECT_FALSE(b.getBit(1));
+    EXPECT_FALSE(b.getBit(100));
+    EXPECT_EQ(b.lo, 0x8000000000000001ULL);
+    EXPECT_EQ(b.hi, 0x8000000000000001ULL);
+}
+
+TEST(BlockTest, ScalarMul)
+{
+    Block d(0xdeadbeefULL, 0x12345678ULL);
+    EXPECT_EQ(scalarMul(true, d), d);
+    EXPECT_EQ(scalarMul(false, d), Block::zero());
+}
+
+TEST(BlockTest, LsbHelpers)
+{
+    Block b(0, 0);
+    EXPECT_FALSE(b.lsb());
+    EXPECT_TRUE(b.withLsb(true).lsb());
+    Block c(0, 0xff);
+    EXPECT_TRUE(c.lsb());
+    EXPECT_FALSE(c.withLsb(false).lsb());
+    EXPECT_EQ(c.withLsb(false).lo, 0xfeULL);
+}
+
+TEST(BlockTest, HexFormat)
+{
+    Block a(0x0123456789abcdefULL, 0xfedcba9876543210ULL);
+    EXPECT_EQ(a.toHex(), "0123456789abcdeffedcba9876543210");
+    EXPECT_EQ(Block::zero().toHex(), std::string(32, '0'));
+}
+
+TEST(BitVecTest, BasicSetGet)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+    v.set(0, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.flip(0);
+    EXPECT_FALSE(v.get(0));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVecTest, AllOnesConstructorTrimsTail)
+{
+    BitVec v(70, true);
+    EXPECT_EQ(v.popcount(), 70u);
+    BitVec w(70, true);
+    EXPECT_EQ(v, w);
+}
+
+TEST(BitVecTest, PushBackAndResize)
+{
+    BitVec v;
+    for (int i = 0; i < 100; ++i)
+        v.pushBack(i % 3 == 0);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.popcount(), 34u);
+    v.resize(10);
+    EXPECT_EQ(v.size(), 10u);
+    EXPECT_EQ(v.popcount(), 4u); // 0,3,6,9
+    v.resize(100);
+    EXPECT_EQ(v.popcount(), 4u); // new bits zero
+}
+
+TEST(BitVecTest, XorIsGf2Addition)
+{
+    Rng rng(7);
+    BitVec a = rng.nextBits(257);
+    BitVec b = rng.nextBits(257);
+    BitVec c = a;
+    c ^= b;
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(c.get(i), a.get(i) ^ b.get(i));
+    c ^= b;
+    EXPECT_EQ(c, a);
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextUint64(), b.nextUint64());
+    bool any_diff = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        any_diff |= (a2.nextUint64() != c.nextUint64());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBelowInRangeAndCoversValues)
+{
+    Rng rng(1);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.nextBelow(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BitsRoughlyBalanced)
+{
+    Rng rng(2);
+    BitVec bits = rng.nextBits(1 << 16);
+    double frac = double(bits.popcount()) / bits.size();
+    EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(RngTest, SampleDistinct)
+{
+    Rng rng(3);
+    auto v = rng.sampleDistinct(100, 50);
+    std::unordered_set<uint64_t> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), 50u);
+    for (uint64_t x : v)
+        EXPECT_LT(x, 100u);
+}
+
+TEST(HexTest, RoundTrip)
+{
+    std::vector<uint8_t> data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+    std::string hex = hexEncode(data.data(), data.size());
+    EXPECT_EQ(hex, "0001abff7e");
+    EXPECT_EQ(hexDecode(hex), data);
+    EXPECT_EQ(hexDecode("00 01 ab ff 7e"), data);
+    EXPECT_EQ(hexDecode("0001ABFF7E"), data);
+}
+
+} // namespace
+} // namespace ironman

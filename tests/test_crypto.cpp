@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Known-answer and property tests for the crypto substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hexutil.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/chacha.h"
+#include "crypto/crhf.h"
+#include "crypto/prg.h"
+
+namespace ironman::crypto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AES
+// ---------------------------------------------------------------------------
+
+/** FIPS-197 Appendix C.1 known-answer test. */
+TEST(AesTest, Fips197KnownAnswer)
+{
+    auto key = hexDecode("000102030405060708090a0b0c0d0e0f");
+    auto pt = hexDecode("00112233445566778899aabbccddeeff");
+    auto expect = hexDecode("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    Aes128 aes(Block::fromBytes(key.data()));
+    uint8_t out[16];
+    aes.encryptBytes(pt.data(), out);
+    EXPECT_EQ(hexEncode(out, 16), hexEncode(expect.data(), 16));
+}
+
+/** NIST all-zero vector. */
+TEST(AesTest, ZeroVector)
+{
+    Aes128 aes(Block::zero());
+    Block ct = aes.encrypt(Block::zero());
+    EXPECT_EQ(hexEncode(reinterpret_cast<uint8_t *>(&ct), 16),
+              "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+/** The AES-NI engine and the software engine must agree bit-for-bit. */
+TEST(AesTest, EnginesAgree)
+{
+    if (!Aes128::usingAesni())
+        GTEST_SKIP() << "AES-NI not available on this host";
+
+    Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        Block key = rng.nextBlock();
+        Block pt = rng.nextBlock();
+        Aes128 aes(key);
+        Block fast = aes.encrypt(pt);
+        Aes128::forceSoftware(true);
+        Block slow = aes.encrypt(pt);
+        Aes128::forceSoftware(false);
+        EXPECT_EQ(fast, slow) << "trial " << trial;
+    }
+}
+
+TEST(AesTest, BatchMatchesSingle)
+{
+    Rng rng(12);
+    Aes128 aes(rng.nextBlock());
+    std::vector<Block> in = rng.nextBlocks(37); // odd size exercises tail
+    std::vector<Block> batch(in.size());
+    aes.encryptBatch(in.data(), batch.data(), in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(batch[i], aes.encrypt(in[i]));
+}
+
+TEST(AesTest, DifferentKeysDiffer)
+{
+    Aes128 a(Block::fromUint64(1));
+    Aes128 b(Block::fromUint64(2));
+    Block pt = Block::fromUint64(99);
+    EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+// ---------------------------------------------------------------------------
+// ChaCha
+// ---------------------------------------------------------------------------
+
+/** RFC 8439 section 2.3.2 ChaCha20 block-function test vector. */
+TEST(ChaChaTest, Rfc8439KnownAnswer)
+{
+    std::array<uint32_t, 8> key;
+    for (int i = 0; i < 8; ++i) {
+        // Key bytes 00 01 02 ... 1f, little-endian words.
+        uint32_t w = 0;
+        for (int b = 3; b >= 0; --b)
+            w = (w << 8) | uint32_t(4 * i + b);
+        key[i] = w;
+    }
+    std::array<uint32_t, 3> nonce = {0x09000000, 0x4a000000, 0x00000000};
+
+    ChaCha chacha(20);
+    uint8_t out[64];
+    chacha.block(key, 1, nonce, out);
+
+    const std::string expect =
+        "10f1e7e4d13b5915500fdd1fa32071c4"
+        "c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2"
+        "b5129cd1de164eb9cbd083e8a2503c4e";
+    EXPECT_EQ(hexEncode(out, 64), expect);
+}
+
+TEST(ChaChaTest, RoundCountChangesOutput)
+{
+    std::array<uint32_t, 8> key{1, 2, 3, 4, 5, 6, 7, 8};
+    std::array<uint32_t, 3> nonce{9, 10, 11};
+    uint8_t o8[64], o12[64], o20[64];
+    ChaCha(8).block(key, 0, nonce, o8);
+    ChaCha(12).block(key, 0, nonce, o12);
+    ChaCha(20).block(key, 0, nonce, o20);
+    EXPECT_NE(hexEncode(o8, 64), hexEncode(o12, 64));
+    EXPECT_NE(hexEncode(o12, 64), hexEncode(o20, 64));
+}
+
+TEST(ChaChaTest, ExpandSeedDeterministicAndTweaked)
+{
+    ChaCha chacha(8);
+    Block seed = Block::fromUint64(77);
+    std::array<Block, 4> a, b, c;
+    chacha.expandSeed(seed, 0, a);
+    chacha.expandSeed(seed, 0, b);
+    chacha.expandSeed(seed, 1, c);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    // All four blocks distinct (overwhelming probability).
+    std::set<std::string> uniq;
+    for (const Block &blk : a)
+        uniq.insert(blk.toHex());
+    EXPECT_EQ(uniq.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// TreePrg
+// ---------------------------------------------------------------------------
+
+class TreePrgParamTest
+    : public ::testing::TestWithParam<std::tuple<PrgKind, unsigned>>
+{};
+
+TEST_P(TreePrgParamTest, DeterministicAcrossInstances)
+{
+    auto [kind, arity] = GetParam();
+    TreePrg p1(kind, arity), p2(kind, arity);
+    Block seed = Block::fromUint64(123);
+    std::vector<Block> c1(arity), c2(arity);
+    p1.expand(seed, c1.data(), arity);
+    p2.expand(seed, c2.data(), arity);
+    EXPECT_EQ(c1, c2);
+}
+
+TEST_P(TreePrgParamTest, LevelMatchesScalar)
+{
+    auto [kind, arity] = GetParam();
+    Rng rng(5);
+    std::vector<Block> parents = rng.nextBlocks(19);
+    TreePrg prg(kind, arity);
+
+    std::vector<Block> level(parents.size() * arity);
+    prg.expandLevel(parents.data(), parents.size(), level.data(), arity);
+
+    TreePrg ref(kind, arity);
+    std::vector<Block> one(arity);
+    for (size_t j = 0; j < parents.size(); ++j) {
+        ref.expand(parents[j], one.data(), arity);
+        for (unsigned c = 0; c < arity; ++c)
+            EXPECT_EQ(level[j * arity + c], one[c]);
+    }
+}
+
+TEST_P(TreePrgParamTest, OpCountMatchesModel)
+{
+    auto [kind, arity] = GetParam();
+    TreePrg prg(kind, arity);
+    Block seed = Block::fromUint64(9);
+    std::vector<Block> kids(arity);
+    prg.expand(seed, kids.data(), arity);
+    uint64_t expect = kind == PrgKind::Aes ? arity : (arity + 3) / 4;
+    EXPECT_EQ(prg.ops(), expect);
+    EXPECT_EQ(prg.opsForExpansion(arity), expect);
+}
+
+TEST_P(TreePrgParamTest, ChildrenDistinctFromParentAndEachOther)
+{
+    auto [kind, arity] = GetParam();
+    TreePrg prg(kind, arity);
+    Rng rng(6);
+    Block seed = rng.nextBlock();
+    std::vector<Block> kids(arity);
+    prg.expand(seed, kids.data(), arity);
+    std::set<std::string> uniq;
+    uniq.insert(seed.toHex());
+    for (const Block &k : kids)
+        uniq.insert(k.toHex());
+    EXPECT_EQ(uniq.size(), arity + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndArities, TreePrgParamTest,
+    ::testing::Combine(::testing::Values(PrgKind::Aes, PrgKind::ChaCha8,
+                                         PrgKind::ChaCha20),
+                       ::testing::Values(2u, 4u, 8u, 16u, 32u)),
+    [](const auto &info) {
+        return prgKindName(std::get<0>(info.param)) + "_m" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// CtrStream
+// ---------------------------------------------------------------------------
+
+TEST(CtrStreamTest, DeterministicAndSeedSensitive)
+{
+    CtrStream a(PrgKind::Aes, Block::fromUint64(1));
+    CtrStream b(PrgKind::Aes, Block::fromUint64(1));
+    CtrStream c(PrgKind::Aes, Block::fromUint64(2));
+    bool diff = false;
+    for (int i = 0; i < 256; ++i) {
+        uint32_t va = a.nextUint32();
+        EXPECT_EQ(va, b.nextUint32());
+        diff |= (va != c.nextUint32());
+    }
+    EXPECT_TRUE(diff);
+}
+
+TEST(CtrStreamTest, NextBelowBounds)
+{
+    CtrStream s(PrgKind::ChaCha8, Block::fromUint64(3));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(s.nextBelow(1000), 1000u);
+}
+
+TEST(CtrStreamTest, ValuesRoughlyUniform)
+{
+    CtrStream s(PrgKind::Aes, Block::fromUint64(4));
+    std::map<uint32_t, int> hist;
+    const int draws = 40000;
+    for (int i = 0; i < draws; ++i)
+        hist[s.nextBelow(16)]++;
+    for (auto &[v, count] : hist)
+        EXPECT_NEAR(count, draws / 16, draws / 16 * 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// CRHF
+// ---------------------------------------------------------------------------
+
+TEST(CrhfTest, DeterministicTweakSeparated)
+{
+    Crhf h;
+    Block x = Block::fromUint64(5);
+    EXPECT_EQ(h.hash(x, 0), h.hash(x, 0));
+    EXPECT_NE(h.hash(x, 0), h.hash(x, 1));
+    EXPECT_NE(h.hash(x, 0), h.hash(Block::fromUint64(6), 0));
+}
+
+TEST(CrhfTest, BatchMatchesSingle)
+{
+    Crhf h;
+    Rng rng(8);
+    std::vector<Block> in = rng.nextBlocks(23);
+    std::vector<Block> out(in.size());
+    h.hashBatch(in.data(), out.data(), in.size(), 100);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out[i], h.hash(in[i], 100 + i));
+}
+
+TEST(CrhfTest, NotTheIdentityAndMixesDelta)
+{
+    Crhf h;
+    Rng rng(9);
+    Block x = rng.nextBlock();
+    Block delta = rng.nextBlock();
+    EXPECT_NE(h.hash(x, 0), x);
+    // H(x) ^ H(x ^ delta) must not equal delta (else COT->OT leaks).
+    EXPECT_NE(h.hash(x, 0) ^ h.hash(x ^ delta, 0), delta);
+}
+
+} // namespace
+} // namespace ironman::crypto

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * IKNP OT-extension tests: the bit transpose, the COT correlation, and
+ * the linear-communication property the paper contrasts with
+ * PCG-style OTE.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/two_party.h"
+#include "ot/bit_transpose.h"
+#include "ot/iknp.h"
+
+namespace ironman::ot {
+namespace {
+
+TEST(BitTransposeTest, Transpose64MatchesNaive)
+{
+    Rng rng(61);
+    uint64_t a[64], orig[64];
+    for (auto &w : a)
+        w = rng.nextUint64();
+    std::copy(std::begin(a), std::end(a), std::begin(orig));
+
+    transpose64(a);
+    for (int i = 0; i < 64; ++i)
+        for (int j = 0; j < 64; ++j)
+            ASSERT_EQ((a[i] >> j) & 1, (orig[j] >> i) & 1)
+                << "i=" << i << " j=" << j;
+}
+
+TEST(BitTransposeTest, Transpose64IsInvolution)
+{
+    Rng rng(62);
+    uint64_t a[64], orig[64];
+    for (auto &w : a)
+        w = rng.nextUint64();
+    std::copy(std::begin(a), std::end(a), std::begin(orig));
+    transpose64(a);
+    transpose64(a);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a[i], orig[i]);
+}
+
+TEST(BitTransposeTest, ColumnsToBlocks)
+{
+    const size_t n = 256;
+    Rng rng(63);
+    std::vector<BitVec> cols(128);
+    for (auto &c : cols)
+        c = rng.nextBits(n);
+
+    std::vector<Block> rows = transposeColumnsToBlocks(cols, n);
+    ASSERT_EQ(rows.size(), n);
+    for (size_t i = 0; i < n; ++i)
+        for (unsigned j = 0; j < 128; ++j)
+            ASSERT_EQ(rows[i].getBit(j), cols[j].get(i))
+                << "row " << i << " col " << j;
+}
+
+TEST(IknpTest, CorrelationHolds)
+{
+    const size_t n = 1 << 12;
+    Rng rng(64);
+    IknpSetup setup = dealIknpSetup(rng);
+    BitVec choices = rng.nextBits(n);
+
+    std::vector<Block> q, t;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            q = iknpExtendSender(ch, setup, n, 0);
+        },
+        [&](net::Channel &ch) {
+            t = iknpExtendReceiver(ch, setup, choices, 0);
+        });
+
+    ASSERT_EQ(q.size(), n);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(t[i],
+                  q[i] ^ scalarMul(choices.get(i), setup.delta))
+            << "i=" << i;
+}
+
+TEST(IknpTest, SessionsProduceFreshCorrelations)
+{
+    const size_t n = 256;
+    Rng rng(65);
+    IknpSetup setup = dealIknpSetup(rng);
+    BitVec choices = rng.nextBits(n);
+
+    auto run = [&](uint64_t session) {
+        std::vector<Block> q;
+        net::runTwoParty(
+            [&](net::Channel &ch) {
+                q = iknpExtendSender(ch, setup, n, session);
+            },
+            [&](net::Channel &ch) {
+                iknpExtendReceiver(ch, setup, choices, session);
+            });
+        return q;
+    };
+
+    std::vector<Block> q0 = run(0);
+    std::vector<Block> q1 = run(1);
+    size_t same = 0;
+    for (size_t i = 0; i < n; ++i)
+        same += (q0[i] == q1[i]);
+    EXPECT_EQ(same, 0u);
+}
+
+TEST(IknpTest, CommunicationIsLinearSixteenBytesPerCot)
+{
+    const size_t n = 1 << 13;
+    Rng rng(66);
+    IknpSetup setup = dealIknpSetup(rng);
+    BitVec choices = rng.nextBits(n);
+
+    auto wire = net::runTwoParty(
+        [&](net::Channel &ch) { iknpExtendSender(ch, setup, n, 0); },
+        [&](net::Channel &ch) {
+            iknpExtendReceiver(ch, setup, choices, 0);
+        });
+
+    double bytes_per_cot = double(wire.totalBytes) / n;
+    // 128 columns of n bits = 16 B/COT plus small length prefixes.
+    EXPECT_GT(bytes_per_cot, 15.9);
+    EXPECT_LT(bytes_per_cot, 16.5);
+}
+
+} // namespace
+} // namespace ironman::ot

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * PRG pipeline schedule tests (Fig. 8): depth-first stalls, hybrid
+ * reaches ~full utilization, buffer bounds match the paper's O(log l)
+ * vs O(l) analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ot/ggm_tree.h"
+#include "sim/pipeline.h"
+
+namespace ironman::sim {
+namespace {
+
+ExpandWorkload
+workload(size_t leaves, unsigned arity, uint64_t trees)
+{
+    ExpandWorkload wl;
+    wl.arities = ot::treeArities(leaves, arity);
+    wl.numTrees = trees;
+    return wl;
+}
+
+TEST(PipelineTest, OpCountMatchesTreeModel)
+{
+    // 4-ary ChaCha: one op per internal node, (l-1)/3 nodes.
+    auto sched = scheduleExpansion(workload(4096, 4, 1),
+                                   ExpandStrategy::Hybrid);
+    EXPECT_EQ(sched.ops, (4096u - 1) / 3);
+
+    // 2-ary ChaCha: l-1 internal... (l-1) nodes, 1 op each.
+    sched = scheduleExpansion(workload(4096, 2, 1),
+                              ExpandStrategy::BreadthFirst);
+    EXPECT_EQ(sched.ops, 4095u);
+}
+
+TEST(PipelineTest, DepthFirstStallsOnEveryDescent)
+{
+    // Fig. 8(a): a 2-level binary tree: root, then 7 bubbles before the
+    // first child expansion.
+    ExpandWorkload wl = workload(4, 2, 1);
+    auto sched = scheduleExpansion(wl, ExpandStrategy::DepthFirst, 8);
+    // Nodes: root + 2 children = 3 ops. Root at slot 0, child0 waits
+    // until slot 8 (7 bubbles), child1 at slot 9.
+    EXPECT_EQ(sched.ops, 3u);
+    EXPECT_EQ(sched.bubbles, 7u);
+    // Root at slot 0, child0 at 8, child1 at 9; child1 drains at 9+8.
+    EXPECT_EQ(sched.cycles, 17u);
+}
+
+TEST(PipelineTest, DepthFirstUtilizationIsPoorOnOneTree)
+{
+    auto sched = scheduleExpansion(workload(4096, 4, 1),
+                                   ExpandStrategy::DepthFirst, 8);
+    EXPECT_LT(sched.utilization(), 0.75);
+}
+
+TEST(PipelineTest, BreadthFirstFillsWideLevels)
+{
+    auto sched = scheduleExpansion(workload(4096, 4, 1),
+                                   ExpandStrategy::BreadthFirst, 8);
+    // Bubbles only at the narrow top levels.
+    EXPECT_GT(sched.utilization(), 0.95);
+}
+
+TEST(PipelineTest, HybridReachesFullUtilizationAcrossTrees)
+{
+    // Fig. 8(b): with enough trees in flight the pipeline never idles
+    // (aside from the initial fill).
+    auto sched = scheduleExpansion(workload(1024, 4, 32),
+                                   ExpandStrategy::Hybrid, 8);
+    EXPECT_GT(sched.utilization(), 0.99);
+    // Makespan ~ total ops + drain.
+    EXPECT_LE(sched.cycles, sched.ops + 64);
+}
+
+TEST(PipelineTest, HybridBeatsDepthFirstMatchesPaperTrend)
+{
+    auto dfs = scheduleExpansion(workload(4096, 4, 16),
+                                 ExpandStrategy::DepthFirst, 8);
+    auto hybrid = scheduleExpansion(workload(4096, 4, 16),
+                                    ExpandStrategy::Hybrid, 8);
+    EXPECT_EQ(dfs.ops, hybrid.ops);
+    EXPECT_LT(hybrid.cycles, dfs.cycles);
+    EXPECT_LT(hybrid.bubbles, dfs.bubbles);
+}
+
+TEST(PipelineTest, BufferBoundsMatchAnalysis)
+{
+    const size_t leaves = 4096;
+    auto dfs = scheduleExpansion(workload(leaves, 4, 1),
+                                 ExpandStrategy::DepthFirst, 8);
+    auto bfs = scheduleExpansion(workload(leaves, 4, 1),
+                                 ExpandStrategy::BreadthFirst, 8);
+    // Depth-first: O(m * log_m l) live nodes; breadth-first: O(l).
+    EXPECT_LT(dfs.peakBuffer, 64u);
+    EXPECT_GT(bfs.peakBuffer, leaves / 8);
+    EXPECT_LT(dfs.peakBuffer, bfs.peakBuffer / 4);
+}
+
+TEST(PipelineTest, HybridBufferBoundedByActiveWindow)
+{
+    auto hybrid = scheduleExpansion(workload(4096, 4, 64),
+                                    ExpandStrategy::Hybrid, 8);
+    auto bfs = scheduleExpansion(workload(4096, 4, 64),
+                                 ExpandStrategy::BreadthFirst, 8);
+    // Hybrid keeps ~stages trees in flight at O(m log l) each — far
+    // below breadth-first's per-tree O(l).
+    EXPECT_LT(hybrid.peakBuffer, bfs.peakBuffer / 2);
+}
+
+TEST(PipelineTest, MultiCoreScalesMakespan)
+{
+    ExpandWorkload wl = workload(4096, 4, 64);
+    auto one = scheduleExpansionMultiCore(wl, ExpandStrategy::Hybrid, 1);
+    auto four = scheduleExpansionMultiCore(wl, ExpandStrategy::Hybrid, 4);
+    EXPECT_EQ(one.ops, four.ops);
+    EXPECT_NEAR(double(one.cycles) / double(four.cycles), 4.0, 0.5);
+}
+
+TEST(PipelineTest, AesOverrideCostsMoreOpsThanChaCha)
+{
+    // Pipelined AES bank: m ops per node vs ceil(m/4) for ChaCha.
+    ExpandWorkload chacha = workload(1024, 4, 8);
+    ExpandWorkload aes = chacha;
+    aes.opsPerNodeOverride = 4;
+    auto c = scheduleExpansion(chacha, ExpandStrategy::Hybrid, 8);
+    auto a = scheduleExpansion(aes, ExpandStrategy::Hybrid, 8);
+    EXPECT_EQ(a.ops, c.ops * 4);
+    EXPECT_GT(a.cycles, c.cycles * 3);
+}
+
+TEST(PipelineTest, MixedRadixTreeSchedules)
+{
+    // 8192 = 2 * 4^6 exercises the mixed-radix shape end to end.
+    auto sched = scheduleExpansion(workload(8192, 4, 4),
+                                   ExpandStrategy::Hybrid, 8);
+    // Internal nodes: 1 + 2*(4^6-1)/3 = 2731 per tree.
+    EXPECT_EQ(sched.ops, 4u * (1 + 2 * (4096 - 1) / 3));
+    EXPECT_GT(sched.utilization(), 0.9);
+}
+
+} // namespace
+} // namespace ironman::sim

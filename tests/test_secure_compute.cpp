@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the OT-based online nonlinear protocols: every secure
+ * operation must agree with plain evaluation on reconstructed values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/two_party.h"
+#include "ppml/secure_compute.h"
+
+namespace ironman::ppml {
+namespace {
+
+constexpr unsigned kWidth = 32;
+
+uint64_t
+mask(uint64_t v)
+{
+    return v & ((uint64_t(1) << kWidth) - 1);
+}
+
+int64_t
+toSigned(uint64_t v)
+{
+    // Interpret as signed kWidth-bit.
+    if (v & (uint64_t(1) << (kWidth - 1)))
+        return int64_t(v) - (int64_t(1) << kWidth);
+    return int64_t(v);
+}
+
+/** Split value into two additive shares. */
+std::pair<uint64_t, uint64_t>
+shareOf(uint64_t v, Rng &rng)
+{
+    uint64_t s0 = mask(rng.nextUint64());
+    return {s0, mask(v - s0)};
+}
+
+struct Parties
+{
+    DualCotPool p0, p1;
+};
+
+Parties
+makeParties(size_t cots, uint64_t seed)
+{
+    Rng rng(seed);
+    auto [a, b] = dealDualPools(rng, cots);
+    return {std::move(a), std::move(b)};
+}
+
+TEST(SecureComputeTest, AndGateMatchesPlain)
+{
+    const size_t n = 500;
+    Rng rng(1);
+    BitVec a = rng.nextBits(n), b = rng.nextBits(n);
+    BitVec a0 = rng.nextBits(n), b0 = rng.nextBits(n);
+    BitVec a1 = SecureCompute::xorShares(a, a0);
+    BitVec b1 = SecureCompute::xorShares(b, b0);
+
+    Parties parties = makeParties(2 * n, 11);
+    BitVec z0, z1;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
+            z0 = sc.andShares(a0, b0);
+        },
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
+            z1 = sc.andShares(a1, b1);
+        });
+
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(z0.get(i) ^ z1.get(i), a.get(i) && b.get(i))
+            << "i=" << i;
+}
+
+TEST(SecureComputeTest, DreluMatchesSign)
+{
+    const size_t n = 64;
+    Rng rng(2);
+    std::vector<uint64_t> values(n);
+    for (size_t i = 0; i < n; ++i) {
+        // Mix of positives, negatives, zero and extremes.
+        switch (i % 5) {
+          case 0: values[i] = mask(rng.nextUint64() >> 34); break;
+          case 1: values[i] = mask(-int64_t(rng.nextBelow(1 << 20))); break;
+          case 2: values[i] = 0; break;
+          case 3: values[i] = mask(uint64_t(1) << (kWidth - 1)); break;
+          default: values[i] = mask(rng.nextUint64()); break;
+        }
+    }
+
+    std::vector<uint64_t> s0(n), s1(n);
+    for (size_t i = 0; i < n; ++i)
+        std::tie(s0[i], s1[i]) = shareOf(values[i], rng);
+
+    Parties parties = makeParties(8 * kWidth * n, 12);
+    BitVec d0, d1;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
+            d0 = sc.drelu(s0);
+        },
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
+            d1 = sc.drelu(s1);
+        });
+
+    for (size_t i = 0; i < n; ++i) {
+        bool expect = toSigned(values[i]) >= 0;
+        EXPECT_EQ(d0.get(i) ^ d1.get(i), expect)
+            << "value " << toSigned(values[i]);
+    }
+}
+
+TEST(SecureComputeTest, MuxSelectsOrZeroes)
+{
+    const size_t n = 200;
+    Rng rng(3);
+    std::vector<uint64_t> x(n);
+    BitVec b = rng.nextBits(n);
+    for (auto &v : x)
+        v = mask(rng.nextUint64());
+
+    std::vector<uint64_t> x0(n), x1(n);
+    BitVec b0 = rng.nextBits(n);
+    BitVec b1 = SecureCompute::xorShares(b, b0);
+    for (size_t i = 0; i < n; ++i)
+        std::tie(x0[i], x1[i]) = shareOf(x[i], rng);
+
+    Parties parties = makeParties(2 * n, 13);
+    std::vector<uint64_t> y0, y1;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
+            y0 = sc.mux(b0, x0);
+        },
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
+            y1 = sc.mux(b1, x1);
+        });
+
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t got = mask(y0[i] + y1[i]);
+        EXPECT_EQ(got, b.get(i) ? x[i] : 0) << "i=" << i;
+    }
+}
+
+TEST(SecureComputeTest, ReluMatchesPlain)
+{
+    const size_t n = 48;
+    Rng rng(4);
+    std::vector<uint64_t> values(n), s0(n), s1(n);
+    for (size_t i = 0; i < n; ++i) {
+        int64_t v = int64_t(rng.nextBelow(1 << 24)) - (1 << 23);
+        values[i] = mask(uint64_t(v));
+        std::tie(s0[i], s1[i]) = shareOf(values[i], rng);
+    }
+
+    Parties parties = makeParties(8 * kWidth * n, 14);
+    std::vector<uint64_t> y0, y1;
+    size_t cots_used = 0;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
+            y0 = sc.relu(s0);
+            cots_used = sc.cotsConsumed();
+        },
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
+            y1 = sc.relu(s1);
+        });
+
+    for (size_t i = 0; i < n; ++i) {
+        int64_t v = toSigned(values[i]);
+        uint64_t expect = v >= 0 ? values[i] : 0;
+        EXPECT_EQ(mask(y0[i] + y1[i]), expect)
+            << "value " << v;
+    }
+
+    // COT accounting: drelu uses 4 per bit position per element
+    // (2 ANDs x 2 COTs), mux 2 per element.
+    size_t expect_cots = n * (4 * (kWidth - 1) + 2);
+    EXPECT_EQ(cots_used, expect_cots);
+}
+
+TEST(SecureComputeTest, MaxElementwiseMatchesPlain)
+{
+    const size_t n = 32;
+    Rng rng(5);
+    std::vector<uint64_t> a(n), b(n), a0(n), a1(n), b0(n), b1(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = mask(uint64_t(int64_t(rng.nextBelow(1 << 20)) - (1 << 19)));
+        b[i] = mask(uint64_t(int64_t(rng.nextBelow(1 << 20)) - (1 << 19)));
+        std::tie(a0[i], a1[i]) = shareOf(a[i], rng);
+        std::tie(b0[i], b1[i]) = shareOf(b[i], rng);
+    }
+
+    Parties parties = makeParties(8 * kWidth * n, 15);
+    std::vector<uint64_t> y0, y1;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
+            y0 = sc.maxElementwise(a0, b0);
+        },
+        [&](net::Channel &ch) {
+            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
+            y1 = sc.maxElementwise(a1, b1);
+        });
+
+    for (size_t i = 0; i < n; ++i) {
+        int64_t expect = std::max(toSigned(a[i]), toSigned(b[i]));
+        EXPECT_EQ(toSigned(mask(y0[i] + y1[i])), expect) << "i=" << i;
+    }
+}
+
+TEST(SecureComputeTest, PoolExhaustionIsFatal)
+{
+    Parties parties = makeParties(4, 16); // far too few
+    EXPECT_DEATH(
+        {
+            net::runTwoParty(
+                [&](net::Channel &ch) {
+                    SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
+                    Rng rng(6);
+                    BitVec a = rng.nextBits(100), b = rng.nextBits(100);
+                    sc.andShares(a, b);
+                },
+                [&](net::Channel &ch) {
+                    SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
+                    Rng rng(7);
+                    BitVec a = rng.nextBits(100), b = rng.nextBits(100);
+                    sc.andShares(a, b);
+                });
+        },
+        "exhausted");
+}
+
+} // namespace
+} // namespace ironman::ppml
