@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Microbench: allocate-per-call vs workspace-reuse FERRET extension.
+ *
+ * The legacy path is the historical vector-returning extend() (fresh
+ * output vectors every call, plus whatever the protocol allocated
+ * internally before the OtWorkspace refactor — the shim itself still
+ * allocates its outputs). The workspace path is extendInto() writing
+ * into preallocated spans, zero heap allocations once warm. A thread
+ * sweep shows the fixed-pool batch-SPCOT/LPN scaling.
+ *
+ * Run: ./bench_micro_workspace_reuse   (IRONMAN_BENCH_FAST=1 trims)
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/two_party.h"
+#include "ot/base_cot.h"
+#include "ot/ferret.h"
+#include "ot/ferret_params.h"
+
+using namespace ironman;
+using namespace ironman::ot;
+
+namespace {
+
+struct Result
+{
+    double otsPerSec = 0;
+    double usPerExtension = 0;
+};
+
+/** One measured configuration: @p iters extensions after one warm-up. */
+Result
+measure(const FerretParams &p, bool workspace, int threads, int iters)
+{
+    Rng dealer(1234);
+    Block delta = dealer.nextBlock();
+    auto [bs, br] = dealBaseCots(dealer, delta, p.reservedCots());
+
+    double seconds = 0;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            FerretCotSender sender(ch, p, delta, std::move(bs.q));
+            sender.setThreads(threads);
+            Rng rng(1);
+            std::vector<Block> out(p.usableOts());
+            // Warm-up extension (sizes workspaces, faults pages).
+            sender.extendInto(rng, out.data());
+            Timer timer;
+            for (int it = 0; it < iters; ++it) {
+                if (workspace)
+                    sender.extendInto(rng, out.data());
+                else
+                    out = sender.extend(rng); // fresh vector per call
+            }
+            seconds = timer.seconds();
+        },
+        [&](net::Channel &ch) {
+            FerretCotReceiver receiver(ch, p, std::move(br.choice),
+                                       std::move(br.t));
+            receiver.setThreads(threads);
+            Rng rng(2);
+            BitVec choice;
+            std::vector<Block> t(p.usableOts());
+            receiver.extendInto(rng, choice, t.data());
+            for (int it = 0; it < iters; ++it) {
+                if (workspace) {
+                    receiver.extendInto(rng, choice, t.data());
+                } else {
+                    auto got = receiver.extend(rng);
+                    (void)got;
+                }
+            }
+        });
+
+    Result r;
+    r.usPerExtension = seconds * 1e6 / iters;
+    r.otsPerSec = double(p.usableOts()) * iters / seconds;
+    return r;
+}
+
+void
+row(const char *label, const FerretParams &p, bool workspace, int threads,
+    int iters)
+{
+    Result r = measure(p, workspace, threads, iters);
+    std::printf("  %-22s %2d thr   %9.0f us/ext   %8.2f M OT/s\n", label,
+                threads, r.usPerExtension, r.otsPerSec / 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("micro_workspace_reuse",
+                  "allocate-per-call vs workspace-reuse FERRET extension");
+
+    const bool fast = bench::fastMode();
+    const int iters = fast ? 2 : 8;
+
+    FerretParams tiny = tinyTestParams();
+    std::printf("%s set: n=%zu k=%zu t=%zu l=%zu, %zu usable OTs/ext\n",
+                tiny.name.c_str(), tiny.n, tiny.k, tiny.t,
+                tiny.treeLeaves(), tiny.usableOts());
+    row("alloc-per-call", tiny, false, 1, iters);
+    row("workspace-reuse", tiny, true, 1, iters);
+    row("workspace-reuse", tiny, true, 2, iters);
+    row("workspace-reuse", tiny, true, 4, iters);
+
+    if (!fast) {
+        FerretParams big = paperParamSet(20);
+        std::printf("\n%s set: n=%zu k=%zu t=%zu l=%zu, %zu usable "
+                    "OTs/ext\n",
+                    big.name.c_str(), big.n, big.k, big.t,
+                    big.treeLeaves(), big.usableOts());
+        const int big_iters = 2;
+        row("alloc-per-call", big, false, 1, big_iters);
+        row("workspace-reuse", big, true, 1, big_iters);
+        row("workspace-reuse", big, true, 2, big_iters);
+        row("workspace-reuse", big, true, 4, big_iters);
+    }
+
+    bench::note("workspace path = extendInto() (zero allocations once "
+                "warm; see tests/test_workspace_engine.cpp)");
+    return 0;
+}

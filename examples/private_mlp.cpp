@@ -3,14 +3,15 @@
  * End-to-end private inference of a small MLP — the full stack in one
  * program:
  *
- *   1. Two *real* Ferret OTE sessions run back-to-back with swapped
- *      sender/receiver roles (the role-switching scenario the unified
- *      architecture of Sec. 5.2 exists for), filling each party's COT
- *      pool in both OT directions.
+ *   1. Each party brings up one persistent FerretCotEngine: two
+ *      *real* Ferret OTE sessions with swapped sender/receiver roles
+ *      (the role-switching scenario the unified architecture of
+ *      Sec. 5.2 exists for) that stay alive for the whole inference
+ *      and refill themselves when a layer drains them.
  *   2. The client secret-shares its input; the model (weights) is
  *      public, so linear layers are local on shares.
- *   3. ReLU layers run through the GMW engine, consuming the COTs
- *      from step 1.
+ *   3. ReLU layers run through the GMW engine, drawing COTs from the
+ *      engine of step 1 — no per-layer setup.
  *   4. The output reconstructs to exactly the plaintext inference.
  *
  * Run: ./private_mlp
@@ -21,13 +22,12 @@
 
 #include "common/rng.h"
 #include "net/two_party.h"
-#include "ot/base_cot.h"
-#include "ot/ferret.h"
 #include "ot/ferret_params.h"
+#include "ppml/cot_engine.h"
 #include "ppml/secure_compute.h"
 
 using namespace ironman;
-using ppml::DualCotPool;
+using ppml::FerretCotEngine;
 using ppml::SecureCompute;
 
 namespace {
@@ -129,78 +129,47 @@ main()
         x1[i] = msk(uint64_t(input[i]) - x0[i]);
     }
 
-    // --- preprocessing: two role-swapped Ferret sessions --------------
-    // COTs needed: ReLU on kHidden elements = kHidden*(4*(w-1)+2),
-    // round up generously.
+    // --- one session: persistent OT engine + online inference ---------
+    // The engine's two role-swapped Ferret sessions prime once and
+    // refill on demand; every layer draws from the same instance.
     ot::FerretParams params = ot::tinyTestParams();
-    std::printf("preprocessing: 2 x Ferret extension (%s set, "
-                "role-swapped) -> %zu COTs per direction\n",
+    std::printf("engine: persistent dual-direction Ferret OTE "
+                "(%s set) -> %zu COTs per extension per direction\n",
                 params.name.c_str(), params.usableOts());
 
-    Rng dealer(33);
-    Block delta_a = dealer.nextBlock();
-    Block delta_b = dealer.nextBlock();
-    auto [base_sa, base_ra] =
-        ot::dealBaseCots(dealer, delta_a, params.reservedCots());
-    auto [base_sb, base_rb] =
-        ot::dealBaseCots(dealer, delta_b, params.reservedCots());
-
-    DualCotPool pool0, pool1;
-    Timer preproc_timer;
-    net::runTwoParty(
-        [&](net::Channel &ch) {
-            // Session A: party 0 is the OTE sender...
-            ot::FerretCotSender sender(ch, params, delta_a,
-                                       std::move(base_sa.q));
-            Rng rng(44);
-            pool0.delta = delta_a;
-            pool0.sendQ = sender.extend(rng);
-            // ...session B: party 0 switches to the receiver role.
-            ot::FerretCotReceiver receiver(ch, params,
-                                           std::move(base_rb.choice),
-                                           std::move(base_rb.t));
-            auto out = receiver.extend(rng);
-            pool0.recvBits = std::move(out.choice);
-            pool0.recvT = std::move(out.t);
-        },
-        [&](net::Channel &ch) {
-            ot::FerretCotReceiver receiver(ch, params,
-                                           std::move(base_ra.choice),
-                                           std::move(base_ra.t));
-            Rng rng(55);
-            auto out = receiver.extend(rng);
-            pool1.recvBits = std::move(out.choice);
-            pool1.recvT = std::move(out.t);
-            ot::FerretCotSender sender(ch, params, delta_b,
-                                       std::move(base_sb.q));
-            pool1.delta = delta_b;
-            pool1.sendQ = sender.extend(rng);
-        });
-    std::printf("preprocessing done in %.3f s (both directions)\n",
-                preproc_timer.seconds());
-
-    // --- online phase --------------------------------------------------
+    constexpr uint64_t kSetupSeed = 33;
     std::vector<uint64_t> y0, y1;
     size_t cots_used = 0;
-    Timer online_timer;
-    auto run_party = [&](int party, DualCotPool pool,
-                         const std::vector<uint64_t> &x_share,
+    uint64_t extensions = 0;
+    double setup_secs = 0, online_secs = 0;
+    auto run_party = [&](int party, const std::vector<uint64_t> &x_share,
                          std::vector<uint64_t> &y_out) {
-        return [&, party, x_share,
-                pool = std::move(pool)](net::Channel &ch) mutable {
-            SecureCompute sc(ch, party, std::move(pool), kWidth);
+        return [&, party, x_share](net::Channel &ch) {
+            Timer setup_timer;
+            FerretCotEngine engine(ch, party, params, kSetupSeed);
+            SecureCompute sc(ch, party, engine, kWidth);
+            if (party == 0)
+                setup_secs = setup_timer.seconds();
+
+            Timer online_timer;
             auto h = denseLocal(mlp.w1, Mlp::kHidden, Mlp::kIn, x_share,
                                 party == 0);
             h = sc.relu(h);
             y_out = denseLocal(mlp.w2, Mlp::kOut, Mlp::kHidden, h,
                                party == 0);
-            if (party == 0)
+            if (party == 0) {
+                online_secs = online_timer.seconds();
                 cots_used = sc.cotsConsumed();
+                extensions = engine.extensionsRun();
+            }
         };
     };
-    auto wire = net::runTwoParty(run_party(0, std::move(pool0), x0, y0),
-                                 run_party(1, std::move(pool1), x1, y1));
-    double online_secs = online_timer.seconds();
+    auto wire = net::runTwoParty(run_party(0, x0, y0),
+                                 run_party(1, x1, y1));
+    std::printf("engine setup + priming: %.3f s; ran %llu extensions "
+                "across the inference\n",
+                setup_secs,
+                static_cast<unsigned long long>(extensions));
 
     // --- reconstruct and compare ---------------------------------------
     std::vector<int64_t> expect = plainForward(mlp, input);

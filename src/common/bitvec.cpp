@@ -1,5 +1,6 @@
 #include "common/bitvec.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -30,6 +31,61 @@ BitVec::resize(size_t n)
     if (n < numBits && (n & 63))
         words.back() &= (1ULL << (n & 63)) - 1;
     numBits = n;
+}
+
+void
+BitVec::assignRange(const BitVec &src, size_t offset, size_t n)
+{
+    IRONMAN_CHECK(this != &src, "assignRange cannot alias its source");
+    IRONMAN_CHECK(offset + n <= src.numBits);
+    resize(n);
+
+    const size_t w0 = offset >> 6;
+    const unsigned shift = offset & 63;
+    const auto &sw = src.words;
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint64_t lo = sw[w0 + i] >> shift;
+        uint64_t hi = (shift && w0 + i + 1 < sw.size())
+                          ? sw[w0 + i + 1] << (64 - shift)
+                          : 0;
+        words[i] = lo | hi;
+    }
+    if (n & 63)
+        words.back() &= (1ULL << (n & 63)) - 1;
+}
+
+void
+BitVec::zeroAll()
+{
+    std::fill(words.begin(), words.end(), 0);
+}
+
+void
+BitVec::appendRange(const BitVec &src, size_t offset, size_t n)
+{
+    IRONMAN_CHECK(this != &src, "appendRange cannot alias its source");
+    IRONMAN_CHECK(offset + n <= src.numBits);
+    const size_t old = numBits;
+    resize(old + n);
+
+    size_t i = 0;
+    // Align the destination cursor to a word boundary.
+    for (; i < n && ((old + i) & 63); ++i)
+        set(old + i, src.get(offset + i));
+    // Word-wise interior.
+    for (; i + 64 <= n; i += 64) {
+        const size_t s = offset + i;
+        const size_t w = s >> 6;
+        const unsigned shift = s & 63;
+        uint64_t lo = src.words[w] >> shift;
+        uint64_t hi = (shift && w + 1 < src.words.size())
+                          ? src.words[w + 1] << (64 - shift)
+                          : 0;
+        words[(old + i) >> 6] = lo | hi;
+    }
+    // Tail.
+    for (; i < n; ++i)
+        set(old + i, src.get(offset + i));
 }
 
 size_t

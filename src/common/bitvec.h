@@ -53,6 +53,22 @@ class BitVec
     /** Change length to @p n, new bits are zero. */
     void resize(size_t n);
 
+    /**
+     * Make this vector a copy of @p n bits of @p src starting at
+     * @p offset (word-wise, no per-bit loop). Storage is reused, so
+     * repeated calls at a stable length allocate nothing.
+     */
+    void assignRange(const BitVec &src, size_t offset, size_t n);
+
+    /** Set every bit to zero without changing the length. */
+    void zeroAll();
+
+    /**
+     * Append @p n bits of @p src starting at @p offset (word-wise in
+     * the interior, so appending a large vector is O(n/64)).
+     */
+    void appendRange(const BitVec &src, size_t offset, size_t n);
+
     /** Number of set bits. */
     size_t popcount() const;
 

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fixed-size worker pool for deterministic data-parallel loops.
+ *
+ * The OTE hot path (batch-SPCOT tree expansion, LPN gather-XOR) is
+ * embarrassingly parallel over disjoint output ranges, but spawning
+ * std::threads per call costs both latency and heap allocations. This
+ * pool follows the stage/work-queue idiom of the pipelined-simulator
+ * exemplar: N-1 persistent workers plus the calling thread, each
+ * handed one contiguous range per job.
+ *
+ * Properties the protocol code relies on:
+ *  - the range partition depends only on (count, threads), never on
+ *    scheduling, so parallel output is bit-identical to serial;
+ *  - run() performs no heap allocation (jobs are a function pointer +
+ *    context, not a queue of std::functions);
+ *  - with threads <= 1 the pool holds no workers and runs inline.
+ *
+ * Jobs must not throw (protocol invariants use IRONMAN_CHECK, which
+ * aborts) and must not call run() reentrantly from a worker.
+ */
+
+#ifndef IRONMAN_COMMON_THREAD_POOL_H
+#define IRONMAN_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ironman::common {
+
+/** Persistent worker pool; one contiguous range per worker. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads = 1);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Change the worker count (joins and respawns threads). Must not
+     * race with run(). No-op when the count is unchanged.
+     */
+    void resize(int threads);
+
+    /** Ranges a job is split into (workers + the calling thread). */
+    int threads() const { return int(workers.size()) + 1; }
+
+    using RangeFn = void (*)(void *ctx, int worker, size_t begin,
+                             size_t end);
+
+    /**
+     * Split [0, count) into threads() contiguous ranges of
+     * ceil(count/threads()) and invoke fn(ctx, worker, begin, end) on
+     * each non-empty one; blocks until all complete. Worker 0 runs on
+     * the calling thread.
+     */
+    void run(size_t count, RangeFn fn, void *ctx);
+
+    /** Sugar: parallelFor(n, [&](int worker, size_t b, size_t e) {...}). */
+    template <typename F>
+    void
+    parallelFor(size_t count, F &&f)
+    {
+        run(count,
+            [](void *ctx, int worker, size_t begin, size_t end) {
+                (*static_cast<std::remove_reference_t<F> *>(ctx))(
+                    worker, begin, end);
+            },
+            &f);
+    }
+
+  private:
+    void workerMain(int id, uint64_t start_gen);
+    void stopWorkers();
+
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    uint64_t jobGen = 0;   ///< incremented per job; workers watch it
+    RangeFn jobFn = nullptr;
+    void *jobCtx = nullptr;
+    size_t jobCount = 0;
+    size_t jobPer = 0;     ///< range width (ceil(count / threads()))
+    size_t pending = 0;    ///< workers still running the current job
+    bool stopping = false;
+};
+
+} // namespace ironman::common
+
+#endif // IRONMAN_COMMON_THREAD_POOL_H

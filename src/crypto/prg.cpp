@@ -6,18 +6,6 @@
 
 namespace ironman::crypto {
 
-std::string
-prgKindName(PrgKind kind)
-{
-    switch (kind) {
-      case PrgKind::Aes: return "AES";
-      case PrgKind::ChaCha8: return "ChaCha8";
-      case PrgKind::ChaCha12: return "ChaCha12";
-      case PrgKind::ChaCha20: return "ChaCha20";
-    }
-    return "?";
-}
-
 namespace {
 
 int
@@ -31,84 +19,31 @@ chachaRounds(PrgKind kind)
     }
 }
 
-/** Fixed, public per-slot AES keys (both parties derive the same). */
-Block
-slotKey(unsigned slot)
-{
-    // Distinct nothing-up-my-sleeve constants per child slot.
-    return Block(0x9e3779b97f4a7c15ULL * (slot + 1),
-                 0xc2b2ae3d27d4eb4fULL ^ (uint64_t(slot) << 32));
-}
-
 } // namespace
 
 TreePrg::TreePrg(PrgKind kind, unsigned max_arity)
-    : prgKind(kind), maxArity(max_arity)
+    : prgKind(kind), exp(makeTreeExpander(kind, max_arity))
 {
     IRONMAN_CHECK(max_arity >= 2);
-    if (kind == PrgKind::Aes) {
-        aesSlots.reserve(max_arity);
-        for (unsigned i = 0; i < max_arity; ++i)
-            aesSlots.emplace_back(slotKey(i));
-    } else {
-        chacha = std::make_unique<ChaCha>(chachaRounds(kind));
-    }
 }
 
 uint64_t
 TreePrg::opsForExpansion(unsigned arity) const
 {
-    if (prgKind == PrgKind::Aes)
-        return arity;
-    return (arity + 3) / 4; // 512-bit output = 4 blocks per call
+    return exp->opsPerSeed(arity);
 }
 
 void
 TreePrg::expand(const Block &parent, Block *children, unsigned arity)
 {
-    IRONMAN_CHECK(arity >= 1 && arity <= maxArity);
-
-    if (prgKind == PrgKind::Aes) {
-        // child_i = AES_{k_i}(s) XOR s  — the standard double-length
-        // PRG of Sec. 2.3.1 generalized to m fixed keys (Fig. 6(b)).
-        for (unsigned i = 0; i < arity; ++i)
-            children[i] = aesSlots[i].encrypt(parent) ^ parent;
-        opCount += arity;
-        return;
-    }
-
-    // ChaCha: each call emits 4 children; chunk index is the tweak so
-    // all chunks of one expansion stay distinct.
-    std::array<Block, 4> chunk;
-    unsigned produced = 0;
-    uint64_t chunk_idx = 0;
-    while (produced < arity) {
-        chacha->expandSeed(parent, chunk_idx++, chunk);
-        ++opCount;
-        for (unsigned i = 0; i < 4 && produced < arity; ++i)
-            children[produced++] = chunk[i];
-    }
+    exp->expand(&parent, children, 1, arity);
 }
 
 void
 TreePrg::expandLevel(const Block *parents, size_t count, Block *children,
                      unsigned arity)
 {
-    IRONMAN_CHECK(arity >= 1 && arity <= maxArity);
-
-    if (prgKind == PrgKind::Aes) {
-        scratch.resize(count);
-        for (unsigned c = 0; c < arity; ++c) {
-            aesSlots[c].encryptBatch(parents, scratch.data(), count);
-            for (size_t j = 0; j < count; ++j)
-                children[j * arity + c] = scratch[j] ^ parents[j];
-        }
-        opCount += uint64_t(arity) * count;
-        return;
-    }
-
-    for (size_t j = 0; j < count; ++j)
-        expand(parents[j], children + j * arity, arity);
+    exp->expand(parents, children, count, arity);
 }
 
 CtrStream::CtrStream(PrgKind kind, const Block &seed_in)

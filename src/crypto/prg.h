@@ -10,8 +10,11 @@
  *   - ChaCha: one core call yields 512 bits = 4 children, so m children
  *             cost ceil(m/4) calls, Fig. 6(c)/(d).
  *
- * TreePrg abstracts this and counts primitive invocations so benches
- * can reproduce the operation-reduction numbers of Fig. 7(a).
+ * TreePrg is a thin compatibility wrapper over the unified
+ * SeedExpander interface (crypto/seed_expander.h); it keeps the
+ * historical per-parent API and the operation counter benches use to
+ * reproduce the Fig. 7(a) numbers. New code should prefer
+ * SeedExpander directly.
  */
 
 #ifndef IRONMAN_CRYPTO_PRG_H
@@ -25,20 +28,9 @@
 #include "common/block.h"
 #include "crypto/aes.h"
 #include "crypto/chacha.h"
+#include "crypto/seed_expander.h"
 
 namespace ironman::crypto {
-
-/** Which primitive instantiates the GGM PRG. */
-enum class PrgKind
-{
-    Aes,      ///< AES-128, one call per child (AES-NI when available).
-    ChaCha8,  ///< 8-round ChaCha, four children per call (Ironman's pick).
-    ChaCha12, ///< 12-round ChaCha.
-    ChaCha20, ///< 20-round ChaCha (conservative margin).
-};
-
-/** Human-readable name ("AES", "ChaCha8", ...). */
-std::string prgKindName(PrgKind kind);
 
 /**
  * Seed-to-children expander used by GGM trees.
@@ -72,23 +64,18 @@ class TreePrg
     uint64_t opsForExpansion(unsigned arity) const;
 
     /** Total primitive invocations since construction / resetOps(). */
-    uint64_t ops() const { return opCount; }
+    uint64_t ops() const { return exp->ops(); }
 
-    void resetOps() { opCount = 0; }
+    void resetOps() { exp->resetOps(); }
 
     PrgKind kind() const { return prgKind; }
 
+    /** Underlying unified expander (one instance — not thread-safe). */
+    SeedExpander &expander() { return *exp; }
+
   private:
     PrgKind prgKind;
-    unsigned maxArity;
-    uint64_t opCount = 0;
-
-    /// One fixed-key AES instance per child slot (AES mode).
-    std::vector<Aes128> aesSlots;
-    /// ChaCha core (ChaCha modes).
-    std::unique_ptr<ChaCha> chacha;
-    /// Scratch for batched level expansion.
-    std::vector<Block> scratch;
+    std::unique_ptr<SeedExpander> exp;
 };
 
 /**

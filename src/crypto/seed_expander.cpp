@@ -1,0 +1,173 @@
+#include "crypto/seed_expander.h"
+
+#include <array>
+#include <vector>
+
+#include "common/logging.h"
+#include "crypto/aes.h"
+#include "crypto/chacha.h"
+
+namespace ironman::crypto {
+
+std::string
+prgKindName(PrgKind kind)
+{
+    switch (kind) {
+      case PrgKind::Aes: return "AES";
+      case PrgKind::ChaCha8: return "ChaCha8";
+      case PrgKind::ChaCha12: return "ChaCha12";
+      case PrgKind::ChaCha20: return "ChaCha20";
+    }
+    return "?";
+}
+
+namespace {
+
+int
+chachaRounds(PrgKind kind)
+{
+    switch (kind) {
+      case PrgKind::ChaCha8: return 8;
+      case PrgKind::ChaCha12: return 12;
+      case PrgKind::ChaCha20: return 20;
+      default: IRONMAN_PANIC("not a ChaCha kind");
+    }
+}
+
+/** Fixed, public per-slot AES keys (both parties derive the same). */
+Block
+slotKey(unsigned slot)
+{
+    // Distinct nothing-up-my-sleeve constants per child slot.
+    return Block(0x9e3779b97f4a7c15ULL * (slot + 1),
+                 0xc2b2ae3d27d4eb4fULL ^ (uint64_t(slot) << 32));
+}
+
+/**
+ * AES tree expander: child_c = AES_{k_c}(s) ^ s — the standard
+ * double-length PRG of Sec. 2.3.1 generalized to m fixed keys
+ * (Fig. 6(b)). Batched per slot so the AES pipeline stays full (the
+ * software analogue of the breadth-first hardware schedule, Sec. 4.3).
+ */
+class AesTreeExpander final : public SeedExpander
+{
+  public:
+    explicit AesTreeExpander(unsigned max_fanout)
+        : SeedExpander(max_fanout)
+    {
+        aesSlots.reserve(max_fanout);
+        for (unsigned i = 0; i < max_fanout; ++i)
+            aesSlots.emplace_back(slotKey(i));
+    }
+
+    void
+    expand(const Block *seeds, Block *out, size_t n,
+           unsigned fanout) override
+    {
+        IRONMAN_CHECK(fanout >= 1 && fanout <= maxFan);
+        if (scratch.size() < n)
+            scratch.resize(n);
+        for (unsigned c = 0; c < fanout; ++c) {
+            aesSlots[c].encryptBatch(seeds, scratch.data(), n);
+            for (size_t i = 0; i < n; ++i)
+                out[i * fanout + c] = scratch[i] ^ seeds[i];
+        }
+        opCount += uint64_t(fanout) * n;
+    }
+
+    uint64_t opsPerSeed(unsigned fanout) const override { return fanout; }
+
+  private:
+    std::vector<Aes128> aesSlots;
+    std::vector<Block> scratch;
+};
+
+/** ChaCha tree expander: one core call yields 4 children (Fig. 6(c)). */
+class ChaChaTreeExpander final : public SeedExpander
+{
+  public:
+    ChaChaTreeExpander(PrgKind kind, unsigned max_fanout)
+        : SeedExpander(max_fanout), core(chachaRounds(kind))
+    {
+    }
+
+    void
+    expand(const Block *seeds, Block *out, size_t n,
+           unsigned fanout) override
+    {
+        IRONMAN_CHECK(fanout >= 1 && fanout <= maxFan);
+        std::array<Block, 4> chunk;
+        for (size_t i = 0; i < n; ++i) {
+            // Chunk index is the tweak so all chunks of one expansion
+            // stay distinct.
+            unsigned produced = 0;
+            uint64_t chunk_idx = 0;
+            while (produced < fanout) {
+                core.expandSeed(seeds[i], chunk_idx++, chunk);
+                ++opCount;
+                for (unsigned c = 0; c < 4 && produced < fanout; ++c)
+                    out[i * fanout + produced++] = chunk[c];
+            }
+        }
+    }
+
+    uint64_t
+    opsPerSeed(unsigned fanout) const override
+    {
+        return (fanout + 3) / 4; // 512-bit output = 4 blocks per call
+    }
+
+  private:
+    ChaCha core;
+};
+
+/** Keyed AES counter expander (the LPN index tape). */
+class AesCtrExpander final : public SeedExpander
+{
+  public:
+    AesCtrExpander(const Block &key, unsigned max_fanout)
+        : SeedExpander(max_fanout), aes(key)
+    {
+    }
+
+    void
+    expand(const Block *seeds, Block *out, size_t n,
+           unsigned fanout) override
+    {
+        IRONMAN_CHECK(fanout >= 1 && fanout <= maxFan);
+        if (ctrs.size() < n * fanout)
+            ctrs.resize(n * fanout);
+        for (size_t i = 0; i < n; ++i)
+            for (unsigned c = 0; c < fanout; ++c)
+                ctrs[i * fanout + c] =
+                    Block(seeds[i].hi, seeds[i].lo + c);
+        aes.encryptBatch(ctrs.data(), out, n * fanout);
+        opCount += uint64_t(fanout) * n;
+    }
+
+    uint64_t opsPerSeed(unsigned fanout) const override { return fanout; }
+
+  private:
+    Aes128 aes;
+    std::vector<Block> ctrs;
+};
+
+} // namespace
+
+std::unique_ptr<SeedExpander>
+makeTreeExpander(PrgKind kind, unsigned max_fanout)
+{
+    IRONMAN_CHECK(max_fanout >= 2);
+    if (kind == PrgKind::Aes)
+        return std::make_unique<AesTreeExpander>(max_fanout);
+    return std::make_unique<ChaChaTreeExpander>(kind, max_fanout);
+}
+
+std::unique_ptr<SeedExpander>
+makeCtrExpander(const Block &key, unsigned max_fanout)
+{
+    IRONMAN_CHECK(max_fanout >= 1);
+    return std::make_unique<AesCtrExpander>(key, max_fanout);
+}
+
+} // namespace ironman::crypto

@@ -66,11 +66,18 @@ Channel::sendBits(const BitVec &bits)
 BitVec
 Channel::recvBits()
 {
-    uint64_t n = recvUint64();
-    BitVec out(n);
-    auto &words = out.rawWords();
-    recvBytes(words.data(), words.size() * sizeof(uint64_t));
+    BitVec out;
+    recvBitsInto(out);
     return out;
+}
+
+void
+Channel::recvBitsInto(BitVec &bits)
+{
+    uint64_t n = recvUint64();
+    bits.resize(n);
+    auto &words = bits.rawWords();
+    recvBytes(words.data(), words.size() * sizeof(uint64_t));
 }
 
 // ---------------------------------------------------------------------------
@@ -82,11 +89,64 @@ struct MemoryDuplex::Shared
     std::mutex mutex;
     std::condition_variable cv;
 
-    /** One direction of the pipe: a queue of buffers + read cursor. */
+    /**
+     * One direction of the pipe: a contiguous byte FIFO over one
+     * grow-only ring buffer. Capacity only ever increases (to the
+     * largest backlog seen), so after a warm-up pass the wire performs
+     * no heap allocation — the engine-level zero-alloc guarantee of
+     * ot/ot_workspace.h depends on this.
+     */
     struct Stream
     {
-        std::deque<std::vector<uint8_t>> segments;
-        size_t frontPos = 0; ///< consumed bytes of segments.front()
+        std::vector<uint8_t> buf; ///< ring storage (power-of-two size)
+        size_t head = 0;          ///< read position
+        size_t live = 0;          ///< unread bytes
+
+        bool empty() const { return live == 0; }
+
+        void
+        grow(size_t min_capacity)
+        {
+            if (min_capacity <= buf.size())
+                return;
+            // Linearize the live bytes into a bigger ring.
+            size_t want = std::max<size_t>(4096, buf.size() * 2);
+            while (want < min_capacity)
+                want *= 2;
+            std::vector<uint8_t> bigger(want);
+            size_t linear = std::min(live, buf.size() - head);
+            std::memcpy(bigger.data(), buf.data() + head, linear);
+            std::memcpy(bigger.data() + linear, buf.data(),
+                        live - linear);
+            buf.swap(bigger);
+            head = 0;
+        }
+
+        void
+        push(const uint8_t *bytes, size_t len)
+        {
+            if (len == 0)
+                return;
+            grow(live + len);
+            size_t tail = (head + live) % buf.size();
+            size_t first = std::min(len, buf.size() - tail);
+            std::memcpy(buf.data() + tail, bytes, first);
+            std::memcpy(buf.data(), bytes + first, len - first);
+            live += len;
+        }
+
+        /** Pop up to @p len bytes; returns the count moved. */
+        size_t
+        pop(uint8_t *dst, size_t len)
+        {
+            size_t take = std::min(len, live);
+            size_t first = std::min(take, buf.size() - head);
+            std::memcpy(dst, buf.data() + head, first);
+            std::memcpy(dst + first, buf.data(), take - first);
+            head = (head + take) % buf.size();
+            live -= take;
+            return take;
+        }
     };
 
     // Index 0 = A->B, 1 = B->A.
@@ -107,7 +167,7 @@ struct MemoryDuplex::Endpoint : Channel
     {
         const auto *bytes = static_cast<const uint8_t *>(data);
         std::lock_guard<std::mutex> lock(shared->mutex);
-        shared->stream[me].segments.emplace_back(bytes, bytes + len);
+        shared->stream[me].push(bytes, len);
         shared->sent[me] += len;
         if (shared->lastSender != me) {
             shared->lastSender = me;
@@ -124,19 +184,8 @@ struct MemoryDuplex::Endpoint : Channel
         auto &s = shared->stream[1 - me];
         size_t got = 0;
         while (got < len) {
-            shared->cv.wait(lock, [&] { return !s.segments.empty(); });
-            while (!s.segments.empty() && got < len) {
-                auto &seg = s.segments.front();
-                size_t avail = seg.size() - s.frontPos;
-                size_t take = std::min(avail, len - got);
-                std::memcpy(bytes + got, seg.data() + s.frontPos, take);
-                got += take;
-                s.frontPos += take;
-                if (s.frontPos == seg.size()) {
-                    s.segments.pop_front();
-                    s.frontPos = 0;
-                }
-            }
+            shared->cv.wait(lock, [&] { return !s.empty(); });
+            got += s.pop(bytes + got, len - got);
         }
     }
 
@@ -170,6 +219,14 @@ Channel &
 MemoryDuplex::b()
 {
     return *endB;
+}
+
+void
+MemoryDuplex::reserve(size_t bytes_per_direction)
+{
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    shared->stream[0].grow(bytes_per_direction);
+    shared->stream[1].grow(bytes_per_direction);
 }
 
 uint64_t

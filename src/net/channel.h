@@ -16,7 +16,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -52,6 +51,12 @@ class Channel
     /** Send a bit vector (length prefix + packed words). */
     void sendBits(const BitVec &bits);
     BitVec recvBits();
+
+    /**
+     * Receive a bit vector into existing storage (reused across
+     * calls, so steady-state receives allocate nothing).
+     */
+    void recvBitsInto(BitVec &bits);
 };
 
 /**
@@ -71,6 +76,15 @@ class MemoryDuplex
     Channel &a();
     /** Endpoint for party B. */
     Channel &b();
+
+    /**
+     * Pre-size each direction's byte FIFO. The FIFO grows on demand
+     * to the largest backlog observed — which depends on thread
+     * scheduling — so allocation-sensitive callers (the zero-alloc
+     * test) reserve the worst case up front instead of relying on a
+     * warm-up pass having seen it.
+     */
+    void reserve(size_t bytes_per_direction);
 
     /** Total bytes moved in both directions. */
     uint64_t totalBytes() const;

@@ -12,10 +12,28 @@ UnifiedUnit::UnifiedUnit(unsigned chacha_cores) : cores(chacha_cores)
 std::vector<Block>
 UnifiedUnit::levelSums(const std::vector<Block> &nodes, unsigned arity)
 {
-    std::vector<Block> sums(arity, Block::zero());
-    for (size_t j = 0; j < nodes.size(); ++j)
-        sums[j % arity] ^= nodes[j];
+    std::vector<Block> sums(arity);
+    levelSumsInto(nodes.data(), nodes.size(), arity, sums.data());
     return sums;
+}
+
+void
+UnifiedUnit::levelSumsInto(const Block *nodes, size_t count,
+                           unsigned arity, Block *sums)
+{
+    for (unsigned c = 0; c < arity; ++c)
+        sums[c] = Block::zero();
+    for (size_t j = 0; j < count; ++j)
+        sums[j % arity] ^= nodes[j];
+}
+
+void
+UnifiedUnit::expandAndReduce(crypto::SeedExpander &prg,
+                             const Block *parents, size_t count,
+                             unsigned arity, Block *children, Block *sums)
+{
+    prg.expand(parents, children, count, arity);
+    levelSumsInto(children, count * arity, arity, sums);
 }
 
 uint64_t

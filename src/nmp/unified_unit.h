@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/block.h"
+#include "crypto/seed_expander.h"
 
 namespace ironman::nmp {
 
@@ -48,6 +49,22 @@ class UnifiedUnit
      */
     static std::vector<Block> levelSums(const std::vector<Block> &nodes,
                                         unsigned arity);
+
+    /** Span variant: @p sums receives @p arity blocks. */
+    static void levelSumsInto(const Block *nodes, size_t count,
+                              unsigned arity, Block *sums);
+
+    /**
+     * Functional Key-Generator pass over the unified seed-expansion
+     * interface: expand @p count parents one level (children to
+     * @p children, count*arity blocks) and fold the per-slot sums
+     * into @p sums — the datapath Fig. 10 implements, expressed
+     * against the same SeedExpander the protocol stack uses.
+     */
+    static void expandAndReduce(crypto::SeedExpander &prg,
+                                const Block *parents, size_t count,
+                                unsigned arity, Block *children,
+                                Block *sums);
 
     /**
      * Cycles to process one level of @p nodes nodes with arity m in

@@ -28,15 +28,15 @@ transpose64(uint64_t a[64])
         std::swap(a[i], a[63 - i]);
 }
 
-std::vector<Block>
-transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n)
+void
+transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n,
+                         Block *rows)
 {
     IRONMAN_CHECK(columns.size() == 128);
     IRONMAN_CHECK(n % 64 == 0);
     for (const BitVec &c : columns)
         IRONMAN_CHECK(c.size() >= n);
 
-    std::vector<Block> rows(n);
     uint64_t tile[64];
 
     // Process 64 rows at a time; within them, the low 64 and high 64
@@ -59,6 +59,13 @@ transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n)
             }
         }
     }
+}
+
+std::vector<Block>
+transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n)
+{
+    std::vector<Block> rows(n);
+    transposeColumnsToBlocks(columns, n, rows.data());
     return rows;
 }
 

@@ -22,8 +22,13 @@ void transpose64(uint64_t a[64]);
 
 /**
  * Transpose 128 column bit-vectors of length n (n a multiple of 64)
- * into n row blocks: row i's bit j equals columns[j].get(i).
+ * into n row blocks: row i's bit j equals columns[j].get(i). Writes
+ * into caller-provided storage (@p rows, n blocks) — allocation-free.
  */
+void transposeColumnsToBlocks(const std::vector<BitVec> &columns,
+                              size_t n, Block *rows);
+
+/** Vector-returning wrapper. */
 std::vector<Block> transposeColumnsToBlocks(
     const std::vector<BitVec> &columns, size_t n);
 

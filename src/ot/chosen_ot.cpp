@@ -7,21 +7,57 @@ namespace ironman::ot {
 void
 chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf, const Block *m0,
              const Block *m1, size_t n, const Block &delta, const Block *q,
-             uint64_t tweak_base)
+             uint64_t tweak_base, ChosenOtScratch &scratch)
 {
-    BitVec d = ch.recvBits();
-    IRONMAN_CHECK(d.size() == n);
+    ch.recvBitsInto(scratch.d);
+    IRONMAN_CHECK(scratch.d.size() == n);
 
-    std::vector<Block> cipher(2 * n);
+    if (scratch.cipher.size() < 2 * n)
+        scratch.cipher.resize(2 * n);
+    Block *cipher = scratch.cipher.data();
     for (size_t i = 0; i < n; ++i) {
-        bool di = d.get(i);
+        bool di = scratch.d.get(i);
         Block pad0 = crhf.hash(q[i] ^ scalarMul(di, delta), tweak_base + i);
         Block pad1 =
             crhf.hash(q[i] ^ scalarMul(!di, delta), tweak_base + i);
         cipher[2 * i] = m0[i] ^ pad0;
         cipher[2 * i + 1] = m1[i] ^ pad1;
     }
-    ch.sendBlocks(cipher.data(), cipher.size());
+    ch.sendBlocks(cipher, 2 * n);
+}
+
+void
+chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf, const Block *m0,
+             const Block *m1, size_t n, const Block &delta, const Block *q,
+             uint64_t tweak_base)
+{
+    ChosenOtScratch scratch;
+    chosenOtSend(ch, crhf, m0, m1, n, delta, q, tweak_base, scratch);
+}
+
+void
+chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
+             const BitVec &choices, const BitVec &b, size_t b_offset,
+             const Block *t, size_t n, Block *out, uint64_t tweak_base,
+             ChosenOtScratch &scratch)
+{
+    IRONMAN_CHECK(choices.size() == n);
+
+    BitVec &d = scratch.d;
+    d.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        d.set(i, choices.get(i) ^ b.get(b_offset + i));
+    ch.sendBits(d);
+
+    if (scratch.cipher.size() < 2 * n)
+        scratch.cipher.resize(2 * n);
+    Block *cipher = scratch.cipher.data();
+    ch.recvBlocks(cipher, 2 * n);
+
+    for (size_t i = 0; i < n; ++i) {
+        Block pad = crhf.hash(t[i], tweak_base + i);
+        out[i] = cipher[2 * i + choices.get(i)] ^ pad;
+    }
 }
 
 void
@@ -29,20 +65,9 @@ chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
              const BitVec &choices, const BitVec &b, size_t b_offset,
              const Block *t, size_t n, Block *out, uint64_t tweak_base)
 {
-    IRONMAN_CHECK(choices.size() == n);
-
-    BitVec d(n);
-    for (size_t i = 0; i < n; ++i)
-        d.set(i, choices.get(i) ^ b.get(b_offset + i));
-    ch.sendBits(d);
-
-    std::vector<Block> cipher(2 * n);
-    ch.recvBlocks(cipher.data(), cipher.size());
-
-    for (size_t i = 0; i < n; ++i) {
-        Block pad = crhf.hash(t[i], tweak_base + i);
-        out[i] = cipher[2 * i + choices.get(i)] ^ pad;
-    }
+    ChosenOtScratch scratch;
+    chosenOtRecv(ch, crhf, choices, b, b_offset, t, n, out, tweak_base,
+                 scratch);
 }
 
 } // namespace ironman::ot

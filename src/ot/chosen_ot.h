@@ -30,6 +30,16 @@
 namespace ironman::ot {
 
 /**
+ * Reusable buffers for the batched chosen-OT endpoints. Grow-only, so
+ * steady-state batches of a stable size allocate nothing.
+ */
+struct ChosenOtScratch
+{
+    BitVec d;                  ///< derandomization bits on the wire
+    std::vector<Block> cipher; ///< ciphertext pairs on the wire
+};
+
+/**
  * Sender side of a batched chosen OT.
  *
  * @param ch Channel to the receiver.
@@ -42,6 +52,12 @@ void chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf,
                   const Block *m0, const Block *m1, size_t n,
                   const Block &delta, const Block *q, uint64_t tweak_base);
 
+/** Allocation-free variant: wire buffers live in @p scratch. */
+void chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf,
+                  const Block *m0, const Block *m1, size_t n,
+                  const Block &delta, const Block *q, uint64_t tweak_base,
+                  ChosenOtScratch &scratch);
+
 /**
  * Receiver side of a batched chosen OT.
  *
@@ -53,6 +69,12 @@ void chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf,
 void chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
                   const BitVec &choices, const BitVec &b, size_t b_offset,
                   const Block *t, size_t n, Block *out, uint64_t tweak_base);
+
+/** Allocation-free variant: wire buffers live in @p scratch. */
+void chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
+                  const BitVec &choices, const BitVec &b, size_t b_offset,
+                  const Block *t, size_t n, Block *out, uint64_t tweak_base,
+                  ChosenOtScratch &scratch);
 
 } // namespace ironman::ot
 

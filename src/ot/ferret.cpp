@@ -1,5 +1,7 @@
 #include "ot/ferret.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "ot/spcot.h"
 
@@ -45,46 +47,56 @@ FerretCotSender::FerretCotSender(net::Channel &channel,
                   "need k + t*log2(l) base COTs");
 }
 
-std::vector<Block>
-FerretCotSender::extend(Rng &rng)
+void
+FerretCotSender::extendInto(Rng &rng, Block *out)
 {
     Timer total;
+    ws.prepare(p, threads);
     const SpcotConfig cfg = spcotConfigOf(p);
     const size_t bucket = p.bucketSize();
-    const size_t spcot_cots = p.t * cfg.cotsPerTree();
+    const size_t leaves = p.treeLeaves();
+    const size_t spcot_cots = p.t * p.cotsPerTree();
 
     // 1. Split the base reserve.
     const Block *lpn_r = baseQ.data();            // k entries
     const Block *spcot_q = baseQ.data() + p.k;    // t*log2(l) entries
 
-    // 2. Interactive SPCOT.
+    // 2. Interactive SPCOT into the workspace leaf matrix.
     Timer phase;
-    SpcotSenderOutput sp =
-        spcotSend(ch, cfg, p.t, delta_, spcot_q, rng, tweak);
+    uint64_t prg_ops = 0;
+    spcotSendInto(ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
+                  ws.spcot, ws.leafMatrix, &prg_ops);
     stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("spcot_prg_ops", sp.prgOps);
+    stats_.add("spcot_prg_ops", prg_ops);
 
     // 3. Scatter tree leaves into the length-n w vector, then LPN.
     phase.reset();
-    std::vector<Block> z(p.n);
+    Block *z = ws.rows;
     for (size_t tr = 0; tr < p.t; ++tr) {
         size_t row0 = tr * bucket;
         size_t width = std::min(bucket, p.n - row0);
-        std::copy_n(sp.w[tr].begin(), width, z.begin() + row0);
+        std::copy_n(ws.leafMatrix + tr * leaves, width, z + row0);
     }
-    encoder.encodeBlocksParallel(lpn_r, z.data(), p.n, threads);
+    encoder.encodeBlocksPool(lpn_r, z, p.n, ws.pool, ws.lpn.data());
     stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("lpn_index_aes_ops",
+    stats_.add("lpn_aes_ops",
                uint64_t(LpnEncoder::aesCallsPerRow) * p.n);
 
     // 4. Bootstrap: re-reserve, hand out the rest.
     const size_t reserved = p.k + spcot_cots;
-    baseQ.assign(z.begin(), z.begin() + reserved);
-    std::vector<Block> out(z.begin() + reserved, z.end());
+    baseQ.assign(z, z + reserved);
+    std::copy(z + reserved, z + p.n, out);
 
     stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
     stats_.add("extensions", 1);
-    stats_.add("output_cots", out.size());
+    stats_.add("output_cots", p.n - reserved);
+}
+
+std::vector<Block>
+FerretCotSender::extend(Rng &rng)
+{
+    std::vector<Block> out(p.usableOts());
+    extendInto(rng, out.data());
     return out;
 }
 
@@ -104,68 +116,72 @@ FerretCotReceiver::FerretCotReceiver(net::Channel &channel,
                   "need k + t*log2(l) base COTs");
 }
 
-FerretCotReceiver::Output
-FerretCotReceiver::extend(Rng &rng)
+void
+FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
 {
     Timer total;
+    ws.prepare(p, threads);
     const SpcotConfig cfg = spcotConfigOf(p);
     const size_t bucket = p.bucketSize();
-    const size_t spcot_cots = p.t * cfg.cotsPerTree();
+    const size_t leaves = p.treeLeaves();
+    const size_t spcot_cots = p.t * p.cotsPerTree();
 
     // 1. Split the base reserve: bits e / blocks s feed LPN, the rest
     // feeds SPCOT.
-    BitVec e(p.k);
-    for (size_t i = 0; i < p.k; ++i)
-        e.set(i, baseChoice.get(i));
+    ws.e.assignRange(baseChoice, 0, p.k);
     const Block *lpn_s = baseT.data();
 
     // 2. Sample one punctured position per bucket and run SPCOT.
-    std::vector<size_t> alphas(p.t);
     for (size_t tr = 0; tr < p.t; ++tr) {
         size_t row0 = tr * bucket;
         size_t width = std::min(bucket, p.n - row0);
-        alphas[tr] = rng.nextBelow(width);
+        ws.alphas[tr] = rng.nextBelow(width);
     }
 
     Timer phase;
-    SpcotReceiverOutput sp = spcotRecv(ch, cfg, p.t, alphas, baseChoice,
-                                       p.k, baseT.data() + p.k, tweak);
+    uint64_t prg_ops = 0;
+    spcotRecvInto(ch, cfg, p.t, ws.alphas.data(), baseChoice, p.k,
+                  baseT.data() + p.k, tweak, ws.pool, ws.spcot,
+                  ws.leafMatrix, &prg_ops);
     stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("spcot_prg_ops", sp.prgOps);
+    stats_.add("spcot_prg_ops", prg_ops);
 
     // 3. Build (u, v) over the n rows, then LPN-encode into (x, y).
     phase.reset();
-    BitVec x(p.n);
-    std::vector<Block> y(p.n);
+    ws.x.resize(p.n);
+    ws.x.zeroAll();
+    Block *y = ws.rows;
     for (size_t tr = 0; tr < p.t; ++tr) {
         size_t row0 = tr * bucket;
         size_t width = std::min(bucket, p.n - row0);
-        std::copy_n(sp.v[tr].begin(), width, y.begin() + row0);
-        x.set(row0 + alphas[tr], true);
+        std::copy_n(ws.leafMatrix + tr * leaves, width, y + row0);
+        ws.x.set(row0 + ws.alphas[tr], true);
     }
-    encoder.encodeBits(e, x);
-    encoder.encodeBlocksParallel(lpn_s, y.data(), p.n, threads);
+    encoder.encodeBits(ws.e, ws.x, ws.lpn[0]);
+    encoder.encodeBlocksPool(lpn_s, y, p.n, ws.pool, ws.lpn.data());
     stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("lpn_index_aes_ops",
+    stats_.add("lpn_aes_ops",
                uint64_t(LpnEncoder::aesCallsPerRow) * p.n * 2);
 
     // 4. Bootstrap.
     const size_t reserved = p.k + spcot_cots;
-    BitVec next_choice(reserved);
-    for (size_t i = 0; i < reserved; ++i)
-        next_choice.set(i, x.get(i));
-    baseChoice = std::move(next_choice);
-    baseT.assign(y.begin(), y.begin() + reserved);
+    baseChoice.assignRange(ws.x, 0, reserved);
+    baseT.assign(y, y + reserved);
 
-    Output out;
-    out.choice.resize(p.n - reserved);
-    for (size_t i = 0; i < out.choice.size(); ++i)
-        out.choice.set(i, x.get(reserved + i));
-    out.t.assign(y.begin() + reserved, y.end());
+    choice_out.assignRange(ws.x, reserved, p.n - reserved);
+    std::copy(y + reserved, y + p.n, t_out);
 
     stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
     stats_.add("extensions", 1);
-    stats_.add("output_cots", out.t.size());
+    stats_.add("output_cots", p.n - reserved);
+}
+
+FerretCotReceiver::Output
+FerretCotReceiver::extend(Rng &rng)
+{
+    Output out;
+    out.t.resize(p.usableOts());
+    extendInto(rng, out.choice, out.t.data());
     return out;
 }
 

@@ -15,6 +15,12 @@
  *   4. Bootstrap: the first reservedCots() outputs become the next
  *      base reserve; the remaining usableOts() are handed out.
  *
+ * Each endpoint owns an OtWorkspace (arena + fixed thread pool), so
+ * the span-based extendInto() entry points perform zero heap
+ * allocations once warm and fan the SPCOT/LPN kernels out over
+ * setThreads() workers with bit-identical output. The historical
+ * vector-returning extend() wrappers remain.
+ *
  * Semi-honest security (the paper's frameworks are semi-honest);
  * Ferret's malicious consistency check is out of scope and noted in
  * DESIGN.md.
@@ -34,6 +40,7 @@
 #include "ot/cot.h"
 #include "ot/ferret_params.h"
 #include "ot/lpn.h"
+#include "ot/ot_workspace.h"
 
 namespace ironman::ot {
 
@@ -50,16 +57,20 @@ class FerretCotSender
                     const Block &delta, std::vector<Block> base);
 
     /**
-     * Run one extension; returns usableOts() fresh sender strings
-     * (each defines the pair (q_i, q_i ^ delta)).
+     * Run one extension, writing usableOts() fresh sender strings
+     * (each defines the pair (q_i, q_i ^ delta)) to @p out. Performs
+     * no heap allocation once the workspace is warm.
      */
+    void extendInto(Rng &rng, Block *out);
+
+    /** Vector-returning wrapper around extendInto(). */
     std::vector<Block> extend(Rng &rng);
 
     const Block &delta() const { return delta_; }
     const FerretParams &params() const { return p; }
 
-    /** Worker threads for the local LPN encode (CPU baseline knob). */
-    void setThreads(int n) { threads = n; }
+    /** Fixed worker-pool width for the SPCOT and LPN kernels. */
+    void setThreads(int n) { threads = n > 1 ? n : 1; }
 
     /** Counters: prg ops, lpn AES ops, per-phase microseconds. */
     const StatSet &stats() const { return stats_; }
@@ -72,6 +83,7 @@ class FerretCotSender
     LpnEncoder encoder;
     uint64_t tweak = 1;
     int threads = 1;
+    OtWorkspace ws;
     StatSet stats_;
 };
 
@@ -89,11 +101,18 @@ class FerretCotReceiver
     FerretCotReceiver(net::Channel &ch, const FerretParams &params,
                       BitVec base_choice, std::vector<Block> base_t);
 
-    /** Run one extension; returns usableOts() fresh correlations. */
+    /**
+     * Run one extension: usableOts() choice bits into @p choice_out
+     * (resized; storage reused across calls) and as many blocks into
+     * @p t_out. Performs no heap allocation once warm.
+     */
+    void extendInto(Rng &rng, BitVec &choice_out, Block *t_out);
+
+    /** Vector-returning wrapper around extendInto(). */
     Output extend(Rng &rng);
 
     const FerretParams &params() const { return p; }
-    void setThreads(int n) { threads = n; }
+    void setThreads(int n) { threads = n > 1 ? n : 1; }
     const StatSet &stats() const { return stats_; }
 
   private:
@@ -104,6 +123,7 @@ class FerretCotReceiver
     LpnEncoder encoder;
     uint64_t tweak = 1;
     int threads = 1;
+    OtWorkspace ws;
     StatSet stats_;
 };
 

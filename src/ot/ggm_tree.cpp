@@ -1,5 +1,6 @@
 #include "ot/ggm_tree.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -26,50 +27,194 @@ treeArities(size_t leaves, unsigned m)
     return arities;
 }
 
-std::vector<unsigned>
-alphaDigits(size_t alpha, const std::vector<unsigned> &arities)
+void
+alphaDigitsInto(size_t alpha, const std::vector<unsigned> &arities,
+                unsigned *digits)
 {
     size_t leaves = 1;
     for (unsigned a : arities)
         leaves *= a;
     IRONMAN_CHECK(alpha < leaves);
 
-    std::vector<unsigned> digits(arities.size());
     for (size_t i = arities.size(); i-- > 0;) {
-        digits[i] = alpha % arities[i];
+        digits[i] = unsigned(alpha % arities[i]);
         alpha /= arities[i];
     }
+}
+
+std::vector<unsigned>
+alphaDigits(size_t alpha, const std::vector<unsigned> &arities)
+{
+    std::vector<unsigned> digits(arities.size());
+    alphaDigitsInto(alpha, arities, digits.data());
     return digits;
 }
+
+GgmSumLayout
+GgmSumLayout::of(const std::vector<unsigned> &arities)
+{
+    GgmSumLayout layout;
+    layout.arities = arities;
+    layout.offset.reserve(arities.size());
+    layout.leaves = 1;
+    for (unsigned m : arities) {
+        layout.offset.push_back(uint32_t(layout.total));
+        layout.total += m;
+        layout.leaves *= m;
+    }
+    return layout;
+}
+
+void
+GgmScratch::reserve(size_t leaves, unsigned max_arity)
+{
+    // Intermediate levels hold at most leaves/2 nodes (the last level
+    // is written straight into the caller's span), but reconstruction
+    // packs up to a full level of children.
+    if (ping.size() < leaves)
+        ping.resize(leaves);
+    if (pong.size() < leaves)
+        pong.resize(leaves);
+    if (parents.size() < leaves)
+        parents.resize(leaves);
+    if (children.size() < leaves)
+        children.resize(leaves);
+    if (acc.size() < max_arity)
+        acc.resize(max_arity);
+}
+
+void
+ggmExpandInto(crypto::SeedExpander &prg, const Block &seed,
+              const GgmSumLayout &layout, GgmScratch &scratch,
+              Block *leaves, Block *level_sums, Block *leaf_sum)
+{
+    const size_t num_levels = layout.arities.size();
+    IRONMAN_CHECK(num_levels >= 1);
+    unsigned max_arity = *std::max_element(layout.arities.begin(),
+                                           layout.arities.end());
+    scratch.reserve(layout.leaves, max_arity);
+
+    Block *cur = scratch.ping.data();
+    cur[0] = seed;
+    size_t count = 1;
+
+    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+        const unsigned m = layout.arities[lvl];
+        Block *next = lvl + 1 == num_levels
+                          ? leaves
+                          : (cur == scratch.ping.data()
+                                 ? scratch.pong.data()
+                                 : scratch.ping.data());
+        prg.expand(cur, next, count, m);
+
+        Block *sums = level_sums + layout.offset[lvl];
+        std::fill(sums, sums + m, Block::zero());
+        for (size_t j = 0; j < count; ++j)
+            for (unsigned c = 0; c < m; ++c)
+                sums[c] ^= next[j * m + c];
+
+        cur = next;
+        count *= m;
+    }
+
+    Block total = Block::zero();
+    for (size_t j = 0; j < layout.leaves; ++j)
+        total ^= leaves[j];
+    *leaf_sum = total;
+}
+
+void
+ggmReconstructInto(crypto::SeedExpander &prg, size_t alpha,
+                   const GgmSumLayout &layout, const Block *known_sums,
+                   GgmScratch &scratch, Block *leaves)
+{
+    const size_t num_levels = layout.arities.size();
+    IRONMAN_CHECK(num_levels >= 1 && alpha < layout.leaves);
+    constexpr size_t kMaxLevels = 64;
+    IRONMAN_CHECK(num_levels <= kMaxLevels);
+    unsigned digits[kMaxLevels];
+    alphaDigitsInto(alpha, layout.arities, digits);
+    unsigned max_arity = *std::max_element(layout.arities.begin(),
+                                           layout.arities.end());
+    scratch.reserve(layout.leaves, max_arity);
+
+    // cur holds all nodes of the current level; the entry at the path
+    // index `hole` is unknown (kept zero and never read as a parent).
+    Block *cur = scratch.ping.data();
+    cur[0] = Block::zero();
+    size_t count = 1;
+    size_t hole = 0;
+
+    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+        const unsigned m = layout.arities[lvl];
+        const unsigned digit = digits[lvl];
+        Block *next = lvl + 1 == num_levels
+                          ? leaves
+                          : (cur == scratch.ping.data()
+                                 ? scratch.pong.data()
+                                 : scratch.ping.data());
+
+        // Expand every *known* parent (batched, skipping the hole);
+        // accumulate per-slot sums over the children we just derived.
+        Block *packed = scratch.parents.data();
+        for (size_t j = 0; j < count; ++j)
+            if (j != hole)
+                *packed++ = cur[j];
+        const size_t known = count - 1;
+        prg.expand(scratch.parents.data(), scratch.children.data(),
+                   known, m);
+
+        Block *acc = scratch.acc.data();
+        std::fill(acc, acc + m, Block::zero());
+        size_t src = 0;
+        for (size_t j = 0; j < count; ++j) {
+            if (j == hole)
+                continue;
+            for (unsigned c = 0; c < m; ++c) {
+                Block child = scratch.children[src * m + c];
+                next[j * m + c] = child;
+                acc[c] ^= child;
+            }
+            ++src;
+        }
+
+        // Recover the punctured parent's children at every slot except
+        // the path digit: child = K_c ^ (sum of known slot-c children).
+        const Block *sums = known_sums + layout.offset[lvl];
+        for (unsigned c = 0; c < m; ++c)
+            next[hole * m + c] =
+                c == digit ? Block::zero() : sums[c] ^ acc[c];
+
+        hole = hole * m + digit;
+        cur = next;
+        count *= m;
+    }
+
+    IRONMAN_CHECK(hole == alpha);
+}
+
+// ---------------------------------------------------------------------------
+// Vector-returning compatibility wrappers
+// ---------------------------------------------------------------------------
 
 GgmExpansion
 ggmExpand(crypto::TreePrg &prg, const Block &seed,
           const std::vector<unsigned> &arities)
 {
+    GgmSumLayout layout = GgmSumLayout::of(arities);
+    GgmScratch scratch;
+    std::vector<Block> flat(layout.total);
+
     GgmExpansion out;
+    out.leaves.resize(layout.leaves);
+    ggmExpandInto(prg.expander(), seed, layout, scratch,
+                  out.leaves.data(), flat.data(), &out.leafSum);
+
     out.levelSums.resize(arities.size());
-
-    std::vector<Block> cur{seed};
-    std::vector<Block> next;
-
-    for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
-        unsigned m = arities[lvl];
-        next.resize(cur.size() * m);
-        prg.expandLevel(cur.data(), cur.size(), next.data(), m);
-
-        auto &sums = out.levelSums[lvl];
-        sums.assign(m, Block::zero());
-        for (size_t j = 0; j < cur.size(); ++j)
-            for (unsigned c = 0; c < m; ++c)
-                sums[c] ^= next[j * m + c];
-
-        cur.swap(next);
-    }
-
-    out.leafSum = Block::zero();
-    for (const Block &b : cur)
-        out.leafSum ^= b;
-    out.leaves = std::move(cur);
+    for (size_t lvl = 0; lvl < arities.size(); ++lvl)
+        out.levelSums[lvl].assign(flat.begin() + layout.offset[lvl],
+                                  flat.begin() + layout.offset[lvl] +
+                                      arities[lvl]);
     return out;
 }
 
@@ -79,63 +224,20 @@ ggmReconstruct(crypto::TreePrg &prg, size_t alpha,
                const std::vector<std::vector<Block>> &known_sums)
 {
     IRONMAN_CHECK(known_sums.size() == arities.size());
-    auto digits = alphaDigits(alpha, arities);
-
-    // cur holds all nodes of the current level; the entry at the path
-    // index `hole` is unknown (kept zero and never read as a parent).
-    std::vector<Block> cur{Block::zero()};
-    size_t hole = 0;
-
-    std::vector<Block> next;
-    std::vector<Block> acc;
-    std::vector<Block> known_parents;
-    std::vector<Block> known_children;
-
+    GgmSumLayout layout = GgmSumLayout::of(arities);
+    std::vector<Block> flat(layout.total);
     for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
-        unsigned m = arities[lvl];
-        unsigned digit = digits[lvl];
-        next.assign(cur.size() * m, Block::zero());
-
-        // Expand every *known* parent (batched, skipping the hole);
-        // accumulate per-slot sums over the children we just derived.
-        known_parents.clear();
-        for (size_t j = 0; j < cur.size(); ++j)
-            if (j != hole)
-                known_parents.push_back(cur[j]);
-        known_children.resize(known_parents.size() * m);
-        prg.expandLevel(known_parents.data(), known_parents.size(),
-                        known_children.data(), m);
-
-        acc.assign(m, Block::zero());
-        size_t src = 0;
-        for (size_t j = 0; j < cur.size(); ++j) {
-            if (j == hole)
-                continue;
-            for (unsigned c = 0; c < m; ++c) {
-                Block child = known_children[src * m + c];
-                next[j * m + c] = child;
-                acc[c] ^= child;
-            }
-            ++src;
-        }
-
-        // Recover the punctured parent's children at every slot except
-        // the path digit: child = K_c ^ (sum of known slot-c children).
-        IRONMAN_CHECK(known_sums[lvl].size() == m);
-        for (unsigned c = 0; c < m; ++c) {
-            if (c == digit)
-                continue;
-            next[hole * m + c] = known_sums[lvl][c] ^ acc[c];
-        }
-
-        hole = hole * m + digit;
-        cur.swap(next);
+        IRONMAN_CHECK(known_sums[lvl].size() == arities[lvl]);
+        std::copy(known_sums[lvl].begin(), known_sums[lvl].end(),
+                  flat.begin() + layout.offset[lvl]);
     }
 
-    IRONMAN_CHECK(hole == alpha);
+    GgmScratch scratch;
     GgmReconstruction out;
-    out.leaves = std::move(cur);
+    out.leaves.resize(layout.leaves);
     out.alpha = alpha;
+    ggmReconstructInto(prg.expander(), alpha, layout, flat.data(),
+                       scratch, out.leaves.data());
     return out;
 }
 

@@ -12,6 +12,12 @@
  * Tree shapes are mixed-radix: a leaf count of 8192 with target arity
  * 4 becomes level arities [2, 4, 4, 4, 4, 4, 4]. This is how the
  * paper's Table 4 trees (l = 8192, 4-ary) are realizable.
+ *
+ * The core entry points are span-based and allocation-free: callers
+ * provide the output leaf span, a flattened level-sum span described
+ * by GgmSumLayout, and a reusable GgmScratch. The vector-returning
+ * ggmExpand()/ggmReconstruct() wrappers remain for tests and
+ * single-shot callers.
  */
 
 #ifndef IRONMAN_OT_GGM_TREE_H
@@ -22,6 +28,7 @@
 
 #include "common/block.h"
 #include "crypto/prg.h"
+#include "crypto/seed_expander.h"
 
 namespace ironman::ot {
 
@@ -36,6 +43,67 @@ std::vector<unsigned> treeArities(size_t leaves, unsigned m);
 /** Digits of @p alpha in the mixed radix of @p arities (MSD first). */
 std::vector<unsigned> alphaDigits(size_t alpha,
                                   const std::vector<unsigned> &arities);
+
+/** Same, writing into caller storage (arities.size() entries). */
+void alphaDigitsInto(size_t alpha, const std::vector<unsigned> &arities,
+                     unsigned *digits);
+
+/**
+ * Flattened storage layout of the per-level slot sums: level i's
+ * arities[i] sums live at [offset[i], offset[i] + arities[i]).
+ */
+struct GgmSumLayout
+{
+    std::vector<unsigned> arities; ///< per-level arities (MSD first)
+    std::vector<uint32_t> offset;  ///< per-level start into the flat span
+    size_t leaves = 0;             ///< product of arities
+    size_t total = 0;              ///< flat span length (sum of arities)
+
+    static GgmSumLayout of(const std::vector<unsigned> &arities);
+};
+
+/**
+ * Reusable scratch for allocation-free expansion/reconstruction.
+ * Buffers grow on demand and are retained, so steady-state use
+ * performs no heap allocation. One instance per thread.
+ */
+struct GgmScratch
+{
+    std::vector<Block> ping;     ///< level ping-pong buffer
+    std::vector<Block> pong;     ///< level ping-pong buffer
+    std::vector<Block> parents;  ///< reconstruction: packed known parents
+    std::vector<Block> children; ///< reconstruction: their children
+    std::vector<Block> acc;      ///< reconstruction: per-slot partial sums
+
+    /** Pre-size every buffer for trees up to @p leaves leaves. */
+    void reserve(size_t leaves, unsigned max_arity);
+};
+
+/**
+ * Expand @p seed through the levels of @p layout.
+ *
+ * @param leaves Receives layout.leaves blocks (the tree leaves).
+ * @param level_sums Receives layout.total blocks (the flattened K keys).
+ * @param leaf_sum Receives the XOR of all leaves.
+ */
+void ggmExpandInto(crypto::SeedExpander &prg, const Block &seed,
+                   const GgmSumLayout &layout, GgmScratch &scratch,
+                   Block *leaves, Block *level_sums, Block *leaf_sum);
+
+/**
+ * Reconstruct all leaves except @p alpha into @p leaves
+ * (layout.leaves blocks; the entry at alpha is set to zero).
+ *
+ * @param known_sums Flat span per @p layout; the entry at level i's
+ *        punctured digit is ignored.
+ */
+void ggmReconstructInto(crypto::SeedExpander &prg, size_t alpha,
+                        const GgmSumLayout &layout, const Block *known_sums,
+                        GgmScratch &scratch, Block *leaves);
+
+// ---------------------------------------------------------------------------
+// Vector-returning compatibility wrappers
+// ---------------------------------------------------------------------------
 
 /** Sender-side expansion result. */
 struct GgmExpansion

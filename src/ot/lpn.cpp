@@ -3,7 +3,6 @@
 #include <thread>
 
 #include "common/logging.h"
-#include "crypto/aes.h"
 
 namespace ironman::ot {
 
@@ -20,8 +19,7 @@ constexpr size_t kRowsPerChunk = 256;
 
 } // namespace
 
-LpnEncoder::LpnEncoder(const LpnParams &params)
-    : p(params), aes(matrixKey(params.seed))
+LpnEncoder::LpnEncoder(const LpnParams &params) : p(params)
 {
     IRONMAN_CHECK(p.n > 0 && p.k > 1 && p.d >= 1);
     IRONMAN_CHECK(p.d <= 12, "3 AES calls supply at most 12 indices");
@@ -37,18 +35,36 @@ void
 LpnEncoder::rowIndicesBatch(uint64_t row0, size_t count,
                             uint32_t *out) const
 {
-    std::vector<Block> ctr(count * aesCallsPerRow);
-    std::vector<Block> ks(count * aesCallsPerRow);
+    LpnEncodeScratch scratch;
+    rowIndicesBatch(row0, count, out, scratch);
+}
+
+void
+LpnEncoder::rowIndicesBatch(uint64_t row0, size_t count, uint32_t *out,
+                            LpnEncodeScratch &scratch) const
+{
+    // The index tape is AES_key(row * 3 + c) for c < 3, expressed as a
+    // counter expansion of the per-row seed block row * 3.
+    if (!scratch.gen || scratch.genSeed != p.seed) {
+        scratch.gen = crypto::makeCtrExpander(matrixKey(p.seed),
+                                              aesCallsPerRow);
+        scratch.genSeed = p.seed;
+    }
+    if (scratch.seeds.size() < count)
+        scratch.seeds.resize(count);
+    if (scratch.ks.size() < count * aesCallsPerRow)
+        scratch.ks.resize(count * aesCallsPerRow);
+
     for (size_t r = 0; r < count; ++r)
-        for (unsigned c = 0; c < aesCallsPerRow; ++c)
-            ctr[r * aesCallsPerRow + c] =
-                Block::fromUint64((row0 + r) * aesCallsPerRow + c);
-    aes.encryptBatch(ctr.data(), ks.data(), ctr.size());
+        scratch.seeds[r] =
+            Block::fromUint64((row0 + r) * aesCallsPerRow);
+    scratch.gen->expand(scratch.seeds.data(), scratch.ks.data(), count,
+                        aesCallsPerRow);
 
     for (size_t r = 0; r < count; ++r) {
         uint32_t words[aesCallsPerRow * 4];
         for (unsigned c = 0; c < aesCallsPerRow; ++c) {
-            const Block &b = ks[r * aesCallsPerRow + c];
+            const Block &b = scratch.ks[r * aesCallsPerRow + c];
             words[4 * c + 0] = uint32_t(b.lo);
             words[4 * c + 1] = uint32_t(b.lo >> 32);
             words[4 * c + 2] = uint32_t(b.hi);
@@ -63,10 +79,20 @@ void
 LpnEncoder::encodeBlocks(const Block *in, Block *inout, uint64_t row0,
                          size_t count) const
 {
-    std::vector<uint32_t> idx(kRowsPerChunk * p.d);
+    LpnEncodeScratch scratch;
+    encodeBlocks(in, inout, row0, count, scratch);
+}
+
+void
+LpnEncoder::encodeBlocks(const Block *in, Block *inout, uint64_t row0,
+                         size_t count, LpnEncodeScratch &scratch) const
+{
+    if (scratch.idx.size() < kRowsPerChunk * p.d)
+        scratch.idx.resize(kRowsPerChunk * p.d);
+    uint32_t *idx = scratch.idx.data();
     for (size_t done = 0; done < count; done += kRowsPerChunk) {
         size_t chunk = std::min(kRowsPerChunk, count - done);
-        rowIndicesBatch(row0 + done, chunk, idx.data());
+        rowIndicesBatch(row0 + done, chunk, idx, scratch);
         for (size_t r = 0; r < chunk; ++r) {
             Block acc = inout[done + r];
             const uint32_t *row_idx = &idx[r * p.d];
@@ -102,13 +128,33 @@ LpnEncoder::encodeBlocksParallel(const Block *in, Block *inout,
 }
 
 void
+LpnEncoder::encodeBlocksPool(const Block *in, Block *inout, size_t count,
+                             common::ThreadPool &pool,
+                             LpnEncodeScratch *scratch) const
+{
+    pool.parallelFor(count, [&](int worker, size_t lo, size_t hi) {
+        encodeBlocks(in, inout + lo, lo, hi - lo, scratch[worker]);
+    });
+}
+
+void
 LpnEncoder::encodeBits(const BitVec &in, BitVec &inout) const
 {
+    LpnEncodeScratch scratch;
+    encodeBits(in, inout, scratch);
+}
+
+void
+LpnEncoder::encodeBits(const BitVec &in, BitVec &inout,
+                       LpnEncodeScratch &scratch) const
+{
     IRONMAN_CHECK(in.size() == p.k && inout.size() == p.n);
-    std::vector<uint32_t> idx(kRowsPerChunk * p.d);
+    if (scratch.idx.size() < kRowsPerChunk * p.d)
+        scratch.idx.resize(kRowsPerChunk * p.d);
+    uint32_t *idx = scratch.idx.data();
     for (size_t done = 0; done < p.n; done += kRowsPerChunk) {
         size_t chunk = std::min(kRowsPerChunk, p.n - done);
-        rowIndicesBatch(done, chunk, idx.data());
+        rowIndicesBatch(done, chunk, idx, scratch);
         for (size_t r = 0; r < chunk; ++r) {
             bool acc = inout.get(done + r);
             for (unsigned i = 0; i < p.d; ++i)

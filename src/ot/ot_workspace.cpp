@@ -1,0 +1,61 @@
+#include "ot/ot_workspace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ironman::ot {
+
+Block *
+BlockArena::alloc(size_t n)
+{
+    IRONMAN_CHECK(next + n <= storage.size(), "arena overflow");
+    Block *p = storage.data() + next;
+    next += n;
+    return p;
+}
+
+namespace {
+
+/** The fields extension sizing depends on. */
+bool
+sameShape(const FerretParams &a, const FerretParams &b)
+{
+    return a.n == b.n && a.k == b.k && a.t == b.t &&
+           a.arity == b.arity && a.prg == b.prg &&
+           a.lpnWeight == b.lpnWeight && a.lpnSeed == b.lpnSeed;
+}
+
+} // namespace
+
+size_t
+OtWorkspace::requiredBlocks(const FerretParams &p)
+{
+    return p.t * p.treeLeaves() + p.n;
+}
+
+void
+OtWorkspace::prepare(const FerretParams &p, int threads)
+{
+    threads = std::max(threads, 1);
+    if (ready && sameShape(preparedFor, p) && preparedThreads == threads)
+        return;
+
+    pool.resize(threads);
+
+    arena.reserve(requiredBlocks(p));
+    leafMatrix = arena.alloc(p.t * p.treeLeaves());
+    rows = arena.alloc(p.n);
+
+    // The SPCOT workspace sizes itself per role on the first
+    // spcotSendInto/spcotRecvInto call (still warm-up, and it avoids
+    // allocating the other role's buffer set).
+    lpn.resize(threads);
+    alphas.resize(p.t);
+
+    ready = true;
+    preparedFor = p;
+    preparedThreads = threads;
+}
+
+} // namespace ironman::ot

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reusable per-engine workspace of the OT-extension hot path.
+ *
+ * The historical extension path allocated fresh vector<Block> buffers
+ * on every extend() call and copied through nested vector<vector<>>
+ * message structures — the software bottleneck the paper's Fig. 1
+ * motivation measures. OtWorkspace replaces all of that with one
+ * arena of Block buffers sized once from FerretParams plus grow-only
+ * protocol scratch, so a warm FerretCotSender/Receiver::extendInto()
+ * performs zero heap allocations (asserted by a counting allocator in
+ * tests/test_workspace_engine.cpp).
+ *
+ * The workspace also owns the engine's fixed ThreadPool: batch-SPCOT
+ * tree expansion and the LPN gather-XOR both fan out over it with
+ * deterministic range partitions, so multi-threaded output is
+ * bit-identical to single-threaded.
+ */
+
+#ifndef IRONMAN_OT_OT_WORKSPACE_H
+#define IRONMAN_OT_OT_WORKSPACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/thread_pool.h"
+#include "ot/ferret_params.h"
+#include "ot/lpn.h"
+#include "ot/spcot.h"
+
+namespace ironman::ot {
+
+/** Bump allocator over one contiguous Block buffer. */
+class BlockArena
+{
+  public:
+    /** Size the arena (one allocation) and rewind the cursor. */
+    void
+    reserve(size_t blocks)
+    {
+        storage.resize(blocks);
+        next = 0;
+    }
+
+    /** Carve @p n blocks; panics on overflow (sizing bug). */
+    Block *alloc(size_t n);
+
+    void rewind() { next = 0; }
+
+    size_t capacity() const { return storage.size(); }
+    size_t used() const { return next; }
+
+  private:
+    std::vector<Block> storage;
+    size_t next = 0;
+};
+
+/** All per-engine mutable state of one OTE endpoint. */
+struct OtWorkspace
+{
+    /**
+     * Arena blocks one engine role needs for @p p: the t x l leaf
+     * matrix plus the n staging rows.
+     */
+    static size_t requiredBlocks(const FerretParams &p);
+
+    /**
+     * (Re)size everything for @p p and @p threads. Idempotent: a
+     * second call with identical arguments does nothing, so the first
+     * extend() is the only warm-up.
+     */
+    void prepare(const FerretParams &p, int threads);
+
+    common::ThreadPool pool{1};
+    BlockArena arena;
+    Block *leafMatrix = nullptr; ///< t x treeLeaves(), stride treeLeaves()
+    Block *rows = nullptr;       ///< n staging rows (z / y)
+
+    SpcotWorkspace spcot;
+    std::vector<LpnEncodeScratch> lpn; ///< one per pool thread
+
+    // Receiver-side bit staging.
+    BitVec e; ///< LPN input bits
+    BitVec x; ///< LPN output bits
+    std::vector<size_t> alphas;
+
+  private:
+    bool ready = false;
+    FerretParams preparedFor;
+    int preparedThreads = 0;
+};
+
+} // namespace ironman::ot
+
+#endif // IRONMAN_OT_OT_WORKSPACE_H

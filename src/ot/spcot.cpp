@@ -1,11 +1,9 @@
 #include "ot/spcot.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
-#include "crypto/crhf.h"
-#include "ot/chosen_ot.h"
-#include "ot/ggm_tree.h"
 
 namespace ironman::ot {
 
@@ -32,69 +30,319 @@ log2Arity(unsigned m)
 
 } // namespace
 
+void
+SpcotShape::prepare(const SpcotConfig &config)
+{
+    cfg = config;
+    arities = treeArities(config.numLeaves, config.arity);
+    layout = GgmSumLayout::of(arities);
+    leaves = layout.leaves;
+
+    const size_t num_levels = arities.size();
+    instOffset.assign(num_levels, 0);
+    sumOffset.assign(num_levels, 0);
+    miniIndex.assign(num_levels, -1);
+    miniLayout.assign(num_levels, GgmSumLayout{});
+    cotsPerTree = 0;
+    sumsPerTree = 0;
+    wideLevels = 0;
+
+    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+        instOffset[lvl] = uint32_t(cotsPerTree);
+        sumOffset[lvl] = uint32_t(sumsPerTree);
+        const unsigned m = arities[lvl];
+        if (m == 2) {
+            cotsPerTree += 1;
+        } else {
+            cotsPerTree += log2Arity(m);
+            sumsPerTree += m;
+            miniIndex[lvl] = int(wideLevels++);
+            miniLayout[lvl] = GgmSumLayout::of(treeArities(m, 2));
+        }
+    }
+    extraPerTree = sumsPerTree + 1; // + the final recovery block
+    IRONMAN_CHECK(cotsPerTree == cfg.cotsPerTree());
+}
+
+void
+SpcotWorkspace::prepare(const SpcotConfig &config, size_t num_trees,
+                        int threads, bool for_sender)
+{
+    const bool same_cfg = ready && shape.cfg == config;
+    const bool same_size = same_cfg && preparedTrees == num_trees;
+    if (same_size && preparedThreads >= threads &&
+        (for_sender ? senderReady : receiverReady))
+        return;
+
+    if (!same_cfg) {
+        shape.prepare(config);
+        workers.clear(); // expanders are bound to (prg, arity)
+        preparedThreads = 0;
+    }
+    if (!same_size)
+        senderReady = receiverReady = false;
+
+    // Shared buffers, then the requested role's set — an engine only
+    // ever plays one role, so the other set stays unallocated.
+    const size_t n_inst = num_trees * shape.cotsPerTree;
+    extra.resize(num_trees * shape.extraPerTree);
+    if (for_sender) {
+        seeds.resize(num_trees);
+        miniSeeds.resize(num_trees * shape.wideLevels);
+        otM0.resize(n_inst);
+        otM1.resize(n_inst);
+    } else {
+        otOut.resize(n_inst);
+        digits.resize(num_trees * shape.arities.size());
+    }
+
+    const unsigned max_arity =
+        std::max(2u, *std::max_element(shape.arities.begin(),
+                                       shape.arities.end()));
+    const size_t mini_total = 2 * size_t(log2Arity(max_arity));
+    while (workers.size() < size_t(threads)) {
+        workers.emplace_back();
+        Worker &w = workers.back();
+        w.mainPrg = crypto::makeTreeExpander(config.prg, max_arity);
+        w.miniPrg = crypto::makeTreeExpander(config.prg, 2);
+    }
+    for (Worker &w : workers) {
+        w.miniLeaves.resize(max_arity);
+        if (for_sender) {
+            w.levelSums.resize(shape.layout.total);
+            w.miniSums.resize(std::max<size_t>(mini_total, 1));
+        } else {
+            w.knownSums.resize(shape.layout.total);
+            w.miniKnown.resize(std::max<size_t>(mini_total, 1));
+        }
+        w.ggm.reserve(shape.leaves, max_arity);
+        w.miniGgm.reserve(max_arity, 2);
+    }
+
+    ready = true;
+    preparedTrees = num_trees;
+    preparedThreads = int(workers.size());
+    (for_sender ? senderReady : receiverReady) = true;
+}
+
+uint64_t
+SpcotWorkspace::prgOps() const
+{
+    uint64_t total = 0;
+    for (const Worker &w : workers)
+        total += w.mainPrg->ops() + w.miniPrg->ops();
+    return total;
+}
+
+void
+spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+              const Block &delta, const Block *q, Rng &rng,
+              uint64_t &tweak, common::ThreadPool &pool,
+              SpcotWorkspace &ws, Block *w, uint64_t *prg_ops)
+{
+    ws.prepare(cfg, num_trees, pool.threads(), /*for_sender=*/true);
+    const SpcotShape &sh = ws.shape;
+    const size_t num_levels = sh.arities.size();
+    const size_t n_inst = num_trees * sh.cotsPerTree;
+    const uint64_t sum_base = tweak + n_inst;
+
+    // Seeds are drawn sequentially (tree seed, then that tree's mini
+    // seeds in level order) so the transcript is independent of the
+    // worker count.
+    for (size_t tr = 0; tr < num_trees; ++tr) {
+        ws.seeds[tr] = rng.nextBlock();
+        for (size_t lvl = 0; lvl < num_levels; ++lvl)
+            if (sh.miniIndex[lvl] >= 0)
+                ws.miniSeeds[tr * sh.wideLevels +
+                             size_t(sh.miniIndex[lvl])] = rng.nextBlock();
+    }
+
+    const uint64_t ops_before = ws.prgOps();
+
+    pool.parallelFor(num_trees, [&](int worker, size_t lo, size_t hi) {
+        SpcotWorkspace::Worker &wk = ws.workers[worker];
+        for (size_t tr = lo; tr < hi; ++tr) {
+            Block *leaves = w + tr * sh.leaves;
+            Block leaf_sum;
+            ggmExpandInto(*wk.mainPrg, ws.seeds[tr], sh.layout, wk.ggm,
+                          leaves, wk.levelSums.data(), &leaf_sum);
+
+            const size_t inst_base = tr * sh.cotsPerTree;
+            const size_t extra_base = tr * sh.extraPerTree;
+            for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+                const unsigned m = sh.arities[lvl];
+                const Block *sums =
+                    wk.levelSums.data() + sh.layout.offset[lvl];
+                const size_t inst = inst_base + sh.instOffset[lvl];
+                if (m == 2) {
+                    ws.otM0[inst] = sums[0];
+                    ws.otM1[inst] = sums[1];
+                    continue;
+                }
+
+                // (m-1)-out-of-m OT from an m-leaf binary mini GGM
+                // tree: the mini level sums ride the chosen OTs, the
+                // mini leaves pad the real sums.
+                const GgmSumLayout &ml = sh.miniLayout[lvl];
+                Block mini_leaf_sum;
+                ggmExpandInto(*wk.miniPrg,
+                              ws.miniSeeds[tr * sh.wideLevels +
+                                           size_t(sh.miniIndex[lvl])],
+                              ml, wk.miniGgm, wk.miniLeaves.data(),
+                              wk.miniSums.data(), &mini_leaf_sum);
+                for (size_t j = 0; j < ml.arities.size(); ++j) {
+                    ws.otM0[inst + j] = wk.miniSums[ml.offset[j] + 0];
+                    ws.otM1[inst + j] = wk.miniSums[ml.offset[j] + 1];
+                }
+                const uint64_t tweak0 =
+                    sum_base + tr * sh.sumsPerTree + sh.sumOffset[lvl];
+                Block *ex =
+                    ws.extra.data() + extra_base + sh.sumOffset[lvl];
+                for (unsigned c = 0; c < m; ++c)
+                    ex[c] = sums[c] ^
+                            ws.crhf.hash(wk.miniLeaves[c], tweak0 + c);
+            }
+
+            // Final node recovery: Delta ^ XOR of all leaves (step 4
+            // of Fig. 3(b)).
+            ws.extra[extra_base + sh.extraPerTree - 1] =
+                leaf_sum ^ delta;
+        }
+    });
+
+    if (prg_ops)
+        *prg_ops = ws.prgOps() - ops_before;
+
+    chosenOtSend(ch, ws.crhf, ws.otM0.data(), ws.otM1.data(), n_inst,
+                 delta, q, tweak, ws.ot);
+    ch.sendBlocks(ws.extra.data(), num_trees * sh.extraPerTree);
+
+    tweak = sum_base + num_trees * sh.sumsPerTree;
+}
+
+void
+spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+              const size_t *alphas, const BitVec &b, size_t b_offset,
+              const Block *t, uint64_t &tweak, common::ThreadPool &pool,
+              SpcotWorkspace &ws, Block *v, uint64_t *prg_ops)
+{
+    ws.prepare(cfg, num_trees, pool.threads(), /*for_sender=*/false);
+    const SpcotShape &sh = ws.shape;
+    const size_t num_levels = sh.arities.size();
+    const size_t n_inst = num_trees * sh.cotsPerTree;
+    const uint64_t sum_base = tweak + n_inst;
+
+    // Choice bits in traversal order: !digit for arity-2 levels,
+    // !digit-bit for each mini level of wider ones.
+    ws.choices.resize(n_inst);
+    for (size_t tr = 0; tr < num_trees; ++tr) {
+        unsigned *dg = ws.digits.data() + tr * num_levels;
+        alphaDigitsInto(alphas[tr], sh.arities, dg);
+        const size_t inst_base = tr * sh.cotsPerTree;
+        for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+            const unsigned m = sh.arities[lvl];
+            const unsigned digit = dg[lvl];
+            const size_t inst = inst_base + sh.instOffset[lvl];
+            if (m == 2) {
+                ws.choices.set(inst, !(digit & 1));
+            } else {
+                const unsigned bits = log2Arity(m);
+                for (unsigned j = 0; j < bits; ++j)
+                    ws.choices.set(inst + j,
+                                   !((digit >> (bits - 1 - j)) & 1));
+            }
+        }
+    }
+
+    chosenOtRecv(ch, ws.crhf, ws.choices, b, b_offset, t, n_inst,
+                 ws.otOut.data(), tweak, ws.ot);
+    ch.recvBlocks(ws.extra.data(), num_trees * sh.extraPerTree);
+
+    const uint64_t ops_before = ws.prgOps();
+
+    pool.parallelFor(num_trees, [&](int worker, size_t lo, size_t hi) {
+        SpcotWorkspace::Worker &wk = ws.workers[worker];
+        for (size_t tr = lo; tr < hi; ++tr) {
+            const unsigned *dg = ws.digits.data() + tr * num_levels;
+            const size_t inst_base = tr * sh.cotsPerTree;
+            const size_t extra_base = tr * sh.extraPerTree;
+
+            for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+                const unsigned m = sh.arities[lvl];
+                const unsigned digit = dg[lvl];
+                const size_t inst = inst_base + sh.instOffset[lvl];
+                Block *ks = wk.knownSums.data() + sh.layout.offset[lvl];
+
+                if (m == 2) {
+                    ks[digit] = Block::zero();
+                    ks[digit ^ 1] = ws.otOut[inst];
+                    continue;
+                }
+
+                // Reconstruct the mini tree, then unmask the real
+                // sums.
+                const GgmSumLayout &ml = sh.miniLayout[lvl];
+                const unsigned bits = log2Arity(m);
+                for (unsigned j = 0; j < bits; ++j) {
+                    const unsigned bit = (digit >> (bits - 1 - j)) & 1;
+                    wk.miniKnown[ml.offset[j] + bit] = Block::zero();
+                    wk.miniKnown[ml.offset[j] + (bit ^ 1)] =
+                        ws.otOut[inst + j];
+                }
+                ggmReconstructInto(*wk.miniPrg, digit, ml,
+                                   wk.miniKnown.data(), wk.miniGgm,
+                                   wk.miniLeaves.data());
+                const uint64_t tweak0 =
+                    sum_base + tr * sh.sumsPerTree + sh.sumOffset[lvl];
+                const Block *ex =
+                    ws.extra.data() + extra_base + sh.sumOffset[lvl];
+                for (unsigned c = 0; c < m; ++c)
+                    ks[c] = c == digit
+                                ? Block::zero() // r_digit unknown
+                                : ex[c] ^ ws.crhf.hash(wk.miniLeaves[c],
+                                                       tweak0 + c);
+            }
+
+            Block *leaves = v + tr * sh.leaves;
+            ggmReconstructInto(*wk.mainPrg, alphas[tr], sh.layout,
+                               wk.knownSums.data(), wk.ggm, leaves);
+
+            // Final node recovery: v_alpha = (Delta ^ sum of all w) ^
+            // (sum of the leaves we know) = w_alpha ^ Delta.
+            Block known_sum = Block::zero();
+            for (size_t j = 0; j < sh.leaves; ++j)
+                known_sum ^= leaves[j];
+            leaves[alphas[tr]] =
+                ws.extra[extra_base + sh.extraPerTree - 1] ^ known_sum;
+        }
+    });
+
+    if (prg_ops)
+        *prg_ops = ws.prgOps() - ops_before;
+
+    tweak = sum_base + num_trees * sh.sumsPerTree;
+}
+
+// ---------------------------------------------------------------------------
+// Vector-returning compatibility wrappers
+// ---------------------------------------------------------------------------
+
 SpcotSenderOutput
 spcotSend(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
           const Block &delta, const Block *q, Rng &rng, uint64_t &tweak)
 {
-    const auto arities = cfg.levelArities();
-    crypto::TreePrg main_prg(cfg.prg, cfg.arity);
-    crypto::TreePrg mini_prg(cfg.prg, 2);
-    crypto::Crhf crhf;
+    common::ThreadPool pool(1);
+    SpcotWorkspace ws;
+    std::vector<Block> flat(num_trees * cfg.numLeaves);
 
     SpcotSenderOutput out;
+    spcotSendInto(ch, cfg, num_trees, delta, q, rng, tweak, pool, ws,
+                  flat.data(), &out.prgOps);
+
     out.w.resize(num_trees);
-
-    // OT instance messages, in traversal order.
-    std::vector<Block> ot_m0, ot_m1;
-    // Masked K sums for the (m-1)-of-m levels + final recovery blocks.
-    std::vector<Block> extra;
-
-    // Tweak layout: [tweak, +n_inst) pads the chosen OTs,
-    // [tweak+n_inst, ...) pads the masked sums. Both parties derive
-    // the same split, so reserve the OT range after counting.
-    size_t n_inst = num_trees * cfg.cotsPerTree();
-    uint64_t sum_tweak = tweak + n_inst;
-
-    for (size_t tr = 0; tr < num_trees; ++tr) {
-        Block seed = rng.nextBlock();
-        GgmExpansion exp = ggmExpand(main_prg, seed, arities);
-
-        for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
-            unsigned m = arities[lvl];
-            const auto &sums = exp.levelSums[lvl];
-            if (m == 2) {
-                ot_m0.push_back(sums[0]);
-                ot_m1.push_back(sums[1]);
-                continue;
-            }
-
-            // (m-1)-out-of-m OT from an m-leaf binary mini GGM tree.
-            Block mini_seed = rng.nextBlock();
-            auto mini_arities = treeArities(m, 2);
-            GgmExpansion mini = ggmExpand(mini_prg, mini_seed,
-                                          mini_arities);
-            for (size_t ml = 0; ml < mini_arities.size(); ++ml) {
-                ot_m0.push_back(mini.levelSums[ml][0]);
-                ot_m1.push_back(mini.levelSums[ml][1]);
-            }
-            for (unsigned c = 0; c < m; ++c)
-                extra.push_back(sums[c] ^
-                                crhf.hash(mini.leaves[c], sum_tweak++));
-        }
-
-        // Final node recovery: Delta ^ XOR of all leaves (step 4 of
-        // Fig. 3(b)).
-        extra.push_back(exp.leafSum ^ delta);
-        out.w[tr] = std::move(exp.leaves);
-    }
-
-    IRONMAN_CHECK(ot_m0.size() == n_inst);
-    chosenOtSend(ch, crhf, ot_m0.data(), ot_m1.data(), n_inst, delta, q,
-                 tweak);
-    ch.sendBlocks(extra.data(), extra.size());
-
-    tweak = sum_tweak;
-    out.prgOps = main_prg.ops() + mini_prg.ops();
+    for (size_t tr = 0; tr < num_trees; ++tr)
+        out.w[tr].assign(flat.begin() + tr * cfg.numLeaves,
+                         flat.begin() + (tr + 1) * cfg.numLeaves);
     return out;
 }
 
@@ -104,101 +352,19 @@ spcotRecv(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
           size_t b_offset, const Block *t, uint64_t &tweak)
 {
     IRONMAN_CHECK(alphas.size() == num_trees);
-    const auto arities = cfg.levelArities();
-    crypto::TreePrg main_prg(cfg.prg, cfg.arity);
-    crypto::TreePrg mini_prg(cfg.prg, 2);
-    crypto::Crhf crhf;
-
-    size_t n_inst = num_trees * cfg.cotsPerTree();
-    uint64_t sum_tweak = tweak + n_inst;
-
-    // Choice bits in traversal order: !digit for arity-2 levels,
-    // !digit-bit for each mini level of wider ones.
-    BitVec choices;
-    size_t extra_blocks = 0;
-    std::vector<std::vector<unsigned>> digits(num_trees);
-    for (size_t tr = 0; tr < num_trees; ++tr) {
-        digits[tr] = alphaDigits(alphas[tr], arities);
-        for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
-            unsigned m = arities[lvl];
-            unsigned digit = digits[tr][lvl];
-            if (m == 2) {
-                choices.pushBack(!(digit & 1));
-            } else {
-                unsigned bits = log2Arity(m);
-                for (unsigned j = 0; j < bits; ++j) {
-                    unsigned bit = (digit >> (bits - 1 - j)) & 1;
-                    choices.pushBack(!bit);
-                }
-                extra_blocks += m;
-            }
-        }
-        extra_blocks += 1; // final recovery block
-    }
-    IRONMAN_CHECK(choices.size() == n_inst);
-
-    std::vector<Block> ot_out(n_inst);
-    chosenOtRecv(ch, crhf, choices, b, b_offset, t, n_inst, ot_out.data(),
-                 tweak);
-
-    std::vector<Block> extra(extra_blocks);
-    ch.recvBlocks(extra.data(), extra.size());
+    common::ThreadPool pool(1);
+    SpcotWorkspace ws;
+    std::vector<Block> flat(num_trees * cfg.numLeaves);
 
     SpcotReceiverOutput out;
-    out.v.resize(num_trees);
+    spcotRecvInto(ch, cfg, num_trees, alphas.data(), b, b_offset, t,
+                  tweak, pool, ws, flat.data(), &out.prgOps);
+
     out.alpha = alphas;
-
-    size_t inst = 0;
-    size_t extra_pos = 0;
-    for (size_t tr = 0; tr < num_trees; ++tr) {
-        std::vector<std::vector<Block>> known(arities.size());
-        for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
-            unsigned m = arities[lvl];
-            unsigned digit = digits[tr][lvl];
-            known[lvl].assign(m, Block::zero());
-
-            if (m == 2) {
-                known[lvl][digit ^ 1] = ot_out[inst++];
-                continue;
-            }
-
-            // Reconstruct the mini tree, then unmask the real sums.
-            unsigned bits = log2Arity(m);
-            auto mini_arities = treeArities(m, 2);
-            std::vector<std::vector<Block>> mini_known(bits);
-            for (unsigned j = 0; j < bits; ++j) {
-                unsigned bit = (digit >> (bits - 1 - j)) & 1;
-                mini_known[j].assign(2, Block::zero());
-                mini_known[j][bit ^ 1] = ot_out[inst++];
-            }
-            GgmReconstruction mini = ggmReconstruct(mini_prg, digit,
-                                                    mini_arities,
-                                                    mini_known);
-            for (unsigned c = 0; c < m; ++c) {
-                Block masked = extra[extra_pos++];
-                uint64_t tw = sum_tweak++;
-                if (c == digit)
-                    continue; // r_digit unknown by design
-                known[lvl][c] = masked ^ crhf.hash(mini.leaves[c], tw);
-            }
-        }
-
-        GgmReconstruction rec = ggmReconstruct(main_prg, alphas[tr],
-                                               arities, known);
-
-        // Final node recovery: v_alpha = (Delta ^ sum of all w) ^
-        // (sum of the leaves we know) = w_alpha ^ Delta.
-        Block final_block = extra[extra_pos++];
-        Block known_sum = Block::zero();
-        for (const Block &leaf : rec.leaves)
-            known_sum ^= leaf;
-        rec.leaves[alphas[tr]] = final_block ^ known_sum;
-
-        out.v[tr] = std::move(rec.leaves);
-    }
-
-    tweak = sum_tweak;
-    out.prgOps = main_prg.ops() + mini_prg.ops();
+    out.v.resize(num_trees);
+    for (size_t tr = 0; tr < num_trees; ++tr)
+        out.v[tr].assign(flat.begin() + tr * cfg.numLeaves,
+                         flat.begin() + (tr + 1) * cfg.numLeaves);
     return out;
 }
 

@@ -23,20 +23,33 @@
  * this is what makes the WAN rows of Fig. 7(c) flat in tree depth).
  *
  * Base-COT consumption per tree is exactly log2(l) independent of m.
+ *
+ * The workspace entry points (spcotSendInto / spcotRecvInto) write the
+ * leaf matrices into caller-provided flat spans, keep all protocol
+ * buffers in a reusable SpcotWorkspace (zero heap allocation after
+ * warm-up), and fan the per-tree expansions out over a fixed
+ * ThreadPool — one contiguous bucket range per worker, so the output
+ * is bit-identical to the single-threaded path. The vector-returning
+ * wrappers remain for tests and one-shot callers.
  */
 
 #ifndef IRONMAN_OT_SPCOT_H
 #define IRONMAN_OT_SPCOT_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitvec.h"
 #include "common/block.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
+#include "crypto/crhf.h"
 #include "crypto/prg.h"
 #include "net/channel.h"
+#include "ot/chosen_ot.h"
+#include "ot/ggm_tree.h"
 
 namespace ironman::ot {
 
@@ -47,12 +60,133 @@ struct SpcotConfig
     unsigned arity = 4;                           ///< m (power of two)
     crypto::PrgKind prg = crypto::PrgKind::ChaCha8;
 
+    bool
+    operator==(const SpcotConfig &o) const
+    {
+        return numLeaves == o.numLeaves && arity == o.arity &&
+               prg == o.prg;
+    }
+
     /** Per-level arities (mixed radix; see treeArities()). */
     std::vector<unsigned> levelArities() const;
 
     /** Base COTs consumed per tree: log2(numLeaves). */
     size_t cotsPerTree() const;
 };
+
+/**
+ * Derived constants of one tree shape: the flattened level-sum layout
+ * plus, per level, the offsets of its OT instances, masked sums and
+ * hash tweaks within a tree's region of the batched transcript. All
+ * offsets are tree-independent, which is what lets every tree be
+ * processed in parallel against precomputed transcript positions.
+ */
+struct SpcotShape
+{
+    SpcotConfig cfg;
+    std::vector<unsigned> arities;
+    GgmSumLayout layout;              ///< main-tree level sums
+    size_t leaves = 0;
+    size_t cotsPerTree = 0;           ///< OT instances per tree
+    size_t sumsPerTree = 0;           ///< masked sums (= tweaks) per tree
+    size_t extraPerTree = 0;          ///< extra blocks per tree (sums + 1)
+    size_t wideLevels = 0;            ///< levels with arity > 2
+    std::vector<uint32_t> instOffset; ///< per level: OT-instance offset
+    std::vector<uint32_t> sumOffset;  ///< per level: masked-sum offset
+    std::vector<int> miniIndex;       ///< per level: wide ordinal or -1
+    std::vector<GgmSumLayout> miniLayout; ///< per level (wide only)
+
+    void prepare(const SpcotConfig &config);
+};
+
+/**
+ * Reusable state of a batched SPCOT endpoint: transcript buffers plus
+ * one expansion context per pool worker. Grow-only; prepare() is
+ * idempotent for a fixed (config, trees, threads).
+ */
+struct SpcotWorkspace
+{
+    /** Per-worker expansion context (expanders carry mutable state). */
+    struct Worker
+    {
+        GgmScratch ggm;
+        GgmScratch miniGgm;
+        std::vector<Block> levelSums;  ///< sender: main-tree K keys
+        std::vector<Block> knownSums;  ///< receiver: unmasked sums
+        std::vector<Block> miniLeaves;
+        std::vector<Block> miniSums;
+        std::vector<Block> miniKnown;
+        std::unique_ptr<crypto::SeedExpander> mainPrg;
+        std::unique_ptr<crypto::SeedExpander> miniPrg;
+    };
+
+    /**
+     * Size everything one endpoint role needs (@p for_sender picks
+     * the sender or receiver buffer set; the shared buffers are
+     * always sized). Idempotent per (config, trees, threads, role).
+     */
+    void prepare(const SpcotConfig &config, size_t num_trees,
+                 int threads, bool for_sender);
+
+    /** Sum of all workers' PRG operation counters. */
+    uint64_t prgOps() const;
+
+    SpcotShape shape;
+    crypto::Crhf crhf;
+
+    std::vector<Block> seeds;     ///< sender: per-tree main seeds
+    std::vector<Block> miniSeeds; ///< sender: per-tree mini seeds
+    std::vector<Block> otM0, otM1; ///< sender OT messages
+    std::vector<Block> otOut;     ///< receiver OT results
+    std::vector<Block> extra;     ///< masked sums + recovery blocks
+    BitVec choices;               ///< receiver OT choice bits
+    std::vector<unsigned> digits; ///< receiver: trees x levels
+    ChosenOtScratch ot;
+
+    std::vector<Worker> workers;
+
+  private:
+    bool ready = false;
+    bool senderReady = false;
+    bool receiverReady = false;
+    size_t preparedTrees = 0;
+    int preparedThreads = 0;
+};
+
+/**
+ * Sender side of a batched SPCOT over @p num_trees trees, writing tree
+ * tr's leaves to w[tr*cfg.numLeaves ...]. Zero heap allocation once
+ * @p ws is warm.
+ *
+ * @param q Base-COT sender strings, num_trees*cotsPerTree() entries,
+ *          consumed in traversal order (must mirror the receiver).
+ * @param rng Source of the tree and mini-tree seeds.
+ * @param tweak In/out hash-tweak counter shared by both parties.
+ * @param pool Worker pool; trees are split into contiguous ranges.
+ * @param prg_ops If non-null, receives the PRG invocation count.
+ */
+void spcotSendInto(net::Channel &ch, const SpcotConfig &cfg,
+                   size_t num_trees, const Block &delta, const Block *q,
+                   Rng &rng, uint64_t &tweak, common::ThreadPool &pool,
+                   SpcotWorkspace &ws, Block *w, uint64_t *prg_ops);
+
+/**
+ * Receiver side of a batched SPCOT, writing tree tr's punctured leaf
+ * vector to v[tr*cfg.numLeaves ...].
+ *
+ * @param alphas Punctured index per tree, each < cfg.numLeaves.
+ * @param b,b_offset,t Base-COT receiver view (choice bits + strings),
+ *        consumed from @p b_offset in the same order as the sender.
+ */
+void spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg,
+                   size_t num_trees, const size_t *alphas, const BitVec &b,
+                   size_t b_offset, const Block *t, uint64_t &tweak,
+                   common::ThreadPool &pool, SpcotWorkspace &ws, Block *v,
+                   uint64_t *prg_ops);
+
+// ---------------------------------------------------------------------------
+// Vector-returning compatibility wrappers
+// ---------------------------------------------------------------------------
 
 /** Sender output of a batched SPCOT. */
 struct SpcotSenderOutput
@@ -72,25 +206,12 @@ struct SpcotReceiverOutput
     uint64_t prgOps = 0;
 };
 
-/**
- * Sender side of a batched SPCOT over @p num_trees trees.
- *
- * @param q Base-COT sender strings, num_trees*cotsPerTree() entries,
- *          consumed in traversal order (must mirror the receiver).
- * @param rng Source of the tree and mini-tree seeds.
- * @param tweak In/out hash-tweak counter shared by both parties.
- */
+/** One-shot sender wrapper (allocates its own workspace). */
 SpcotSenderOutput
 spcotSend(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
           const Block &delta, const Block *q, Rng &rng, uint64_t &tweak);
 
-/**
- * Receiver side of a batched SPCOT.
- *
- * @param alphas Punctured index per tree, each < cfg.numLeaves.
- * @param b,b_offset,t Base-COT receiver view (choice bits + strings),
- *        consumed from @p b_offset in the same order as the sender.
- */
+/** One-shot receiver wrapper (allocates its own workspace). */
 SpcotReceiverOutput
 spcotRecv(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
           const std::vector<size_t> &alphas, const BitVec &b,

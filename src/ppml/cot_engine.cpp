@@ -1,0 +1,109 @@
+#include "ppml/cot_engine.h"
+
+#include "common/logging.h"
+#include "ot/base_cot.h"
+
+namespace ironman::ppml {
+
+FerretCotEngine::FerretCotEngine(net::Channel &channel, int party_id,
+                                 const ot::FerretParams &params,
+                                 uint64_t setup_seed, int threads)
+    : ch(channel), party(party_id), p(params),
+      extendRng(setup_seed ^ 0x0e17e4d5u ^ uint64_t(party_id) << 32)
+{
+    IRONMAN_CHECK(party == 0 || party == 1);
+
+    // Trusted-dealer setup: both parties replay the same tape and keep
+    // their own halves. Direction A: party 0 sends; direction B: roles
+    // swapped.
+    Rng dealer(setup_seed);
+    Block delta_a = dealer.nextBlock();
+    auto [sa, ra] = ot::dealBaseCots(dealer, delta_a, p.reservedCots());
+    Block delta_b = dealer.nextBlock();
+    auto [sb, rb] = ot::dealBaseCots(dealer, delta_b, p.reservedCots());
+
+    if (party == 0) {
+        sendDelta_ = delta_a;
+        sender = std::make_unique<ot::FerretCotSender>(
+            ch, p, delta_a, std::move(sa.q));
+        receiver = std::make_unique<ot::FerretCotReceiver>(
+            ch, p, std::move(rb.choice), std::move(rb.t));
+    } else {
+        sendDelta_ = delta_b;
+        sender = std::make_unique<ot::FerretCotSender>(
+            ch, p, delta_b, std::move(sb.q));
+        receiver = std::make_unique<ot::FerretCotReceiver>(
+            ch, p, std::move(ra.choice), std::move(ra.t));
+    }
+    sender->setThreads(threads);
+    receiver->setThreads(threads);
+
+    // Prime one extension per direction; direction A runs first on
+    // both sides so the interleaved sessions line up.
+    if (party == 0) {
+        refillSend(1);
+        refillRecv(1);
+    } else {
+        refillRecv(1);
+        refillSend(1);
+    }
+}
+
+void
+FerretCotEngine::refillSend(size_t need)
+{
+    if (sendQ.size() - sendPos >= need)
+        return;
+    sendQ.erase(sendQ.begin(), sendQ.begin() + sendPos);
+    sendPos = 0;
+    while (sendQ.size() < need) {
+        size_t old = sendQ.size();
+        sendQ.resize(old + p.usableOts());
+        sender->extendInto(extendRng, sendQ.data() + old);
+        ++extensions;
+    }
+}
+
+void
+FerretCotEngine::refillRecv(size_t need)
+{
+    if (recvT.size() - recvPos >= need)
+        return;
+    recvT.erase(recvT.begin(), recvT.begin() + recvPos);
+    bitScratch.assignRange(recvBits, recvPos, recvBits.size() - recvPos);
+    std::swap(recvBits, bitScratch);
+    recvPos = 0;
+    while (recvT.size() < need) {
+        size_t old = recvT.size();
+        recvT.resize(old + p.usableOts());
+        receiver->extendInto(extendRng, choiceScratch,
+                             recvT.data() + old);
+        recvBits.appendRange(choiceScratch, 0, choiceScratch.size());
+        ++extensions;
+    }
+    IRONMAN_CHECK(recvBits.size() == recvT.size());
+}
+
+const Block *
+FerretCotEngine::takeSend(size_t n)
+{
+    refillSend(n);
+    const Block *q = sendQ.data() + sendPos;
+    sendPos += n;
+    taken += n;
+    return q;
+}
+
+void
+FerretCotEngine::takeRecv(size_t n, const BitVec **bits,
+                          size_t *bit_offset, const Block **t)
+{
+    refillRecv(n);
+    *bits = &recvBits;
+    *bit_offset = recvPos;
+    *t = recvT.data() + recvPos;
+    recvPos += n;
+    taken += n;
+}
+
+} // namespace ironman::ppml

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ppml/estimator.h"
+
 namespace ironman::ppml {
 
 MatMulCost
@@ -36,6 +38,13 @@ secureMatMulCost(const MatMulDims &dims, unsigned bits, bool unified,
     cost.computeSeconds =
         cot_throughput > 0 ? double(cots) / cot_throughput : 0.0;
     return cost;
+}
+
+MatMulCost
+secureMatMulCost(const MatMulDims &dims, unsigned bits, bool unified,
+                 const OtEngine &engine)
+{
+    return secureMatMulCost(dims, bits, unified, engine.cotsPerSecond);
 }
 
 } // namespace ironman::ppml

@@ -58,6 +58,17 @@ struct MatMulCost
 MatMulCost secureMatMulCost(const MatMulDims &dims, unsigned bits,
                             bool unified, double cot_throughput);
 
+struct OtEngine; // ppml/estimator.h
+
+/**
+ * Same, drawing the COT rate from a persistent OT engine description
+ * (the measured CPU stack or the simulated Ironman accelerator), so
+ * per-layer planning and the end-to-end estimator price preprocessing
+ * against one shared engine instead of per-layer setup.
+ */
+MatMulCost secureMatMulCost(const MatMulDims &dims, unsigned bits,
+                            bool unified, const OtEngine &engine);
+
 } // namespace ironman::ppml
 
 #endif // IRONMAN_PPML_MATMUL_H

@@ -42,15 +42,31 @@ SecureCompute::SecureCompute(net::Channel &channel, int party_id,
     IRONMAN_CHECK(width >= 2 && width <= 64);
 }
 
+SecureCompute::SecureCompute(net::Channel &channel, int party_id,
+                             FerretCotEngine &cot_engine,
+                             unsigned bitwidth)
+    : ch(channel), party(party_id), engine(&cot_engine),
+      width(bitwidth), localRng(0xfeed1234 + party_id)
+{
+    IRONMAN_CHECK(party == 0 || party == 1);
+    IRONMAN_CHECK(width >= 2 && width <= 64);
+}
+
 void
 SecureCompute::otSendBatch(const std::vector<Block> &m0,
                            const std::vector<Block> &m1)
 {
     const size_t n = m0.size();
-    IRONMAN_CHECK(pool.sendUsed + n <= pool.sendQ.size(),
-                  "send-direction COT pool exhausted");
     uint64_t tw = tweak;
     tweak += n;
+    if (engine) {
+        const Block *q = engine->takeSend(n);
+        ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n,
+                         engine->sendDelta(), q, tw);
+        return;
+    }
+    IRONMAN_CHECK(pool.sendUsed + n <= pool.sendQ.size(),
+                  "send-direction COT pool exhausted");
     ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n, pool.delta,
                      pool.sendQ.data() + pool.sendUsed, tw);
     pool.sendUsed += n;
@@ -60,11 +76,20 @@ std::vector<Block>
 SecureCompute::otRecvBatch(const BitVec &choices)
 {
     const size_t n = choices.size();
-    IRONMAN_CHECK(pool.recvUsed + n <= pool.recvT.size(),
-                  "recv-direction COT pool exhausted");
     uint64_t tw = tweak;
     tweak += n;
     std::vector<Block> out(n);
+    if (engine) {
+        const BitVec *b;
+        size_t b_offset;
+        const Block *t;
+        engine->takeRecv(n, &b, &b_offset, &t);
+        ot::chosenOtRecv(ch, crhf, choices, *b, b_offset, t, n,
+                         out.data(), tw);
+        return out;
+    }
+    IRONMAN_CHECK(pool.recvUsed + n <= pool.recvT.size(),
+                  "recv-direction COT pool exhausted");
     ot::chosenOtRecv(ch, crhf, choices, pool.recvBits, pool.recvUsed,
                      pool.recvT.data() + pool.recvUsed, n, out.data(), tw);
     pool.recvUsed += n;
@@ -216,8 +241,6 @@ SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
     if (party == 0) {
         // Build the rotated, masked tables: message i of instance e is
         // table[(x0_e + i) mod N] - r_e.
-        IRONMAN_CHECK(pool.sendUsed + cots <= pool.sendQ.size(),
-                      "send-direction COT pool exhausted");
         std::vector<uint64_t> r(batch);
         std::vector<Block> msgs(batch * n_msgs);
         for (size_t e = 0; e < batch; ++e) {
@@ -231,6 +254,14 @@ SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
                     Block::fromUint64(maskValue(entry - r[e]));
             }
         }
+        if (engine) {
+            const Block *q = engine->takeSend(cots);
+            ot::oneOfNOtSend(ch, crhf, msgs.data(), n_msgs, batch,
+                             engine->sendDelta(), q, localRng, tweak);
+            return r;
+        }
+        IRONMAN_CHECK(pool.sendUsed + cots <= pool.sendQ.size(),
+                      "send-direction COT pool exhausted");
         ot::oneOfNOtSend(ch, crhf, msgs.data(), n_msgs, batch,
                          pool.delta, pool.sendQ.data() + pool.sendUsed,
                          localRng, tweak);
@@ -239,18 +270,28 @@ SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
     }
 
     // Party 1: select with its own index share.
-    IRONMAN_CHECK(pool.recvUsed + cots <= pool.recvT.size(),
-                  "recv-direction COT pool exhausted");
     std::vector<uint32_t> choices(batch);
     for (size_t e = 0; e < batch; ++e) {
         IRONMAN_CHECK(x_shares[e] < n_msgs,
                       "index shares must be reduced mod N");
         choices[e] = uint32_t(x_shares[e]);
     }
-    std::vector<Block> got = ot::oneOfNOtRecv(
-        ch, crhf, choices, n_msgs, pool.recvBits, pool.recvUsed,
-        pool.recvT.data() + pool.recvUsed, tweak);
-    pool.recvUsed += cots;
+    std::vector<Block> got;
+    if (engine) {
+        const BitVec *b;
+        size_t b_offset;
+        const Block *t;
+        engine->takeRecv(cots, &b, &b_offset, &t);
+        got = ot::oneOfNOtRecv(ch, crhf, choices, n_msgs, *b, b_offset,
+                               t, tweak);
+    } else {
+        IRONMAN_CHECK(pool.recvUsed + cots <= pool.recvT.size(),
+                      "recv-direction COT pool exhausted");
+        got = ot::oneOfNOtRecv(ch, crhf, choices, n_msgs, pool.recvBits,
+                               pool.recvUsed,
+                               pool.recvT.data() + pool.recvUsed, tweak);
+        pool.recvUsed += cots;
+    }
 
     std::vector<uint64_t> out(batch);
     for (size_t e = 0; e < batch; ++e)

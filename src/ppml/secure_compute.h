@@ -33,6 +33,7 @@
 #include "crypto/crhf.h"
 #include "net/channel.h"
 #include "ot/cot.h"
+#include "ppml/cot_engine.h"
 
 namespace ironman::ppml {
 
@@ -78,6 +79,15 @@ class SecureCompute
     SecureCompute(net::Channel &ch, int party, DualCotPool pool,
                   unsigned bitwidth = 32);
 
+    /**
+     * Engine-backed variant: correlations are drawn from a persistent
+     * FerretCotEngine (shared channel), which self-refills across
+     * layers instead of exhausting a fixed pre-dealt pool. @p engine
+     * must outlive this object.
+     */
+    SecureCompute(net::Channel &ch, int party, FerretCotEngine &engine,
+                  unsigned bitwidth = 32);
+
     // ---- boolean-share operations ------------------------------------
 
     /** Local XOR. */
@@ -119,7 +129,11 @@ class SecureCompute
                                   const std::vector<uint64_t> &table);
 
     /** Total COT correlations consumed so far. */
-    size_t cotsConsumed() const { return pool.consumed(); }
+    size_t
+    cotsConsumed() const
+    {
+        return engine ? engine->cotsTaken() : pool.consumed();
+    }
 
     unsigned bitwidth() const { return width; }
 
@@ -138,7 +152,8 @@ class SecureCompute
 
     net::Channel &ch;
     int party;
-    DualCotPool pool;
+    DualCotPool pool;                 ///< used when engine == nullptr
+    FerretCotEngine *engine = nullptr;
     unsigned width;
     crypto::Crhf crhf;
     Rng localRng;

@@ -123,6 +123,54 @@ TEST(BitVecTest, PushBackAndResize)
     EXPECT_EQ(v.popcount(), 4u); // new bits zero
 }
 
+TEST(BitVecTest, AssignRangeMatchesBitLoop)
+{
+    Rng rng(8);
+    BitVec src = rng.nextBits(517);
+    // Unaligned offsets and lengths, including word boundaries.
+    for (size_t offset : {0ul, 1ul, 63ul, 64ul, 65ul, 130ul}) {
+        for (size_t n : {0ul, 1ul, 64ul, 127ul, 128ul, 300ul}) {
+            BitVec got;
+            got.assignRange(src, offset, n);
+            ASSERT_EQ(got.size(), n);
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(got.get(i), src.get(offset + i))
+                    << "offset " << offset << " n " << n << " i " << i;
+            EXPECT_EQ(got.popcount(),
+                      [&] {
+                          size_t c = 0;
+                          for (size_t i = 0; i < n; ++i)
+                              c += src.get(offset + i);
+                          return c;
+                      }()); // tail bits beyond n stay clear
+        }
+    }
+}
+
+TEST(BitVecTest, AppendRangeMatchesPushBack)
+{
+    Rng rng(9);
+    BitVec src = rng.nextBits(400);
+    BitVec fast, slow;
+    // Appends of varying sizes leave the cursor at every alignment.
+    for (size_t n : {1ul, 63ul, 64ul, 65ul, 7ul, 200ul, 0ul, 70ul}) {
+        size_t offset = (n * 3) % 100;
+        fast.appendRange(src, offset, n);
+        for (size_t i = 0; i < n; ++i)
+            slow.pushBack(src.get(offset + i));
+        ASSERT_EQ(fast, slow) << "after append of " << n;
+    }
+}
+
+TEST(BitVecTest, ZeroAllClearsWithoutResizing)
+{
+    Rng rng(10);
+    BitVec v = rng.nextBits(130);
+    v.zeroAll();
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
 TEST(BitVecTest, XorIsGf2Addition)
 {
     Rng rng(7);

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Workspace-engine tests (invariants 8 and 9 of DESIGN.md):
+ *
+ *  - a warm FerretCotSender/Receiver::extendInto() performs zero heap
+ *    allocations on either party (asserted by a counting global
+ *    allocator, including the in-memory wire);
+ *  - the multi-threaded batch-SPCOT/LPN path is bit-identical to the
+ *    single-threaded path for fixed RNG seeds;
+ *  - the OtWorkspace arena is sized once from FerretParams;
+ *  - the persistent ppml::FerretCotEngine refills mid-protocol and
+ *    engine-backed SecureCompute matches plain evaluation;
+ *  - the unified SeedExpander drives TreePrg and the NMP Unified
+ *    Unit to identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "common/rng.h"
+#include "net/two_party.h"
+#include "nmp/unified_unit.h"
+#include "ot/base_cot.h"
+#include "ot/ferret.h"
+#include "ot/ferret_params.h"
+#include "ot/ot_workspace.h"
+#include "ppml/cot_engine.h"
+#include "ppml/secure_compute.h"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace ironman::ot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Invariant 8: zero allocations after warm-up
+// ---------------------------------------------------------------------------
+
+TEST(WorkspaceEngineTest, ExtendIsAllocationFreeAfterWarmup)
+{
+    FerretParams p = tinyTestParams();
+    Rng dealer(901);
+    Block delta = dealer.nextBlock();
+    auto [bs, br] = dealBaseCots(dealer, delta, p.reservedCots());
+
+    net::MemoryDuplex duplex;
+    // The FIFO grows to the largest backlog *observed*, which depends
+    // on scheduling — reserve the worst case (one full iteration per
+    // direction is well under 1 MB for the tiny set) so the measured
+    // window cannot see a first-time growth.
+    duplex.reserve(1 << 20);
+    FerretCotSender sender(duplex.a(), p, delta, std::move(bs.q));
+    FerretCotReceiver receiver(duplex.b(), p, std::move(br.choice),
+                               std::move(br.t));
+
+    std::vector<Block> q(p.usableOts());
+    std::vector<Block> t(p.usableOts());
+    BitVec choice;
+
+    // The two party threads persist across iterations (so warm-up
+    // state survives); main releases one lock-free round at a time.
+    constexpr int kWarm = 2, kMeasured = 3, kTotal = kWarm + kMeasured;
+    std::atomic<int> go{0};
+    std::atomic<int> done{0};
+
+    std::thread sender_thread([&] {
+        Rng rng(902);
+        for (int it = 1; it <= kTotal; ++it) {
+            while (go.load(std::memory_order_acquire) < it)
+                std::this_thread::yield();
+            sender.extendInto(rng, q.data());
+            done.fetch_add(1, std::memory_order_acq_rel);
+        }
+    });
+    std::thread receiver_thread([&] {
+        Rng rng(903);
+        for (int it = 1; it <= kTotal; ++it) {
+            while (go.load(std::memory_order_acquire) < it)
+                std::this_thread::yield();
+            receiver.extendInto(rng, choice, t.data());
+            done.fetch_add(1, std::memory_order_acq_rel);
+        }
+    });
+
+    uint64_t measured_start = 0;
+    for (int it = 1; it <= kTotal; ++it) {
+        if (it == kWarm + 1)
+            measured_start = g_allocCount.load();
+        go.store(it, std::memory_order_release);
+        while (done.load(std::memory_order_acquire) < 2 * it)
+            std::this_thread::yield();
+    }
+    uint64_t measured = g_allocCount.load() - measured_start;
+
+    sender_thread.join();
+    receiver_thread.join();
+
+    EXPECT_EQ(measured, 0u)
+        << "warm extendInto() performed heap allocations";
+
+    // The measured iterations still produced valid correlations.
+    for (size_t i = 0; i < q.size(); ++i)
+        ASSERT_EQ(t[i], q[i] ^ scalarMul(choice.get(i), delta))
+            << "index " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 9: thread-count independence
+// ---------------------------------------------------------------------------
+
+struct RunOutput
+{
+    std::vector<Block> q;
+    std::vector<Block> t;
+    BitVec choice;
+    Block delta;
+};
+
+RunOutput
+runExtensions(int threads, int iterations, uint64_t seed)
+{
+    FerretParams p = tinyTestParams();
+    Rng dealer(seed);
+    RunOutput out;
+    out.delta = dealer.nextBlock();
+    auto [bs, br] = dealBaseCots(dealer, out.delta, p.reservedCots());
+
+    const size_t usable = p.usableOts();
+    out.q.resize(usable * iterations);
+    out.t.resize(usable * iterations);
+
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            FerretCotSender sender(ch, p, out.delta, std::move(bs.q));
+            sender.setThreads(threads);
+            Rng rng(seed + 1);
+            for (int it = 0; it < iterations; ++it)
+                sender.extendInto(rng, out.q.data() + it * usable);
+        },
+        [&](net::Channel &ch) {
+            FerretCotReceiver receiver(ch, p, std::move(br.choice),
+                                       std::move(br.t));
+            receiver.setThreads(threads);
+            Rng rng(seed + 2);
+            BitVec c;
+            for (int it = 0; it < iterations; ++it) {
+                receiver.extendInto(rng, c,
+                                    out.t.data() + it * usable);
+                for (size_t i = 0; i < c.size(); ++i)
+                    out.choice.pushBack(c.get(i));
+            }
+        });
+    return out;
+}
+
+TEST(WorkspaceEngineTest, MultiThreadedMatchesSingleThreaded)
+{
+    RunOutput serial = runExtensions(1, 2, 7100);
+    RunOutput parallel = runExtensions(4, 2, 7100);
+
+    ASSERT_EQ(serial.q.size(), parallel.q.size());
+    EXPECT_EQ(serial.q, parallel.q);
+    EXPECT_EQ(serial.t, parallel.t);
+    EXPECT_EQ(serial.choice, parallel.choice);
+
+    // And the outputs are valid correlations.
+    for (size_t i = 0; i < serial.q.size(); ++i)
+        ASSERT_EQ(serial.t[i],
+                  serial.q[i] ^
+                      scalarMul(serial.choice.get(i), serial.delta))
+            << "index " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Arena sizing
+// ---------------------------------------------------------------------------
+
+TEST(WorkspaceEngineTest, ArenaSizedOnceFromParams)
+{
+    FerretParams p = tinyTestParams();
+    OtWorkspace ws;
+    ws.prepare(p, 2);
+
+    EXPECT_EQ(ws.arena.capacity(), OtWorkspace::requiredBlocks(p));
+    EXPECT_EQ(ws.arena.used(), ws.arena.capacity())
+        << "the arena is carved exactly, no slack";
+    ASSERT_NE(ws.leafMatrix, nullptr);
+    ASSERT_NE(ws.rows, nullptr);
+
+    // prepare() is idempotent: same params, same carving.
+    Block *leaf_matrix = ws.leafMatrix;
+    Block *rows = ws.rows;
+    ws.prepare(p, 2);
+    EXPECT_EQ(ws.leafMatrix, leaf_matrix);
+    EXPECT_EQ(ws.rows, rows);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent PPML engine
+// ---------------------------------------------------------------------------
+
+TEST(FerretCotEngineTest, EngineBackedReluMatchesPlainAcrossRefills)
+{
+    constexpr unsigned kWidth = 32;
+    constexpr uint64_t kMask = 0xffffffffULL;
+    // Large enough that the DReLU AND-ladder drains more than one
+    // extension per direction, forcing mid-protocol refills.
+    const size_t n = 300;
+
+    Rng rng(50);
+    std::vector<int64_t> values(n);
+    std::vector<uint64_t> s0(n), s1(n);
+    for (size_t i = 0; i < n; ++i) {
+        values[i] = int64_t(rng.nextBelow(10000)) - 5000;
+        s0[i] = rng.nextUint64() & kMask;
+        s1[i] = (uint64_t(values[i]) - s0[i]) & kMask;
+    }
+
+    FerretParams p = tinyTestParams();
+    std::vector<uint64_t> y0, y1;
+    uint64_t extensions = 0;
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            ppml::FerretCotEngine engine(ch, 0, p, 424242);
+            ppml::SecureCompute sc(ch, 0, engine, kWidth);
+            y0 = sc.relu(s0);
+            extensions = engine.extensionsRun();
+        },
+        [&](net::Channel &ch) {
+            ppml::FerretCotEngine engine(ch, 1, p, 424242);
+            ppml::SecureCompute sc(ch, 1, engine, kWidth);
+            y1 = sc.relu(s1);
+        });
+
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t got = (y0[i] + y1[i]) & kMask;
+        uint64_t expect =
+            uint64_t(values[i] > 0 ? values[i] : 0) & kMask;
+        ASSERT_EQ(got, expect) << "element " << i;
+    }
+    // Construction primes one extension per direction; the protocol
+    // must have refilled beyond that.
+    EXPECT_GT(extensions, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ResizeAfterUseDoesNotReplayStaleJob)
+{
+    common::ThreadPool pool(3);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(hits.size(), [&](int, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            hits[i]++;
+    });
+    for (int h : hits)
+        ASSERT_EQ(h, 1);
+
+    // Fresh workers must wait for a new job instead of re-running the
+    // previous one (whose context frame is gone).
+    pool.resize(4);
+    pool.parallelFor(hits.size(), [&](int, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            hits[i]++;
+    });
+    for (int h : hits)
+        ASSERT_EQ(h, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Unified seed expansion
+// ---------------------------------------------------------------------------
+
+TEST(SeedExpanderTest, TreePrgShimMatchesExpander)
+{
+    for (crypto::PrgKind kind :
+         {crypto::PrgKind::Aes, crypto::PrgKind::ChaCha8}) {
+        crypto::TreePrg tree(kind, 4);
+        auto exp = crypto::makeTreeExpander(kind, 4);
+
+        Rng rng(61);
+        std::vector<Block> parents = rng.nextBlocks(8);
+        std::vector<Block> a(32), b(32);
+        tree.expandLevel(parents.data(), parents.size(), a.data(), 4);
+        exp->expand(parents.data(), b.data(), parents.size(), 4);
+        EXPECT_EQ(a, b) << crypto::prgKindName(kind);
+        EXPECT_EQ(tree.ops(), exp->ops());
+    }
+}
+
+TEST(SeedExpanderTest, UnifiedUnitExpandAndReduceMatchesGgmSums)
+{
+    auto prg = crypto::makeTreeExpander(crypto::PrgKind::ChaCha8, 4);
+    Rng rng(62);
+    std::vector<Block> parents = rng.nextBlocks(16);
+    std::vector<Block> children(parents.size() * 4);
+    std::vector<Block> sums(4);
+    nmp::UnifiedUnit::expandAndReduce(*prg, parents.data(),
+                                      parents.size(), 4,
+                                      children.data(), sums.data());
+
+    // The same level through the protocol-side expander, reduced
+    // naively: child (j, c) lands in slot c.
+    auto ref_prg = crypto::makeTreeExpander(crypto::PrgKind::ChaCha8, 4);
+    std::vector<Block> ref_children(children.size());
+    ref_prg->expand(parents.data(), ref_children.data(), parents.size(),
+                    4);
+    EXPECT_EQ(children, ref_children);
+
+    std::vector<Block> ref_sums(4, Block::zero());
+    for (size_t j = 0; j < parents.size(); ++j)
+        for (unsigned c = 0; c < 4; ++c)
+            ref_sums[c] ^= ref_children[j * 4 + c];
+    EXPECT_EQ(sums, ref_sums);
+}
+
+TEST(SeedExpanderTest, GgmScratchReuseAcrossShapes)
+{
+    // One scratch serving two different tree shapes must give the
+    // same answers as fresh scratches.
+    auto prg = crypto::makeTreeExpander(crypto::PrgKind::ChaCha8, 4);
+    GgmScratch shared;
+    Rng rng(63);
+    Block seed1 = rng.nextBlock(), seed2 = rng.nextBlock();
+
+    for (auto arities :
+         {std::vector<unsigned>{2, 4, 4}, std::vector<unsigned>{4, 4}}) {
+        GgmSumLayout layout = GgmSumLayout::of(arities);
+        std::vector<Block> leaves_a(layout.leaves),
+            leaves_b(layout.leaves);
+        std::vector<Block> sums_a(layout.total), sums_b(layout.total);
+        Block sum_a, sum_b;
+
+        Block seed = arities.size() == 3 ? seed1 : seed2;
+        ggmExpandInto(*prg, seed, layout, shared, leaves_a.data(),
+                      sums_a.data(), &sum_a);
+        GgmScratch fresh;
+        ggmExpandInto(*prg, seed, layout, fresh, leaves_b.data(),
+                      sums_b.data(), &sum_b);
+        EXPECT_EQ(leaves_a, leaves_b);
+        EXPECT_EQ(sums_a, sums_b);
+        EXPECT_EQ(sum_a, sum_b);
+    }
+}
+
+} // namespace
+} // namespace ironman::ot
