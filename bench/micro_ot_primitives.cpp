@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "crypto/aes.h"
 #include "crypto/chacha.h"
 #include "crypto/crhf.h"
@@ -63,12 +64,18 @@ BM_GgmExpand(benchmark::State &state)
     const unsigned arity = unsigned(state.range(0));
     const auto kind = state.range(1) == 0 ? crypto::PrgKind::Aes
                                           : crypto::PrgKind::ChaCha8;
-    crypto::TreePrg prg(kind, arity);
+    auto prg = crypto::makeTreeExpander(kind, arity);
     auto arities = ot::treeArities(4096, arity);
+    ot::GgmSumLayout layout = ot::GgmSumLayout::of(arities);
+    ot::GgmScratch scratch;
+    std::vector<Block> leaves(layout.leaves);
+    std::vector<Block> sums(layout.total);
     Block seed = Block::fromUint64(3);
+    Block leaf_sum;
     for (auto _ : state) {
-        auto exp = ot::ggmExpand(prg, seed, arities);
-        benchmark::DoNotOptimize(exp.leaves.data());
+        ot::ggmExpandInto(*prg, seed, layout, scratch, leaves.data(),
+                          sums.data(), &leaf_sum);
+        benchmark::DoNotOptimize(leaves.data());
     }
     state.SetItemsProcessed(state.iterations() * 4096); // leaves
     state.SetLabel(crypto::prgKindName(kind) + "/m=" +
@@ -106,8 +113,9 @@ BM_LpnEncode(benchmark::State &state)
     Rng rng(6);
     std::vector<Block> in = rng.nextBlocks(p.k);
     std::vector<Block> out = rng.nextBlocks(p.n);
+    ot::LpnEncodeScratch scratch;
     for (auto _ : state) {
-        enc.encodeBlocks(in.data(), out.data(), 0, p.n);
+        enc.encodeBlocks(in.data(), out.data(), 0, p.n, scratch);
         benchmark::DoNotOptimize(out.data());
     }
     state.SetItemsProcessed(state.iterations() * p.n);
@@ -115,6 +123,31 @@ BM_LpnEncode(benchmark::State &state)
                             sizeof(Block));
 }
 BENCHMARK(BM_LpnEncode)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_LpnEncodeTape(benchmark::State &state)
+{
+    ot::LpnParams p;
+    p.n = size_t(state.range(0));
+    p.k = 65536;
+    p.seed = 5;
+    ot::LpnEncoder enc(p);
+    Rng rng(6);
+    std::vector<Block> in = rng.nextBlocks(p.k);
+    std::vector<Block> out = rng.nextBlocks(p.n);
+    common::ThreadPool pool(1);
+    ot::LpnEncodeScratch scratch;
+    ot::LpnIndexTape tape;
+    enc.buildTape(tape, p.n, pool, &scratch);
+    for (auto _ : state) {
+        enc.encodeBlocksTape(in.data(), out.data(), 0, p.n, tape);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * p.n);
+    state.SetBytesProcessed(state.iterations() * p.n * 11 *
+                            sizeof(Block));
+}
+BENCHMARK(BM_LpnEncodeTape)->Arg(1 << 16)->Arg(1 << 20);
 
 void
 BM_FerretExtension(benchmark::State &state)
@@ -134,14 +167,18 @@ BM_FerretExtension(benchmark::State &state)
                 ot::FerretCotSender sender(ch, params, delta,
                                            std::move(bs.q));
                 Rng rng(8);
-                produced = sender.extend(rng).size();
+                std::vector<Block> out(params.usableOts());
+                sender.extendInto(rng, out.data());
+                produced = out.size();
             },
             [&](net::Channel &ch) {
                 ot::FerretCotReceiver receiver(ch, params,
                                                std::move(br.choice),
                                                std::move(br.t));
                 Rng rng(9);
-                receiver.extend(rng);
+                BitVec choice;
+                std::vector<Block> t(params.usableOts());
+                receiver.extendInto(rng, choice, t.data());
             });
         benchmark::DoNotOptimize(produced);
     }

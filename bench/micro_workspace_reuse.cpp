@@ -1,13 +1,13 @@
 /**
  * @file
- * Microbench: allocate-per-call vs workspace-reuse FERRET extension.
+ * Microbench: unpipelined vs pipelined FERRET extension on the
+ * workspace engine.
  *
- * The legacy path is the historical vector-returning extend() (fresh
- * output vectors every call, plus whatever the protocol allocated
- * internally before the OtWorkspace refactor — the shim itself still
- * allocates its outputs). The workspace path is extendInto() writing
- * into preallocated spans, zero heap allocations once warm. A thread
- * sweep shows the fixed-pool batch-SPCOT/LPN scaling.
+ * Both paths run extendInto() (zero heap allocations once warm); the
+ * pipelined path additionally overlaps iteration i's LPN gather-XOR
+ * with iteration i+1's SPCOT transcript on the wire and uses the
+ * precomputed LPN index tape. A thread sweep shows the fixed-pool
+ * batch-SPCOT/LPN scaling.
  *
  * Run: ./bench_micro_workspace_reuse   (IRONMAN_BENCH_FAST=1 trims)
  */
@@ -36,7 +36,7 @@ struct Result
 
 /** One measured configuration: @p iters extensions after one warm-up. */
 Result
-measure(const FerretParams &p, bool workspace, int threads, int iters)
+measure(const FerretParams &p, bool pipelined, int threads, int iters)
 {
     Rng dealer(1234);
     Block delta = dealer.nextBlock();
@@ -47,35 +47,27 @@ measure(const FerretParams &p, bool workspace, int threads, int iters)
         [&](net::Channel &ch) {
             FerretCotSender sender(ch, p, delta, std::move(bs.q));
             sender.setThreads(threads);
+            sender.setPipelined(pipelined);
             Rng rng(1);
             std::vector<Block> out(p.usableOts());
             // Warm-up extension (sizes workspaces, faults pages).
             sender.extendInto(rng, out.data());
             Timer timer;
-            for (int it = 0; it < iters; ++it) {
-                if (workspace)
-                    sender.extendInto(rng, out.data());
-                else
-                    out = sender.extend(rng); // fresh vector per call
-            }
+            for (int it = 0; it < iters; ++it)
+                sender.extendInto(rng, out.data());
             seconds = timer.seconds();
         },
         [&](net::Channel &ch) {
             FerretCotReceiver receiver(ch, p, std::move(br.choice),
                                        std::move(br.t));
             receiver.setThreads(threads);
+            receiver.setPipelined(pipelined);
             Rng rng(2);
             BitVec choice;
             std::vector<Block> t(p.usableOts());
             receiver.extendInto(rng, choice, t.data());
-            for (int it = 0; it < iters; ++it) {
-                if (workspace) {
-                    receiver.extendInto(rng, choice, t.data());
-                } else {
-                    auto got = receiver.extend(rng);
-                    (void)got;
-                }
-            }
+            for (int it = 0; it < iters; ++it)
+                receiver.extendInto(rng, choice, t.data());
         });
 
     Result r;
@@ -85,10 +77,10 @@ measure(const FerretParams &p, bool workspace, int threads, int iters)
 }
 
 void
-row(const char *label, const FerretParams &p, bool workspace, int threads,
+row(const char *label, const FerretParams &p, bool pipelined, int threads,
     int iters)
 {
-    Result r = measure(p, workspace, threads, iters);
+    Result r = measure(p, pipelined, threads, iters);
     std::printf("  %-22s %2d thr   %9.0f us/ext   %8.2f M OT/s\n", label,
                 threads, r.usPerExtension, r.otsPerSec / 1e6);
 }
@@ -99,7 +91,7 @@ int
 main()
 {
     bench::banner("micro_workspace_reuse",
-                  "allocate-per-call vs workspace-reuse FERRET extension");
+                  "unpipelined vs pipelined FERRET extension");
 
     const bool fast = bench::fastMode();
     const int iters = fast ? 2 : 8;
@@ -108,10 +100,10 @@ main()
     std::printf("%s set: n=%zu k=%zu t=%zu l=%zu, %zu usable OTs/ext\n",
                 tiny.name.c_str(), tiny.n, tiny.k, tiny.t,
                 tiny.treeLeaves(), tiny.usableOts());
-    row("alloc-per-call", tiny, false, 1, iters);
-    row("workspace-reuse", tiny, true, 1, iters);
-    row("workspace-reuse", tiny, true, 2, iters);
-    row("workspace-reuse", tiny, true, 4, iters);
+    row("unpipelined", tiny, false, 1, iters);
+    row("pipelined", tiny, true, 1, iters);
+    row("pipelined", tiny, true, 2, iters);
+    row("pipelined", tiny, true, 4, iters);
 
     if (!fast) {
         FerretParams big = paperParamSet(20);
@@ -120,13 +112,14 @@ main()
                     big.name.c_str(), big.n, big.k, big.t,
                     big.treeLeaves(), big.usableOts());
         const int big_iters = 2;
-        row("alloc-per-call", big, false, 1, big_iters);
-        row("workspace-reuse", big, true, 1, big_iters);
-        row("workspace-reuse", big, true, 2, big_iters);
-        row("workspace-reuse", big, true, 4, big_iters);
+        row("unpipelined", big, false, 1, big_iters);
+        row("pipelined", big, true, 1, big_iters);
+        row("pipelined", big, true, 2, big_iters);
+        row("pipelined", big, true, 4, big_iters);
     }
 
-    bench::note("workspace path = extendInto() (zero allocations once "
-                "warm; see tests/test_workspace_engine.cpp)");
+    bench::note("both rows run extendInto() (zero allocations once "
+                "warm); pipelined additionally overlaps LPN with the "
+                "next SPCOT transcript and replays the LPN index tape");
     return 0;
 }

@@ -41,8 +41,9 @@ main()
         ot::dealBaseCots(dealer, delta, params.reservedCots());
 
     // 3. Run one extension with the two parties on two threads.
-    std::vector<Block> sender_q;
-    ot::FerretCotReceiver::Output recv_out;
+    std::vector<Block> sender_q(params.usableOts());
+    std::vector<Block> recv_t(params.usableOts());
+    BitVec recv_choice;
     Timer timer;
     auto wire = net::runTwoParty(
         [&](net::Channel &ch) {
@@ -50,7 +51,7 @@ main()
                                        std::move(base_s.q));
             sender.setThreads(8);
             Rng rng(1);
-            sender_q = sender.extend(rng);
+            sender.extendInto(rng, sender_q.data());
         },
         [&](net::Channel &ch) {
             ot::FerretCotReceiver receiver(ch, params,
@@ -58,7 +59,7 @@ main()
                                            std::move(base_r.t));
             receiver.setThreads(8);
             Rng rng(2);
-            recv_out = receiver.extend(rng);
+            receiver.extendInto(rng, recv_choice, recv_t.data());
         });
     double secs = timer.seconds();
 
@@ -71,8 +72,8 @@ main()
     // 4. Spot-check the correlation t = q ^ b*Delta.
     size_t ok = 0;
     for (size_t i = 0; i < sender_q.size(); ++i)
-        ok += (recv_out.t[i] ==
-               (sender_q[i] ^ scalarMul(recv_out.choice.get(i), delta)));
+        ok += (recv_t[i] ==
+               (sender_q[i] ^ scalarMul(recv_choice.get(i), delta)));
     std::printf("correlation check: %zu / %zu valid\n", ok,
                 sender_q.size());
 
@@ -88,13 +89,15 @@ main()
     Block delivered;
     net::runTwoParty(
         [&](net::Channel &ch) {
+            ot::ChosenOtScratch scratch;
             ot::chosenOtSend(ch, crhf, &m0, &m1, 1, delta,
-                             sender_q.data(), /*tweak=*/9000);
+                             sender_q.data(), /*tweak=*/9000, scratch);
         },
         [&](net::Channel &ch) {
-            ot::chosenOtRecv(ch, crhf, choice, recv_out.choice, 0,
-                             recv_out.t.data(), 1, &delivered,
-                             /*tweak=*/9000);
+            ot::ChosenOtScratch scratch;
+            ot::chosenOtRecv(ch, crhf, choice, recv_choice, 0,
+                             recv_t.data(), 1, &delivered,
+                             /*tweak=*/9000, scratch);
         });
     std::printf("oblivious transfer: receiver chose 1 and decoded %s\n",
                 delivered == m1 ? secret1.c_str() : secret0.c_str());

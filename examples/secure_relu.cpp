@@ -19,10 +19,12 @@
 
 #include "common/rng.h"
 #include "net/two_party.h"
+#include "ot/ferret_params.h"
+#include "ppml/cot_engine.h"
 #include "ppml/secure_compute.h"
 
 using namespace ironman;
-using ppml::DualCotPool;
+using ppml::FerretCotEngine;
 using ppml::SecureCompute;
 
 int
@@ -46,24 +48,32 @@ main()
         share1[i] = msk(uint64_t(activations[i]) - share0[i]);
     }
 
-    // Preprocessing: COTs in both directions (in production these come
-    // from two Ironman-accelerated OTE sessions with swapped roles).
+    // Preprocessing: a persistent dual-direction OTE engine per party
+    // (two Ferret sessions with swapped roles, exactly the
+    // role-switching execution Ironman's unified architecture runs).
+    // The engine self-refills, so no COT budget needs to be sized up
+    // front.
     size_t budget = kElems * (4 * (kWidth - 1) + 2);
-    Rng dealer(99);
-    auto [pool0, pool1] = ppml::dealDualPools(dealer, budget);
-    std::printf("preprocessing: %zu COT correlations per direction\n",
-                budget);
+    ot::FerretParams params = ot::tinyTestParams();
+    std::printf("preprocessing: ~%zu COT correlations per direction, "
+                "supplied by persistent Ferret engines (%zu per "
+                "extension)\n",
+                budget, params.usableOts());
 
     std::vector<uint64_t> out0, out1;
     size_t used = 0;
+    uint64_t extensions = 0;
     auto wire = net::runTwoParty(
         [&](net::Channel &ch) {
-            SecureCompute party0(ch, 0, std::move(pool0), kWidth);
+            FerretCotEngine engine(ch, 0, params, /*setup_seed=*/99);
+            SecureCompute party0(ch, 0, engine, kWidth);
             out0 = party0.relu(share0);
             used = party0.cotsConsumed();
+            extensions = engine.extensionsRun();
         },
         [&](net::Channel &ch) {
-            SecureCompute party1(ch, 1, std::move(pool1), kWidth);
+            FerretCotEngine engine(ch, 1, params, /*setup_seed=*/99);
+            SecureCompute party1(ch, 1, engine, kWidth);
             out1 = party1.relu(share1);
         });
 
@@ -75,9 +85,10 @@ main()
         ok += (got == expect);
     }
     std::printf("secure ReLU on %zu elements: %zu correct\n", kElems, ok);
-    std::printf("consumed %zu COTs (%.1f per ReLU), moved %" PRIu64
-                " KB online\n",
-                used, double(used) / kElems, wire.totalBytes / 1024);
+    std::printf("consumed %zu COTs (%.1f per ReLU) over %" PRIu64
+                " OTE extensions, moved %" PRIu64 " KB online\n",
+                used, double(used) / kElems, extensions,
+                wire.totalBytes / 1024);
     std::printf("-> preprocessing at CPU OTE (~2.5M COT/s): %.1f ms; "
                 "with Ironman (~450M COT/s): %.3f ms\n",
                 used / 2.5e6 * 1e3, used / 450e6 * 1e3);

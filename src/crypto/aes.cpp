@@ -218,6 +218,19 @@ Aes128::encryptBatch(const Block *in, Block *out, size_t n) const
         out[i] = encrypt(in[i]);
 }
 
+void
+Aes128::encryptXorBatch(Block *inout, size_t n) const
+{
+    if (usingAesni()) {
+        detail::aesniEncryptXorBatch(niSchedule.data(), inout, n);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        Block sigma = inout[i];
+        inout[i] = encrypt(sigma) ^ sigma;
+    }
+}
+
 bool
 Aes128::usingAesni()
 {

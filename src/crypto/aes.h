@@ -44,6 +44,14 @@ class Aes128
      */
     void encryptBatch(const Block *in, Block *out, size_t n) const;
 
+    /**
+     * Davies-Meyer style batch: inout[i] = AES(inout[i]) ^ inout[i].
+     * This is the inner loop of the MMO correlation-robust hash; the
+     * AES-NI engine keeps the pre-whitened input in registers so the
+     * whole hash is one fused 8-wide pass with no staging buffer.
+     */
+    void encryptXorBatch(Block *inout, size_t n) const;
+
     /** True when the process selected the AES-NI engine. */
     static bool usingAesni();
 
@@ -67,6 +75,7 @@ namespace detail {
 bool aesniSupported();
 void aesniEncryptBatch(const uint8_t *schedule, const Block *in,
                        Block *out, size_t n);
+void aesniEncryptXorBatch(const uint8_t *schedule, Block *inout, size_t n);
 
 } // namespace detail
 

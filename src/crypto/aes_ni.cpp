@@ -63,10 +63,57 @@ aesniEncryptBatch(const uint8_t *schedule, const Block *in, Block *out,
     }
 }
 
+void
+aesniEncryptXorBatch(const uint8_t *schedule, Block *inout, size_t n)
+{
+    __m128i keys[11];
+    for (int r = 0; r < 11; ++r)
+        keys[r] = _mm_load_si128(
+            reinterpret_cast<const __m128i *>(schedule + 16 * r));
+
+    size_t i = 0;
+    // Fused Davies-Meyer: the pre-whitened sigma stays in registers
+    // across the 8-wide AES pipeline and the final feed-forward XOR,
+    // so the MMO hash costs no staging loads or stores.
+    for (; i + 8 <= n; i += 8) {
+        __m128i sigma[8], s[8];
+        for (int j = 0; j < 8; ++j) {
+            sigma[j] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(&inout[i + j]));
+            s[j] = _mm_xor_si128(sigma[j], keys[0]);
+        }
+        for (int r = 1; r < 10; ++r)
+            for (int j = 0; j < 8; ++j)
+                s[j] = _mm_aesenc_si128(s[j], keys[r]);
+        for (int j = 0; j < 8; ++j) {
+            s[j] = _mm_aesenclast_si128(s[j], keys[10]);
+            s[j] = _mm_xor_si128(s[j], sigma[j]);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(&inout[i + j]),
+                             s[j]);
+        }
+    }
+    for (; i < n; ++i) {
+        __m128i sigma =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(&inout[i]));
+        __m128i s = _mm_xor_si128(sigma, keys[0]);
+        for (int r = 1; r < 10; ++r)
+            s = _mm_aesenc_si128(s, keys[r]);
+        s = _mm_aesenclast_si128(s, keys[10]);
+        s = _mm_xor_si128(s, sigma);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(&inout[i]), s);
+    }
+}
+
 #else // !IRONMAN_HAVE_AESNI_BUILD
 
 void
 aesniEncryptBatch(const uint8_t *, const Block *, Block *, size_t)
+{
+    // Unreachable: aesniSupported() returned false.
+}
+
+void
+aesniEncryptXorBatch(const uint8_t *, Block *, size_t)
 {
     // Unreachable: aesniSupported() returned false.
 }

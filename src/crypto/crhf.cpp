@@ -1,7 +1,5 @@
 #include "crypto/crhf.h"
 
-#include <vector>
-
 namespace ironman::crypto {
 
 namespace {
@@ -34,12 +32,14 @@ void
 Crhf::hashBatch(const Block *in, Block *out, size_t n,
                 uint64_t tweak_base) const
 {
-    std::vector<Block> sigma(n);
+    // Pre-whiten into the output span (in == out is allowed), then run
+    // the fused Davies-Meyer pass: out = AES(sigma) ^ sigma. No
+    // staging buffer, so steady-state hashing allocates nothing; the
+    // AES-NI engine pipelines 8 sigmas at a time with the feed-forward
+    // kept in registers.
     for (size_t i = 0; i < n; ++i)
-        sigma[i] = in[i] ^ tweakBlock(tweak_base + i);
-    cipher.encryptBatch(sigma.data(), out, n);
-    for (size_t i = 0; i < n; ++i)
-        out[i] ^= sigma[i];
+        out[i] = in[i] ^ tweakBlock(tweak_base + i);
+    cipher.encryptXorBatch(out, n);
 }
 
 } // namespace ironman::crypto

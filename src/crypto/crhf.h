@@ -30,7 +30,11 @@ class Crhf
     /** Hash one block under tweak @p tweak (e.g. the OT instance id). */
     Block hash(const Block &x, uint64_t tweak) const;
 
-    /** Hash a batch sharing one base tweak (tweak + index per entry). */
+    /**
+     * Hash a batch sharing one base tweak (tweak + index per entry).
+     * Allocation-free; @p in == @p out is allowed (in-place). The
+     * AES-NI engine runs a fused 8-wide MMO pipeline.
+     */
     void hashBatch(const Block *in, Block *out, size_t n,
                    uint64_t tweak_base) const;
 

@@ -115,9 +115,13 @@ struct MemoryDuplex::Shared
                 want *= 2;
             std::vector<uint8_t> bigger(want);
             size_t linear = std::min(live, buf.size() - head);
-            std::memcpy(bigger.data(), buf.data() + head, linear);
-            std::memcpy(bigger.data() + linear, buf.data(),
-                        live - linear);
+            // buf.data() is null before the first growth; zero-length
+            // memcpy from null is still UB, so guard both copies.
+            if (linear > 0)
+                std::memcpy(bigger.data(), buf.data() + head, linear);
+            if (live - linear > 0)
+                std::memcpy(bigger.data() + linear, buf.data(),
+                            live - linear);
             buf.swap(bigger);
             head = 0;
         }

@@ -20,7 +20,8 @@ buildSortedLayout(const ot::LpnEncoder &enc, uint64_t row0, size_t rows,
 
     // Raw indices for the whole row range.
     std::vector<uint32_t> raw(rows * p.d);
-    enc.rowIndicesBatch(row0, rows, raw.data());
+    ot::LpnEncodeScratch scratch;
+    enc.rowIndicesBatch(row0, rows, raw.data(), scratch);
 
     // --- Column Swapping: first-touch renumbering --------------------
     std::vector<uint32_t> oldToNew;

@@ -28,8 +28,9 @@ measureCpuOte(const ot::FerretParams &params, int threads, int executions)
                                        std::move(base_s.q));
             sender.setThreads(threads);
             Rng rng(0xAB01);
+            std::vector<Block> out(params.usableOts());
             for (int e = 0; e < executions; ++e) {
-                auto out = sender.extend(rng);
+                sender.extendInto(rng, out.data());
                 m.usableOts = out.size();
             }
             sender_stats = sender.stats();
@@ -40,8 +41,10 @@ measureCpuOte(const ot::FerretParams &params, int threads, int executions)
                                            std::move(base_r.t));
             receiver.setThreads(threads);
             Rng rng(0xAB02);
+            BitVec choice;
+            std::vector<Block> t(params.usableOts());
             for (int e = 0; e < executions; ++e)
-                receiver.extend(rng);
+                receiver.extendInto(rng, choice, t.data());
         });
 
     m.secondsPerExec = run_timer.seconds() / executions;

@@ -61,12 +61,4 @@ transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n,
     }
 }
 
-std::vector<Block>
-transposeColumnsToBlocks(const std::vector<BitVec> &columns, size_t n)
-{
-    std::vector<Block> rows(n);
-    transposeColumnsToBlocks(columns, n, rows.data());
-    return rows;
-}
-
 } // namespace ironman::ot

@@ -28,10 +28,6 @@ void transpose64(uint64_t a[64]);
 void transposeColumnsToBlocks(const std::vector<BitVec> &columns,
                               size_t n, Block *rows);
 
-/** Vector-returning wrapper. */
-std::vector<Block> transposeColumnsToBlocks(
-    const std::vector<BitVec> &columns, size_t n);
-
 } // namespace ironman::ot
 
 #endif // IRONMAN_OT_BIT_TRANSPOSE_H

@@ -14,32 +14,35 @@ chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf, const Block *m0,
 
     if (scratch.cipher.size() < 2 * n)
         scratch.cipher.resize(2 * n);
-    Block *cipher = scratch.cipher.data();
+    if (scratch.pad0.size() < n)
+        scratch.pad0.resize(n);
+    if (scratch.pad1.size() < n)
+        scratch.pad1.resize(n);
+
+    // Stage the 2n hash inputs, run two fused batch hashes (both pads
+    // of instance i share tweak_base + i), then mask.
+    Block *pad0 = scratch.pad0.data();
+    Block *pad1 = scratch.pad1.data();
     for (size_t i = 0; i < n; ++i) {
         bool di = scratch.d.get(i);
-        Block pad0 = crhf.hash(q[i] ^ scalarMul(di, delta), tweak_base + i);
-        Block pad1 =
-            crhf.hash(q[i] ^ scalarMul(!di, delta), tweak_base + i);
-        cipher[2 * i] = m0[i] ^ pad0;
-        cipher[2 * i + 1] = m1[i] ^ pad1;
+        pad0[i] = q[i] ^ scalarMul(di, delta);
+        pad1[i] = q[i] ^ scalarMul(!di, delta);
+    }
+    crhf.hashBatch(pad0, pad0, n, tweak_base);
+    crhf.hashBatch(pad1, pad1, n, tweak_base);
+
+    Block *cipher = scratch.cipher.data();
+    for (size_t i = 0; i < n; ++i) {
+        cipher[2 * i] = m0[i] ^ pad0[i];
+        cipher[2 * i + 1] = m1[i] ^ pad1[i];
     }
     ch.sendBlocks(cipher, 2 * n);
 }
 
 void
-chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf, const Block *m0,
-             const Block *m1, size_t n, const Block &delta, const Block *q,
-             uint64_t tweak_base)
-{
-    ChosenOtScratch scratch;
-    chosenOtSend(ch, crhf, m0, m1, n, delta, q, tweak_base, scratch);
-}
-
-void
-chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
-             const BitVec &choices, const BitVec &b, size_t b_offset,
-             const Block *t, size_t n, Block *out, uint64_t tweak_base,
-             ChosenOtScratch &scratch)
+chosenOtRecvSendDerand(net::Channel &ch, const BitVec &choices,
+                       const BitVec &b, size_t b_offset, size_t n,
+                       ChosenOtScratch &scratch)
 {
     IRONMAN_CHECK(choices.size() == n);
 
@@ -48,26 +51,52 @@ chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
     for (size_t i = 0; i < n; ++i)
         d.set(i, choices.get(i) ^ b.get(b_offset + i));
     ch.sendBits(d);
+}
 
+void
+chosenOtRecvCiphertexts(net::Channel &ch, size_t n,
+                        ChosenOtScratch &scratch)
+{
     if (scratch.cipher.size() < 2 * n)
         scratch.cipher.resize(2 * n);
-    Block *cipher = scratch.cipher.data();
-    ch.recvBlocks(cipher, 2 * n);
+    ch.recvBlocks(scratch.cipher.data(), 2 * n);
+}
 
-    for (size_t i = 0; i < n; ++i) {
-        Block pad = crhf.hash(t[i], tweak_base + i);
-        out[i] = cipher[2 * i + choices.get(i)] ^ pad;
-    }
+void
+chosenOtRecvWire(net::Channel &ch, const BitVec &choices, const BitVec &b,
+                 size_t b_offset, size_t n, ChosenOtScratch &scratch)
+{
+    chosenOtRecvSendDerand(ch, choices, b, b_offset, n, scratch);
+    chosenOtRecvCiphertexts(ch, n, scratch);
+}
+
+void
+chosenOtRecvFinish(const crypto::Crhf &crhf, const BitVec &choices,
+                   const Block *t, size_t n, Block *out,
+                   uint64_t tweak_base, ChosenOtScratch &scratch)
+{
+    IRONMAN_CHECK(choices.size() == n);
+    if (scratch.pad0.size() < n)
+        scratch.pad0.resize(n);
+
+    // The COT strings are contiguous, so one fused batch hash covers
+    // every pad.
+    Block *pads = scratch.pad0.data();
+    crhf.hashBatch(t, pads, n, tweak_base);
+
+    const Block *cipher = scratch.cipher.data();
+    for (size_t i = 0; i < n; ++i)
+        out[i] = cipher[2 * i + choices.get(i)] ^ pads[i];
 }
 
 void
 chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
              const BitVec &choices, const BitVec &b, size_t b_offset,
-             const Block *t, size_t n, Block *out, uint64_t tweak_base)
+             const Block *t, size_t n, Block *out, uint64_t tweak_base,
+             ChosenOtScratch &scratch)
 {
-    ChosenOtScratch scratch;
-    chosenOtRecv(ch, crhf, choices, b, b_offset, t, n, out, tweak_base,
-                 scratch);
+    chosenOtRecvWire(ch, choices, b, b_offset, n, scratch);
+    chosenOtRecvFinish(crhf, choices, t, n, out, tweak_base, scratch);
 }
 
 } // namespace ironman::ot

@@ -12,7 +12,15 @@
  *   R:     m_c = e_c ^ H(t, tweak)
  *
  * The batch API moves all bits, then all ciphertexts, in single
- * messages so a batch is one round regardless of size.
+ * messages so a batch is one round regardless of size; all pad hashes
+ * go through Crhf::hashBatch (fused 8-wide MMO on AES-NI).
+ *
+ * The receiver side is additionally split into a wire stage
+ * (chosenOtRecvWire: send d, receive the ciphertexts) and a compute
+ * stage (chosenOtRecvFinish: hash t, unmask). The FERRET iteration
+ * pipeline exploits the split: the wire stage of extension i+1 needs
+ * only choice bits, while the unmask needs base strings that extension
+ * i's LPN encode is still producing.
  */
 
 #ifndef IRONMAN_OT_CHOSEN_OT_H
@@ -37,10 +45,13 @@ struct ChosenOtScratch
 {
     BitVec d;                  ///< derandomization bits on the wire
     std::vector<Block> cipher; ///< ciphertext pairs on the wire
+    std::vector<Block> pad0;   ///< batched H inputs/outputs (j = 0)
+    std::vector<Block> pad1;   ///< batched H inputs/outputs (j = 1)
 };
 
 /**
- * Sender side of a batched chosen OT.
+ * Sender side of a batched chosen OT. Wire buffers live in @p scratch;
+ * allocation-free once warm.
  *
  * @param ch Channel to the receiver.
  * @param m0,m1 Message arrays, @p n each.
@@ -50,27 +61,37 @@ struct ChosenOtScratch
  */
 void chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf,
                   const Block *m0, const Block *m1, size_t n,
-                  const Block &delta, const Block *q, uint64_t tweak_base);
-
-/** Allocation-free variant: wire buffers live in @p scratch. */
-void chosenOtSend(net::Channel &ch, const crypto::Crhf &crhf,
-                  const Block *m0, const Block *m1, size_t n,
                   const Block &delta, const Block *q, uint64_t tweak_base,
                   ChosenOtScratch &scratch);
 
 /**
- * Receiver side of a batched chosen OT.
- *
- * @param choices Receiver's selection bits (n of them).
- * @param b COT choice bits (n, consumed, offset @p b_offset).
- * @param t Receiver COT strings (n, consumed).
- * @param out Receives m_{c_i}.
+ * Receiver wire stage, outbound half: send the derandomization bits
+ * d = choices ^ b. Depends only on bits — no COT strings needed yet.
  */
-void chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
-                  const BitVec &choices, const BitVec &b, size_t b_offset,
-                  const Block *t, size_t n, Block *out, uint64_t tweak_base);
+void chosenOtRecvSendDerand(net::Channel &ch, const BitVec &choices,
+                            const BitVec &b, size_t b_offset, size_t n,
+                            ChosenOtScratch &scratch);
 
-/** Allocation-free variant: wire buffers live in @p scratch. */
+/** Receiver wire stage, inbound half: the 2n ciphertexts into
+ * scratch.cipher. */
+void chosenOtRecvCiphertexts(net::Channel &ch, size_t n,
+                             ChosenOtScratch &scratch);
+
+/** Both wire halves back to back. */
+void chosenOtRecvWire(net::Channel &ch, const BitVec &choices,
+                      const BitVec &b, size_t b_offset, size_t n,
+                      ChosenOtScratch &scratch);
+
+/**
+ * Receiver compute stage: batch-hash the COT strings @p t and unmask
+ * the chosen ciphertext of each pair received by chosenOtRecvWire()
+ * into @p out.
+ */
+void chosenOtRecvFinish(const crypto::Crhf &crhf, const BitVec &choices,
+                        const Block *t, size_t n, Block *out,
+                        uint64_t tweak_base, ChosenOtScratch &scratch);
+
+/** Both receiver stages back to back (the unpipelined path). */
 void chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
                   const BitVec &choices, const BitVec &b, size_t b_offset,
                   const Block *t, size_t n, Block *out, uint64_t tweak_base,

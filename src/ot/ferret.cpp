@@ -30,6 +30,45 @@ spcotConfigOf(const FerretParams &p)
     return cfg;
 }
 
+/**
+ * Encode rows [row0, row0+count) through the tape when one is built,
+ * falling back to the streaming scratch path (2^23+ sets, above the
+ * tape memory cap). Output is identical either way.
+ */
+void
+encodeRange(const LpnEncoder &enc, OtWorkspace &ws, const Block *in,
+            Block *inout, size_t row0, size_t count, int scratch_idx)
+{
+    if (ws.tape.ready())
+        enc.encodeBlocksTape(in, inout, row0, count, ws.tape);
+    else
+        enc.encodeBlocks(in, inout, row0, count, ws.lpn[scratch_idx]);
+}
+
+/** Pool-parallel encodeRange over rows [row0, row0+count). */
+void
+encodePooled(const LpnEncoder &enc, OtWorkspace &ws, const Block *in,
+             Block *inout, size_t row0, size_t count)
+{
+    ws.pool.parallelFor(count, [&](int worker, size_t lo, size_t hi) {
+        encodeRange(enc, ws, in, inout + lo, row0 + lo, hi - lo, worker);
+    });
+}
+
+/**
+ * Build the engine's index tape unless the set is above the memory
+ * cap (2^23+, which stays on the streaming path). Idempotent; shared
+ * by both endpoints so the cap policy lives in one place.
+ */
+void
+ensureTapeFor(const FerretParams &p, const LpnEncoder &enc,
+              OtWorkspace &ws)
+{
+    if (LpnIndexTape::bytesFor(p.n, p.lpnWeight) <=
+        OtWorkspace::kLpnTapeBytesCap)
+        enc.buildTape(ws.tape, p.n, ws.pool, ws.lpn.data());
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -48,56 +87,121 @@ FerretCotSender::FerretCotSender(net::Channel &channel,
 }
 
 void
+FerretCotSender::ensureTape()
+{
+    ensureTapeFor(p, encoder, ws);
+}
+
+void
 FerretCotSender::extendInto(Rng &rng, Block *out)
 {
     Timer total;
-    ws.prepare(p, threads);
+    ws.prepare(p, threads, pipelined_ ? 2 : 1);
+    ensureTape();
     const SpcotConfig cfg = spcotConfigOf(p);
     const size_t bucket = p.bucketSize();
     const size_t leaves = p.treeLeaves();
     const size_t spcot_cots = p.t * p.cotsPerTree();
-
-    // 1. Split the base reserve.
-    const Block *lpn_r = baseQ.data();            // k entries
-    const Block *spcot_q = baseQ.data() + p.k;    // t*log2(l) entries
-
-    // 2. Interactive SPCOT into the workspace leaf matrix.
-    Timer phase;
+    const size_t reserved = p.k + spcot_cots;
     uint64_t prg_ops = 0;
-    spcotSendInto(ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
-                  ws.spcot, ws.leafMatrix, &prg_ops);
-    stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("spcot_prg_ops", prg_ops);
 
-    // 3. Scatter tree leaves into the length-n w vector, then LPN.
+    if (!pipelined_) {
+        // A prefetched transcript in flight cannot be discarded: its
+        // derandomization bits already spent base-COT material, and
+        // re-running SPCOT over the same reserve would leak choice
+        // bits. Flip modes only on engines with no pending transcript.
+        IRONMAN_CHECK(!havePending,
+                      "setPipelined(false) with a transcript in flight");
+
+        // 1. Split the base reserve.
+        const Block *lpn_r = baseQ.data();         // k entries
+        const Block *spcot_q = baseQ.data() + p.k; // t*log2(l) entries
+
+        // 2. Interactive SPCOT into the workspace leaf matrix.
+        Timer phase;
+        spcotSendInto(ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
+                      ws.spcot, ws.leaf[0], &prg_ops);
+        stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+        stats_.add("spcot_prg_ops", prg_ops);
+
+        // 3. Scatter tree leaves into the length-n w vector, then LPN.
+        phase.reset();
+        Block *z = ws.rows;
+        for (size_t tr = 0; tr < p.t; ++tr) {
+            size_t row0 = tr * bucket;
+            size_t width = std::min(bucket, p.n - row0);
+            std::copy_n(ws.leaf[0] + tr * leaves, width, z + row0);
+        }
+        encodePooled(encoder, ws, lpn_r, z, 0, p.n);
+        stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+
+        // 4. Bootstrap: re-reserve, hand out the rest.
+        baseQ.assign(z, z + reserved);
+        std::copy(z + reserved, z + p.n, out);
+
+        stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
+        stats_.add("extensions", 1);
+        stats_.add("output_cots", p.n - reserved);
+        return;
+    }
+
+    // Pipelined steady state. Slot slotCur holds this iteration's
+    // already-expanded leaves (prefetched by the previous call); the
+    // cold first call exchanges its own transcript inline.
+    Timer phase;
+    if (!havePending)
+        spcotSendTranscript(ch, cfg, p.t, delta_, baseQ.data() + p.k,
+                            rng, tweak, &ws.pool, ws.spcot,
+                            ws.leaf[slotCur], &prg_ops);
+
+    // Scatter the pending leaves, then encode the reserve prefix
+    // eagerly — the next transcript's chosen-OT pads need
+    // q' = z[k..reserved).
     phase.reset();
     Block *z = ws.rows;
+    const Block *lpn_r = baseQ.data();
     for (size_t tr = 0; tr < p.t; ++tr) {
         size_t row0 = tr * bucket;
         size_t width = std::min(bucket, p.n - row0);
-        std::copy_n(ws.leafMatrix + tr * leaves, width, z + row0);
+        std::copy_n(ws.leaf[slotCur] + tr * leaves, width, z + row0);
     }
-    encoder.encodeBlocksPool(lpn_r, z, p.n, ws.pool, ws.lpn.data());
-    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("lpn_aes_ops",
-               uint64_t(LpnEncoder::aesCallsPerRow) * p.n);
+    encodePooled(encoder, ws, lpn_r, z, 0, reserved);
+    baseNext.assign(z, z + reserved);
+    stats_.add("lpn_prefix_us", uint64_t(phase.seconds() * 1e6));
 
-    // 4. Bootstrap: re-reserve, hand out the rest.
-    const size_t reserved = p.k + spcot_cots;
-    baseQ.assign(z, z + reserved);
+    // Hand the output tail to the pool workers and, while they
+    // gather-XOR, push iteration i+1's SPCOT transcript from this
+    // thread (expansion runs serially here — the pool is busy; the
+    // partition never changes the bits). Stage-handoff invariant:
+    // slot slotCur is free (scattered above), the transcript writes
+    // slot slotCur^1.
+    phase.reset();
+    auto encode_tail = [&](int worker, size_t lo, size_t hi) {
+        encodeRange(encoder, ws, lpn_r, z + reserved + lo,
+                    reserved + lo, hi - lo, worker);
+    };
+    ws.pool.parallelForAsync(p.n - reserved, encode_tail);
+
+    const int next = slotCur ^ 1;
+    uint64_t prefetch_ops = 0;
+    Timer spcot_timer;
+    spcotSendTranscript(ch, cfg, p.t, delta_, baseNext.data() + p.k,
+                        rng, tweak, /*pool=*/nullptr, ws.spcot,
+                        ws.leaf[next], &prefetch_ops);
+    stats_.add("spcot_us", uint64_t(spcot_timer.seconds() * 1e6));
+
+    ws.pool.wait();
+    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
     std::copy(z + reserved, z + p.n, out);
 
+    baseQ.swap(baseNext);
+    slotCur = next;
+    havePending = true;
+
+    stats_.add("spcot_prg_ops", prg_ops + prefetch_ops);
     stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
     stats_.add("extensions", 1);
     stats_.add("output_cots", p.n - reserved);
-}
-
-std::vector<Block>
-FerretCotSender::extend(Rng &rng)
-{
-    std::vector<Block> out(p.usableOts());
-    extendInto(rng, out.data());
-    return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -117,72 +221,158 @@ FerretCotReceiver::FerretCotReceiver(net::Channel &channel,
 }
 
 void
+FerretCotReceiver::ensureTape()
+{
+    ensureTapeFor(p, encoder, ws);
+}
+
+void
 FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
 {
     Timer total;
-    ws.prepare(p, threads);
+    ws.prepare(p, threads, 1);
+    ensureTape();
     const SpcotConfig cfg = spcotConfigOf(p);
     const size_t bucket = p.bucketSize();
     const size_t leaves = p.treeLeaves();
     const size_t spcot_cots = p.t * p.cotsPerTree();
+    const size_t reserved = p.k + spcot_cots;
+    uint64_t prg_ops = 0;
 
-    // 1. Split the base reserve: bits e / blocks s feed LPN, the rest
-    // feeds SPCOT.
-    ws.e.assignRange(baseChoice, 0, p.k);
-    const Block *lpn_s = baseT.data();
+    auto draw_alphas = [&] {
+        for (size_t tr = 0; tr < p.t; ++tr) {
+            size_t row0 = tr * bucket;
+            size_t width = std::min(bucket, p.n - row0);
+            ws.alphas[tr] = rng.nextBelow(width);
+        }
+    };
 
-    // 2. Sample one punctured position per bucket and run SPCOT.
-    for (size_t tr = 0; tr < p.t; ++tr) {
-        size_t row0 = tr * bucket;
-        size_t width = std::min(bucket, p.n - row0);
-        ws.alphas[tr] = rng.nextBelow(width);
+    auto encode_bits = [&](const BitVec &in, BitVec &inout) {
+        if (ws.tape.ready())
+            encoder.encodeBitsTape(in, inout, ws.tape);
+        else
+            encoder.encodeBits(in, inout, ws.lpn[0]);
+    };
+
+    if (!pipelined_) {
+        // See the sender: a pending prefetched transcript must not be
+        // dropped (its derandomization bits spent base-COT material).
+        IRONMAN_CHECK(!havePending,
+                      "setPipelined(false) with a transcript in flight");
+
+        // 1. Split the base reserve: bits e / blocks s feed LPN, the
+        // rest feeds SPCOT.
+        ws.e.assignRange(baseChoice, 0, p.k);
+        const Block *lpn_s = baseT.data();
+
+        // 2. Sample one punctured position per bucket and run SPCOT.
+        draw_alphas();
+
+        Timer phase;
+        spcotRecvInto(ch, cfg, p.t, ws.alphas.data(), baseChoice, p.k,
+                      baseT.data() + p.k, tweak, ws.pool, ws.spcot,
+                      ws.leaf[0], &prg_ops);
+        stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+        stats_.add("spcot_prg_ops", prg_ops);
+
+        // 3. Build (u, v) over the n rows, then LPN-encode into (x, y).
+        phase.reset();
+        ws.x.resize(p.n);
+        ws.x.zeroAll();
+        Block *y = ws.rows;
+        for (size_t tr = 0; tr < p.t; ++tr) {
+            size_t row0 = tr * bucket;
+            size_t width = std::min(bucket, p.n - row0);
+            std::copy_n(ws.leaf[0] + tr * leaves, width, y + row0);
+            ws.x.set(row0 + ws.alphas[tr], true);
+        }
+        encode_bits(ws.e, ws.x);
+        encodePooled(encoder, ws, lpn_s, y, 0, p.n);
+        stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+
+        // 4. Bootstrap.
+        baseChoice.assignRange(ws.x, 0, reserved);
+        baseT.assign(y, y + reserved);
+
+        choice_out.assignRange(ws.x, reserved, p.n - reserved);
+        std::copy(y + reserved, y + p.n, t_out);
+
+        stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
+        stats_.add("extensions", 1);
+        stats_.add("output_cots", p.n - reserved);
+        return;
     }
 
+    // Pipelined steady state. slots[slotCur] holds this iteration's
+    // transcript (ciphertexts + masked sums), pulled off the wire by
+    // the previous call; only the unmask — which needs this call's
+    // now-complete base reserve — and the tree reconstruction remain.
+    ws.spcot.prepare(cfg, p.t, ws.pool.threads(), /*for_sender=*/false);
+    SpcotRecvSlot *slot = &ws.spcot.slots[slotCur];
+
     Timer phase;
-    uint64_t prg_ops = 0;
-    spcotRecvInto(ch, cfg, p.t, ws.alphas.data(), baseChoice, p.k,
-                  baseT.data() + p.k, tweak, ws.pool, ws.spcot,
-                  ws.leafMatrix, &prg_ops);
+    if (!havePending) {
+        draw_alphas();
+        spcotRecvSendChoices(ch, cfg, p.t, ws.alphas.data(), baseChoice,
+                             p.k, tweak, ws.spcot, *slot);
+        spcotRecvRecvTranscript(ch, cfg, p.t, ws.spcot, *slot);
+    }
+    spcotRecvFinish(cfg, p.t, baseT.data() + p.k, ws.pool, ws.spcot,
+                    *slot, ws.leaf[0], &prg_ops);
     stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
     stats_.add("spcot_prg_ops", prg_ops);
 
-    // 3. Build (u, v) over the n rows, then LPN-encode into (x, y).
+    // Bit-LPN first: the next transcript's derandomization bits need
+    // only x = e*A ^ u.
     phase.reset();
+    ws.e.assignRange(baseChoice, 0, p.k);
     ws.x.resize(p.n);
     ws.x.zeroAll();
     Block *y = ws.rows;
+    const Block *lpn_s = baseT.data();
     for (size_t tr = 0; tr < p.t; ++tr) {
         size_t row0 = tr * bucket;
         size_t width = std::min(bucket, p.n - row0);
-        std::copy_n(ws.leafMatrix + tr * leaves, width, y + row0);
-        ws.x.set(row0 + ws.alphas[tr], true);
+        std::copy_n(ws.leaf[0] + tr * leaves, width, y + row0);
+        ws.x.set(row0 + slot->alphas[tr], true);
     }
-    encoder.encodeBits(ws.e, ws.x, ws.lpn[0]);
-    encoder.encodeBlocksPool(lpn_s, y, p.n, ws.pool, ws.lpn.data());
-    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
-    stats_.add("lpn_aes_ops",
-               uint64_t(LpnEncoder::aesCallsPerRow) * p.n * 2);
+    encode_bits(ws.e, ws.x);
+    stats_.add("lpn_bits_us", uint64_t(phase.seconds() * 1e6));
 
-    // 4. Bootstrap.
-    const size_t reserved = p.k + spcot_cots;
-    baseChoice.assignRange(ws.x, 0, reserved);
-    baseT.assign(y, y + reserved);
+    // Prefetch iteration i+1: choices out, then the block LPN runs on
+    // the workers while this thread blocks on the returning
+    // ciphertexts. Stage-handoff invariant: the next transcript fills
+    // slots[slotCur^1] while the LPN stage still reads slots[slotCur]'s
+    // alphas (and nothing else of it).
+    SpcotRecvSlot *next_slot = &ws.spcot.slots[slotCur ^ 1];
+    draw_alphas();
+    spcotRecvSendChoices(ch, cfg, p.t, ws.alphas.data(), ws.x, p.k,
+                         tweak, ws.spcot, *next_slot);
+
+    phase.reset();
+    auto encode_blocks = [&](int worker, size_t lo, size_t hi) {
+        encodeRange(encoder, ws, lpn_s, y + lo, lo, hi - lo, worker);
+    };
+    ws.pool.parallelForAsync(p.n, encode_blocks);
+    spcotRecvRecvTranscript(ch, cfg, p.t, ws.spcot, *next_slot);
+    ws.pool.wait();
+    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+
+    // Bootstrap + output.
+    baseTNext.assign(y, y + reserved);
+    baseT.swap(baseTNext);
+    choiceNext.assignRange(ws.x, 0, reserved);
+    std::swap(baseChoice, choiceNext);
 
     choice_out.assignRange(ws.x, reserved, p.n - reserved);
     std::copy(y + reserved, y + p.n, t_out);
 
+    slotCur ^= 1;
+    havePending = true;
+
     stats_.add("extend_us", uint64_t(total.seconds() * 1e6));
     stats_.add("extensions", 1);
     stats_.add("output_cots", p.n - reserved);
-}
-
-FerretCotReceiver::Output
-FerretCotReceiver::extend(Rng &rng)
-{
-    Output out;
-    out.t.resize(p.usableOts());
-    extendInto(rng, out.choice, out.t.data());
-    return out;
 }
 
 } // namespace ironman::ot

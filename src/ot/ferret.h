@@ -15,11 +15,32 @@
  *   4. Bootstrap: the first reservedCots() outputs become the next
  *      base reserve; the remaining usableOts() are handed out.
  *
- * Each endpoint owns an OtWorkspace (arena + fixed thread pool), so
- * the span-based extendInto() entry points perform zero heap
- * allocations once warm and fan the SPCOT/LPN kernels out over
- * setThreads() workers with bit-identical output. The historical
- * vector-returning extend() wrappers remain.
+ * In the default PIPELINED mode the engine overlaps consecutive
+ * extensions: while iteration i's LPN encode runs on the pool
+ * workers, iteration i+1's SPCOT transcript is already crossing the
+ * wire on the calling thread (see DESIGN.md §2, "The iteration
+ * pipeline"). The dependency that makes this legal:
+ *
+ *   - the sender's next transcript needs q' = z_i[k..reserved), so
+ *     the reserve prefix of z is encoded eagerly before the output
+ *     tail is handed to the workers;
+ *   - the receiver's next derandomization bits need only the CHOICE
+ *     BITS x_i (the cheap bit-LPN), while the unmask of the received
+ *     ciphertexts — which needs the block reserve y_i — is deferred
+ *     to the next call (SpcotRecvSlot holds the pending transcript).
+ *
+ * Pipelined output is bit-identical to unpipelined output for equal
+ * RNG seeds (tests/test_ferret_pipeline.cpp): every value is computed
+ * from the same inputs, just earlier. Both parties MUST run the same
+ * mode — the pipelined peer leaves one prefetched transcript in
+ * flight per steady-state call, which an unpipelined peer would never
+ * answer. Between calls the channel is fully drained, so engines can
+ * be multiplexed (ppml::FerretCotEngine interleaves two directions).
+ *
+ * Each endpoint owns an OtWorkspace (arena + fixed thread pool + the
+ * precomputed LPN index tape), so extendInto() performs zero heap
+ * allocations once warm and fans the SPCOT/LPN kernels out over
+ * setThreads() workers with bit-identical output.
  *
  * Semi-honest security (the paper's frameworks are semi-honest);
  * Ferret's malicious consistency check is out of scope and noted in
@@ -63,26 +84,37 @@ class FerretCotSender
      */
     void extendInto(Rng &rng, Block *out);
 
-    /** Vector-returning wrapper around extendInto(). */
-    std::vector<Block> extend(Rng &rng);
-
     const Block &delta() const { return delta_; }
     const FerretParams &params() const { return p; }
 
     /** Fixed worker-pool width for the SPCOT and LPN kernels. */
     void setThreads(int n) { threads = n > 1 ? n : 1; }
 
+    /**
+     * Toggle the iteration pipeline (default on). Must match the
+     * receiver's setting; flip only between extensions, never while a
+     * transcript is in flight.
+     */
+    void setPipelined(bool on) { pipelined_ = on; }
+    bool pipelined() const { return pipelined_; }
+
     /** Counters: prg ops, lpn AES ops, per-phase microseconds. */
     const StatSet &stats() const { return stats_; }
 
   private:
+    void ensureTape();
+
     net::Channel &ch;
     FerretParams p;
     Block delta_;
     std::vector<Block> baseQ;
+    std::vector<Block> baseNext; ///< pipelined: next reserve staging
     LpnEncoder encoder;
     uint64_t tweak = 1;
     int threads = 1;
+    bool pipelined_ = true;
+    bool havePending = false; ///< leaf slot slotCur holds a transcript
+    int slotCur = 0;
     OtWorkspace ws;
     StatSet stats_;
 };
@@ -91,13 +123,6 @@ class FerretCotSender
 class FerretCotReceiver
 {
   public:
-    /** Receiver output of one extension. */
-    struct Output
-    {
-        BitVec choice;          ///< x_i (pseudo-random choice bits)
-        std::vector<Block> t;   ///< t_i = q_i ^ x_i*delta
-    };
-
     FerretCotReceiver(net::Channel &ch, const FerretParams &params,
                       BitVec base_choice, std::vector<Block> base_t);
 
@@ -108,21 +133,30 @@ class FerretCotReceiver
      */
     void extendInto(Rng &rng, BitVec &choice_out, Block *t_out);
 
-    /** Vector-returning wrapper around extendInto(). */
-    Output extend(Rng &rng);
-
     const FerretParams &params() const { return p; }
     void setThreads(int n) { threads = n > 1 ? n : 1; }
+
+    /** Toggle the iteration pipeline; see FerretCotSender. */
+    void setPipelined(bool on) { pipelined_ = on; }
+    bool pipelined() const { return pipelined_; }
+
     const StatSet &stats() const { return stats_; }
 
   private:
+    void ensureTape();
+
     net::Channel &ch;
     FerretParams p;
     BitVec baseChoice;
+    BitVec choiceNext;       ///< pipelined: next choice reserve staging
     std::vector<Block> baseT;
+    std::vector<Block> baseTNext; ///< pipelined: next reserve staging
     LpnEncoder encoder;
     uint64_t tweak = 1;
     int threads = 1;
+    bool pipelined_ = true;
+    bool havePending = false; ///< slots[slotCur] holds a transcript
+    int slotCur = 0;
     OtWorkspace ws;
     StatSet stats_;
 };

@@ -193,52 +193,4 @@ ggmReconstructInto(crypto::SeedExpander &prg, size_t alpha,
     IRONMAN_CHECK(hole == alpha);
 }
 
-// ---------------------------------------------------------------------------
-// Vector-returning compatibility wrappers
-// ---------------------------------------------------------------------------
-
-GgmExpansion
-ggmExpand(crypto::TreePrg &prg, const Block &seed,
-          const std::vector<unsigned> &arities)
-{
-    GgmSumLayout layout = GgmSumLayout::of(arities);
-    GgmScratch scratch;
-    std::vector<Block> flat(layout.total);
-
-    GgmExpansion out;
-    out.leaves.resize(layout.leaves);
-    ggmExpandInto(prg.expander(), seed, layout, scratch,
-                  out.leaves.data(), flat.data(), &out.leafSum);
-
-    out.levelSums.resize(arities.size());
-    for (size_t lvl = 0; lvl < arities.size(); ++lvl)
-        out.levelSums[lvl].assign(flat.begin() + layout.offset[lvl],
-                                  flat.begin() + layout.offset[lvl] +
-                                      arities[lvl]);
-    return out;
-}
-
-GgmReconstruction
-ggmReconstruct(crypto::TreePrg &prg, size_t alpha,
-               const std::vector<unsigned> &arities,
-               const std::vector<std::vector<Block>> &known_sums)
-{
-    IRONMAN_CHECK(known_sums.size() == arities.size());
-    GgmSumLayout layout = GgmSumLayout::of(arities);
-    std::vector<Block> flat(layout.total);
-    for (size_t lvl = 0; lvl < arities.size(); ++lvl) {
-        IRONMAN_CHECK(known_sums[lvl].size() == arities[lvl]);
-        std::copy(known_sums[lvl].begin(), known_sums[lvl].end(),
-                  flat.begin() + layout.offset[lvl]);
-    }
-
-    GgmScratch scratch;
-    GgmReconstruction out;
-    out.leaves.resize(layout.leaves);
-    out.alpha = alpha;
-    ggmReconstructInto(prg.expander(), alpha, layout, flat.data(),
-                       scratch, out.leaves.data());
-    return out;
-}
-
 } // namespace ironman::ot

@@ -13,11 +13,9 @@
  * 4 becomes level arities [2, 4, 4, 4, 4, 4, 4]. This is how the
  * paper's Table 4 trees (l = 8192, 4-ary) are realizable.
  *
- * The core entry points are span-based and allocation-free: callers
+ * The entry points are span-based and allocation-free: callers
  * provide the output leaf span, a flattened level-sum span described
- * by GgmSumLayout, and a reusable GgmScratch. The vector-returning
- * ggmExpand()/ggmReconstruct() wrappers remain for tests and
- * single-shot callers.
+ * by GgmSumLayout, and a reusable GgmScratch.
  */
 
 #ifndef IRONMAN_OT_GGM_TREE_H
@@ -100,45 +98,6 @@ void ggmExpandInto(crypto::SeedExpander &prg, const Block &seed,
 void ggmReconstructInto(crypto::SeedExpander &prg, size_t alpha,
                         const GgmSumLayout &layout, const Block *known_sums,
                         GgmScratch &scratch, Block *leaves);
-
-// ---------------------------------------------------------------------------
-// Vector-returning compatibility wrappers
-// ---------------------------------------------------------------------------
-
-/** Sender-side expansion result. */
-struct GgmExpansion
-{
-    /// All leaf values, in index order.
-    std::vector<Block> leaves;
-    /// levelSums[i][c]: XOR of slot-c nodes at level i+1 (the K keys).
-    std::vector<std::vector<Block>> levelSums;
-    /// XOR of all leaves (consumed by the final node-recovery step).
-    Block leafSum;
-};
-
-/** Expand @p seed through levels of @p arities. */
-GgmExpansion ggmExpand(crypto::TreePrg &prg, const Block &seed,
-                       const std::vector<unsigned> &arities);
-
-/** Receiver-side reconstruction result. */
-struct GgmReconstruction
-{
-    /// Leaf values; entry at alpha is Block::zero() (unknown).
-    std::vector<Block> leaves;
-    size_t alpha;
-};
-
-/**
- * Reconstruct all leaves except @p alpha.
- *
- * @param known_sums known_sums[i][c] must equal the sender's
- *        levelSums[i][c] for every c != digit_i(alpha); the entry at
- *        the punctured digit is ignored (pass anything).
- */
-GgmReconstruction ggmReconstruct(crypto::TreePrg &prg, size_t alpha,
-                                 const std::vector<unsigned> &arities,
-                                 const std::vector<std::vector<Block>>
-                                     &known_sums);
 
 } // namespace ironman::ot
 

@@ -1,7 +1,6 @@
 #include "ot/iknp.h"
 
 #include "common/logging.h"
-#include "crypto/aes.h"
 #include "ot/bit_transpose.h"
 
 namespace ironman::ot {
@@ -9,30 +8,33 @@ namespace ironman::ot {
 namespace {
 
 /**
- * Column PRG: n bits from a seed, offset by session so every
- * extension consumes a fresh slice of the keystream.
+ * Column PRG: n bits from a pre-scheduled cipher, offset by session so
+ * every extension consumes a fresh slice of the keystream. Writes into
+ * grow-once buffers — no allocation once warm.
  */
-BitVec
-expandColumn(const Block &seed, size_t n, uint64_t session)
+void
+expandColumnInto(const crypto::Aes128 &aes, size_t n, uint64_t session,
+                 BitVec &out, IknpWorkspace::Worker &wk)
 {
-    crypto::Aes128 aes(seed);
-    BitVec out(n);
+    out.resize(n);
     auto &words = out.rawWords();
     const uint64_t base = session * ((n + 127) / 128 + 1);
 
-    std::vector<Block> ctr(words.size() / 2 + 1);
-    for (size_t i = 0; i < ctr.size(); ++i)
-        ctr[i] = Block::fromUint64(base + i);
-    std::vector<Block> ks(ctr.size());
-    aes.encryptBatch(ctr.data(), ks.data(), ctr.size());
+    const size_t blocks = words.size() / 2 + 1;
+    if (wk.ctr.size() < blocks) {
+        wk.ctr.resize(blocks);
+        wk.ks.resize(blocks);
+    }
+    for (size_t i = 0; i < blocks; ++i)
+        wk.ctr[i] = Block::fromUint64(base + i);
+    aes.encryptBatch(wk.ctr.data(), wk.ks.data(), blocks);
 
     for (size_t w = 0; w < words.size(); ++w) {
-        const Block &b = ks[w / 2];
+        const Block &b = wk.ks[w / 2];
         words[w] = (w % 2 == 0) ? b.lo : b.hi;
     }
     if (n % 64)
         words.back() &= (uint64_t(1) << (n % 64)) - 1;
-    return out;
 }
 
 } // namespace
@@ -51,46 +53,101 @@ dealIknpSetup(Rng &rng)
     return setup;
 }
 
-std::vector<Block>
-iknpExtendSender(net::Channel &ch, const IknpSetup &setup, size_t n,
-                 uint64_t session)
+void
+IknpWorkspace::prepare(const IknpSetup &setup, size_t n, int threads,
+                       bool for_sender)
 {
-    IRONMAN_CHECK(n % 64 == 0);
-
-    // Receive the derandomization columns d_j = c_j^0 ^ c_j^1 ^ x,
-    // then q_j = c_j^{s_j} ^ s_j * d_j = c_j^0 ^ s_j * x.
-    std::vector<BitVec> q(128);
-    for (int j = 0; j < 128; ++j) {
-        BitVec d = ch.recvBits();
-        IRONMAN_CHECK(d.size() == n);
-        BitVec col = expandColumn(setup.senderSeeds[j], n, session);
-        if (setup.delta.getBit(j))
-            col ^= d;
-        q[j] = std::move(col);
+    threads = std::max(threads, 1);
+    // Bind by CONTENT, not address: a fresh setup can reuse a dead
+    // setup's storage, and stale key schedules would silently break
+    // the correlation.
+    const bool same_setup =
+        bound && boundTo.delta == setup.delta &&
+        boundTo.senderSeeds == setup.senderSeeds &&
+        boundTo.receiverSeeds == setup.receiverSeeds;
+    if (same_setup && boundSender == for_sender &&
+        preparedThreads >= threads) {
+        // Column BitVecs grow inside expandColumnInto if n grew.
+        return;
     }
 
-    return transposeColumnsToBlocks(q, n);
+    // Key schedules are fixed per setup: expand them once instead of
+    // per column per extension.
+    ciphers.clear();
+    ciphers.reserve(for_sender ? 128 : 256);
+    for (int j = 0; j < 128; ++j) {
+        if (for_sender) {
+            ciphers.emplace_back(setup.senderSeeds[j]);
+        } else {
+            ciphers.emplace_back(setup.receiverSeeds[j][0]);
+            ciphers.emplace_back(setup.receiverSeeds[j][1]);
+        }
+    }
+
+    cols.resize(128);
+    diffs.resize(128);
+    workers.resize(threads);
+
+    boundTo = setup;
+    bound = true;
+    boundSender = for_sender;
+    preparedThreads = threads;
 }
 
-std::vector<Block>
-iknpExtendReceiver(net::Channel &ch, const IknpSetup &setup,
-                   const BitVec &choices, uint64_t session)
+void
+iknpExtendSenderInto(net::Channel &ch, const IknpSetup &setup, size_t n,
+                     uint64_t session, common::ThreadPool &pool,
+                     IknpWorkspace &ws, Block *rows)
+{
+    IRONMAN_CHECK(n % 64 == 0);
+    ws.prepare(setup, n, pool.threads(), /*for_sender=*/true);
+
+    // All 128 derandomization columns arrive first (the wire is
+    // sequential), then the column PRG + correction fans out:
+    // q_j = c_j^{s_j} ^ s_j * d_j = c_j^0 ^ s_j * x.
+    for (int j = 0; j < 128; ++j) {
+        ch.recvBitsInto(ws.diffs[j]);
+        IRONMAN_CHECK(ws.diffs[j].size() == n);
+    }
+
+    pool.parallelFor(128, [&](int worker, size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+            expandColumnInto(ws.ciphers[j], n, session, ws.cols[j],
+                             ws.workers[worker]);
+            if (setup.delta.getBit(unsigned(j)))
+                ws.cols[j] ^= ws.diffs[j];
+        }
+    });
+
+    transposeColumnsToBlocks(ws.cols, n, rows);
+}
+
+void
+iknpExtendReceiverInto(net::Channel &ch, const IknpSetup &setup,
+                       const BitVec &choices, uint64_t session,
+                       common::ThreadPool &pool, IknpWorkspace &ws,
+                       Block *rows)
 {
     const size_t n = choices.size();
     IRONMAN_CHECK(n % 64 == 0);
+    ws.prepare(setup, n, pool.threads(), /*for_sender=*/false);
 
-    std::vector<BitVec> t(128);
-    for (int j = 0; j < 128; ++j) {
-        BitVec c0 = expandColumn(setup.receiverSeeds[j][0], n, session);
-        BitVec c1 = expandColumn(setup.receiverSeeds[j][1], n, session);
-        BitVec d = c0;
-        d ^= c1;
-        d ^= choices;
-        ch.sendBits(d);
-        t[j] = std::move(c0);
-    }
+    // Expand both columns of every pair and form d_j = c^0 ^ c^1 ^ x
+    // in parallel, then flush all 128 columns in wire order.
+    pool.parallelFor(128, [&](int worker, size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+            expandColumnInto(ws.ciphers[2 * j], n, session, ws.cols[j],
+                             ws.workers[worker]);
+            expandColumnInto(ws.ciphers[2 * j + 1], n, session,
+                             ws.diffs[j], ws.workers[worker]);
+            ws.diffs[j] ^= ws.cols[j];
+            ws.diffs[j] ^= choices;
+        }
+    });
+    for (int j = 0; j < 128; ++j)
+        ch.sendBits(ws.diffs[j]);
 
-    return transposeColumnsToBlocks(t, n);
+    transposeColumnsToBlocks(ws.cols, n, rows);
 }
 
 } // namespace ironman::ot

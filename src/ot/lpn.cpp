@@ -1,8 +1,14 @@
 #include "ot/lpn.h"
 
-#include <thread>
+#include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#define IRONMAN_HAVE_SSE2 1
+#endif
 
 namespace ironman::ot {
 
@@ -17,7 +23,102 @@ matrixKey(uint64_t seed)
 
 constexpr size_t kRowsPerChunk = 256;
 
+// ---------------------------------------------------------------------------
+// Gather-XOR kernels over the lane-transposed tape
+// ---------------------------------------------------------------------------
+
+constexpr size_t kLane = LpnIndexTape::kLane;
+
+void
+gatherXorScalar(const Block *in, Block *inout, const uint32_t *tape,
+                size_t row0, size_t count, unsigned d)
+{
+    for (size_t j = 0; j < count; ++j) {
+        const size_t r = row0 + j;
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane +
+                            (r % kLane);
+        Block acc = inout[j];
+        for (unsigned i = 0; i < d; ++i)
+            acc ^= in[g[i * kLane]];
+        inout[j] = acc;
+    }
+}
+
+#ifdef IRONMAN_HAVE_SSE2
+
+void
+gatherXorSse2(const Block *in, Block *inout, const uint32_t *tape,
+              size_t row0, size_t count, unsigned d)
+{
+    size_t j = 0;
+    // Scalar head until the row index is lane-aligned.
+    while (j < count && ((row0 + j) % kLane) != 0) {
+        gatherXorScalar(in, inout + j, tape, row0 + j, 1, d);
+        ++j;
+    }
+
+    // Full groups: kLane independent accumulators hide the latency of
+    // the randomly addressed 16-byte gathers; each tap's kLane indices
+    // are one contiguous 32-byte read of the transposed tape.
+    for (; j + kLane <= count; j += kLane) {
+        const size_t r = row0 + j;
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane;
+        __m128i acc[kLane];
+        for (size_t x = 0; x < kLane; ++x)
+            acc[x] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(inout + j + x));
+        for (unsigned i = 0; i < d; ++i) {
+            const uint32_t *gi = g + i * kLane;
+            for (size_t x = 0; x < kLane; ++x)
+                acc[x] = _mm_xor_si128(
+                    acc[x], _mm_loadu_si128(
+                                reinterpret_cast<const __m128i *>(
+                                    in + gi[x])));
+        }
+        for (size_t x = 0; x < kLane; ++x)
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(inout + j + x),
+                             acc[x]);
+    }
+
+    if (j < count)
+        gatherXorScalar(in, inout + j, tape, row0 + j, count - j, d);
+}
+
+#endif // IRONMAN_HAVE_SSE2
+
+using GatherFn = void (*)(const Block *, Block *, const uint32_t *,
+                          size_t, size_t, unsigned);
+
+std::atomic<bool> forceScalarGather{false};
+
+GatherFn
+pickGatherKernel()
+{
+#ifdef IRONMAN_HAVE_SSE2
+    if (detail::lpnAvx2Supported())
+        return &detail::lpnGatherXorAvx2;
+    return &gatherXorSse2;
+#else
+    return &gatherXorScalar;
+#endif
+}
+
+GatherFn
+activeGatherKernel()
+{
+    if (forceScalarGather.load(std::memory_order_relaxed))
+        return &gatherXorScalar;
+    static const GatherFn best = pickGatherKernel();
+    return best;
+}
+
 } // namespace
+
+void
+LpnEncoder::forceScalarKernel(bool force)
+{
+    forceScalarGather.store(force, std::memory_order_relaxed);
+}
 
 LpnEncoder::LpnEncoder(const LpnParams &params) : p(params)
 {
@@ -28,15 +129,8 @@ LpnEncoder::LpnEncoder(const LpnParams &params) : p(params)
 void
 LpnEncoder::rowIndices(uint64_t row, uint32_t *out) const
 {
-    rowIndicesBatch(row, 1, out);
-}
-
-void
-LpnEncoder::rowIndicesBatch(uint64_t row0, size_t count,
-                            uint32_t *out) const
-{
     LpnEncodeScratch scratch;
-    rowIndicesBatch(row0, count, out, scratch);
+    rowIndicesBatch(row, 1, out, scratch);
 }
 
 void
@@ -77,14 +171,6 @@ LpnEncoder::rowIndicesBatch(uint64_t row0, size_t count, uint32_t *out,
 
 void
 LpnEncoder::encodeBlocks(const Block *in, Block *inout, uint64_t row0,
-                         size_t count) const
-{
-    LpnEncodeScratch scratch;
-    encodeBlocks(in, inout, row0, count, scratch);
-}
-
-void
-LpnEncoder::encodeBlocks(const Block *in, Block *inout, uint64_t row0,
                          size_t count, LpnEncodeScratch &scratch) const
 {
     if (scratch.idx.size() < kRowsPerChunk * p.d)
@@ -104,30 +190,6 @@ LpnEncoder::encodeBlocks(const Block *in, Block *inout, uint64_t row0,
 }
 
 void
-LpnEncoder::encodeBlocksParallel(const Block *in, Block *inout,
-                                 size_t count, int threads) const
-{
-    if (threads <= 1) {
-        encodeBlocks(in, inout, 0, count);
-        return;
-    }
-
-    std::vector<std::thread> pool;
-    size_t per = (count + threads - 1) / threads;
-    for (int w = 0; w < threads; ++w) {
-        size_t lo = std::min(count, w * per);
-        size_t hi = std::min(count, lo + per);
-        if (lo >= hi)
-            break;
-        pool.emplace_back([this, in, inout, lo, hi] {
-            encodeBlocks(in, inout + lo, lo, hi - lo);
-        });
-    }
-    for (auto &th : pool)
-        th.join();
-}
-
-void
 LpnEncoder::encodeBlocksPool(const Block *in, Block *inout, size_t count,
                              common::ThreadPool &pool,
                              LpnEncodeScratch *scratch) const
@@ -138,10 +200,64 @@ LpnEncoder::encodeBlocksPool(const Block *in, Block *inout, size_t count,
 }
 
 void
-LpnEncoder::encodeBits(const BitVec &in, BitVec &inout) const
+LpnEncoder::buildTape(LpnIndexTape &tape, size_t rows,
+                      common::ThreadPool &pool,
+                      LpnEncodeScratch *scratch) const
 {
-    LpnEncodeScratch scratch;
-    encodeBits(in, inout, scratch);
+    if (tape.ready() && tape.builtFor == p && tape.rows >= rows)
+        return;
+
+    const size_t groups = (rows + kLane - 1) / kLane;
+    tape.idx.assign(groups * p.d * kLane, 0);
+    tape.rows = rows;
+    tape.builtFor = p;
+    uint32_t *out = tape.idx.data();
+
+    // Unpack + `% k` reduce each row exactly once, transposing into
+    // the lane layout as we go. Chunked so the row-major staging stays
+    // in the per-worker scratch.
+    constexpr size_t kChunkGroups = kRowsPerChunk / kLane;
+    pool.parallelFor(groups, [&](int worker, size_t glo, size_t ghi) {
+        LpnEncodeScratch &sc = scratch[worker];
+        for (size_t g0 = glo; g0 < ghi; g0 += kChunkGroups) {
+            const size_t gcnt = std::min(kChunkGroups, ghi - g0);
+            const size_t row0 = g0 * kLane;
+            const size_t cnt =
+                std::min(gcnt * kLane, rows - std::min(rows, row0));
+            if (cnt == 0)
+                continue;
+            if (sc.idx.size() < kRowsPerChunk * p.d)
+                sc.idx.resize(kRowsPerChunk * p.d);
+            rowIndicesBatch(row0, cnt, sc.idx.data(), sc);
+            for (size_t r = 0; r < cnt; ++r) {
+                const size_t gr = row0 + r;
+                uint32_t *dst = out + (gr / kLane) * p.d * kLane +
+                                (gr % kLane);
+                for (unsigned i = 0; i < p.d; ++i)
+                    dst[i * kLane] = sc.idx[r * p.d + i];
+            }
+        }
+    });
+}
+
+void
+LpnEncoder::encodeBlocksTape(const Block *in, Block *inout, uint64_t row0,
+                             size_t count, const LpnIndexTape &tape) const
+{
+    IRONMAN_CHECK(tape.ready() && tape.builtFor == p,
+                  "tape built for different LPN params");
+    IRONMAN_CHECK(row0 + count <= tape.rows, "tape too short");
+    activeGatherKernel()(in, inout, tape.idx.data(), row0, count, p.d);
+}
+
+void
+LpnEncoder::encodeBlocksTapePool(const Block *in, Block *inout,
+                                 size_t count, const LpnIndexTape &tape,
+                                 common::ThreadPool &pool) const
+{
+    pool.parallelFor(count, [&](int, size_t lo, size_t hi) {
+        encodeBlocksTape(in, inout + lo, lo, hi - lo, tape);
+    });
 }
 
 void
@@ -161,6 +277,25 @@ LpnEncoder::encodeBits(const BitVec &in, BitVec &inout,
                 acc ^= in.get(idx[r * p.d + i]);
             inout.set(done + r, acc);
         }
+    }
+}
+
+void
+LpnEncoder::encodeBitsTape(const BitVec &in, BitVec &inout,
+                           const LpnIndexTape &tape) const
+{
+    IRONMAN_CHECK(in.size() == p.k && inout.size() == p.n);
+    IRONMAN_CHECK(tape.ready() && tape.builtFor == p &&
+                      tape.rows >= p.n,
+                  "tape too short for bit encode");
+    const uint32_t *t = tape.idx.data();
+    for (size_t r = 0; r < p.n; ++r) {
+        const uint32_t *g =
+            t + (r / kLane) * size_t(p.d) * kLane + (r % kLane);
+        bool acc = inout.get(r);
+        for (unsigned i = 0; i < p.d; ++i)
+            acc ^= in.get(g[i * kLane]);
+        inout.set(r, acc);
     }
 }
 

@@ -61,8 +61,9 @@ oneOfNOtSend(net::Channel &ch, const crypto::Crhf &crhf,
     uint64_t pad_tweak = tweak + n_inst;
     tweak += n_inst + batch * bits;
 
+    ChosenOtScratch ot_scratch;
     chosenOtSend(ch, crhf, m0.data(), m1.data(), n_inst, delta, q,
-                 ot_tweak);
+                 ot_tweak, ot_scratch);
 
     // Every message masked by its index's pad.
     std::vector<Block> cipher(batch * n_msgs);
@@ -100,8 +101,9 @@ oneOfNOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
     tweak += n_inst + batch * bits;
 
     std::vector<Block> got_keys(n_inst);
+    ChosenOtScratch ot_scratch;
     chosenOtRecv(ch, crhf, bit_choices, b, b_offset, t, n_inst,
-                 got_keys.data(), ot_tweak);
+                 got_keys.data(), ot_tweak, ot_scratch);
 
     std::vector<Block> cipher(batch * n_msgs);
     ch.recvBlocks(cipher.data(), cipher.size());

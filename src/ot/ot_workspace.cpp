@@ -29,26 +29,30 @@ sameShape(const FerretParams &a, const FerretParams &b)
 } // namespace
 
 size_t
-OtWorkspace::requiredBlocks(const FerretParams &p)
+OtWorkspace::requiredBlocks(const FerretParams &p, int leaf_slots)
 {
-    return p.t * p.treeLeaves() + p.n;
+    return size_t(leaf_slots) * p.t * p.treeLeaves() + p.n;
 }
 
 void
-OtWorkspace::prepare(const FerretParams &p, int threads)
+OtWorkspace::prepare(const FerretParams &p, int threads, int leaf_slots)
 {
     threads = std::max(threads, 1);
-    if (ready && sameShape(preparedFor, p) && preparedThreads == threads)
+    leaf_slots = std::clamp(leaf_slots, 1, 2);
+    if (ready && sameShape(preparedFor, p) &&
+        preparedThreads == threads && preparedSlots == leaf_slots)
         return;
 
     pool.resize(threads);
 
-    arena.reserve(requiredBlocks(p));
-    leafMatrix = arena.alloc(p.t * p.treeLeaves());
+    arena.reserve(requiredBlocks(p, leaf_slots));
+    leaf[0] = arena.alloc(p.t * p.treeLeaves());
+    leaf[1] = leaf_slots == 2 ? arena.alloc(p.t * p.treeLeaves())
+                              : nullptr;
     rows = arena.alloc(p.n);
 
     // The SPCOT workspace sizes itself per role on the first
-    // spcotSendInto/spcotRecvInto call (still warm-up, and it avoids
+    // spcotSend*/spcotRecv* call (still warm-up, and it avoids
     // allocating the other role's buffer set).
     lpn.resize(threads);
     alphas.resize(p.t);
@@ -56,6 +60,7 @@ OtWorkspace::prepare(const FerretParams &p, int threads)
     ready = true;
     preparedFor = p;
     preparedThreads = threads;
+    preparedSlots = leaf_slots;
 }
 
 } // namespace ironman::ot

@@ -15,6 +15,19 @@
  * tree expansion and the LPN gather-XOR both fan out over it with
  * deterministic range partitions, so multi-threaded output is
  * bit-identical to single-threaded.
+ *
+ * For the pipelined engine the arena carves TWO leaf-matrix slots:
+ * while iteration i's LPN encode reads the rows scattered from slot
+ * (i mod 2), iteration i+1's SPCOT transcript expands into slot
+ * (i+1 mod 2). The stage-handoff invariant (DESIGN.md invariant 10):
+ * transcript slot N is never written while the LPN stage of slot N-1
+ * is still reading buffers derived from it.
+ *
+ * The workspace additionally holds the engine's precomputed LPN index
+ * tape (the matrix is fixed by the public seed, so the index unpack
+ * and `% k` reduction happen once per engine, not once per
+ * extension). Tapes above kLpnTapeBytesCap fall back to the streaming
+ * encoder to bound memory on the 2^23+ parameter sets.
  */
 
 #ifndef IRONMAN_OT_OT_WORKSPACE_H
@@ -60,26 +73,33 @@ class BlockArena
 /** All per-engine mutable state of one OTE endpoint. */
 struct OtWorkspace
 {
+    /** Index tapes above this size fall back to streaming encode. */
+    static constexpr size_t kLpnTapeBytesCap = size_t(256) << 20;
+
     /**
-     * Arena blocks one engine role needs for @p p: the t x l leaf
-     * matrix plus the n staging rows.
+     * Arena blocks one engine role needs for @p p: @p leaf_slots
+     * t x l leaf matrices plus the n staging rows. The pipelined
+     * sender double-buffers the leaf matrix (leaf_slots = 2); the
+     * receiver reconstructs into one.
      */
-    static size_t requiredBlocks(const FerretParams &p);
+    static size_t requiredBlocks(const FerretParams &p,
+                                 int leaf_slots = 1);
 
     /**
      * (Re)size everything for @p p and @p threads. Idempotent: a
      * second call with identical arguments does nothing, so the first
      * extend() is the only warm-up.
      */
-    void prepare(const FerretParams &p, int threads);
+    void prepare(const FerretParams &p, int threads, int leaf_slots = 1);
 
     common::ThreadPool pool{1};
     BlockArena arena;
-    Block *leafMatrix = nullptr; ///< t x treeLeaves(), stride treeLeaves()
-    Block *rows = nullptr;       ///< n staging rows (z / y)
+    Block *leaf[2] = {nullptr, nullptr}; ///< t x treeLeaves() slots
+    Block *rows = nullptr;               ///< n staging rows (z / y)
 
     SpcotWorkspace spcot;
     std::vector<LpnEncodeScratch> lpn; ///< one per pool thread
+    LpnIndexTape tape;                 ///< empty when above the cap
 
     // Receiver-side bit staging.
     BitVec e; ///< LPN input bits
@@ -90,6 +110,7 @@ struct OtWorkspace
     bool ready = false;
     FerretParams preparedFor;
     int preparedThreads = 0;
+    int preparedSlots = 0;
 };
 
 } // namespace ironman::ot

@@ -82,18 +82,18 @@ SpcotWorkspace::prepare(const SpcotConfig &config, size_t num_trees,
     if (!same_size)
         senderReady = receiverReady = false;
 
-    // Shared buffers, then the requested role's set — an engine only
-    // ever plays one role, so the other set stays unallocated.
+    // The requested role's buffer set — an engine only ever plays one
+    // role, so the other set stays unallocated. (Receiver transcript
+    // slots grow lazily inside the stage functions.)
     const size_t n_inst = num_trees * shape.cotsPerTree;
-    extra.resize(num_trees * shape.extraPerTree);
     if (for_sender) {
+        extra.resize(num_trees * shape.extraPerTree);
         seeds.resize(num_trees);
         miniSeeds.resize(num_trees * shape.wideLevels);
         otM0.resize(n_inst);
         otM1.resize(n_inst);
     } else {
         otOut.resize(n_inst);
-        digits.resize(num_trees * shape.arities.size());
     }
 
     const unsigned max_arity =
@@ -107,13 +107,13 @@ SpcotWorkspace::prepare(const SpcotConfig &config, size_t num_trees,
         w.miniPrg = crypto::makeTreeExpander(config.prg, 2);
     }
     for (Worker &w : workers) {
-        w.miniLeaves.resize(max_arity);
+        w.miniLeavesAll.resize(std::max<size_t>(shape.sumsPerTree, 1));
+        w.hashPads.resize(std::max<size_t>(shape.sumsPerTree, 1));
         if (for_sender) {
             w.levelSums.resize(shape.layout.total);
             w.miniSums.resize(std::max<size_t>(mini_total, 1));
         } else {
             w.knownSums.resize(shape.layout.total);
-            w.miniKnown.resize(std::max<size_t>(mini_total, 1));
         }
         w.ggm.reserve(shape.leaves, max_arity);
         w.miniGgm.reserve(max_arity, 2);
@@ -135,12 +135,13 @@ SpcotWorkspace::prgOps() const
 }
 
 void
-spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
-              const Block &delta, const Block *q, Rng &rng,
-              uint64_t &tweak, common::ThreadPool &pool,
-              SpcotWorkspace &ws, Block *w, uint64_t *prg_ops)
+spcotSendTranscript(net::Channel &ch, const SpcotConfig &cfg,
+                    size_t num_trees, const Block &delta, const Block *q,
+                    Rng &rng, uint64_t &tweak, common::ThreadPool *pool,
+                    SpcotWorkspace &ws, Block *w, uint64_t *prg_ops)
 {
-    ws.prepare(cfg, num_trees, pool.threads(), /*for_sender=*/true);
+    ws.prepare(cfg, num_trees, pool ? pool->threads() : 1,
+               /*for_sender=*/true);
     const SpcotShape &sh = ws.shape;
     const size_t num_levels = sh.arities.size();
     const size_t n_inst = num_trees * sh.cotsPerTree;
@@ -159,7 +160,7 @@ spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
 
     const uint64_t ops_before = ws.prgOps();
 
-    pool.parallelFor(num_trees, [&](int worker, size_t lo, size_t hi) {
+    auto expand_range = [&](int worker, size_t lo, size_t hi) {
         SpcotWorkspace::Worker &wk = ws.workers[worker];
         for (size_t tr = lo; tr < hi; ++tr) {
             Block *leaves = w + tr * sh.leaves;
@@ -182,25 +183,41 @@ spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
 
                 // (m-1)-out-of-m OT from an m-leaf binary mini GGM
                 // tree: the mini level sums ride the chosen OTs, the
-                // mini leaves pad the real sums.
+                // mini leaves pad the real sums. The leaves land in
+                // this tree's contiguous mini-leaf span so one batch
+                // hash below covers every wide level.
                 const GgmSumLayout &ml = sh.miniLayout[lvl];
                 Block mini_leaf_sum;
                 ggmExpandInto(*wk.miniPrg,
                               ws.miniSeeds[tr * sh.wideLevels +
                                            size_t(sh.miniIndex[lvl])],
-                              ml, wk.miniGgm, wk.miniLeaves.data(),
+                              ml, wk.miniGgm,
+                              wk.miniLeavesAll.data() + sh.sumOffset[lvl],
                               wk.miniSums.data(), &mini_leaf_sum);
                 for (size_t j = 0; j < ml.arities.size(); ++j) {
                     ws.otM0[inst + j] = wk.miniSums[ml.offset[j] + 0];
                     ws.otM1[inst + j] = wk.miniSums[ml.offset[j] + 1];
                 }
-                const uint64_t tweak0 =
-                    sum_base + tr * sh.sumsPerTree + sh.sumOffset[lvl];
-                Block *ex =
-                    ws.extra.data() + extra_base + sh.sumOffset[lvl];
-                for (unsigned c = 0; c < m; ++c)
-                    ex[c] = sums[c] ^
-                            ws.crhf.hash(wk.miniLeaves[c], tweak0 + c);
+            }
+
+            // One fused batch hash per tree: the sumsPerTree mini
+            // leaves use the contiguous tweak range starting at
+            // sum_base + tr*sumsPerTree.
+            if (sh.sumsPerTree > 0) {
+                ws.crhf.hashBatch(wk.miniLeavesAll.data(),
+                                  wk.hashPads.data(), sh.sumsPerTree,
+                                  sum_base + tr * sh.sumsPerTree);
+                Block *ex = ws.extra.data() + extra_base;
+                for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+                    const unsigned m = sh.arities[lvl];
+                    if (m == 2)
+                        continue;
+                    const Block *sums =
+                        wk.levelSums.data() + sh.layout.offset[lvl];
+                    const uint32_t so = sh.sumOffset[lvl];
+                    for (unsigned c = 0; c < m; ++c)
+                        ex[so + c] = sums[c] ^ wk.hashPads[so + c];
+                }
             }
 
             // Final node recovery: Delta ^ XOR of all leaves (step 4
@@ -208,7 +225,12 @@ spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
             ws.extra[extra_base + sh.extraPerTree - 1] =
                 leaf_sum ^ delta;
         }
-    });
+    };
+
+    if (pool)
+        pool->parallelFor(num_trees, expand_range);
+    else
+        expand_range(0, 0, num_trees);
 
     if (prg_ops)
         *prg_ops = ws.prgOps() - ops_before;
@@ -221,22 +243,38 @@ spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
 }
 
 void
-spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
-              const size_t *alphas, const BitVec &b, size_t b_offset,
-              const Block *t, uint64_t &tweak, common::ThreadPool &pool,
-              SpcotWorkspace &ws, Block *v, uint64_t *prg_ops)
+spcotSendInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+              const Block &delta, const Block *q, Rng &rng,
+              uint64_t &tweak, common::ThreadPool &pool,
+              SpcotWorkspace &ws, Block *w, uint64_t *prg_ops)
 {
-    ws.prepare(cfg, num_trees, pool.threads(), /*for_sender=*/false);
+    spcotSendTranscript(ch, cfg, num_trees, delta, q, rng, tweak, &pool,
+                        ws, w, prg_ops);
+}
+
+void
+spcotRecvSendChoices(net::Channel &ch, const SpcotConfig &cfg,
+                     size_t num_trees, const size_t *alphas,
+                     const BitVec &b, size_t b_offset, uint64_t &tweak,
+                     SpcotWorkspace &ws, SpcotRecvSlot &slot)
+{
     const SpcotShape &sh = ws.shape;
+    IRONMAN_CHECK(sh.cfg == cfg, "workspace prepared for other config");
     const size_t num_levels = sh.arities.size();
     const size_t n_inst = num_trees * sh.cotsPerTree;
-    const uint64_t sum_base = tweak + n_inst;
+
+    slot.tweakBase = tweak;
+    slot.sumBase = tweak + n_inst;
+    tweak = slot.sumBase + num_trees * sh.sumsPerTree;
+
+    slot.alphas.assign(alphas, alphas + num_trees);
+    slot.digits.resize(num_trees * num_levels);
+    slot.choices.resize(n_inst);
 
     // Choice bits in traversal order: !digit for arity-2 levels,
     // !digit-bit for each mini level of wider ones.
-    ws.choices.resize(n_inst);
     for (size_t tr = 0; tr < num_trees; ++tr) {
-        unsigned *dg = ws.digits.data() + tr * num_levels;
+        unsigned *dg = slot.digits.data() + tr * num_levels;
         alphaDigitsInto(alphas[tr], sh.arities, dg);
         const size_t inst_base = tr * sh.cotsPerTree;
         for (size_t lvl = 0; lvl < num_levels; ++lvl) {
@@ -244,29 +282,64 @@ spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
             const unsigned digit = dg[lvl];
             const size_t inst = inst_base + sh.instOffset[lvl];
             if (m == 2) {
-                ws.choices.set(inst, !(digit & 1));
+                slot.choices.set(inst, !(digit & 1));
             } else {
                 const unsigned bits = log2Arity(m);
                 for (unsigned j = 0; j < bits; ++j)
-                    ws.choices.set(inst + j,
-                                   !((digit >> (bits - 1 - j)) & 1));
+                    slot.choices.set(inst + j,
+                                     !((digit >> (bits - 1 - j)) & 1));
             }
         }
     }
 
-    chosenOtRecv(ch, ws.crhf, ws.choices, b, b_offset, t, n_inst,
-                 ws.otOut.data(), tweak, ws.ot);
-    ch.recvBlocks(ws.extra.data(), num_trees * sh.extraPerTree);
+    // Derandomization bits out (the wire half of the chosen OT that
+    // needs only base-COT choice BITS, never strings).
+    chosenOtRecvSendDerand(ch, slot.choices, b, b_offset, n_inst,
+                           slot.ot);
+}
+
+void
+spcotRecvRecvTranscript(net::Channel &ch, const SpcotConfig &cfg,
+                        size_t num_trees, SpcotWorkspace &ws,
+                        SpcotRecvSlot &slot)
+{
+    const SpcotShape &sh = ws.shape;
+    IRONMAN_CHECK(sh.cfg == cfg, "workspace prepared for other config");
+    const size_t n_inst = num_trees * sh.cotsPerTree;
+
+    chosenOtRecvCiphertexts(ch, n_inst, slot.ot);
+
+    slot.extra.resize(num_trees * sh.extraPerTree);
+    ch.recvBlocks(slot.extra.data(), num_trees * sh.extraPerTree);
+}
+
+void
+spcotRecvFinish(const SpcotConfig &cfg, size_t num_trees, const Block *t,
+                common::ThreadPool &pool, SpcotWorkspace &ws,
+                SpcotRecvSlot &slot, Block *v, uint64_t *prg_ops)
+{
+    const SpcotShape &sh = ws.shape;
+    IRONMAN_CHECK(sh.cfg == cfg, "workspace prepared for other config");
+    const size_t num_levels = sh.arities.size();
+    const size_t n_inst = num_trees * sh.cotsPerTree;
+
+    // Unmask the chosen-OT outputs with the base-COT strings (one
+    // batched hash — the strings are contiguous).
+    chosenOtRecvFinish(ws.crhf, slot.choices, t, n_inst, ws.otOut.data(),
+                       slot.tweakBase, slot.ot);
 
     const uint64_t ops_before = ws.prgOps();
 
     pool.parallelFor(num_trees, [&](int worker, size_t lo, size_t hi) {
         SpcotWorkspace::Worker &wk = ws.workers[worker];
         for (size_t tr = lo; tr < hi; ++tr) {
-            const unsigned *dg = ws.digits.data() + tr * num_levels;
+            const unsigned *dg = slot.digits.data() + tr * num_levels;
             const size_t inst_base = tr * sh.cotsPerTree;
             const size_t extra_base = tr * sh.extraPerTree;
 
+            // Pass 1: reconstruct every wide level's mini tree into
+            // the tree's contiguous mini-leaf span, and fill the
+            // binary levels' known sums directly.
             for (size_t lvl = 0; lvl < num_levels; ++lvl) {
                 const unsigned m = sh.arities[lvl];
                 const unsigned digit = dg[lvl];
@@ -279,32 +352,46 @@ spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
                     continue;
                 }
 
-                // Reconstruct the mini tree, then unmask the real
-                // sums.
                 const GgmSumLayout &ml = sh.miniLayout[lvl];
                 const unsigned bits = log2Arity(m);
                 for (unsigned j = 0; j < bits; ++j) {
                     const unsigned bit = (digit >> (bits - 1 - j)) & 1;
-                    wk.miniKnown[ml.offset[j] + bit] = Block::zero();
-                    wk.miniKnown[ml.offset[j] + (bit ^ 1)] =
+                    wk.hashPads[ml.offset[j] + bit] = Block::zero();
+                    wk.hashPads[ml.offset[j] + (bit ^ 1)] =
                         ws.otOut[inst + j];
                 }
                 ggmReconstructInto(*wk.miniPrg, digit, ml,
-                                   wk.miniKnown.data(), wk.miniGgm,
-                                   wk.miniLeaves.data());
-                const uint64_t tweak0 =
-                    sum_base + tr * sh.sumsPerTree + sh.sumOffset[lvl];
-                const Block *ex =
-                    ws.extra.data() + extra_base + sh.sumOffset[lvl];
-                for (unsigned c = 0; c < m; ++c)
-                    ks[c] = c == digit
-                                ? Block::zero() // r_digit unknown
-                                : ex[c] ^ ws.crhf.hash(wk.miniLeaves[c],
-                                                       tweak0 + c);
+                                   wk.hashPads.data(), wk.miniGgm,
+                                   wk.miniLeavesAll.data() +
+                                       sh.sumOffset[lvl]);
+            }
+
+            // Pass 2: one fused batch hash over the tree's mini
+            // leaves, then unmask the real sums (the pad at the
+            // punctured digit hashes an unknown zero leaf and is
+            // skipped).
+            if (sh.sumsPerTree > 0) {
+                ws.crhf.hashBatch(wk.miniLeavesAll.data(),
+                                  wk.hashPads.data(), sh.sumsPerTree,
+                                  slot.sumBase + tr * sh.sumsPerTree);
+                const Block *ex = slot.extra.data() + extra_base;
+                for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+                    const unsigned m = sh.arities[lvl];
+                    if (m == 2)
+                        continue;
+                    const unsigned digit = dg[lvl];
+                    const uint32_t so = sh.sumOffset[lvl];
+                    Block *ks =
+                        wk.knownSums.data() + sh.layout.offset[lvl];
+                    for (unsigned c = 0; c < m; ++c)
+                        ks[c] = c == digit
+                                    ? Block::zero() // r_digit unknown
+                                    : ex[so + c] ^ wk.hashPads[so + c];
+                }
             }
 
             Block *leaves = v + tr * sh.leaves;
-            ggmReconstructInto(*wk.mainPrg, alphas[tr], sh.layout,
+            ggmReconstructInto(*wk.mainPrg, slot.alphas[tr], sh.layout,
                                wk.knownSums.data(), wk.ggm, leaves);
 
             // Final node recovery: v_alpha = (Delta ^ sum of all w) ^
@@ -312,60 +399,27 @@ spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
             Block known_sum = Block::zero();
             for (size_t j = 0; j < sh.leaves; ++j)
                 known_sum ^= leaves[j];
-            leaves[alphas[tr]] =
-                ws.extra[extra_base + sh.extraPerTree - 1] ^ known_sum;
+            leaves[slot.alphas[tr]] =
+                slot.extra[extra_base + sh.extraPerTree - 1] ^ known_sum;
         }
     });
 
     if (prg_ops)
         *prg_ops = ws.prgOps() - ops_before;
-
-    tweak = sum_base + num_trees * sh.sumsPerTree;
 }
 
-// ---------------------------------------------------------------------------
-// Vector-returning compatibility wrappers
-// ---------------------------------------------------------------------------
-
-SpcotSenderOutput
-spcotSend(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
-          const Block &delta, const Block *q, Rng &rng, uint64_t &tweak)
+void
+spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
+              const size_t *alphas, const BitVec &b, size_t b_offset,
+              const Block *t, uint64_t &tweak, common::ThreadPool &pool,
+              SpcotWorkspace &ws, Block *v, uint64_t *prg_ops)
 {
-    common::ThreadPool pool(1);
-    SpcotWorkspace ws;
-    std::vector<Block> flat(num_trees * cfg.numLeaves);
-
-    SpcotSenderOutput out;
-    spcotSendInto(ch, cfg, num_trees, delta, q, rng, tweak, pool, ws,
-                  flat.data(), &out.prgOps);
-
-    out.w.resize(num_trees);
-    for (size_t tr = 0; tr < num_trees; ++tr)
-        out.w[tr].assign(flat.begin() + tr * cfg.numLeaves,
-                         flat.begin() + (tr + 1) * cfg.numLeaves);
-    return out;
-}
-
-SpcotReceiverOutput
-spcotRecv(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
-          const std::vector<size_t> &alphas, const BitVec &b,
-          size_t b_offset, const Block *t, uint64_t &tweak)
-{
-    IRONMAN_CHECK(alphas.size() == num_trees);
-    common::ThreadPool pool(1);
-    SpcotWorkspace ws;
-    std::vector<Block> flat(num_trees * cfg.numLeaves);
-
-    SpcotReceiverOutput out;
-    spcotRecvInto(ch, cfg, num_trees, alphas.data(), b, b_offset, t,
-                  tweak, pool, ws, flat.data(), &out.prgOps);
-
-    out.alpha = alphas;
-    out.v.resize(num_trees);
-    for (size_t tr = 0; tr < num_trees; ++tr)
-        out.v[tr].assign(flat.begin() + tr * cfg.numLeaves,
-                         flat.begin() + (tr + 1) * cfg.numLeaves);
-    return out;
+    ws.prepare(cfg, num_trees, pool.threads(), /*for_sender=*/false);
+    SpcotRecvSlot &slot = ws.slots[0];
+    spcotRecvSendChoices(ch, cfg, num_trees, alphas, b, b_offset, tweak,
+                         ws, slot);
+    spcotRecvRecvTranscript(ch, cfg, num_trees, ws, slot);
+    spcotRecvFinish(cfg, num_trees, t, pool, ws, slot, v, prg_ops);
 }
 
 } // namespace ironman::ot

@@ -24,13 +24,25 @@
  *
  * Base-COT consumption per tree is exactly log2(l) independent of m.
  *
- * The workspace entry points (spcotSendInto / spcotRecvInto) write the
- * leaf matrices into caller-provided flat spans, keep all protocol
- * buffers in a reusable SpcotWorkspace (zero heap allocation after
- * warm-up), and fan the per-tree expansions out over a fixed
- * ThreadPool — one contiguous bucket range per worker, so the output
- * is bit-identical to the single-threaded path. The vector-returning
- * wrappers remain for tests and one-shot callers.
+ * All mini-leaf pads of one tree occupy a contiguous tweak range
+ * [sum_base + tr*sumsPerTree, ...), so each tree's hashing is ONE
+ * Crhf::hashBatch call (fused 8-wide MMO on AES-NI) instead of a
+ * scalar hash per leaf.
+ *
+ * The protocol is split into pipeline stages:
+ *   - sender: spcotSendTranscript() expands the trees and pushes the
+ *     whole transcript (chosen-OT ciphertexts + masked sums) — with a
+ *     pool, or serially when the pool is busy with the previous
+ *     iteration's LPN encode;
+ *   - receiver: spcotRecvSendChoices() (derandomization bits out;
+ *     needs only choice BITS of the base COTs), then
+ *     spcotRecvRecvTranscript() (pull ciphertexts + masked sums into a
+ *     SpcotRecvSlot), then spcotRecvFinish() (unmask with the base COT
+ *     STRINGS and reconstruct the punctured trees).
+ * Two slots let the FERRET engine receive iteration i+1's transcript
+ * while iteration i is still being consumed. spcotSendInto() /
+ * spcotRecvInto() compose the stages back to back (the unpipelined
+ * path); both are zero-heap-allocation once the workspace is warm.
  */
 
 #ifndef IRONMAN_OT_SPCOT_H
@@ -100,6 +112,24 @@ struct SpcotShape
 };
 
 /**
+ * One pending receiver-side transcript: everything pulled off the wire
+ * for a batch whose punctured trees have not been reconstructed yet.
+ * The FERRET pipeline keeps two of these (in SpcotWorkspace) so slot
+ * N can fill while slot N-1 is consumed. Buffers grow once and are
+ * reused.
+ */
+struct SpcotRecvSlot
+{
+    std::vector<size_t> alphas;   ///< punctured index per tree
+    std::vector<unsigned> digits; ///< trees x levels mixed-radix digits
+    BitVec choices;               ///< chosen-OT choice bits
+    std::vector<Block> extra;     ///< masked sums + recovery blocks
+    ChosenOtScratch ot;           ///< d bits + ciphertext staging
+    uint64_t tweakBase = 0;       ///< chosen-OT tweaks of this batch
+    uint64_t sumBase = 0;         ///< masked-sum tweaks of this batch
+};
+
+/**
  * Reusable state of a batched SPCOT endpoint: transcript buffers plus
  * one expansion context per pool worker. Grow-only; prepare() is
  * idempotent for a fixed (config, trees, threads).
@@ -113,9 +143,9 @@ struct SpcotWorkspace
         GgmScratch miniGgm;
         std::vector<Block> levelSums;  ///< sender: main-tree K keys
         std::vector<Block> knownSums;  ///< receiver: unmasked sums
-        std::vector<Block> miniLeaves;
         std::vector<Block> miniSums;
-        std::vector<Block> miniKnown;
+        std::vector<Block> miniLeavesAll; ///< all wide levels' mini leaves
+        std::vector<Block> hashPads;      ///< batched H of miniLeavesAll
         std::unique_ptr<crypto::SeedExpander> mainPrg;
         std::unique_ptr<crypto::SeedExpander> miniPrg;
     };
@@ -137,11 +167,11 @@ struct SpcotWorkspace
     std::vector<Block> seeds;     ///< sender: per-tree main seeds
     std::vector<Block> miniSeeds; ///< sender: per-tree mini seeds
     std::vector<Block> otM0, otM1; ///< sender OT messages
-    std::vector<Block> otOut;     ///< receiver OT results
-    std::vector<Block> extra;     ///< masked sums + recovery blocks
-    BitVec choices;               ///< receiver OT choice bits
-    std::vector<unsigned> digits; ///< receiver: trees x levels
-    ChosenOtScratch ot;
+    std::vector<Block> otOut;     ///< receiver OT results (transient)
+    std::vector<Block> extra;     ///< sender: masked sums + recovery
+    ChosenOtScratch ot;           ///< sender chosen-OT staging
+
+    SpcotRecvSlot slots[2];       ///< receiver transcript slots
 
     std::vector<Worker> workers;
 
@@ -155,67 +185,65 @@ struct SpcotWorkspace
 
 /**
  * Sender side of a batched SPCOT over @p num_trees trees, writing tree
- * tr's leaves to w[tr*cfg.numLeaves ...]. Zero heap allocation once
- * @p ws is warm.
+ * tr's leaves to w[tr*cfg.numLeaves ...] and pushing the whole
+ * transcript. Zero heap allocation once @p ws is warm.
  *
  * @param q Base-COT sender strings, num_trees*cotsPerTree() entries,
  *          consumed in traversal order (must mirror the receiver).
  * @param rng Source of the tree and mini-tree seeds.
  * @param tweak In/out hash-tweak counter shared by both parties.
- * @param pool Worker pool; trees are split into contiguous ranges.
+ * @param pool Worker pool splitting trees into contiguous ranges, or
+ *             nullptr to expand serially on the calling thread (used
+ *             while the pool runs the previous iteration's LPN).
+ *             Output is bit-identical either way.
  * @param prg_ops If non-null, receives the PRG invocation count.
  */
+void spcotSendTranscript(net::Channel &ch, const SpcotConfig &cfg,
+                         size_t num_trees, const Block &delta,
+                         const Block *q, Rng &rng, uint64_t &tweak,
+                         common::ThreadPool *pool, SpcotWorkspace &ws,
+                         Block *w, uint64_t *prg_ops);
+
+/** Sender stage composition under the historical name. */
 void spcotSendInto(net::Channel &ch, const SpcotConfig &cfg,
                    size_t num_trees, const Block &delta, const Block *q,
                    Rng &rng, uint64_t &tweak, common::ThreadPool &pool,
                    SpcotWorkspace &ws, Block *w, uint64_t *prg_ops);
 
 /**
- * Receiver side of a batched SPCOT, writing tree tr's punctured leaf
- * vector to v[tr*cfg.numLeaves ...].
- *
- * @param alphas Punctured index per tree, each < cfg.numLeaves.
- * @param b,b_offset,t Base-COT receiver view (choice bits + strings),
- *        consumed from @p b_offset in the same order as the sender.
+ * Receiver stage 1: derive the mixed-radix digits and chosen-OT
+ * choices from @p alphas, send the derandomization bits (consuming
+ * base-COT choice bits b[b_offset ...]), and advance the shared tweak
+ * counter. Records everything stage 3 needs in @p slot.
  */
+void spcotRecvSendChoices(net::Channel &ch, const SpcotConfig &cfg,
+                          size_t num_trees, const size_t *alphas,
+                          const BitVec &b, size_t b_offset,
+                          uint64_t &tweak, SpcotWorkspace &ws,
+                          SpcotRecvSlot &slot);
+
+/** Receiver stage 2: pull ciphertexts + masked sums into @p slot. */
+void spcotRecvRecvTranscript(net::Channel &ch, const SpcotConfig &cfg,
+                             size_t num_trees, SpcotWorkspace &ws,
+                             SpcotRecvSlot &slot);
+
+/**
+ * Receiver stage 3: unmask the chosen-OT outputs with the base-COT
+ * strings @p t (num_trees*cotsPerTree() entries), reconstruct every
+ * punctured tree, and write tree tr's leaf vector to
+ * v[tr*cfg.numLeaves ...].
+ */
+void spcotRecvFinish(const SpcotConfig &cfg, size_t num_trees,
+                     const Block *t, common::ThreadPool &pool,
+                     SpcotWorkspace &ws, SpcotRecvSlot &slot, Block *v,
+                     uint64_t *prg_ops);
+
+/** Receiver stage composition (slot 0) under the historical name. */
 void spcotRecvInto(net::Channel &ch, const SpcotConfig &cfg,
                    size_t num_trees, const size_t *alphas, const BitVec &b,
                    size_t b_offset, const Block *t, uint64_t &tweak,
                    common::ThreadPool &pool, SpcotWorkspace &ws, Block *v,
                    uint64_t *prg_ops);
-
-// ---------------------------------------------------------------------------
-// Vector-returning compatibility wrappers
-// ---------------------------------------------------------------------------
-
-/** Sender output of a batched SPCOT. */
-struct SpcotSenderOutput
-{
-    /// w[tree][leaf] — the expanded GGM leaves.
-    std::vector<std::vector<Block>> w;
-    /// PRG primitive invocations (for the Fig. 7(a) operation counts).
-    uint64_t prgOps = 0;
-};
-
-/** Receiver output of a batched SPCOT. */
-struct SpcotReceiverOutput
-{
-    /// v[tree][leaf]; v = w except v[alpha] = w[alpha] ^ Delta.
-    std::vector<std::vector<Block>> v;
-    std::vector<size_t> alpha;
-    uint64_t prgOps = 0;
-};
-
-/** One-shot sender wrapper (allocates its own workspace). */
-SpcotSenderOutput
-spcotSend(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
-          const Block &delta, const Block *q, Rng &rng, uint64_t &tweak);
-
-/** One-shot receiver wrapper (allocates its own workspace). */
-SpcotReceiverOutput
-spcotRecv(net::Channel &ch, const SpcotConfig &cfg, size_t num_trees,
-          const std::vector<size_t> &alphas, const BitVec &b,
-          size_t b_offset, const Block *t, uint64_t &tweak);
 
 } // namespace ironman::ot
 

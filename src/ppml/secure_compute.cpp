@@ -9,39 +9,6 @@
 
 namespace ironman::ppml {
 
-std::pair<DualCotPool, DualCotPool>
-dealDualPools(Rng &rng, size_t per_direction)
-{
-    DualCotPool p0, p1;
-
-    // Direction A: party 0 sends.
-    Block delta_a = rng.nextBlock();
-    auto [sa, ra] = ot::dealBaseCots(rng, delta_a, per_direction);
-    p0.delta = delta_a;
-    p0.sendQ = std::move(sa.q);
-    p1.recvBits = std::move(ra.choice);
-    p1.recvT = std::move(ra.t);
-
-    // Direction B: party 1 sends.
-    Block delta_b = rng.nextBlock();
-    auto [sb, rb] = ot::dealBaseCots(rng, delta_b, per_direction);
-    p1.delta = delta_b;
-    p1.sendQ = std::move(sb.q);
-    p0.recvBits = std::move(rb.choice);
-    p0.recvT = std::move(rb.t);
-
-    return {std::move(p0), std::move(p1)};
-}
-
-SecureCompute::SecureCompute(net::Channel &channel, int party_id,
-                             DualCotPool pool_in, unsigned bitwidth)
-    : ch(channel), party(party_id), pool(std::move(pool_in)),
-      width(bitwidth), localRng(0xfeed1234 + party_id)
-{
-    IRONMAN_CHECK(party == 0 || party == 1);
-    IRONMAN_CHECK(width >= 2 && width <= 64);
-}
-
 SecureCompute::SecureCompute(net::Channel &channel, int party_id,
                              FerretCotEngine &cot_engine,
                              unsigned bitwidth)
@@ -59,17 +26,9 @@ SecureCompute::otSendBatch(const std::vector<Block> &m0,
     const size_t n = m0.size();
     uint64_t tw = tweak;
     tweak += n;
-    if (engine) {
-        const Block *q = engine->takeSend(n);
-        ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n,
-                         engine->sendDelta(), q, tw);
-        return;
-    }
-    IRONMAN_CHECK(pool.sendUsed + n <= pool.sendQ.size(),
-                  "send-direction COT pool exhausted");
-    ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n, pool.delta,
-                     pool.sendQ.data() + pool.sendUsed, tw);
-    pool.sendUsed += n;
+    const Block *q = engine->takeSend(n);
+    ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n,
+                     engine->sendDelta(), q, tw, otScratch);
 }
 
 std::vector<Block>
@@ -79,20 +38,12 @@ SecureCompute::otRecvBatch(const BitVec &choices)
     uint64_t tw = tweak;
     tweak += n;
     std::vector<Block> out(n);
-    if (engine) {
-        const BitVec *b;
-        size_t b_offset;
-        const Block *t;
-        engine->takeRecv(n, &b, &b_offset, &t);
-        ot::chosenOtRecv(ch, crhf, choices, *b, b_offset, t, n,
-                         out.data(), tw);
-        return out;
-    }
-    IRONMAN_CHECK(pool.recvUsed + n <= pool.recvT.size(),
-                  "recv-direction COT pool exhausted");
-    ot::chosenOtRecv(ch, crhf, choices, pool.recvBits, pool.recvUsed,
-                     pool.recvT.data() + pool.recvUsed, n, out.data(), tw);
-    pool.recvUsed += n;
+    const BitVec *b;
+    size_t b_offset;
+    const Block *t;
+    engine->takeRecv(n, &b, &b_offset, &t);
+    ot::chosenOtRecv(ch, crhf, choices, *b, b_offset, t, n, out.data(),
+                     tw, otScratch);
     return out;
 }
 
@@ -254,18 +205,9 @@ SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
                     Block::fromUint64(maskValue(entry - r[e]));
             }
         }
-        if (engine) {
-            const Block *q = engine->takeSend(cots);
-            ot::oneOfNOtSend(ch, crhf, msgs.data(), n_msgs, batch,
-                             engine->sendDelta(), q, localRng, tweak);
-            return r;
-        }
-        IRONMAN_CHECK(pool.sendUsed + cots <= pool.sendQ.size(),
-                      "send-direction COT pool exhausted");
+        const Block *q = engine->takeSend(cots);
         ot::oneOfNOtSend(ch, crhf, msgs.data(), n_msgs, batch,
-                         pool.delta, pool.sendQ.data() + pool.sendUsed,
-                         localRng, tweak);
-        pool.sendUsed += cots;
+                         engine->sendDelta(), q, localRng, tweak);
         return r;
     }
 
@@ -277,20 +219,13 @@ SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
         choices[e] = uint32_t(x_shares[e]);
     }
     std::vector<Block> got;
-    if (engine) {
+    {
         const BitVec *b;
         size_t b_offset;
         const Block *t;
         engine->takeRecv(cots, &b, &b_offset, &t);
         got = ot::oneOfNOtRecv(ch, crhf, choices, n_msgs, *b, b_offset,
                                t, tweak);
-    } else {
-        IRONMAN_CHECK(pool.recvUsed + cots <= pool.recvT.size(),
-                      "recv-direction COT pool exhausted");
-        got = ot::oneOfNOtRecv(ch, crhf, choices, n_msgs, pool.recvBits,
-                               pool.recvUsed,
-                               pool.recvT.data() + pool.recvUsed, tweak);
-        pool.recvUsed += cots;
     }
 
     std::vector<uint64_t> out(batch);

@@ -32,58 +32,24 @@
 #include "common/rng.h"
 #include "crypto/crhf.h"
 #include "net/channel.h"
+#include "ot/chosen_ot.h"
 #include "ot/cot.h"
 #include "ppml/cot_engine.h"
 
 namespace ironman::ppml {
 
-/**
- * Per-party bundle of COT material for both OT directions.
- * In production both pools come from two OTE sessions with swapped
- * roles (the paper's parallel role-switching execution); tests use the
- * dealer.
- */
-struct DualCotPool
-{
-    // Pool where this party acts as OT sender.
-    Block delta;
-    std::vector<Block> sendQ;
-
-    // Pool where this party acts as OT receiver.
-    BitVec recvBits;
-    std::vector<Block> recvT;
-
-    size_t sendUsed = 0;
-    size_t recvUsed = 0;
-
-    size_t
-    consumed() const
-    {
-        return sendUsed + recvUsed;
-    }
-};
-
-/** Deal matching pools for parties 0 and 1. */
-std::pair<DualCotPool, DualCotPool> dealDualPools(Rng &rng,
-                                                  size_t per_direction);
-
-/** Two-party GMW engine; instantiate one per party with its pool. */
+/** Two-party GMW engine; instantiate one per party. */
 class SecureCompute
 {
   public:
     /**
+     * Correlations are drawn from a persistent FerretCotEngine
+     * (shared channel), which self-refills across layers instead of
+     * exhausting a fixed pre-dealt pool. @p engine must outlive this
+     * object.
+     *
      * @param party 0 or 1 (party 0 sends first in every batch).
-     * @param pool COT material; consumed monotonically.
      * @param bitwidth Fixed-point width for arithmetic ops (<= 64).
-     */
-    SecureCompute(net::Channel &ch, int party, DualCotPool pool,
-                  unsigned bitwidth = 32);
-
-    /**
-     * Engine-backed variant: correlations are drawn from a persistent
-     * FerretCotEngine (shared channel), which self-refills across
-     * layers instead of exhausting a fixed pre-dealt pool. @p engine
-     * must outlive this object.
      */
     SecureCompute(net::Channel &ch, int party, FerretCotEngine &engine,
                   unsigned bitwidth = 32);
@@ -132,7 +98,7 @@ class SecureCompute
     size_t
     cotsConsumed() const
     {
-        return engine ? engine->cotsTaken() : pool.consumed();
+        return engine->cotsTaken();
     }
 
     unsigned bitwidth() const { return width; }
@@ -152,10 +118,10 @@ class SecureCompute
 
     net::Channel &ch;
     int party;
-    DualCotPool pool;                 ///< used when engine == nullptr
     FerretCotEngine *engine = nullptr;
     unsigned width;
     crypto::Crhf crhf;
+    ot::ChosenOtScratch otScratch;
     Rng localRng;
     uint64_t tweak = 0x10000000;
 };

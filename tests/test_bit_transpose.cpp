@@ -14,6 +14,15 @@
 namespace ironman::ot {
 namespace {
 
+/** Test-local wrapper over the span API. */
+std::vector<Block>
+transposeToVector(const std::vector<BitVec> &cols, size_t n)
+{
+    std::vector<Block> rows(n);
+    transposeColumnsToBlocks(cols, n, rows.data());
+    return rows;
+}
+
 std::vector<BitVec>
 randomColumns(size_t n, uint64_t seed)
 {
@@ -50,7 +59,7 @@ TEST(BitTransposeTest, DefinitionHoldsOnRandomInput)
 {
     const size_t n = 256;
     auto cols = randomColumns(n, 2);
-    std::vector<Block> rows = transposeColumnsToBlocks(cols, n);
+    std::vector<Block> rows = transposeToVector(cols, n);
     ASSERT_EQ(rows.size(), n);
     for (size_t i = 0; i < n; ++i)
         for (unsigned j = 0; j < 128; ++j)
@@ -64,7 +73,7 @@ TEST(BitTransposeTest, NonMultipleOf128Width)
     // 64-row tail tile.
     const size_t n = 192;
     auto cols = randomColumns(n, 3);
-    std::vector<Block> rows = transposeColumnsToBlocks(cols, n);
+    std::vector<Block> rows = transposeToVector(cols, n);
     ASSERT_EQ(rows.size(), n);
     for (size_t i = 0; i < n; ++i)
         for (unsigned j = 0; j < 128; ++j)
@@ -80,7 +89,7 @@ TEST(BitTransposeTest, KnownAnswerUnitColumns)
     std::vector<BitVec> cols(128, BitVec(n));
     for (unsigned j = 0; j < 128; ++j)
         cols[j].set(j, true);
-    std::vector<Block> rows = transposeColumnsToBlocks(cols, n);
+    std::vector<Block> rows = transposeToVector(cols, n);
     for (size_t i = 0; i < n; ++i) {
         Block expect = Block::zero();
         if (i < 128)
@@ -93,7 +102,7 @@ TEST(BitTransposeTest, SpanVariantMatchesVectorVariant)
 {
     const size_t n = 320;
     auto cols = randomColumns(n, 4);
-    std::vector<Block> expect = transposeColumnsToBlocks(cols, n);
+    std::vector<Block> expect = transposeToVector(cols, n);
 
     std::vector<Block> got(n, Block::ones()); // pre-filled garbage
     transposeColumnsToBlocks(cols, n, got.data());
@@ -106,13 +115,13 @@ TEST(BitTransposeTest, RoundTripThroughTranspose)
     // columns (128 x 128 round trip embedded in a taller matrix).
     const size_t n = 128;
     auto cols = randomColumns(n, 5);
-    std::vector<Block> rows = transposeColumnsToBlocks(cols, n);
+    std::vector<Block> rows = transposeToVector(cols, n);
 
     std::vector<BitVec> back_cols(128, BitVec(n));
     for (unsigned j = 0; j < 128; ++j)
         for (size_t i = 0; i < n; ++i)
             back_cols[j].set(i, rows[i].getBit(j));
-    std::vector<Block> back = transposeColumnsToBlocks(back_cols, n);
+    std::vector<Block> back = transposeToVector(back_cols, n);
 
     for (size_t i = 0; i < n; ++i) {
         Block expect;

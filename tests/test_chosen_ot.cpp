@@ -31,12 +31,14 @@ TEST(ChosenOtTest, ReceiverGetsChosenMessage)
     crypto::Crhf crhf;
     net::runTwoParty(
         [&](net::Channel &ch) {
+            ChosenOtScratch scratch;
             chosenOtSend(ch, crhf, m0.data(), m1.data(), n, delta,
-                         cot_s.q.data(), 1000);
+                         cot_s.q.data(), 1000, scratch);
         },
         [&](net::Channel &ch) {
+            ChosenOtScratch scratch;
             chosenOtRecv(ch, crhf, choices, cot_r.choice, 0,
-                         cot_r.t.data(), n, got.data(), 1000);
+                         cot_r.t.data(), n, got.data(), 1000, scratch);
         });
 
     for (size_t i = 0; i < n; ++i)
@@ -59,12 +61,14 @@ TEST(ChosenOtTest, UntakenMessageStaysMasked)
     crypto::Crhf crhf;
     net::runTwoParty(
         [&](net::Channel &ch) {
+            ChosenOtScratch scratch;
             chosenOtSend(ch, crhf, m0.data(), m1.data(), n, delta,
-                         cot_s.q.data(), 0);
+                         cot_s.q.data(), 0, scratch);
         },
         [&](net::Channel &ch) {
+            ChosenOtScratch scratch;
             chosenOtRecv(ch, crhf, choices, cot_r.choice, 0,
-                         cot_r.t.data(), n, got.data(), 0);
+                         cot_r.t.data(), n, got.data(), 0, scratch);
         });
 
     for (size_t i = 0; i < n; ++i) {
@@ -95,12 +99,15 @@ TEST(ChosenOtTest, ConsumesCotsAtOffset)
     crypto::Crhf crhf;
     net::runTwoParty(
         [&](net::Channel &ch) {
+            ChosenOtScratch scratch;
             chosenOtSend(ch, crhf, m0.data(), m1.data(), used, delta,
-                         cot_s.q.data() + offset, 7);
+                         cot_s.q.data() + offset, 7, scratch);
         },
         [&](net::Channel &ch) {
+            ChosenOtScratch scratch;
             chosenOtRecv(ch, crhf, choices, cot_r.choice, offset,
-                         cot_r.t.data() + offset, used, got.data(), 7);
+                         cot_r.t.data() + offset, used, got.data(), 7,
+                         scratch);
         });
 
     for (size_t i = 0; i < used; ++i)

@@ -19,12 +19,19 @@
 namespace ironman::ot {
 namespace {
 
+/** Receiver output of one extension (test-local). */
+struct RecvOut
+{
+    BitVec choice;
+    std::vector<Block> t;
+};
+
 /** Run one or more extensions and return all outputs. */
 struct FerretRun
 {
     Block delta;
     std::vector<std::vector<Block>> sender_out;
-    std::vector<FerretCotReceiver::Output> receiver_out;
+    std::vector<RecvOut> receiver_out;
     net::WireStats wire;
     uint64_t sender_spcot_ops = 0;
 };
@@ -49,8 +56,11 @@ runFerret(const FerretParams &p, int iterations, uint64_t seed,
             FerretCotSender sender(ch, params, run.delta,
                                    std::move(base_s.q));
             Rng rng(seed + 1);
-            for (int it = 0; it < iterations; ++it)
-                run.sender_out.push_back(sender.extend(rng));
+            for (int it = 0; it < iterations; ++it) {
+                std::vector<Block> out(params.usableOts());
+                sender.extendInto(rng, out.data());
+                run.sender_out.push_back(std::move(out));
+            }
             run.sender_spcot_ops = sender.stats().get("spcot_prg_ops");
         },
         [&](net::Channel &ch) {
@@ -58,8 +68,12 @@ runFerret(const FerretParams &p, int iterations, uint64_t seed,
                                        std::move(base_r.choice),
                                        std::move(base_r.t));
             Rng rng(seed + 2);
-            for (int it = 0; it < iterations; ++it)
-                run.receiver_out.push_back(receiver.extend(rng));
+            for (int it = 0; it < iterations; ++it) {
+                RecvOut out;
+                out.t.resize(params.usableOts());
+                receiver.extendInto(rng, out.choice, out.t.data());
+                run.receiver_out.push_back(std::move(out));
+            }
         });
     return run;
 }
@@ -149,21 +163,22 @@ TEST(FerretTest, MultiThreadedLpnMatches)
     Block delta = dealer.nextBlock();
     auto [base_s, base_r] = dealBaseCots(dealer, delta, p.reservedCots());
 
-    std::vector<Block> q_out;
-    FerretCotReceiver::Output r_out;
+    std::vector<Block> q_out(p.usableOts());
+    RecvOut r_out;
+    r_out.t.resize(p.usableOts());
     net::runTwoParty(
         [&](net::Channel &ch) {
             FerretCotSender sender(ch, p, delta, std::move(base_s.q));
             sender.setThreads(4);
             Rng rng(8001);
-            q_out = sender.extend(rng);
+            sender.extendInto(rng, q_out.data());
         },
         [&](net::Channel &ch) {
             FerretCotReceiver receiver(ch, p, std::move(base_r.choice),
                                        std::move(base_r.t));
             receiver.setThreads(4);
             Rng rng(8002);
-            r_out = receiver.extend(rng);
+            receiver.extendInto(rng, r_out.choice, r_out.t.data());
         });
 
     for (size_t i = 0; i < q_out.size(); ++i)

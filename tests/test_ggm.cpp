@@ -2,7 +2,8 @@
  * @file
  * GGM tree tests: the punctured reconstruction must agree with the
  * sender's expansion on every leaf except alpha, across arities, PRGs
- * and tree sizes (invariant 3 of DESIGN.md).
+ * and tree sizes (invariant 3 of DESIGN.md). Exercises the span-based
+ * workspace API (ggmExpandInto / ggmReconstructInto) directly.
  */
 
 #include <gtest/gtest.h>
@@ -14,7 +15,53 @@ namespace ironman::ot {
 namespace {
 
 using crypto::PrgKind;
-using crypto::TreePrg;
+
+/** Test-local expansion mirror of the deleted vector wrapper. */
+struct Expansion
+{
+    std::vector<Block> leaves;
+    std::vector<std::vector<Block>> levelSums;
+    Block leafSum;
+};
+
+Expansion
+expand(crypto::SeedExpander &prg, const Block &seed,
+       const std::vector<unsigned> &arities)
+{
+    GgmSumLayout layout = GgmSumLayout::of(arities);
+    GgmScratch scratch;
+    std::vector<Block> flat(layout.total);
+
+    Expansion out;
+    out.leaves.resize(layout.leaves);
+    ggmExpandInto(prg, seed, layout, scratch, out.leaves.data(),
+                  flat.data(), &out.leafSum);
+
+    out.levelSums.resize(arities.size());
+    for (size_t lvl = 0; lvl < arities.size(); ++lvl)
+        out.levelSums[lvl].assign(flat.begin() + layout.offset[lvl],
+                                  flat.begin() + layout.offset[lvl] +
+                                      arities[lvl]);
+    return out;
+}
+
+std::vector<Block>
+reconstruct(crypto::SeedExpander &prg, size_t alpha,
+            const std::vector<unsigned> &arities,
+            const std::vector<std::vector<Block>> &known_sums)
+{
+    GgmSumLayout layout = GgmSumLayout::of(arities);
+    std::vector<Block> flat(layout.total);
+    for (size_t lvl = 0; lvl < arities.size(); ++lvl)
+        std::copy(known_sums[lvl].begin(), known_sums[lvl].end(),
+                  flat.begin() + layout.offset[lvl]);
+
+    GgmScratch scratch;
+    std::vector<Block> leaves(layout.leaves);
+    ggmReconstructInto(prg, alpha, layout, flat.data(), scratch,
+                       leaves.data());
+    return leaves;
+}
 
 TEST(TreeAritiesTest, UniformAndMixedRadix)
 {
@@ -63,9 +110,9 @@ TEST(AlphaDigitsTest, MixedRadixDecomposition)
 
 TEST(GgmExpandTest, SumsAndLeafSumConsistent)
 {
-    TreePrg prg(PrgKind::ChaCha8, 4);
+    auto prg = crypto::makeTreeExpander(PrgKind::ChaCha8, 4);
     auto arities = treeArities(64, 4);
-    GgmExpansion exp = ggmExpand(prg, Block::fromUint64(5), arities);
+    Expansion exp = expand(*prg, Block::fromUint64(5), arities);
 
     ASSERT_EQ(exp.leaves.size(), 64u);
     ASSERT_EQ(exp.levelSums.size(), 3u);
@@ -97,12 +144,12 @@ TEST_P(GgmParamTest, ReconstructionMatchesExceptAlpha)
     const auto [kind, arity, leaves] = GetParam();
     auto arities = treeArities(leaves, arity);
 
-    TreePrg sender_prg(kind, arity);
-    TreePrg receiver_prg(kind, arity);
+    auto sender_prg = crypto::makeTreeExpander(kind, arity);
+    auto receiver_prg = crypto::makeTreeExpander(kind, arity);
     Rng rng(1234);
 
     Block seed = rng.nextBlock();
-    GgmExpansion exp = ggmExpand(sender_prg, seed, arities);
+    Expansion exp = expand(*sender_prg, seed, arities);
 
     // Exercise alphas at the edges and a few random interior points.
     std::vector<size_t> alphas{0, leaves - 1, leaves / 2};
@@ -117,15 +164,14 @@ TEST_P(GgmParamTest, ReconstructionMatchesExceptAlpha)
         for (size_t lvl = 0; lvl < known.size(); ++lvl)
             known[lvl][digits[lvl]] = Block::zero();
 
-        GgmReconstruction rec =
-            ggmReconstruct(receiver_prg, alpha, arities, known);
-        ASSERT_EQ(rec.leaves.size(), leaves);
-        EXPECT_EQ(rec.alpha, alpha);
+        std::vector<Block> rec =
+            reconstruct(*receiver_prg, alpha, arities, known);
+        ASSERT_EQ(rec.size(), leaves);
         for (size_t j = 0; j < leaves; ++j) {
             if (j == alpha) {
-                EXPECT_EQ(rec.leaves[j], Block::zero());
+                EXPECT_EQ(rec[j], Block::zero());
             } else {
-                EXPECT_EQ(rec.leaves[j], exp.leaves[j])
+                EXPECT_EQ(rec[j], exp.leaves[j])
                     << "alpha=" << alpha << " leaf=" << j;
             }
         }
@@ -168,9 +214,9 @@ TEST(GgmOpsTest, OperationCountsMatchFig7Model)
         {PrgKind::ChaCha8, 4, (leaves - 1) / 3},    // 1365
     };
     for (const Row &row : rows) {
-        TreePrg prg(row.kind, row.m);
-        ggmExpand(prg, Block::fromUint64(1), treeArities(leaves, row.m));
-        EXPECT_EQ(prg.ops(), row.expect)
+        auto prg = crypto::makeTreeExpander(row.kind, row.m);
+        expand(*prg, Block::fromUint64(1), treeArities(leaves, row.m));
+        EXPECT_EQ(prg->ops(), row.expect)
             << prgKindName(row.kind) << " m=" << row.m;
     }
     // Headline claim of Sec. 4: 4-ary ChaCha vs 2-ary AES is ~6x.

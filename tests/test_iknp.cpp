@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "net/two_party.h"
 #include "ot/bit_transpose.h"
 #include "ot/iknp.h"
@@ -51,8 +52,8 @@ TEST(BitTransposeTest, ColumnsToBlocks)
     for (auto &c : cols)
         c = rng.nextBits(n);
 
-    std::vector<Block> rows = transposeColumnsToBlocks(cols, n);
-    ASSERT_EQ(rows.size(), n);
+    std::vector<Block> rows(n);
+    transposeColumnsToBlocks(cols, n, rows.data());
     for (size_t i = 0; i < n; ++i)
         for (unsigned j = 0; j < 128; ++j)
             ASSERT_EQ(rows[i].getBit(j), cols[j].get(i))
@@ -66,16 +67,20 @@ TEST(IknpTest, CorrelationHolds)
     IknpSetup setup = dealIknpSetup(rng);
     BitVec choices = rng.nextBits(n);
 
-    std::vector<Block> q, t;
+    std::vector<Block> q(n), t(n);
     net::runTwoParty(
         [&](net::Channel &ch) {
-            q = iknpExtendSender(ch, setup, n, 0);
+            common::ThreadPool pool(1);
+            IknpWorkspace ws;
+            iknpExtendSenderInto(ch, setup, n, 0, pool, ws, q.data());
         },
         [&](net::Channel &ch) {
-            t = iknpExtendReceiver(ch, setup, choices, 0);
+            common::ThreadPool pool(2);
+            IknpWorkspace ws;
+            iknpExtendReceiverInto(ch, setup, choices, 0, pool, ws,
+                                   t.data());
         });
 
-    ASSERT_EQ(q.size(), n);
     for (size_t i = 0; i < n; ++i)
         ASSERT_EQ(t[i],
                   q[i] ^ scalarMul(choices.get(i), setup.delta))
@@ -89,14 +94,19 @@ TEST(IknpTest, SessionsProduceFreshCorrelations)
     IknpSetup setup = dealIknpSetup(rng);
     BitVec choices = rng.nextBits(n);
 
+    common::ThreadPool pool(1);
+    IknpWorkspace sender_ws, recv_ws;
     auto run = [&](uint64_t session) {
-        std::vector<Block> q;
+        std::vector<Block> q(n), t(n);
         net::runTwoParty(
             [&](net::Channel &ch) {
-                q = iknpExtendSender(ch, setup, n, session);
+                iknpExtendSenderInto(ch, setup, n, session, pool,
+                                     sender_ws, q.data());
             },
             [&](net::Channel &ch) {
-                iknpExtendReceiver(ch, setup, choices, session);
+                common::ThreadPool rpool(1);
+                iknpExtendReceiverInto(ch, setup, choices, session,
+                                       rpool, recv_ws, t.data());
             });
         return q;
     };
@@ -116,10 +126,18 @@ TEST(IknpTest, CommunicationIsLinearSixteenBytesPerCot)
     IknpSetup setup = dealIknpSetup(rng);
     BitVec choices = rng.nextBits(n);
 
+    std::vector<Block> q(n), t(n);
     auto wire = net::runTwoParty(
-        [&](net::Channel &ch) { iknpExtendSender(ch, setup, n, 0); },
         [&](net::Channel &ch) {
-            iknpExtendReceiver(ch, setup, choices, 0);
+            common::ThreadPool pool(1);
+            IknpWorkspace ws;
+            iknpExtendSenderInto(ch, setup, n, 0, pool, ws, q.data());
+        },
+        [&](net::Channel &ch) {
+            common::ThreadPool pool(1);
+            IknpWorkspace ws;
+            iknpExtendReceiverInto(ch, setup, choices, 0, pool, ws,
+                                   t.data());
         });
 
     double bytes_per_cot = double(wire.totalBytes) / n;

@@ -55,7 +55,8 @@ TEST_P(SortParamTest, EncodeIsBitIdentical)
     std::vector<Block> base = rng.nextBlocks(3000);
 
     std::vector<Block> reference = base;
-    enc.encodeBlocks(in.data(), reference.data(), 0, 3000);
+    ot::LpnEncodeScratch scratch;
+    enc.encodeBlocks(in.data(), reference.data(), 0, 3000, scratch);
 
     std::vector<Block> sorted = base;
     encodeWithLayout(layout, in.data(), sorted.data());

@@ -1,8 +1,9 @@
 /**
  * @file
  * LPN encoder tests: determinism, agreement with a dense GF(2)
- * reference, parallel == serial, and preservation of the COT
- * correlation through the encoding (invariant 4 of DESIGN.md).
+ * reference, parallel == serial, SIMD/tape == scalar streaming, and
+ * preservation of the COT correlation through the encoding
+ * (invariant 4 of DESIGN.md).
  */
 
 #include <gtest/gtest.h>
@@ -60,7 +61,8 @@ TEST(LpnTest, BatchIndicesMatchSingle)
     LpnEncoder enc(smallParams());
     const size_t rows = 300;
     std::vector<uint32_t> batch(rows * 10);
-    enc.rowIndicesBatch(5, rows, batch.data());
+    LpnEncodeScratch scratch;
+    enc.rowIndicesBatch(5, rows, batch.data(), scratch);
     std::vector<uint32_t> one(10);
     for (size_t r = 0; r < rows; ++r) {
         enc.rowIndices(5 + r, one.data());
@@ -74,12 +76,11 @@ TEST(LpnTest, IndicesRoughlyUniformOverColumns)
     LpnParams p = smallParams();
     LpnEncoder enc(p);
     std::vector<uint32_t> hist(p.k, 0);
-    std::vector<uint32_t> idx(p.d);
-    for (uint64_t row = 0; row < p.n; ++row) {
-        enc.rowIndices(row, idx.data());
-        for (uint32_t i : idx)
-            hist[i]++;
-    }
+    std::vector<uint32_t> idx(p.n * p.d);
+    LpnEncodeScratch scratch;
+    enc.rowIndicesBatch(0, p.n, idx.data(), scratch);
+    for (uint32_t i : idx)
+        hist[i]++;
     // n*d / k = 80 expected hits per column.
     double expect = double(p.n) * p.d / p.k;
     size_t extreme = 0;
@@ -116,11 +117,12 @@ TEST(LpnTest, EncodeMatchesDenseReference)
     }
 
     std::vector<Block> got = base;
-    enc.encodeBlocks(in.data(), got.data(), 0, p.n);
+    LpnEncodeScratch scratch;
+    enc.encodeBlocks(in.data(), got.data(), 0, p.n, scratch);
     EXPECT_EQ(got, expect);
 }
 
-TEST(LpnTest, ParallelMatchesSerial)
+TEST(LpnTest, PoolParallelMatchesSerial)
 {
     LpnParams p = smallParams();
     LpnEncoder enc(p);
@@ -129,9 +131,117 @@ TEST(LpnTest, ParallelMatchesSerial)
     std::vector<Block> serial = rng.nextBlocks(p.n);
     std::vector<Block> parallel = serial;
 
-    enc.encodeBlocks(in.data(), serial.data(), 0, p.n);
-    enc.encodeBlocksParallel(in.data(), parallel.data(), p.n, 4);
+    LpnEncodeScratch scratch;
+    enc.encodeBlocks(in.data(), serial.data(), 0, p.n, scratch);
+
+    common::ThreadPool pool(4);
+    std::vector<LpnEncodeScratch> scratches(pool.threads());
+    enc.encodeBlocksPool(in.data(), parallel.data(), p.n, pool,
+                         scratches.data());
     EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Tape + SIMD kernels
+// ---------------------------------------------------------------------------
+
+/**
+ * The tape path (precomputed transposed indices + runtime-dispatched
+ * SIMD gather-XOR) must be bit-identical to the streaming scalar
+ * encoder under randomized seeds, including with the SIMD kernel
+ * forced off (scalar tape walk), at unaligned row offsets, and
+ * through the pool.
+ */
+TEST(LpnTapeTest, TapeEncodeMatchesStreamingUnderRandomSeeds)
+{
+    Rng meta_rng(900);
+    common::ThreadPool pool(3);
+    for (int trial = 0; trial < 6; ++trial) {
+        LpnParams p;
+        p.n = 1000 + meta_rng.nextBelow(3000);
+        p.k = 128 + meta_rng.nextBelow(900);
+        p.d = 4 + unsigned(meta_rng.nextBelow(8));
+        p.seed = meta_rng.nextUint64();
+        LpnEncoder enc(p);
+
+        Rng rng(901 + trial);
+        std::vector<Block> in = rng.nextBlocks(p.k);
+        std::vector<Block> base = rng.nextBlocks(p.n);
+
+        std::vector<Block> expect = base;
+        LpnEncodeScratch scratch;
+        enc.encodeBlocks(in.data(), expect.data(), 0, p.n, scratch);
+
+        std::vector<LpnEncodeScratch> scratches(pool.threads());
+        LpnIndexTape tape;
+        enc.buildTape(tape, p.n, pool, scratches.data());
+
+        // SIMD kernel (whatever the CPU dispatches to).
+        std::vector<Block> simd = base;
+        enc.encodeBlocksTape(in.data(), simd.data(), 0, p.n, tape);
+        EXPECT_EQ(simd, expect) << "trial " << trial;
+
+        // Forced-scalar tape walk.
+        LpnEncoder::forceScalarKernel(true);
+        std::vector<Block> scalar = base;
+        enc.encodeBlocksTape(in.data(), scalar.data(), 0, p.n, tape);
+        LpnEncoder::forceScalarKernel(false);
+        EXPECT_EQ(scalar, expect) << "trial " << trial;
+
+        // Unaligned sub-range (exercises the head/tail handling).
+        size_t row0 = 1 + meta_rng.nextBelow(61);
+        size_t count = p.n - row0 - meta_rng.nextBelow(7);
+        std::vector<Block> sub(base.begin() + row0,
+                               base.begin() + row0 + count);
+        enc.encodeBlocksTape(in.data(), sub.data(), row0, count, tape);
+        for (size_t j = 0; j < count; ++j)
+            ASSERT_EQ(sub[j], expect[row0 + j])
+                << "trial " << trial << " row " << row0 + j;
+
+        // Pool split.
+        std::vector<Block> pooled = base;
+        enc.encodeBlocksTapePool(in.data(), pooled.data(), p.n, tape,
+                                 pool);
+        EXPECT_EQ(pooled, expect) << "trial " << trial;
+    }
+}
+
+TEST(LpnTapeTest, TapeBuildDeterministicAcrossThreadCounts)
+{
+    LpnParams p = smallParams();
+    LpnEncoder enc(p);
+
+    common::ThreadPool pool1(1), pool4(4);
+    std::vector<LpnEncodeScratch> s1(pool1.threads());
+    std::vector<LpnEncodeScratch> s4(pool4.threads());
+    LpnIndexTape t1, t4;
+    enc.buildTape(t1, p.n, pool1, s1.data());
+    enc.buildTape(t4, p.n, pool4, s4.data());
+    EXPECT_EQ(t1.idx, t4.idx);
+}
+
+TEST(LpnTapeTest, BitEncodeTapeMatchesStreaming)
+{
+    LpnParams p;
+    p.n = 2048;
+    p.k = 256;
+    p.seed = 21;
+    LpnEncoder enc(p);
+
+    Rng rng(55);
+    BitVec in = rng.nextBits(p.k);
+    BitVec base = rng.nextBits(p.n);
+
+    BitVec expect = base;
+    LpnEncodeScratch scratch;
+    enc.encodeBits(in, expect, scratch);
+
+    common::ThreadPool pool(1);
+    LpnIndexTape tape;
+    enc.buildTape(tape, p.n, pool, &scratch);
+    BitVec got = base;
+    enc.encodeBitsTape(in, got, tape);
+    EXPECT_EQ(got, expect);
 }
 
 TEST(LpnTest, BitEncodeMatchesBlockEncodeOnLsb)
@@ -154,8 +264,10 @@ TEST(LpnTest, BitEncodeMatchesBlockEncodeOnLsb)
         base_blocks[j] = Block::fromUint64(base_bits.get(j));
 
     BitVec got_bits = base_bits;
-    enc.encodeBits(in_bits, got_bits);
-    enc.encodeBlocks(in_blocks.data(), base_blocks.data(), 0, p.n);
+    LpnEncodeScratch scratch;
+    enc.encodeBits(in_bits, got_bits, scratch);
+    enc.encodeBlocks(in_blocks.data(), base_blocks.data(), 0, p.n,
+                     scratch);
 
     for (size_t j = 0; j < p.n; ++j)
         EXPECT_EQ(got_bits.get(j), base_blocks[j].lsb()) << "row " << j;
@@ -185,14 +297,15 @@ TEST(LpnTest, EncodingPreservesCotCorrelation)
         w[j] = v[j] ^ scalarMul(u.get(j), delta);
 
     // Sender: z = r*A ^ w.
+    LpnEncodeScratch scratch;
     std::vector<Block> z = w;
-    enc.encodeBlocks(in_s.q.data(), z.data(), 0, p.n);
+    enc.encodeBlocks(in_s.q.data(), z.data(), 0, p.n, scratch);
 
     // Receiver: x = e*A ^ u, y = s*A ^ v.
     BitVec x = u;
-    enc.encodeBits(in_r.choice, x);
+    enc.encodeBits(in_r.choice, x, scratch);
     std::vector<Block> y = v;
-    enc.encodeBlocks(in_r.t.data(), y.data(), 0, p.n);
+    enc.encodeBlocks(in_r.t.data(), y.data(), 0, p.n, scratch);
 
     for (size_t j = 0; j < p.n; ++j)
         EXPECT_EQ(z[j] ^ scalarMul(x.get(j), delta), y[j]) << "row " << j;

@@ -161,10 +161,15 @@ TEST(IronmanModelTest, SampledAndScaledAgreeOnSmallInstance)
 
 TEST(UnifiedUnitTest, LevelSumsMatchGgmExpansion)
 {
-    crypto::TreePrg prg(crypto::PrgKind::ChaCha8, 4);
+    auto prg = crypto::makeTreeExpander(crypto::PrgKind::ChaCha8, 4);
     auto arities = ot::treeArities(256, 4);
-    ot::GgmExpansion exp =
-        ot::ggmExpand(prg, Block::fromUint64(3), arities);
+    ot::GgmSumLayout layout = ot::GgmSumLayout::of(arities);
+    ot::GgmScratch scratch;
+    std::vector<Block> leaves(layout.leaves);
+    std::vector<Block> sums(layout.total);
+    Block leaf_sum;
+    ot::ggmExpandInto(*prg, Block::fromUint64(3), layout, scratch,
+                      leaves.data(), sums.data(), &leaf_sum);
 
     // Rebuild each level's nodes by expanding and compare sums.
     std::vector<Block> level{Block::fromUint64(3)};
@@ -173,8 +178,10 @@ TEST(UnifiedUnitTest, LevelSumsMatchGgmExpansion)
         crypto::TreePrg prg2(crypto::PrgKind::ChaCha8, 4);
         prg2.expandLevel(level.data(), level.size(), next.data(),
                          arities[lvl]);
-        EXPECT_EQ(UnifiedUnit::levelSums(next, arities[lvl]),
-                  exp.levelSums[lvl])
+        std::vector<Block> expect(
+            sums.begin() + layout.offset[lvl],
+            sums.begin() + layout.offset[lvl] + arities[lvl]);
+        EXPECT_EQ(UnifiedUnit::levelSums(next, arities[lvl]), expect)
             << "level " << lvl;
         level = std::move(next);
     }

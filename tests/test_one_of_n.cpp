@@ -118,17 +118,17 @@ TEST(LutEvalTest, IdentityTable)
         x1[e] = (x[e] - x0[e] + n_entries) & (n_entries - 1);
     }
 
-    Rng dealer(101);
-    auto [p0, p1] = dealDualPools(dealer, batch * 6);
-
     std::vector<uint64_t> y0, y1;
+    ot::FerretParams params = ot::tinyTestParams();
     net::runTwoParty(
         [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(p0), kWidth);
+            FerretCotEngine engine(ch, 0, params, 101);
+            SecureCompute sc(ch, 0, engine, kWidth);
             y0 = sc.lutEval(x0, table);
         },
         [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(p1), kWidth);
+            FerretCotEngine engine(ch, 1, params, 101);
+            SecureCompute sc(ch, 1, engine, kWidth);
             y1 = sc.lutEval(x1, table);
         });
 
@@ -164,19 +164,19 @@ TEST(LutEvalTest, QuantizedGeluTable)
         x1[e] = (x[e] - x0[e] + n_entries) & (n_entries - 1);
     }
 
-    Rng dealer(103);
-    auto [p0, p1] = dealDualPools(dealer, batch * 8);
-
     std::vector<uint64_t> y0, y1;
     size_t cots = 0;
+    ot::FerretParams params = ot::tinyTestParams();
     net::runTwoParty(
         [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(p0), kWidth);
+            FerretCotEngine engine(ch, 0, params, 103);
+            SecureCompute sc(ch, 0, engine, kWidth);
             y0 = sc.lutEval(x0, table);
             cots = sc.cotsConsumed();
         },
         [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(p1), kWidth);
+            FerretCotEngine engine(ch, 1, params, 103);
+            SecureCompute sc(ch, 1, engine, kWidth);
             y1 = sc.lutEval(x1, table);
         });
 

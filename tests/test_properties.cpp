@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "net/two_party.h"
 #include "ot/base_cot.h"
 #include "ot/ferret.h"
@@ -56,25 +57,25 @@ TEST_P(FerretSweepTest, CorrelationHoldsForArbitraryParams)
     Block delta = dealer.nextBlock();
     auto [bs, br] = dealBaseCots(dealer, delta, p.reservedCots());
 
-    std::vector<Block> q;
-    FerretCotReceiver::Output out;
+    std::vector<Block> q(p.usableOts());
+    std::vector<Block> t(p.usableOts());
+    BitVec choice;
     net::runTwoParty(
         [&](net::Channel &ch) {
             FerretCotSender sender(ch, p, delta, std::move(bs.q));
             Rng rng(c.seed + 1);
-            q = sender.extend(rng);
+            sender.extendInto(rng, q.data());
         },
         [&](net::Channel &ch) {
             FerretCotReceiver receiver(ch, p, std::move(br.choice),
                                        std::move(br.t));
             Rng rng(c.seed + 2);
-            out = receiver.extend(rng);
+            receiver.extendInto(rng, choice, t.data());
         });
 
-    ASSERT_EQ(q.size(), p.usableOts());
+    ASSERT_EQ(choice.size(), p.usableOts());
     for (size_t i = 0; i < q.size(); ++i)
-        ASSERT_EQ(out.t[i],
-                  q[i] ^ scalarMul(out.choice.get(i), delta))
+        ASSERT_EQ(t[i], q[i] ^ scalarMul(choice.get(i), delta))
             << "i=" << i;
 }
 
@@ -115,25 +116,25 @@ TEST(FailureInjectionTest, CorruptedBaseCotBreaksOutput)
     // bootstrap reserve).
     br.t[3].lo ^= 1ULL << 17;
 
-    std::vector<Block> q;
-    FerretCotReceiver::Output out;
+    std::vector<Block> q(p.usableOts());
+    std::vector<Block> t(p.usableOts());
+    BitVec choice;
     net::runTwoParty(
         [&](net::Channel &ch) {
             FerretCotSender sender(ch, p, delta, std::move(bs.q));
             Rng rng(501);
-            q = sender.extend(rng);
+            sender.extendInto(rng, q.data());
         },
         [&](net::Channel &ch) {
             FerretCotReceiver receiver(ch, p, std::move(br.choice),
                                        std::move(br.t));
             Rng rng(502);
-            out = receiver.extend(rng);
+            receiver.extendInto(rng, choice, t.data());
         });
 
     size_t bad = 0;
     for (size_t i = 0; i < q.size(); ++i)
-        bad += (out.t[i] !=
-                (q[i] ^ scalarMul(out.choice.get(i), delta)));
+        bad += (t[i] != (q[i] ^ scalarMul(choice.get(i), delta)));
     EXPECT_GT(bad, 0u);
 }
 
@@ -190,8 +191,8 @@ TEST(FailureInjectionTest, TamperedWireBreaksSpcotCorrelation)
                                  trees * cfg.cotsPerTree());
     std::vector<size_t> alphas(trees, 37);
 
-    SpcotSenderOutput sout;
-    SpcotReceiverOutput rout;
+    std::vector<Block> w(trees * cfg.numLeaves);
+    std::vector<Block> v(trees * cfg.numLeaves);
     net::runTwoParty(
         [&](net::Channel &ch) {
             // Corrupt a byte somewhere inside the sender's ciphertext
@@ -199,37 +200,48 @@ TEST(FailureInjectionTest, TamperedWireBreaksSpcotCorrelation)
             TamperingChannel evil(ch, 672);
             Rng rng(601);
             uint64_t tweak = 1;
-            sout = spcotSend(evil, cfg, trees, delta, cs.q.data(), rng,
-                             tweak);
+            common::ThreadPool pool(1);
+            SpcotWorkspace ws;
+            spcotSendInto(evil, cfg, trees, delta, cs.q.data(), rng,
+                          tweak, pool, ws, w.data(), nullptr);
         },
         [&](net::Channel &ch) {
             uint64_t tweak = 1;
-            rout = spcotRecv(ch, cfg, trees, alphas, cr.choice, 0,
-                             cr.t.data(), tweak);
+            common::ThreadPool pool(1);
+            SpcotWorkspace ws;
+            spcotRecvInto(ch, cfg, trees, alphas.data(), cr.choice, 0,
+                          cr.t.data(), tweak, pool, ws, v.data(),
+                          nullptr);
         });
 
     size_t bad = 0;
     for (size_t tr = 0; tr < trees; ++tr)
         for (size_t j = 0; j < cfg.numLeaves; ++j) {
-            Block expect = sout.w[tr][j];
+            Block expect = w[tr * cfg.numLeaves + j];
             if (j == alphas[tr])
                 expect ^= delta;
-            bad += (rout.v[tr][j] != expect);
+            bad += (v[tr * cfg.numLeaves + j] != expect);
         }
     EXPECT_GT(bad, 0u);
 }
 
 TEST(FailureInjectionTest, WrongGgmSumsPoisonOnlyThatSubtreePath)
 {
-    crypto::TreePrg prg(crypto::PrgKind::ChaCha8, 4);
+    auto prg = crypto::makeTreeExpander(crypto::PrgKind::ChaCha8, 4);
     auto arities = treeArities(256, 4);
-    GgmExpansion exp = ggmExpand(prg, Block::fromUint64(9), arities);
+    GgmSumLayout layout = GgmSumLayout::of(arities);
+    GgmScratch scratch;
+    std::vector<Block> leaves(layout.leaves);
+    std::vector<Block> sums(layout.total);
+    Block leaf_sum;
+    ggmExpandInto(*prg, Block::fromUint64(9), layout, scratch,
+                  leaves.data(), sums.data(), &leaf_sum);
 
     size_t alpha = 77;
     auto digits = alphaDigits(alpha, arities);
-    auto known = exp.levelSums;
-    for (size_t lvl = 0; lvl < known.size(); ++lvl)
-        known[lvl][digits[lvl]] = Block::zero();
+    std::vector<Block> known = sums;
+    for (size_t lvl = 0; lvl < arities.size(); ++lvl)
+        known[layout.offset[lvl] + digits[lvl]] = Block::zero();
 
     // Corrupt the *last* level's sums only: earlier levels reconstruct
     // fine, so exactly the (arity-1) recovered children of the last
@@ -237,15 +249,18 @@ TEST(FailureInjectionTest, WrongGgmSumsPoisonOnlyThatSubtreePath)
     unsigned last = arities.size() - 1;
     for (unsigned c = 0; c < arities[last]; ++c)
         if (c != digits[last])
-            known[last][c] ^= Block::fromUint64(0xbad);
+            known[layout.offset[last] + c] ^= Block::fromUint64(0xbad);
 
-    crypto::TreePrg prg2(crypto::PrgKind::ChaCha8, 4);
-    GgmReconstruction rec = ggmReconstruct(prg2, alpha, arities, known);
+    auto prg2 = crypto::makeTreeExpander(crypto::PrgKind::ChaCha8, 4);
+    std::vector<Block> rec(layout.leaves);
+    GgmScratch scratch2;
+    ggmReconstructInto(*prg2, alpha, layout, known.data(), scratch2,
+                       rec.data());
     size_t bad = 0;
-    for (size_t j = 0; j < rec.leaves.size(); ++j) {
+    for (size_t j = 0; j < rec.size(); ++j) {
         if (j == alpha)
             continue;
-        bad += (rec.leaves[j] != exp.leaves[j]);
+        bad += (rec[j] != leaves[j]);
     }
     EXPECT_EQ(bad, arities[last] - 1);
 }

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/rng.h"
 #include "net/two_party.h"
+#include "ot/ferret_params.h"
 #include "ppml/secure_compute.h"
 
 namespace ironman::ppml {
@@ -38,17 +41,28 @@ shareOf(uint64_t v, Rng &rng)
     return {s0, mask(v - s0)};
 }
 
-struct Parties
+/**
+ * Run both parties, each backed by its half of a persistent
+ * FerretCotEngine pair (the pre-dealt DualCotPool path was deleted
+ * with the other vector shims — the engine is the only COT supply).
+ */
+void
+runParties(uint64_t seed,
+           const std::function<void(SecureCompute &)> &party0,
+           const std::function<void(SecureCompute &)> &party1)
 {
-    DualCotPool p0, p1;
-};
-
-Parties
-makeParties(size_t cots, uint64_t seed)
-{
-    Rng rng(seed);
-    auto [a, b] = dealDualPools(rng, cots);
-    return {std::move(a), std::move(b)};
+    ot::FerretParams p = ot::tinyTestParams();
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            FerretCotEngine engine(ch, 0, p, seed);
+            SecureCompute sc(ch, 0, engine, kWidth);
+            party0(sc);
+        },
+        [&](net::Channel &ch) {
+            FerretCotEngine engine(ch, 1, p, seed);
+            SecureCompute sc(ch, 1, engine, kWidth);
+            party1(sc);
+        });
 }
 
 TEST(SecureComputeTest, AndGateMatchesPlain)
@@ -60,17 +74,10 @@ TEST(SecureComputeTest, AndGateMatchesPlain)
     BitVec a1 = SecureCompute::xorShares(a, a0);
     BitVec b1 = SecureCompute::xorShares(b, b0);
 
-    Parties parties = makeParties(2 * n, 11);
     BitVec z0, z1;
-    net::runTwoParty(
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
-            z0 = sc.andShares(a0, b0);
-        },
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
-            z1 = sc.andShares(a1, b1);
-        });
+    runParties(
+        11, [&](SecureCompute &sc) { z0 = sc.andShares(a0, b0); },
+        [&](SecureCompute &sc) { z1 = sc.andShares(a1, b1); });
 
     for (size_t i = 0; i < n; ++i)
         EXPECT_EQ(z0.get(i) ^ z1.get(i), a.get(i) && b.get(i))
@@ -97,17 +104,9 @@ TEST(SecureComputeTest, DreluMatchesSign)
     for (size_t i = 0; i < n; ++i)
         std::tie(s0[i], s1[i]) = shareOf(values[i], rng);
 
-    Parties parties = makeParties(8 * kWidth * n, 12);
     BitVec d0, d1;
-    net::runTwoParty(
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
-            d0 = sc.drelu(s0);
-        },
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
-            d1 = sc.drelu(s1);
-        });
+    runParties(12, [&](SecureCompute &sc) { d0 = sc.drelu(s0); },
+               [&](SecureCompute &sc) { d1 = sc.drelu(s1); });
 
     for (size_t i = 0; i < n; ++i) {
         bool expect = toSigned(values[i]) >= 0;
@@ -131,17 +130,9 @@ TEST(SecureComputeTest, MuxSelectsOrZeroes)
     for (size_t i = 0; i < n; ++i)
         std::tie(x0[i], x1[i]) = shareOf(x[i], rng);
 
-    Parties parties = makeParties(2 * n, 13);
     std::vector<uint64_t> y0, y1;
-    net::runTwoParty(
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
-            y0 = sc.mux(b0, x0);
-        },
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
-            y1 = sc.mux(b1, x1);
-        });
+    runParties(13, [&](SecureCompute &sc) { y0 = sc.mux(b0, x0); },
+               [&](SecureCompute &sc) { y1 = sc.mux(b1, x1); });
 
     for (size_t i = 0; i < n; ++i) {
         uint64_t got = mask(y0[i] + y1[i]);
@@ -160,19 +151,14 @@ TEST(SecureComputeTest, ReluMatchesPlain)
         std::tie(s0[i], s1[i]) = shareOf(values[i], rng);
     }
 
-    Parties parties = makeParties(8 * kWidth * n, 14);
     std::vector<uint64_t> y0, y1;
     size_t cots_used = 0;
-    net::runTwoParty(
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
-            y0 = sc.relu(s0);
-            cots_used = sc.cotsConsumed();
-        },
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
-            y1 = sc.relu(s1);
-        });
+    runParties(14,
+               [&](SecureCompute &sc) {
+                   y0 = sc.relu(s0);
+                   cots_used = sc.cotsConsumed();
+               },
+               [&](SecureCompute &sc) { y1 = sc.relu(s1); });
 
     for (size_t i = 0; i < n; ++i) {
         int64_t v = toSigned(values[i]);
@@ -199,17 +185,10 @@ TEST(SecureComputeTest, MaxElementwiseMatchesPlain)
         std::tie(b0[i], b1[i]) = shareOf(b[i], rng);
     }
 
-    Parties parties = makeParties(8 * kWidth * n, 15);
     std::vector<uint64_t> y0, y1;
-    net::runTwoParty(
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
-            y0 = sc.maxElementwise(a0, b0);
-        },
-        [&](net::Channel &ch) {
-            SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
-            y1 = sc.maxElementwise(a1, b1);
-        });
+    runParties(
+        15, [&](SecureCompute &sc) { y0 = sc.maxElementwise(a0, b0); },
+        [&](SecureCompute &sc) { y1 = sc.maxElementwise(a1, b1); });
 
     for (size_t i = 0; i < n; ++i) {
         int64_t expect = std::max(toSigned(a[i]), toSigned(b[i]));
@@ -217,26 +196,34 @@ TEST(SecureComputeTest, MaxElementwiseMatchesPlain)
     }
 }
 
-TEST(SecureComputeTest, PoolExhaustionIsFatal)
+TEST(SecureComputeTest, EngineSuppliesArbitrarilyManyCots)
 {
-    Parties parties = makeParties(4, 16); // far too few
-    EXPECT_DEATH(
-        {
-            net::runTwoParty(
-                [&](net::Channel &ch) {
-                    SecureCompute sc(ch, 0, std::move(parties.p0), kWidth);
-                    Rng rng(6);
-                    BitVec a = rng.nextBits(100), b = rng.nextBits(100);
-                    sc.andShares(a, b);
-                },
-                [&](net::Channel &ch) {
-                    SecureCompute sc(ch, 1, std::move(parties.p1), kWidth);
-                    Rng rng(7);
-                    BitVec a = rng.nextBits(100), b = rng.nextBits(100);
-                    sc.andShares(a, b);
-                });
-        },
-        "exhausted");
+    // The engine self-refills, so a workload far beyond one
+    // extension's usable output must still complete correctly.
+    const size_t n = 400;
+    Rng rng(6);
+    BitVec a = rng.nextBits(n), b = rng.nextBits(n);
+    BitVec a0 = rng.nextBits(n), b0 = rng.nextBits(n);
+    BitVec a1 = SecureCompute::xorShares(a, a0);
+    BitVec b1 = SecureCompute::xorShares(b, b0);
+
+    BitVec z0, z1;
+    size_t consumed = 0;
+    runParties(16,
+               [&](SecureCompute &sc) {
+                   for (int round = 0; round < 40; ++round)
+                       z0 = sc.andShares(a0, b0);
+                   consumed = sc.cotsConsumed();
+               },
+               [&](SecureCompute &sc) {
+                   for (int round = 0; round < 40; ++round)
+                       z1 = sc.andShares(a1, b1);
+               });
+
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(z0.get(i) ^ z1.get(i), a.get(i) && b.get(i))
+            << "i=" << i;
+    EXPECT_EQ(consumed, 40u * 2 * n);
 }
 
 } // namespace

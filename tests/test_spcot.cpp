@@ -2,12 +2,14 @@
  * @file
  * SPCOT protocol tests: after one batched execution,
  * w[tree] = v[tree] except at alpha where w = v ^ Delta (invariant 2
- * of DESIGN.md), across arities, PRGs and tree sizes.
+ * of DESIGN.md), across arities, PRGs and tree sizes. Runs through
+ * the workspace entry points (spcotSendInto / spcotRecvInto).
  */
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "net/two_party.h"
 #include "ot/base_cot.h"
 #include "ot/spcot.h"
@@ -16,6 +18,45 @@ namespace ironman::ot {
 namespace {
 
 using crypto::PrgKind;
+
+/** Test-local flat outputs around the workspace entry points. */
+struct FlatSend
+{
+    std::vector<Block> w; ///< trees x leaves, row-major
+    uint64_t prgOps = 0;
+};
+
+struct FlatRecv
+{
+    std::vector<Block> v;
+};
+
+FlatSend
+runSend(net::Channel &ch, const SpcotConfig &cfg, size_t trees,
+        const Block &delta, const Block *q, Rng &rng, uint64_t &tweak)
+{
+    common::ThreadPool pool(1);
+    SpcotWorkspace ws;
+    FlatSend out;
+    out.w.resize(trees * cfg.numLeaves);
+    spcotSendInto(ch, cfg, trees, delta, q, rng, tweak, pool, ws,
+                  out.w.data(), &out.prgOps);
+    return out;
+}
+
+FlatRecv
+runRecv(net::Channel &ch, const SpcotConfig &cfg,
+        const std::vector<size_t> &alphas, const BitVec &b,
+        size_t b_offset, const Block *t, uint64_t &tweak)
+{
+    common::ThreadPool pool(1);
+    SpcotWorkspace ws;
+    FlatRecv out;
+    out.v.resize(alphas.size() * cfg.numLeaves);
+    spcotRecvInto(ch, cfg, alphas.size(), alphas.data(), b, b_offset, t,
+                  tweak, pool, ws, out.v.data(), nullptr);
+    return out;
+}
 
 struct SpcotCase
 {
@@ -47,31 +88,29 @@ TEST_P(SpcotParamTest, CorrelationHolds)
     for (auto &a : alphas)
         a = alpha_rng.nextBelow(leaves);
 
-    SpcotSenderOutput sout;
-    SpcotReceiverOutput rout;
+    FlatSend sout;
+    FlatRecv rout;
     auto wire = net::runTwoParty(
         [&](net::Channel &ch) {
             Rng rng(102);
             uint64_t tweak = 1;
-            sout = spcotSend(ch, cfg, trees, delta, cot_s.q.data(), rng,
-                             tweak);
+            sout = runSend(ch, cfg, trees, delta, cot_s.q.data(), rng,
+                           tweak);
         },
         [&](net::Channel &ch) {
             uint64_t tweak = 1;
-            rout = spcotRecv(ch, cfg, trees, alphas, cot_r.choice, 0,
-                             cot_r.t.data(), tweak);
+            rout = runRecv(ch, cfg, alphas, cot_r.choice, 0,
+                           cot_r.t.data(), tweak);
         });
 
-    ASSERT_EQ(sout.w.size(), trees);
-    ASSERT_EQ(rout.v.size(), trees);
+    ASSERT_EQ(sout.w.size(), trees * leaves);
+    ASSERT_EQ(rout.v.size(), trees * leaves);
     for (size_t tr = 0; tr < trees; ++tr) {
-        ASSERT_EQ(sout.w[tr].size(), leaves);
-        ASSERT_EQ(rout.v[tr].size(), leaves);
         for (size_t j = 0; j < leaves; ++j) {
-            Block expect = sout.w[tr][j];
+            Block expect = sout.w[tr * leaves + j];
             if (j == alphas[tr])
                 expect ^= delta;
-            EXPECT_EQ(rout.v[tr][j], expect)
+            EXPECT_EQ(rout.v[tr * leaves + j], expect)
                 << "tree=" << tr << " leaf=" << j;
         }
     }
@@ -113,27 +152,27 @@ TEST(SpcotTest, AlphaAtEveryPosition)
         auto [cot_s, cot_r] =
             dealBaseCots(dealer, delta, cfg.cotsPerTree());
 
-        SpcotSenderOutput sout;
-        SpcotReceiverOutput rout;
+        FlatSend sout;
+        FlatRecv rout;
         net::runTwoParty(
             [&](net::Channel &ch) {
                 Rng rng(300 + alpha);
                 uint64_t tweak = 1;
-                sout = spcotSend(ch, cfg, 1, delta, cot_s.q.data(), rng,
-                                 tweak);
+                sout = runSend(ch, cfg, 1, delta, cot_s.q.data(), rng,
+                               tweak);
             },
             [&](net::Channel &ch) {
                 uint64_t tweak = 1;
                 std::vector<size_t> alphas{alpha};
-                rout = spcotRecv(ch, cfg, 1, alphas, cot_r.choice, 0,
-                                 cot_r.t.data(), tweak);
+                rout = runRecv(ch, cfg, alphas, cot_r.choice, 0,
+                               cot_r.t.data(), tweak);
             });
 
         for (size_t j = 0; j < cfg.numLeaves; ++j) {
-            Block expect = sout.w[0][j];
+            Block expect = sout.w[j];
             if (j == alpha)
                 expect ^= delta;
-            ASSERT_EQ(rout.v[0][j], expect)
+            ASSERT_EQ(rout.v[j], expect)
                 << "alpha=" << alpha << " leaf=" << j;
         }
     }
@@ -166,14 +205,14 @@ TEST(SpcotTest, ChaCha4aryUsesFewerPrgOpsThanAes2ary)
             [&](net::Channel &ch) {
                 Rng rng(401);
                 uint64_t tweak = 1;
-                ops = spcotSend(ch, cfg, trees, delta, cs.q.data(), rng,
-                                tweak).prgOps;
+                ops = runSend(ch, cfg, trees, delta, cs.q.data(), rng,
+                              tweak).prgOps;
             },
             [&](net::Channel &ch) {
                 uint64_t tweak = 1;
                 std::vector<size_t> alphas(trees, 5);
-                spcotRecv(ch, cfg, trees, alphas, cr.choice, 0,
-                          cr.t.data(), tweak);
+                runRecv(ch, cfg, alphas, cr.choice, 0, cr.t.data(),
+                        tweak);
             });
         return ops;
     };

@@ -256,15 +256,24 @@ TEST(WorkspaceEngineTest, ArenaSizedOnceFromParams)
     EXPECT_EQ(ws.arena.capacity(), OtWorkspace::requiredBlocks(p));
     EXPECT_EQ(ws.arena.used(), ws.arena.capacity())
         << "the arena is carved exactly, no slack";
-    ASSERT_NE(ws.leafMatrix, nullptr);
+    ASSERT_NE(ws.leaf[0], nullptr);
+    EXPECT_EQ(ws.leaf[1], nullptr) << "one slot unless pipelined sender";
     ASSERT_NE(ws.rows, nullptr);
 
     // prepare() is idempotent: same params, same carving.
-    Block *leaf_matrix = ws.leafMatrix;
+    Block *leaf0 = ws.leaf[0];
     Block *rows = ws.rows;
     ws.prepare(p, 2);
-    EXPECT_EQ(ws.leafMatrix, leaf_matrix);
+    EXPECT_EQ(ws.leaf[0], leaf0);
     EXPECT_EQ(ws.rows, rows);
+
+    // The pipelined sender double-buffers the leaf matrix.
+    OtWorkspace ws2;
+    ws2.prepare(p, 2, /*leaf_slots=*/2);
+    EXPECT_EQ(ws2.arena.capacity(), OtWorkspace::requiredBlocks(p, 2));
+    ASSERT_NE(ws2.leaf[1], nullptr);
+    EXPECT_EQ(size_t(ws2.leaf[1] - ws2.leaf[0]),
+              p.t * p.treeLeaves());
 }
 
 // ---------------------------------------------------------------------------
