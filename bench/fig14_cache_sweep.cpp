@@ -36,8 +36,8 @@ main()
         std::printf("\noutput size %s (k = %zu = %.1f MB vector):\n",
                     p.name.c_str(), p.k,
                     p.k * sizeof(Block) / 1048576.0);
-        std::printf("%8s | %12s %9s | %12s\n", "cache", "lpn (norm)",
-                    "hit rate", "sram mm^2");
+        std::printf("%8s | %12s %9s %11s | %12s\n", "cache",
+                    "lpn (norm)", "hit rate", "sw-tape hit", "sram mm^2");
 
         double base_ms = 0;
         for (size_t i = 0; i < sizes_kb.size(); ++i) {
@@ -47,13 +47,19 @@ main()
             cfg.sampleRows = fastMode() ? 50000 : 120000;
             nmp::IronmanModel model(cfg, p);
             auto r = model.simulateLpn(cfg.sort);
+            // The same cache fed the access order the SOFTWARE path
+            // actually has (the SIMD kernels' lane-transposed tape
+            // walk, no index sorting) — the locality gap the offline
+            // sort buys.
+            auto sw = model.simulateLpn(nmp::softwareTapeOrder());
             double ms = r.lpnSeconds * 1e3;
             if (i == 0)
                 base_ms = ms;
             avg_hit[i] += r.cache.hitRate();
-            std::printf("%6lluKB | %12.3f %8.1f%% | %12.3f\n",
+            std::printf("%6lluKB | %12.3f %8.1f%% %10.1f%% | %12.3f\n",
                         static_cast<unsigned long long>(sizes_kb[i]),
                         ms / base_ms, r.cache.hitRate() * 100,
+                        sw.cache.hitRate() * 100,
                         nmp::sramAreaMm2(cfg.cacheBytes));
         }
     }

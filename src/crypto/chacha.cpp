@@ -1,10 +1,27 @@
 #include "crypto/chacha.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/logging.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#define IRONMAN_CHACHA_HAVE_SSE2 1
+#endif
+
 namespace ironman::crypto {
+
+namespace detail {
+
+const uint32_t kChaChaPrgKeyHigh[4] = {
+    0x49524f4e, // "IRON"
+    0x4d414e2d, // "MAN-"
+    0x4f545047, // "OTPG"
+    0x52474747, // "RGGG"
+};
+
+} // namespace detail
 
 namespace {
 
@@ -23,11 +40,118 @@ quarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d)
     c += d; b ^= c; b = rotl32(b, 7);
 }
 
+std::atomic<bool> forceScalarChaCha{false};
+
+#ifdef IRONMAN_CHACHA_HAVE_SSE2
+
+// ---------------------------------------------------------------------------
+// SSE2 x4 core: four independent states, one state word per 32-bit
+// lane. The round function is identical arithmetic to the scalar core,
+// so every lane reproduces expandSeed() exactly.
+// ---------------------------------------------------------------------------
+
+inline __m128i
+rotlVec(__m128i v, int k)
+{
+    return _mm_or_si128(_mm_slli_epi32(v, k), _mm_srli_epi32(v, 32 - k));
+}
+
+#define IRONMAN_CHACHA_QR(a, b, c, d)                                      \
+    do {                                                                   \
+        a = _mm_add_epi32(a, b); d = _mm_xor_si128(d, a);                  \
+        d = rotlVec(d, 16);                                                \
+        c = _mm_add_epi32(c, d); b = _mm_xor_si128(b, c);                  \
+        b = rotlVec(b, 12);                                                \
+        a = _mm_add_epi32(a, b); d = _mm_xor_si128(d, a);                  \
+        d = rotlVec(d, 8);                                                 \
+        c = _mm_add_epi32(c, d); b = _mm_xor_si128(b, c);                  \
+        b = rotlVec(b, 7);                                                 \
+    } while (0)
+
+void
+chachaExpandX4(int rounds, const Block *seeds, uint32_t n0, uint32_t n1,
+               Block *out, size_t stride, unsigned take)
+{
+    // State rows: 4 constants, seed words 0-3, PRG key-high words,
+    // counter 0 and the tweak nonce — broadcast except the seed rows.
+    __m128i v[16];
+    v[0] = _mm_set1_epi32(int(0x61707865));
+    v[1] = _mm_set1_epi32(int(0x3320646e));
+    v[2] = _mm_set1_epi32(int(0x79622d32));
+    v[3] = _mm_set1_epi32(int(0x6b206574));
+    alignas(16) uint32_t sw[4][4];
+    for (int s = 0; s < 4; ++s) {
+        sw[0][s] = uint32_t(seeds[s].lo);
+        sw[1][s] = uint32_t(seeds[s].lo >> 32);
+        sw[2][s] = uint32_t(seeds[s].hi);
+        sw[3][s] = uint32_t(seeds[s].hi >> 32);
+    }
+    for (int w = 0; w < 4; ++w)
+        v[4 + w] = _mm_load_si128(reinterpret_cast<__m128i *>(sw[w]));
+    for (int w = 0; w < 4; ++w)
+        v[8 + w] = _mm_set1_epi32(int(detail::kChaChaPrgKeyHigh[w]));
+    v[12] = _mm_setzero_si128();
+    v[13] = _mm_set1_epi32(int(n0));
+    v[14] = _mm_set1_epi32(int(n1));
+    v[15] = _mm_setzero_si128();
+
+    __m128i x[16];
+    for (int i = 0; i < 16; ++i)
+        x[i] = v[i];
+
+    for (int r = 0; r < rounds; r += 2) {
+        IRONMAN_CHACHA_QR(x[0], x[4], x[8], x[12]);
+        IRONMAN_CHACHA_QR(x[1], x[5], x[9], x[13]);
+        IRONMAN_CHACHA_QR(x[2], x[6], x[10], x[14]);
+        IRONMAN_CHACHA_QR(x[3], x[7], x[11], x[15]);
+        IRONMAN_CHACHA_QR(x[0], x[5], x[10], x[15]);
+        IRONMAN_CHACHA_QR(x[1], x[6], x[11], x[12]);
+        IRONMAN_CHACHA_QR(x[2], x[7], x[8], x[13]);
+        IRONMAN_CHACHA_QR(x[3], x[4], x[9], x[14]);
+    }
+
+    for (int i = 0; i < 16; ++i)
+        x[i] = _mm_add_epi32(x[i], v[i]);
+
+    // Transpose word-major lanes back to seed-major 64-byte outputs:
+    // quad q of x rows 4q..4q+3 yields, per seed lane, output words
+    // 4q..4q+3 = keystream block q.
+    for (int q = 0; q < 4 && unsigned(q) < take; ++q) {
+        __m128i a = x[4 * q + 0], b = x[4 * q + 1];
+        __m128i c = x[4 * q + 2], d = x[4 * q + 3];
+        __m128i t0 = _mm_unpacklo_epi32(a, b); // a0 b0 a1 b1
+        __m128i t1 = _mm_unpackhi_epi32(a, b); // a2 b2 a3 b3
+        __m128i t2 = _mm_unpacklo_epi32(c, d); // c0 d0 c1 d1
+        __m128i t3 = _mm_unpackhi_epi32(c, d); // c2 d2 c3 d3
+        __m128i r0 = _mm_unpacklo_epi64(t0, t2); // seed 0's block q
+        __m128i r1 = _mm_unpackhi_epi64(t0, t2); // seed 1's block q
+        __m128i r2 = _mm_unpacklo_epi64(t1, t3); // seed 2's block q
+        __m128i r3 = _mm_unpackhi_epi64(t1, t3); // seed 3's block q
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + q), r0);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + stride + q),
+                         r1);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 2 * stride + q), r2);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 3 * stride + q), r3);
+    }
+}
+
+#undef IRONMAN_CHACHA_QR
+
+#endif // IRONMAN_CHACHA_HAVE_SSE2
+
 } // namespace
 
 ChaCha::ChaCha(int rounds) : numRounds(rounds)
 {
     IRONMAN_CHECK(rounds > 0 && rounds % 2 == 0);
+}
+
+void
+ChaCha::forceScalar(bool force)
+{
+    forceScalarChaCha.store(force, std::memory_order_relaxed);
 }
 
 void
@@ -80,10 +204,10 @@ ChaCha::expandSeed(const Block &seed, uint64_t tweak,
     }
     // Fixed domain-separation constant in the upper key half. Any value
     // works for correctness; fixing it makes executions reproducible.
-    key[4] = 0x49524f4e; // "IRON"
-    key[5] = 0x4d414e2d; // "MAN-"
-    key[6] = 0x4f545047; // "OTPG"
-    key[7] = 0x52474747; // "RGGG"
+    key[4] = detail::kChaChaPrgKeyHigh[0];
+    key[5] = detail::kChaChaPrgKeyHigh[1];
+    key[6] = detail::kChaChaPrgKeyHigh[2];
+    key[7] = detail::kChaChaPrgKeyHigh[3];
 
     std::array<uint32_t, 3> nonce = {
         uint32_t(tweak), uint32_t(tweak >> 32), 0
@@ -93,6 +217,36 @@ ChaCha::expandSeed(const Block &seed, uint64_t tweak,
     block(key, 0, nonce, ks);
     for (int i = 0; i < 4; ++i)
         out[i] = Block::fromBytes(ks + 16 * i);
+}
+
+void
+ChaCha::expandSeedsBatch(const Block *seeds, size_t n, uint64_t tweak,
+                         Block *out, size_t stride, unsigned take) const
+{
+    IRONMAN_CHECK(take >= 1 && take <= 4 && stride >= take);
+    const uint32_t n0 = uint32_t(tweak);
+    const uint32_t n1 = uint32_t(tweak >> 32);
+    size_t i = 0;
+
+    if (!forceScalarChaCha.load(std::memory_order_relaxed)) {
+#ifdef IRONMAN_CHACHA_HAVE_SSE2
+        static const bool have_avx2 = detail::chachaAvx2Supported();
+        if (have_avx2)
+            for (; i + 8 <= n; i += 8)
+                detail::chachaExpandX8(numRounds, seeds + i, n0, n1,
+                                       out + i * stride, stride, take);
+        for (; i + 4 <= n; i += 4)
+            chachaExpandX4(numRounds, seeds + i, n0, n1, out + i * stride,
+                           stride, take);
+#endif
+    }
+
+    std::array<Block, 4> chunk;
+    for (; i < n; ++i) {
+        expandSeed(seeds[i], tweak, chunk);
+        for (unsigned c = 0; c < take; ++c)
+            out[i * stride + c] = chunk[c];
+    }
 }
 
 } // namespace ironman::crypto

@@ -7,12 +7,21 @@
  * what the 4-ary tree expansion consumes (Sec. 4.1). The 20-round
  * variant is validated against the RFC 8439 known-answer vector; the
  * 8- and 12-round variants share the identical round function.
+ *
+ * expandSeedsBatch() runs many independent seed expansions through a
+ * lane-parallel core (8 states per AVX2 pass, 4 per SSE2 pass, one
+ * state word per SIMD lane) — the software analogue of the paper's
+ * multi-core ChaCha pipeline, and what makes the level-synchronous
+ * cross-tree GGM expansion pay: every tree level hands hundreds of
+ * seeds to one call. Output is bit-identical to expandSeed() per seed
+ * (forceScalar() pins the scalar core for equivalence tests).
  */
 
 #ifndef IRONMAN_CRYPTO_CHACHA_H
 #define IRONMAN_CRYPTO_CHACHA_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/block.h"
@@ -48,11 +57,37 @@ class ChaCha
     void expandSeed(const Block &seed, uint64_t tweak,
                     std::array<Block, 4> &out) const;
 
+    /**
+     * Batched expandSeed(): for each of @p n seeds, write the first
+     * @p take (1..4) keystream blocks of chunk @p tweak to
+     * out[i*stride .. i*stride+take). Bit-identical to calling
+     * expandSeed() per seed; dispatches to the widest SIMD core the
+     * CPU supports (AVX2 x8 / SSE2 x4 / scalar tail).
+     */
+    void expandSeedsBatch(const Block *seeds, size_t n, uint64_t tweak,
+                          Block *out, size_t stride, unsigned take) const;
+
     int rounds() const { return numRounds; }
+
+    /** Force the scalar core for all ChaCha batch calls (tests). */
+    static void forceScalar(bool force);
 
   private:
     int numRounds;
 };
+
+namespace detail {
+
+/** Fixed PRG domain constant occupying key words 4-7 of expandSeed. */
+extern const uint32_t kChaChaPrgKeyHigh[4];
+
+/** AVX2 x8 engine (chacha_avx2.cpp, built with -mavx2). */
+bool chachaAvx2Supported();
+void chachaExpandX8(int rounds, const Block *seeds, uint32_t n0,
+                    uint32_t n1, Block *out, size_t stride,
+                    unsigned take);
+
+} // namespace detail
 
 } // namespace ironman::crypto
 

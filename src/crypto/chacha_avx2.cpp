@@ -1,0 +1,172 @@
+/**
+ * @file
+ * AVX2 x8 engine of the batched ChaCha seed expansion: eight
+ * independent states, one state word per 32-bit lane of a ymm
+ * register (16 registers hold the full 16-word state of all eight
+ * seeds). This translation unit is the only one compiled with -mavx2;
+ * dispatch in chacha.cpp is guarded by a runtime CPUID check, so the
+ * binary still runs on SSE2-only machines.
+ */
+
+#include "crypto/chacha.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__)
+#include <immintrin.h>
+#define IRONMAN_HAVE_CHACHA_AVX2_BUILD 1
+#endif
+
+namespace ironman::crypto::detail {
+
+bool
+chachaAvx2Supported()
+{
+#ifdef IRONMAN_HAVE_CHACHA_AVX2_BUILD
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+#ifdef IRONMAN_HAVE_CHACHA_AVX2_BUILD
+
+namespace {
+
+inline __m256i
+rotl16(__m256i v)
+{
+    const __m256i mask = _mm256_set_epi8(
+        13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2,
+        13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+    return _mm256_shuffle_epi8(v, mask);
+}
+
+inline __m256i
+rotl8(__m256i v)
+{
+    const __m256i mask = _mm256_set_epi8(
+        14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3,
+        14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+    return _mm256_shuffle_epi8(v, mask);
+}
+
+inline __m256i
+rotl(__m256i v, int k)
+{
+    return _mm256_or_si256(_mm256_slli_epi32(v, k),
+                           _mm256_srli_epi32(v, 32 - k));
+}
+
+#define IRONMAN_CHACHA_QR(a, b, c, d)                                      \
+    do {                                                                   \
+        a = _mm256_add_epi32(a, b); d = _mm256_xor_si256(d, a);            \
+        d = rotl16(d);                                                     \
+        c = _mm256_add_epi32(c, d); b = _mm256_xor_si256(b, c);            \
+        b = rotl(b, 12);                                                   \
+        a = _mm256_add_epi32(a, b); d = _mm256_xor_si256(d, a);            \
+        d = rotl8(d);                                                      \
+        c = _mm256_add_epi32(c, d); b = _mm256_xor_si256(b, c);            \
+        b = rotl(b, 7);                                                    \
+    } while (0)
+
+} // namespace
+
+void
+chachaExpandX8(int rounds, const Block *seeds, uint32_t n0, uint32_t n1,
+               Block *out, size_t stride, unsigned take)
+{
+    __m256i v[16];
+    v[0] = _mm256_set1_epi32(int(0x61707865));
+    v[1] = _mm256_set1_epi32(int(0x3320646e));
+    v[2] = _mm256_set1_epi32(int(0x79622d32));
+    v[3] = _mm256_set1_epi32(int(0x6b206574));
+
+    // Seed words transposed to word-major lanes: v[4+w] lane s = word w
+    // of seed s.
+    alignas(32) uint32_t sw[4][8];
+    for (int s = 0; s < 8; ++s) {
+        sw[0][s] = uint32_t(seeds[s].lo);
+        sw[1][s] = uint32_t(seeds[s].lo >> 32);
+        sw[2][s] = uint32_t(seeds[s].hi);
+        sw[3][s] = uint32_t(seeds[s].hi >> 32);
+    }
+    for (int w = 0; w < 4; ++w)
+        v[4 + w] =
+            _mm256_load_si256(reinterpret_cast<const __m256i *>(sw[w]));
+    for (int w = 0; w < 4; ++w)
+        v[8 + w] = _mm256_set1_epi32(int(kChaChaPrgKeyHigh[w]));
+    v[12] = _mm256_setzero_si256();
+    v[13] = _mm256_set1_epi32(int(n0));
+    v[14] = _mm256_set1_epi32(int(n1));
+    v[15] = _mm256_setzero_si256();
+
+    __m256i x[16];
+    for (int i = 0; i < 16; ++i)
+        x[i] = v[i];
+
+    for (int r = 0; r < rounds; r += 2) {
+        IRONMAN_CHACHA_QR(x[0], x[4], x[8], x[12]);
+        IRONMAN_CHACHA_QR(x[1], x[5], x[9], x[13]);
+        IRONMAN_CHACHA_QR(x[2], x[6], x[10], x[14]);
+        IRONMAN_CHACHA_QR(x[3], x[7], x[11], x[15]);
+        IRONMAN_CHACHA_QR(x[0], x[5], x[10], x[15]);
+        IRONMAN_CHACHA_QR(x[1], x[6], x[11], x[12]);
+        IRONMAN_CHACHA_QR(x[2], x[7], x[8], x[13]);
+        IRONMAN_CHACHA_QR(x[3], x[4], x[9], x[14]);
+    }
+
+    for (int i = 0; i < 16; ++i)
+        x[i] = _mm256_add_epi32(x[i], v[i]);
+
+    // Per output block q (state words 4q..4q+3): transpose the four
+    // word-major rows into one 16-byte block per seed lane.
+    for (unsigned q = 0; q < take; ++q) {
+        __m256i a = x[4 * q + 0], b = x[4 * q + 1];
+        __m256i c = x[4 * q + 2], d = x[4 * q + 3];
+        // Within each 128-bit lane: seeds {0,1,2,3} low, {4,5,6,7} high.
+        __m256i t0 = _mm256_unpacklo_epi32(a, b); // a0 b0 a1 b1 | a4 b4 a5 b5
+        __m256i t1 = _mm256_unpackhi_epi32(a, b); // a2 b2 a3 b3 | a6 ...
+        __m256i t2 = _mm256_unpacklo_epi32(c, d);
+        __m256i t3 = _mm256_unpackhi_epi32(c, d);
+        __m256i u0 = _mm256_unpacklo_epi64(t0, t2); // s0 | s4
+        __m256i u1 = _mm256_unpackhi_epi64(t0, t2); // s1 | s5
+        __m256i u2 = _mm256_unpacklo_epi64(t1, t3); // s2 | s6
+        __m256i u3 = _mm256_unpackhi_epi64(t1, t3); // s3 | s7
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + q),
+                         _mm256_castsi256_si128(u0));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + stride + q),
+                         _mm256_castsi256_si128(u1));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 2 * stride + q),
+            _mm256_castsi256_si128(u2));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 3 * stride + q),
+            _mm256_castsi256_si128(u3));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 4 * stride + q),
+            _mm256_extracti128_si256(u0, 1));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 5 * stride + q),
+            _mm256_extracti128_si256(u1, 1));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 6 * stride + q),
+            _mm256_extracti128_si256(u2, 1));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(out + 7 * stride + q),
+            _mm256_extracti128_si256(u3, 1));
+    }
+}
+
+#undef IRONMAN_CHACHA_QR
+
+#else // !IRONMAN_HAVE_CHACHA_AVX2_BUILD
+
+void
+chachaExpandX8(int, const Block *, uint32_t, uint32_t, Block *, size_t,
+               unsigned)
+{
+    // Unreachable: chachaAvx2Supported() returned false.
+}
+
+#endif
+
+} // namespace ironman::crypto::detail

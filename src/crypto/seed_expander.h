@@ -14,8 +14,13 @@
  * SeedExpander abstracts both behind one batched entry point
  * expand(seeds, out, n, fanout) so protocol code is written once and
  * the primitive choice (and its operation count, for the Fig. 7(a)
- * reproductions) is a construction-time decision. Engine selection for
- * AES (AES-NI vs portable) happens inside Aes128 at runtime.
+ * reproductions) is a construction-time decision. The batch size n is
+ * the performance lever: the level-synchronous cross-tree GGM path
+ * hands a whole chunk of trees' level-i nodes to one call, which the
+ * ChaCha expander runs through its SIMD multi-seed core (8 states per
+ * AVX2 pass) and the AES expander through full 8-wide AES-NI
+ * pipelines. Engine selection (AES-NI vs portable, AVX2 vs SSE2 vs
+ * scalar ChaCha) happens at runtime inside Aes128 / ChaCha.
  *
  * Instances carry mutable scratch and an operation counter, so one
  * instance must not be shared across threads; the batch-SPCOT driver

@@ -55,6 +55,30 @@ buildSortedLayout(const ot::LpnEncoder &enc, uint64_t row0, size_t rows,
     layout.rowidx.resize(rows * p.d);
 
     if (!opt.rowLookahead) {
+        if (opt.laneTape) {
+            // The lane-transposed tape's service order: per 8-row
+            // group, tap-major (each tap's 8 indices are one
+            // contiguous tape line in the software kernels), with the
+            // scalar row-major tail the kernels also have.
+            constexpr size_t lane = ot::LpnIndexTape::kLane;
+            size_t out = 0;
+            size_t r0 = 0;
+            for (; r0 + lane <= rows; r0 += lane)
+                for (unsigned i = 0; i < p.d; ++i)
+                    for (size_t x = 0; x < lane; ++x) {
+                        layout.colidx[out] = mapped((r0 + x) * p.d + i);
+                        layout.rowidx[out] = uint32_t(r0 + x);
+                        ++out;
+                    }
+            for (; r0 < rows; ++r0)
+                for (unsigned i = 0; i < p.d; ++i) {
+                    layout.colidx[out] = mapped(r0 * p.d + i);
+                    layout.rowidx[out] = uint32_t(r0);
+                    ++out;
+                }
+            IRONMAN_CHECK(out == layout.colidx.size());
+            return layout;
+        }
         for (size_t r = 0; r < rows; ++r) {
             for (unsigned i = 0; i < p.d; ++i) {
                 size_t a = r * p.d + i;

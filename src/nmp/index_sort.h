@@ -42,7 +42,29 @@ struct SortOptions
     size_t windowRows = 4096;
     /// Alternate window direction for cross-window temporal reuse.
     bool zigzag = true;
+    /**
+     * Replay the software path's access order instead of the
+     * row-major stream: the SIMD gather-XOR kernels walk the
+     * lane-transposed LpnIndexTape one 8-row group at a time,
+     * tap-major within the group (tap i's 8 indices are one
+     * contiguous tape line), with a row-major scalar tail. Only
+     * meaningful with rowLookahead off — the look-ahead re-sorts the
+     * window's accesses either way, so it subsumes this order.
+     */
+    bool laneTape = false;
 };
+
+/** The software-path access order (lane-tape replay, sorting off). */
+inline SortOptions
+softwareTapeOrder()
+{
+    SortOptions opt;
+    opt.columnSwap = false;
+    opt.rowLookahead = false;
+    opt.zigzag = false;
+    opt.laneTape = true;
+    return opt;
+}
 
 /** Sorted CSR-like layout of a row range of the LPN matrix. */
 struct SortedLpnLayout

@@ -96,7 +96,15 @@ void
 FerretCotSender::extendInto(Rng &rng, Block *out)
 {
     Timer total;
-    ws.prepare(p, threads, pipelined_ ? 2 : 1);
+    // Scatter-free feed: every bucket is one whole tree, so SPCOT
+    // writes straight into the LPN row slots and the leaf -> rows
+    // pass disappears (the arena aliases rows onto the leaf slots).
+    // Like the pipeline toggle, the mode must not flip while a
+    // prefetched transcript occupies a slot (prepare() re-carves).
+    const bool sf = scatterFree_ && OtWorkspace::scatterFreeFeed(p);
+    IRONMAN_CHECK(!havePending || ws.scatterFree() == sf,
+                  "setScatterFree with a transcript in flight");
+    ws.prepare(p, threads, pipelined_ ? 2 : 1, sf);
     ensureTape();
     const SpcotConfig cfg = spcotConfigOf(p);
     const size_t bucket = p.bucketSize();
@@ -117,21 +125,24 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
         const Block *lpn_r = baseQ.data();         // k entries
         const Block *spcot_q = baseQ.data() + p.k; // t*log2(l) entries
 
-        // 2. Interactive SPCOT into the workspace leaf matrix.
+        // 2. Interactive SPCOT into the workspace leaf matrix — in
+        // scatter-free mode that matrix IS the w vector.
         Timer phase;
         spcotSendInto(ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
                       ws.spcot, ws.leaf[0], &prg_ops);
         stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
         stats_.add("spcot_prg_ops", prg_ops);
 
-        // 3. Scatter tree leaves into the length-n w vector, then LPN.
+        // 3. Scatter tree leaves into the length-n w vector (no-op
+        // when scatter-free), then LPN.
         phase.reset();
-        Block *z = ws.rows;
-        for (size_t tr = 0; tr < p.t; ++tr) {
-            size_t row0 = tr * bucket;
-            size_t width = std::min(bucket, p.n - row0);
-            std::copy_n(ws.leaf[0] + tr * leaves, width, z + row0);
-        }
+        Block *z = sf ? ws.leaf[0] : ws.rows;
+        if (!sf)
+            for (size_t tr = 0; tr < p.t; ++tr) {
+                size_t row0 = tr * bucket;
+                size_t width = std::min(bucket, p.n - row0);
+                std::copy_n(ws.leaf[0] + tr * leaves, width, z + row0);
+            }
         encodePooled(encoder, ws, lpn_r, z, 0, p.n);
         stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
 
@@ -154,17 +165,18 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
                             rng, tweak, &ws.pool, ws.spcot,
                             ws.leaf[slotCur], &prg_ops);
 
-    // Scatter the pending leaves, then encode the reserve prefix
-    // eagerly — the next transcript's chosen-OT pads need
-    // q' = z[k..reserved).
+    // Scatter the pending leaves (scatter-free: slot slotCur already
+    // IS the row vector), then encode the reserve prefix eagerly —
+    // the next transcript's chosen-OT pads need q' = z[k..reserved).
     phase.reset();
-    Block *z = ws.rows;
+    Block *z = sf ? ws.leaf[slotCur] : ws.rows;
     const Block *lpn_r = baseQ.data();
-    for (size_t tr = 0; tr < p.t; ++tr) {
-        size_t row0 = tr * bucket;
-        size_t width = std::min(bucket, p.n - row0);
-        std::copy_n(ws.leaf[slotCur] + tr * leaves, width, z + row0);
-    }
+    if (!sf)
+        for (size_t tr = 0; tr < p.t; ++tr) {
+            size_t row0 = tr * bucket;
+            size_t width = std::min(bucket, p.n - row0);
+            std::copy_n(ws.leaf[slotCur] + tr * leaves, width, z + row0);
+        }
     encodePooled(encoder, ws, lpn_r, z, 0, reserved);
     baseNext.assign(z, z + reserved);
     stats_.add("lpn_prefix_us", uint64_t(phase.seconds() * 1e6));
@@ -230,7 +242,12 @@ void
 FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
 {
     Timer total;
-    ws.prepare(p, threads, 1);
+    // See the sender: scatter-free aliases the single leaf slot onto
+    // the row vector, so reconstruction writes y directly.
+    const bool sf = scatterFree_ && OtWorkspace::scatterFreeFeed(p);
+    IRONMAN_CHECK(!havePending || ws.scatterFree() == sf,
+                  "setScatterFree with a transcript in flight");
+    ws.prepare(p, threads, 1, sf);
     ensureTape();
     const SpcotConfig cfg = spcotConfigOf(p);
     const size_t bucket = p.bucketSize();
@@ -275,15 +292,17 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
         stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
         stats_.add("spcot_prg_ops", prg_ops);
 
-        // 3. Build (u, v) over the n rows, then LPN-encode into (x, y).
+        // 3. Build (u, v) over the n rows (scatter-free: the leaf
+        // matrix already is v), then LPN-encode into (x, y).
         phase.reset();
         ws.x.resize(p.n);
         ws.x.zeroAll();
-        Block *y = ws.rows;
+        Block *y = sf ? ws.leaf[0] : ws.rows;
         for (size_t tr = 0; tr < p.t; ++tr) {
             size_t row0 = tr * bucket;
             size_t width = std::min(bucket, p.n - row0);
-            std::copy_n(ws.leaf[0] + tr * leaves, width, y + row0);
+            if (!sf)
+                std::copy_n(ws.leaf[0] + tr * leaves, width, y + row0);
             ws.x.set(row0 + ws.alphas[tr], true);
         }
         encode_bits(ws.e, ws.x);
@@ -328,12 +347,13 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
     ws.e.assignRange(baseChoice, 0, p.k);
     ws.x.resize(p.n);
     ws.x.zeroAll();
-    Block *y = ws.rows;
+    Block *y = sf ? ws.leaf[0] : ws.rows;
     const Block *lpn_s = baseT.data();
     for (size_t tr = 0; tr < p.t; ++tr) {
         size_t row0 = tr * bucket;
         size_t width = std::min(bucket, p.n - row0);
-        std::copy_n(ws.leaf[0] + tr * leaves, width, y + row0);
+        if (!sf)
+            std::copy_n(ws.leaf[0] + tr * leaves, width, y + row0);
         ws.x.set(row0 + slot->alphas[tr], true);
     }
     encode_bits(ws.e, ws.x);

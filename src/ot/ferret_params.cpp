@@ -52,4 +52,13 @@ tinyTestParams()
     return p;
 }
 
+FerretParams
+tinyAlignedParams()
+{
+    FerretParams p = tinyTestParams();
+    p.name = "tiny-aligned";
+    p.n = p.t * p.treeLeaves(); // bucketSize() == treeLeaves() == 1024
+    return p;
+}
+
 } // namespace ironman::ot

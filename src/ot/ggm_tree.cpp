@@ -124,6 +124,168 @@ ggmExpandInto(crypto::SeedExpander &prg, const Block &seed,
 }
 
 void
+GgmBatchScratch::reserve(size_t trees, const GgmSumLayout &layout,
+                         bool staged_leaves)
+{
+    const size_t num_levels = layout.arities.size();
+    // Non-final levels hold at most leaves/last_arity nodes per tree;
+    // a staged final level additionally ping-pongs the full leaf set.
+    size_t cap = num_levels >= 2 ? layout.leaves / layout.arities.back()
+                                 : 1;
+    if (staged_leaves)
+        cap = std::max(cap, layout.leaves);
+    const unsigned max_arity = *std::max_element(layout.arities.begin(),
+                                                 layout.arities.end());
+    if (ping.size() < trees * cap)
+        ping.resize(trees * cap);
+    if (pong.size() < trees * cap)
+        pong.resize(trees * cap);
+    if (seeds.size() < trees)
+        seeds.resize(trees);
+    if (acc.size() < max_arity)
+        acc.resize(max_arity);
+    if (digits.size() < trees * num_levels)
+        digits.resize(trees * num_levels);
+    if (holes.size() < trees)
+        holes.resize(trees);
+}
+
+void
+ggmExpandBatchInto(crypto::SeedExpander &prg, const Block *seeds,
+                   size_t num_trees, const GgmSumLayout &layout,
+                   GgmBatchScratch &scratch, Block *leaves,
+                   size_t leaf_stride, Block *level_sums,
+                   size_t sums_stride, Block *leaf_sums)
+{
+    const size_t num_levels = layout.arities.size();
+    IRONMAN_CHECK(num_levels >= 1 && num_trees >= 1);
+    const bool staged = leaf_stride != layout.leaves;
+    scratch.reserve(num_trees, layout, staged);
+
+    std::copy(seeds, seeds + num_trees, scratch.seeds.data());
+    const Block *cur = scratch.seeds.data();
+    Block *pa = scratch.ping.data();
+    Block *pb = scratch.pong.data();
+    size_t count = 1;
+
+    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+        const unsigned m = layout.arities[lvl];
+        const bool final_lvl = lvl + 1 == num_levels;
+        Block *next = final_lvl && !staged ? leaves
+                                           : (cur == pa ? pb : pa);
+        // ONE expander call covers this level of every tree: the
+        // tree-major matrix is self-preserving under expansion (seed
+        // i's children land at i*m .. i*m+m-1).
+        prg.expand(cur, next, num_trees * count, m);
+
+        for (size_t tr = 0; tr < num_trees; ++tr) {
+            Block *sums =
+                level_sums + tr * sums_stride + layout.offset[lvl];
+            const Block *kids = next + tr * count * m;
+            std::fill(sums, sums + m, Block::zero());
+            for (size_t j = 0; j < count; ++j)
+                for (unsigned c = 0; c < m; ++c)
+                    sums[c] ^= kids[j * m + c];
+        }
+
+        cur = next;
+        count *= m;
+    }
+
+    if (staged)
+        for (size_t tr = 0; tr < num_trees; ++tr)
+            std::copy_n(cur + tr * layout.leaves, layout.leaves,
+                        leaves + tr * leaf_stride);
+
+    // XOR of a tree's leaves == XOR of its final-level slot sums.
+    if (leaf_sums) {
+        const size_t last = num_levels - 1;
+        const unsigned m = layout.arities[last];
+        for (size_t tr = 0; tr < num_trees; ++tr) {
+            const Block *sums =
+                level_sums + tr * sums_stride + layout.offset[last];
+            Block total = Block::zero();
+            for (unsigned c = 0; c < m; ++c)
+                total ^= sums[c];
+            leaf_sums[tr] = total;
+        }
+    }
+}
+
+void
+ggmReconstructBatchInto(crypto::SeedExpander &prg, const size_t *alphas,
+                        size_t num_trees, const GgmSumLayout &layout,
+                        const Block *known_sums, size_t sums_stride,
+                        GgmBatchScratch &scratch, Block *leaves,
+                        size_t leaf_stride)
+{
+    const size_t num_levels = layout.arities.size();
+    IRONMAN_CHECK(num_levels >= 1 && num_trees >= 1);
+    const bool staged = leaf_stride != layout.leaves;
+    scratch.reserve(num_trees, layout, staged);
+
+    for (size_t tr = 0; tr < num_trees; ++tr) {
+        IRONMAN_CHECK(alphas[tr] < layout.leaves);
+        alphaDigitsInto(alphas[tr], layout.arities,
+                        scratch.digits.data() + tr * num_levels);
+        scratch.holes[tr] = 0;
+    }
+
+    // The punctured node of every tree rides through the batched
+    // expansion as a zero seed: its children are garbage, excluded
+    // from the slot sums and overwritten by the recovery below — so
+    // each level stays ONE expander call with no parent packing.
+    std::fill(scratch.seeds.data(), scratch.seeds.data() + num_trees,
+              Block::zero());
+    const Block *cur = scratch.seeds.data();
+    Block *pa = scratch.ping.data();
+    Block *pb = scratch.pong.data();
+    Block *acc = scratch.acc.data();
+    size_t count = 1;
+
+    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+        const unsigned m = layout.arities[lvl];
+        const bool final_lvl = lvl + 1 == num_levels;
+        Block *next = final_lvl && !staged ? leaves
+                                           : (cur == pa ? pb : pa);
+        prg.expand(cur, next, num_trees * count, m);
+
+        for (size_t tr = 0; tr < num_trees; ++tr) {
+            const unsigned digit =
+                scratch.digits[tr * num_levels + lvl];
+            const size_t hole = scratch.holes[tr];
+            Block *kids = next + tr * count * m;
+
+            std::fill(acc, acc + m, Block::zero());
+            for (size_t j = 0; j < count; ++j) {
+                if (j == hole)
+                    continue;
+                for (unsigned c = 0; c < m; ++c)
+                    acc[c] ^= kids[j * m + c];
+            }
+
+            // Recover the punctured parent's children at every slot
+            // except the path digit: child = K_c ^ (known slot-c sum).
+            const Block *sums =
+                known_sums + tr * sums_stride + layout.offset[lvl];
+            for (unsigned c = 0; c < m; ++c)
+                kids[hole * m + c] =
+                    c == digit ? Block::zero() : sums[c] ^ acc[c];
+
+            scratch.holes[tr] = hole * m + digit;
+        }
+
+        cur = next;
+        count *= m;
+    }
+
+    if (staged)
+        for (size_t tr = 0; tr < num_trees; ++tr)
+            std::copy_n(cur + tr * layout.leaves, layout.leaves,
+                        leaves + tr * leaf_stride);
+}
+
+void
 ggmReconstructInto(crypto::SeedExpander &prg, size_t alpha,
                    const GgmSumLayout &layout, const Block *known_sums,
                    GgmScratch &scratch, Block *leaves)

@@ -99,6 +99,71 @@ void ggmReconstructInto(crypto::SeedExpander &prg, size_t alpha,
                         const GgmSumLayout &layout, const Block *known_sums,
                         GgmScratch &scratch, Block *leaves);
 
+/**
+ * Reusable scratch of the level-synchronous cross-tree batch path:
+ * ping-pong matrices holding ALL trees' level-i nodes lane-contiguous
+ * (tree-major), so each level of the whole batch is ONE SeedExpander
+ * call. Grow-only; one instance per thread.
+ */
+struct GgmBatchScratch
+{
+    std::vector<Block> ping;      ///< cross-tree level matrix
+    std::vector<Block> pong;      ///< cross-tree level matrix
+    std::vector<Block> seeds;     ///< gathered/zero root seeds
+    std::vector<Block> acc;       ///< per-slot partial sums (max arity)
+    std::vector<unsigned> digits; ///< reconstruction: trees x levels
+    std::vector<size_t> holes;    ///< reconstruction: per-tree hole path
+
+    /**
+     * Pre-size for @p trees trees of @p layout. @p staged_leaves must
+     * be true when the final level cannot be written straight into the
+     * caller's span (leaf_stride != layout.leaves), which stages the
+     * last level in the ping-pong matrices too.
+     */
+    void reserve(size_t trees, const GgmSumLayout &layout,
+                 bool staged_leaves);
+};
+
+/**
+ * Level-synchronous expansion of @p num_trees trees through @p layout:
+ * every level of the whole batch is ONE prg.expand() call over the
+ * lane-contiguous cross-tree node matrix (the matrix layout is
+ * self-preserving: seed i's children land at i*m..i*m+m-1, so
+ * tree-major stays tree-major). Bit-identical to ggmExpandInto() per
+ * tree.
+ *
+ * When @p leaf_stride == layout.leaves the final level is expanded
+ * DIRECTLY into @p leaves (tree tr at leaves + tr*leaf_stride) — the
+ * scatter-free LPN feed aliases this to the reserve segment; otherwise
+ * the last level is staged and copied per tree.
+ *
+ * @param leaf_sums Receives each tree's XOR-of-leaves (num_trees
+ *        entries); may be nullptr.
+ */
+void ggmExpandBatchInto(crypto::SeedExpander &prg, const Block *seeds,
+                        size_t num_trees, const GgmSumLayout &layout,
+                        GgmBatchScratch &scratch, Block *leaves,
+                        size_t leaf_stride, Block *level_sums,
+                        size_t sums_stride, Block *leaf_sums);
+
+/**
+ * Level-synchronous reconstruction of @p num_trees punctured trees:
+ * one prg.expand() call per level over the cross-tree matrix (the
+ * punctured node of each tree rides along as a zero seed whose
+ * children are discarded and recovered from the known sums, so no
+ * parent packing/unpacking pass is needed). Bit-identical leaf output
+ * to ggmReconstructInto() per tree; tree tr's known sums are read at
+ * known_sums + tr*sums_stride, its leaves written at
+ * leaves + tr*leaf_stride (direct final-level expansion when
+ * leaf_stride == layout.leaves, staged otherwise).
+ */
+void ggmReconstructBatchInto(crypto::SeedExpander &prg,
+                             const size_t *alphas, size_t num_trees,
+                             const GgmSumLayout &layout,
+                             const Block *known_sums, size_t sums_stride,
+                             GgmBatchScratch &scratch, Block *leaves,
+                             size_t leaf_stride);
+
 } // namespace ironman::ot
 
 #endif // IRONMAN_OT_GGM_TREE_H

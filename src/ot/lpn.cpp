@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -86,17 +88,126 @@ gatherXorSse2(const Block *in, Block *inout, const uint32_t *tape,
 
 #endif // IRONMAN_HAVE_SSE2
 
+// ---------------------------------------------------------------------------
+// Bit gather-XOR kernels (the tape path of encodeBits)
+// ---------------------------------------------------------------------------
+
+/** Scalar reference: one row at a time over the packed words. */
+void
+bitGatherScalar(const uint64_t *in, uint64_t *inout, const uint32_t *tape,
+                size_t rows, unsigned d)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane +
+                            (r % kLane);
+        uint64_t bit = 0;
+        for (unsigned i = 0; i < d; ++i) {
+            const uint32_t idx = g[i * kLane];
+            bit ^= (in[idx >> 6] >> (idx & 63)) & 1;
+        }
+        inout[r >> 6] ^= bit << (r & 63);
+    }
+}
+
+/**
+ * Word-at-a-time kernel: each 8-row lane group accumulates its result
+ * bits in a register and lands as ONE byte XOR — no per-bit get/set.
+ */
+void
+bitGatherWords(const uint64_t *in, uint64_t *inout, const uint32_t *tape,
+               size_t rows, unsigned d)
+{
+    static_assert(kLane == 8, "one lane group == one output byte");
+    uint8_t *out_bytes = reinterpret_cast<uint8_t *>(inout);
+    size_t r = 0;
+    for (; r + kLane <= rows; r += kLane) {
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane;
+        unsigned acc = 0;
+        for (unsigned i = 0; i < d; ++i) {
+            const uint32_t *gi = g + i * kLane;
+            for (size_t x = 0; x < kLane; ++x)
+                acc ^= unsigned((in[gi[x] >> 6] >> (gi[x] & 63)) & 1)
+                       << x;
+        }
+        out_bytes[r / 8] ^= uint8_t(acc);
+    }
+    for (; r < rows; ++r) {
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane +
+                            (r % kLane);
+        uint64_t bit = 0;
+        for (unsigned i = 0; i < d; ++i) {
+            const uint32_t idx = g[i * kLane];
+            bit ^= (in[idx >> 6] >> (idx & 63)) & 1;
+        }
+        inout[r >> 6] ^= bit << (r & 63);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
 using GatherFn = void (*)(const Block *, Block *, const uint32_t *,
                           size_t, size_t, unsigned);
+using BitGatherFn = void (*)(const uint64_t *, uint64_t *,
+                             const uint32_t *, size_t, unsigned);
 
-std::atomic<bool> forceScalarGather{false};
+std::atomic<LpnKernel> gatherKernelMode{LpnKernel::Auto};
+
+#ifdef IRONMAN_HAVE_SSE2
+
+/**
+ * Measure the two AVX2 block kernels on a synthetic tape and keep the
+ * faster: vpgatherqq beats the vinserti128 pair on some cores and
+ * loses on others, so Auto decides per CPU, once per process (during
+ * engine warm-up — the scratch buffers here are freed immediately).
+ */
+GatherFn
+calibrateAvx2Kernel()
+{
+    constexpr size_t k = 2048, rows = 4096;
+    constexpr unsigned d = 10;
+    std::vector<Block> in(k), a(rows), b(rows);
+    std::vector<uint32_t> tape((rows / kLane) * d * kLane);
+    uint64_t s = 0x9e3779b97f4a7c15ULL;
+    for (Block &blk : in) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        blk = Block(s, ~s);
+    }
+    for (uint32_t &t : tape) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        t = uint32_t(s >> 33) % k;
+    }
+    auto time = [&](GatherFn fn, Block *rows_buf) {
+        uint64_t best = ~0ULL;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            fn(in.data(), rows_buf, tape.data(), 0, rows, d);
+            const auto t1 = std::chrono::steady_clock::now();
+            best = std::min(
+                best, uint64_t(std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(t1 - t0)
+                                   .count()));
+        }
+        return best;
+    };
+    const uint64_t insert = time(&detail::lpnGatherXorAvx2, a.data());
+    const uint64_t gather =
+        time(&detail::lpnGatherXorAvx2Gather, b.data());
+    return gather < insert ? &detail::lpnGatherXorAvx2Gather
+                           : &detail::lpnGatherXorAvx2;
+}
+
+#endif // IRONMAN_HAVE_SSE2
 
 GatherFn
-pickGatherKernel()
+pickAutoKernel()
 {
 #ifdef IRONMAN_HAVE_SSE2
-    if (detail::lpnAvx2Supported())
-        return &detail::lpnGatherXorAvx2;
+    if (detail::lpnAvx2Supported()) {
+        static const GatherFn best = calibrateAvx2Kernel();
+        return best;
+    }
     return &gatherXorSse2;
 #else
     return &gatherXorScalar;
@@ -106,18 +217,74 @@ pickGatherKernel()
 GatherFn
 activeGatherKernel()
 {
-    if (forceScalarGather.load(std::memory_order_relaxed))
+    switch (gatherKernelMode.load(std::memory_order_relaxed)) {
+      case LpnKernel::Scalar:
         return &gatherXorScalar;
-    static const GatherFn best = pickGatherKernel();
-    return best;
+#ifdef IRONMAN_HAVE_SSE2
+      case LpnKernel::Sse2:
+        return &gatherXorSse2;
+      case LpnKernel::Avx2:
+        if (detail::lpnAvx2Supported())
+            return &detail::lpnGatherXorAvx2;
+        break;
+      case LpnKernel::Avx2Gather:
+        if (detail::lpnAvx2Supported())
+            return &detail::lpnGatherXorAvx2Gather;
+        break;
+#endif
+      default:
+        break;
+    }
+    return pickAutoKernel();
+}
+
+BitGatherFn
+activeBitKernel()
+{
+    switch (gatherKernelMode.load(std::memory_order_relaxed)) {
+      case LpnKernel::Scalar:
+        return &bitGatherScalar;
+      case LpnKernel::Sse2:
+        return &bitGatherWords;
+      default:
+        break;
+    }
+#ifdef IRONMAN_HAVE_SSE2
+    if (detail::lpnAvx2Supported())
+        return &detail::lpnBitGatherXorAvx2;
+#endif
+    return &bitGatherWords;
 }
 
 } // namespace
 
 void
+LpnEncoder::setKernel(LpnKernel kernel)
+{
+    gatherKernelMode.store(kernel, std::memory_order_relaxed);
+}
+
+void
 LpnEncoder::forceScalarKernel(bool force)
 {
-    forceScalarGather.store(force, std::memory_order_relaxed);
+    setKernel(force ? LpnKernel::Scalar : LpnKernel::Auto);
+}
+
+const char *
+LpnEncoder::activeKernelName()
+{
+    const GatherFn fn = activeGatherKernel();
+    if (fn == &gatherXorScalar)
+        return "scalar";
+#ifdef IRONMAN_HAVE_SSE2
+    if (fn == &gatherXorSse2)
+        return "sse2";
+    if (fn == &detail::lpnGatherXorAvx2)
+        return "avx2-insert";
+    if (fn == &detail::lpnGatherXorAvx2Gather)
+        return "avx2-vpgatherqq";
+#endif
+    return "?";
 }
 
 LpnEncoder::LpnEncoder(const LpnParams &params) : p(params)
@@ -288,15 +455,8 @@ LpnEncoder::encodeBitsTape(const BitVec &in, BitVec &inout,
     IRONMAN_CHECK(tape.ready() && tape.builtFor == p &&
                       tape.rows >= p.n,
                   "tape too short for bit encode");
-    const uint32_t *t = tape.idx.data();
-    for (size_t r = 0; r < p.n; ++r) {
-        const uint32_t *g =
-            t + (r / kLane) * size_t(p.d) * kLane + (r % kLane);
-        bool acc = inout.get(r);
-        for (unsigned i = 0; i < p.d; ++i)
-            acc ^= in.get(g[i * kLane]);
-        inout.set(r, acc);
-    }
+    activeBitKernel()(in.rawWords().data(), inout.rawWords().data(),
+                      tape.idx.data(), p.n, p.d);
 }
 
 } // namespace ironman::ot

@@ -91,6 +91,112 @@ lpnGatherXorAvx2(const Block *in, Block *inout, const uint32_t *tape,
         scalarRows(in, inout + j, tape, row0 + j, count - j, d);
 }
 
+void
+lpnGatherXorAvx2Gather(const Block *in, Block *inout,
+                       const uint32_t *tape, size_t row0, size_t count,
+                       unsigned d)
+{
+    size_t j = 0;
+    while (j < count && ((row0 + j) % kLane) != 0) {
+        scalarRows(in, inout + j, tape, row0 + j, 1, d);
+        ++j;
+    }
+
+    // vpgatherqq variant: per tap, four 4-lane gathers fetch the lo
+    // and hi halves of 8 blocks; accumulators stay in split lo/hi
+    // form and are interleaved back into blocks once per group. The
+    // indices are doubled so the gather's scale-8 addressing reaches
+    // 16-byte entries.
+    const long long *base_lo = reinterpret_cast<const long long *>(in);
+    const long long *base_hi = base_lo + 1;
+    for (; j + kLane <= count; j += kLane) {
+        const size_t r = row0 + j;
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane;
+        __m256i lo0 = _mm256_setzero_si256(); // rows j..j+3, lo lanes
+        __m256i hi0 = _mm256_setzero_si256();
+        __m256i lo1 = _mm256_setzero_si256(); // rows j+4..j+7
+        __m256i hi1 = _mm256_setzero_si256();
+        for (unsigned i = 0; i < d; ++i) {
+            const __m256i idx = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(g + i * kLane));
+            const __m256i q0 = _mm256_slli_epi64(
+                _mm256_cvtepu32_epi64(_mm256_castsi256_si128(idx)), 1);
+            const __m256i q1 = _mm256_slli_epi64(
+                _mm256_cvtepu32_epi64(_mm256_extracti128_si256(idx, 1)),
+                1);
+            lo0 = _mm256_xor_si256(lo0,
+                                   _mm256_i64gather_epi64(base_lo, q0, 8));
+            hi0 = _mm256_xor_si256(hi0,
+                                   _mm256_i64gather_epi64(base_hi, q0, 8));
+            lo1 = _mm256_xor_si256(lo1,
+                                   _mm256_i64gather_epi64(base_lo, q1, 8));
+            hi1 = _mm256_xor_si256(hi1,
+                                   _mm256_i64gather_epi64(base_hi, q1, 8));
+        }
+        for (int half = 0; half < 2; ++half) {
+            const __m256i lo = half ? lo1 : lo0;
+            const __m256i hi = half ? hi1 : hi0;
+            Block *dst = inout + j + 4 * half;
+            // [l0,h0,l2,h2] / [l1,h1,l3,h3] -> row pairs in order.
+            const __m256i even = _mm256_unpacklo_epi64(lo, hi);
+            const __m256i odd = _mm256_unpackhi_epi64(lo, hi);
+            const __m256i b01 = _mm256_permute2x128_si256(even, odd,
+                                                          0x20);
+            const __m256i b23 = _mm256_permute2x128_si256(even, odd,
+                                                          0x31);
+            __m256i *p0 = reinterpret_cast<__m256i *>(dst);
+            __m256i *p1 = reinterpret_cast<__m256i *>(dst + 2);
+            _mm256_storeu_si256(
+                p0, _mm256_xor_si256(_mm256_loadu_si256(p0), b01));
+            _mm256_storeu_si256(
+                p1, _mm256_xor_si256(_mm256_loadu_si256(p1), b23));
+        }
+    }
+
+    if (j < count)
+        scalarRows(in, inout + j, tape, row0 + j, count - j, d);
+}
+
+void
+lpnBitGatherXorAvx2(const uint64_t *in_words, uint64_t *inout_words,
+                    const uint32_t *tape, size_t rows, unsigned d)
+{
+    // One 8-row lane group per iteration: vpgatherdd fetches the
+    // 32-bit words holding each tap's bit, vpsrlvd aligns the bits to
+    // lane bit 0, and the group's eight result bits leave as one
+    // movemask byte.
+    const int *in32 = reinterpret_cast<const int *>(in_words);
+    uint8_t *out_bytes = reinterpret_cast<uint8_t *>(inout_words);
+    const __m256i low5 = _mm256_set1_epi32(31);
+    size_t r = 0;
+    for (; r + kLane <= rows; r += kLane) {
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane;
+        __m256i acc = _mm256_setzero_si256();
+        for (unsigned i = 0; i < d; ++i) {
+            const __m256i idx = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(g + i * kLane));
+            const __m256i words = _mm256_i32gather_epi32(
+                in32, _mm256_srli_epi32(idx, 5), 4);
+            acc = _mm256_xor_si256(
+                acc, _mm256_srlv_epi32(words,
+                                       _mm256_and_si256(idx, low5)));
+        }
+        const int mask = _mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_slli_epi32(acc, 31)));
+        out_bytes[r / 8] ^= uint8_t(mask);
+    }
+    for (; r < rows; ++r) {
+        const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane +
+                            (r % kLane);
+        uint64_t bit = 0;
+        for (unsigned i = 0; i < d; ++i) {
+            const uint32_t idx = g[i * kLane];
+            bit ^= (in_words[idx >> 6] >> (idx & 63)) & 1;
+        }
+        inout_words[r >> 6] ^= bit << (r & 63);
+    }
+}
+
 #else // !IRONMAN_HAVE_AVX2_BUILD
 
 void
@@ -98,6 +204,18 @@ lpnGatherXorAvx2(const Block *, Block *, const uint32_t *, size_t, size_t,
                  unsigned)
 {
     // Unreachable: lpnAvx2Supported() returned false.
+}
+
+void
+lpnGatherXorAvx2Gather(const Block *, Block *, const uint32_t *, size_t,
+                       size_t, unsigned)
+{
+}
+
+void
+lpnBitGatherXorAvx2(const uint64_t *, uint64_t *, const uint32_t *,
+                    size_t, unsigned)
+{
 }
 
 #endif

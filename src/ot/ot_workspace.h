@@ -77,25 +77,50 @@ struct OtWorkspace
     static constexpr size_t kLpnTapeBytesCap = size_t(256) << 20;
 
     /**
-     * Arena blocks one engine role needs for @p p: @p leaf_slots
-     * t x l leaf matrices plus the n staging rows. The pipelined
-     * sender double-buffers the leaf matrix (leaf_slots = 2); the
-     * receiver reconstructs into one.
+     * True when @p p supports the scatter-free LPN feed: every
+     * regular-noise bucket is exactly one whole GGM tree, so the
+     * t x l leaf matrix IS the first t*l rows of the LPN staging
+     * vector and SPCOT can expand/reconstruct straight into it.
+     */
+    static bool
+    scatterFreeFeed(const FerretParams &p)
+    {
+        return p.bucketSize() == p.treeLeaves();
+    }
+
+    /**
+     * Arena blocks one engine role needs for @p p. Copy-feed layout:
+     * @p leaf_slots t x l leaf matrices plus the n staging rows.
+     * Scatter-free layout (bucketSize() == treeLeaves() and
+     * @p scatter_free): the separate staging rows disappear —
+     * @p leaf_slots row-slots of t*l blocks each (>= n), and the leaf
+     * matrix of slot s ALIASES row-slot s. The pipelined sender keeps
+     * two slots (iteration i's rows encode in place while iteration
+     * i+1's transcript expands into the other slot); the receiver
+     * needs one.
      */
     static size_t requiredBlocks(const FerretParams &p,
-                                 int leaf_slots = 1);
+                                 int leaf_slots = 1,
+                                 bool scatter_free = false);
 
     /**
      * (Re)size everything for @p p and @p threads. Idempotent: a
      * second call with identical arguments does nothing, so the first
-     * extend() is the only warm-up.
+     * extend() is the only warm-up. @p scatter_free requests the
+     * aliased arena layout (ignored unless scatterFreeFeed(p)).
      */
-    void prepare(const FerretParams &p, int threads, int leaf_slots = 1);
+    void prepare(const FerretParams &p, int threads, int leaf_slots = 1,
+                 bool scatter_free = false);
+
+    /** True when prepare() selected the scatter-free (aliased) layout. */
+    bool scatterFree() const { return scatterFreeActive; }
 
     common::ThreadPool pool{1};
     BlockArena arena;
-    Block *leaf[2] = {nullptr, nullptr}; ///< t x treeLeaves() slots
-    Block *rows = nullptr;               ///< n staging rows (z / y)
+    /// t x treeLeaves() slots; scatter-free: leaf[s] == rowSlot(s).
+    Block *leaf[2] = {nullptr, nullptr};
+    /// n staging rows (z / y); scatter-free: aliases leaf[0].
+    Block *rows = nullptr;
 
     SpcotWorkspace spcot;
     std::vector<LpnEncodeScratch> lpn; ///< one per pool thread
@@ -108,6 +133,7 @@ struct OtWorkspace
 
   private:
     bool ready = false;
+    bool scatterFreeActive = false;
     FerretParams preparedFor;
     int preparedThreads = 0;
     int preparedSlots = 0;

@@ -100,6 +100,8 @@ SpcotWorkspace::prepare(const SpcotConfig &config, size_t num_trees,
         std::max(2u, *std::max_element(shape.arities.begin(),
                                        shape.arities.end()));
     const size_t mini_total = 2 * size_t(log2Arity(max_arity));
+    const size_t chunk =
+        std::min<size_t>(kBatchTrees, std::max<size_t>(num_trees, 1));
     while (workers.size() < size_t(threads)) {
         workers.emplace_back();
         Worker &w = workers.back();
@@ -107,16 +109,25 @@ SpcotWorkspace::prepare(const SpcotConfig &config, size_t num_trees,
         w.miniPrg = crypto::makeTreeExpander(config.prg, 2);
     }
     for (Worker &w : workers) {
-        w.miniLeavesAll.resize(std::max<size_t>(shape.sumsPerTree, 1));
-        w.hashPads.resize(std::max<size_t>(shape.sumsPerTree, 1));
+        w.miniLeavesAll.resize(
+            std::max<size_t>(chunk * shape.sumsPerTree, 1));
+        w.hashPads.resize(
+            std::max<size_t>(chunk * shape.sumsPerTree, 1));
         if (for_sender) {
-            w.levelSums.resize(shape.layout.total);
-            w.miniSums.resize(std::max<size_t>(mini_total, 1));
+            w.levelSums.resize(chunk * shape.layout.total);
+            w.leafSums.resize(chunk);
+            w.miniSums.resize(std::max<size_t>(chunk * mini_total, 1));
+            w.miniSeedStage.resize(chunk);
         } else {
-            w.knownSums.resize(shape.layout.total);
+            w.knownSums.resize(chunk * shape.layout.total);
+            w.miniKnown.resize(std::max<size_t>(chunk * mini_total, 1));
+            w.miniAlphaStage.resize(chunk);
         }
-        w.ggm.reserve(shape.leaves, max_arity);
-        w.miniGgm.reserve(max_arity, 2);
+        w.batch.reserve(chunk, shape.layout, /*staged_leaves=*/false);
+        for (size_t lvl = 0; lvl < shape.arities.size(); ++lvl)
+            if (shape.miniIndex[lvl] >= 0)
+                w.miniBatch.reserve(chunk, shape.miniLayout[lvl],
+                                    /*staged_leaves=*/true);
     }
 
     ready = true;
@@ -162,68 +173,88 @@ spcotSendTranscript(net::Channel &ch, const SpcotConfig &cfg,
 
     auto expand_range = [&](int worker, size_t lo, size_t hi) {
         SpcotWorkspace::Worker &wk = ws.workers[worker];
-        for (size_t tr = lo; tr < hi; ++tr) {
-            Block *leaves = w + tr * sh.leaves;
-            Block leaf_sum;
-            ggmExpandInto(*wk.mainPrg, ws.seeds[tr], sh.layout, wk.ggm,
-                          leaves, wk.levelSums.data(), &leaf_sum);
+        for (size_t batch_base = lo; batch_base < hi;
+             batch_base += SpcotWorkspace::kBatchTrees) {
+            const size_t cnt = std::min(SpcotWorkspace::kBatchTrees,
+                                        hi - batch_base);
 
-            const size_t inst_base = tr * sh.cotsPerTree;
-            const size_t extra_base = tr * sh.extraPerTree;
+            // All main trees of this chunk expand level-synchronously:
+            // ONE expander call per level, the final level writing
+            // straight into each tree's slot of the leaf span.
+            ggmExpandBatchInto(*wk.mainPrg, ws.seeds.data() + batch_base,
+                               cnt, sh.layout, wk.batch,
+                               w + batch_base * sh.leaves, sh.leaves,
+                               wk.levelSums.data(), sh.layout.total,
+                               wk.leafSums.data());
+
+            // (m-1)-out-of-m OTs of the wide levels, from m-leaf
+            // binary mini GGM trees (Sec. 4.2): one cross-tree batch
+            // per level. The mini level sums ride the chosen OTs; the
+            // mini leaves land in each tree's contiguous span of
+            // miniLeavesAll so one batch hash below covers the whole
+            // chunk.
             for (size_t lvl = 0; lvl < num_levels; ++lvl) {
-                const unsigned m = sh.arities[lvl];
-                const Block *sums =
-                    wk.levelSums.data() + sh.layout.offset[lvl];
-                const size_t inst = inst_base + sh.instOffset[lvl];
-                if (m == 2) {
-                    ws.otM0[inst] = sums[0];
-                    ws.otM1[inst] = sums[1];
+                if (sh.miniIndex[lvl] < 0)
                     continue;
-                }
-
-                // (m-1)-out-of-m OT from an m-leaf binary mini GGM
-                // tree: the mini level sums ride the chosen OTs, the
-                // mini leaves pad the real sums. The leaves land in
-                // this tree's contiguous mini-leaf span so one batch
-                // hash below covers every wide level.
                 const GgmSumLayout &ml = sh.miniLayout[lvl];
-                Block mini_leaf_sum;
-                ggmExpandInto(*wk.miniPrg,
-                              ws.miniSeeds[tr * sh.wideLevels +
-                                           size_t(sh.miniIndex[lvl])],
-                              ml, wk.miniGgm,
-                              wk.miniLeavesAll.data() + sh.sumOffset[lvl],
-                              wk.miniSums.data(), &mini_leaf_sum);
-                for (size_t j = 0; j < ml.arities.size(); ++j) {
-                    ws.otM0[inst + j] = wk.miniSums[ml.offset[j] + 0];
-                    ws.otM1[inst + j] = wk.miniSums[ml.offset[j] + 1];
+                for (size_t i = 0; i < cnt; ++i)
+                    wk.miniSeedStage[i] =
+                        ws.miniSeeds[(batch_base + i) * sh.wideLevels +
+                                     size_t(sh.miniIndex[lvl])];
+                ggmExpandBatchInto(
+                    *wk.miniPrg, wk.miniSeedStage.data(), cnt, ml,
+                    wk.miniBatch,
+                    wk.miniLeavesAll.data() + sh.sumOffset[lvl],
+                    sh.sumsPerTree, wk.miniSums.data(), ml.total,
+                    nullptr);
+                for (size_t i = 0; i < cnt; ++i) {
+                    const size_t inst = (batch_base + i) * sh.cotsPerTree +
+                                        sh.instOffset[lvl];
+                    const Block *msums = wk.miniSums.data() + i * ml.total;
+                    for (size_t j = 0; j < ml.arities.size(); ++j) {
+                        ws.otM0[inst + j] = msums[ml.offset[j] + 0];
+                        ws.otM1[inst + j] = msums[ml.offset[j] + 1];
+                    }
                 }
             }
 
-            // One fused batch hash per tree: the sumsPerTree mini
-            // leaves use the contiguous tweak range starting at
-            // sum_base + tr*sumsPerTree.
-            if (sh.sumsPerTree > 0) {
+            // One fused batch hash for the whole chunk: tree tr's
+            // sumsPerTree mini leaves use the contiguous tweak range
+            // starting at sum_base + tr*sumsPerTree, and chunk trees
+            // are contiguous.
+            if (sh.sumsPerTree > 0)
                 ws.crhf.hashBatch(wk.miniLeavesAll.data(),
-                                  wk.hashPads.data(), sh.sumsPerTree,
-                                  sum_base + tr * sh.sumsPerTree);
-                Block *ex = ws.extra.data() + extra_base;
+                                  wk.hashPads.data(),
+                                  cnt * sh.sumsPerTree,
+                                  sum_base + batch_base * sh.sumsPerTree);
+
+            for (size_t i = 0; i < cnt; ++i) {
+                const size_t tr = batch_base + i;
+                const size_t inst_base = tr * sh.cotsPerTree;
+                Block *ex = ws.extra.data() + tr * sh.extraPerTree;
+                const Block *lsums =
+                    wk.levelSums.data() + i * sh.layout.total;
+                const Block *pads =
+                    wk.hashPads.data() + i * sh.sumsPerTree;
                 for (size_t lvl = 0; lvl < num_levels; ++lvl) {
                     const unsigned m = sh.arities[lvl];
-                    if (m == 2)
+                    const Block *sums = lsums + sh.layout.offset[lvl];
+                    if (m == 2) {
+                        const size_t inst =
+                            inst_base + sh.instOffset[lvl];
+                        ws.otM0[inst] = sums[0];
+                        ws.otM1[inst] = sums[1];
                         continue;
-                    const Block *sums =
-                        wk.levelSums.data() + sh.layout.offset[lvl];
+                    }
                     const uint32_t so = sh.sumOffset[lvl];
                     for (unsigned c = 0; c < m; ++c)
-                        ex[so + c] = sums[c] ^ wk.hashPads[so + c];
+                        ex[so + c] = sums[c] ^ pads[so + c];
                 }
-            }
 
-            // Final node recovery: Delta ^ XOR of all leaves (step 4
-            // of Fig. 3(b)).
-            ws.extra[extra_base + sh.extraPerTree - 1] =
-                leaf_sum ^ delta;
+                // Final node recovery: Delta ^ XOR of all leaves
+                // (step 4 of Fig. 3(b)).
+                ex[sh.extraPerTree - 1] = wk.leafSums[i] ^ delta;
+            }
         }
     };
 
@@ -332,75 +363,116 @@ spcotRecvFinish(const SpcotConfig &cfg, size_t num_trees, const Block *t,
 
     pool.parallelFor(num_trees, [&](int worker, size_t lo, size_t hi) {
         SpcotWorkspace::Worker &wk = ws.workers[worker];
-        for (size_t tr = lo; tr < hi; ++tr) {
-            const unsigned *dg = slot.digits.data() + tr * num_levels;
-            const size_t inst_base = tr * sh.cotsPerTree;
-            const size_t extra_base = tr * sh.extraPerTree;
+        for (size_t batch_base = lo; batch_base < hi;
+             batch_base += SpcotWorkspace::kBatchTrees) {
+            const size_t cnt = std::min(SpcotWorkspace::kBatchTrees,
+                                        hi - batch_base);
 
-            // Pass 1: reconstruct every wide level's mini tree into
-            // the tree's contiguous mini-leaf span, and fill the
-            // binary levels' known sums directly.
-            for (size_t lvl = 0; lvl < num_levels; ++lvl) {
-                const unsigned m = sh.arities[lvl];
-                const unsigned digit = dg[lvl];
-                const size_t inst = inst_base + sh.instOffset[lvl];
-                Block *ks = wk.knownSums.data() + sh.layout.offset[lvl];
-
-                if (m == 2) {
-                    ks[digit] = Block::zero();
-                    ks[digit ^ 1] = ws.otOut[inst];
-                    continue;
-                }
-
-                const GgmSumLayout &ml = sh.miniLayout[lvl];
-                const unsigned bits = log2Arity(m);
-                for (unsigned j = 0; j < bits; ++j) {
-                    const unsigned bit = (digit >> (bits - 1 - j)) & 1;
-                    wk.hashPads[ml.offset[j] + bit] = Block::zero();
-                    wk.hashPads[ml.offset[j] + (bit ^ 1)] =
-                        ws.otOut[inst + j];
-                }
-                ggmReconstructInto(*wk.miniPrg, digit, ml,
-                                   wk.hashPads.data(), wk.miniGgm,
-                                   wk.miniLeavesAll.data() +
-                                       sh.sumOffset[lvl]);
-            }
-
-            // Pass 2: one fused batch hash over the tree's mini
-            // leaves, then unmask the real sums (the pad at the
-            // punctured digit hashes an unknown zero leaf and is
-            // skipped).
-            if (sh.sumsPerTree > 0) {
-                ws.crhf.hashBatch(wk.miniLeavesAll.data(),
-                                  wk.hashPads.data(), sh.sumsPerTree,
-                                  slot.sumBase + tr * sh.sumsPerTree);
-                const Block *ex = slot.extra.data() + extra_base;
+            // Pass 1a: binary levels' known sums straight from the
+            // chosen-OT outputs.
+            for (size_t i = 0; i < cnt; ++i) {
+                const size_t tr = batch_base + i;
+                const unsigned *dg = slot.digits.data() + tr * num_levels;
+                const size_t inst_base = tr * sh.cotsPerTree;
+                Block *ks = wk.knownSums.data() + i * sh.layout.total;
                 for (size_t lvl = 0; lvl < num_levels; ++lvl) {
-                    const unsigned m = sh.arities[lvl];
-                    if (m == 2)
+                    if (sh.arities[lvl] != 2)
                         continue;
                     const unsigned digit = dg[lvl];
-                    const uint32_t so = sh.sumOffset[lvl];
-                    Block *ks =
-                        wk.knownSums.data() + sh.layout.offset[lvl];
-                    for (unsigned c = 0; c < m; ++c)
-                        ks[c] = c == digit
-                                    ? Block::zero() // r_digit unknown
-                                    : ex[so + c] ^ wk.hashPads[so + c];
+                    Block *lk = ks + sh.layout.offset[lvl];
+                    lk[digit] = Block::zero();
+                    lk[digit ^ 1] =
+                        ws.otOut[inst_base + sh.instOffset[lvl]];
                 }
             }
 
-            Block *leaves = v + tr * sh.leaves;
-            ggmReconstructInto(*wk.mainPrg, slot.alphas[tr], sh.layout,
-                               wk.knownSums.data(), wk.ggm, leaves);
+            // Pass 1b: every wide level's mini trees reconstruct
+            // cross-tree-batched (one expander call per mini level per
+            // chunk) into each tree's contiguous mini-leaf span.
+            for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+                if (sh.miniIndex[lvl] < 0)
+                    continue;
+                const GgmSumLayout &ml = sh.miniLayout[lvl];
+                const unsigned bits = log2Arity(sh.arities[lvl]);
+                for (size_t i = 0; i < cnt; ++i) {
+                    const size_t tr = batch_base + i;
+                    const unsigned digit =
+                        slot.digits[tr * num_levels + lvl];
+                    const size_t inst =
+                        tr * sh.cotsPerTree + sh.instOffset[lvl];
+                    Block *mk = wk.miniKnown.data() + i * ml.total;
+                    for (unsigned j = 0; j < bits; ++j) {
+                        const unsigned bit =
+                            (digit >> (bits - 1 - j)) & 1;
+                        mk[ml.offset[j] + bit] = Block::zero();
+                        mk[ml.offset[j] + (bit ^ 1)] = ws.otOut[inst + j];
+                    }
+                    wk.miniAlphaStage[i] = digit;
+                }
+                ggmReconstructBatchInto(
+                    *wk.miniPrg, wk.miniAlphaStage.data(), cnt, ml,
+                    wk.miniKnown.data(), ml.total, wk.miniBatch,
+                    wk.miniLeavesAll.data() + sh.sumOffset[lvl],
+                    sh.sumsPerTree);
+            }
+
+            // Pass 2: one fused batch hash over the chunk's mini
+            // leaves (contiguous tweaks), then unmask the real sums
+            // (the pad at the punctured digit hashes an unknown zero
+            // leaf and is skipped).
+            if (sh.sumsPerTree > 0) {
+                ws.crhf.hashBatch(wk.miniLeavesAll.data(),
+                                  wk.hashPads.data(),
+                                  cnt * sh.sumsPerTree,
+                                  slot.sumBase +
+                                      batch_base * sh.sumsPerTree);
+                for (size_t i = 0; i < cnt; ++i) {
+                    const size_t tr = batch_base + i;
+                    const unsigned *dg =
+                        slot.digits.data() + tr * num_levels;
+                    const Block *ex =
+                        slot.extra.data() + tr * sh.extraPerTree;
+                    const Block *pads =
+                        wk.hashPads.data() + i * sh.sumsPerTree;
+                    Block *ks =
+                        wk.knownSums.data() + i * sh.layout.total;
+                    for (size_t lvl = 0; lvl < num_levels; ++lvl) {
+                        const unsigned m = sh.arities[lvl];
+                        if (m == 2)
+                            continue;
+                        const unsigned digit = dg[lvl];
+                        const uint32_t so = sh.sumOffset[lvl];
+                        Block *lk = ks + sh.layout.offset[lvl];
+                        for (unsigned c = 0; c < m; ++c)
+                            lk[c] = c == digit
+                                        ? Block::zero() // r_digit unknown
+                                        : ex[so + c] ^ pads[so + c];
+                    }
+                }
+            }
+
+            // Pass 3: level-synchronous cross-tree reconstruction of
+            // the chunk's main trees, straight into the leaf span.
+            ggmReconstructBatchInto(*wk.mainPrg,
+                                    slot.alphas.data() + batch_base, cnt,
+                                    sh.layout, wk.knownSums.data(),
+                                    sh.layout.total, wk.batch,
+                                    v + batch_base * sh.leaves,
+                                    sh.leaves);
 
             // Final node recovery: v_alpha = (Delta ^ sum of all w) ^
             // (sum of the leaves we know) = w_alpha ^ Delta.
-            Block known_sum = Block::zero();
-            for (size_t j = 0; j < sh.leaves; ++j)
-                known_sum ^= leaves[j];
-            leaves[slot.alphas[tr]] =
-                slot.extra[extra_base + sh.extraPerTree - 1] ^ known_sum;
+            for (size_t i = 0; i < cnt; ++i) {
+                const size_t tr = batch_base + i;
+                Block *leaves = v + tr * sh.leaves;
+                Block known_sum = Block::zero();
+                for (size_t j = 0; j < sh.leaves; ++j)
+                    known_sum ^= leaves[j];
+                leaves[slot.alphas[tr]] =
+                    slot.extra[tr * sh.extraPerTree + sh.extraPerTree -
+                               1] ^
+                    known_sum;
+            }
         }
     });
 

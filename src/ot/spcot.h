@@ -133,18 +133,33 @@ struct SpcotRecvSlot
  * Reusable state of a batched SPCOT endpoint: transcript buffers plus
  * one expansion context per pool worker. Grow-only; prepare() is
  * idempotent for a fixed (config, trees, threads).
+ *
+ * Trees are processed in cross-tree chunks of kBatchTrees: all trees
+ * of a chunk expand/reconstruct level-synchronously (one SeedExpander
+ * call per level per chunk, see ggmExpandBatchInto) and hash their
+ * mini-leaf pads in ONE Crhf::hashBatch call (the per-tree tweak
+ * ranges are contiguous by construction). Chunking bounds the
+ * per-worker matrices to kBatchTrees * leaves blocks while still
+ * giving the SIMD PRG cores full batches at the narrow top levels.
  */
 struct SpcotWorkspace
 {
+    /** Cross-tree batch width of the level-synchronous GGM paths. */
+    static constexpr size_t kBatchTrees = 32;
+
     /** Per-worker expansion context (expanders carry mutable state). */
     struct Worker
     {
-        GgmScratch ggm;
-        GgmScratch miniGgm;
-        std::vector<Block> levelSums;  ///< sender: main-tree K keys
-        std::vector<Block> knownSums;  ///< receiver: unmasked sums
-        std::vector<Block> miniSums;
-        std::vector<Block> miniLeavesAll; ///< all wide levels' mini leaves
+        GgmBatchScratch batch;     ///< main-tree cross-tree matrices
+        GgmBatchScratch miniBatch; ///< mini-tree cross-tree matrices
+        std::vector<Block> levelSums;  ///< sender: chunk x main K keys
+        std::vector<Block> leafSums;   ///< sender: chunk leaf sums
+        std::vector<Block> knownSums;  ///< receiver: chunk x unmasked sums
+        std::vector<Block> miniSums;   ///< sender: chunk x mini K keys
+        std::vector<Block> miniKnown;  ///< receiver: chunk x mini sums
+        std::vector<Block> miniSeedStage;  ///< sender: gathered seeds
+        std::vector<size_t> miniAlphaStage; ///< receiver: per-level digits
+        std::vector<Block> miniLeavesAll; ///< chunk x all mini leaves
         std::vector<Block> hashPads;      ///< batched H of miniLeavesAll
         std::unique_ptr<crypto::SeedExpander> mainPrg;
         std::unique_ptr<crypto::SeedExpander> miniPrg;

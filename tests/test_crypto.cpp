@@ -140,6 +140,51 @@ TEST(ChaChaTest, ExpandSeedDeterministicAndTweaked)
     EXPECT_EQ(uniq.size(), 4u);
 }
 
+/**
+ * The SIMD multi-seed batch (AVX2 x8 / SSE2 x4 lanes + scalar tail)
+ * must be bit-identical to per-seed expandSeed() for every round
+ * count, batch size (exercising every lane-width path and the tail),
+ * take count and output stride — and with the SIMD cores forced off.
+ */
+TEST(ChaChaTest, ExpandSeedsBatchMatchesScalar)
+{
+    Rng rng(31);
+    for (int rounds : {8, 12, 20}) {
+        ChaCha chacha(rounds);
+        for (size_t n : {1u, 3u, 4u, 7u, 8u, 9u, 16u, 21u}) {
+            std::vector<Block> seeds = rng.nextBlocks(n);
+            const uint64_t tweak = rng.nextUint64();
+            for (unsigned take : {1u, 2u, 4u}) {
+                const size_t stride = take + (n % 3); // unaligned strides
+                std::vector<Block> batch(n * stride, Block::ones());
+                chacha.expandSeedsBatch(seeds.data(), n, tweak,
+                                        batch.data(), stride, take);
+
+                ChaCha::forceScalar(true);
+                std::vector<Block> scalar(n * stride, Block::ones());
+                chacha.expandSeedsBatch(seeds.data(), n, tweak,
+                                        scalar.data(), stride, take);
+                ChaCha::forceScalar(false);
+                EXPECT_EQ(batch, scalar)
+                    << "rounds=" << rounds << " n=" << n
+                    << " take=" << take;
+
+                std::array<Block, 4> ref;
+                for (size_t i = 0; i < n; ++i) {
+                    chacha.expandSeed(seeds[i], tweak, ref);
+                    for (unsigned q = 0; q < take; ++q)
+                        ASSERT_EQ(batch[i * stride + q], ref[q])
+                            << "rounds=" << rounds << " n=" << n
+                            << " seed=" << i << " block=" << q;
+                    // Blocks past `take` untouched.
+                    for (size_t q = take; q < stride; ++q)
+                        ASSERT_EQ(batch[i * stride + q], Block::ones());
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // TreePrg
 // ---------------------------------------------------------------------------

@@ -73,6 +73,63 @@ INSTANTIATE_TEST_SUITE_P(
                       SortCase{true, true, true, "full"}),
     [](const auto &info) { return std::string(info.param.name); });
 
+TEST(IndexSortTest, LaneTapeReplayIsBitIdentical)
+{
+    // n % 8 != 0 exercises the scalar tail of the software order.
+    const size_t n = 3003, k = 700;
+    ot::LpnEncoder enc(lpnParams(n, k));
+    SortedLpnLayout layout =
+        buildSortedLayout(enc, 0, n, softwareTapeOrder());
+    ASSERT_EQ(layout.accesses(), n * 10);
+
+    Rng rng(19);
+    std::vector<Block> in = rng.nextBlocks(k);
+    std::vector<Block> base = rng.nextBlocks(n);
+
+    std::vector<Block> reference = base;
+    ot::LpnEncodeScratch scratch;
+    enc.encodeBlocks(in.data(), reference.data(), 0, n, scratch);
+
+    std::vector<Block> replayed = base;
+    encodeWithLayout(layout, in.data(), replayed.data());
+    EXPECT_EQ(replayed, reference);
+}
+
+TEST(IndexSortTest, LaneTapeReplayMatchesSoftwareTapeWalk)
+{
+    // The replay's service order must be exactly the order the SIMD
+    // gather-XOR kernels read the lane-transposed LpnIndexTape:
+    // per 8-row group, tap-major, each tap's 8 lanes in row order.
+    const size_t n = 1029, k = 500; // 128 full groups + 5 tail rows
+    ot::LpnEncoder enc(lpnParams(n, k));
+    SortedLpnLayout layout =
+        buildSortedLayout(enc, 0, n, softwareTapeOrder());
+
+    common::ThreadPool pool(1);
+    ot::LpnEncodeScratch scratch;
+    ot::LpnIndexTape tape;
+    enc.buildTape(tape, n, pool, &scratch);
+
+    constexpr size_t lane = ot::LpnIndexTape::kLane;
+    const unsigned d = enc.params().d;
+    size_t a = 0;
+    for (size_t g = 0; g + lane <= n; g += lane)
+        for (unsigned i = 0; i < d; ++i)
+            for (size_t x = 0; x < lane; ++x, ++a) {
+                // Tap i's lane x of group g is one contiguous tape
+                // read in the kernel.
+                ASSERT_EQ(layout.colidx[a],
+                          tape.idx[(g / lane) * d * lane + i * lane + x])
+                    << "access " << a;
+                ASSERT_EQ(layout.rowidx[a], g + x);
+            }
+    // Tail rows row-major.
+    for (size_t r = n - n % lane; r < n; ++r)
+        for (unsigned i = 0; i < d; ++i, ++a)
+            ASSERT_EQ(layout.rowidx[a], r);
+    EXPECT_EQ(a, layout.accesses());
+}
+
 TEST(IndexSortTest, LayoutCoversEveryAccessExactlyOnce)
 {
     ot::LpnEncoder enc(lpnParams(1024, 300));

@@ -188,6 +188,18 @@ TEST(LpnTapeTest, TapeEncodeMatchesStreamingUnderRandomSeeds)
         LpnEncoder::forceScalarKernel(false);
         EXPECT_EQ(scalar, expect) << "trial " << trial;
 
+        // Every pinnable kernel (unsupported ones fall back, which
+        // must still be bit-identical).
+        for (LpnKernel k : {LpnKernel::Sse2, LpnKernel::Avx2,
+                            LpnKernel::Avx2Gather}) {
+            LpnEncoder::setKernel(k);
+            std::vector<Block> pinned = base;
+            enc.encodeBlocksTape(in.data(), pinned.data(), 0, p.n, tape);
+            LpnEncoder::setKernel(LpnKernel::Auto);
+            EXPECT_EQ(pinned, expect)
+                << "trial " << trial << " kernel " << int(k);
+        }
+
         // Unaligned sub-range (exercises the head/tail handling).
         size_t row0 = 1 + meta_rng.nextBelow(61);
         size_t count = p.n - row0 - meta_rng.nextBelow(7);
@@ -242,6 +254,53 @@ TEST(LpnTapeTest, BitEncodeTapeMatchesStreaming)
     BitVec got = base;
     enc.encodeBitsTape(in, got, tape);
     EXPECT_EQ(got, expect);
+}
+
+/**
+ * The SIMD bit kernels (word-at-a-time groups + AVX2 vpgatherdd) must
+ * be bit-identical to the streaming scalar bit encode under random
+ * seeds and sizes, including n % 8 != 0 tails and through every
+ * pinnable kernel.
+ */
+TEST(LpnTapeTest, BitEncodeSimdMatchesScalarUnderRandomSeeds)
+{
+    Rng meta_rng(910);
+    common::ThreadPool pool(2);
+    for (int trial = 0; trial < 6; ++trial) {
+        LpnParams p;
+        p.n = 500 + meta_rng.nextBelow(4000); // tails exercised
+        p.k = 64 + meta_rng.nextBelow(700);
+        p.d = 4 + unsigned(meta_rng.nextBelow(8));
+        p.seed = meta_rng.nextUint64();
+        LpnEncoder enc(p);
+
+        Rng rng(911 + trial);
+        BitVec in = rng.nextBits(p.k);
+        BitVec base = rng.nextBits(p.n);
+
+        BitVec expect = base;
+        LpnEncodeScratch scratch;
+        enc.encodeBits(in, expect, scratch);
+
+        std::vector<LpnEncodeScratch> scratches(pool.threads());
+        LpnIndexTape tape;
+        enc.buildTape(tape, p.n, pool, scratches.data());
+
+        BitVec simd = base;
+        enc.encodeBitsTape(in, simd, tape);
+        EXPECT_EQ(simd, expect) << "trial " << trial;
+
+        for (LpnKernel k :
+             {LpnKernel::Scalar, LpnKernel::Sse2, LpnKernel::Avx2,
+              LpnKernel::Avx2Gather}) {
+            LpnEncoder::setKernel(k);
+            BitVec pinned = base;
+            enc.encodeBitsTape(in, pinned, tape);
+            LpnEncoder::setKernel(LpnKernel::Auto);
+            EXPECT_EQ(pinned, expect)
+                << "trial " << trial << " kernel " << int(k);
+        }
+    }
 }
 
 TEST(LpnTest, BitEncodeMatchesBlockEncodeOnLsb)

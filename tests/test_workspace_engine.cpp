@@ -108,9 +108,9 @@ namespace {
 // Invariant 8: zero allocations after warm-up
 // ---------------------------------------------------------------------------
 
-TEST(WorkspaceEngineTest, ExtendIsAllocationFreeAfterWarmup)
+void
+expectAllocationFreeAfterWarmup(const FerretParams &p)
 {
-    FerretParams p = tinyTestParams();
     Rng dealer(901);
     Block delta = dealer.nextBlock();
     auto [bs, br] = dealBaseCots(dealer, delta, p.reservedCots());
@@ -174,6 +174,19 @@ TEST(WorkspaceEngineTest, ExtendIsAllocationFreeAfterWarmup)
     for (size_t i = 0; i < q.size(); ++i)
         ASSERT_EQ(t[i], q[i] ^ scalarMul(choice.get(i), delta))
             << "index " << i;
+}
+
+TEST(WorkspaceEngineTest, ExtendIsAllocationFreeAfterWarmup)
+{
+    expectAllocationFreeAfterWarmup(tinyTestParams());
+}
+
+TEST(WorkspaceEngineTest, ScatterFreeExtendIsAllocationFreeAfterWarmup)
+{
+    // bucketSize() == treeLeaves(): the engines take the scatter-free
+    // LPN feed (aliased arena, cross-tree expansion straight into the
+    // row slots) — which must be just as allocation-free once warm.
+    expectAllocationFreeAfterWarmup(tinyAlignedParams());
 }
 
 // ---------------------------------------------------------------------------
