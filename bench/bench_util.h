@@ -13,6 +13,7 @@
 #ifndef IRONMAN_BENCH_BENCH_UTIL_H
 #define IRONMAN_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,6 +21,141 @@
 #include "ot/ferret_params.h"
 
 namespace ironman::bench {
+
+/**
+ * Minimal machine-readable results emitter: every bench that feeds the
+ * perf trajectory writes a BENCH_<name>.json next to its stdout table,
+ * so CI can archive numbers without scraping text. Usage:
+ *
+ *   JsonWriter j("BENCH_foo.json");
+ *   j.kv("bench", "foo");
+ *   j.key("series"); j.beginArray();
+ *   for (...) { j.beginObject(); j.kv("n", n); j.endObject(); }
+ *   j.endArray();           // close() / destructor finishes the file
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(const std::string &path)
+        : f(std::fopen(path.c_str(), "w"))
+    {
+        if (f)
+            std::fputc('{', f);
+    }
+    ~JsonWriter() { close(); }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void
+    close()
+    {
+        if (!f)
+            return;
+        std::fputs("}\n", f);
+        std::fclose(f);
+        f = nullptr;
+    }
+
+    void
+    key(const char *name)
+    {
+        if (!f)
+            return;
+        sep();
+        std::fprintf(f, "\"%s\":", name);
+        comma = false;
+    }
+
+    void
+    value(double v)
+    {
+        if (!f)
+            return;
+        sep();
+        std::fprintf(f, "%.6g", v);
+        comma = true;
+    }
+
+    void
+    value(uint64_t v)
+    {
+        if (!f)
+            return;
+        sep();
+        std::fprintf(f, "%llu", (unsigned long long)v);
+        comma = true;
+    }
+
+    void
+    value(const char *v)
+    {
+        if (!f)
+            return;
+        sep();
+        std::fprintf(f, "\"%s\"", v);
+        comma = true;
+    }
+
+    void kv(const char *name, double v) { key(name); value(v); }
+    void kv(const char *name, uint64_t v) { key(name); value(v); }
+    void kv(const char *name, const char *v) { key(name); value(v); }
+    void
+    kv(const char *name, const std::string &v)
+    {
+        key(name);
+        value(v.c_str());
+    }
+
+    void
+    beginObject()
+    {
+        if (!f)
+            return;
+        sep();
+        std::fputc('{', f);
+        comma = false;
+    }
+
+    void
+    endObject()
+    {
+        if (!f)
+            return;
+        std::fputc('}', f);
+        comma = true;
+    }
+
+    void
+    beginArray()
+    {
+        if (!f)
+            return;
+        sep();
+        std::fputc('[', f);
+        comma = false;
+    }
+
+    void
+    endArray()
+    {
+        if (!f)
+            return;
+        std::fputc(']', f);
+        comma = true;
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (comma)
+            std::fputc(',', f);
+    }
+
+    std::FILE *f = nullptr;
+    bool comma = false;
+};
 
 /** IRONMAN_BENCH_FAST=1 trims sweeps for smoke runs. */
 inline bool

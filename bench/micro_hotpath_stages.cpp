@@ -85,11 +85,15 @@ struct StageRow
     const char *unit;
 };
 
+/** Stage rows collected for the machine-readable BENCH json. */
+std::vector<StageRow> g_rows;
+
 void
 printRow(const StageRow &r)
 {
     std::printf("  %-26s %14.0f cyc/ext   %8.2f cyc/%s\n", r.name,
                 r.cycles, r.per_unit, r.unit);
+    g_rows.push_back(r);
 }
 
 /** Cycles for fn(), median-free quick repeat (min of reps). */
@@ -280,33 +284,50 @@ main()
         double taped = measureCycles(3, [&] {
             enc.encodeBlocksTape(in.data(), rows.data(), 0, lp.n, tape);
         });
-        auto taped_with = [&](LpnKernel k) {
+        auto taped_with = [&](LpnKernel k, bool prefetch) {
             LpnEncoder::setKernel(k);
-            double c = measureCycles(3, [&] {
+            LpnEncoder::setPrefetch(prefetch);
+            double c = measureCycles(5, [&] {
                 enc.encodeBlocksTape(in.data(), rows.data(), 0, lp.n,
                                      tape);
             });
             LpnEncoder::setKernel(LpnKernel::Auto);
+            LpnEncoder::setPrefetchAuto();
             return c;
         };
-        double taped_scalar = taped_with(LpnKernel::Scalar);
-        double taped_insert = taped_with(LpnKernel::Avx2);
-        double taped_gather = taped_with(LpnKernel::Avx2Gather);
+        double taped_scalar = taped_with(LpnKernel::Scalar, true);
+        double taped_scalar_nopf = taped_with(LpnKernel::Scalar, false);
+        double taped_sse2 = taped_with(LpnKernel::Sse2, true);
+        double taped_sse2_nopf = taped_with(LpnKernel::Sse2, false);
+        double taped_insert = taped_with(LpnKernel::Avx2, true);
+        double taped_insert_nopf = taped_with(LpnKernel::Avx2, false);
+        double taped_gather = taped_with(LpnKernel::Avx2Gather, true);
         printRow({"LPN streaming (PR1 path)", streaming,
                   streaming / double(lp.n), "row"});
-        std::printf("  LPN tape, auto kernel = %s\n",
-                    LpnEncoder::activeKernelName());
+        std::printf("  LPN tape, auto kernel = %s, auto prefetch = %s "
+                    "(both measured per CPU)\n",
+                    LpnEncoder::activeKernelName(),
+                    detail::lpnPrefetchEnabled() ? "on" : "off");
         printRow({"LPN tape + SIMD (auto)", taped, taped / double(lp.n),
                   "row"});
         printRow({"LPN tape, scalar kernel", taped_scalar,
                   taped_scalar / double(lp.n), "row"});
+        printRow({"LPN tape, scalar, no pf", taped_scalar_nopf,
+                  taped_scalar_nopf / double(lp.n), "row"});
+        printRow({"LPN tape, sse2", taped_sse2,
+                  taped_sse2 / double(lp.n), "row"});
+        printRow({"LPN tape, sse2, no pf", taped_sse2_nopf,
+                  taped_sse2_nopf / double(lp.n), "row"});
         printRow({"LPN tape, avx2-insert", taped_insert,
                   taped_insert / double(lp.n), "row"});
+        printRow({"LPN tape, avx2-insert, no pf", taped_insert_nopf,
+                  taped_insert_nopf / double(lp.n), "row"});
         printRow({"LPN tape, avx2-vpgatherqq", taped_gather,
                   taped_gather / double(lp.n), "row"});
         std::printf("    -> tape+SIMD speedup %.2fx (index AES "
                     "eliminated: %zu calls/ext); auto keeps the "
-                    "per-CPU winner\n",
+                    "per-CPU winner; 'no pf' rows = software tap "
+                    "prefetch disabled\n",
                     streaming / taped,
                     size_t(LpnEncoder::aesCallsPerRow) * lp.n);
 
@@ -360,9 +381,11 @@ main()
 
     // Scatter-free feed (bucketSize() == treeLeaves()): measured on
     // the aligned tiny set, where the leaf matrix IS the row vector.
+    double sf_ots = 0;
     {
         const FerretParams ap = tinyAlignedParams();
         E2e sf = endToEnd(ap, true, iters, &ok);
+        sf_ots = sf.otsPerSec;
         std::printf("  scatter-free feed (%s) %8.2f M OT/s "
                     "(pipelined)\n",
                     ap.name.c_str(), sf.otsPerSec / 1e6);
@@ -376,6 +399,33 @@ main()
     // correlation or an implausibly slow hot path fails the run.
     if (plain.otsPerSec < 1e5 || piped.otsPerSec < 1e5)
         ok = false;
+
+    // Machine-readable mirror of the table above, for the CI perf
+    // trajectory (cat/archive BENCH_*.json).
+    {
+        bench::JsonWriter j("BENCH_micro_hotpath_stages.json");
+        j.kv("bench", "micro_hotpath_stages");
+        j.kv("params", p.name);
+        j.kv("n", uint64_t(p.n));
+        j.kv("tsc_ghz", tps / 1e9);
+        j.kv("lpn_auto_kernel", LpnEncoder::activeKernelName());
+        j.kv("lpn_auto_prefetch",
+             detail::lpnPrefetchEnabled() ? "on" : "off");
+        j.key("stages_cyc_per_unit");
+        j.beginObject();
+        for (const StageRow &r : g_rows)
+            j.kv(r.name, r.per_unit);
+        j.endObject();
+        j.key("e2e");
+        j.beginObject();
+        j.kv("unpipelined_ots_per_sec", plain.otsPerSec);
+        j.kv("pipelined_ots_per_sec", piped.otsPerSec);
+        j.kv("scatter_free_ots_per_sec", sf_ots);
+        j.kv("wire_bytes_per_ext", plain.wireBytes);
+        j.endObject();
+        j.kv("ok", uint64_t(ok ? 1 : 0));
+    }
+
     std::printf("%s\n", ok ? "BENCH-SMOKE OK" : "BENCH-SMOKE FAILED");
     return ok ? 0 : 1;
 }

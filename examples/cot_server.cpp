@@ -1,0 +1,106 @@
+/**
+ * @file
+ * COT service daemon demo: serve correlated randomness to concurrent
+ * clients over real sockets from warm pooled engines.
+ *
+ *   ./cot_server --tcp 17517               # loopback TCP, run forever
+ *   ./cot_server --tcp 0                   # ephemeral port (printed)
+ *   ./cot_server --unix /tmp/ironman.sock  # Unix-domain transport
+ *   ./cot_server --tcp 17517 --sessions 2  # exit after 2 sessions (CI)
+ *
+ * Pair with ./cot_client. The engine pool keeps finished sessions'
+ * engines warm, so a burst of same-shape clients pays the LPN tape
+ * build once per concurrency slot, not once per connection.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "svc/cot_server.h"
+
+using namespace ironman;
+
+int
+main(int argc, char **argv)
+{
+    uint16_t tcp_port = 0;
+    bool use_tcp = false;
+    std::string unix_path;
+    long max_sessions = -1; // -1 = serve forever
+    int engine_threads = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tcp") {
+            use_tcp = true;
+            tcp_port = uint16_t(std::atoi(next()));
+        } else if (arg == "--unix") {
+            unix_path = next();
+        } else if (arg == "--sessions") {
+            max_sessions = std::atol(next());
+        } else if (arg == "--threads") {
+            engine_threads = std::atoi(next());
+        } else {
+            std::fprintf(stderr,
+                         "usage: cot_server [--tcp PORT | --unix PATH] "
+                         "[--sessions N] [--threads T]\n");
+            return 2;
+        }
+    }
+    if (!use_tcp && unix_path.empty()) {
+        use_tcp = true; // default: loopback TCP, ephemeral port
+    }
+
+    svc::CotServer::Config cfg;
+    cfg.engineThreads = engine_threads;
+    svc::CotServer server(cfg);
+
+    if (use_tcp) {
+        const uint16_t port = server.listenTcp(tcp_port);
+        std::printf("cot_server: listening on 127.0.0.1:%u "
+                    "(engine threads %d)\n",
+                    unsigned(port), engine_threads);
+    } else {
+        server.listenUnix(unix_path);
+        std::printf("cot_server: listening on %s (engine threads %d)\n",
+                    unix_path.c_str(), engine_threads);
+    }
+    std::fflush(stdout);
+
+    // Serve until the requested session count completed (or forever).
+    uint64_t last_report = 0;
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const uint64_t done = server.sessionsServed();
+        if (done != last_report) {
+            std::printf("cot_server: %llu sessions served, %llu "
+                        "extensions, %llu COTs, %llu engines built\n",
+                        (unsigned long long)done,
+                        (unsigned long long)server.extensionsServed(),
+                        (unsigned long long)server.cotsServed(),
+                        (unsigned long long)(
+                            server.pool().sendersCreated() +
+                            server.pool().receiversCreated()));
+            std::fflush(stdout);
+            last_report = done;
+        }
+        if (max_sessions >= 0 && done >= uint64_t(max_sessions) &&
+            server.activeSessions() == 0)
+            break;
+    }
+    server.stop();
+    std::printf("cot_server: done (%llu sessions)\n",
+                (unsigned long long)server.sessionsServed());
+    return 0;
+}

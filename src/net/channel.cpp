@@ -90,19 +90,26 @@ struct MemoryDuplex::Shared
     std::condition_variable cv;
 
     /**
-     * One direction of the pipe: a contiguous byte FIFO over one
-     * grow-only ring buffer. Capacity only ever increases (to the
-     * largest backlog seen), so after a warm-up pass the wire performs
-     * no heap allocation — the engine-level zero-alloc guarantee of
-     * ot/ot_workspace.h depends on this.
+     * One direction of the pipe: a contiguous byte FIFO over one ring
+     * buffer. Two capacity policies:
+     *
+     *  - default: grow on demand to the largest backlog seen (which
+     *    depends on thread scheduling);
+     *  - after reserve(): capacity is FIXED and the sender blocks for
+     *    drained space instead of growing, so the reserved size is a
+     *    deterministic worst-case bound and a warm wire performs no
+     *    heap allocation by construction — the engine-level zero-alloc
+     *    guarantee of ot/ot_workspace.h depends on this.
      */
     struct Stream
     {
         std::vector<uint8_t> buf; ///< ring storage (power-of-two size)
         size_t head = 0;          ///< read position
         size_t live = 0;          ///< unread bytes
+        bool bounded = false;     ///< reserve() called: never grow
 
         bool empty() const { return live == 0; }
+        size_t freeSpace() const { return buf.size() - live; }
 
         void
         grow(size_t min_capacity)
@@ -170,14 +177,28 @@ struct MemoryDuplex::Endpoint : Channel
     sendBytes(const void *data, size_t len) override
     {
         const auto *bytes = static_cast<const uint8_t *>(data);
-        std::lock_guard<std::mutex> lock(shared->mutex);
-        shared->stream[me].push(bytes, len);
+        std::unique_lock<std::mutex> lock(shared->mutex);
+        auto &s = shared->stream[me];
         shared->sent[me] += len;
         if (shared->lastSender != me) {
             shared->lastSender = me;
             ++shared->turnCount;
         }
-        shared->cv.notify_all();
+        if (!s.bounded) {
+            s.push(bytes, len);
+            shared->cv.notify_all();
+            return;
+        }
+        // Bounded mode: capacity is the contract — block for drained
+        // space instead of growing, delivering the message in chunks.
+        size_t done = 0;
+        while (done < len) {
+            shared->cv.wait(lock, [&] { return s.freeSpace() > 0; });
+            const size_t take = std::min(len - done, s.freeSpace());
+            s.push(bytes + done, take);
+            done += take;
+            shared->cv.notify_all();
+        }
     }
 
     void
@@ -190,6 +211,8 @@ struct MemoryDuplex::Endpoint : Channel
         while (got < len) {
             shared->cv.wait(lock, [&] { return !s.empty(); });
             got += s.pop(bytes + got, len - got);
+            // A bounded-mode sender may be waiting for this drain.
+            shared->cv.notify_all();
         }
     }
 
@@ -228,9 +251,20 @@ MemoryDuplex::b()
 void
 MemoryDuplex::reserve(size_t bytes_per_direction)
 {
+    IRONMAN_CHECK(bytes_per_direction > 0, "reserve needs a bound");
     std::lock_guard<std::mutex> lock(shared->mutex);
-    shared->stream[0].grow(bytes_per_direction);
-    shared->stream[1].grow(bytes_per_direction);
+    for (auto &s : shared->stream) {
+        s.grow(bytes_per_direction);
+        s.bounded = true;
+    }
+}
+
+size_t
+MemoryDuplex::capacityPerDirection() const
+{
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    return std::max(shared->stream[0].buf.size(),
+                    shared->stream[1].buf.size());
 }
 
 uint64_t

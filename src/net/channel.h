@@ -78,13 +78,27 @@ class MemoryDuplex
     Channel &b();
 
     /**
-     * Pre-size each direction's byte FIFO. The FIFO grows on demand
-     * to the largest backlog observed — which depends on thread
-     * scheduling — so allocation-sensitive callers (the zero-alloc
-     * test) reserve the worst case up front instead of relying on a
-     * warm-up pass having seen it.
+     * Fix each direction's byte FIFO at (the power-of-two round-up of)
+     * @p bytes_per_direction. After this call the FIFO NEVER grows:
+     * a sender that would overrun the capacity blocks until the peer
+     * drains, so the reserved size is a true worst-case bound —
+     * deterministic, independent of thread scheduling — and a warm
+     * wire performs no allocation by construction (asserted by the
+     * zero-alloc test). Without reserve() the FIFO keeps the legacy
+     * grow-on-demand behavior (largest backlog observed).
+     *
+     * The bound must exceed zero; backpressure cannot deadlock as long
+     * as the peer keeps receiving, which every protocol here does (a
+     * blocked sender's peer is always inside or heading into a recv).
      */
     void reserve(size_t bytes_per_direction);
+
+    /**
+     * Current FIFO capacity of one direction (both directions are
+     * sized together). Stable after reserve(); tests assert it does
+     * not move across warm iterations.
+     */
+    size_t capacityPerDirection() const;
 
     /** Total bytes moved in both directions. */
     uint64_t totalBytes() const;

@@ -1,0 +1,322 @@
+#include "net/socket_channel.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ironman::net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const char *what)
+{
+    throw std::runtime_error(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
+           uint32_t(p[3]) << 24;
+}
+
+} // namespace
+
+SocketChannel::SocketChannel(int fd, bool tcp_nodelay) : sock(fd)
+{
+    if (sock < 0)
+        throw std::runtime_error("SocketChannel: bad fd");
+    if (tcp_nodelay) {
+        // Best effort: fails harmlessly on non-TCP sockets.
+        int one = 1;
+        ::setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+}
+
+SocketChannel::~SocketChannel()
+{
+    if (sock >= 0) {
+        // Deliver anything still buffered; a closing peer may race us,
+        // so swallow errors on the way out.
+        try {
+            flush();
+        } catch (...) {
+        }
+        ::close(sock);
+    }
+}
+
+void
+SocketChannel::shutdownBoth()
+{
+    if (sock >= 0)
+        ::shutdown(sock, SHUT_RDWR);
+}
+
+void
+SocketChannel::writeAll(const uint8_t *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::send(sock, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("SocketChannel send");
+        }
+        data += n;
+        len -= size_t(n);
+    }
+}
+
+void
+SocketChannel::sendBytes(const void *data, size_t len)
+{
+    if (len == 0)
+        return;
+    if (lastDir != 0) {
+        lastDir = 0;
+        ++turnCount;
+    }
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    txBuf.insert(txBuf.end(), bytes, bytes + len);
+    sent += len;
+    if (txBuf.size() >= kFlushThreshold)
+        flush();
+}
+
+void
+SocketChannel::flush()
+{
+    // A single sendBytes can exceed the u32 frame-length field (the
+    // threshold check fires only after a whole message is buffered);
+    // split into as many maximal frames as needed — the reader
+    // reassembles a byte stream, so frame boundaries are invisible.
+    constexpr size_t kMaxFrame = 0xffffffffu;
+    size_t off = 0;
+    while (off < txBuf.size()) {
+        const uint32_t len =
+            uint32_t(std::min(txBuf.size() - off, kMaxFrame));
+        uint8_t header[4];
+        header[0] = uint8_t(len);
+        header[1] = uint8_t(len >> 8);
+        header[2] = uint8_t(len >> 16);
+        header[3] = uint8_t(len >> 24);
+        writeAll(header, sizeof(header));
+        writeAll(txBuf.data() + off, len);
+        off += len;
+    }
+    txBuf.clear(); // keeps capacity: steady state reuses the buffer
+}
+
+void
+SocketChannel::readFrame()
+{
+    uint8_t header[4];
+    size_t got = 0;
+    while (got < sizeof(header)) {
+        ssize_t n = ::recv(sock, header + got, sizeof(header) - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("SocketChannel recv");
+        }
+        if (n == 0)
+            throw std::runtime_error(
+                "SocketChannel: peer closed the connection");
+        got += size_t(n);
+    }
+    const uint32_t len = getU32(header);
+    if (len == 0)
+        throw std::runtime_error("SocketChannel: zero-length frame");
+
+    // Compact: all delivered payload has been consumed before another
+    // frame is needed (recvBytes drains rxBuf first), so the buffer is
+    // logically empty here and the cursor rewinds for reuse.
+    if (rxPos == rxBuf.size()) {
+        rxBuf.clear();
+        rxPos = 0;
+    }
+    const size_t base = rxBuf.size();
+    rxBuf.resize(base + len);
+    size_t filled = 0;
+    while (filled < len) {
+        ssize_t n = ::recv(sock, rxBuf.data() + base + filled,
+                           len - filled, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("SocketChannel recv");
+        }
+        if (n == 0)
+            throw std::runtime_error(
+                "SocketChannel: peer closed mid-frame");
+        filled += size_t(n);
+    }
+}
+
+void
+SocketChannel::recvBytes(void *data, size_t len)
+{
+    // About to wait on the peer: everything it needs must be on the
+    // wire first.
+    flush();
+    if (len == 0)
+        return;
+    if (lastDir != 1) {
+        lastDir = 1;
+        ++turnCount;
+    }
+    auto *bytes = static_cast<uint8_t *>(data);
+    size_t got = 0;
+    while (got < len) {
+        if (rxPos == rxBuf.size())
+            readFrame();
+        const size_t take = std::min(len - got, rxBuf.size() - rxPos);
+        std::memcpy(bytes + got, rxBuf.data() + rxPos, take);
+        rxPos += take;
+        got += take;
+    }
+    received += len;
+}
+
+// ---------------------------------------------------------------------------
+// Connection helpers
+// ---------------------------------------------------------------------------
+
+int
+tcpListen(uint16_t port, int backlog)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        ::close(fd);
+        throwErrno("bind");
+    }
+    if (::listen(fd, backlog) < 0) {
+        ::close(fd);
+        throwErrno("listen");
+    }
+    return fd;
+}
+
+uint16_t
+tcpListenPort(int listen_fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0)
+        throwErrno("getsockname");
+    return ntohs(addr.sin_port);
+}
+
+int
+acceptOn(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        return -1; // listener closed/shut down: accept loop exits
+    }
+}
+
+std::unique_ptr<SocketChannel>
+tcpConnect(const std::string &host, uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("tcpConnect: bad host " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        throwErrno("connect");
+    }
+    return std::make_unique<SocketChannel>(fd);
+}
+
+int
+unixListen(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("unixListen: path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        ::close(fd);
+        throwErrno("bind (unix)");
+    }
+    if (::listen(fd, 16) < 0) {
+        ::close(fd);
+        throwErrno("listen (unix)");
+    }
+    return fd;
+}
+
+std::unique_ptr<SocketChannel>
+unixConnect(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw std::runtime_error("unixConnect: path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        throwErrno("connect (unix)");
+    }
+    return std::make_unique<SocketChannel>(fd);
+}
+
+std::pair<std::unique_ptr<SocketChannel>, std::unique_ptr<SocketChannel>>
+socketChannelPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0)
+        throwErrno("socketpair");
+    return {std::make_unique<SocketChannel>(fds[0]),
+            std::make_unique<SocketChannel>(fds[1])};
+}
+
+} // namespace ironman::net

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Real socket transport for the two-party protocols.
+ *
+ * SocketChannel implements the Channel interface over a connected
+ * stream socket — TCP (with TCP_NODELAY, so the interactive SPCOT
+ * rounds are not Nagle-delayed) or Unix-domain. It is the transport
+ * under src/svc: the COT service daemon accepts one SocketChannel per
+ * client session, and the client library drives its engine half over
+ * the mirror endpoint.
+ *
+ * Framing: writes are buffered and leave the process as length-framed
+ * records ([u32 payload length][payload]). A frame is cut when the
+ * endpoint turns around to receive (recvBytes flushes pending writes
+ * first — a party about to block on its peer must have pushed
+ * everything the peer needs), when the buffer crosses
+ * kFlushThreshold, or on explicit flush(). The reader reassembles
+ * frames into a drain-and-reuse receive buffer, so steady-state
+ * traffic performs no heap allocation on either side once the buffers
+ * have grown to the protocol's burst size — the same property
+ * MemoryDuplex provides in-process.
+ *
+ * Accounting mirrors MemoryDuplex: bytesSent()/bytesReceived() count
+ * payload bytes (frame headers excluded, so byte counts are
+ * transport-independent), and turns() counts direction changes
+ * observed at this endpoint — a classic half-duplex protocol with r
+ * round trips shows ~2r turns across both endpoints, which is what
+ * the analytic NetworkModel consumes.
+ *
+ * Errors (peer reset, short read on a closed socket) throw
+ * std::runtime_error rather than aborting: a service must survive a
+ * client dying mid-session and recycle the engine.
+ */
+
+#ifndef IRONMAN_NET_SOCKET_CHANNEL_H
+#define IRONMAN_NET_SOCKET_CHANNEL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace ironman::net {
+
+/** Channel endpoint over a connected stream socket. */
+class SocketChannel final : public Channel
+{
+  public:
+    /** Frames are cut early once this many buffered bytes accumulate. */
+    static constexpr size_t kFlushThreshold = size_t(256) << 10;
+
+    /**
+     * Adopt a connected socket. @p tcp_nodelay disables Nagle (ignored
+     * for non-TCP sockets).
+     */
+    explicit SocketChannel(int fd, bool tcp_nodelay = true);
+    ~SocketChannel() override;
+
+    SocketChannel(const SocketChannel &) = delete;
+    SocketChannel &operator=(const SocketChannel &) = delete;
+
+    void sendBytes(const void *data, size_t len) override;
+    void recvBytes(void *data, size_t len) override;
+    uint64_t bytesSent() const override { return sent; }
+
+    /** Push any buffered writes out as one frame. */
+    void flush();
+
+    /** Payload bytes received so far. */
+    uint64_t bytesReceived() const { return received; }
+
+    /** Direction changes observed at this endpoint. */
+    uint64_t turns() const { return turnCount; }
+
+    /** The underlying file descriptor (for shutdown() by an owner). */
+    int fd() const { return sock; }
+
+    /**
+     * Shut down both directions of the socket, waking any thread
+     * blocked in recvBytes() (it will throw). Safe to call from
+     * another thread; close happens in the destructor.
+     */
+    void shutdownBoth();
+
+  private:
+    void writeAll(const uint8_t *data, size_t len);
+    void readFrame();
+
+    int sock = -1;
+    std::vector<uint8_t> txBuf; ///< unframed pending payload
+    std::vector<uint8_t> rxBuf; ///< reassembled payload, [rxPos, size)
+    size_t rxPos = 0;
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    uint64_t turnCount = 0;
+    int lastDir = -1; ///< 0 = sending, 1 = receiving
+};
+
+// ---------------------------------------------------------------------------
+// Connection helpers (all throw std::runtime_error on failure)
+// ---------------------------------------------------------------------------
+
+/**
+ * Bind + listen on 127.0.0.1:@p port (0 = ephemeral). Returns the
+ * listening fd; query the bound port with tcpListenPort().
+ */
+int tcpListen(uint16_t port, int backlog = 16);
+
+/** Port a tcpListen() fd is bound to. */
+uint16_t tcpListenPort(int listen_fd);
+
+/**
+ * Accept one connection; returns -1 when the listener was closed or
+ * shut down (the accept loop's exit signal).
+ */
+int acceptOn(int listen_fd);
+
+/** Connect to @p host:@p port (numeric host, e.g. "127.0.0.1"). */
+std::unique_ptr<SocketChannel> tcpConnect(const std::string &host,
+                                          uint16_t port);
+
+/** Bind + listen on a Unix-domain path (unlinked first if stale). */
+int unixListen(const std::string &path);
+
+/** Connect to a Unix-domain listener. */
+std::unique_ptr<SocketChannel> unixConnect(const std::string &path);
+
+/**
+ * A connected Unix-domain socket pair — the in-process way to exercise
+ * the real-socket code path (tests).
+ */
+std::pair<std::unique_ptr<SocketChannel>, std::unique_ptr<SocketChannel>>
+socketChannelPair();
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_SOCKET_CHANNEL_H

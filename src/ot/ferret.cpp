@@ -79,11 +79,43 @@ FerretCotSender::FerretCotSender(net::Channel &channel,
                                  const FerretParams &params,
                                  const Block &delta,
                                  std::vector<Block> base)
-    : ch(channel), p(params), delta_(delta), baseQ(std::move(base)),
+    : ch(&channel), p(params), delta_(delta), baseQ(std::move(base)),
       encoder(lpnParamsOf(params))
 {
     IRONMAN_CHECK(baseQ.size() >= p.reservedCots(),
                   "need k + t*log2(l) base COTs");
+}
+
+FerretCotSender::FerretCotSender(const FerretParams &params)
+    : p(params), encoder(lpnParamsOf(params))
+{
+}
+
+void
+FerretCotSender::resetSession(net::Channel &channel, const Block &delta,
+                              const Block *base, size_t n)
+{
+    IRONMAN_CHECK(n >= p.reservedCots(),
+                  "need k + t*log2(l) base COTs");
+    ch = &channel;
+    delta_ = delta;
+    baseQ.assign(base, base + n);
+    // A prefetched transcript of the previous session (if any) is
+    // abandoned with its session: the new base reserve replaces the
+    // material it was derandomized against.
+    tweak = 1;
+    havePending = false;
+    slotCur = 0;
+}
+
+void
+FerretCotSender::prewarm()
+{
+    const bool sf = scatterFree_ && OtWorkspace::scatterFreeFeed(p);
+    ws.prepare(p, threads, pipelined_ ? 2 : 1, sf);
+    ensureTape();
+    baseQ.reserve(p.reservedCots());
+    baseNext.reserve(p.reservedCots());
 }
 
 void
@@ -96,6 +128,8 @@ void
 FerretCotSender::extendInto(Rng &rng, Block *out)
 {
     Timer total;
+    IRONMAN_CHECK(ch && baseQ.size() >= p.reservedCots(),
+                  "engine not bound to a session (resetSession)");
     // Scatter-free feed: every bucket is one whole tree, so SPCOT
     // writes straight into the LPN row slots and the leaf -> rows
     // pass disappears (the arena aliases rows onto the leaf slots).
@@ -128,7 +162,7 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
         // 2. Interactive SPCOT into the workspace leaf matrix — in
         // scatter-free mode that matrix IS the w vector.
         Timer phase;
-        spcotSendInto(ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
+        spcotSendInto(*ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
                       ws.spcot, ws.leaf[0], &prg_ops);
         stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
         stats_.add("spcot_prg_ops", prg_ops);
@@ -161,7 +195,7 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
     // cold first call exchanges its own transcript inline.
     Timer phase;
     if (!havePending)
-        spcotSendTranscript(ch, cfg, p.t, delta_, baseQ.data() + p.k,
+        spcotSendTranscript(*ch, cfg, p.t, delta_, baseQ.data() + p.k,
                             rng, tweak, &ws.pool, ws.spcot,
                             ws.leaf[slotCur], &prg_ops);
 
@@ -197,7 +231,7 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
     const int next = slotCur ^ 1;
     uint64_t prefetch_ops = 0;
     Timer spcot_timer;
-    spcotSendTranscript(ch, cfg, p.t, delta_, baseNext.data() + p.k,
+    spcotSendTranscript(*ch, cfg, p.t, delta_, baseNext.data() + p.k,
                         rng, tweak, /*pool=*/nullptr, ws.spcot,
                         ws.leaf[next], &prefetch_ops);
     stats_.add("spcot_us", uint64_t(spcot_timer.seconds() * 1e6));
@@ -224,12 +258,43 @@ FerretCotReceiver::FerretCotReceiver(net::Channel &channel,
                                      const FerretParams &params,
                                      BitVec base_choice,
                                      std::vector<Block> base_t)
-    : ch(channel), p(params), baseChoice(std::move(base_choice)),
+    : ch(&channel), p(params), baseChoice(std::move(base_choice)),
       baseT(std::move(base_t)), encoder(lpnParamsOf(params))
 {
     IRONMAN_CHECK(baseT.size() >= p.reservedCots() &&
                       baseChoice.size() == baseT.size(),
                   "need k + t*log2(l) base COTs");
+}
+
+FerretCotReceiver::FerretCotReceiver(const FerretParams &params)
+    : p(params), encoder(lpnParamsOf(params))
+{
+}
+
+void
+FerretCotReceiver::resetSession(net::Channel &channel,
+                                const BitVec &base_choice,
+                                const Block *base_t, size_t n)
+{
+    IRONMAN_CHECK(n >= p.reservedCots() && base_choice.size() >= n,
+                  "need k + t*log2(l) base COTs");
+    ch = &channel;
+    baseChoice.assignRange(base_choice, 0, n);
+    baseT.assign(base_t, base_t + n);
+    // Abandon any prefetched transcript of the previous session.
+    tweak = 1;
+    havePending = false;
+    slotCur = 0;
+}
+
+void
+FerretCotReceiver::prewarm()
+{
+    const bool sf = scatterFree_ && OtWorkspace::scatterFreeFeed(p);
+    ws.prepare(p, threads, 1, sf);
+    ensureTape();
+    baseT.reserve(p.reservedCots());
+    baseTNext.reserve(p.reservedCots());
 }
 
 void
@@ -242,6 +307,8 @@ void
 FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
 {
     Timer total;
+    IRONMAN_CHECK(ch && baseT.size() >= p.reservedCots(),
+                  "engine not bound to a session (resetSession)");
     // See the sender: scatter-free aliases the single leaf slot onto
     // the row vector, so reconstruction writes y directly.
     const bool sf = scatterFree_ && OtWorkspace::scatterFreeFeed(p);
@@ -286,7 +353,7 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
         draw_alphas();
 
         Timer phase;
-        spcotRecvInto(ch, cfg, p.t, ws.alphas.data(), baseChoice, p.k,
+        spcotRecvInto(*ch, cfg, p.t, ws.alphas.data(), baseChoice, p.k,
                       baseT.data() + p.k, tweak, ws.pool, ws.spcot,
                       ws.leaf[0], &prg_ops);
         stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
@@ -332,9 +399,9 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
     Timer phase;
     if (!havePending) {
         draw_alphas();
-        spcotRecvSendChoices(ch, cfg, p.t, ws.alphas.data(), baseChoice,
+        spcotRecvSendChoices(*ch, cfg, p.t, ws.alphas.data(), baseChoice,
                              p.k, tweak, ws.spcot, *slot);
-        spcotRecvRecvTranscript(ch, cfg, p.t, ws.spcot, *slot);
+        spcotRecvRecvTranscript(*ch, cfg, p.t, ws.spcot, *slot);
     }
     spcotRecvFinish(cfg, p.t, baseT.data() + p.k, ws.pool, ws.spcot,
                     *slot, ws.leaf[0], &prg_ops);
@@ -366,7 +433,7 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
     // alphas (and nothing else of it).
     SpcotRecvSlot *next_slot = &ws.spcot.slots[slotCur ^ 1];
     draw_alphas();
-    spcotRecvSendChoices(ch, cfg, p.t, ws.alphas.data(), ws.x, p.k,
+    spcotRecvSendChoices(*ch, cfg, p.t, ws.alphas.data(), ws.x, p.k,
                          tweak, ws.spcot, *next_slot);
 
     phase.reset();
@@ -374,7 +441,7 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
         encodeRange(encoder, ws, lpn_s, y + lo, lo, hi - lo, worker);
     };
     ws.pool.parallelForAsync(p.n, encode_blocks);
-    spcotRecvRecvTranscript(ch, cfg, p.t, ws.spcot, *next_slot);
+    spcotRecvRecvTranscript(*ch, cfg, p.t, ws.spcot, *next_slot);
     ws.pool.wait();
     stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
 

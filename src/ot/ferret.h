@@ -78,6 +78,34 @@ class FerretCotSender
                     const Block &delta, std::vector<Block> base);
 
     /**
+     * Unbound engine for warm pooling (svc::EnginePool): workspace and
+     * tape can be prewarm()ed now, channel and base material arrive
+     * per session via resetSession(). extendInto() before the first
+     * resetSession() is a usage bug (checked).
+     */
+    explicit FerretCotSender(const FerretParams &params);
+
+    /**
+     * Bind this engine to a new session: fresh channel, offset and
+     * base reserve; protocol state (tweak, pipeline slots, any
+     * prefetched transcript of the previous session) is reset so the
+     * engine behaves bit-identically to a freshly constructed one.
+     * Allocation-free once the engine has run one warm extension
+     * (DESIGN.md invariant 12) — the base reserve is copied into
+     * retained storage.
+     */
+    void resetSession(net::Channel &ch, const Block &delta,
+                      const Block *base, size_t n);
+
+    /**
+     * Pay the one-time sizing cost now instead of inside the first
+     * extension: arena carve, worker pool spawn, LPN index tape build
+     * (the dominant warm-up cost), staging reserves. Idempotent; an
+     * EnginePool calls this so checked-out engines are already warm.
+     */
+    void prewarm();
+
+    /**
      * Run one extension, writing usableOts() fresh sender strings
      * (each defines the pair (q_i, q_i ^ delta)) to @p out. Performs
      * no heap allocation once the workspace is warm.
@@ -114,7 +142,7 @@ class FerretCotSender
   private:
     void ensureTape();
 
-    net::Channel &ch;
+    net::Channel *ch = nullptr; ///< bound per session; never null in extendInto
     FerretParams p;
     Block delta_;
     std::vector<Block> baseQ;
@@ -136,6 +164,16 @@ class FerretCotReceiver
   public:
     FerretCotReceiver(net::Channel &ch, const FerretParams &params,
                       BitVec base_choice, std::vector<Block> base_t);
+
+    /** Unbound engine for warm pooling; see FerretCotSender. */
+    explicit FerretCotReceiver(const FerretParams &params);
+
+    /** Bind to a new session; see FerretCotSender::resetSession. */
+    void resetSession(net::Channel &ch, const BitVec &base_choice,
+                      const Block *base_t, size_t n);
+
+    /** One-time sizing ahead of the first session; see FerretCotSender. */
+    void prewarm();
 
     /**
      * Run one extension: usableOts() choice bits into @p choice_out
@@ -159,7 +197,7 @@ class FerretCotReceiver
   private:
     void ensureTape();
 
-    net::Channel &ch;
+    net::Channel *ch = nullptr; ///< bound per session; never null in extendInto
     FerretParams p;
     BitVec baseChoice;
     BitVec choiceNext;       ///< pipelined: next choice reserve staging

@@ -31,6 +31,23 @@ namespace {
 
 constexpr size_t kLane = LpnIndexTape::kLane;
 
+/**
+ * Prefetch one lane group's k-vector taps (the only randomly
+ * addressed stream; the tape reads sequentially). Mirrors the
+ * prefetchGroupTaps helper of the scalar/SSE2 kernels in lpn.cpp.
+ */
+inline void
+prefetchGroupTaps(const Block *in, const uint32_t *group_tape,
+                  unsigned d)
+{
+    for (unsigned i = 0; i < d; ++i) {
+        const uint32_t *gi = group_tape + i * kLane;
+        for (size_t x = 0; x < kLane; ++x)
+            _mm_prefetch(reinterpret_cast<const char *>(in + gi[x]),
+                         _MM_HINT_T0);
+    }
+}
+
 void
 scalarRows(const Block *in, Block *inout, const uint32_t *tape,
            size_t row0, size_t count, unsigned d)
@@ -52,6 +69,7 @@ void
 lpnGatherXorAvx2(const Block *in, Block *inout, const uint32_t *tape,
                  size_t row0, size_t count, unsigned d)
 {
+    const bool pf = lpnPrefetchEnabled();
     size_t j = 0;
     while (j < count && ((row0 + j) % kLane) != 0) {
         scalarRows(in, inout + j, tape, row0 + j, 1, d);
@@ -61,10 +79,13 @@ lpnGatherXorAvx2(const Block *in, Block *inout, const uint32_t *tape,
     // Four 256-bit accumulators cover one 8-row group (adjacent output
     // rows are contiguous, so each ymm holds two rows). The gathered
     // 16-byte inputs land at random addresses and are paired with one
-    // vinserti128 per two taps.
+    // vinserti128 per two taps; the next group's taps prefetch while
+    // this group's XOR chains retire.
     for (; j + kLane <= count; j += kLane) {
         const size_t r = row0 + j;
         const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane;
+        if (pf && j + 2 * kLane <= count)
+            prefetchGroupTaps(in, g + size_t(d) * kLane, d);
         __m256i acc[kLane / 2];
         for (size_t x = 0; x < kLane / 2; ++x)
             acc[x] = _mm256_loadu_si256(
@@ -96,6 +117,7 @@ lpnGatherXorAvx2Gather(const Block *in, Block *inout,
                        const uint32_t *tape, size_t row0, size_t count,
                        unsigned d)
 {
+    const bool pf = lpnPrefetchEnabled();
     size_t j = 0;
     while (j < count && ((row0 + j) % kLane) != 0) {
         scalarRows(in, inout + j, tape, row0 + j, 1, d);
@@ -112,6 +134,8 @@ lpnGatherXorAvx2Gather(const Block *in, Block *inout,
     for (; j + kLane <= count; j += kLane) {
         const size_t r = row0 + j;
         const uint32_t *g = tape + (r / kLane) * size_t(d) * kLane;
+        if (pf && j + 2 * kLane <= count)
+            prefetchGroupTaps(in, g + size_t(d) * kLane, d);
         __m256i lo0 = _mm256_setzero_si256(); // rows j..j+3, lo lanes
         __m256i hi0 = _mm256_setzero_si256();
         __m256i lo1 = _mm256_setzero_si256(); // rows j+4..j+7

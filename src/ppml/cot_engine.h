@@ -39,11 +39,12 @@
 #include "net/channel.h"
 #include "ot/ferret.h"
 #include "ot/ferret_params.h"
+#include "ppml/cot_supply.h"
 
 namespace ironman::ppml {
 
 /** Long-lived, self-refilling dual-direction COT supply. */
-class FerretCotEngine
+class FerretCotEngine : public CotSupply
 {
   public:
     /**
@@ -56,7 +57,7 @@ class FerretCotEngine
                     int threads = 1);
 
     /** Offset of the direction where this party is the OT sender. */
-    const Block &sendDelta() const { return sendDelta_; }
+    const Block &sendDelta() const override { return sendDelta_; }
 
     /**
      * Claim @p n send-direction COT strings. The pointer stays valid
@@ -64,7 +65,7 @@ class FerretCotEngine
      * Runs extensions on the channel when the buffer is short — the
      * peer must be inside its matching takeRecv().
      */
-    const Block *takeSend(size_t n);
+    const Block *takeSend(size_t n) override;
 
     /**
      * Claim @p n recv-direction correlations: choice bits are
@@ -72,10 +73,10 @@ class FerretCotEngine
      * takeSend().
      */
     void takeRecv(size_t n, const BitVec **bits, size_t *bit_offset,
-                  const Block **t);
+                  const Block **t) override;
 
     /** Correlations handed out so far (both directions). */
-    size_t cotsTaken() const { return taken; }
+    size_t cotsTaken() const override { return taken; }
 
     /** Extensions run so far (both directions, including priming). */
     uint64_t extensionsRun() const { return extensions; }

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The correlation-supply abstraction the PPML online phase consumes.
+ *
+ * SecureCompute (and any other GMW-style consumer) needs exactly four
+ * things from its COT source: the send-direction offset, batches of
+ * sender strings, batches of receiver (choice, t) pairs, and an
+ * accounting counter. CotSupply names that contract so the source can
+ * be either
+ *
+ *   - ppml::FerretCotEngine — the in-process dual-direction engine
+ *     that extends on the protocol channel itself, or
+ *   - svc::ReservoirCotSupply — client-side stocks refilled in the
+ *     background from COT-service sessions (src/svc), so the online
+ *     phase never stalls on extension latency.
+ *
+ * Contract inherited from FerretCotEngine: pointers returned by
+ * takeSend()/takeRecv() stay valid until the NEXT take of the same
+ * direction (a refill may compact the underlying buffer), and both
+ * parties must consume each direction in lockstep for the halves to
+ * line up.
+ */
+
+#ifndef IRONMAN_PPML_COT_SUPPLY_H
+#define IRONMAN_PPML_COT_SUPPLY_H
+
+#include <cstddef>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+
+namespace ironman::ppml {
+
+/** Dual-direction COT source for online protocols. */
+class CotSupply
+{
+  public:
+    virtual ~CotSupply() = default;
+
+    /** Offset of the direction where this party is the OT sender. */
+    virtual const Block &sendDelta() const = 0;
+
+    /**
+     * Claim @p n send-direction strings; valid until the next
+     * takeSend().
+     */
+    virtual const Block *takeSend(size_t n) = 0;
+
+    /**
+     * Claim @p n recv-direction correlations: choice bits are
+     * (*bits)[*bit_offset ...], strings are (*t)[0..n). Valid until
+     * the next takeRecv().
+     */
+    virtual void takeRecv(size_t n, const BitVec **bits,
+                          size_t *bit_offset, const Block **t) = 0;
+
+    /** Correlations handed out so far (both directions). */
+    virtual size_t cotsTaken() const = 0;
+};
+
+} // namespace ironman::ppml
+
+#endif // IRONMAN_PPML_COT_SUPPLY_H

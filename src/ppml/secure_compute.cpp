@@ -10,9 +10,8 @@
 namespace ironman::ppml {
 
 SecureCompute::SecureCompute(net::Channel &channel, int party_id,
-                             FerretCotEngine &cot_engine,
-                             unsigned bitwidth)
-    : ch(channel), party(party_id), engine(&cot_engine),
+                             CotSupply &supply, unsigned bitwidth)
+    : ch(channel), party(party_id), engine(&supply),
       width(bitwidth), localRng(0xfeed1234 + party_id)
 {
     IRONMAN_CHECK(party == 0 || party == 1);

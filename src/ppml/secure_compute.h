@@ -43,15 +43,16 @@ class SecureCompute
 {
   public:
     /**
-     * Correlations are drawn from a persistent FerretCotEngine
-     * (shared channel), which self-refills across layers instead of
-     * exhausting a fixed pre-dealt pool. @p engine must outlive this
-     * object.
+     * Correlations are drawn from a CotSupply — normally a persistent
+     * FerretCotEngine (shared channel, self-refilling across layers),
+     * or a svc::ReservoirCotSupply stocked by background COT-service
+     * sessions. @p supply must outlive this object, and both parties'
+     * supplies must hand out matching halves in lockstep.
      *
      * @param party 0 or 1 (party 0 sends first in every batch).
      * @param bitwidth Fixed-point width for arithmetic ops (<= 64).
      */
-    SecureCompute(net::Channel &ch, int party, FerretCotEngine &engine,
+    SecureCompute(net::Channel &ch, int party, CotSupply &supply,
                   unsigned bitwidth = 32);
 
     // ---- boolean-share operations ------------------------------------
@@ -118,7 +119,7 @@ class SecureCompute
 
     net::Channel &ch;
     int party;
-    FerretCotEngine *engine = nullptr;
+    CotSupply *engine = nullptr;
     unsigned width;
     crypto::Crhf crhf;
     ot::ChosenOtScratch otScratch;

@@ -1,0 +1,252 @@
+#include "svc/cot_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ironman::svc {
+
+CotServer::CotServer(Config cfg)
+    : cfg_(cfg),
+      pool_(EnginePool::Config{cfg.engineThreads, cfg.pipelined})
+{
+    IRONMAN_CHECK(cfg_.maxSessions > 0, "need at least one session slot");
+}
+
+CotServer::~CotServer()
+{
+    stop();
+}
+
+uint16_t
+CotServer::listenTcp(uint16_t port)
+{
+    IRONMAN_CHECK(listenFd.load() < 0, "server already listening");
+    const int fd = net::tcpListen(port);
+    listenFd.store(fd);
+    const uint16_t bound = net::tcpListenPort(fd);
+    startAccepting(fd);
+    return bound;
+}
+
+void
+CotServer::listenUnix(const std::string &path)
+{
+    IRONMAN_CHECK(listenFd.load() < 0, "server already listening");
+    const int fd = net::unixListen(path);
+    listenFd.store(fd);
+    startAccepting(fd);
+}
+
+void
+CotServer::startAccepting(int)
+{
+    stopping.store(false);
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+CotServer::acceptLoop()
+{
+    for (;;) {
+        // Session-slot backpressure: leave new connections in the
+        // listen backlog until a slot frees up.
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] {
+                return stopping.load() || active < cfg_.maxSessions;
+            });
+        }
+        if (stopping.load())
+            return;
+        const int listener = listenFd.load(std::memory_order_acquire);
+        if (listener < 0)
+            return;
+        int fd = net::acceptOn(listener);
+        if (fd < 0)
+            return; // listener closed by stop()
+        uint64_t sid;
+        std::unique_ptr<net::SocketChannel> ch;
+        try {
+            ch = std::make_unique<net::SocketChannel>(fd);
+        } catch (...) {
+            continue;
+        }
+        auto finished = std::make_shared<std::atomic<bool>>(false);
+        {
+            std::lock_guard<std::mutex> lock(m);
+            sid = nextSession++;
+            ++active;
+            liveChannels[sid] = ch.get();
+            reapFinishedLocked();
+        }
+        Session sess;
+        sess.finished = finished;
+        sess.thread = std::thread(
+            [this, sid, finished](
+                std::unique_ptr<net::SocketChannel> sess_ch) {
+                serveSession(std::move(sess_ch), sid);
+                finished->store(true, std::memory_order_release);
+            },
+            std::move(ch));
+        std::lock_guard<std::mutex> lock(m);
+        sessions.push_back(std::move(sess));
+    }
+}
+
+void
+CotServer::reapFinishedLocked()
+{
+    // Join threads whose sessions completed; a long-running daemon
+    // must not accumulate dead stacks. Finished threads join without
+    // blocking the accept path for more than an epilogue.
+    for (size_t i = 0; i < sessions.size();) {
+        if (sessions[i].finished->load(std::memory_order_acquire)) {
+            sessions[i].thread.join();
+            sessions.erase(sessions.begin() + long(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+CotServer::serveSession(std::unique_ptr<net::SocketChannel> ch,
+                        uint64_t sid)
+{
+    try {
+        Hello hello;
+        const Status st = recvHello(*ch, &hello);
+        sendAccept(*ch, Accept{st, sid});
+        ch->flush();
+        if (st == Status::Ok) {
+            if (hello.role == Role::Receiver)
+                serveSenderSession(*ch, sid, hello);
+            else
+                serveReceiverSession(*ch, sid, hello);
+            served.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (const std::exception &e) {
+        // A dying client must not take the server down; the engine
+        // lease already unwound and the engine is back in the pool.
+        IRONMAN_WARN("svc session %llu aborted: %s",
+                     (unsigned long long)sid, e.what());
+    }
+    std::lock_guard<std::mutex> lock(m);
+    liveChannels.erase(sid);
+    --active;
+    cv.notify_all();
+}
+
+void
+CotServer::serveSenderSession(net::SocketChannel &ch, uint64_t sid,
+                              const Hello &hello)
+{
+    const ot::FerretParams p = hello.params.toFerretParams();
+    ot::CotSenderBatch half;
+    Block delta;
+    dealSessionBase(p, hello.setupSeed, &half, nullptr, &delta);
+
+    EnginePool::SenderLease lease = pool_.checkoutSender(p);
+    lease->resetSession(ch, delta, half.q.data(), half.q.size());
+
+    Rng rng(senderRngSeed(hello.setupSeed));
+    std::vector<Block> out(p.usableOts());
+    for (uint64_t iter = 0;; ++iter) {
+        if (recvOp(ch) != Op::Extend)
+            break;
+        lease->extendInto(rng, out.data());
+        ch.flush();
+        extensions.fetch_add(1, std::memory_order_relaxed);
+        cots.fetch_add(out.size(), std::memory_order_relaxed);
+        if (senderSink)
+            senderSink(
+                SenderBatch{sid, iter, delta, out.data(), out.size()});
+    }
+}
+
+void
+CotServer::serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
+                                const Hello &hello)
+{
+    const ot::FerretParams p = hello.params.toFerretParams();
+    ot::CotReceiverBatch half;
+    dealSessionBase(p, hello.setupSeed, nullptr, &half, nullptr);
+
+    EnginePool::ReceiverLease lease = pool_.checkoutReceiver(p);
+    lease->resetSession(ch, half.choice, half.t.data(), half.t.size());
+
+    Rng rng(receiverRngSeed(hello.setupSeed));
+    BitVec choice;
+    std::vector<Block> out(p.usableOts());
+    for (uint64_t iter = 0;; ++iter) {
+        if (recvOp(ch) != Op::Extend)
+            break;
+        lease->extendInto(rng, choice, out.data());
+        ch.flush();
+        extensions.fetch_add(1, std::memory_order_relaxed);
+        cots.fetch_add(out.size(), std::memory_order_relaxed);
+        if (receiverSink)
+            receiverSink(ReceiverBatch{sid, iter, &choice, out.data(),
+                                       out.size()});
+    }
+}
+
+void
+CotServer::stop()
+{
+    if (listenFd.load() < 0 && !acceptThread.joinable())
+        return;
+    stopping.store(true);
+    // Retire the listener first (atomically), then close it: the
+    // accept thread either sees -1 or gets EBADF/EINVAL from accept —
+    // both exit paths.
+    const int fd = listenFd.exchange(-1);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+    {
+        // Wake sessions parked in recvOp; their threads unwind through
+        // the exception path and release their engines.
+        std::lock_guard<std::mutex> lock(m);
+        for (auto &[sid, ch] : liveChannels)
+            ch->shutdownBoth();
+        cv.notify_all();
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    // Join every session thread (their sockets are shut down, so they
+    // unwind promptly). Never detach: a detached thread could still be
+    // releasing the server's mutex while the server destructs.
+    std::vector<Session> to_join;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        to_join.swap(sessions);
+    }
+    for (Session &s : to_join)
+        s.thread.join();
+}
+
+size_t
+CotServer::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return active;
+}
+
+void
+CotServer::setSenderSink(std::function<void(const SenderBatch &)> fn)
+{
+    senderSink = std::move(fn);
+}
+
+void
+CotServer::setReceiverSink(std::function<void(const ReceiverBatch &)> fn)
+{
+    receiverSink = std::move(fn);
+}
+
+} // namespace ironman::svc

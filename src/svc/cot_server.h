@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The COT-as-a-service daemon: accepts client sessions over real
+ * sockets (loopback/remote TCP or Unix-domain), plays the opposite OT
+ * role of each client, and serves extensions from warm pooled engines.
+ *
+ * Concurrency model: one accept loop plus one thread per active
+ * session (sessions are blocking protocol loops — each one spends its
+ * life inside interactive extendInto calls). Kernel parallelism comes
+ * from each engine's own fixed worker pool (EnginePool::Config::threads
+ * wide), the same ThreadPool the single-connection engines use; the
+ * session count is bounded by Config::maxSessions, beyond which the
+ * accept loop applies backpressure (clients queue in the listen
+ * backlog). Engines outlive sessions: a finished session's engine
+ * returns to the EnginePool and the next session of the same parameter
+ * shape reuses it via resetSession() — allocation-free once warm
+ * (invariant 12).
+ *
+ * The server's own protocol outputs (sender strings q, or receiver
+ * choice/t) are the service operator's half of the correlations. Tests
+ * and deployments that consume them register batch sinks; without a
+ * sink the outputs are dropped after each extension (the client half
+ * is still perfectly usable — this matches a dealer that only retains
+ * what its operator needs).
+ */
+
+#ifndef IRONMAN_SVC_COT_SERVER_H
+#define IRONMAN_SVC_COT_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_channel.h"
+#include "svc/engine_pool.h"
+#include "svc/wire.h"
+
+namespace ironman::svc {
+
+class CotServer
+{
+  public:
+    struct Config
+    {
+        int engineThreads = 1;   ///< worker-pool width per engine
+        bool pipelined = true;   ///< engine mode (clients must match)
+        size_t maxSessions = 32; ///< concurrent-session bound
+    };
+
+    CotServer() : CotServer(Config{}) {}
+    explicit CotServer(Config cfg);
+    ~CotServer();
+
+    CotServer(const CotServer &) = delete;
+    CotServer &operator=(const CotServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral), start the accept loop,
+     * return the bound port.
+     */
+    uint16_t listenTcp(uint16_t port = 0);
+
+    /** Bind a Unix-domain path and start the accept loop. */
+    void listenUnix(const std::string &path);
+
+    /**
+     * Stop accepting, shut down active sessions, wait for them to
+     * unwind, and join the accept loop. Idempotent.
+     */
+    void stop();
+
+    EnginePool &pool() { return pool_; }
+
+    uint64_t sessionsServed() const { return served.load(); }
+    uint64_t extensionsServed() const { return extensions.load(); }
+    uint64_t cotsServed() const { return cots.load(); }
+    size_t activeSessions() const;
+
+    // -- output sinks (tests / operator-side consumption) ---------------
+
+    /** One sender-side extension result; pointers valid during the call. */
+    struct SenderBatch
+    {
+        uint64_t sessionId;
+        uint64_t iteration; ///< 0-based extension index in the session
+        Block delta;
+        const Block *q;
+        size_t count;
+    };
+
+    /** One receiver-side extension result; pointers valid during the call. */
+    struct ReceiverBatch
+    {
+        uint64_t sessionId;
+        uint64_t iteration;
+        const BitVec *choice;
+        const Block *t;
+        size_t count;
+    };
+
+    /**
+     * Register batch observers. Called from session threads (must be
+     * thread-safe); set before listening. LIFETIME: anything a sink
+     * references must outlive the server — or stop() must run first —
+     * because session threads may still be delivering batches until
+     * stop() joins them.
+     */
+    void setSenderSink(std::function<void(const SenderBatch &)> fn);
+    void setReceiverSink(std::function<void(const ReceiverBatch &)> fn);
+
+  private:
+    void startAccepting(int fd);
+    void acceptLoop();
+    void serveSession(std::unique_ptr<net::SocketChannel> ch,
+                      uint64_t sid);
+    void serveSenderSession(net::SocketChannel &ch, uint64_t sid,
+                            const Hello &hello);
+    void serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
+                              const Hello &hello);
+
+    Config cfg_;
+    EnginePool pool_;
+
+    std::atomic<int> listenFd{-1}; ///< stop() retires it from another thread
+    std::thread acceptThread;
+    std::atomic<bool> stopping{false};
+
+    /** One accepted session: its serving thread + completion flag. */
+    struct Session
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> finished;
+    };
+
+    void reapFinishedLocked();
+
+    mutable std::mutex m;
+    std::condition_variable cv; ///< session-slot and drain waits
+    size_t active = 0;
+    std::map<uint64_t, net::SocketChannel *> liveChannels;
+    std::vector<Session> sessions; ///< joined on reap/stop, never detached
+    uint64_t nextSession = 1;
+
+    std::function<void(const SenderBatch &)> senderSink;
+    std::function<void(const ReceiverBatch &)> receiverSink;
+
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> extensions{0};
+    std::atomic<uint64_t> cots{0};
+};
+
+} // namespace ironman::svc
+
+#endif // IRONMAN_SVC_COT_SERVER_H

@@ -1,0 +1,200 @@
+#include "svc/engine_pool.h"
+
+namespace ironman::svc {
+
+EngineKey
+EngineKey::of(const ot::FerretParams &p)
+{
+    EngineKey k;
+    k.n = p.n;
+    k.k = p.k;
+    k.t = p.t;
+    k.lpnSeed = p.lpnSeed;
+    k.arity = p.arity;
+    k.lpnWeight = p.lpnWeight;
+    k.prg = uint8_t(p.prg);
+    return k;
+}
+
+// ---------------------------------------------------------------------------
+// Leases
+// ---------------------------------------------------------------------------
+
+EnginePool::SenderLease &
+EnginePool::SenderLease::operator=(SenderLease &&o) noexcept
+{
+    if (this != &o) {
+        release();
+        engine = std::move(o.engine);
+        pool = o.pool;
+        key = o.key;
+        o.pool = nullptr;
+    }
+    return *this;
+}
+
+void
+EnginePool::SenderLease::release()
+{
+    if (engine && pool)
+        pool->returnSender(key, std::move(engine));
+    engine.reset();
+    pool = nullptr;
+}
+
+EnginePool::ReceiverLease &
+EnginePool::ReceiverLease::operator=(ReceiverLease &&o) noexcept
+{
+    if (this != &o) {
+        release();
+        engine = std::move(o.engine);
+        pool = o.pool;
+        key = o.key;
+        o.pool = nullptr;
+    }
+    return *this;
+}
+
+void
+EnginePool::ReceiverLease::release()
+{
+    if (engine && pool)
+        pool->returnReceiver(key, std::move(engine));
+    engine.reset();
+    pool = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ot::FerretCotSender>
+EnginePool::makeSender(const ot::FerretParams &p)
+{
+    auto e = std::make_unique<ot::FerretCotSender>(p);
+    e->setThreads(cfg_.threads);
+    e->setPipelined(cfg_.pipelined);
+    e->prewarm();
+    return e;
+}
+
+std::unique_ptr<ot::FerretCotReceiver>
+EnginePool::makeReceiver(const ot::FerretParams &p)
+{
+    auto e = std::make_unique<ot::FerretCotReceiver>(p);
+    e->setThreads(cfg_.threads);
+    e->setPipelined(cfg_.pipelined);
+    e->prewarm();
+    return e;
+}
+
+EnginePool::SenderLease
+EnginePool::checkoutSender(const ot::FerretParams &p)
+{
+    const EngineKey key = EngineKey::of(p);
+    SenderLease lease;
+    lease.pool = this;
+    lease.key = key;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = idleSend.find(key);
+        if (it != idleSend.end() && !it->second.empty()) {
+            lease.engine = std::move(it->second.back());
+            it->second.pop_back();
+            return lease;
+        }
+        ++madeSenders;
+    }
+    // Construction + prewarm outside the lock: tape builds are slow
+    // and other sessions must keep checking out.
+    lease.engine = makeSender(p);
+    return lease;
+}
+
+EnginePool::ReceiverLease
+EnginePool::checkoutReceiver(const ot::FerretParams &p)
+{
+    const EngineKey key = EngineKey::of(p);
+    ReceiverLease lease;
+    lease.pool = this;
+    lease.key = key;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = idleRecv.find(key);
+        if (it != idleRecv.end() && !it->second.empty()) {
+            lease.engine = std::move(it->second.back());
+            it->second.pop_back();
+            return lease;
+        }
+        ++madeReceivers;
+    }
+    lease.engine = makeReceiver(p);
+    return lease;
+}
+
+void
+EnginePool::prewarm(const ot::FerretParams &p, int count)
+{
+    const EngineKey key = EngineKey::of(p);
+    for (int i = 0; i < count; ++i) {
+        auto s = makeSender(p);
+        auto r = makeReceiver(p);
+        std::lock_guard<std::mutex> lock(m);
+        idleSend[key].push_back(std::move(s));
+        idleRecv[key].push_back(std::move(r));
+        ++madeSenders;
+        ++madeReceivers;
+    }
+}
+
+void
+EnginePool::returnSender(const EngineKey &key,
+                         std::unique_ptr<ot::FerretCotSender> e)
+{
+    std::lock_guard<std::mutex> lock(m);
+    idleSend[key].push_back(std::move(e));
+}
+
+void
+EnginePool::returnReceiver(const EngineKey &key,
+                           std::unique_ptr<ot::FerretCotReceiver> e)
+{
+    std::lock_guard<std::mutex> lock(m);
+    idleRecv[key].push_back(std::move(e));
+}
+
+uint64_t
+EnginePool::sendersCreated() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return madeSenders;
+}
+
+uint64_t
+EnginePool::receiversCreated() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return madeReceivers;
+}
+
+size_t
+EnginePool::idleSenders() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    size_t n = 0;
+    for (const auto &[k, v] : idleSend)
+        n += v.size();
+    return n;
+}
+
+size_t
+EnginePool::idleReceivers() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    size_t n = 0;
+    for (const auto &[k, v] : idleRecv)
+        n += v.size();
+    return n;
+}
+
+} // namespace ironman::svc

@@ -1,0 +1,174 @@
+#include "svc/reservoir.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ironman::svc {
+
+Reservoir::Reservoir(CotClient &c, Options opt) : client(c), opt_(opt)
+{
+    IRONMAN_CHECK(opt_.lowWaterBatches >= 1 &&
+                      opt_.maxBatches >= opt_.lowWaterBatches,
+                  "reservoir watermarks inverted");
+    refillThread = std::thread([this] { refillLoop(); });
+}
+
+Reservoir::~Reservoir()
+{
+    stopRefill();
+}
+
+void
+Reservoir::stopRefill()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        running = false;
+        needCv.notify_all();
+        stockCv.notify_all();
+    }
+    if (refillThread.joinable())
+        refillThread.join();
+}
+
+void
+Reservoir::refillLoop()
+{
+    const size_t usable = client.usableOts();
+    const size_t low = opt_.lowWaterBatches * usable;
+    const size_t cap = opt_.maxBatches * usable;
+    const bool recv_role = client.role() == Role::Receiver;
+
+    for (;;) {
+        {
+            // Wake on crossing the low-water mark or on a pending
+            // take the current stock cannot satisfy.
+            std::unique_lock<std::mutex> lock(m);
+            needCv.wait(lock, [&] {
+                const size_t have = blocks.size() - head;
+                return !running || have < low || have < demand;
+            });
+            if (!running)
+                return;
+        }
+
+        // Once triggered, fill to the high-water mark (or the pending
+        // demand, whichever is larger) with hysteresis. Extensions run
+        // OUTSIDE the lock: takers keep draining the existing stock
+        // while the session round trips.
+        for (;;) {
+            stageBlocks.resize(usable);
+            if (recv_role)
+                client.extendRecv(stageBits, stageBlocks.data());
+            else
+                client.extendSend(stageBlocks.data());
+
+            std::lock_guard<std::mutex> lock(m);
+            if (recv_role)
+                bits.appendRange(stageBits, 0, stageBits.size());
+            blocks.insert(blocks.end(), stageBlocks.begin(),
+                          stageBlocks.end());
+            ++refillCount;
+            stockCv.notify_all();
+            const size_t have = blocks.size() - head;
+            // The refiller retires demand once covered — a woken taker
+            // must not (another taker may still be waiting on a larger
+            // figure).
+            if (have >= demand)
+                demand = 0;
+            if (!running || have >= std::max(cap, demand))
+                break;
+        }
+    }
+}
+
+void
+Reservoir::waitForStockLocked(std::unique_lock<std::mutex> &lock,
+                              size_t n)
+{
+    // The demand re-arms on EVERY unsatisfied wake (the predicate runs
+    // under the lock): another taker may have drained the stock after
+    // the refiller retired the previous figure, and a woken taker must
+    // never clear what a concurrent larger take still needs. The
+    // refill loop retires demand once the stock covers it.
+    stockCv.wait(lock, [&] {
+        if (!running || blocks.size() - head >= n)
+            return true;
+        demand = std::max(demand, n);
+        needCv.notify_all();
+        return false;
+    });
+    IRONMAN_CHECK(blocks.size() - head >= n,
+                  "reservoir stopped with takers waiting");
+}
+
+void
+Reservoir::takeRecv(size_t n, BitVec *out_bits, std::vector<Block> *t)
+{
+    IRONMAN_CHECK(client.role() == Role::Receiver,
+                  "takeRecv on a sender-role reservoir");
+    std::unique_lock<std::mutex> lock(m);
+    waitForStockLocked(lock, n);
+    out_bits->assignRange(bits, head, n);
+    t->resize(n);
+    std::copy_n(blocks.data() + head, n, t->data());
+    head += n;
+    takenCount += n;
+
+    // Compact consumed whole batches so the stock stays bounded.
+    const size_t usable = client.usableOts();
+    if (head >= usable) {
+        const size_t drop = head - head % usable;
+        blocks.erase(blocks.begin(), blocks.begin() + drop);
+        BitVec rest;
+        rest.assignRange(bits, drop, bits.size() - drop);
+        std::swap(bits, rest);
+        head -= drop;
+    }
+    needCv.notify_all();
+}
+
+void
+Reservoir::takeSend(size_t n, std::vector<Block> *q)
+{
+    IRONMAN_CHECK(client.role() == Role::Sender,
+                  "takeSend on a receiver-role reservoir");
+    std::unique_lock<std::mutex> lock(m);
+    waitForStockLocked(lock, n);
+    q->resize(n);
+    std::copy_n(blocks.data() + head, n, q->data());
+    head += n;
+    takenCount += n;
+
+    const size_t usable = client.usableOts();
+    if (head >= usable) {
+        const size_t drop = head - head % usable;
+        blocks.erase(blocks.begin(), blocks.begin() + drop);
+        head -= drop;
+    }
+    needCv.notify_all();
+}
+
+size_t
+Reservoir::stock() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return blocks.size() - head;
+}
+
+uint64_t
+Reservoir::refills() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return refillCount;
+}
+
+uint64_t
+Reservoir::taken() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return takenCount;
+}
+
+} // namespace ironman::svc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Client-side correlation reservoir: a background thread keeps a
+ * per-session COT stock topped up, so consumers (the PPML online
+ * phase, or anything drawing through ppml::CotSupply) take from local
+ * memory and never stall on extension latency — the service session's
+ * round trips and LPN time are paid off the consumer's critical path.
+ *
+ * One Reservoir wraps one CotClient session and matches its role:
+ * takeRecv() on a receiver-role session, takeSend() on a sender-role
+ * session. The refill thread extends whenever the stock drops under
+ * the low-water mark and parks once it holds maxBatches extensions.
+ *
+ * ReservoirCotSupply composes two reservoirs over two sessions of
+ * opposite roles into the dual-direction ppml::CotSupply the GMW
+ * engine consumes; the peer holding the matching halves is the
+ * service operator (the server's batch sinks carry them).
+ */
+
+#ifndef IRONMAN_SVC_RESERVOIR_H
+#define IRONMAN_SVC_RESERVOIR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "ppml/cot_supply.h"
+#include "svc/cot_client.h"
+
+namespace ironman::svc {
+
+class Reservoir
+{
+  public:
+    struct Options
+    {
+        size_t lowWaterBatches = 1; ///< refill below this many extensions
+        size_t maxBatches = 2;      ///< stop refilling at this stock
+    };
+
+    /**
+     * Start refilling immediately. @p client must outlive the
+     * reservoir and must not be used elsewhere while it runs (the
+     * refill thread owns the session).
+     */
+    explicit Reservoir(CotClient &client)
+        : Reservoir(client, Options{})
+    {
+    }
+    Reservoir(CotClient &client, Options opt);
+    ~Reservoir();
+
+    Reservoir(const Reservoir &) = delete;
+    Reservoir &operator=(const Reservoir &) = delete;
+
+    /**
+     * Take @p n receiver-role correlations into caller storage
+     * (resized; reused storage allocates nothing). Blocks until the
+     * refill thread has produced enough.
+     */
+    void takeRecv(size_t n, BitVec *bits, std::vector<Block> *t);
+
+    /** Take @p n sender-role strings; see takeRecv. */
+    void takeSend(size_t n, std::vector<Block> *q);
+
+    /** Correlations currently in stock. */
+    size_t stock() const;
+
+    /** Extensions the refill thread has run. */
+    uint64_t refills() const;
+
+    /** Correlations handed out. */
+    uint64_t taken() const;
+
+    /**
+     * Stop the refill thread (it finishes any in-flight extension).
+     * Called by the destructor; the session itself stays open for the
+     * owner to close.
+     */
+    void stopRefill();
+
+  private:
+    void refillLoop();
+    void waitForStockLocked(std::unique_lock<std::mutex> &lock,
+                            size_t n);
+
+    CotClient &client;
+    Options opt_;
+
+    mutable std::mutex m;
+    std::condition_variable stockCv; ///< takers wait for stock
+    std::condition_variable needCv;  ///< refiller waits for demand
+
+    // Stock, role-dependent: receiver sessions fill bits+t, sender
+    // sessions fill q. head is the consumed prefix; compaction drops
+    // whole batches once consumed.
+    BitVec bits;
+    std::vector<Block> blocks;
+    size_t head = 0;
+    size_t demand = 0; ///< largest pending take (refiller must cover it)
+    bool running = true;
+    uint64_t refillCount = 0;
+    uint64_t takenCount = 0;
+
+    // Refill staging (thread-local to the refill loop, reused).
+    BitVec stageBits;
+    std::vector<Block> stageBlocks;
+
+    std::thread refillThread;
+};
+
+/** Dual-direction ppml::CotSupply backed by two reservoirs. */
+class ReservoirCotSupply final : public ppml::CotSupply
+{
+  public:
+    /**
+     * @param send_res Reservoir over a Role::Sender session (this
+     *        party holds delta and q there).
+     * @param recv_res Reservoir over a Role::Receiver session.
+     */
+    ReservoirCotSupply(Reservoir &send_res, Reservoir &recv_res,
+                       const Block &send_delta)
+        : sendRes(send_res), recvRes(recv_res), delta(send_delta)
+    {
+    }
+
+    const Block &sendDelta() const override { return delta; }
+
+    const Block *
+    takeSend(size_t n) override
+    {
+        sendRes.takeSend(n, &qBuf);
+        taken += n;
+        return qBuf.data();
+    }
+
+    void
+    takeRecv(size_t n, const BitVec **bits, size_t *bit_offset,
+             const Block **t) override
+    {
+        recvRes.takeRecv(n, &bitBuf, &tBuf);
+        *bits = &bitBuf;
+        *bit_offset = 0;
+        *t = tBuf.data();
+        taken += n;
+    }
+
+    size_t cotsTaken() const override { return taken; }
+
+  private:
+    Reservoir &sendRes;
+    Reservoir &recvRes;
+    Block delta;
+    std::vector<Block> qBuf;
+    BitVec bitBuf;
+    std::vector<Block> tBuf;
+    size_t taken = 0;
+};
+
+} // namespace ironman::svc
+
+#endif // IRONMAN_SVC_RESERVOIR_H

@@ -1,0 +1,237 @@
+#include "svc/wire.h"
+
+#include "common/rng.h"
+#include "ot/base_cot.h"
+
+namespace ironman::svc {
+
+namespace {
+
+void
+putU16(uint8_t *p, uint16_t v)
+{
+    p[0] = uint8_t(v);
+    p[1] = uint8_t(v >> 8);
+}
+
+void
+putU32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = uint8_t(v >> (8 * i));
+}
+
+void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = uint8_t(v >> (8 * i));
+}
+
+uint16_t
+getU16(const uint8_t *p)
+{
+    return uint16_t(p[0]) | uint16_t(p[1]) << 8;
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+// magic(4) version(2) role(1) prg(1) seed(8) n(8) k(8) t(8)
+// lpnSeed(8) arity(4) lpnWeight(4)
+constexpr size_t kHelloBytes = 4 + 2 + 1 + 1 + 8 + 4 * 8 + 2 * 4;
+// status(1) pad(7) sessionId(8)
+constexpr size_t kAcceptBytes = 1 + 7 + 8;
+
+} // namespace
+
+const char *
+roleName(Role r)
+{
+    return r == Role::Sender ? "sender" : "receiver";
+}
+
+WireParams
+WireParams::of(const ot::FerretParams &p)
+{
+    WireParams w;
+    w.n = p.n;
+    w.k = p.k;
+    w.t = p.t;
+    w.lpnSeed = p.lpnSeed;
+    w.arity = p.arity;
+    w.lpnWeight = p.lpnWeight;
+    w.prg = uint8_t(p.prg);
+    return w;
+}
+
+ot::FerretParams
+WireParams::toFerretParams() const
+{
+    ot::FerretParams p;
+    p.name = "svc-session";
+    p.n = size_t(n);
+    p.k = size_t(k);
+    p.t = size_t(t);
+    p.lpnSeed = lpnSeed;
+    p.arity = arity;
+    p.lpnWeight = lpnWeight;
+    p.prg = crypto::PrgKind(prg);
+    return p;
+}
+
+void
+sendHello(net::Channel &ch, const Hello &h)
+{
+    uint8_t buf[kHelloBytes];
+    uint8_t *p = buf;
+    putU32(p, kMagic);
+    p += 4;
+    putU16(p, h.version);
+    p += 2;
+    *p++ = uint8_t(h.role);
+    *p++ = h.params.prg;
+    putU64(p, h.setupSeed);
+    p += 8;
+    putU64(p, h.params.n);
+    p += 8;
+    putU64(p, h.params.k);
+    p += 8;
+    putU64(p, h.params.t);
+    p += 8;
+    putU64(p, h.params.lpnSeed);
+    p += 8;
+    putU32(p, h.params.arity);
+    p += 4;
+    putU32(p, h.params.lpnWeight);
+    ch.sendBytes(buf, sizeof(buf));
+}
+
+Status
+recvHello(net::Channel &ch, Hello *out)
+{
+    uint8_t buf[kHelloBytes];
+    ch.recvBytes(buf, sizeof(buf));
+    const uint8_t *p = buf;
+    if (getU32(p) != kMagic)
+        return Status::BadMagic;
+    p += 4;
+    out->version = getU16(p);
+    p += 2;
+    if (out->version != kWireVersion)
+        return Status::BadVersion;
+    out->role = Role(*p++);
+    out->params.prg = *p++;
+    out->setupSeed = getU64(p);
+    p += 8;
+    out->params.n = getU64(p);
+    p += 8;
+    out->params.k = getU64(p);
+    p += 8;
+    out->params.t = getU64(p);
+    p += 8;
+    out->params.lpnSeed = getU64(p);
+    p += 8;
+    out->params.arity = getU32(p);
+    p += 4;
+    out->params.lpnWeight = getU32(p);
+
+    // Untrusted input: beyond shape sanity, bound the sizes (a rogue
+    // n would otherwise size multi-TB workspaces or overflow the
+    // derived geometry) and require self-consistency so no downstream
+    // IRONMAN_CHECK — which aborts, not throws — can fire on a hostile
+    // hello. 2^26 comfortably covers every paper set (max 2^24).
+    constexpr uint64_t kMaxN = uint64_t(1) << 26;
+    const WireParams &w = out->params;
+    if (w.n == 0 || w.n > kMaxN || w.k < 2 || w.k >= w.n || w.t == 0 ||
+        w.t > w.n || w.arity < 2 || w.arity > 16 || w.lpnWeight == 0 ||
+        w.lpnWeight > 12 ||
+        w.prg > uint8_t(crypto::PrgKind::ChaCha20))
+        return Status::BadParams;
+    const ot::FerretParams p2 = w.toFerretParams();
+    // One extension must hand out at least one COT after re-reserving
+    // its own bootstrap material.
+    if (p2.reservedCots() >= p2.n)
+        return Status::BadParams;
+    return Status::Ok;
+}
+
+void
+sendAccept(net::Channel &ch, const Accept &a)
+{
+    uint8_t buf[kAcceptBytes] = {};
+    buf[0] = uint8_t(a.status);
+    putU64(buf + 8, a.sessionId);
+    ch.sendBytes(buf, sizeof(buf));
+}
+
+Accept
+recvAccept(net::Channel &ch)
+{
+    uint8_t buf[kAcceptBytes];
+    ch.recvBytes(buf, sizeof(buf));
+    Accept a;
+    a.status = Status(buf[0]);
+    a.sessionId = getU64(buf + 8);
+    return a;
+}
+
+void
+sendOp(net::Channel &ch, Op op)
+{
+    uint8_t b = uint8_t(op);
+    ch.sendBytes(&b, 1);
+}
+
+Op
+recvOp(net::Channel &ch)
+{
+    uint8_t b = 0;
+    ch.recvBytes(&b, 1);
+    return Op(b);
+}
+
+uint64_t
+senderRngSeed(uint64_t setup_seed)
+{
+    return setup_seed ^ 0x5e17de57c0700001ULL;
+}
+
+uint64_t
+receiverRngSeed(uint64_t setup_seed)
+{
+    return setup_seed ^ 0x2ec31f4b99d00002ULL;
+}
+
+void
+dealSessionBase(const ot::FerretParams &p, uint64_t setup_seed,
+                ot::CotSenderBatch *sender_half,
+                ot::CotReceiverBatch *receiver_half, Block *delta_out)
+{
+    Rng dealer(setup_seed * 0x9e3779b97f4a7c15ULL + 0xd0a1ULL);
+    Block delta = dealer.nextBlock();
+    auto [s, r] = ot::dealBaseCots(dealer, delta, p.reservedCots());
+    if (delta_out)
+        *delta_out = delta;
+    if (sender_half)
+        *sender_half = std::move(s);
+    if (receiver_half)
+        *receiver_half = std::move(r);
+}
+
+} // namespace ironman::svc

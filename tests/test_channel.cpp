@@ -54,6 +54,39 @@ TEST(ChannelTest, BlocksAndBitsRoundTrip)
         });
 }
 
+TEST(ChannelTest, BoundedReserveNeverGrowsUnderBackpressure)
+{
+    // reserve() fixes the FIFO capacity: a sender pushing far more
+    // than the bound blocks for drained space instead of growing, so
+    // the reserved size is a deterministic worst-case bound.
+    MemoryDuplex duplex;
+    duplex.reserve(4096);
+    const size_t cap = duplex.capacityPerDirection();
+    ASSERT_GE(cap, 4096u);
+
+    constexpr size_t kTotal = 256 * 1024; // 64x the bound
+    Rng rng(33);
+    std::vector<uint8_t> out(kTotal), in(kTotal);
+    for (auto &x : out)
+        x = uint8_t(rng.nextUint64());
+
+    std::thread sender([&] { duplex.a().sendBytes(out.data(), kTotal); });
+    // Drain slowly in odd-sized chunks so the sender repeatedly hits
+    // the bound.
+    size_t got = 0;
+    while (got < kTotal) {
+        const size_t chunk = std::min<size_t>(4097, kTotal - got);
+        duplex.b().recvBytes(in.data() + got, chunk);
+        got += chunk;
+    }
+    sender.join();
+
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(duplex.capacityPerDirection(), cap)
+        << "bounded FIFO grew despite backpressure";
+    EXPECT_EQ(duplex.totalBytes(), kTotal);
+}
+
 TEST(ChannelTest, PartialReadsAcrossSegments)
 {
     runTwoParty(

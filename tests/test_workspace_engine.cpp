@@ -116,11 +116,12 @@ expectAllocationFreeAfterWarmup(const FerretParams &p)
     auto [bs, br] = dealBaseCots(dealer, delta, p.reservedCots());
 
     net::MemoryDuplex duplex;
-    // The FIFO grows to the largest backlog *observed*, which depends
-    // on scheduling — reserve the worst case (one full iteration per
-    // direction is well under 1 MB for the tiny set) so the measured
-    // window cannot see a first-time growth.
+    // reserve() fixes the FIFO capacity (backpressure instead of
+    // growth), so the measured window cannot see a wire allocation by
+    // construction — one full iteration per direction is well under
+    // 1 MB for the tiny set, so the bound never even engages.
     duplex.reserve(1 << 20);
+    const size_t fifo_capacity = duplex.capacityPerDirection();
     FerretCotSender sender(duplex.a(), p, delta, std::move(bs.q));
     FerretCotReceiver receiver(duplex.b(), p, std::move(br.choice),
                                std::move(br.t));
@@ -169,6 +170,8 @@ expectAllocationFreeAfterWarmup(const FerretParams &p)
 
     EXPECT_EQ(measured, 0u)
         << "warm extendInto() performed heap allocations";
+    EXPECT_EQ(duplex.capacityPerDirection(), fifo_capacity)
+        << "bounded FIFO grew — reserve() must be a hard bound";
 
     // The measured iterations still produced valid correlations.
     for (size_t i = 0; i < q.size(); ++i)
