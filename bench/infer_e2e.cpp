@@ -1,0 +1,198 @@
+/**
+ * @file
+ * End-to-end private-inference serving bench: images/s, COT/image and
+ * online bytes/image for the three ways the repository can run the
+ * same GMW MLP inference —
+ *
+ *   in-process   MemoryDuplex + per-party FerretCotEngine (the
+ *                baseline examples/private_mlp runs),
+ *   served+engine    loopback TCP, per-session dual-direction engine
+ *                    on the inference channel,
+ *   served+reservoir loopback TCP, correlations from background
+ *                    COT-service sessions (the paper architecture:
+ *                    online phase overlaps with COT refill).
+ *
+ * Every served output is compared bit-for-bit against the in-process
+ * run (the BENCH-SMOKE sentinel — a broken supply or transport fails
+ * the bench, CI runs it in fast mode), and the rows land in
+ * BENCH_infer_e2e.json for the artifact trail.
+ *
+ * Single-core caveat (EXPERIMENTS.md): on a 1-core container the
+ * reservoir's refill thread, the COT server's session threads and
+ * the online phase all share one CPU, so the overlap the reservoir
+ * buys shows up as latency hiding only on real cores.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "infer/infer_client.h"
+#include "infer/infer_server.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/model_zoo.h"
+#include "svc/cot_server.h"
+#include "svc/operator_stock.h"
+
+using namespace ironman;
+
+namespace {
+
+constexpr uint64_t kShareSeed = 0xbe7c5;
+constexpr uint64_t kSetupSeed = 424242;
+
+struct Row
+{
+    const char *path;
+    double seconds = 0;
+    double imagesPerSec = 0;
+    double cotsPerImage = 0;
+    double onlineBytesPerImage = 0;
+    double preprocBytesPerImage = 0;
+    bool bitIdentical = true;
+};
+
+} // namespace
+
+int
+main()
+{
+    const bool fast = bench::fastMode();
+    const size_t requests = fast ? 3 : 16;
+    const uint32_t batch = fast ? 2 : 8;
+    const unsigned width = 32;
+    const ot::FerretParams params = ot::tinyTestParams();
+
+    bench::banner("infer_e2e",
+                  "served GMW MLP inference vs the in-process path");
+    bench::note("images/s includes session setup (connect, handshake, "
+                "engine/reservoir bring-up); single-core caveat in "
+                "EXPERIMENTS.md applies to the overlap paths");
+
+    bench::JsonWriter json("BENCH_infer_e2e.json");
+    json.kv("bench", "infer_e2e");
+    json.kv("requests", uint64_t(requests));
+    json.kv("batch", uint64_t(batch));
+    json.kv("width", uint64_t(width));
+    json.key("series");
+    json.beginArray();
+
+    bool all_identical = true;
+    for (const char *model_name : {"mlp-16x8x4", "mlp-32x16x10"}) {
+        const ppml::MlpModelSpec &spec =
+            *ppml::findMlpModel(model_name);
+        const size_t images = requests * batch;
+
+        std::vector<std::vector<int64_t>> reqs;
+        for (size_t r = 0; r < requests; ++r)
+            reqs.push_back(
+                ppml::sampleMlpInput(spec, 7000 + r, batch));
+
+        std::printf("\n%s, width %u, %zu requests x %u images\n",
+                    spec.name.c_str(), width, requests, batch);
+        std::printf("%-18s | %9s | %9s | %11s | %12s | %s\n", "path",
+                    "images/s", "COT/img", "online B/img",
+                    "preproc B/img", "outputs");
+
+        // -- in-process baseline (also the bit-identity reference) ----
+        Timer local_timer;
+        const ppml::LocalMlpResult local = ppml::runLocalMlpInference(
+            spec, width, reqs, kShareSeed, kSetupSeed, params);
+        Row local_row{"in-process"};
+        local_row.seconds = local_timer.seconds();
+        local_row.imagesPerSec = double(images) / local_row.seconds;
+        local_row.cotsPerImage =
+            double(local.cotsPerParty) / double(images);
+        local_row.onlineBytesPerImage =
+            double(local.onlineBytes) / double(images);
+
+        auto run_served = [&](const char *path, bool reservoir) {
+            svc::OperatorStock stock;
+            svc::CotServer cot;
+            stock.attach(cot);
+            const uint16_t cot_port = cot.listenTcp(0);
+            infer::InferServer server;
+            server.attachOperatorStock(stock);
+            const uint16_t port = server.listenTcp(0);
+
+            infer::InferClient::Options opt;
+            opt.modelId = spec.id;
+            opt.width = width;
+            opt.batch = batch;
+            opt.setupSeed = kSetupSeed;
+            opt.shareSeed = kShareSeed;
+            opt.params = params;
+
+            Row row{path};
+            Timer timer;
+            auto client =
+                reservoir ? infer::InferClient::connectTcpReservoir(
+                                "127.0.0.1", port, "127.0.0.1",
+                                cot_port, opt)
+                          : infer::InferClient::connectTcp(
+                                "127.0.0.1", port, opt);
+            for (size_t r = 0; r < requests; ++r) {
+                const std::vector<int64_t> out =
+                    client->infer(reqs[r]);
+                row.bitIdentical &= out == local.outputs[r];
+            }
+            client->close();
+            row.seconds = timer.seconds();
+            row.imagesPerSec = double(images) / row.seconds;
+            row.cotsPerImage =
+                double(client->cotsConsumed()) / double(images);
+            row.onlineBytesPerImage =
+                double(client->onlineBytesSent() +
+                       client->onlineBytesReceived()) /
+                double(images);
+            row.preprocBytesPerImage =
+                double(client->preprocBytesSent()) / double(images);
+            server.stop();
+            cot.stop();
+            return row;
+        };
+
+        Row rows[3];
+        rows[0] = local_row;
+        rows[1] = run_served("served+engine", false);
+        rows[2] = run_served("served+reservoir", true);
+
+        for (const Row &row : rows) {
+            std::printf("%-18s | %9.1f | %9.0f | %11.0f | %12.0f | %s\n",
+                        row.path, row.imagesPerSec, row.cotsPerImage,
+                        row.onlineBytesPerImage,
+                        row.preprocBytesPerImage,
+                        row.bitIdentical ? "bit-identical"
+                                         : "MISMATCH");
+            all_identical &= row.bitIdentical;
+
+            json.beginObject();
+            json.kv("model", spec.name);
+            json.kv("path", row.path);
+            json.kv("images", uint64_t(images));
+            json.kv("seconds", row.seconds);
+            json.kv("images_per_s", row.imagesPerSec);
+            json.kv("cots_per_image", row.cotsPerImage);
+            json.kv("online_bytes_per_image", row.onlineBytesPerImage);
+            json.kv("preproc_bytes_per_image",
+                    row.preprocBytesPerImage);
+            json.kv("bit_identical",
+                    uint64_t(row.bitIdentical ? 1 : 0));
+            json.endObject();
+        }
+    }
+    json.endArray();
+    json.close();
+
+    if (!all_identical) {
+        std::printf("\nBENCH-SMOKE: FAIL — served outputs diverged "
+                    "from the in-process reference\n");
+        return 1;
+    }
+    std::printf("\nBENCH-SMOKE: OK — every served output bit-identical "
+                "to the in-process path (BENCH_infer_e2e.json "
+                "written)\n");
+    return 0;
+}

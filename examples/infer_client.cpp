@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Private-inference client demo: secret-share an input image, drive a
+ * served GMW MLP inference against ./infer_server, reconstruct the
+ * output, and check it against the plaintext reference.
+ *
+ *   ./infer_client --tcp 127.0.0.1:17617 --cot-tcp 127.0.0.1:17618
+ *   ./infer_client --tcp 127.0.0.1:17617 --supply engine
+ *   ./infer_client --model mlp-32x16x10 --width 24 --images 8
+ *
+ * Default supply is the reservoir: the client opens two sessions of
+ * opposite roles on the server's COT service and stocks them in the
+ * background while the online phase runs. Exit code 0 iff every
+ * output matches the plaintext forward pass within the model's
+ * truncation bound.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.h"
+#include "infer/infer_client.h"
+#include "ppml/model_zoo.h"
+
+using namespace ironman;
+
+namespace {
+
+bool
+parseHostPort(const std::string &hp, std::string *host, uint16_t *port)
+{
+    const size_t colon = hp.rfind(':');
+    if (colon == std::string::npos) {
+        *port = uint16_t(std::atoi(hp.c_str()));
+        return *port != 0;
+    }
+    *host = hp.substr(0, colon);
+    *port = uint16_t(std::atoi(hp.c_str() + colon + 1));
+    return *port != 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1", cot_host = "127.0.0.1";
+    uint16_t port = 0, cot_port = 0;
+    std::string model_name = "mlp-16x8x4";
+    unsigned images = 4;
+    infer::InferClient::Options opt;
+    opt.batch = 2;
+    opt.supply = infer::SupplyKind::Reservoir;
+    opt.setupSeed = 0x5eedULL ^ uint64_t(::getpid()) << 16;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tcp") {
+            if (!parseHostPort(next(), &host, &port)) {
+                std::fprintf(stderr, "bad --tcp\n");
+                return 2;
+            }
+        } else if (arg == "--cot-tcp") {
+            if (!parseHostPort(next(), &cot_host, &cot_port)) {
+                std::fprintf(stderr, "bad --cot-tcp\n");
+                return 2;
+            }
+        } else if (arg == "--model") {
+            model_name = next();
+        } else if (arg == "--width") {
+            opt.width = unsigned(std::atoi(next()));
+        } else if (arg == "--batch") {
+            opt.batch = uint32_t(std::atoi(next()));
+        } else if (arg == "--images") {
+            images = unsigned(std::atoi(next()));
+        } else if (arg == "--seed") {
+            opt.setupSeed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--supply") {
+            const std::string s = next();
+            opt.supply = s == "engine" ? infer::SupplyKind::Engine
+                                       : infer::SupplyKind::Reservoir;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: infer_client --tcp HOST:PORT "
+                "[--cot-tcp HOST:PORT] [--model NAME] [--width W] "
+                "[--batch B] [--images N] [--supply engine|reservoir] "
+                "[--seed S]\n");
+            return 2;
+        }
+    }
+
+    const ppml::MlpModelSpec *spec = ppml::findMlpModel(model_name);
+    if (!spec) {
+        std::fprintf(stderr, "unknown model %s; zoo:\n",
+                     model_name.c_str());
+        for (const auto &s : ppml::inferenceZoo())
+            std::fprintf(stderr, "  %u  %s\n", s.id, s.name.c_str());
+        return 2;
+    }
+    opt.modelId = spec->id;
+
+    if (opt.supply == infer::SupplyKind::Reservoir && cot_port == 0) {
+        std::fprintf(stderr, "infer_client: reservoir supply needs "
+                             "--cot-tcp (the server prints its COT "
+                             "port), or pass --supply engine\n");
+        return 2;
+    }
+
+    std::unique_ptr<infer::InferClient> client;
+    try {
+        client =
+            opt.supply == infer::SupplyKind::Reservoir
+                ? infer::InferClient::connectTcpReservoir(
+                      host, port, cot_host, cot_port, opt)
+                : infer::InferClient::connectTcp(host, port, opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "infer_client: connect failed: %s\n",
+                     e.what());
+        return 1;
+    }
+    std::printf("infer_client: session %llu, %s, width %u, batch %u, "
+                "supply %s (%llu COTs/image/direction)\n",
+                (unsigned long long)client->sessionId(),
+                spec->name.c_str(), opt.width, opt.batch,
+                supplyKindName(client->supply()),
+                (unsigned long long)spec->cotsPerImage(opt.width));
+
+    const int64_t bound = ppml::mlpTruncationErrorBound(*spec);
+    unsigned done = 0, ok = 0;
+    Timer timer;
+    for (unsigned r = 0; done < images; ++r) {
+        const std::vector<int64_t> input =
+            ppml::sampleMlpInput(*spec, 100 + r, opt.batch);
+        const std::vector<int64_t> out = client->infer(input);
+        const std::vector<int64_t> plain =
+            ppml::mlpPlainForward(*spec, input);
+        for (size_t i = 0; i < out.size(); ++i)
+            ok += std::llabs(out[i] - plain[i]) <= bound;
+        done += opt.batch;
+        if (r == 0)
+            for (unsigned i = 0; i < spec->outputDim(); ++i)
+                std::printf("  y[%u] secure %lld plain %lld\n", i,
+                            (long long)out[i], (long long)plain[i]);
+    }
+    const double secs = timer.seconds();
+    const size_t outputs = done * spec->outputDim();
+    client->close();
+
+    std::printf("infer_client: %u images in %.3f s -> %.1f images/s; "
+                "%zu COTs, %.1f KB online sent, %.1f KB preproc sent; "
+                "%zu/%zu outputs within +/-%lld of plaintext\n",
+                done, secs, done / secs, client->cotsConsumed(),
+                client->onlineBytesSent() / 1024.0,
+                client->preprocBytesSent() / 1024.0, size_t(ok),
+                outputs, (long long)bound);
+    return ok == outputs ? 0 : 1;
+}

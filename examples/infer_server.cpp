@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Private-inference daemon demo: serve GMW MLP inference over real
+ * sockets, with an embedded COT service feeding reservoir-supplied
+ * sessions.
+ *
+ *   ./infer_server --tcp 17617                    # + ephemeral COT port
+ *   ./infer_server --tcp 17617 --cot-tcp 17618    # pin both ports
+ *   ./infer_server --tcp 17617 --sessions 2       # exit after 2 (CI)
+ *
+ * Pair with ./infer_client. One process runs both daemons: the
+ * inference server is MPC party 1 AND the COT-service operator, so a
+ * reservoir-fed client's two COT sessions deliver the client halves
+ * to the client and the operator halves (via svc::OperatorStock)
+ * straight to the inference engine — the paper's Sec. 5.2
+ * role-switching architecture as served traffic.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "infer/infer_server.h"
+#include "svc/cot_server.h"
+#include "svc/operator_stock.h"
+
+using namespace ironman;
+
+int
+main(int argc, char **argv)
+{
+    uint16_t infer_port = 0;
+    uint16_t cot_port = 0;
+    long max_sessions = -1; // -1 = serve forever
+    int engine_threads = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tcp") {
+            infer_port = uint16_t(std::atoi(next()));
+        } else if (arg == "--cot-tcp") {
+            cot_port = uint16_t(std::atoi(next()));
+        } else if (arg == "--sessions") {
+            max_sessions = std::atol(next());
+        } else if (arg == "--threads") {
+            engine_threads = std::atoi(next());
+        } else {
+            std::fprintf(stderr,
+                         "usage: infer_server [--tcp PORT] "
+                         "[--cot-tcp PORT] [--sessions N] "
+                         "[--threads T]\n");
+            return 2;
+        }
+    }
+
+    // Daemon posture: only the shapes this deployment actually serves
+    // — an unlisted (if structurally valid) hello gets a clean
+    // wire-level reject instead of a per-session multi-MB engine.
+    const std::vector<ot::FerretParams> allowed = {
+        ot::tinyTestParams(), ot::tinyAlignedParams()};
+
+    // The embedded COT service + the operator's retained halves.
+    svc::OperatorStock stock;
+    svc::CotServer::Config cot_cfg;
+    cot_cfg.engineThreads = engine_threads;
+    cot_cfg.paramsAllowlist = allowed;
+    svc::CotServer cot(cot_cfg);
+    stock.attach(cot);
+    const uint16_t bound_cot = cot.listenTcp(cot_port);
+
+    infer::InferServer::Config cfg;
+    cfg.engineThreads = engine_threads;
+    cfg.engineParamsAllowlist = allowed;
+    infer::InferServer server(cfg);
+    server.attachOperatorStock(stock);
+    const uint16_t bound = server.listenTcp(infer_port);
+
+    std::printf("infer_server: inference on 127.0.0.1:%u, COT service "
+                "on 127.0.0.1:%u (engine threads %d)\n",
+                unsigned(bound), unsigned(bound_cot), engine_threads);
+    std::fflush(stdout);
+
+    uint64_t last_report = 0;
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const uint64_t done = server.sessionsServed();
+        if (done != last_report) {
+            std::printf(
+                "infer_server: %llu sessions, %llu requests, %llu "
+                "images, %llu COTs consumed, %llu engines built\n",
+                (unsigned long long)done,
+                (unsigned long long)server.requestsServed(),
+                (unsigned long long)server.imagesServed(),
+                (unsigned long long)server.cotsConsumed(),
+                (unsigned long long)(cot.pool().sendersCreated() +
+                                     cot.pool().receiversCreated()));
+            std::fflush(stdout);
+            last_report = done;
+        }
+        if (max_sessions >= 0 && done >= uint64_t(max_sessions) &&
+            server.activeSessions() == 0)
+            break;
+    }
+    server.stop();
+    cot.stop();
+    std::printf("infer_server: done (%llu sessions)\n",
+                (unsigned long long)server.sessionsServed());
+    return 0;
+}

@@ -1,192 +1,78 @@
 /**
  * @file
  * End-to-end private inference of a small MLP — the full stack in one
- * program:
+ * program, in process:
  *
  *   1. Each party brings up one persistent FerretCotEngine: two
  *      *real* Ferret OTE sessions with swapped sender/receiver roles
  *      (the role-switching scenario the unified architecture of
  *      Sec. 5.2 exists for) that stay alive for the whole inference
  *      and refill themselves when a layer drains them.
- *   2. The client secret-shares its input; the model (weights) is
- *      public, so linear layers are local on shares.
- *   3. ReLU layers run through the GMW engine, drawing COTs from the
- *      engine of step 1 — no per-layer setup.
- *   4. The output reconstructs to exactly the plaintext inference.
+ *   2. The client secret-shares its input; the model (a
+ *      ppml::inferenceZoo() network — weights are public) makes
+ *      linear layers local on shares.
+ *   3. ReLU layers run through the GMW engine via ppml::MlpRunner —
+ *      the SAME layer loop the inference service serves over sockets
+ *      (src/infer), so this program is the served path's in-process
+ *      reference.
+ *   4. The output reconstructs to the plaintext inference within the
+ *      model's truncation bound.
  *
  * Run: ./private_mlp
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
-#include "common/rng.h"
-#include "net/two_party.h"
-#include "ot/ferret_params.h"
-#include "ppml/cot_engine.h"
-#include "ppml/secure_compute.h"
+#include "common/stats.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/model_zoo.h"
 
 using namespace ironman;
-using ppml::FerretCotEngine;
-using ppml::SecureCompute;
-
-namespace {
-
-constexpr unsigned kWidth = 32;
-constexpr int kFracBits = 8; // 24.8 fixed point
-
-uint64_t
-msk(uint64_t v)
-{
-    return v & 0xffffffffULL;
-}
-
-int64_t
-toSigned(uint64_t v)
-{
-    return (v & 0x80000000ULL) ? int64_t(v) - (1LL << 32) : int64_t(v);
-}
-
-/** Public model: two dense layers with fixed-point weights. */
-struct Mlp
-{
-    static constexpr int kIn = 16, kHidden = 8, kOut = 4;
-    std::vector<int64_t> w1; // kHidden x kIn
-    std::vector<int64_t> w2; // kOut x kHidden
-
-    explicit Mlp(Rng &rng)
-    {
-        w1.resize(kHidden * kIn);
-        w2.resize(kOut * kHidden);
-        for (auto &w : w1)
-            w = int64_t(rng.nextBelow(512)) - 256; // [-1, 1) in 8.8
-        for (auto &w : w2)
-            w = int64_t(rng.nextBelow(512)) - 256;
-    }
-};
-
-/**
- * Dense layer on additive shares: weights are public, so each party
- * multiplies its own shares locally (with truncation of the
- * fixed-point product — both parties truncate their share, the
- * standard local approximation).
- */
-std::vector<uint64_t>
-denseLocal(const std::vector<int64_t> &w, int rows, int cols,
-           const std::vector<uint64_t> &x_share, bool is_party0)
-{
-    std::vector<uint64_t> out(rows);
-    for (int r = 0; r < rows; ++r) {
-        int64_t acc = 0;
-        for (int c = 0; c < cols; ++c)
-            acc += w[r * cols + c] * toSigned(x_share[c]);
-        int64_t truncated = acc >> kFracBits;
-        (void)is_party0;
-        out[r] = msk(uint64_t(truncated));
-    }
-    return out;
-}
-
-/** Plaintext reference. */
-std::vector<int64_t>
-plainForward(const Mlp &mlp, const std::vector<int64_t> &x)
-{
-    std::vector<int64_t> h(Mlp::kHidden);
-    for (int r = 0; r < Mlp::kHidden; ++r) {
-        int64_t acc = 0;
-        for (int c = 0; c < Mlp::kIn; ++c)
-            acc += mlp.w1[r * Mlp::kIn + c] * x[c];
-        h[r] = std::max<int64_t>(acc >> kFracBits, 0);
-    }
-    std::vector<int64_t> y(Mlp::kOut);
-    for (int r = 0; r < Mlp::kOut; ++r) {
-        int64_t acc = 0;
-        for (int c = 0; c < Mlp::kHidden; ++c)
-            acc += mlp.w2[r * Mlp::kHidden + c] * h[c];
-        y[r] = acc >> kFracBits;
-    }
-    return y;
-}
-
-} // namespace
 
 int
 main()
 {
-    // --- the public model and the client's private input -------------
-    Rng model_rng(11);
-    Mlp mlp(model_rng);
-
-    Rng input_rng(22);
-    std::vector<int64_t> input(Mlp::kIn);
-    for (auto &v : input)
-        v = int64_t(input_rng.nextBelow(1024)) - 512; // [-2, 2) in 8.8
-
-    // Client-side secret sharing.
-    std::vector<uint64_t> x0(Mlp::kIn), x1(Mlp::kIn);
-    for (int i = 0; i < Mlp::kIn; ++i) {
-        x0[i] = msk(input_rng.nextUint64());
-        x1[i] = msk(uint64_t(input[i]) - x0[i]);
-    }
-
-    // --- one session: persistent OT engine + online inference ---------
-    // The engine's two role-swapped Ferret sessions prime once and
-    // refill on demand; every layer draws from the same instance.
-    ot::FerretParams params = ot::tinyTestParams();
-    std::printf("engine: persistent dual-direction Ferret OTE "
-                "(%s set) -> %zu COTs per extension per direction\n",
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+    constexpr unsigned kWidth = 32;
+    const ot::FerretParams params = ot::tinyTestParams();
+    std::printf("model %s (%zu dense layers, %llu ReLU elements), "
+                "width %u, engine: persistent dual-direction Ferret "
+                "OTE (%s set) -> %zu COTs per extension per "
+                "direction\n",
+                spec.name.c_str(), spec.denseLayers(),
+                (unsigned long long)spec.reluElements(), kWidth,
                 params.name.c_str(), params.usableOts());
 
-    constexpr uint64_t kSetupSeed = 33;
-    std::vector<uint64_t> y0, y1;
-    size_t cots_used = 0;
-    uint64_t extensions = 0;
-    double setup_secs = 0, online_secs = 0;
-    auto run_party = [&](int party, const std::vector<uint64_t> &x_share,
-                         std::vector<uint64_t> &y_out) {
-        return [&, party, x_share](net::Channel &ch) {
-            Timer setup_timer;
-            FerretCotEngine engine(ch, party, params, kSetupSeed);
-            SecureCompute sc(ch, party, engine, kWidth);
-            if (party == 0)
-                setup_secs = setup_timer.seconds();
+    // The client's private input, and the whole two-party run: the
+    // reusable reference path (sharing, both parties' layer loops
+    // over a MemoryDuplex, reconstruction) lives in mlp_runner.
+    const std::vector<int64_t> input = ppml::sampleMlpInput(spec, 22);
+    Timer timer;
+    const ppml::LocalMlpResult result = ppml::runLocalMlpInference(
+        spec, kWidth, {input}, /*share_seed=*/44, /*setup_seed=*/33,
+        params);
+    const double secs = timer.seconds();
 
-            Timer online_timer;
-            auto h = denseLocal(mlp.w1, Mlp::kHidden, Mlp::kIn, x_share,
-                                party == 0);
-            h = sc.relu(h);
-            y_out = denseLocal(mlp.w2, Mlp::kOut, Mlp::kHidden, h,
-                               party == 0);
-            if (party == 0) {
-                online_secs = online_timer.seconds();
-                cots_used = sc.cotsConsumed();
-                extensions = engine.extensionsRun();
-            }
-        };
-    };
-    auto wire = net::runTwoParty(run_party(0, x0, y0),
-                                 run_party(1, x1, y1));
-    std::printf("engine setup + priming: %.3f s; ran %llu extensions "
-                "across the inference\n",
-                setup_secs,
-                static_cast<unsigned long long>(extensions));
-
-    // --- reconstruct and compare ---------------------------------------
-    std::vector<int64_t> expect = plainForward(mlp, input);
+    // Reconstruct and compare.
+    const std::vector<int64_t> expect =
+        ppml::mlpPlainForward(spec, input);
+    const int64_t bound = ppml::mlpTruncationErrorBound(spec);
     std::printf("\n%-6s | %12s | %12s\n", "output", "secure", "plain");
-    int ok = 0;
-    for (int r = 0; r < Mlp::kOut; ++r) {
-        int64_t got = toSigned(msk(y0[r] + y1[r]));
-        // Local truncation of shares can differ from plaintext
-        // truncation by 1 ulp per layer.
-        bool close = std::llabs(got - expect[r]) <= 2;
+    size_t ok = 0;
+    for (size_t r = 0; r < expect.size(); ++r) {
+        const int64_t got = result.outputs[0][r];
+        const bool close = std::llabs(got - expect[r]) <= bound;
         ok += close;
-        std::printf("y[%d]   | %12lld | %12lld%s\n", r,
-                    static_cast<long long>(got),
-                    static_cast<long long>(expect[r]),
+        std::printf("y[%zu]   | %12lld | %12lld%s\n", r,
+                    (long long)got, (long long)expect[r],
                     close ? "" : "  <-- MISMATCH");
     }
-    std::printf("\nonline: %.3f s, %zu COTs consumed, %.1f KB moved\n",
-                online_secs, cots_used, wire.totalBytes / 1024.0);
-    return ok == Mlp::kOut ? 0 : 1;
+    std::printf("\n%.3f s total (setup + priming + online), %zu COTs "
+                "consumed, %llu extensions, %.1f KB moved\n",
+                secs, result.cotsPerParty,
+                (unsigned long long)result.extensions,
+                result.onlineBytes / 1024.0);
+    return ok == expect.size() ? 0 : 1;
 }

@@ -1,0 +1,205 @@
+#include "infer/infer_client.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace ironman::infer {
+
+namespace {
+
+const ppml::MlpModelSpec &
+specOrThrow(uint32_t model_id)
+{
+    const ppml::MlpModelSpec *spec = ppml::findMlpModel(model_id);
+    if (!spec)
+        throw std::runtime_error("InferClient: unknown model id " +
+                                 std::to_string(model_id));
+    return *spec;
+}
+
+} // namespace
+
+InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
+                         Options opt)
+    : ch(std::move(channel)), opt_(opt), spec_(specOrThrow(opt.modelId)),
+      shareRng(opt.shareSeed)
+{
+    IRONMAN_CHECK(opt_.supply == SupplyKind::Engine,
+                  "reservoir supply needs the two-session constructor");
+    handshake();
+    // In lockstep with the server's engine construction (it primes
+    // one extension per direction interactively).
+    engine = std::make_unique<ppml::FerretCotEngine>(
+        *ch, 0, opt_.params, opt_.setupSeed, opt_.threads);
+    sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *engine,
+                                               opt_.width);
+    runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
+}
+
+InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
+                         std::unique_ptr<svc::CotClient> send_session,
+                         std::unique_ptr<svc::CotClient> recv_session,
+                         Options opt)
+    : ch(std::move(channel)), opt_(opt), spec_(specOrThrow(opt.modelId)),
+      sendSession(std::move(send_session)),
+      recvSession(std::move(recv_session)), shareRng(opt.shareSeed)
+{
+    opt_.supply = SupplyKind::Reservoir;
+    IRONMAN_CHECK(sendSession && recvSession, "need both COT sessions");
+    IRONMAN_CHECK(sendSession->role() == svc::Role::Sender &&
+                      recvSession->role() == svc::Role::Receiver,
+                  "sessions must have opposite roles, sender first");
+
+    // Stock sized from the model's COT estimate: keep one request's
+    // worth of correlations ahead per direction.
+    const uint64_t per_request =
+        spec_.cotsPerImage(opt_.width) * opt_.batch;
+    const svc::Reservoir::Options res_opt =
+        svc::Reservoir::Options::sizedFor(per_request,
+                                          sendSession->usableOts());
+    sendRes = std::make_unique<svc::Reservoir>(*sendSession, res_opt);
+    recvRes = std::make_unique<svc::Reservoir>(*recvSession, res_opt);
+    reservoirSupply = std::make_unique<svc::ReservoirCotSupply>(
+        *sendRes, *recvRes, sendSession->delta());
+
+    handshake();
+    sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *reservoirSupply,
+                                               opt_.width);
+    runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
+}
+
+void
+InferClient::handshake()
+{
+    // Validate locally before committing the server to a session (the
+    // wire carries width as one byte, so an out-of-range width would
+    // otherwise truncate into something the server might accept).
+    if (!spec_.widthOk(opt_.width))
+        throw std::runtime_error(
+            "InferClient: width " + std::to_string(opt_.width) +
+            " outside " + spec_.name + "'s range [" +
+            std::to_string(spec_.minWidth) + ", " +
+            std::to_string(spec_.maxWidth) + "]");
+    InferHello h;
+    h.supply = opt_.supply;
+    h.modelId = opt_.modelId;
+    h.width = uint8_t(opt_.width);
+    h.batch = opt_.batch;
+    h.setupSeed = opt_.setupSeed;
+    if (opt_.supply == SupplyKind::Reservoir) {
+        h.sendSessionId = sendSession->sessionId();
+        h.recvSessionId = recvSession->sessionId();
+    } else {
+        h.params = svc::WireParams::of(opt_.params);
+    }
+    sendInferHello(*ch, h);
+    const InferAccept a = recvInferAccept(*ch);
+    if (a.status != InferStatus::Ok)
+        throw std::runtime_error(
+            std::string("InferClient: server rejected hello: ") +
+            inferStatusName(a.status));
+    sid = a.sessionId;
+}
+
+std::unique_ptr<InferClient>
+InferClient::connectTcp(const std::string &host, uint16_t port,
+                        Options opt)
+{
+    return std::make_unique<InferClient>(net::tcpConnect(host, port),
+                                         opt);
+}
+
+std::unique_ptr<InferClient>
+InferClient::connectTcpReservoir(const std::string &host, uint16_t port,
+                                 const std::string &cot_host,
+                                 uint16_t cot_port, Options opt)
+{
+    svc::CotClient::Options send_opt;
+    send_opt.role = svc::Role::Sender;
+    send_opt.setupSeed = opt.setupSeed * 2 + 1;
+    auto send_session = svc::CotClient::connectTcp(cot_host, cot_port,
+                                                   opt.params, send_opt);
+    svc::CotClient::Options recv_opt;
+    recv_opt.role = svc::Role::Receiver;
+    recv_opt.setupSeed = opt.setupSeed * 2 + 2;
+    auto recv_session = svc::CotClient::connectTcp(cot_host, cot_port,
+                                                   opt.params, recv_opt);
+    return std::make_unique<InferClient>(
+        net::tcpConnect(host, port), std::move(send_session),
+        std::move(recv_session), opt);
+}
+
+InferClient::~InferClient()
+{
+    try {
+        close();
+    } catch (...) {
+        // Teardown with a dead peer: nothing to do.
+    }
+}
+
+std::vector<int64_t>
+InferClient::infer(const std::vector<int64_t> &inputs)
+{
+    IRONMAN_CHECK(!closed, "infer() on a closed session");
+    IRONMAN_CHECK(inputs.size() ==
+                      size_t(opt_.batch) * spec_.inputDim(),
+                  "inputs are batch * inputDim values");
+
+    ppml::shareMlpValues(shareRng, opt_.width, inputs, &x0, &x1);
+    sendInferOp(*ch, InferOp::Infer);
+    sendShareVector(*ch, x1.data(), x1.size());
+
+    const std::vector<uint64_t> y0 = runner->forward(*sc, *ch, x0);
+
+    y1.resize(size_t(opt_.batch) * spec_.outputDim());
+    recvShareVector(*ch, y1.data(), y1.size());
+    ++requests;
+    return ppml::reconstructMlpValues(opt_.width, y0, y1);
+}
+
+size_t
+InferClient::cotsConsumed() const
+{
+    return sc ? sc->cotsConsumed() : 0;
+}
+
+uint64_t
+InferClient::preprocBytesSent() const
+{
+    uint64_t bytes = 0;
+    if (sendSession)
+        bytes += sendSession->bytesSent();
+    if (recvSession)
+        bytes += recvSession->bytesSent();
+    return bytes;
+}
+
+const std::vector<ppml::MlpLayerStat> &
+InferClient::layerStats() const
+{
+    return runner->layerStats();
+}
+
+void
+InferClient::close()
+{
+    if (closed || !ch)
+        return;
+    closed = true;
+    // Stop stocking before the session goodbyes: a refill racing the
+    // server's epilogue would die on a retired stock for nothing.
+    if (sendRes)
+        sendRes->stopRefill();
+    if (recvRes)
+        recvRes->stopRefill();
+    sendInferOp(*ch, InferOp::Close);
+    ch->flush();
+    if (sendSession)
+        sendSession->close();
+    if (recvSession)
+        recvSession->close();
+}
+
+} // namespace ironman::infer

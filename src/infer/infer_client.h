@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Client of the inference service: MPC party 0, the input owner.
+ *
+ * One InferClient is one inference session: it handshakes model /
+ * bitwidth / batch / supply over infer/wire.h, then serves infer()
+ * calls — share the plaintext input tensor, hand the server its
+ * share, drive the layered GMW evaluation in lockstep over the same
+ * socket, receive the server's output share, reconstruct.
+ *
+ * Supply kinds (the handshake's SupplyKind):
+ *
+ *   - Engine: a dual-direction ppml::FerretCotEngine on the inference
+ *     channel, constructed right after the Accept in lockstep with
+ *     the server's (the in-process baseline, served).
+ *   - Reservoir: the client opens TWO sessions of opposite roles on
+ *     the inference server's attached COT service and stocks them
+ *     through background svc::Reservoirs sized from the model's COT
+ *     estimate (MlpModelSpec::cotsPerImage * batch, via
+ *     Reservoir::Options::sizedFor) — the online phase draws from
+ *     local stock and overlaps with refill, the paper's architecture.
+ *
+ * Outputs are bit-identical to ppml::runLocalMlpInference for equal
+ * (model, width, share seed, request sequence) regardless of supply
+ * kind — the GMW shares are deterministic given the input shares (see
+ * mlp_runner.h) — which is what tests/test_infer.cpp pins down.
+ */
+
+#ifndef IRONMAN_INFER_INFER_CLIENT_H
+#define IRONMAN_INFER_INFER_CLIENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "infer/wire.h"
+#include "net/socket_channel.h"
+#include "ot/ferret_params.h"
+#include "ppml/cot_engine.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/secure_compute.h"
+#include "svc/cot_client.h"
+#include "svc/reservoir.h"
+
+namespace ironman::infer {
+
+class InferClient
+{
+  public:
+    struct Options
+    {
+        uint32_t modelId = 1;
+        unsigned width = 32;
+        uint32_t batch = 1;
+        SupplyKind supply = SupplyKind::Engine;
+        /** Engine supply: dealer seed of the dual-direction engine. */
+        uint64_t setupSeed = 1;
+        /** Input-sharing tape; equal seeds give equal share streams. */
+        uint64_t shareSeed = 0x5eedf00d;
+        /** Engine supply: the OT parameter set (both ends build it). */
+        ot::FerretParams params = ot::tinyTestParams();
+        /** Engine supply: engine worker width. */
+        int threads = 1;
+    };
+
+    /**
+     * Engine-supply session over an already-connected channel. Throws
+     * std::runtime_error when the server rejects the hello.
+     */
+    InferClient(std::unique_ptr<net::SocketChannel> ch, Options opt);
+
+    /**
+     * Reservoir-supply session: @p send_session / @p recv_session are
+     * connected Sender-/Receiver-role sessions on the COT service
+     * ATTACHED to this inference server. The client owns them (and
+     * their refill reservoirs) for the life of the session.
+     */
+    InferClient(std::unique_ptr<net::SocketChannel> ch,
+                std::unique_ptr<svc::CotClient> send_session,
+                std::unique_ptr<svc::CotClient> recv_session,
+                Options opt);
+
+    /** Connect + handshake, Engine supply. */
+    static std::unique_ptr<InferClient>
+    connectTcp(const std::string &host, uint16_t port, Options opt);
+
+    /**
+     * Connect + handshake, Reservoir supply: dials the inference
+     * server at @p host:@p port and the COT service at @p cot_port
+     * (two sessions, seeds derived from opt.setupSeed).
+     */
+    static std::unique_ptr<InferClient>
+    connectTcpReservoir(const std::string &host, uint16_t port,
+                        const std::string &cot_host, uint16_t cot_port,
+                        Options opt);
+
+    ~InferClient();
+
+    InferClient(const InferClient &) = delete;
+    InferClient &operator=(const InferClient &) = delete;
+
+    /**
+     * One request: @p inputs holds batch * inputDim plaintext
+     * fixed-point values; returns batch * outputDim reconstructed
+     * outputs (exact GMW reconstruction; dense truncation is the
+     * local approximation, see mlpTruncationErrorBound).
+     */
+    std::vector<int64_t> infer(const std::vector<int64_t> &inputs);
+
+    const ppml::MlpModelSpec &model() const { return spec_; }
+    unsigned width() const { return opt_.width; }
+    uint64_t sessionId() const { return sid; }
+    SupplyKind supply() const { return opt_.supply; }
+
+    uint64_t requestsRun() const { return requests; }
+
+    /** Correlations this party consumed (both directions). */
+    size_t cotsConsumed() const;
+
+    /** Online bytes this endpoint pushed on the inference channel. */
+    uint64_t onlineBytesSent() const { return ch->bytesSent(); }
+
+    /** Mirror direction — sent + received covers both parties. */
+    uint64_t onlineBytesReceived() const { return ch->bytesReceived(); }
+
+    /** Preprocessing bytes pushed on the COT sessions (Reservoir). */
+    uint64_t preprocBytesSent() const;
+
+    /** Per-layer costs of the last request (party-0 view). */
+    const std::vector<ppml::MlpLayerStat> &layerStats() const;
+
+    /** End the session politely; further infer() calls are bugs. */
+    void close();
+
+  private:
+    void handshake();
+
+    std::unique_ptr<net::SocketChannel> ch;
+    Options opt_;
+    ppml::MlpModelSpec spec_;
+    uint64_t sid = 0;
+    bool closed = false;
+
+    // Engine supply.
+    std::unique_ptr<ppml::FerretCotEngine> engine;
+
+    // Reservoir supply (declaration order = teardown order reversed:
+    // reservoirs stop before their sessions close).
+    std::unique_ptr<svc::CotClient> sendSession;
+    std::unique_ptr<svc::CotClient> recvSession;
+    std::unique_ptr<svc::Reservoir> sendRes;
+    std::unique_ptr<svc::Reservoir> recvRes;
+    std::unique_ptr<svc::ReservoirCotSupply> reservoirSupply;
+
+    std::unique_ptr<ppml::SecureCompute> sc;
+    std::unique_ptr<ppml::MlpRunner> runner;
+    Rng shareRng;
+    uint64_t requests = 0;
+
+    std::vector<uint64_t> x0, x1, y1; ///< staging, reused per request
+};
+
+} // namespace ironman::infer
+
+#endif // IRONMAN_INFER_INFER_CLIENT_H

@@ -1,0 +1,174 @@
+#include "infer/infer_server.h"
+
+#include "common/logging.h"
+#include "ppml/cot_engine.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/secure_compute.h"
+
+namespace ironman::infer {
+
+InferServer::InferServer(Config cfg)
+    : cfg_(cfg), server_(cfg.maxSessions)
+{
+    IRONMAN_CHECK(cfg_.maxBatch > 0, "need a nonzero batch bound");
+    server_.setHandler([this](net::SocketChannel &ch, uint64_t sid) {
+        serveSession(ch, sid);
+    });
+}
+
+InferServer::~InferServer()
+{
+    stop();
+}
+
+void
+InferServer::attachOperatorStock(svc::OperatorStock &stock)
+{
+    IRONMAN_CHECK(!server_.listening(),
+                  "attach the operator stock before listening");
+    stock_ = &stock;
+}
+
+uint16_t
+InferServer::listenTcp(uint16_t port)
+{
+    return server_.listenTcp(port);
+}
+
+void
+InferServer::listenUnix(const std::string &path)
+{
+    server_.listenUnix(path);
+}
+
+void
+InferServer::stop()
+{
+    // Retire the stock first: sessions parked in a stock wait (a dead
+    // client's reservoir stops producing) unwind alongside the ones
+    // the skeleton wakes by shutting their sockets down.
+    if (stock_ && server_.listening())
+        stock_->shutdown();
+    server_.stop();
+}
+
+size_t
+InferServer::activeSessions() const
+{
+    return server_.activeSessions();
+}
+
+void
+InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
+{
+    try {
+        InferHello hello;
+        InferStatus st = recvInferHello(ch, &hello);
+        // Policy on top of the structural checks.
+        if (st == InferStatus::Ok && hello.batch > cfg_.maxBatch)
+            st = InferStatus::BadBatch;
+        if (st == InferStatus::Ok &&
+            hello.supply == SupplyKind::Reservoir && !stock_)
+            st = InferStatus::BadSupply;
+        if (st == InferStatus::Ok &&
+            hello.supply == SupplyKind::Engine &&
+            !svc::paramsAllowed(hello.params.toFerretParams(),
+                                cfg_.engineParamsAllowlist))
+            st = InferStatus::ParamsNotAllowed;
+        if (st == InferStatus::Ok &&
+            hello.supply == SupplyKind::Reservoir && stock_) {
+            // The named COT sessions must exist, be live, and belong
+            // to the peer making this request — a foreign sid would
+            // let one client consume (and on exit drop) another's
+            // correlations. Address-level granularity, like the
+            // quotas; recorded before the owner could read its
+            // Accept, so a race cannot admit a thief first.
+            const std::string peer = ch.peerAddress();
+            if (stock_->peerOf(hello.sendSessionId) != peer ||
+                stock_->peerOf(hello.recvSessionId) != peer)
+                st = InferStatus::ForeignSession;
+        }
+        sendInferAccept(ch, InferAccept{st, sid});
+        ch.flush();
+        if (st == InferStatus::Ok) {
+            runSession(ch, sid, hello);
+            served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (const std::exception &e) {
+        // A dying client must not take the server down.
+        IRONMAN_WARN("infer session %llu aborted: %s",
+                     (unsigned long long)sid, e.what());
+    }
+}
+
+void
+InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
+                        const InferHello &hello)
+{
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel(hello.modelId);
+    const unsigned width = hello.width;
+
+    // The session's correlation supply, then the GMW engine over it.
+    // Engine supply primes interactively here — the client constructs
+    // its engine at the same protocol point (right after the Accept).
+    std::unique_ptr<ppml::FerretCotEngine> engine;
+    std::unique_ptr<svc::OperatorCotSupply> operatorSupply;
+    ppml::CotSupply *supply = nullptr;
+    if (hello.supply == SupplyKind::Engine) {
+        engine = std::make_unique<ppml::FerretCotEngine>(
+            ch, 1, hello.params.toFerretParams(), hello.setupSeed,
+            cfg_.engineThreads);
+        supply = engine.get();
+    } else {
+        // The stock sids are named from the CLIENT's perspective: the
+        // client's Receiver-role session is the one where THIS party
+        // holds (delta, q) — our send direction.
+        operatorSupply = std::make_unique<svc::OperatorCotSupply>(
+            *stock_, hello.recvSessionId, hello.sendSessionId);
+        supply = operatorSupply.get();
+    }
+
+    // Free the session's banked halves promptly on every exit path;
+    // the COT service's session-end sink is the backstop for hellos
+    // that never reach this point.
+    struct StockGuard
+    {
+        svc::OperatorStock *stock;
+        uint64_t a, b;
+        ~StockGuard()
+        {
+            if (stock) {
+                stock->drop(a);
+                stock->drop(b);
+            }
+        }
+    } guard{hello.supply == SupplyKind::Reservoir ? stock_ : nullptr,
+            hello.sendSessionId, hello.recvSessionId};
+
+    ppml::SecureCompute sc(ch, 1, *supply, width);
+    ppml::MlpRunner runner(spec, width);
+
+    std::vector<uint64_t> x1(size_t(hello.batch) * spec.inputDim());
+    size_t cots_counted = 0;
+    for (;;) {
+        const InferOp op = recvInferOp(ch);
+        if (op != InferOp::Infer)
+            break;
+        recvShareVector(ch, x1.data(), x1.size());
+        const std::vector<uint64_t> y1 = runner.forward(sc, ch, x1);
+        sendShareVector(ch, y1.data(), y1.size());
+        ch.flush();
+        requests.fetch_add(1, std::memory_order_relaxed);
+        images.fetch_add(hello.batch, std::memory_order_relaxed);
+        // Per request, not at Close: an aborted session must not
+        // leave its consumption uncounted next to counted images.
+        cots.fetch_add(sc.cotsConsumed() - cots_counted,
+                       std::memory_order_relaxed);
+        cots_counted = sc.cotsConsumed();
+    }
+    (void)sid;
+}
+
+} // namespace ironman::infer

@@ -1,0 +1,212 @@
+#include "infer/wire.h"
+
+#include "net/codec.h"
+#include "ppml/model_zoo.h"
+
+namespace ironman::infer {
+
+using net::getU16;
+using net::getU32;
+using net::getU64;
+using net::putU16;
+using net::putU32;
+using net::putU64;
+
+namespace {
+
+// magic(4) version(2) supply(1) width(1) modelId(4) batch(4)
+// setupSeed(8) sendSid(8) recvSid(8)
+// params: prg(1) pad(3) n(8) k(8) t(8) lpnSeed(8) arity(4) weight(4)
+constexpr size_t kInferHelloBytes =
+    4 + 2 + 1 + 1 + 4 + 4 + 3 * 8 + (1 + 3 + 4 * 8 + 2 * 4);
+// status(1) pad(7) sessionId(8)
+constexpr size_t kInferAcceptBytes = 1 + 7 + 8;
+
+} // namespace
+
+const char *
+supplyKindName(SupplyKind k)
+{
+    return k == SupplyKind::Engine ? "engine" : "reservoir";
+}
+
+const char *
+inferStatusName(InferStatus s)
+{
+    switch (s) {
+      case InferStatus::Ok: return "ok";
+      case InferStatus::BadMagic: return "bad magic";
+      case InferStatus::BadVersion: return "bad version";
+      case InferStatus::BadModel: return "unknown model";
+      case InferStatus::BadWidth: return "bad bitwidth";
+      case InferStatus::BadBatch: return "bad batch size";
+      case InferStatus::BadSupply: return "bad supply kind";
+      case InferStatus::BadParams: return "bad params";
+      case InferStatus::ParamsNotAllowed: return "params not allowed";
+      case InferStatus::ForeignSession:
+          return "cot session not owned by this client";
+    }
+    return "?";
+}
+
+void
+sendInferHello(net::Channel &ch, const InferHello &h)
+{
+    uint8_t buf[kInferHelloBytes] = {};
+    uint8_t *p = buf;
+    putU32(p, kInferMagic);
+    p += 4;
+    putU16(p, h.version);
+    p += 2;
+    *p++ = uint8_t(h.supply);
+    *p++ = h.width;
+    putU32(p, h.modelId);
+    p += 4;
+    putU32(p, h.batch);
+    p += 4;
+    putU64(p, h.setupSeed);
+    p += 8;
+    putU64(p, h.sendSessionId);
+    p += 8;
+    putU64(p, h.recvSessionId);
+    p += 8;
+    *p = h.params.prg;
+    p += 4; // 3 pad bytes
+    putU64(p, h.params.n);
+    p += 8;
+    putU64(p, h.params.k);
+    p += 8;
+    putU64(p, h.params.t);
+    p += 8;
+    putU64(p, h.params.lpnSeed);
+    p += 8;
+    putU32(p, h.params.arity);
+    p += 4;
+    putU32(p, h.params.lpnWeight);
+    ch.sendBytes(buf, sizeof(buf));
+}
+
+InferStatus
+recvInferHello(net::Channel &ch, InferHello *out)
+{
+    uint8_t buf[kInferHelloBytes];
+    ch.recvBytes(buf, sizeof(buf));
+    const uint8_t *p = buf;
+    if (getU32(p) != kInferMagic)
+        return InferStatus::BadMagic;
+    p += 4;
+    out->version = getU16(p);
+    p += 2;
+    if (out->version != kInferWireVersion)
+        return InferStatus::BadVersion;
+    const uint8_t supply = *p++;
+    if (supply > uint8_t(SupplyKind::Reservoir))
+        return InferStatus::BadSupply;
+    out->supply = SupplyKind(supply);
+    out->width = *p++;
+    out->modelId = getU32(p);
+    p += 4;
+    out->batch = getU32(p);
+    p += 4;
+    out->setupSeed = getU64(p);
+    p += 8;
+    out->sendSessionId = getU64(p);
+    p += 8;
+    out->recvSessionId = getU64(p);
+    p += 8;
+    out->params.prg = *p;
+    p += 4;
+    out->params.n = getU64(p);
+    p += 8;
+    out->params.k = getU64(p);
+    p += 8;
+    out->params.t = getU64(p);
+    p += 8;
+    out->params.lpnSeed = getU64(p);
+    p += 8;
+    out->params.arity = getU32(p);
+    p += 4;
+    out->params.lpnWeight = getU32(p);
+
+    const ppml::MlpModelSpec *spec =
+        ppml::findMlpModel(out->modelId);
+    if (!spec)
+        return InferStatus::BadModel;
+    if (!spec->widthOk(out->width))
+        return InferStatus::BadWidth;
+    if (out->batch == 0)
+        return InferStatus::BadBatch;
+    if (out->supply == SupplyKind::Engine &&
+        !svc::wireParamsValid(out->params))
+        return InferStatus::BadParams;
+    if (out->supply == SupplyKind::Reservoir &&
+        (out->sendSessionId == 0 || out->recvSessionId == 0 ||
+         out->sendSessionId == out->recvSessionId))
+        return InferStatus::BadSupply;
+    return InferStatus::Ok;
+}
+
+void
+sendInferAccept(net::Channel &ch, const InferAccept &a)
+{
+    uint8_t buf[kInferAcceptBytes] = {};
+    buf[0] = uint8_t(a.status);
+    putU64(buf + 8, a.sessionId);
+    ch.sendBytes(buf, sizeof(buf));
+}
+
+InferAccept
+recvInferAccept(net::Channel &ch)
+{
+    uint8_t buf[kInferAcceptBytes];
+    ch.recvBytes(buf, sizeof(buf));
+    InferAccept a;
+    a.status = InferStatus(buf[0]);
+    a.sessionId = getU64(buf + 8);
+    return a;
+}
+
+void
+sendInferOp(net::Channel &ch, InferOp op)
+{
+    uint8_t b = uint8_t(op);
+    ch.sendBytes(&b, 1);
+}
+
+InferOp
+recvInferOp(net::Channel &ch)
+{
+    uint8_t b = 0;
+    ch.recvBytes(&b, 1);
+    return InferOp(b);
+}
+
+void
+sendShareVector(net::Channel &ch, const uint64_t *shares, size_t n)
+{
+    uint8_t buf[512];
+    while (n > 0) {
+        const size_t chunk = n < sizeof(buf) / 8 ? n : sizeof(buf) / 8;
+        for (size_t i = 0; i < chunk; ++i)
+            putU64(buf + 8 * i, shares[i]);
+        ch.sendBytes(buf, 8 * chunk);
+        shares += chunk;
+        n -= chunk;
+    }
+}
+
+void
+recvShareVector(net::Channel &ch, uint64_t *shares, size_t n)
+{
+    uint8_t buf[512];
+    while (n > 0) {
+        const size_t chunk = n < sizeof(buf) / 8 ? n : sizeof(buf) / 8;
+        ch.recvBytes(buf, 8 * chunk);
+        for (size_t i = 0; i < chunk; ++i)
+            shares[i] = getU64(buf + 8 * i);
+        shares += chunk;
+        n -= chunk;
+    }
+}
+
+} // namespace ironman::infer

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Wire protocol of the inference service (src/infer): the handshake
+ * that negotiates WHAT to compute (a ppml::MlpModelSpec by wire id,
+ * the fixed-point bitwidth, the images-per-request batch size, and
+ * where the COT correlations come from), plus the length-framed
+ * request/response opcodes that carry secret-shared tensors.
+ *
+ * One session, client's (= MPC party 0's) view:
+ *
+ *   connect ──► InferHello { magic, version, supply, model, width,
+ *                            batch, setupSeed, cot session ids,
+ *                            engine params }
+ *           ◄── InferAccept { status, sessionId }
+ *   [supply == Engine: both ends construct one dual-direction
+ *    ppml::FerretCotEngine over THIS channel — the handshake's
+ *    setupSeed seeds the dealer substitution, exactly like the COT
+ *    service]
+ *   loop:   ──► InferOp::Infer, batch*inputDim input shares (the
+ *               server's share x1), then both ends run
+ *               MlpRunner::forward in lockstep over this channel
+ *           ◄── batch*outputDim output shares (the server's y1)
+ *   final:  ──► InferOp::Close
+ *
+ * Supply negotiation is the tentpole's architectural point: with
+ * SupplyKind::Reservoir the hello names two ALREADY-OPEN sessions on
+ * the inference server's attached COT service — the client's
+ * Sender-role session (its send direction; the server consumes the
+ * mirror receiver half) and its Receiver-role session (recv
+ * direction; server consumes the sender half). The online phase then
+ * overlaps with background COT refill on both sides, the paper's
+ * Sec. 5.2 architecture as served traffic. SupplyKind::Engine keeps
+ * the in-process dual-direction engine on the inference channel as
+ * the A/B baseline.
+ *
+ * Tensor elements travel as explicit little-endian u64 one per
+ * value (shares are width-masked; the wire does not compress to
+ * width — byte accounting reports the actual cost).
+ */
+
+#ifndef IRONMAN_INFER_WIRE_H
+#define IRONMAN_INFER_WIRE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.h"
+#include "svc/wire.h"
+
+namespace ironman::infer {
+
+constexpr uint32_t kInferMagic = 0x49524946; ///< "IRIF"
+constexpr uint16_t kInferWireVersion = 1;
+
+/** Where a session's COT correlations come from. */
+enum class SupplyKind : uint8_t
+{
+    /** Dual-direction FerretCotEngine on the inference channel. */
+    Engine = 0,
+    /**
+     * Client: svc::ReservoirCotSupply over two COT-service sessions;
+     * server: svc::OperatorCotSupply over the same sessions' operator
+     * halves.
+     */
+    Reservoir = 1,
+};
+
+const char *supplyKindName(SupplyKind k);
+
+/** Per-request opcodes (client to server). */
+enum class InferOp : uint8_t
+{
+    Infer = 1, ///< one batch: input shares in, output shares out
+    Close = 2, ///< end the session
+};
+
+/** Handshake outcome (server to client). */
+enum class InferStatus : uint8_t
+{
+    Ok = 0,
+    BadMagic = 1,
+    BadVersion = 2,
+    BadModel = 3,   ///< model id not in ppml::inferenceZoo()
+    BadWidth = 4,   ///< width outside the model's overflow-free range
+    BadBatch = 5,   ///< zero or above the server's maxBatch
+    BadSupply = 6,  ///< unknown kind, or Reservoir with no COT service
+    BadParams = 7,  ///< Engine supply with invalid FerretParams
+    /** Valid engine params, but not on the server's allowlist. */
+    ParamsNotAllowed = 8,
+    /** Reservoir sids unknown, ended, or owned by another client. */
+    ForeignSession = 9,
+};
+
+const char *inferStatusName(InferStatus s);
+
+/** Client's opening message. */
+struct InferHello
+{
+    uint16_t version = kInferWireVersion;
+    SupplyKind supply = SupplyKind::Engine;
+    uint32_t modelId = 0;
+    uint8_t width = 32;
+    uint32_t batch = 1;
+    /** Engine supply: dealer seed of the dual-direction engine. */
+    uint64_t setupSeed = 0;
+    /** Reservoir supply: the client's Sender-role COT session id. */
+    uint64_t sendSessionId = 0;
+    /** Reservoir supply: the client's Receiver-role COT session id. */
+    uint64_t recvSessionId = 0;
+    /** Engine supply: the OT parameter set (ignored for Reservoir). */
+    svc::WireParams params;
+};
+
+/** Server's reply. */
+struct InferAccept
+{
+    InferStatus status = InferStatus::Ok;
+    uint64_t sessionId = 0;
+};
+
+void sendInferHello(net::Channel &ch, const InferHello &h);
+
+/**
+ * Parse the peer's hello. Returns Ok and fills @p out, or the
+ * structural rejection (magic/version/model/width/batch/params);
+ * policy rejections (maxBatch, missing COT service) are the server's
+ * to add.
+ */
+InferStatus recvInferHello(net::Channel &ch, InferHello *out);
+
+void sendInferAccept(net::Channel &ch, const InferAccept &a);
+InferAccept recvInferAccept(net::Channel &ch);
+
+void sendInferOp(net::Channel &ch, InferOp op);
+InferOp recvInferOp(net::Channel &ch);
+
+/** One secret-shared tensor, explicit-LE u64 per element. */
+void sendShareVector(net::Channel &ch, const uint64_t *shares,
+                     size_t n);
+void recvShareVector(net::Channel &ch, uint64_t *shares, size_t n);
+
+} // namespace ironman::infer
+
+#endif // IRONMAN_INFER_WIRE_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Explicit little-endian scalar codec, shared by every wire format in
+ * the tree (svc/wire.cpp, infer/wire.cpp, SocketChannel framing).
+ * Byte order on the wire is a protocol contract, not a host property,
+ * so these never read memory through wider types.
+ */
+
+#ifndef IRONMAN_NET_CODEC_H
+#define IRONMAN_NET_CODEC_H
+
+#include <cstdint>
+
+namespace ironman::net {
+
+inline void
+putU16(uint8_t *p, uint16_t v)
+{
+    p[0] = uint8_t(v);
+    p[1] = uint8_t(v >> 8);
+}
+
+inline void
+putU32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = uint8_t(v >> (8 * i));
+}
+
+inline void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = uint8_t(v >> (8 * i));
+}
+
+inline uint16_t
+getU16(const uint8_t *p)
+{
+    return uint16_t(uint16_t(p[0]) | uint16_t(p[1]) << 8);
+}
+
+inline uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+inline uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_CODEC_H

@@ -1,0 +1,186 @@
+#include "net/session_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace ironman::net {
+
+SessionServer::SessionServer(size_t max_sessions)
+    : maxSessions(max_sessions)
+{
+    IRONMAN_CHECK(maxSessions > 0, "need at least one session slot");
+}
+
+SessionServer::~SessionServer()
+{
+    stop();
+}
+
+void
+SessionServer::setHandler(Handler h)
+{
+    IRONMAN_CHECK(listenFd.load() < 0, "set the handler before listening");
+    handler = std::move(h);
+}
+
+uint16_t
+SessionServer::listenTcp(uint16_t port)
+{
+    IRONMAN_CHECK(listenFd.load() < 0, "server already listening");
+    IRONMAN_CHECK(handler != nullptr, "no session handler set");
+    const int fd = net::tcpListen(port);
+    listenFd.store(fd);
+    const uint16_t bound = net::tcpListenPort(fd);
+    startAccepting();
+    return bound;
+}
+
+void
+SessionServer::listenUnix(const std::string &path)
+{
+    IRONMAN_CHECK(listenFd.load() < 0, "server already listening");
+    IRONMAN_CHECK(handler != nullptr, "no session handler set");
+    const int fd = net::unixListen(path);
+    listenFd.store(fd);
+    startAccepting();
+}
+
+void
+SessionServer::startAccepting()
+{
+    stopping.store(false);
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+SessionServer::acceptLoop()
+{
+    for (;;) {
+        // Session-slot backpressure: leave new connections in the
+        // listen backlog until a slot frees up.
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] {
+                return stopping.load() || active < maxSessions;
+            });
+        }
+        if (stopping.load())
+            return;
+        const int listener = listenFd.load(std::memory_order_acquire);
+        if (listener < 0)
+            return;
+        int fd = net::acceptOn(listener);
+        if (fd < 0)
+            return; // listener closed by stop()
+        uint64_t sid;
+        std::unique_ptr<SocketChannel> ch;
+        try {
+            ch = std::make_unique<SocketChannel>(fd);
+        } catch (...) {
+            continue;
+        }
+        auto finished = std::make_shared<std::atomic<bool>>(false);
+        {
+            std::lock_guard<std::mutex> lock(m);
+            sid = nextSession++;
+            ++active;
+            liveChannels[sid] = ch.get();
+            reapFinishedLocked();
+        }
+        Session sess;
+        sess.finished = finished;
+        sess.thread = std::thread(
+            [this, sid, finished](std::unique_ptr<SocketChannel> sess_ch) {
+                try {
+                    handler(*sess_ch, sid);
+                } catch (const std::exception &e) {
+                    // A dying client must not take the server down.
+                    IRONMAN_WARN("session %llu aborted: %s",
+                                 (unsigned long long)sid, e.what());
+                }
+                {
+                    std::lock_guard<std::mutex> lock(m);
+                    liveChannels.erase(sid);
+                    --active;
+                    cv.notify_all();
+                }
+                finished->store(true, std::memory_order_release);
+            },
+            std::move(ch));
+        std::lock_guard<std::mutex> lock(m);
+        sessions.push_back(std::move(sess));
+    }
+}
+
+void
+SessionServer::reapFinishedLocked()
+{
+    // Join threads whose sessions completed; a long-running daemon
+    // must not accumulate dead stacks. Finished threads join without
+    // blocking the accept path for more than an epilogue.
+    for (size_t i = 0; i < sessions.size();) {
+        if (sessions[i].finished->load(std::memory_order_acquire)) {
+            sessions[i].thread.join();
+            sessions.erase(sessions.begin() + long(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+SessionServer::stop()
+{
+    if (listenFd.load() < 0 && !acceptThread.joinable())
+        return;
+    stopping.store(true);
+    // Retire the listener first (atomically), then close it: the
+    // accept thread either sees -1 or gets EBADF/EINVAL from accept —
+    // both exit paths.
+    const int fd = listenFd.exchange(-1);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+    {
+        // Wake sessions parked in a recv; their threads unwind through
+        // the exception path and run their epilogues.
+        std::lock_guard<std::mutex> lock(m);
+        for (auto &[sid, ch] : liveChannels)
+            ch->shutdownBoth();
+        cv.notify_all();
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    {
+        // Second pass, after the accept loop is gone: a connection
+        // acceptOn() returned just before the pass above registered
+        // AFTER it and would otherwise idle on a live socket while
+        // the joins below wait forever. No further registrations can
+        // occur now, so this pass is exhaustive.
+        std::lock_guard<std::mutex> lock(m);
+        for (auto &[sid, ch] : liveChannels)
+            ch->shutdownBoth();
+    }
+    // Join every session thread (their sockets are shut down, so they
+    // unwind promptly). Never detach: a detached thread could still be
+    // releasing the server's mutex while the server destructs.
+    std::vector<Session> to_join;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        to_join.swap(sessions);
+    }
+    for (Session &s : to_join)
+        s.thread.join();
+}
+
+size_t
+SessionServer::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return active;
+}
+
+} // namespace ironman::net

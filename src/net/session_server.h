@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The shared daemon skeleton of the socket services (svc::CotServer,
+ * infer::InferServer): bind a listener (TCP or Unix-domain), run an
+ * accept loop with session-slot backpressure, hand each accepted
+ * connection to the owner's handler on its own thread, and tear
+ * everything down deterministically.
+ *
+ * Concurrency contract (what both daemons relied on before this was
+ * factored out, preserved verbatim):
+ *
+ *   - one accept loop plus ONE JOINED (never detached) thread per
+ *     active session; finished threads are reaped on the accept path
+ *     so a long-running daemon does not accumulate dead stacks;
+ *   - at most maxSessions sessions run concurrently — beyond that the
+ *     accept loop parks and new connections queue in the listen
+ *     backlog (backpressure, not rejection);
+ *   - stop() retires the listener first (atomically, so the accept
+ *     thread either sees -1 or gets EBADF), shuts down every live
+ *     session's socket (waking threads blocked in recv — they unwind
+ *     through their exception path), then joins the accept loop and
+ *     every session thread. Idempotent.
+ *
+ * The handler runs on the session thread and OWNS the protocol loop;
+ * it must not outlive the channel reference it is given. Exceptions
+ * it throws are the normal way a session ends on a dead peer — the
+ * skeleton catches them after the handler's unwind.
+ */
+
+#ifndef IRONMAN_NET_SESSION_SERVER_H
+#define IRONMAN_NET_SESSION_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_channel.h"
+
+namespace ironman::net {
+
+class SessionServer
+{
+  public:
+    /**
+     * Serve one session; sid is unique for the server's lifetime.
+     * Runs on a dedicated thread; may throw (logged by the owner's
+     * wrapper or swallowed here).
+     */
+    using Handler = std::function<void(SocketChannel &ch, uint64_t sid)>;
+
+    explicit SessionServer(size_t max_sessions);
+    ~SessionServer();
+
+    SessionServer(const SessionServer &) = delete;
+    SessionServer &operator=(const SessionServer &) = delete;
+
+    /** Set before listening. */
+    void setHandler(Handler h);
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral), start the accept loop,
+     * return the bound port.
+     */
+    uint16_t listenTcp(uint16_t port);
+
+    /** Bind a Unix-domain path and start the accept loop. */
+    void listenUnix(const std::string &path);
+
+    /** True between a listen*() call and stop(). */
+    bool listening() const { return listenFd.load() >= 0; }
+
+    /**
+     * Stop accepting, shut down active sessions' sockets, wait for
+     * them to unwind, and join everything. Idempotent.
+     */
+    void stop();
+
+    size_t activeSessions() const;
+
+  private:
+    void startAccepting();
+    void acceptLoop();
+    void reapFinishedLocked();
+
+    Handler handler;
+    size_t maxSessions;
+
+    std::atomic<int> listenFd{-1}; ///< stop() retires it from another thread
+    std::thread acceptThread;
+    std::atomic<bool> stopping{false};
+
+    /** One accepted session: its serving thread + completion flag. */
+    struct Session
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> finished;
+    };
+
+    mutable std::mutex m;
+    std::condition_variable cv; ///< session-slot and drain waits
+    size_t active = 0;
+    std::map<uint64_t, SocketChannel *> liveChannels;
+    std::vector<Session> sessions; ///< joined on reap/stop, never detached
+    uint64_t nextSession = 1;
+};
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_SESSION_SERVER_H

@@ -1,5 +1,7 @@
 #include "net/socket_channel.h"
 
+#include "net/codec.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -23,13 +25,6 @@ throwErrno(const char *what)
                              std::strerror(errno));
 }
 
-uint32_t
-getU32(const uint8_t *p)
-{
-    return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
-           uint32_t(p[3]) << 24;
-}
-
 } // namespace
 
 SocketChannel::SocketChannel(int fd, bool tcp_nodelay) : sock(fd)
@@ -41,6 +36,30 @@ SocketChannel::SocketChannel(int fd, bool tcp_nodelay) : sock(fd)
         int one = 1;
         ::setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     }
+
+    // Captured once: the quota key of per-client policy (port
+    // excluded, so every connection from one host shares one bucket).
+    sockaddr_storage ss{};
+    socklen_t len = sizeof(ss);
+    if (::getpeername(sock, reinterpret_cast<sockaddr *>(&ss), &len) ==
+        0) {
+        if (ss.ss_family == AF_INET) {
+            char buf[INET_ADDRSTRLEN] = {};
+            const auto *in = reinterpret_cast<sockaddr_in *>(&ss);
+            if (::inet_ntop(AF_INET, &in->sin_addr, buf, sizeof(buf)))
+                peer = buf;
+        } else if (ss.ss_family == AF_INET6) {
+            char buf[INET6_ADDRSTRLEN] = {};
+            const auto *in6 = reinterpret_cast<sockaddr_in6 *>(&ss);
+            if (::inet_ntop(AF_INET6, &in6->sin6_addr, buf,
+                            sizeof(buf)))
+                peer = buf;
+        } else if (ss.ss_family == AF_UNIX) {
+            peer = "unix";
+        }
+    }
+    if (peer.empty())
+        peer = "unknown";
 }
 
 SocketChannel::~SocketChannel()

@@ -79,6 +79,13 @@ class SocketChannel final : public Channel
     int fd() const { return sock; }
 
     /**
+     * Peer identity for per-client policy: the numeric remote address
+     * (no port) for TCP, "unix" for Unix-domain peers, "unknown" when
+     * the socket cannot say. Captured at construction.
+     */
+    const std::string &peerAddress() const { return peer; }
+
+    /**
      * Shut down both directions of the socket, waking any thread
      * blocked in recvBytes() (it will throw). Safe to call from
      * another thread; close happens in the destructor.
@@ -90,6 +97,7 @@ class SocketChannel final : public Channel
     void readFrame();
 
     int sock = -1;
+    std::string peer; ///< quota key; see peerAddress()
     std::vector<uint8_t> txBuf; ///< unframed pending payload
     std::vector<uint8_t> rxBuf; ///< reassembled payload, [rxPos, size)
     size_t rxPos = 0;

@@ -1,0 +1,157 @@
+#include "ppml/mlp_runner.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "net/two_party.h"
+#include "ppml/cot_engine.h"
+
+namespace ironman::ppml {
+
+MlpRunner::MlpRunner(const MlpModelSpec &spec, unsigned width)
+    : spec_(spec), width_(width)
+{
+    IRONMAN_CHECK(spec_.dims.size() >= 2, "model needs >= 1 dense layer");
+    IRONMAN_CHECK(spec_.widthOk(width_),
+                  "bitwidth outside the model's overflow-free range");
+    for (size_t l = 0; l + 1 < spec_.dims.size(); ++l)
+        weights.push_back(mlpLayerWeights(spec_, l));
+}
+
+int64_t
+MlpRunner::toSigned(uint64_t v) const
+{
+    if (width_ == 64)
+        return int64_t(v);
+    const uint64_t sign = uint64_t(1) << (width_ - 1);
+    return (v & sign) ? int64_t(v) - (int64_t(1) << width_)
+                      : int64_t(v);
+}
+
+std::vector<uint64_t>
+MlpRunner::denseLocal(size_t layer, const std::vector<uint64_t> &x,
+                      size_t batch) const
+{
+    const size_t rows = spec_.dims[layer + 1];
+    const size_t cols = spec_.dims[layer];
+    const std::vector<int64_t> &w = weights[layer];
+    std::vector<uint64_t> out(batch * rows);
+    for (size_t b = 0; b < batch; ++b)
+        for (size_t r = 0; r < rows; ++r) {
+            int64_t acc = 0;
+            for (size_t c = 0; c < cols; ++c)
+                acc += w[r * cols + c] * toSigned(x[b * cols + c]);
+            // Both parties truncate their own share — the standard
+            // local approximation (one ulp of error per party).
+            out[b * rows + r] = maskValue(uint64_t(acc >> spec_.fracBits));
+        }
+    return out;
+}
+
+std::vector<uint64_t>
+MlpRunner::forward(SecureCompute &sc, net::Channel &ch,
+                   const std::vector<uint64_t> &x_shares)
+{
+    IRONMAN_CHECK(sc.bitwidth() == width_, "engine width mismatch");
+    IRONMAN_CHECK(!x_shares.empty() &&
+                      x_shares.size() % spec_.inputDim() == 0,
+                  "input is batch * inputDim shares");
+    const size_t batch = x_shares.size() / spec_.inputDim();
+
+    stats_.clear();
+    std::vector<uint64_t> cur = x_shares;
+    for (size_t l = 0; l + 1 < spec_.dims.size(); ++l) {
+        cur = denseLocal(l, cur, batch);
+        stats_.push_back({"dense" + std::to_string(l), 0, 0, 0});
+        if (l + 2 < spec_.dims.size()) {
+            const size_t cots0 = sc.cotsConsumed();
+            const uint64_t bytes0 = ch.bytesSent();
+            cur = sc.relu(cur);
+            stats_.push_back({"relu" + std::to_string(l),
+                              sc.cotsConsumed() - cots0,
+                              ch.bytesSent() - bytes0,
+                              2 * (width_ - 1) + 1});
+        }
+    }
+    return cur;
+}
+
+// ---------------------------------------------------------------------------
+// Sharing helpers + the in-process reference path
+// ---------------------------------------------------------------------------
+
+void
+shareMlpValues(Rng &rng, unsigned width,
+               const std::vector<int64_t> &values,
+               std::vector<uint64_t> *x0, std::vector<uint64_t> *x1)
+{
+    const uint64_t mask =
+        width == 64 ? ~uint64_t(0) : (uint64_t(1) << width) - 1;
+    x0->resize(values.size());
+    x1->resize(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        (*x0)[i] = rng.nextUint64() & mask;
+        (*x1)[i] = (uint64_t(values[i]) - (*x0)[i]) & mask;
+    }
+}
+
+std::vector<int64_t>
+reconstructMlpValues(unsigned width, const std::vector<uint64_t> &y0,
+                     const std::vector<uint64_t> &y1)
+{
+    IRONMAN_CHECK(y0.size() == y1.size(), "share length mismatch");
+    const uint64_t mask =
+        width == 64 ? ~uint64_t(0) : (uint64_t(1) << width) - 1;
+    const uint64_t sign = uint64_t(1) << (width - 1);
+    std::vector<int64_t> out(y0.size());
+    for (size_t i = 0; i < y0.size(); ++i) {
+        const uint64_t v = (y0[i] + y1[i]) & mask;
+        out[i] = (width != 64 && (v & sign))
+                     ? int64_t(v) - (int64_t(1) << width)
+                     : int64_t(v);
+    }
+    return out;
+}
+
+LocalMlpResult
+runLocalMlpInference(const MlpModelSpec &spec, unsigned width,
+                     const std::vector<std::vector<int64_t>> &requests,
+                     uint64_t share_seed, uint64_t setup_seed,
+                     const ot::FerretParams &params)
+{
+    // Pre-share every request with the one tape the inference client
+    // would use (party 0 owns the inputs there too).
+    Rng share_rng(share_seed);
+    std::vector<std::vector<uint64_t>> x0(requests.size());
+    std::vector<std::vector<uint64_t>> x1(requests.size());
+    for (size_t r = 0; r < requests.size(); ++r)
+        shareMlpValues(share_rng, width, requests[r], &x0[r], &x1[r]);
+
+    LocalMlpResult result;
+    std::vector<std::vector<uint64_t>> y0(requests.size());
+    std::vector<std::vector<uint64_t>> y1(requests.size());
+    auto party = [&](int id, std::vector<std::vector<uint64_t>> &x,
+                     std::vector<std::vector<uint64_t>> &y) {
+        return [&, id](net::Channel &ch) {
+            FerretCotEngine engine(ch, id, params, setup_seed);
+            SecureCompute sc(ch, id, engine, width);
+            MlpRunner runner(spec, width);
+            for (size_t r = 0; r < x.size(); ++r)
+                y[r] = runner.forward(sc, ch, x[r]);
+            if (id == 0) {
+                result.cotsPerParty = sc.cotsConsumed();
+                result.extensions = engine.extensionsRun();
+            }
+        };
+    };
+    const net::WireStats wire =
+        net::runTwoParty(party(0, x0, y0), party(1, x1, y1));
+    result.onlineBytes = wire.totalBytes;
+
+    result.outputs.resize(requests.size());
+    for (size_t r = 0; r < requests.size(); ++r)
+        result.outputs[r] = reconstructMlpValues(width, y0[r], y1[r]);
+    return result;
+}
+
+} // namespace ironman::ppml

@@ -1,5 +1,11 @@
 #include "ppml/model_zoo.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
 namespace ironman::ppml {
 
 const char *
@@ -133,6 +139,158 @@ allModels()
     return {mobileNetV2(), squeezeNet(), resNet18(),  resNet34(),
             resNet50(),    denseNet121(), vitBase(),  bertBase(),
             bertLarge(),   gpt2Large()};
+}
+
+// ---------------------------------------------------------------------------
+// Runnable inference zoo
+// ---------------------------------------------------------------------------
+
+uint64_t
+MlpModelSpec::reluElements() const
+{
+    uint64_t total = 0;
+    for (size_t i = 1; i + 1 < dims.size(); ++i)
+        total += dims[i];
+    return total;
+}
+
+uint64_t
+MlpModelSpec::cotsPerImage(unsigned width) const
+{
+    // DReLU: 2 AND gates per bit position over width-1 positions, at
+    // 1 COT per direction each; MUX: 1 COT per direction.
+    return reluElements() * (2ull * (width - 1) + 1);
+}
+
+namespace {
+
+/**
+ * minWidth: smallest width whose signed range holds the worst-case
+ * magnitude 2^(fracBits+1) * prod(input dims) plus truncation slack.
+ * maxWidth: largest width whose dense accumulators stay inside int64
+ * (|share| < 2^(width-1), |w| <= 2^fracBits, summed over max input
+ * dim).
+ */
+MlpModelSpec
+makeSpec(uint32_t id, const char *name, std::vector<unsigned> dims,
+         int frac_bits, uint64_t weight_seed)
+{
+    MlpModelSpec s;
+    s.id = id;
+    s.name = name;
+    s.dims = std::move(dims);
+    s.fracBits = frac_bits;
+    s.weightSeed = weight_seed;
+
+    double magnitude = double(uint64_t(2) << frac_bits); // 2.0 fixed pt
+    unsigned max_dim = 1;
+    for (size_t l = 0; l + 1 < s.dims.size(); ++l) {
+        magnitude *= double(s.dims[l]);
+        max_dim = std::max(max_dim, s.dims[l]);
+    }
+    unsigned bits = 1;
+    while ((double)(uint64_t(1) << bits) < magnitude && bits < 60)
+        ++bits;
+    s.minWidth = bits + 3; // sign bit + truncation-error slack
+    unsigned log_dim = std::bit_width(max_dim);
+    s.maxWidth = std::min(48u, 62u - unsigned(frac_bits) - log_dim);
+    IRONMAN_CHECK(s.minWidth <= s.maxWidth, "degenerate model spec");
+    return s;
+}
+
+} // namespace
+
+const std::vector<MlpModelSpec> &
+inferenceZoo()
+{
+    static const std::vector<MlpModelSpec> zoo = {
+        makeSpec(1, "mlp-16x8x4", {16, 8, 4}, 8, 0xA1),
+        makeSpec(2, "mlp-12x6x3", {12, 6, 3}, 3, 0xA2),
+        makeSpec(3, "mlp-32x16x10", {32, 16, 10}, 8, 0xA3),
+        makeSpec(4, "mlp-16x16x16x8", {16, 16, 16, 8}, 6, 0xA4),
+    };
+    return zoo;
+}
+
+const MlpModelSpec *
+findMlpModel(uint32_t id)
+{
+    for (const MlpModelSpec &s : inferenceZoo())
+        if (s.id == id)
+            return &s;
+    return nullptr;
+}
+
+const MlpModelSpec *
+findMlpModel(const std::string &name)
+{
+    for (const MlpModelSpec &s : inferenceZoo())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::vector<int64_t>
+mlpLayerWeights(const MlpModelSpec &spec, size_t layer)
+{
+    IRONMAN_CHECK(layer + 1 < spec.dims.size(), "layer out of range");
+    const size_t rows = spec.dims[layer + 1];
+    const size_t cols = spec.dims[layer];
+    const uint64_t half = uint64_t(1) << spec.fracBits; // 1.0 fixed pt
+    Rng rng(spec.weightSeed * 0x9e3779b97f4a7c15ULL + layer);
+    std::vector<int64_t> w(rows * cols);
+    for (auto &v : w)
+        v = int64_t(rng.nextBelow(2 * half)) - int64_t(half);
+    return w;
+}
+
+std::vector<int64_t>
+mlpPlainForward(const MlpModelSpec &spec, const std::vector<int64_t> &x)
+{
+    IRONMAN_CHECK(!x.empty() && x.size() % spec.inputDim() == 0,
+                  "input is batch * inputDim values");
+    const size_t batch = x.size() / spec.inputDim();
+    std::vector<int64_t> cur = x;
+    std::vector<int64_t> next;
+    for (size_t l = 0; l + 1 < spec.dims.size(); ++l) {
+        const size_t rows = spec.dims[l + 1], cols = spec.dims[l];
+        const bool relu = l + 2 < spec.dims.size();
+        const std::vector<int64_t> w = mlpLayerWeights(spec, l);
+        next.assign(batch * rows, 0);
+        for (size_t b = 0; b < batch; ++b)
+            for (size_t r = 0; r < rows; ++r) {
+                int64_t acc = 0;
+                for (size_t c = 0; c < cols; ++c)
+                    acc += w[r * cols + c] * cur[b * cols + c];
+                acc >>= spec.fracBits;
+                next[b * rows + r] = relu ? std::max<int64_t>(acc, 0)
+                                          : acc;
+            }
+        std::swap(cur, next);
+    }
+    return cur;
+}
+
+std::vector<int64_t>
+sampleMlpInput(const MlpModelSpec &spec, uint64_t seed, size_t batch)
+{
+    const uint64_t two = uint64_t(2) << spec.fracBits; // 2.0 fixed pt
+    Rng rng(seed);
+    std::vector<int64_t> x(batch * spec.inputDim());
+    for (auto &v : x)
+        v = int64_t(rng.nextBelow(2 * two)) - int64_t(two);
+    return x;
+}
+
+int64_t
+mlpTruncationErrorBound(const MlpModelSpec &spec)
+{
+    if (spec.fracBits == 0)
+        return 0;
+    int64_t e = 0;
+    for (size_t l = 0; l + 1 < spec.dims.size(); ++l)
+        e = e * int64_t(spec.dims[l]) + 1;
+    return e;
 }
 
 } // namespace ironman::ppml

@@ -65,6 +65,92 @@ ModelProfile gpt2Large();
 /** All models in Table 5 order (CNNs then Transformers). */
 std::vector<ModelProfile> allModels();
 
+// ---------------------------------------------------------------------------
+// Runnable inference zoo (src/infer)
+// ---------------------------------------------------------------------------
+
+/**
+ * A runnable fixed-point MLP the inference service can actually
+ * evaluate end-to-end (as opposed to the ModelProfile workload
+ * descriptions above, which only count operations). The model is
+ * PUBLIC: both parties derive identical weights from @p weightSeed,
+ * so linear layers are local on shares and only the ReLU layers
+ * consume COT correlations. `id` is the stable wire identifier the
+ * inference handshake negotiates (infer/wire.h).
+ */
+struct MlpModelSpec
+{
+    uint32_t id = 0;            ///< wire model id (never reused)
+    std::string name;
+    std::vector<unsigned> dims; ///< dims[0] inputs .. dims.back() outputs
+    int fracBits = 8;           ///< fixed-point fraction bits
+    unsigned minWidth = 20;     ///< smallest bitwidth with no overflow
+    unsigned maxWidth = 48;     ///< largest bitwidth (int64 accumulators)
+    uint64_t weightSeed = 1;    ///< deterministic public weights
+
+    unsigned inputDim() const { return dims.front(); }
+    unsigned outputDim() const { return dims.back(); }
+
+    /** Dense layers; ReLU follows every one except the last. */
+    size_t denseLayers() const { return dims.size() - 1; }
+
+    /** ReLU elements one image evaluates (the OT-consuming quantity). */
+    uint64_t reluElements() const;
+
+    /**
+     * COT correlations one image consumes per direction at @p width:
+     * each ReLU element costs 2(width-1) AND-gate COTs (DReLU ripple)
+     * plus one MUX COT. Drives reservoir stock sizing
+     * (svc::Reservoir::Options::sizedFor).
+     */
+    uint64_t cotsPerImage(unsigned width) const;
+
+    /** width acceptable for this model (overflow-free both ends). */
+    bool widthOk(unsigned width) const
+    {
+        return width >= minWidth && width <= maxWidth;
+    }
+};
+
+/** All served models, id-ascending. Stable across processes. */
+const std::vector<MlpModelSpec> &inferenceZoo();
+
+/** Lookup by wire id / name; nullptr when unknown. */
+const MlpModelSpec *findMlpModel(uint32_t id);
+const MlpModelSpec *findMlpModel(const std::string &name);
+
+/**
+ * Public weights of dense layer @p layer (dims[layer] ->
+ * dims[layer+1]), row-major [out][in], values in [-2^fracBits,
+ * 2^fracBits) — i.e. [-1, 1) fixed point. Deterministic in
+ * (weightSeed, layer).
+ */
+std::vector<int64_t> mlpLayerWeights(const MlpModelSpec &spec,
+                                     size_t layer);
+
+/**
+ * Plaintext reference forward pass of @p batch images (x.size() ==
+ * batch * inputDim()), with the same >> fracBits truncation the
+ * secure path approximates. Returns batch * outputDim() values.
+ */
+std::vector<int64_t> mlpPlainForward(const MlpModelSpec &spec,
+                                     const std::vector<int64_t> &x);
+
+/**
+ * Sample @p batch plausible fixed-point input images (|x| < 2.0) from
+ * @p seed — the range minWidth was derived for.
+ */
+std::vector<int64_t> sampleMlpInput(const MlpModelSpec &spec,
+                                    uint64_t seed, size_t batch = 1);
+
+/**
+ * Worst-case |secure - plain| output deviation from share-local
+ * truncation (one ulp per party per dense layer, amplified by later
+ * layers): e_{l+1} = dims[l] * e_l + 1. Exact-integer models
+ * (fracBits == 0) have bound 0.
+ */
+int64_t mlpTruncationErrorBound(const MlpModelSpec &spec);
+
 } // namespace ironman::ppml
 
 #endif // IRONMAN_PPML_MODEL_ZOO_H

@@ -19,9 +19,9 @@ CotClient::CotClient(std::unique_ptr<net::SocketChannel> channel,
     sendHello(*ch, h);
     const Accept a = recvAccept(*ch);
     if (a.status != Status::Ok)
-        throw std::runtime_error("CotClient: server rejected hello, "
-                                 "status " +
-                                 std::to_string(int(a.status)));
+        throw std::runtime_error(
+            std::string("CotClient: server rejected hello: ") +
+            statusName(a.status));
     sid = a.sessionId;
 
     if (opt_.role == Role::Sender) {

@@ -1,8 +1,5 @@
 #include "svc/cot_server.h"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -10,9 +7,12 @@ namespace ironman::svc {
 
 CotServer::CotServer(Config cfg)
     : cfg_(cfg),
-      pool_(EnginePool::Config{cfg.engineThreads, cfg.pipelined})
+      pool_(EnginePool::Config{cfg.engineThreads, cfg.pipelined}),
+      server_(cfg.maxSessions)
 {
-    IRONMAN_CHECK(cfg_.maxSessions > 0, "need at least one session slot");
+    server_.setHandler([this](net::SocketChannel &ch, uint64_t sid) {
+        serveSession(ch, sid);
+    });
 }
 
 CotServer::~CotServer()
@@ -23,110 +23,79 @@ CotServer::~CotServer()
 uint16_t
 CotServer::listenTcp(uint16_t port)
 {
-    IRONMAN_CHECK(listenFd.load() < 0, "server already listening");
-    const int fd = net::tcpListen(port);
-    listenFd.store(fd);
-    const uint16_t bound = net::tcpListenPort(fd);
-    startAccepting(fd);
-    return bound;
+    return server_.listenTcp(port);
 }
 
 void
 CotServer::listenUnix(const std::string &path)
 {
-    IRONMAN_CHECK(listenFd.load() < 0, "server already listening");
-    const int fd = net::unixListen(path);
-    listenFd.store(fd);
-    startAccepting(fd);
+    server_.listenUnix(path);
 }
 
 void
-CotServer::startAccepting(int)
+CotServer::stop()
 {
-    stopping.store(false);
-    acceptThread = std::thread([this] { acceptLoop(); });
+    server_.stop();
 }
 
-void
-CotServer::acceptLoop()
+size_t
+CotServer::activeSessions() const
 {
-    for (;;) {
-        // Session-slot backpressure: leave new connections in the
-        // listen backlog until a slot frees up.
-        {
-            std::unique_lock<std::mutex> lock(m);
-            cv.wait(lock, [&] {
-                return stopping.load() || active < cfg_.maxSessions;
-            });
-        }
-        if (stopping.load())
-            return;
-        const int listener = listenFd.load(std::memory_order_acquire);
-        if (listener < 0)
-            return;
-        int fd = net::acceptOn(listener);
-        if (fd < 0)
-            return; // listener closed by stop()
-        uint64_t sid;
-        std::unique_ptr<net::SocketChannel> ch;
-        try {
-            ch = std::make_unique<net::SocketChannel>(fd);
-        } catch (...) {
-            continue;
-        }
-        auto finished = std::make_shared<std::atomic<bool>>(false);
-        {
-            std::lock_guard<std::mutex> lock(m);
-            sid = nextSession++;
-            ++active;
-            liveChannels[sid] = ch.get();
-            reapFinishedLocked();
-        }
-        Session sess;
-        sess.finished = finished;
-        sess.thread = std::thread(
-            [this, sid, finished](
-                std::unique_ptr<net::SocketChannel> sess_ch) {
-                serveSession(std::move(sess_ch), sid);
-                finished->store(true, std::memory_order_release);
-            },
-            std::move(ch));
-        std::lock_guard<std::mutex> lock(m);
-        sessions.push_back(std::move(sess));
-    }
+    return server_.activeSessions();
 }
 
-void
-CotServer::reapFinishedLocked()
+Status
+CotServer::admitSession(const std::string &client, const Hello &hello)
 {
-    // Join threads whose sessions completed; a long-running daemon
-    // must not accumulate dead stacks. Finished threads join without
-    // blocking the accept path for more than an epilogue.
-    for (size_t i = 0; i < sessions.size();) {
-        if (sessions[i].finished->load(std::memory_order_acquire)) {
-            sessions[i].thread.join();
-            sessions.erase(sessions.begin() + long(i));
-        } else {
-            ++i;
-        }
-    }
+    if (!paramsAllowed(hello.params.toFerretParams(),
+                       cfg_.paramsAllowlist))
+        return Status::ParamsNotAllowed;
+    // No per-client policy -> no per-client bookkeeping: a public
+    // daemon must not grow a map entry per peer address for nothing.
+    if (cfg_.maxSessionsPerClient == 0 && cfg_.maxBytesPerClient == 0)
+        return Status::Ok;
+    std::lock_guard<std::mutex> lock(m);
+    ClientUsage &usage = clients[client];
+    if (cfg_.maxSessionsPerClient > 0 &&
+        usage.sessions >= cfg_.maxSessionsPerClient)
+        return Status::SessionQuota;
+    if (cfg_.maxBytesPerClient > 0 &&
+        usage.bytes >= cfg_.maxBytesPerClient)
+        return Status::ByteQuota;
+    ++usage.sessions;
+    return Status::Ok;
+}
+
+uint64_t
+CotServer::bytesServedTo(const std::string &client_addr) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = clients.find(client_addr);
+    return it == clients.end() ? 0 : it->second.bytes;
 }
 
 void
-CotServer::serveSession(std::unique_ptr<net::SocketChannel> ch,
-                        uint64_t sid)
+CotServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 {
     try {
         Hello hello;
-        const Status st = recvHello(*ch, &hello);
-        sendAccept(*ch, Accept{st, sid});
-        ch->flush();
+        Status st = recvHello(ch, &hello);
+        if (st == Status::Ok)
+            st = admitSession(ch.peerAddress(), hello);
+        // Before the Accept: the client can only quote this sid once
+        // it has read the Accept, so observers are already up to date.
+        if (st == Status::Ok && sessionStartSink)
+            sessionStartSink(sid, ch.peerAddress());
+        sendAccept(ch, Accept{st, sid});
+        ch.flush();
         if (st == Status::Ok) {
             if (hello.role == Role::Receiver)
-                serveSenderSession(*ch, sid, hello);
+                serveSenderSession(ch, sid, hello);
             else
-                serveReceiverSession(*ch, sid, hello);
+                serveReceiverSession(ch, sid, hello);
             served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            rejected.fetch_add(1, std::memory_order_relaxed);
         }
     } catch (const std::exception &e) {
         // A dying client must not take the server down; the engine
@@ -134,10 +103,12 @@ CotServer::serveSession(std::unique_ptr<net::SocketChannel> ch,
         IRONMAN_WARN("svc session %llu aborted: %s",
                      (unsigned long long)sid, e.what());
     }
-    std::lock_guard<std::mutex> lock(m);
-    liveChannels.erase(sid);
-    --active;
-    cv.notify_all();
+    if (cfg_.maxSessionsPerClient > 0 || cfg_.maxBytesPerClient > 0) {
+        std::lock_guard<std::mutex> lock(m);
+        clients[ch.peerAddress()].bytes += ch.bytesSent();
+    }
+    if (sessionEndSink)
+        sessionEndSink(sid);
 }
 
 void
@@ -195,49 +166,6 @@ CotServer::serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
 }
 
 void
-CotServer::stop()
-{
-    if (listenFd.load() < 0 && !acceptThread.joinable())
-        return;
-    stopping.store(true);
-    // Retire the listener first (atomically), then close it: the
-    // accept thread either sees -1 or gets EBADF/EINVAL from accept —
-    // both exit paths.
-    const int fd = listenFd.exchange(-1);
-    if (fd >= 0) {
-        ::shutdown(fd, SHUT_RDWR);
-        ::close(fd);
-    }
-    {
-        // Wake sessions parked in recvOp; their threads unwind through
-        // the exception path and release their engines.
-        std::lock_guard<std::mutex> lock(m);
-        for (auto &[sid, ch] : liveChannels)
-            ch->shutdownBoth();
-        cv.notify_all();
-    }
-    if (acceptThread.joinable())
-        acceptThread.join();
-    // Join every session thread (their sockets are shut down, so they
-    // unwind promptly). Never detach: a detached thread could still be
-    // releasing the server's mutex while the server destructs.
-    std::vector<Session> to_join;
-    {
-        std::lock_guard<std::mutex> lock(m);
-        to_join.swap(sessions);
-    }
-    for (Session &s : to_join)
-        s.thread.join();
-}
-
-size_t
-CotServer::activeSessions() const
-{
-    std::lock_guard<std::mutex> lock(m);
-    return active;
-}
-
-void
 CotServer::setSenderSink(std::function<void(const SenderBatch &)> fn)
 {
     senderSink = std::move(fn);
@@ -247,6 +175,19 @@ void
 CotServer::setReceiverSink(std::function<void(const ReceiverBatch &)> fn)
 {
     receiverSink = std::move(fn);
+}
+
+void
+CotServer::setSessionStartSink(
+    std::function<void(uint64_t, const std::string &)> fn)
+{
+    sessionStartSink = std::move(fn);
+}
+
+void
+CotServer::setSessionEndSink(std::function<void(uint64_t)> fn)
+{
+    sessionEndSink = std::move(fn);
 }
 
 } // namespace ironman::svc

@@ -4,17 +4,17 @@
  * sockets (loopback/remote TCP or Unix-domain), plays the opposite OT
  * role of each client, and serves extensions from warm pooled engines.
  *
- * Concurrency model: one accept loop plus one thread per active
- * session (sessions are blocking protocol loops — each one spends its
- * life inside interactive extendInto calls). Kernel parallelism comes
- * from each engine's own fixed worker pool (EnginePool::Config::threads
- * wide), the same ThreadPool the single-connection engines use; the
- * session count is bounded by Config::maxSessions, beyond which the
- * accept loop applies backpressure (clients queue in the listen
- * backlog). Engines outlive sessions: a finished session's engine
- * returns to the EnginePool and the next session of the same parameter
- * shape reuses it via resetSession() — allocation-free once warm
- * (invariant 12).
+ * Concurrency model: net::SessionServer's — one accept loop plus one
+ * joined thread per active session (sessions are blocking protocol
+ * loops — each one spends its life inside interactive extendInto
+ * calls). Kernel parallelism comes from each engine's own fixed
+ * worker pool (EnginePool::Config::threads wide), the same ThreadPool
+ * the single-connection engines use; the session count is bounded by
+ * Config::maxSessions, beyond which the accept loop applies
+ * backpressure (clients queue in the listen backlog). Engines outlive
+ * sessions: a finished session's engine returns to the EnginePool and
+ * the next session of the same parameter shape reuses it via
+ * resetSession() — allocation-free once warm (invariant 12).
  *
  * The server's own protocol outputs (sender strings q, or receiver
  * choice/t) are the service operator's half of the correlations. Tests
@@ -28,16 +28,14 @@
 #define IRONMAN_SVC_COT_SERVER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "net/session_server.h"
 #include "net/socket_channel.h"
 #include "svc/engine_pool.h"
 #include "svc/wire.h"
@@ -52,6 +50,33 @@ class CotServer
         int engineThreads = 1;   ///< worker-pool width per engine
         bool pipelined = true;   ///< engine mode (clients must match)
         size_t maxSessions = 32; ///< concurrent-session bound
+
+        // -- per-client policy, enforced at handshake ------------------
+        // A rejected hello gets a clean wire-level Accept{status} (the
+        // client can log it) instead of a dropped connection. Clients
+        // are keyed by SocketChannel::peerAddress() — for TCP the
+        // remote IP, so all connections from one host share a bucket.
+        // CAVEAT: Unix-domain peers all key as "unix", so on a Unix
+        // listener these quotas are ONE GLOBAL bucket, not per client
+        // (distinguishing local peers needs SO_PEERCRED — ROADMAP).
+
+        /**
+         * Parameter shapes this daemon will build engines for; empty
+         * means any structurally valid shape. Membership compares the
+         * EngineKey fields (what determines engine size and output).
+         */
+        std::vector<ot::FerretParams> paramsAllowlist;
+
+        /** Lifetime sessions one client address may open; 0 = no cap. */
+        uint64_t maxSessionsPerClient = 0;
+
+        /**
+         * Payload bytes one client address may be served across all
+         * its sessions; 0 = no cap. Checked at handshake (a session
+         * admitted under the quota runs to completion; its bytes count
+         * against the next admission).
+         */
+        uint64_t maxBytesPerClient = 0;
     };
 
     CotServer() : CotServer(Config{}) {}
@@ -82,6 +107,12 @@ class CotServer
     uint64_t extensionsServed() const { return extensions.load(); }
     uint64_t cotsServed() const { return cots.load(); }
     size_t activeSessions() const;
+
+    /** Hellos rejected by policy (allowlist or quotas). */
+    uint64_t sessionsRejected() const { return rejected.load(); }
+
+    /** Payload bytes served so far to @p client_addr. */
+    uint64_t bytesServedTo(const std::string &client_addr) const;
 
     // -- output sinks (tests / operator-side consumption) ---------------
 
@@ -115,11 +146,28 @@ class CotServer
     void setSenderSink(std::function<void(const SenderBatch &)> fn);
     void setReceiverSink(std::function<void(const ReceiverBatch &)> fn);
 
+    /**
+     * Observer of admitted sessions, called on the session thread
+     * BEFORE the Accept is sent — so by the time a client can quote
+     * its session id anywhere (it learns it from the Accept), the
+     * sink has run. The operator stock uses it to record which peer
+     * owns each session.
+     */
+    void setSessionStartSink(
+        std::function<void(uint64_t sid, const std::string &peer)> fn);
+
+    /**
+     * Observer of session ends (served, rejected, or aborted), called
+     * on the session thread after its last batch sink. The operator
+     * stock uses it to free a session's retained halves the moment no
+     * more can arrive.
+     */
+    void setSessionEndSink(std::function<void(uint64_t sid)> fn);
+
   private:
-    void startAccepting(int fd);
-    void acceptLoop();
-    void serveSession(std::unique_ptr<net::SocketChannel> ch,
-                      uint64_t sid);
+    /** Allowlist + quota verdict for an Ok hello; admits on Ok. */
+    Status admitSession(const std::string &client, const Hello &hello);
+    void serveSession(net::SocketChannel &ch, uint64_t sid);
     void serveSenderSession(net::SocketChannel &ch, uint64_t sid,
                             const Hello &hello);
     void serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
@@ -127,33 +175,26 @@ class CotServer
 
     Config cfg_;
     EnginePool pool_;
+    net::SessionServer server_;
 
-    std::atomic<int> listenFd{-1}; ///< stop() retires it from another thread
-    std::thread acceptThread;
-    std::atomic<bool> stopping{false};
-
-    /** One accepted session: its serving thread + completion flag. */
-    struct Session
+    /** Per-client quota bookkeeping (keyed by peerAddress()). */
+    struct ClientUsage
     {
-        std::thread thread;
-        std::shared_ptr<std::atomic<bool>> finished;
+        uint64_t sessions = 0; ///< admitted (lifetime)
+        uint64_t bytes = 0;    ///< served payload (finished sessions)
     };
-
-    void reapFinishedLocked();
-
     mutable std::mutex m;
-    std::condition_variable cv; ///< session-slot and drain waits
-    size_t active = 0;
-    std::map<uint64_t, net::SocketChannel *> liveChannels;
-    std::vector<Session> sessions; ///< joined on reap/stop, never detached
-    uint64_t nextSession = 1;
+    std::map<std::string, ClientUsage> clients;
 
     std::function<void(const SenderBatch &)> senderSink;
     std::function<void(const ReceiverBatch &)> receiverSink;
+    std::function<void(uint64_t, const std::string &)> sessionStartSink;
+    std::function<void(uint64_t)> sessionEndSink;
 
     std::atomic<uint64_t> served{0};
     std::atomic<uint64_t> extensions{0};
     std::atomic<uint64_t> cots{0};
+    std::atomic<uint64_t> rejected{0};
 };
 
 } // namespace ironman::svc

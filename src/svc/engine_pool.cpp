@@ -16,6 +16,19 @@ EngineKey::of(const ot::FerretParams &p)
     return k;
 }
 
+bool
+paramsAllowed(const ot::FerretParams &p,
+              const std::vector<ot::FerretParams> &allowlist)
+{
+    if (allowlist.empty())
+        return true;
+    const EngineKey key = EngineKey::of(p);
+    for (const ot::FerretParams &allowed : allowlist)
+        if (key == EngineKey::of(allowed))
+            return true;
+    return false;
+}
+
 // ---------------------------------------------------------------------------
 // Leases
 // ---------------------------------------------------------------------------

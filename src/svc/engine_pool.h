@@ -53,7 +53,21 @@ struct EngineKey
                std::tie(o.n, o.k, o.t, o.lpnSeed, o.arity, o.lpnWeight,
                         o.prg);
     }
+
+    bool
+    operator==(const EngineKey &o) const
+    {
+        return !(*this < o) && !(o < *this);
+    }
 };
+
+/**
+ * Admission-policy membership: is @p p's shape (EngineKey fields) on
+ * @p allowlist? An EMPTY allowlist allows everything — the opt-in
+ * convention both CotServer and InferServer use.
+ */
+bool paramsAllowed(const ot::FerretParams &p,
+                   const std::vector<ot::FerretParams> &allowlist);
 
 class EnginePool
 {

@@ -1,0 +1,152 @@
+#include "svc/operator_stock.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace ironman::svc {
+
+void
+OperatorStock::attach(CotServer &server)
+{
+    server.setSenderSink([this](const CotServer::SenderBatch &b) {
+        std::lock_guard<std::mutex> lock(m);
+        SessionStock &s = sessions[b.sessionId];
+        s.blocks.insert(s.blocks.end(), b.q, b.q + b.count);
+        s.delta = b.delta;
+        s.haveDelta = true;
+        cv.notify_all();
+    });
+    server.setReceiverSink([this](const CotServer::ReceiverBatch &b) {
+        std::lock_guard<std::mutex> lock(m);
+        SessionStock &s = sessions[b.sessionId];
+        s.blocks.insert(s.blocks.end(), b.t, b.t + b.count);
+        s.bits.appendRange(*b.choice, 0, b.count);
+        cv.notify_all();
+    });
+    // Ownership, recorded before the client can quote the sid: the
+    // inference handshake validates its hello's session ids against
+    // this (bogus or foreign sids get a clean reject).
+    server.setSessionStartSink(
+        [this](uint64_t sid, const std::string &peer) {
+            std::lock_guard<std::mutex> lock(m);
+            sessions[sid].peer = peer;
+        });
+    // After a COT session's end no more batches can arrive, so any
+    // residue nobody consumed (rejected infer hello, client dead
+    // before its hello) is freed here — the last sink call of the
+    // session thread.
+    server.setSessionEndSink([this](uint64_t sid) { drop(sid); });
+}
+
+void
+OperatorStock::compactLocked(SessionStock &s)
+{
+    // Drop the consumed prefix once it dominates the stock, so a
+    // long-lived session stays bounded without per-take churn.
+    if (s.head < 4096 || s.head * 2 < s.blocks.size())
+        return;
+    s.blocks.erase(s.blocks.begin(), s.blocks.begin() + long(s.head));
+    if (!s.bits.empty()) {
+        BitVec rest;
+        rest.assignRange(s.bits, s.head, s.bits.size() - s.head);
+        std::swap(s.bits, rest);
+    }
+    s.head = 0;
+}
+
+void
+OperatorStock::takeSend(uint64_t sid, size_t n, std::vector<Block> *q,
+                        Block *delta)
+{
+    std::unique_lock<std::mutex> lock(m);
+    // find(), never operator[]: a take must not materialize entries
+    // for sids nobody stocks (a bogus hello would otherwise grow the
+    // map permanently with every probe).
+    if (!cv.wait_for(lock, waitTimeout, [&] {
+            if (stopped)
+                return true;
+            const auto it = sessions.find(sid);
+            return it != sessions.end() && it->second.haveDelta &&
+                   it->second.blocks.size() - it->second.head >= n;
+        }))
+        throw std::runtime_error(
+            "OperatorStock: timed out waiting for stock (client dead, "
+            "stalled, or bogus session id)");
+    if (stopped)
+        throw std::runtime_error("OperatorStock: retired");
+    SessionStock &s = sessions[sid];
+    q->resize(n);
+    std::copy_n(s.blocks.data() + s.head, n, q->data());
+    *delta = s.delta;
+    s.head += n;
+    compactLocked(s);
+}
+
+void
+OperatorStock::takeRecv(uint64_t sid, size_t n, BitVec *bits,
+                        std::vector<Block> *t)
+{
+    std::unique_lock<std::mutex> lock(m);
+    if (!cv.wait_for(lock, waitTimeout, [&] {
+            if (stopped)
+                return true;
+            const auto it = sessions.find(sid);
+            return it != sessions.end() &&
+                   it->second.blocks.size() - it->second.head >= n;
+        }))
+        throw std::runtime_error(
+            "OperatorStock: timed out waiting for stock (client dead, "
+            "stalled, or bogus session id)");
+    if (stopped)
+        throw std::runtime_error("OperatorStock: retired");
+    SessionStock &s = sessions[sid];
+    bits->assignRange(s.bits, s.head, n);
+    t->resize(n);
+    std::copy_n(s.blocks.data() + s.head, n, t->data());
+    s.head += n;
+    compactLocked(s);
+}
+
+std::string
+OperatorStock::peerOf(uint64_t sid) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = sessions.find(sid);
+    return it == sessions.end() ? std::string() : it->second.peer;
+}
+
+size_t
+OperatorStock::stock(uint64_t sid) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    const auto it = sessions.find(sid);
+    return it == sessions.end() ? 0
+                                : it->second.blocks.size() -
+                                      it->second.head;
+}
+
+void
+OperatorStock::drop(uint64_t sid)
+{
+    std::lock_guard<std::mutex> lock(m);
+    sessions.erase(sid);
+}
+
+void
+OperatorStock::shutdown()
+{
+    std::lock_guard<std::mutex> lock(m);
+    stopped = true;
+    cv.notify_all();
+}
+
+void
+OperatorStock::setWaitTimeout(std::chrono::milliseconds timeout)
+{
+    std::lock_guard<std::mutex> lock(m);
+    waitTimeout = timeout;
+}
+
+} // namespace ironman::svc

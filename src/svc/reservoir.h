@@ -40,6 +40,26 @@ class Reservoir
     {
         size_t lowWaterBatches = 1; ///< refill below this many extensions
         size_t maxBatches = 2;      ///< stop refilling at this stock
+
+        /**
+         * Watermarks sized from a consumer's known per-request demand
+         * (e.g. ppml::MlpModelSpec::cotsPerImage() * batch): keep at
+         * least one whole request's worth of stock ahead plus one
+         * batch of slack, capped so one session never hoards.
+         */
+        static Options
+        sizedFor(uint64_t cots_per_request,
+                 size_t usable_ots_per_extension)
+        {
+            const uint64_t need =
+                (cots_per_request + usable_ots_per_extension - 1) /
+                usable_ots_per_extension;
+            Options o;
+            o.lowWaterBatches =
+                size_t(need < 1 ? 1 : (need > 8 ? 8 : need));
+            o.maxBatches = 2 * o.lowWaterBatches;
+            return o;
+        }
     };
 
     /**

@@ -1,56 +1,19 @@
 #include "svc/wire.h"
 
 #include "common/rng.h"
+#include "net/codec.h"
 #include "ot/base_cot.h"
 
 namespace ironman::svc {
 
+using net::getU16;
+using net::getU32;
+using net::getU64;
+using net::putU16;
+using net::putU32;
+using net::putU64;
+
 namespace {
-
-void
-putU16(uint8_t *p, uint16_t v)
-{
-    p[0] = uint8_t(v);
-    p[1] = uint8_t(v >> 8);
-}
-
-void
-putU32(uint8_t *p, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        p[i] = uint8_t(v >> (8 * i));
-}
-
-void
-putU64(uint8_t *p, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        p[i] = uint8_t(v >> (8 * i));
-}
-
-uint16_t
-getU16(const uint8_t *p)
-{
-    return uint16_t(p[0]) | uint16_t(p[1]) << 8;
-}
-
-uint32_t
-getU32(const uint8_t *p)
-{
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= uint32_t(p[i]) << (8 * i);
-    return v;
-}
-
-uint64_t
-getU64(const uint8_t *p)
-{
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= uint64_t(p[i]) << (8 * i);
-    return v;
-}
 
 // magic(4) version(2) role(1) prg(1) seed(8) n(8) k(8) t(8)
 // lpnSeed(8) arity(4) lpnWeight(4)
@@ -64,6 +27,41 @@ const char *
 roleName(Role r)
 {
     return r == Role::Sender ? "sender" : "receiver";
+}
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok: return "ok";
+      case Status::BadMagic: return "bad magic";
+      case Status::BadVersion: return "bad version";
+      case Status::BadParams: return "bad params";
+      case Status::ParamsNotAllowed: return "params not allowed";
+      case Status::SessionQuota: return "session quota exceeded";
+      case Status::ByteQuota: return "byte quota exceeded";
+    }
+    return "?";
+}
+
+bool
+wireParamsValid(const WireParams &w)
+{
+    // Untrusted input: beyond shape sanity, bound the sizes (a rogue
+    // n would otherwise size multi-TB workspaces or overflow the
+    // derived geometry) and require self-consistency so no downstream
+    // IRONMAN_CHECK — which aborts, not throws — can fire on a hostile
+    // hello. 2^26 comfortably covers every paper set (max 2^24).
+    constexpr uint64_t kMaxN = uint64_t(1) << 26;
+    if (w.n == 0 || w.n > kMaxN || w.k < 2 || w.k >= w.n || w.t == 0 ||
+        w.t > w.n || w.arity < 2 || w.arity > 16 || w.lpnWeight == 0 ||
+        w.lpnWeight > 12 ||
+        w.prg > uint8_t(crypto::PrgKind::ChaCha20))
+        return false;
+    const ot::FerretParams p = w.toFerretParams();
+    // One extension must hand out at least one COT after re-reserving
+    // its own bootstrap material.
+    return p.reservedCots() < p.n;
 }
 
 WireParams
@@ -151,22 +149,7 @@ recvHello(net::Channel &ch, Hello *out)
     p += 4;
     out->params.lpnWeight = getU32(p);
 
-    // Untrusted input: beyond shape sanity, bound the sizes (a rogue
-    // n would otherwise size multi-TB workspaces or overflow the
-    // derived geometry) and require self-consistency so no downstream
-    // IRONMAN_CHECK — which aborts, not throws — can fire on a hostile
-    // hello. 2^26 comfortably covers every paper set (max 2^24).
-    constexpr uint64_t kMaxN = uint64_t(1) << 26;
-    const WireParams &w = out->params;
-    if (w.n == 0 || w.n > kMaxN || w.k < 2 || w.k >= w.n || w.t == 0 ||
-        w.t > w.n || w.arity < 2 || w.arity > 16 || w.lpnWeight == 0 ||
-        w.lpnWeight > 12 ||
-        w.prg > uint8_t(crypto::PrgKind::ChaCha20))
-        return Status::BadParams;
-    const ot::FerretParams p2 = w.toFerretParams();
-    // One extension must hand out at least one COT after re-reserving
-    // its own bootstrap material.
-    if (p2.reservedCots() >= p2.n)
+    if (!wireParamsValid(out->params))
         return Status::BadParams;
     return Status::Ok;
 }

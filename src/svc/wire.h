@@ -68,7 +68,15 @@ enum class Status : uint8_t
     BadMagic = 1,
     BadVersion = 2,
     BadParams = 3,
+    /** Params are well-formed but not on the server's allowlist. */
+    ParamsNotAllowed = 4,
+    /** This client address exhausted its session quota. */
+    SessionQuota = 5,
+    /** This client address exhausted its served-bytes quota. */
+    ByteQuota = 6,
 };
+
+const char *statusName(Status s);
 
 /** FerretParams as explicit wire fields (name is derived, not sent). */
 struct WireParams
@@ -84,6 +92,15 @@ struct WireParams
     static WireParams of(const ot::FerretParams &p);
     ot::FerretParams toFerretParams() const;
 };
+
+/**
+ * Structural sanity of untrusted wire params: bounded sizes,
+ * self-consistent shape, and at least one usable COT per extension —
+ * everything a hostile hello could use to abort or mis-size the
+ * server. Shared by the COT-service handshake and the inference
+ * handshake (infer/wire.h).
+ */
+bool wireParamsValid(const WireParams &w);
 
 /** Client's opening message. */
 struct Hello

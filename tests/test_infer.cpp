@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Inference-service tests (src/infer + the operator-stock half of
+ * src/svc):
+ *
+ *  - infer wire handshake round trips and rejects structurally bad
+ *    hellos (magic, model, width, batch, params, session ids);
+ *  - THE acceptance criterion: served inference over loopback TCP
+ *    reconstructs outputs BIT-IDENTICAL to the in-process
+ *    MlpRunner/FerretCotEngine path (ppml::runLocalMlpInference) for
+ *    2 model-zoo networks x 2 bitwidths each, with BOTH supply kinds
+ *    (per-session FerretCotEngine and reservoir-fed via the attached
+ *    COT service) — and within the truncation bound of the plaintext
+ *    reference;
+ *  - concurrent sessions of mixed supply kinds all reconstruct
+ *    correctly;
+ *  - invariant 13 (DESIGN.md): serving a second wave of reservoir-fed
+ *    sessions constructs no new OT engines — the COT service's warm
+ *    pool covers session churn.
+ *
+ * The whole file runs over real sockets where it matters; it is also
+ * part of the CI TSan target (server threads + reservoir refill
+ * threads + operator-stock handoff).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "infer/infer_client.h"
+#include "infer/infer_server.h"
+#include "infer/wire.h"
+#include "net/channel.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/model_zoo.h"
+#include "svc/cot_server.h"
+#include "svc/operator_stock.h"
+
+namespace ironman::infer {
+namespace {
+
+using ppml::MlpModelSpec;
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(InferWireTest, HelloAcceptRoundTrip)
+{
+    net::MemoryDuplex duplex;
+    InferHello h;
+    h.supply = SupplyKind::Reservoir;
+    h.modelId = ppml::inferenceZoo().front().id;
+    h.width = 32;
+    h.batch = 7;
+    h.setupSeed = 0x1234;
+    h.sendSessionId = 11;
+    h.recvSessionId = 12;
+    sendInferHello(duplex.a(), h);
+
+    InferHello got;
+    ASSERT_EQ(recvInferHello(duplex.b(), &got), InferStatus::Ok);
+    EXPECT_EQ(got.supply, h.supply);
+    EXPECT_EQ(got.modelId, h.modelId);
+    EXPECT_EQ(got.width, h.width);
+    EXPECT_EQ(got.batch, h.batch);
+    EXPECT_EQ(got.sendSessionId, h.sendSessionId);
+    EXPECT_EQ(got.recvSessionId, h.recvSessionId);
+
+    sendInferAccept(duplex.b(), InferAccept{InferStatus::Ok, 99});
+    const InferAccept a = recvInferAccept(duplex.a());
+    EXPECT_EQ(a.status, InferStatus::Ok);
+    EXPECT_EQ(a.sessionId, 99u);
+}
+
+TEST(InferWireTest, RejectsStructurallyBadHellos)
+{
+    auto reject = [](auto mutate, InferStatus expect) {
+        net::MemoryDuplex duplex;
+        InferHello h;
+        h.modelId = ppml::inferenceZoo().front().id;
+        h.width = 32;
+        h.batch = 1;
+        h.supply = SupplyKind::Engine;
+        h.params = svc::WireParams::of(ot::tinyTestParams());
+        mutate(h);
+        sendInferHello(duplex.a(), h);
+        InferHello got;
+        EXPECT_EQ(recvInferHello(duplex.b(), &got), expect);
+    };
+    reject([](InferHello &h) { h.modelId = 0xdead; },
+           InferStatus::BadModel);
+    reject([](InferHello &h) { h.width = 8; }, InferStatus::BadWidth);
+    reject([](InferHello &h) { h.width = 63; }, InferStatus::BadWidth);
+    reject([](InferHello &h) { h.batch = 0; }, InferStatus::BadBatch);
+    reject([](InferHello &h) { h.params.k = h.params.n; },
+           InferStatus::BadParams);
+    reject(
+        [](InferHello &h) {
+            h.supply = SupplyKind::Reservoir;
+            h.sendSessionId = 0;
+        },
+        InferStatus::BadSupply);
+    reject(
+        [](InferHello &h) {
+            h.supply = SupplyKind::Reservoir;
+            h.sendSessionId = h.recvSessionId = 5;
+        },
+        InferStatus::BadSupply);
+    {
+        // Bad magic: enough junk bytes for one whole hello.
+        net::MemoryDuplex duplex;
+        uint8_t junk[128] = {9, 9, 9, 9};
+        duplex.a().sendBytes(junk, sizeof(junk));
+        InferHello got;
+        EXPECT_EQ(recvInferHello(duplex.b(), &got),
+                  InferStatus::BadMagic);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Served inference == in-process inference, bit for bit
+// ---------------------------------------------------------------------------
+
+/** The model x width grid the acceptance criterion names. */
+struct GridPoint
+{
+    const char *model;
+    unsigned width;
+};
+constexpr GridPoint kGrid[] = {
+    {"mlp-16x8x4", 24},
+    {"mlp-16x8x4", 32},
+    {"mlp-12x6x3", 16},
+    {"mlp-12x6x3", 32},
+};
+
+constexpr uint64_t kShareSeed = 0x517a9e;
+constexpr uint64_t kSetupSeed = 777;
+constexpr int kRequests = 2;
+constexpr uint32_t kBatch = 3;
+
+std::vector<std::vector<int64_t>>
+gridRequests(const MlpModelSpec &spec)
+{
+    std::vector<std::vector<int64_t>> reqs;
+    for (int r = 0; r < kRequests; ++r)
+        reqs.push_back(
+            ppml::sampleMlpInput(spec, 9000 + r, kBatch));
+    return reqs;
+}
+
+void
+expectServedMatchesLocal(InferClient &client, const MlpModelSpec &spec,
+                         unsigned width)
+{
+    const std::vector<std::vector<int64_t>> reqs = gridRequests(spec);
+    const ppml::LocalMlpResult local = ppml::runLocalMlpInference(
+        spec, width, reqs, kShareSeed, kSetupSeed,
+        ot::tinyTestParams());
+    const int64_t bound = ppml::mlpTruncationErrorBound(spec);
+
+    for (int r = 0; r < kRequests; ++r) {
+        const std::vector<int64_t> served = client.infer(reqs[r]);
+        // Bit-identity with the in-process path: the GMW shares are
+        // deterministic given the input shares, so supply kind and
+        // transport must not change a single output bit.
+        ASSERT_EQ(served, local.outputs[r])
+            << spec.name << " w" << width << " request " << r;
+        // And sanity against plaintext, within the truncation bound.
+        const std::vector<int64_t> plain =
+            ppml::mlpPlainForward(spec, reqs[r]);
+        ASSERT_EQ(served.size(), plain.size());
+        for (size_t i = 0; i < served.size(); ++i)
+            ASSERT_LE(std::llabs(served[i] - plain[i]), bound)
+                << spec.name << " w" << width << " output " << i;
+    }
+}
+
+TEST(InferServiceTest, EngineSupplyBitIdenticalToLocal)
+{
+    InferServer server;
+    const uint16_t port = server.listenTcp(0);
+
+    for (const GridPoint &g : kGrid) {
+        const MlpModelSpec &spec = *ppml::findMlpModel(g.model);
+        InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = g.width;
+        opt.batch = kBatch;
+        opt.supply = SupplyKind::Engine;
+        opt.setupSeed = kSetupSeed;
+        opt.shareSeed = kShareSeed;
+        auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+        expectServedMatchesLocal(*client, spec, g.width);
+        EXPECT_EQ(client->requestsRun(), uint64_t(kRequests));
+        EXPECT_GT(client->cotsConsumed(), 0u);
+        client->close();
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsServed(),
+              sizeof(kGrid) / sizeof(kGrid[0]));
+    EXPECT_EQ(server.imagesServed(),
+              uint64_t(kRequests) * kBatch *
+                  (sizeof(kGrid) / sizeof(kGrid[0])));
+}
+
+TEST(InferServiceTest, ReservoirSupplyBitIdenticalToLocal)
+{
+    svc::OperatorStock stock; // outlives both servers
+    svc::CotServer cot;
+    stock.attach(cot);
+    const uint16_t cot_port = cot.listenTcp(0);
+
+    InferServer server;
+    server.attachOperatorStock(stock);
+    const uint16_t port = server.listenTcp(0);
+
+    for (const GridPoint &g : kGrid) {
+        const MlpModelSpec &spec = *ppml::findMlpModel(g.model);
+        InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = g.width;
+        opt.batch = kBatch;
+        opt.setupSeed = kSetupSeed + g.width; // distinct COT sessions
+        opt.shareSeed = kShareSeed;
+        auto client = InferClient::connectTcpReservoir(
+            "127.0.0.1", port, "127.0.0.1", cot_port, opt);
+        EXPECT_EQ(client->supply(), SupplyKind::Reservoir);
+        expectServedMatchesLocal(*client, spec, g.width);
+        EXPECT_GT(client->preprocBytesSent(), 0u);
+        client->close();
+    }
+    server.stop();
+    cot.stop();
+    EXPECT_EQ(server.sessionsServed(),
+              sizeof(kGrid) / sizeof(kGrid[0]));
+}
+
+TEST(InferServiceTest, ConcurrentMixedSupplySessions)
+{
+    svc::OperatorStock stock;
+    svc::CotServer cot;
+    stock.attach(cot);
+    const uint16_t cot_port = cot.listenTcp(0);
+
+    InferServer server;
+    server.attachOperatorStock(stock);
+    const uint16_t port = server.listenTcp(0);
+
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+    constexpr int kClients = 4;
+    std::vector<std::thread> clients;
+    std::vector<int> ok(kClients, 0); // int, not bool: bit-packing races
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i] {
+            InferClient::Options opt;
+            opt.modelId = spec.id;
+            opt.width = 32;
+            opt.batch = 2;
+            opt.setupSeed = 4000 + i;
+            opt.shareSeed = 5000 + i;
+            auto client =
+                i % 2 == 0
+                    ? InferClient::connectTcp("127.0.0.1", port, opt)
+                    : InferClient::connectTcpReservoir(
+                          "127.0.0.1", port, "127.0.0.1", cot_port,
+                          opt);
+            const std::vector<int64_t> input =
+                ppml::sampleMlpInput(spec, 6000 + i, 2);
+            const std::vector<int64_t> served = client->infer(input);
+            const std::vector<int64_t> plain =
+                ppml::mlpPlainForward(spec, input);
+            const int64_t bound = ppml::mlpTruncationErrorBound(spec);
+            bool all = served.size() == plain.size();
+            for (size_t j = 0; all && j < served.size(); ++j)
+                all = std::llabs(served[j] - plain[j]) <= bound;
+            ok[i] = all;
+            client->close();
+        });
+    for (auto &th : clients)
+        th.join();
+    for (int i = 0; i < kClients; ++i)
+        EXPECT_TRUE(ok[i]) << "client " << i;
+    server.stop();
+    cot.stop();
+    EXPECT_EQ(server.sessionsServed(), uint64_t(kClients));
+}
+
+// ---------------------------------------------------------------------------
+// Server policy + operator-stock robustness
+// ---------------------------------------------------------------------------
+
+TEST(InferServiceTest, EngineParamsAllowlistRejectsUnlisted)
+{
+    InferServer::Config cfg;
+    cfg.engineParamsAllowlist = {ot::tinyAlignedParams()};
+    InferServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    InferClient::Options opt;
+    opt.modelId = ppml::inferenceZoo().front().id;
+    opt.params = ot::tinyTestParams(); // valid but unlisted
+    try {
+        auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+        FAIL() << "unlisted engine params must be rejected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("params not allowed"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    opt.params = ot::tinyAlignedParams();
+    auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+    (void)client->infer(ppml::sampleMlpInput(
+        *ppml::findMlpModel(opt.modelId), 1, 1));
+    client->close();
+    server.stop();
+    EXPECT_EQ(server.sessionsServed(), 1u);
+    EXPECT_EQ(server.sessionsRejected(), 1u);
+}
+
+TEST(OperatorStockTest, TakeTimesOutOnDeadProducer)
+{
+    // A session id nobody stocks (dead client / bogus hello): the
+    // take must expire and throw instead of pinning its session slot
+    // until shutdown — and the probe must leave no map residue
+    // (takes use find(), only the sinks materialize entries).
+    svc::OperatorStock stock;
+    stock.setWaitTimeout(std::chrono::milliseconds(50));
+    BitVec bits;
+    std::vector<Block> blocks;
+    Block delta;
+    EXPECT_THROW(stock.takeRecv(424242, 10, &bits, &blocks),
+                 std::runtime_error);
+    EXPECT_THROW(stock.takeSend(424243, 10, &blocks, &delta),
+                 std::runtime_error);
+    EXPECT_EQ(stock.stock(424242), 0u);
+    EXPECT_EQ(stock.stock(424243), 0u);
+}
+
+TEST(InferServiceTest, ForeignOrBogusCotSessionsRejectedAtHandshake)
+{
+    svc::OperatorStock stock;
+    svc::CotServer cot;
+    stock.attach(cot);
+    const uint16_t cot_port = cot.listenTcp(0);
+    InferServer server;
+    server.attachOperatorStock(stock);
+    const uint16_t port = server.listenTcp(0);
+
+    // Reservoir hello naming sessions that do not exist: a clean
+    // wire-level reject, not a stock-wait timeout.
+    auto ch = net::tcpConnect("127.0.0.1", port);
+    InferHello h;
+    h.supply = SupplyKind::Reservoir;
+    h.modelId = ppml::inferenceZoo().front().id;
+    h.width = 32;
+    h.batch = 1;
+    h.sendSessionId = 999998;
+    h.recvSessionId = 999999;
+    sendInferHello(*ch, h);
+    ch->flush();
+    EXPECT_EQ(recvInferAccept(*ch).status,
+              InferStatus::ForeignSession);
+    ch.reset();
+
+    // Live sids of the right owner still admit (the whole reservoir
+    // grid exercises this; here just confirm the counter).
+    (void)cot_port;
+    server.stop();
+    cot.stop();
+    EXPECT_EQ(server.sessionsRejected(), 1u);
+}
+
+TEST(OperatorStockTest, SessionEndFreesUnclaimedResidue)
+{
+    // A COT session nobody's inference session ever consumes (e.g. a
+    // rejected hello, or a client that died before its hello) banks
+    // stock; the CotServer's session-end sink must erase it the
+    // moment the COT session closes.
+    svc::OperatorStock stock;
+    svc::CotServer cot;
+    stock.attach(cot);
+    const uint16_t port = cot.listenTcp(0);
+
+    svc::CotClient::Options opt;
+    opt.setupSeed = 9911;
+    auto client = svc::CotClient::connectTcp(
+        "127.0.0.1", port, ot::tinyTestParams(), opt);
+    const uint64_t sid = client->sessionId();
+    BitVec c;
+    std::vector<Block> t(client->usableOts());
+    client->extendRecv(c, t.data());
+    // The sink runs on the session thread after its extendInto.
+    for (int spin = 0; spin < 2000 && stock.stock(sid) == 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(stock.stock(sid), 0u); // banked, unclaimed
+    client->close();
+
+    for (int spin = 0; spin < 2000 && stock.stock(sid) > 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(stock.stock(sid), 0u);
+    cot.stop();
+}
+
+TEST(OperatorStockTest, ShutdownWakesBlockedTaker)
+{
+    svc::OperatorStock stock;
+    stock.setWaitTimeout(std::chrono::minutes(1));
+    std::thread taker([&] {
+        BitVec bits;
+        std::vector<Block> blocks;
+        EXPECT_THROW(stock.takeRecv(7, 10, &bits, &blocks),
+                     std::runtime_error);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stock.shutdown();
+    taker.join();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 13: warm session churn builds no new engines
+// ---------------------------------------------------------------------------
+
+TEST(InferServiceTest, ReservoirSessionChurnReusesWarmEngines)
+{
+    svc::OperatorStock stock;
+    svc::CotServer cot;
+    stock.attach(cot);
+    const uint16_t cot_port = cot.listenTcp(0);
+
+    InferServer server;
+    server.attachOperatorStock(stock);
+    const uint16_t port = server.listenTcp(0);
+
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-12x6x3");
+    // A session's engine returns to the pool when its (asynchronous)
+    // server-side epilogue runs; the next wave may only start once the
+    // previous wave's COT sessions fully unwound, or it correctly
+    // checks out FRESH engines alongside the still-leased ones.
+    auto drain = [&](uint64_t expect_cot_sessions) {
+        for (int spin = 0; spin < 5000; ++spin) {
+            if (cot.sessionsServed() >= expect_cot_sessions &&
+                cot.activeSessions() == 0)
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    };
+    auto run_session = [&](uint64_t seed) {
+        InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = 16;
+        opt.batch = 1;
+        opt.setupSeed = seed;
+        auto client = InferClient::connectTcpReservoir(
+            "127.0.0.1", port, "127.0.0.1", cot_port, opt);
+        (void)client->infer(ppml::sampleMlpInput(spec, seed, 1));
+        client->close();
+    };
+
+    run_session(8101); // wave 1: engines constructed + prewarmed
+    drain(2);
+    const uint64_t engines_after_wave1 =
+        cot.pool().sendersCreated() + cot.pool().receiversCreated();
+    EXPECT_GE(engines_after_wave1, 2u); // one per role at least
+
+    run_session(8202);
+    drain(4);
+    run_session(8303);
+    drain(6);
+    EXPECT_EQ(cot.pool().sendersCreated() +
+                  cot.pool().receiversCreated(),
+              engines_after_wave1)
+        << "invariant 13: later inference sessions must reuse warm "
+           "engines, not construct";
+    EXPECT_EQ(server.sessionsServed(), 3u);
+
+    server.stop();
+    cot.stop();
+}
+
+} // namespace
+} // namespace ironman::infer

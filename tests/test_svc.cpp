@@ -577,6 +577,109 @@ TEST(ReservoirTest, ConcurrentTakersBothComplete)
     server.stop();
 }
 
+// ---------------------------------------------------------------------------
+// Handshake policy: params allowlist + per-client quotas
+// ---------------------------------------------------------------------------
+
+TEST(CotServicePolicyTest, AllowlistRejectsUnlistedParams)
+{
+    CotServer::Config cfg;
+    cfg.paramsAllowlist = {ot::tinyAlignedParams()};
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    // Structurally valid but unlisted: clean wire-level reject.
+    CotClient::Options opt;
+    opt.setupSeed = 1111;
+    try {
+        auto client = CotClient::connectTcp("127.0.0.1", port,
+                                            ot::tinyTestParams(), opt);
+        FAIL() << "unlisted params must be rejected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("params not allowed"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // The listed shape still serves.
+    auto client = CotClient::connectTcp("127.0.0.1", port,
+                                        ot::tinyAlignedParams(), opt);
+    BitVec c;
+    std::vector<Block> t(client->usableOts());
+    client->extendRecv(c, t.data());
+    client->close();
+    server.stop();
+    EXPECT_EQ(server.sessionsServed(), 1u);
+    EXPECT_EQ(server.sessionsRejected(), 1u);
+}
+
+TEST(CotServicePolicyTest, SessionQuotaRejectsAtHandshake)
+{
+    CotServer::Config cfg;
+    cfg.maxSessionsPerClient = 2;
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+    const FerretParams p = ot::tinyTestParams();
+
+    for (uint64_t i = 0; i < 2; ++i) {
+        CotClient::Options opt;
+        opt.setupSeed = 2200 + i;
+        auto client = CotClient::connectTcp("127.0.0.1", port, p, opt);
+        client->close();
+    }
+    waitForSessions(server, 2);
+
+    CotClient::Options opt;
+    opt.setupSeed = 2299;
+    try {
+        auto client = CotClient::connectTcp("127.0.0.1", port, p, opt);
+        FAIL() << "third session from one address must be rejected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("session quota"),
+                  std::string::npos)
+            << e.what();
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsServed(), 2u);
+    EXPECT_EQ(server.sessionsRejected(), 1u);
+}
+
+TEST(CotServicePolicyTest, ByteQuotaRejectsAtHandshake)
+{
+    CotServer::Config cfg;
+    cfg.maxBytesPerClient = 1; // any served session exhausts it
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+    const FerretParams p = ot::tinyTestParams();
+
+    // First session admitted (no bytes on the tally yet) and served.
+    {
+        CotClient::Options opt;
+        opt.setupSeed = 3300;
+        auto client = CotClient::connectTcp("127.0.0.1", port, p, opt);
+        BitVec c;
+        std::vector<Block> t(client->usableOts());
+        client->extendRecv(c, t.data());
+        client->close();
+    }
+    waitForSessions(server, 1);
+    EXPECT_GT(server.bytesServedTo("127.0.0.1"), 1u);
+
+    // Tally now exceeds the quota: the next hello is rejected.
+    CotClient::Options opt;
+    opt.setupSeed = 3301;
+    try {
+        auto client = CotClient::connectTcp("127.0.0.1", port, p, opt);
+        FAIL() << "byte quota must reject the second session";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("byte quota"),
+                  std::string::npos)
+            << e.what();
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsRejected(), 1u);
+}
+
 TEST(ReservoirTest, DualDirectionSupplyPairsBothWays)
 {
     const FerretParams p = ot::tinyTestParams();
