@@ -7,6 +7,8 @@
  *   ./infer_client --tcp 127.0.0.1:17617 --cot-tcp 127.0.0.1:17618
  *   ./infer_client --tcp 127.0.0.1:17617 --supply engine
  *   ./infer_client --model mlp-32x16x10 --width 24 --images 8
+ *   ./infer_client --tcp ... --cot-tcp ... --depth 8   # pipelined
+ *   ./infer_client --tcp ... --cot-tcp ... --unpacked  # PR 5 wire
  *
  * Default supply is the reservoir: the client opens two sessions of
  * opposite roles on the server's COT service and stocks them in the
@@ -89,13 +91,17 @@ main(int argc, char **argv)
             const std::string s = next();
             opt.supply = s == "engine" ? infer::SupplyKind::Engine
                                        : infer::SupplyKind::Reservoir;
+        } else if (arg == "--depth") {
+            opt.depth = uint16_t(std::atoi(next()));
+        } else if (arg == "--unpacked") {
+            opt.packedWire = false;
         } else {
             std::fprintf(
                 stderr,
                 "usage: infer_client --tcp HOST:PORT "
                 "[--cot-tcp HOST:PORT] [--model NAME] [--width W] "
                 "[--batch B] [--images N] [--supply engine|reservoir] "
-                "[--seed S]\n");
+                "[--depth D] [--unpacked] [--seed S]\n");
             return 2;
         }
     }
@@ -130,31 +136,49 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("infer_client: session %llu, %s, width %u, batch %u, "
-                "supply %s (%llu COTs/image/direction)\n",
+                "supply %s, depth %u, %s wire "
+                "(%llu COTs/image/direction)\n",
                 (unsigned long long)client->sessionId(),
                 spec->name.c_str(), opt.width, opt.batch,
                 supplyKindName(client->supply()),
+                client->negotiatedDepth(),
+                client->packedWire() ? "packed" : "unpacked",
                 (unsigned long long)spec->cotsPerImage(opt.width));
 
     const int64_t bound = ppml::mlpTruncationErrorBound(*spec);
-    unsigned done = 0, ok = 0;
+    std::vector<std::vector<int64_t>> inputs;
+    for (unsigned r = 0; r * opt.batch < images; ++r)
+        inputs.push_back(
+            ppml::sampleMlpInput(*spec, 100 + r, opt.batch));
+
+    unsigned ok = 0;
     Timer timer;
-    for (unsigned r = 0; done < images; ++r) {
-        const std::vector<int64_t> input =
-            ppml::sampleMlpInput(*spec, 100 + r, opt.batch);
-        const std::vector<int64_t> out = client->infer(input);
+    // Issue/drain halves: with --depth > 1 the client keeps that many
+    // requests in flight and commits them as one joint evaluation.
+    for (const auto &input : inputs)
+        client->submit(input);
+    const auto results = client->drain();
+    const double secs = timer.seconds();
+
+    const unsigned done = unsigned(inputs.size()) * opt.batch;
+    for (size_t r = 0; r < results.size(); ++r) {
+        const std::vector<int64_t> &out = results[r].outputs;
         const std::vector<int64_t> plain =
-            ppml::mlpPlainForward(*spec, input);
+            ppml::mlpPlainForward(*spec, inputs[r]);
         for (size_t i = 0; i < out.size(); ++i)
             ok += std::llabs(out[i] - plain[i]) <= bound;
-        done += opt.batch;
         if (r == 0)
             for (unsigned i = 0; i < spec->outputDim(); ++i)
                 std::printf("  y[%u] secure %lld plain %lld\n", i,
                             (long long)out[i], (long long)plain[i]);
     }
-    const double secs = timer.seconds();
-    const size_t outputs = done * spec->outputDim();
+    const size_t outputs = size_t(done) * spec->outputDim();
+
+    std::printf("per-layer online cost (last commit, party-0 view):\n");
+    for (const ppml::MlpLayerStat &st : client->layerStats())
+        std::printf("  %-8s | %7zu COTs | %9llu B | %3u rounds\n",
+                    st.label.c_str(), st.cots,
+                    (unsigned long long)st.bytes, st.rounds);
     client->close();
 
     std::printf("infer_client: %u images in %.3f s -> %.1f images/s; "

@@ -1,5 +1,7 @@
 #include "infer/infer_client.h"
 
+#include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -27,6 +29,8 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
 {
     IRONMAN_CHECK(opt_.supply == SupplyKind::Engine,
                   "reservoir supply needs the two-session constructor");
+    if (opt_.simulatedDelayUs > 0)
+        ch->setSimulatedDelay(opt_.simulatedDelayUs);
     handshake();
     // In lockstep with the server's engine construction (it primes
     // one extension per direction interactively).
@@ -34,6 +38,7 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
         *ch, 0, opt_.params, opt_.setupSeed, opt_.threads);
     sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *engine,
                                                opt_.width);
+    sc->setWirePacking(packed_);
     runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
 }
 
@@ -51,12 +56,18 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
                       recvSession->role() == svc::Role::Receiver,
                   "sessions must have opposite roles, sender first");
 
-    // Stock sized from the model's COT estimate: keep one request's
-    // worth of correlations ahead per direction.
-    const uint64_t per_request =
-        spec_.cotsPerImage(opt_.width) * opt_.batch;
+    if (opt_.simulatedDelayUs > 0)
+        ch->setSimulatedDelay(opt_.simulatedDelayUs);
+
+    // Stock sized from the model's COT estimate: keep one commit
+    // group's worth of correlations ahead per direction. Sized from
+    // the REQUESTED depth — the server may clamp lower, which only
+    // leaves the stock oversized, never starved.
+    const uint64_t group = opt_.depth > 0 ? opt_.depth : 1;
+    const uint64_t per_commit =
+        spec_.cotsPerImage(opt_.width) * opt_.batch * group;
     const svc::Reservoir::Options res_opt =
-        svc::Reservoir::Options::sizedFor(per_request,
+        svc::Reservoir::Options::sizedFor(per_commit,
                                           sendSession->usableOts());
     sendRes = std::make_unique<svc::Reservoir>(*sendSession, res_opt);
     recvRes = std::make_unique<svc::Reservoir>(*recvSession, res_opt);
@@ -66,6 +77,7 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
     handshake();
     sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *reservoirSupply,
                                                opt_.width);
+    sc->setWirePacking(packed_);
     runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
 }
 
@@ -82,11 +94,14 @@ InferClient::handshake()
             std::to_string(spec_.minWidth) + ", " +
             std::to_string(spec_.maxWidth) + "]");
     InferHello h;
+    h.version = opt_.wireVersion;
     h.supply = opt_.supply;
     h.modelId = opt_.modelId;
     h.width = uint8_t(opt_.width);
     h.batch = opt_.batch;
     h.setupSeed = opt_.setupSeed;
+    h.depth = opt_.depth > 0 ? opt_.depth : uint16_t(1);
+    h.flags = opt_.packedWire ? kInferFlagPackedWire : uint16_t(0);
     if (opt_.supply == SupplyKind::Reservoir) {
         h.sendSessionId = sendSession->sessionId();
         h.recvSessionId = recvSession->sessionId();
@@ -100,6 +115,15 @@ InferClient::handshake()
             std::string("InferClient: server rejected hello: ") +
             inferStatusName(a.status));
     sid = a.sessionId;
+    // Adopt the server's negotiation (it only ever clamps); a v1
+    // dialect pins the PR 5 wire regardless of what we asked for.
+    if (opt_.wireVersion >= 2) {
+        depth_ = a.depth > 0 ? a.depth : uint16_t(1);
+        packed_ = (a.flags & kInferFlagPackedWire) != 0;
+    } else {
+        depth_ = 1;
+        packed_ = false;
+    }
 }
 
 std::unique_ptr<InferClient>
@@ -142,21 +166,102 @@ InferClient::~InferClient()
 std::vector<int64_t>
 InferClient::infer(const std::vector<int64_t> &inputs)
 {
-    IRONMAN_CHECK(!closed, "infer() on a closed session");
+    IRONMAN_CHECK(pendingTags.empty() && ready.empty(),
+                  "infer() with pipelined submissions outstanding; use "
+                  "collect()/drain()");
+    submit(inputs);
+    return collect().outputs;
+}
+
+uint32_t
+InferClient::submit(const std::vector<int64_t> &inputs)
+{
+    IRONMAN_CHECK(!closed, "submit() on a closed session");
     IRONMAN_CHECK(inputs.size() ==
                       size_t(opt_.batch) * spec_.inputDim(),
                   "inputs are batch * inputDim values");
 
+    const uint32_t tag = nextTag++;
     ppml::shareMlpValues(shareRng, opt_.width, inputs, &x0, &x1);
+
+    if (opt_.wireVersion < 2) {
+        // PR 5 dialect: evaluate immediately, park the result so the
+        // issue/drain call shape works against a v1 session too.
+        sendInferOp(*ch, InferOp::Infer);
+        sendShareVector(*ch, x1.data(), x1.size());
+        const std::vector<uint64_t> y0 = runner->forward(*sc, *ch, x0);
+        y1.resize(size_t(opt_.batch) * spec_.outputDim());
+        recvShareVector(*ch, y1.data(), y1.size());
+        ++requests;
+        ready.push_back(
+            {tag, ppml::reconstructMlpValues(opt_.width, y0, y1)});
+        return tag;
+    }
+
     sendInferOp(*ch, InferOp::Infer);
-    sendShareVector(*ch, x1.data(), x1.size());
+    sendInferTag(*ch, tag);
+    if (packed_)
+        sendShareVectorPacked(*ch, x1.data(), x1.size(), opt_.width);
+    else
+        sendShareVector(*ch, x1.data(), x1.size());
+    pendingTags.push_back(tag);
+    pendingX0.insert(pendingX0.end(), x0.begin(), x0.end());
+    if (pendingTags.size() >= depth_)
+        commitPending();
+    return tag;
+}
 
-    const std::vector<uint64_t> y0 = runner->forward(*sc, *ch, x0);
+void
+InferClient::commitPending()
+{
+    if (pendingTags.empty())
+        return;
+    sendInferOp(*ch, InferOp::Commit);
+    // One joint forward over the whole group: effective batch is
+    // pending * batch, so the DReLU round chain is paid once. The
+    // server makes the exact mirror call.
+    const std::vector<uint64_t> y0cat =
+        runner->forward(*sc, *ch, pendingX0);
+    const size_t req_out = size_t(opt_.batch) * spec_.outputDim();
+    y1.resize(req_out);
+    std::vector<uint64_t> y0(req_out);
+    for (size_t r = 0; r < pendingTags.size(); ++r) {
+        const uint32_t tag = recvInferTag(*ch);
+        IRONMAN_CHECK(tag == pendingTags[r],
+                      "response tags must follow submission order");
+        if (packed_)
+            recvShareVectorPacked(*ch, y1.data(), req_out, opt_.width);
+        else
+            recvShareVector(*ch, y1.data(), req_out);
+        std::copy(y0cat.begin() + r * req_out,
+                  y0cat.begin() + (r + 1) * req_out, y0.begin());
+        ready.push_back(
+            {tag, ppml::reconstructMlpValues(opt_.width, y0, y1)});
+    }
+    requests += pendingTags.size();
+    pendingTags.clear();
+    pendingX0.clear();
+}
 
-    y1.resize(size_t(opt_.batch) * spec_.outputDim());
-    recvShareVector(*ch, y1.data(), y1.size());
-    ++requests;
-    return ppml::reconstructMlpValues(opt_.width, y0, y1);
+InferClient::Result
+InferClient::collect()
+{
+    if (ready.empty())
+        commitPending();
+    IRONMAN_CHECK(!ready.empty(), "collect() with nothing submitted");
+    Result r = std::move(ready.front());
+    ready.pop_front();
+    return r;
+}
+
+std::vector<InferClient::Result>
+InferClient::drain()
+{
+    commitPending();
+    std::vector<Result> all(std::make_move_iterator(ready.begin()),
+                            std::make_move_iterator(ready.end()));
+    ready.clear();
+    return all;
 }
 
 size_t
@@ -187,6 +292,9 @@ InferClient::close()
 {
     if (closed || !ch)
         return;
+    // The server would drop uncommitted requests at Close; evaluate
+    // them instead so every submit() has a collectible result.
+    commitPending();
     closed = true;
     // Stop stocking before the session goodbyes: a refill racing the
     // server's epilogue would die on a retired stock for nothing.

@@ -8,6 +8,18 @@
  * share, drive the layered GMW evaluation in lockstep over the same
  * socket, receive the server's output share, reconstruct.
  *
+ * v2 adds request-level pipelining: submit() enqueues up to the
+ * negotiated depth of tagged requests WITHOUT waiting for results;
+ * collect()/drain() trigger the joint evaluation (one Commit, one
+ * MlpRunner::forward over the concatenated shares) and reconstruct
+ * the responses in submission order. infer() stays the one-shot
+ * convenience (submit + collect) and is bit-identical to PR 5 for a
+ * depth-1 session. NOTE: a depth-k group is evaluated as ONE forward
+ * with effective batch k * batch, so its shares follow the GROUPED
+ * tweak sequence — bit-identical to runLocalMlpInference over the
+ * concatenated requests, while dense share-local truncation may
+ * differ from k sequential calls within mlpTruncationErrorBound.
+ *
  * Supply kinds (the handshake's SupplyKind):
  *
  *   - Engine: a dual-direction ppml::FerretCotEngine on the inference
@@ -30,6 +42,7 @@
 #define IRONMAN_INFER_INFER_CLIENT_H
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +76,29 @@ class InferClient
         ot::FerretParams params = ot::tinyTestParams();
         /** Engine supply: engine worker width. */
         int threads = 1;
+        /**
+         * Requested in-flight requests per session (v2); the server
+         * clamps to its own bound — read negotiatedDepth() after
+         * construction. submit() auto-commits at the negotiated depth.
+         */
+        uint16_t depth = 1;
+        /** Request width-packed online payloads (v2, default on). */
+        bool packedWire = true;
+        /**
+         * Dialect to speak. kInferWireVersionV1 pins the PR 5 protocol
+         * (depth 1, unpacked, untagged) against any server — the
+         * mixed-version compatibility knob tests exercise.
+         */
+        uint16_t wireVersion = kInferWireVersion;
+        /** Simulated one-way latency on this end (bench harness). */
+        uint64_t simulatedDelayUs = 0;
+    };
+
+    /** One reconstructed response (tags are submit()'s return). */
+    struct Result
+    {
+        uint32_t tag = 0;
+        std::vector<int64_t> outputs;
     };
 
     /**
@@ -109,10 +145,42 @@ class InferClient
      */
     std::vector<int64_t> infer(const std::vector<int64_t> &inputs);
 
+    /**
+     * Pipelined issue half: share @p inputs, ship the server's share
+     * tagged, and return immediately (unless this submission fills the
+     * negotiated depth, which triggers the commit inline). Responses
+     * come back through collect()/drain() in submission order. On a
+     * v1 session this degrades to an immediate infer() whose result
+     * is parked for collect().
+     */
+    uint32_t submit(const std::vector<int64_t> &inputs);
+
+    /**
+     * Drain half: the oldest un-collected response, committing the
+     * pending group first when nothing is ready. It is a bug to call
+     * with no submission outstanding.
+     */
+    Result collect();
+
+    /** Commit and collect everything outstanding, in order. */
+    std::vector<Result> drain();
+
+    /** Submitted but not yet committed requests. */
+    size_t inFlight() const { return pendingTags.size(); }
+
     const ppml::MlpModelSpec &model() const { return spec_; }
     unsigned width() const { return opt_.width; }
     uint64_t sessionId() const { return sid; }
     SupplyKind supply() const { return opt_.supply; }
+
+    /** Server-clamped in-flight bound (1 on a v1 session). */
+    uint16_t negotiatedDepth() const { return depth_; }
+
+    /** Whether the session's online payloads travel width-packed. */
+    bool packedWire() const { return packed_; }
+
+    /** Direction changes on the inference channel (2 per round). */
+    uint64_t onlineTurns() const { return ch->turns(); }
 
     uint64_t requestsRun() const { return requests; }
 
@@ -136,12 +204,16 @@ class InferClient
 
   private:
     void handshake();
+    void commitPending();
 
     std::unique_ptr<net::SocketChannel> ch;
     Options opt_;
     ppml::MlpModelSpec spec_;
     uint64_t sid = 0;
     bool closed = false;
+    uint16_t depth_ = 1; ///< negotiated in-flight bound
+    bool packed_ = false; ///< negotiated wire packing
+    uint32_t nextTag = 1;
 
     // Engine supply.
     std::unique_ptr<ppml::FerretCotEngine> engine;
@@ -160,6 +232,13 @@ class InferClient
     uint64_t requests = 0;
 
     std::vector<uint64_t> x0, x1, y1; ///< staging, reused per request
+
+    // Pipelining state: submitted-but-uncommitted requests (tags plus
+    // this party's concatenated input shares) and committed-but-
+    // uncollected responses in submission order.
+    std::vector<uint32_t> pendingTags;
+    std::vector<uint64_t> pendingX0;
+    std::deque<Result> ready;
 };
 
 } // namespace ironman::infer

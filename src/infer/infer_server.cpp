@@ -62,6 +62,8 @@ void
 InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 {
     try {
+        if (cfg_.simulatedDelayUs > 0)
+            ch.setSimulatedDelay(cfg_.simulatedDelayUs);
         InferHello hello;
         InferStatus st = recvInferHello(ch, &hello);
         // Policy on top of the structural checks.
@@ -88,7 +90,22 @@ InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
                 stock_->peerOf(hello.recvSessionId) != peer)
                 st = InferStatus::ForeignSession;
         }
-        sendInferAccept(ch, InferAccept{st, sid});
+        // Negotiate: clamp the requested depth to this server's bound
+        // and echo the honored flags (recvInferHello already dropped
+        // unknown bits). hello carries the NEGOTIATED values from
+        // here on; v1 peers pin depth 1 / unpacked by construction.
+        InferAccept accept;
+        accept.status = st;
+        accept.sessionId = sid;
+        if (hello.version >= 2) {
+            const uint16_t bound =
+                cfg_.maxDepth > 0 ? cfg_.maxDepth : uint16_t(1);
+            if (hello.depth > bound)
+                hello.depth = bound;
+            accept.depth = hello.depth;
+            accept.flags = hello.flags;
+        }
+        sendInferAccept(ch, accept);
         ch.flush();
         if (st == InferStatus::Ok) {
             runSession(ch, sid, hello);
@@ -148,25 +165,83 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
             hello.sendSessionId, hello.recvSessionId};
 
     ppml::SecureCompute sc(ch, 1, *supply, width);
+    const bool packed =
+        hello.version >= 2 && (hello.flags & kInferFlagPackedWire);
+    sc.setWirePacking(packed);
     ppml::MlpRunner runner(spec, width);
 
-    std::vector<uint64_t> x1(size_t(hello.batch) * spec.inputDim());
-    size_t cots_counted = 0;
-    for (;;) {
-        const InferOp op = recvInferOp(ch);
-        if (op != InferOp::Infer)
-            break;
-        recvShareVector(ch, x1.data(), x1.size());
-        const std::vector<uint64_t> y1 = runner.forward(sc, ch, x1);
-        sendShareVector(ch, y1.data(), y1.size());
-        ch.flush();
-        requests.fetch_add(1, std::memory_order_relaxed);
-        images.fetch_add(hello.batch, std::memory_order_relaxed);
-        // Per request, not at Close: an aborted session must not
-        // leave its consumption uncounted next to counted images.
+    const size_t req_in = size_t(hello.batch) * spec.inputDim();
+    const size_t req_out = size_t(hello.batch) * spec.outputDim();
+    auto account = [&, cots_counted = size_t(0)](size_t reqs) mutable {
+        requests.fetch_add(reqs, std::memory_order_relaxed);
+        images.fetch_add(uint64_t(reqs) * hello.batch,
+                         std::memory_order_relaxed);
+        // Per commit, not at Close: an aborted session must not leave
+        // its consumption uncounted next to counted images.
         cots.fetch_add(sc.cotsConsumed() - cots_counted,
                        std::memory_order_relaxed);
         cots_counted = sc.cotsConsumed();
+    };
+
+    if (hello.version < 2) {
+        // PR 5 dialect: one untagged request per round trip.
+        std::vector<uint64_t> x1(req_in);
+        for (;;) {
+            const InferOp op = recvInferOp(ch);
+            if (op != InferOp::Infer)
+                break;
+            recvShareVector(ch, x1.data(), x1.size());
+            const std::vector<uint64_t> y1 =
+                runner.forward(sc, ch, x1);
+            sendShareVector(ch, y1.data(), y1.size());
+            ch.flush();
+            account(1);
+        }
+        (void)sid;
+        return;
+    }
+
+    // v2: tagged requests enqueue up to the negotiated depth; Commit
+    // evaluates the whole group as ONE forward (effective batch =
+    // pending * batch — same lockstep call the client makes), then
+    // answers per request in submission order.
+    std::vector<uint32_t> tags;
+    std::vector<uint64_t> x1cat; // pending inputs, concatenated
+    tags.reserve(hello.depth);
+    x1cat.reserve(size_t(hello.depth) * req_in);
+    for (;;) {
+        const InferOp op = recvInferOp(ch);
+        if (op == InferOp::Infer) {
+            if (tags.size() >= hello.depth)
+                throw std::runtime_error(
+                    "infer session: in-flight depth exceeded");
+            tags.push_back(recvInferTag(ch));
+            x1cat.resize(x1cat.size() + req_in);
+            uint64_t *dst = x1cat.data() + x1cat.size() - req_in;
+            if (packed)
+                recvShareVectorPacked(ch, dst, req_in, width);
+            else
+                recvShareVector(ch, dst, req_in);
+        } else if (op == InferOp::Commit) {
+            if (tags.empty())
+                continue; // nothing in flight: a no-op, not an error
+            const std::vector<uint64_t> y1cat =
+                runner.forward(sc, ch, x1cat);
+            for (size_t r = 0; r < tags.size(); ++r) {
+                sendInferTag(ch, tags[r]);
+                const uint64_t *src = y1cat.data() + r * req_out;
+                if (packed)
+                    sendShareVectorPacked(ch, src, req_out, width);
+                else
+                    sendShareVector(ch, src, req_out);
+            }
+            ch.flush();
+            account(tags.size());
+            tags.clear();
+            x1cat.clear();
+        } else {
+            break;
+        }
     }
     (void)sid;
 }

@@ -1,5 +1,8 @@
 #include "infer/wire.h"
 
+#include <vector>
+
+#include "common/logging.h"
 #include "net/codec.h"
 #include "ppml/model_zoo.h"
 
@@ -14,50 +17,25 @@ using net::putU64;
 
 namespace {
 
-// magic(4) version(2) supply(1) width(1) modelId(4) batch(4)
-// setupSeed(8) sendSid(8) recvSid(8)
+// v1 hello body (after the 6-byte magic+version prefix):
+// supply(1) width(1) modelId(4) batch(4) setupSeed(8) sendSid(8)
+// recvSid(8)
 // params: prg(1) pad(3) n(8) k(8) t(8) lpnSeed(8) arity(4) weight(4)
-constexpr size_t kInferHelloBytes =
-    4 + 2 + 1 + 1 + 4 + 4 + 3 * 8 + (1 + 3 + 4 * 8 + 2 * 4);
-// status(1) pad(7) sessionId(8)
-constexpr size_t kInferAcceptBytes = 1 + 7 + 8;
+constexpr size_t kInferHelloPrefixBytes = 4 + 2;
+constexpr size_t kInferHelloV1BodyBytes =
+    1 + 1 + 4 + 4 + 3 * 8 + (1 + 3 + 4 * 8 + 2 * 4);
+// v2 body appends depth(2) flags(2).
+constexpr size_t kInferHelloV2BodyBytes = kInferHelloV1BodyBytes + 2 + 2;
+// status(1) pad(1) depth(2) flags(2) pad(2) sessionId(8) — depth and
+// flags live in bytes that were pad in v1, so one codec serves both.
+constexpr size_t kInferAcceptBytes = 1 + 1 + 2 + 2 + 2 + 8;
 
-} // namespace
+constexpr uint16_t kKnownFlags = kInferFlagPackedWire;
 
-const char *
-supplyKindName(SupplyKind k)
+size_t
+putHelloBody(uint8_t *p, const InferHello &h)
 {
-    return k == SupplyKind::Engine ? "engine" : "reservoir";
-}
-
-const char *
-inferStatusName(InferStatus s)
-{
-    switch (s) {
-      case InferStatus::Ok: return "ok";
-      case InferStatus::BadMagic: return "bad magic";
-      case InferStatus::BadVersion: return "bad version";
-      case InferStatus::BadModel: return "unknown model";
-      case InferStatus::BadWidth: return "bad bitwidth";
-      case InferStatus::BadBatch: return "bad batch size";
-      case InferStatus::BadSupply: return "bad supply kind";
-      case InferStatus::BadParams: return "bad params";
-      case InferStatus::ParamsNotAllowed: return "params not allowed";
-      case InferStatus::ForeignSession:
-          return "cot session not owned by this client";
-    }
-    return "?";
-}
-
-void
-sendInferHello(net::Channel &ch, const InferHello &h)
-{
-    uint8_t buf[kInferHelloBytes] = {};
-    uint8_t *p = buf;
-    putU32(p, kInferMagic);
-    p += 4;
-    putU16(p, h.version);
-    p += 2;
+    const uint8_t *base = p;
     *p++ = uint8_t(h.supply);
     *p++ = h.width;
     putU32(p, h.modelId);
@@ -83,26 +61,20 @@ sendInferHello(net::Channel &ch, const InferHello &h)
     putU32(p, h.params.arity);
     p += 4;
     putU32(p, h.params.lpnWeight);
-    ch.sendBytes(buf, sizeof(buf));
+    p += 4;
+    if (h.version >= 2) {
+        putU16(p, h.depth);
+        p += 2;
+        putU16(p, h.flags);
+        p += 2;
+    }
+    return size_t(p - base);
 }
 
-InferStatus
-recvInferHello(net::Channel &ch, InferHello *out)
+void
+getHelloBody(const uint8_t *p, InferHello *out)
 {
-    uint8_t buf[kInferHelloBytes];
-    ch.recvBytes(buf, sizeof(buf));
-    const uint8_t *p = buf;
-    if (getU32(p) != kInferMagic)
-        return InferStatus::BadMagic;
-    p += 4;
-    out->version = getU16(p);
-    p += 2;
-    if (out->version != kInferWireVersion)
-        return InferStatus::BadVersion;
-    const uint8_t supply = *p++;
-    if (supply > uint8_t(SupplyKind::Reservoir))
-        return InferStatus::BadSupply;
-    out->supply = SupplyKind(supply);
+    out->supply = SupplyKind(*p++);
     out->width = *p++;
     out->modelId = getU32(p);
     p += 4;
@@ -127,6 +99,77 @@ recvInferHello(net::Channel &ch, InferHello *out)
     out->params.arity = getU32(p);
     p += 4;
     out->params.lpnWeight = getU32(p);
+    p += 4;
+    if (out->version >= 2) {
+        out->depth = getU16(p);
+        p += 2;
+        // Unknown flag bits are dropped (forward compatibility), not
+        // rejected: a newer client degrades to what we both speak.
+        out->flags = getU16(p) & kKnownFlags;
+    } else {
+        out->depth = 1;
+        out->flags = 0;
+    }
+}
+
+} // namespace
+
+const char *
+supplyKindName(SupplyKind k)
+{
+    return k == SupplyKind::Engine ? "engine" : "reservoir";
+}
+
+const char *
+inferStatusName(InferStatus s)
+{
+    switch (s) {
+      case InferStatus::Ok: return "ok";
+      case InferStatus::BadMagic: return "bad magic";
+      case InferStatus::BadVersion: return "bad version";
+      case InferStatus::BadModel: return "unknown model";
+      case InferStatus::BadWidth: return "bad bitwidth";
+      case InferStatus::BadBatch: return "bad batch size";
+      case InferStatus::BadSupply: return "bad supply kind";
+      case InferStatus::BadParams: return "bad params";
+      case InferStatus::ParamsNotAllowed: return "params not allowed";
+      case InferStatus::ForeignSession:
+          return "cot session not owned by this client";
+      case InferStatus::BadDepth: return "bad in-flight depth";
+    }
+    return "?";
+}
+
+void
+sendInferHello(net::Channel &ch, const InferHello &h)
+{
+    uint8_t buf[kInferHelloPrefixBytes + kInferHelloV2BodyBytes] = {};
+    putU32(buf, kInferMagic);
+    putU16(buf + 4, h.version);
+    const size_t body = putHelloBody(buf + kInferHelloPrefixBytes, h);
+    ch.sendBytes(buf, kInferHelloPrefixBytes + body);
+}
+
+InferStatus
+recvInferHello(net::Channel &ch, InferHello *out)
+{
+    // Magic + version first; the rest is parsed in the hello's own
+    // dialect, so a v1 peer can be served without renegotiation.
+    uint8_t prefix[kInferHelloPrefixBytes];
+    ch.recvBytes(prefix, sizeof(prefix));
+    if (getU32(prefix) != kInferMagic)
+        return InferStatus::BadMagic;
+    out->version = getU16(prefix + 4);
+    if (out->version != kInferWireVersionV1 &&
+        out->version != kInferWireVersion)
+        return InferStatus::BadVersion;
+
+    uint8_t body[kInferHelloV2BodyBytes];
+    ch.recvBytes(body, out->version >= 2 ? kInferHelloV2BodyBytes
+                                         : kInferHelloV1BodyBytes);
+    if (uint8_t(body[0]) > uint8_t(SupplyKind::Reservoir))
+        return InferStatus::BadSupply;
+    getHelloBody(body, out);
 
     const ppml::MlpModelSpec *spec =
         ppml::findMlpModel(out->modelId);
@@ -136,6 +179,8 @@ recvInferHello(net::Channel &ch, InferHello *out)
         return InferStatus::BadWidth;
     if (out->batch == 0)
         return InferStatus::BadBatch;
+    if (out->depth == 0)
+        return InferStatus::BadDepth;
     if (out->supply == SupplyKind::Engine &&
         !svc::wireParamsValid(out->params))
         return InferStatus::BadParams;
@@ -151,6 +196,8 @@ sendInferAccept(net::Channel &ch, const InferAccept &a)
 {
     uint8_t buf[kInferAcceptBytes] = {};
     buf[0] = uint8_t(a.status);
+    putU16(buf + 2, a.depth);
+    putU16(buf + 4, a.flags);
     putU64(buf + 8, a.sessionId);
     ch.sendBytes(buf, sizeof(buf));
 }
@@ -162,6 +209,8 @@ recvInferAccept(net::Channel &ch)
     ch.recvBytes(buf, sizeof(buf));
     InferAccept a;
     a.status = InferStatus(buf[0]);
+    a.depth = getU16(buf + 2);
+    a.flags = getU16(buf + 4) & kKnownFlags;
     a.sessionId = getU64(buf + 8);
     return a;
 }
@@ -179,6 +228,22 @@ recvInferOp(net::Channel &ch)
     uint8_t b = 0;
     ch.recvBytes(&b, 1);
     return InferOp(b);
+}
+
+void
+sendInferTag(net::Channel &ch, uint32_t tag)
+{
+    uint8_t buf[4];
+    putU32(buf, tag);
+    ch.sendBytes(buf, sizeof(buf));
+}
+
+uint32_t
+recvInferTag(net::Channel &ch)
+{
+    uint8_t buf[4];
+    ch.recvBytes(buf, sizeof(buf));
+    return getU32(buf);
 }
 
 void
@@ -207,6 +272,31 @@ recvShareVector(net::Channel &ch, uint64_t *shares, size_t n)
         shares += chunk;
         n -= chunk;
     }
+}
+
+void
+sendShareVectorPacked(net::Channel &ch, const uint64_t *shares, size_t n,
+                      unsigned width)
+{
+    IRONMAN_CHECK(width >= 1 && width <= 64);
+    const uint64_t mask =
+        width == 64 ? ~uint64_t(0) : (uint64_t(1) << width) - 1;
+    std::vector<uint8_t> buf(net::packedLaneBytes(n, width), 0);
+    for (size_t i = 0; i < n; ++i)
+        net::putBitsLE(buf.data(), i * size_t(width), width,
+                       shares[i] & mask);
+    ch.sendBytes(buf.data(), buf.size());
+}
+
+void
+recvShareVectorPacked(net::Channel &ch, uint64_t *shares, size_t n,
+                      unsigned width)
+{
+    IRONMAN_CHECK(width >= 1 && width <= 64);
+    std::vector<uint8_t> buf(net::packedLaneBytes(n, width));
+    ch.recvBytes(buf.data(), buf.size());
+    for (size_t i = 0; i < n; ++i)
+        shares[i] = net::getBitsLE(buf.data(), i * size_t(width), width);
 }
 
 } // namespace ironman::infer

@@ -3,39 +3,50 @@
  * Wire protocol of the inference service (src/infer): the handshake
  * that negotiates WHAT to compute (a ppml::MlpModelSpec by wire id,
  * the fixed-point bitwidth, the images-per-request batch size, and
- * where the COT correlations come from), plus the length-framed
+ * where the COT correlations come from) and HOW the online bytes
+ * travel (width-packed or legacy Block-wide lanes, and how many
+ * requests may ride in flight), plus the length-framed
  * request/response opcodes that carry secret-shared tensors.
  *
- * One session, client's (= MPC party 0's) view:
+ * Version 2 session, client's (= MPC party 0's) view:
  *
  *   connect ──► InferHello { magic, version, supply, model, width,
  *                            batch, setupSeed, cot session ids,
- *                            engine params }
- *           ◄── InferAccept { status, sessionId }
+ *                            engine params, depth, flags }
+ *           ◄── InferAccept { status, negotiated depth, negotiated
+ *                             flags, sessionId }
  *   [supply == Engine: both ends construct one dual-direction
  *    ppml::FerretCotEngine over THIS channel — the handshake's
  *    setupSeed seeds the dealer substitution, exactly like the COT
  *    service]
- *   loop:   ──► InferOp::Infer, batch*inputDim input shares (the
- *               server's share x1), then both ends run
- *               MlpRunner::forward in lockstep over this channel
- *           ◄── batch*outputDim output shares (the server's y1)
+ *   loop:   ──► InferOp::Infer, u32 tag, batch*inputDim input shares
+ *               (the server's share x1) — ENQUEUED on both sides, up
+ *               to the negotiated depth in flight
+ *           ──► InferOp::Commit — both ends run ONE joint
+ *               MlpRunner::forward over every pending request's
+ *               concatenated shares (effective batch = in-flight
+ *               count x batch, so the 2(width-1) DReLU rounds are
+ *               paid once per group, not once per request)
+ *           ◄── per pending request, in submission order: u32 tag,
+ *               batch*outputDim output shares (the server's y1)
  *   final:  ──► InferOp::Close
  *
- * Supply negotiation is the tentpole's architectural point: with
- * SupplyKind::Reservoir the hello names two ALREADY-OPEN sessions on
- * the inference server's attached COT service — the client's
- * Sender-role session (its send direction; the server consumes the
- * mirror receiver half) and its Receiver-role session (recv
- * direction; server consumes the sender half). The online phase then
- * overlaps with background COT refill on both sides, the paper's
- * Sec. 5.2 architecture as served traffic. SupplyKind::Engine keeps
- * the in-process dual-direction engine on the inference channel as
- * the A/B baseline.
+ * Version negotiation: the server reads the 6-byte magic+version
+ * prefix first and parses the rest in the hello's dialect; it replies
+ * and serves in that dialect too. A v1 peer therefore negotiates
+ * depth 1, unpacked wire, untagged immediate evaluation — exactly the
+ * PR 5 protocol — against a v2 server.
  *
- * Tensor elements travel as explicit little-endian u64 one per
- * value (shares are width-masked; the wire does not compress to
- * width — byte accounting reports the actual cost).
+ * Flags (v2): kInferFlagPackedWire switches every online payload to
+ * semantic width — chosen-OT lanes via SecureCompute::setWirePacking
+ * (1-bit AND messages, width-bit MUX arms, raw derand bytes) and the
+ * tensor shares below as width-bit LE lanes. The unmasked SHARES are
+ * bit-identical either way (DESIGN.md invariant 14); packing is a
+ * transcript property, negotiated so both ends agree. The server
+ * clamps the requested depth to its own bound and echoes the result
+ * in the accept; unknown flag bits are dropped, not rejected.
+ *
+ * Supply negotiation is unchanged from v1 (see SupplyKind).
  */
 
 #ifndef IRONMAN_INFER_WIRE_H
@@ -50,7 +61,11 @@
 namespace ironman::infer {
 
 constexpr uint32_t kInferMagic = 0x49524946; ///< "IRIF"
-constexpr uint16_t kInferWireVersion = 1;
+constexpr uint16_t kInferWireVersion = 2;
+constexpr uint16_t kInferWireVersionV1 = 1; ///< PR 5 dialect, still served
+
+/** Hello/accept flag bits (v2). */
+constexpr uint16_t kInferFlagPackedWire = 0x1;
 
 /** Where a session's COT correlations come from. */
 enum class SupplyKind : uint8_t
@@ -70,8 +85,9 @@ const char *supplyKindName(SupplyKind k);
 /** Per-request opcodes (client to server). */
 enum class InferOp : uint8_t
 {
-    Infer = 1, ///< one batch: input shares in, output shares out
-    Close = 2, ///< end the session
+    Infer = 1,  ///< one batch: input shares in (v2: tagged, enqueued)
+    Close = 2,  ///< end the session
+    Commit = 3, ///< v2: jointly evaluate every pending request
 };
 
 /** Handshake outcome (server to client). */
@@ -89,6 +105,7 @@ enum class InferStatus : uint8_t
     ParamsNotAllowed = 8,
     /** Reservoir sids unknown, ended, or owned by another client. */
     ForeignSession = 9,
+    BadDepth = 10, ///< v2 hello with zero in-flight depth
 };
 
 const char *inferStatusName(InferStatus s);
@@ -109,35 +126,60 @@ struct InferHello
     uint64_t recvSessionId = 0;
     /** Engine supply: the OT parameter set (ignored for Reservoir). */
     svc::WireParams params;
+    /** v2: requested in-flight requests per session (server clamps). */
+    uint16_t depth = 1;
+    /** v2: requested wire properties (kInferFlag*). */
+    uint16_t flags = kInferFlagPackedWire;
 };
 
-/** Server's reply. */
+/** Server's reply (depth/flags meaningful only for v2 hellos). */
 struct InferAccept
 {
     InferStatus status = InferStatus::Ok;
+    uint16_t depth = 0; ///< negotiated in-flight bound
+    uint16_t flags = 0; ///< negotiated wire properties
     uint64_t sessionId = 0;
 };
 
 void sendInferHello(net::Channel &ch, const InferHello &h);
 
 /**
- * Parse the peer's hello. Returns Ok and fills @p out, or the
- * structural rejection (magic/version/model/width/batch/params);
- * policy rejections (maxBatch, missing COT service) are the server's
- * to add.
+ * Parse the peer's hello in its own dialect (v1 hellos surface with
+ * depth 1, flags 0). Returns Ok and fills @p out, or the structural
+ * rejection (magic/version/model/width/batch/params/depth); policy
+ * rejections (maxBatch, depth clamp, missing COT service) are the
+ * server's to add.
  */
 InferStatus recvInferHello(net::Channel &ch, InferHello *out);
 
+/**
+ * The accept codec is version-stable: status and sessionId sit where
+ * v1 put them, depth/flags occupy former pad bytes v1 peers ignore.
+ */
 void sendInferAccept(net::Channel &ch, const InferAccept &a);
 InferAccept recvInferAccept(net::Channel &ch);
 
 void sendInferOp(net::Channel &ch, InferOp op);
 InferOp recvInferOp(net::Channel &ch);
 
-/** One secret-shared tensor, explicit-LE u64 per element. */
+/** v2 request/response tag. */
+void sendInferTag(net::Channel &ch, uint32_t tag);
+uint32_t recvInferTag(net::Channel &ch);
+
+/** One secret-shared tensor, explicit-LE u64 per element (v1 wire). */
 void sendShareVector(net::Channel &ch, const uint64_t *shares,
                      size_t n);
 void recvShareVector(net::Channel &ch, uint64_t *shares, size_t n);
+
+/**
+ * Width-packed tensor: n width-bit LSB-first lanes, ceil(n*width/8)
+ * bytes, no length prefix (n and width are negotiated session state).
+ * Elements are masked to width on the way out and arrive masked.
+ */
+void sendShareVectorPacked(net::Channel &ch, const uint64_t *shares,
+                           size_t n, unsigned width);
+void recvShareVectorPacked(net::Channel &ch, uint64_t *shares, size_t n,
+                           unsigned width);
 
 } // namespace ironman::infer
 

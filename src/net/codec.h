@@ -58,6 +58,46 @@ getU64(const uint8_t *p)
     return v;
 }
 
+// ---------------------------------------------------------------------------
+// Bit-lane codec (width-aware wire packing)
+// ---------------------------------------------------------------------------
+
+/** Bytes a packed vector of @p n lanes of @p width bits occupies. */
+inline size_t
+packedLaneBytes(size_t n, unsigned width)
+{
+    return (n * size_t(width) + 7) / 8;
+}
+
+/**
+ * OR the low @p width bits of @p v into @p buf at bit offset
+ * @p bit_off, LSB-first within each byte (the BitVec convention,
+ * continued across byte boundaries). The buffer must be zeroed over
+ * the target range and @p v must already be masked to @p width bits —
+ * lanes never overlap, so sequential writes need no read-modify-mask.
+ */
+inline void
+putBitsLE(uint8_t *buf, size_t bit_off, unsigned width, uint64_t v)
+{
+    size_t i = bit_off >> 3;
+    const unsigned sh = unsigned(bit_off & 7);
+    buf[i] |= uint8_t(v << sh);
+    for (unsigned done = 8 - sh; done < width; done += 8)
+        buf[++i] |= uint8_t(v >> done);
+}
+
+/** Read back a @p width-bit lane written by putBitsLE(). */
+inline uint64_t
+getBitsLE(const uint8_t *buf, size_t bit_off, unsigned width)
+{
+    size_t i = bit_off >> 3;
+    const unsigned sh = unsigned(bit_off & 7);
+    uint64_t v = uint64_t(buf[i]) >> sh;
+    for (unsigned done = 8 - sh; done < width; done += 8)
+        v |= uint64_t(buf[++i]) << done;
+    return width == 64 ? v : v & ((uint64_t(1) << width) - 1);
+}
+
 } // namespace ironman::net
 
 #endif // IRONMAN_NET_CODEC_H

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -194,6 +196,12 @@ SocketChannel::recvBytes(void *data, size_t len)
     if (lastDir != 1) {
         lastDir = 1;
         ++turnCount;
+        // Latency injection point: one sleep per turnaround models the
+        // propagation delay of the half-round this endpoint now waits
+        // on (see setSimulatedDelay).
+        if (delayUs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(delayUs));
     }
     auto *bytes = static_cast<uint8_t *>(data);
     size_t got = 0;

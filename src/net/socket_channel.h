@@ -92,6 +92,20 @@ class SocketChannel final : public Channel
      */
     void shutdownBoth();
 
+    /**
+     * Inject simulated one-way latency: every direction turnaround
+     * into receiving sleeps this long before reading, so a protocol
+     * with r round trips at this endpoint pays ~r delays — the wire
+     * format is untouched (no timestamps, no negotiation) and byte
+     * accounting is unchanged. Enable on one endpoint with the full
+     * RTT, or on both with the one-way delay, for the same total.
+     * Benches use this to turn the analytic LAN/WAN rows into
+     * measured ones and to expose round-latency hiding (request
+     * pipelining) even on loopback.
+     */
+    void setSimulatedDelay(uint64_t one_way_us) { delayUs = one_way_us; }
+    uint64_t simulatedDelayUs() const { return delayUs; }
+
   private:
     void writeAll(const uint8_t *data, size_t len);
     void readFrame();
@@ -104,6 +118,7 @@ class SocketChannel final : public Channel
     uint64_t sent = 0;
     uint64_t received = 0;
     uint64_t turnCount = 0;
+    uint64_t delayUs = 0; ///< simulated one-way latency per turnaround
     int lastDir = -1; ///< 0 = sending, 1 = receiving
 };
 

@@ -47,6 +47,7 @@ struct ChosenOtScratch
     std::vector<Block> cipher; ///< ciphertext pairs on the wire
     std::vector<Block> pad0;   ///< batched H inputs/outputs (j = 0)
     std::vector<Block> pad1;   ///< batched H inputs/outputs (j = 1)
+    std::vector<uint8_t> packed; ///< width-packed ciphertext lanes
 };
 
 /**
@@ -96,6 +97,54 @@ void chosenOtRecv(net::Channel &ch, const crypto::Crhf &crhf,
                   const BitVec &choices, const BitVec &b, size_t b_offset,
                   const Block *t, size_t n, Block *out, uint64_t tweak_base,
                   ChosenOtScratch &scratch);
+
+// ---------------------------------------------------------------------------
+// Width-packed wire variants
+// ---------------------------------------------------------------------------
+//
+// Same OT algebra, lean wire: the pads are still full-Block CRHF
+// hashes of the COT strings (so packed and unpacked runs consume the
+// SAME correlations and produce the SAME plaintexts), but only the
+// low wire_width bits of each masked message travel — ciphertexts as
+// 2n contiguous wire_width-bit LSB-first lanes, derandomization bits
+// as ceil(n/8) raw bytes. Neither direction carries a length prefix:
+// n and wire_width are protocol state both ends already agree on.
+// Truncating e_j = m_j ^ H(...) to wire_width bits commutes with the
+// receiver's XOR unmask, so out[i].lo holds exactly the low
+// wire_width bits of the chosen message (out[i].hi = 0); callers that
+// only consume those bits (GMW AND at width 1, MUX at the fixed-point
+// width) decode bit-identically to the unpacked path.
+
+/** Packed sender: recv raw derand bits, send 2n wire_width-bit lanes. */
+void chosenOtSendPacked(net::Channel &ch, const crypto::Crhf &crhf,
+                        const Block *m0, const Block *m1, size_t n,
+                        unsigned wire_width, const Block &delta,
+                        const Block *q, uint64_t tweak_base,
+                        ChosenOtScratch &scratch);
+
+/** Packed derand send: ceil(n/8) raw bytes, no length prefix. */
+void chosenOtRecvSendDerandPacked(net::Channel &ch, const BitVec &choices,
+                                  const BitVec &b, size_t b_offset,
+                                  size_t n, ChosenOtScratch &scratch);
+
+/** Packed inbound half: the 2n lanes into scratch.packed. */
+void chosenOtRecvCiphertextsPacked(net::Channel &ch, size_t n,
+                                   unsigned wire_width,
+                                   ChosenOtScratch &scratch);
+
+/** Packed compute stage: unmask the chosen lane of each pair. */
+void chosenOtRecvFinishPacked(const crypto::Crhf &crhf,
+                              const BitVec &choices, const Block *t,
+                              size_t n, unsigned wire_width, Block *out,
+                              uint64_t tweak_base,
+                              ChosenOtScratch &scratch);
+
+/** Packed receiver, both stages back to back. */
+void chosenOtRecvPacked(net::Channel &ch, const crypto::Crhf &crhf,
+                        const BitVec &choices, const BitVec &b,
+                        size_t b_offset, const Block *t, size_t n,
+                        unsigned wire_width, Block *out,
+                        uint64_t tweak_base, ChosenOtScratch &scratch);
 
 } // namespace ironman::ot
 

@@ -208,6 +208,11 @@ inferenceZoo()
         makeSpec(2, "mlp-12x6x3", {12, 6, 3}, 3, 0xA2),
         makeSpec(3, "mlp-32x16x10", {32, 16, 10}, 8, 0xA3),
         makeSpec(4, "mlp-16x16x16x8", {16, 16, 16, 8}, 6, 0xA4),
+        // Integer-only toy (fracBits 0 => truncation bound 0, exact
+        // everywhere): the one zoo entry whose overflow range reaches
+        // down to width 8, used to measure packed-wire gains at the
+        // narrow end (EXPERIMENTS.md PR 6).
+        makeSpec(5, "mlp-4x3x2", {4, 3, 2}, 0, 0xA5),
     };
     return zoo;
 }

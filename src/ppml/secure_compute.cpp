@@ -20,18 +20,24 @@ SecureCompute::SecureCompute(net::Channel &channel, int party_id,
 
 void
 SecureCompute::otSendBatch(const std::vector<Block> &m0,
-                           const std::vector<Block> &m1)
+                           const std::vector<Block> &m1,
+                           unsigned wire_width)
 {
     const size_t n = m0.size();
     uint64_t tw = tweak;
     tweak += n;
     const Block *q = engine->takeSend(n);
-    ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n,
-                     engine->sendDelta(), q, tw, otScratch);
+    if (packedWire)
+        ot::chosenOtSendPacked(ch, crhf, m0.data(), m1.data(), n,
+                               wire_width, engine->sendDelta(), q, tw,
+                               otScratch);
+    else
+        ot::chosenOtSend(ch, crhf, m0.data(), m1.data(), n,
+                         engine->sendDelta(), q, tw, otScratch);
 }
 
 std::vector<Block>
-SecureCompute::otRecvBatch(const BitVec &choices)
+SecureCompute::otRecvBatch(const BitVec &choices, unsigned wire_width)
 {
     const size_t n = choices.size();
     uint64_t tw = tweak;
@@ -41,8 +47,12 @@ SecureCompute::otRecvBatch(const BitVec &choices)
     size_t b_offset;
     const Block *t;
     engine->takeRecv(n, &b, &b_offset, &t);
-    ot::chosenOtRecv(ch, crhf, choices, *b, b_offset, t, n, out.data(),
-                     tw, otScratch);
+    if (packedWire)
+        ot::chosenOtRecvPacked(ch, crhf, choices, *b, b_offset, t, n,
+                               wire_width, out.data(), tw, otScratch);
+    else
+        ot::chosenOtRecv(ch, crhf, choices, *b, b_offset, t, n,
+                         out.data(), tw, otScratch);
     return out;
 }
 
@@ -75,13 +85,14 @@ SecureCompute::andShares(const BitVec &a, const BitVec &b)
         m1[i] = Block::fromUint64(r.get(i) ^ a.get(i));
     }
 
+    // AND-gate messages are single bits on the wire.
     std::vector<Block> got;
     if (party == 0) {
-        otSendBatch(m0, m1);
-        got = otRecvBatch(b);
+        otSendBatch(m0, m1, 1);
+        got = otRecvBatch(b, 1);
     } else {
-        got = otRecvBatch(b);
-        otSendBatch(m0, m1);
+        got = otRecvBatch(b, 1);
+        otSendBatch(m0, m1, 1);
     }
 
     // z_p = a_p*b_p ^ r_p ^ (r_{1-p} ^ a_{1-p}*b_p).
@@ -156,13 +167,14 @@ SecureCompute::mux(const BitVec &b_shares,
         m1[i] = Block::fromUint64(bp ? off : on);
     }
 
+    // MUX arms are width-masked values: width-bit lanes on the wire.
     std::vector<Block> got;
     if (party == 0) {
-        otSendBatch(m0, m1);
-        got = otRecvBatch(b_shares);
+        otSendBatch(m0, m1, width);
+        got = otRecvBatch(b_shares, width);
     } else {
-        got = otRecvBatch(b_shares);
-        otSendBatch(m0, m1);
+        got = otRecvBatch(b_shares, width);
+        otSendBatch(m0, m1, width);
     }
 
     std::vector<uint64_t> y(n);

@@ -102,6 +102,19 @@ class SecureCompute
         return engine->cotsTaken();
     }
 
+    /**
+     * Width-aware wire packing (default ON): chosen-OT traffic ships
+     * at each op's semantic width — 1-bit lanes for AND-gate messages,
+     * bitwidth-bit lanes for MUX arms, raw derand bytes — instead of
+     * full 16-byte Blocks. The pads stay full-Block CRHF hashes, so
+     * the decoded SHARES are bit-identical either way (DESIGN.md
+     * invariant 14); only the transcript changes. Both parties must
+     * agree (it is a wire format): flip it before the first op, in
+     * lockstep — the inference handshake negotiates exactly this.
+     */
+    void setWirePacking(bool on) { packedWire = on; }
+    bool wirePacking() const { return packedWire; }
+
     unsigned bitwidth() const { return width; }
 
     uint64_t
@@ -111,16 +124,22 @@ class SecureCompute
     }
 
   private:
-    /** One batched chosen-OT where this party is the sender. */
+    /**
+     * One batched chosen-OT where this party is the sender.
+     * @p wire_width is the semantic payload width the packed codec
+     * ships (ignored when packing is off).
+     */
     void otSendBatch(const std::vector<Block> &m0,
-                     const std::vector<Block> &m1);
+                     const std::vector<Block> &m1, unsigned wire_width);
     /** One batched chosen-OT where this party is the receiver. */
-    std::vector<Block> otRecvBatch(const BitVec &choices);
+    std::vector<Block> otRecvBatch(const BitVec &choices,
+                                   unsigned wire_width);
 
     net::Channel &ch;
     int party;
     CotSupply *engine = nullptr;
     unsigned width;
+    bool packedWire = true;
     crypto::Crhf crhf;
     ot::ChosenOtScratch otScratch;
     Rng localRng;

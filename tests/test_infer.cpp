@@ -58,21 +58,54 @@ TEST(InferWireTest, HelloAcceptRoundTrip)
     h.setupSeed = 0x1234;
     h.sendSessionId = 11;
     h.recvSessionId = 12;
+    h.depth = 6;
+    h.flags = kInferFlagPackedWire | 0x8000; // unknown bit: dropped
     sendInferHello(duplex.a(), h);
 
     InferHello got;
     ASSERT_EQ(recvInferHello(duplex.b(), &got), InferStatus::Ok);
+    EXPECT_EQ(got.version, kInferWireVersion);
     EXPECT_EQ(got.supply, h.supply);
     EXPECT_EQ(got.modelId, h.modelId);
     EXPECT_EQ(got.width, h.width);
     EXPECT_EQ(got.batch, h.batch);
     EXPECT_EQ(got.sendSessionId, h.sendSessionId);
     EXPECT_EQ(got.recvSessionId, h.recvSessionId);
+    EXPECT_EQ(got.depth, 6);
+    EXPECT_EQ(got.flags, kInferFlagPackedWire);
 
-    sendInferAccept(duplex.b(), InferAccept{InferStatus::Ok, 99});
+    InferAccept reply;
+    reply.status = InferStatus::Ok;
+    reply.depth = 6;
+    reply.flags = kInferFlagPackedWire;
+    reply.sessionId = 99;
+    sendInferAccept(duplex.b(), reply);
     const InferAccept a = recvInferAccept(duplex.a());
     EXPECT_EQ(a.status, InferStatus::Ok);
+    EXPECT_EQ(a.depth, 6);
+    EXPECT_EQ(a.flags, kInferFlagPackedWire);
     EXPECT_EQ(a.sessionId, 99u);
+}
+
+TEST(InferWireTest, V1HelloSurfacesAsDepthOneUnpacked)
+{
+    net::MemoryDuplex duplex;
+    InferHello h;
+    h.version = kInferWireVersionV1;
+    h.modelId = ppml::inferenceZoo().front().id;
+    h.width = 32;
+    h.batch = 2;
+    h.supply = SupplyKind::Engine;
+    h.params = svc::WireParams::of(ot::tinyTestParams());
+    h.depth = 9; // v1 body has no room for these: must not leak
+    h.flags = kInferFlagPackedWire;
+    sendInferHello(duplex.a(), h);
+
+    InferHello got;
+    ASSERT_EQ(recvInferHello(duplex.b(), &got), InferStatus::Ok);
+    EXPECT_EQ(got.version, kInferWireVersionV1);
+    EXPECT_EQ(got.depth, 1);
+    EXPECT_EQ(got.flags, 0);
 }
 
 TEST(InferWireTest, RejectsStructurallyBadHellos)
@@ -95,6 +128,9 @@ TEST(InferWireTest, RejectsStructurallyBadHellos)
     reject([](InferHello &h) { h.width = 8; }, InferStatus::BadWidth);
     reject([](InferHello &h) { h.width = 63; }, InferStatus::BadWidth);
     reject([](InferHello &h) { h.batch = 0; }, InferStatus::BadBatch);
+    reject([](InferHello &h) { h.depth = 0; }, InferStatus::BadDepth);
+    reject([](InferHello &h) { h.version = 7; },
+           InferStatus::BadVersion);
     reject([](InferHello &h) { h.params.k = h.params.n; },
            InferStatus::BadParams);
     reject(
