@@ -77,6 +77,7 @@ struct Row
     unsigned inflightDepth = 1;
     bool packed = true;
     double rttMs = 0;
+    double bandwidthMbps = 0;
     bool bitIdentical = true;
 };
 
@@ -87,6 +88,7 @@ struct ServedCfg
     bool packed = true;
     uint16_t depth = 1;
     uint64_t rttUs = 0; ///< client-side per-turnaround sleep
+    uint64_t bandwidthBps = 0; ///< server-side link shaping (0 = off)
 };
 
 void
@@ -110,6 +112,7 @@ emitRow(bench::JsonWriter &json, const std::string &model,
     json.kv("inflight_depth", uint64_t(row.inflightDepth));
     json.kv("packed", uint64_t(row.packed ? 1 : 0));
     json.kv("rtt_ms", row.rttMs);
+    json.kv("bandwidth_mbps", row.bandwidthMbps);
     json.kv("bit_identical", uint64_t(row.bitIdentical ? 1 : 0));
     json.endObject();
 }
@@ -142,7 +145,9 @@ runServed(const ppml::MlpModelSpec &spec, unsigned width,
     svc::CotServer cot;
     stock.attach(cot);
     const uint16_t cot_port = cot.listenTcp(0);
-    infer::InferServer server;
+    infer::InferServer::Config srv_cfg;
+    srv_cfg.simulatedBandwidthBps = cfg.bandwidthBps;
+    infer::InferServer server(srv_cfg);
     server.attachOperatorStock(stock);
     const uint16_t port = server.listenTcp(0);
 
@@ -162,6 +167,7 @@ runServed(const ppml::MlpModelSpec &spec, unsigned width,
     row.inflightDepth = cfg.depth;
     row.packed = cfg.packed;
     row.rttMs = double(cfg.rttUs) / 1000.0;
+    row.bandwidthMbps = double(cfg.bandwidthBps) / 1e6;
 
     auto client =
         cfg.reservoir ? infer::InferClient::connectTcpReservoir(
@@ -438,6 +444,115 @@ main()
                             lone.imagesPerSec);
                 sentinels_ok = false;
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Section D: bandwidth-shaped WAN — RTT plus a finite link, the
+    // complete PR 6/7 WAN model. Shaping is server-side
+    // (Config::simulatedBandwidthBps), the RTT client-side, so both
+    // knobs cross the config surface they'd use in a real deployment.
+    // ------------------------------------------------------------------
+    {
+        const ppml::MlpModelSpec &spec =
+            *ppml::findMlpModel("mlp-16x8x4");
+        constexpr unsigned width = 32;
+        const size_t wan_requests = fast ? 2 : 8;
+        const uint32_t wan_batch = fast ? 2 : 8;
+        // Fast mode keeps CI quick on a thin pipe; full mode is the
+        // honest 20 ms / 100 Mbps WAN row for EXPERIMENTS.md.
+        const uint64_t rtt_us = fast ? 1000 : 20000;
+        const uint64_t bps = fast ? 200'000'000 : 100'000'000;
+
+        std::vector<std::vector<int64_t>> reqs;
+        for (size_t r = 0; r < wan_requests; ++r)
+            reqs.push_back(
+                ppml::sampleMlpInput(spec, 7900 + r, wan_batch));
+        const ppml::LocalMlpResult local = ppml::runLocalMlpInference(
+            spec, width, reqs, kShareSeed, kSetupSeed, params);
+
+        std::printf("\n%s w%u bandwidth-shaped WAN (%.1f ms RTT, "
+                    "%.0f Mbps), %zu images\n",
+                    spec.name.c_str(), width, double(rtt_us) / 1000.0,
+                    double(bps) / 1e6, wan_requests * size_t(wan_batch));
+        printHeader();
+        const Row shaped = runServed(
+            spec, width, wan_batch, params, reqs, local.outputs,
+            {"served+reservoir shaped", true, true, 1, rtt_us, bps});
+        emitRow(json, spec.name, wan_requests * size_t(wan_batch),
+                shaped);
+        all_identical &= shaped.bitIdentical;
+    }
+
+    // ------------------------------------------------------------------
+    // Section E: recovery latency — kill the daemon under an
+    // autoReconnect client and time the redial + re-handshake +
+    // replay until the next bit-identical answer lands.
+    // ------------------------------------------------------------------
+    {
+        const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+        constexpr unsigned width = 16;
+        std::vector<std::vector<int64_t>> reqs;
+        for (size_t r = 0; r < 4; ++r)
+            reqs.push_back(ppml::sampleMlpInput(spec, 8100 + r, 1));
+
+        auto server = std::make_unique<infer::InferServer>();
+        const uint16_t port = server->listenTcp(0);
+
+        infer::InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = width;
+        opt.setupSeed = kSetupSeed;
+        opt.shareSeed = kShareSeed;
+        opt.params = params;
+        opt.autoReconnect = true;
+        opt.retry.baseBackoffMs = 5; // the daemon restarts instantly
+        auto client =
+            infer::InferClient::connectTcp("127.0.0.1", port, opt);
+        client->infer(reqs[0]);
+        client->infer(reqs[1]);
+
+        server->stop();
+        server = std::make_unique<infer::InferServer>();
+        server->listenTcp(port);
+
+        // The next request detects the dead session and reconnects.
+        // Its Commit raced the kill, so the library reports it failed
+        // (maybe-answered) rather than replaying; the app-level retry
+        // on the recovered session is the measured tail. The exact
+        // model keeps the answer bit-identical (invariant 15).
+        Timer recover;
+        client->submit(reqs[2]);
+        infer::InferClient::Result r2 = client->collect();
+        if (!r2.ok) {
+            client->submit(reqs[2]);
+            r2 = client->collect();
+        }
+        const double recovery_ms = recover.seconds() * 1000.0;
+        const bool recovered_identical =
+            r2.ok && r2.outputs == ppml::mlpPlainForward(spec, reqs[2]) &&
+            client->reconnects() == 1;
+        client->infer(reqs[3]);
+        client->close();
+        server->stop();
+
+        std::printf("\nrecovery: daemon killed+restarted under an "
+                    "autoReconnect client -> next answer in %.1f ms "
+                    "(%s)\n",
+                    recovery_ms,
+                    recovered_identical ? "bit-identical"
+                                        : "MISMATCH");
+        json.beginObject();
+        json.kv("model", spec.name);
+        json.kv("path", "recovery");
+        json.kv("recovery_ms", recovery_ms);
+        json.kv("bit_identical",
+                uint64_t(recovered_identical ? 1 : 0));
+        json.endObject();
+        if (!recovered_identical) {
+            std::printf("BENCH-SMOKE: FAIL — recovered request not "
+                        "bit-identical after reconnect\n");
+            sentinels_ok = false;
         }
     }
 

@@ -52,6 +52,7 @@ main(int argc, char **argv)
     uint16_t port = 0, cot_port = 0;
     std::string model_name = "mlp-16x8x4";
     unsigned images = 4;
+    bool chaos = false;
     infer::InferClient::Options opt;
     opt.batch = 2;
     opt.supply = infer::SupplyKind::Reservoir;
@@ -95,13 +96,26 @@ main(int argc, char **argv)
             opt.depth = uint16_t(std::atoi(next()));
         } else if (arg == "--unpacked") {
             opt.packedWire = false;
+        } else if (arg == "--chaos") {
+            // Survive a restarting server: reconnect under backoff and
+            // resubmit uncommitted requests, narrating every retry.
+            chaos = true;
+            opt.autoReconnect = true;
+            opt.retry.maxAttempts = 10; // outlast a slow restart
+            opt.retryHook = [](unsigned attempt, uint64_t backoff_ms,
+                               const std::string &what) {
+                std::fprintf(stderr,
+                             "infer_client: retry %u in %llu ms (%s)\n",
+                             attempt, (unsigned long long)backoff_ms,
+                             what.c_str());
+            };
         } else {
             std::fprintf(
                 stderr,
                 "usage: infer_client --tcp HOST:PORT "
                 "[--cot-tcp HOST:PORT] [--model NAME] [--width W] "
                 "[--batch B] [--images N] [--supply engine|reservoir] "
-                "[--depth D] [--unpacked] [--seed S]\n");
+                "[--depth D] [--unpacked] [--seed S] [--chaos]\n");
             return 2;
         }
     }
@@ -157,7 +171,23 @@ main(int argc, char **argv)
     // requests in flight and commits them as one joint evaluation.
     for (const auto &input : inputs)
         client->submit(input);
-    const auto results = client->drain();
+    auto results = client->drain();
+    // A request whose Commit raced a server loss comes back as a
+    // typed failure — the library won't replay it (the server may
+    // have answered already). This demo's requests are idempotent, so
+    // app-level retry is safe and --chaos completes every image.
+    if (chaos) {
+        for (size_t r = 0; r < results.size(); ++r) {
+            if (results[r].ok)
+                continue;
+            std::fprintf(stderr,
+                         "infer_client: request %zu failed (%s); "
+                         "retrying at the app level\n",
+                         r, results[r].error.c_str());
+            client->submit(inputs[r]);
+            results[r] = client->collect();
+        }
+    }
     const double secs = timer.seconds();
 
     const unsigned done = unsigned(inputs.size()) * opt.batch;
@@ -181,6 +211,9 @@ main(int argc, char **argv)
                     (unsigned long long)st.bytes, st.rounds);
     client->close();
 
+    if (chaos)
+        std::printf("infer_client: survived %llu reconnects\n",
+                    (unsigned long long)client->reconnects());
     std::printf("infer_client: %u images in %.3f s -> %.1f images/s; "
                 "%zu COTs, %.1f KB online sent, %.1f KB preproc sent; "
                 "%zu/%zu outputs within +/-%lld of plaintext\n",

@@ -16,6 +16,8 @@
  * role-switching architecture as served traffic.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,19 @@
 
 using namespace ironman;
 
+namespace {
+
+/** Set by the --drain-on signal handler; polled by the main loop. */
+std::atomic<int> g_drain_signal{0};
+
+void
+onDrainSignal(int sig)
+{
+    g_drain_signal.store(sig);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -35,6 +50,7 @@ main(int argc, char **argv)
     uint16_t cot_port = 0;
     long max_sessions = -1; // -1 = serve forever
     int engine_threads = 1;
+    bool drain_on_term = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -54,14 +70,29 @@ main(int argc, char **argv)
             max_sessions = std::atol(next());
         } else if (arg == "--threads") {
             engine_threads = std::atoi(next());
+        } else if (arg == "--drain-on") {
+            // Rolling-restart posture: the named signal triggers a
+            // graceful drain (finish in-flight sessions, refuse new
+            // connects) instead of the default hard kill.
+            const std::string sig = next();
+            if (sig != "SIGTERM") {
+                std::fprintf(stderr,
+                             "infer_server: only --drain-on SIGTERM "
+                             "is supported\n");
+                return 2;
+            }
+            drain_on_term = true;
         } else {
             std::fprintf(stderr,
                          "usage: infer_server [--tcp PORT] "
                          "[--cot-tcp PORT] [--sessions N] "
-                         "[--threads T]\n");
+                         "[--threads T] [--drain-on SIGTERM]\n");
             return 2;
         }
     }
+
+    if (drain_on_term)
+        std::signal(SIGTERM, onDrainSignal);
 
     // Daemon posture: only the shapes this deployment actually serves
     // — an unlisted (if structurally valid) hello gets a clean
@@ -110,6 +141,17 @@ main(int argc, char **argv)
         if (max_sessions >= 0 && done >= uint64_t(max_sessions) &&
             server.activeSessions() == 0)
             break;
+        if (g_drain_signal.load() != 0) {
+            std::printf("infer_server: SIGTERM, draining...\n");
+            std::fflush(stdout);
+            const bool infer_clean = server.drain(10000);
+            const bool cot_clean = cot.drain(10000);
+            std::printf("infer_server: drained %s (%llu sessions "
+                        "served)\n",
+                        infer_clean && cot_clean ? "clean" : "forced",
+                        (unsigned long long)server.sessionsServed());
+            break;
+        }
     }
     server.stop();
     cot.stop();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "net/wire_error.h"
 
 namespace ironman::infer {
 
@@ -18,6 +19,24 @@ specOrThrow(uint32_t model_id)
         throw std::runtime_error("InferClient: unknown model id " +
                                  std::to_string(model_id));
     return *spec;
+}
+
+svc::CotClient::Options
+cotSendOptions(const InferClient::Options &opt)
+{
+    svc::CotClient::Options o;
+    o.role = svc::Role::Sender;
+    o.setupSeed = opt.setupSeed * 2 + 1;
+    return o;
+}
+
+svc::CotClient::Options
+cotRecvOptions(const InferClient::Options &opt)
+{
+    svc::CotClient::Options o;
+    o.role = svc::Role::Receiver;
+    o.setupSeed = opt.setupSeed * 2 + 2;
+    return o;
 }
 
 } // namespace
@@ -59,6 +78,17 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
     if (opt_.simulatedDelayUs > 0)
         ch->setSimulatedDelay(opt_.simulatedDelayUs);
 
+    buildReservoirs();
+    handshake();
+    sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *reservoirSupply,
+                                               opt_.width);
+    sc->setWirePacking(packed_);
+    runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
+}
+
+void
+InferClient::buildReservoirs()
+{
     // Stock sized from the model's COT estimate: keep one commit
     // group's worth of correlations ahead per direction. Sized from
     // the REQUESTED depth — the server may clamp lower, which only
@@ -73,12 +103,6 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
     recvRes = std::make_unique<svc::Reservoir>(*recvSession, res_opt);
     reservoirSupply = std::make_unique<svc::ReservoirCotSupply>(
         *sendRes, *recvRes, sendSession->delta());
-
-    handshake();
-    sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *reservoirSupply,
-                                               opt_.width);
-    sc->setWirePacking(packed_);
-    runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
 }
 
 void
@@ -111,9 +135,10 @@ InferClient::handshake()
     sendInferHello(*ch, h);
     const InferAccept a = recvInferAccept(*ch);
     if (a.status != InferStatus::Ok)
-        throw std::runtime_error(
+        throw net::WireError(
+            net::WireFault::Fatal,
             std::string("InferClient: server rejected hello: ") +
-            inferStatusName(a.status));
+                inferStatusName(a.status));
     sid = a.sessionId;
     // Adopt the server's negotiation (it only ever clamps); a v1
     // dialect pins the PR 5 wire regardless of what we asked for.
@@ -130,8 +155,27 @@ std::unique_ptr<InferClient>
 InferClient::connectTcp(const std::string &host, uint16_t port,
                         Options opt)
 {
-    return std::make_unique<InferClient>(net::tcpConnect(host, port),
-                                         opt);
+    const unsigned attempts =
+        opt.autoReconnect && opt.retry.maxAttempts > 0
+            ? opt.retry.maxAttempts
+            : 1u;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            opt.retry.sleepBefore(attempt);
+            auto c = std::make_unique<InferClient>(
+                net::tcpConnect(host, port), opt);
+            c->host_ = host;
+            c->port_ = port;
+            c->endpointsKnown_ = true;
+            return c;
+        } catch (const net::WireError &e) {
+            if (!e.retryable() || attempt >= attempts)
+                throw;
+            if (opt.retryHook)
+                opt.retryHook(attempt, opt.retry.backoffMs(attempt + 1),
+                              e.what());
+        }
+    }
 }
 
 std::unique_ptr<InferClient>
@@ -139,19 +183,34 @@ InferClient::connectTcpReservoir(const std::string &host, uint16_t port,
                                  const std::string &cot_host,
                                  uint16_t cot_port, Options opt)
 {
-    svc::CotClient::Options send_opt;
-    send_opt.role = svc::Role::Sender;
-    send_opt.setupSeed = opt.setupSeed * 2 + 1;
-    auto send_session = svc::CotClient::connectTcp(cot_host, cot_port,
-                                                   opt.params, send_opt);
-    svc::CotClient::Options recv_opt;
-    recv_opt.role = svc::Role::Receiver;
-    recv_opt.setupSeed = opt.setupSeed * 2 + 2;
-    auto recv_session = svc::CotClient::connectTcp(cot_host, cot_port,
-                                                   opt.params, recv_opt);
-    return std::make_unique<InferClient>(
-        net::tcpConnect(host, port), std::move(send_session),
-        std::move(recv_session), opt);
+    const unsigned attempts =
+        opt.autoReconnect && opt.retry.maxAttempts > 0
+            ? opt.retry.maxAttempts
+            : 1u;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            opt.retry.sleepBefore(attempt);
+            auto send_session = svc::CotClient::connectTcp(
+                cot_host, cot_port, opt.params, cotSendOptions(opt));
+            auto recv_session = svc::CotClient::connectTcp(
+                cot_host, cot_port, opt.params, cotRecvOptions(opt));
+            auto c = std::make_unique<InferClient>(
+                net::tcpConnect(host, port), std::move(send_session),
+                std::move(recv_session), opt);
+            c->host_ = host;
+            c->port_ = port;
+            c->cotHost_ = cot_host;
+            c->cotPort_ = cot_port;
+            c->endpointsKnown_ = true;
+            return c;
+        } catch (const net::WireError &e) {
+            if (!e.retryable() || attempt >= attempts)
+                throw;
+            if (opt.retryHook)
+                opt.retryHook(attempt, opt.retry.backoffMs(attempt + 1),
+                              e.what());
+        }
+    }
 }
 
 InferClient::~InferClient()
@@ -163,6 +222,126 @@ InferClient::~InferClient()
     }
 }
 
+bool
+InferClient::canRecover(const std::exception &e) const
+{
+    return opt_.autoReconnect && opt_.wireVersion >= 2 &&
+           endpointsKnown_ && !dead_ && net::isRetryable(e);
+}
+
+void
+InferClient::redial()
+{
+    ch = net::tcpConnect(host_, port_);
+    if (opt_.simulatedDelayUs > 0)
+        ch->setSimulatedDelay(opt_.simulatedDelayUs);
+    if (opt_.supply == SupplyKind::Reservoir) {
+        // Same derived seeds as the original dial: the restarted
+        // daemon re-deals the same deterministic session base, so the
+        // fresh sessions are indistinguishable from first contact.
+        sendSession = svc::CotClient::connectTcp(
+            cotHost_, cotPort_, opt_.params, cotSendOptions(opt_));
+        recvSession = svc::CotClient::connectTcp(
+            cotHost_, cotPort_, opt_.params, cotRecvOptions(opt_));
+        buildReservoirs();
+    }
+    handshake();
+    if (opt_.supply == SupplyKind::Engine) {
+        engine = std::make_unique<ppml::FerretCotEngine>(
+            *ch, 0, opt_.params, opt_.setupSeed, opt_.threads);
+        sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *engine,
+                                                   opt_.width);
+    } else {
+        sc = std::make_unique<ppml::SecureCompute>(
+            *ch, 0, *reservoirSupply, opt_.width);
+    }
+    sc->setWirePacking(packed_);
+    runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
+}
+
+void
+InferClient::reconnect(const std::string &cause)
+{
+    // Tear the whole transport down before redialing. The share tape
+    // (shareRng) survives untouched: uncommitted requests resubmit
+    // their STORED shares, so the tape position stays consistent with
+    // an uninterrupted run.
+    if (sendRes)
+        sendRes->stopRefill();
+    if (recvRes)
+        recvRes->stopRefill();
+    sc.reset();
+    runner.reset();
+    engine.reset();
+    reservoirSupply.reset();
+    sendRes.reset();
+    recvRes.reset();
+    sendSession.reset();
+    recvSession.reset();
+    ch.reset();
+
+    const unsigned attempts =
+        opt_.retry.maxAttempts > 0 ? opt_.retry.maxAttempts : 1u;
+    std::string last = cause;
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        if (opt_.retryHook)
+            opt_.retryHook(attempt, opt_.retry.backoffMs(attempt + 1),
+                           last);
+        // Backoff BEFORE the dial: the failure that brought us here
+        // is evidence the daemon is down right now.
+        opt_.retry.sleepBefore(attempt + 1);
+        try {
+            redial();
+            resubmitPending();
+            ++reconnectCount;
+            return;
+        } catch (const net::WireError &e) {
+            if (!e.retryable()) {
+                dead_ = true;
+                throw;
+            }
+            last = e.what();
+        } catch (const std::exception &e) {
+            dead_ = true;
+            throw;
+        }
+    }
+    dead_ = true;
+    throw net::WireError(net::WireFault::PeerClosed,
+                         "InferClient: reconnect budget exhausted: " +
+                             last);
+}
+
+void
+InferClient::resubmitPending()
+{
+    const size_t req_in = size_t(opt_.batch) * spec_.inputDim();
+    for (size_t r = 0; r < pendingTags.size(); ++r) {
+        sendInferOp(*ch, InferOp::Infer);
+        sendInferTag(*ch, pendingTags[r]);
+        const uint64_t *src = pendingX1.data() + r * req_in;
+        if (packed_)
+            sendShareVectorPacked(*ch, src, req_in, opt_.width);
+        else
+            sendShareVector(*ch, src, req_in);
+    }
+}
+
+void
+InferClient::failPendingFrom(size_t answered, const std::string &what)
+{
+    for (size_t r = answered; r < pendingTags.size(); ++r) {
+        Result failed;
+        failed.tag = pendingTags[r];
+        failed.ok = false;
+        failed.error = what;
+        ready.push_back(std::move(failed));
+    }
+    pendingTags.clear();
+    pendingX0.clear();
+    pendingX1.clear();
+}
+
 std::vector<int64_t>
 InferClient::infer(const std::vector<int64_t> &inputs)
 {
@@ -170,18 +349,26 @@ InferClient::infer(const std::vector<int64_t> &inputs)
                   "infer() with pipelined submissions outstanding; use "
                   "collect()/drain()");
     submit(inputs);
-    return collect().outputs;
+    Result r = collect();
+    if (!r.ok)
+        throw net::WireError(net::WireFault::PeerClosed,
+                             "InferClient: request failed: " + r.error);
+    return std::move(r.outputs);
 }
 
 uint32_t
 InferClient::submit(const std::vector<int64_t> &inputs)
 {
     IRONMAN_CHECK(!closed, "submit() on a closed session");
+    if (dead_)
+        throw net::WireError(net::WireFault::Fatal,
+                             "InferClient: session failed terminally");
     IRONMAN_CHECK(inputs.size() ==
                       size_t(opt_.batch) * spec_.inputDim(),
                   "inputs are batch * inputDim values");
 
     const uint32_t tag = nextTag++;
+    // The tape advances exactly once per submission, reconnect or not.
     ppml::shareMlpValues(shareRng, opt_.width, inputs, &x0, &x1);
 
     if (opt_.wireVersion < 2) {
@@ -198,14 +385,28 @@ InferClient::submit(const std::vector<int64_t> &inputs)
         return tag;
     }
 
-    sendInferOp(*ch, InferOp::Infer);
-    sendInferTag(*ch, tag);
-    if (packed_)
-        sendShareVectorPacked(*ch, x1.data(), x1.size(), opt_.width);
-    else
-        sendShareVector(*ch, x1.data(), x1.size());
+    for (;;) {
+        try {
+            sendInferOp(*ch, InferOp::Infer);
+            sendInferTag(*ch, tag);
+            if (packed_)
+                sendShareVectorPacked(*ch, x1.data(), x1.size(),
+                                      opt_.width);
+            else
+                sendShareVector(*ch, x1.data(), x1.size());
+            break;
+        } catch (const std::exception &e) {
+            if (!canRecover(e))
+                throw;
+            // The session died before this request's Commit, so it is
+            // safe to replay: reconnect() resubmits the stored pending
+            // group, then the loop retries this send.
+            reconnect(e.what());
+        }
+    }
     pendingTags.push_back(tag);
     pendingX0.insert(pendingX0.end(), x0.begin(), x0.end());
+    pendingX1.insert(pendingX1.end(), x1.begin(), x1.end());
     if (pendingTags.size() >= depth_)
         commitPending();
     return tag;
@@ -216,31 +417,49 @@ InferClient::commitPending()
 {
     if (pendingTags.empty())
         return;
-    sendInferOp(*ch, InferOp::Commit);
-    // One joint forward over the whole group: effective batch is
-    // pending * batch, so the DReLU round chain is paid once. The
-    // server makes the exact mirror call.
-    const std::vector<uint64_t> y0cat =
-        runner->forward(*sc, *ch, pendingX0);
     const size_t req_out = size_t(opt_.batch) * spec_.outputDim();
-    y1.resize(req_out);
-    std::vector<uint64_t> y0(req_out);
-    for (size_t r = 0; r < pendingTags.size(); ++r) {
-        const uint32_t tag = recvInferTag(*ch);
-        IRONMAN_CHECK(tag == pendingTags[r],
-                      "response tags must follow submission order");
-        if (packed_)
-            recvShareVectorPacked(*ch, y1.data(), req_out, opt_.width);
-        else
-            recvShareVector(*ch, y1.data(), req_out);
-        std::copy(y0cat.begin() + r * req_out,
-                  y0cat.begin() + (r + 1) * req_out, y0.begin());
-        ready.push_back(
-            {tag, ppml::reconstructMlpValues(opt_.width, y0, y1)});
+    size_t answered = 0;
+    try {
+        sendInferOp(*ch, InferOp::Commit);
+        // One joint forward over the whole group: effective batch is
+        // pending * batch, so the DReLU round chain is paid once. The
+        // server makes the exact mirror call.
+        const std::vector<uint64_t> y0cat =
+            runner->forward(*sc, *ch, pendingX0);
+        y1.resize(req_out);
+        std::vector<uint64_t> y0(req_out);
+        for (size_t r = 0; r < pendingTags.size(); ++r) {
+            const uint32_t tag = recvInferTag(*ch);
+            IRONMAN_CHECK(tag == pendingTags[r],
+                          "response tags must follow submission order");
+            if (packed_)
+                recvShareVectorPacked(*ch, y1.data(), req_out,
+                                      opt_.width);
+            else
+                recvShareVector(*ch, y1.data(), req_out);
+            std::copy(y0cat.begin() + r * req_out,
+                      y0cat.begin() + (r + 1) * req_out, y0.begin());
+            ready.push_back(
+                {tag, ppml::reconstructMlpValues(opt_.width, y0, y1)});
+            ++answered;
+        }
+    } catch (const std::exception &e) {
+        if (!canRecover(e))
+            throw;
+        // The Commit was on the wire: the server may have evaluated
+        // any or all of the group, so replaying could answer a request
+        // twice. Fail the unanswered remainder with the cause (the
+        // answered prefix reconstructed fine and stays collectible)
+        // and recover the SESSION for whatever comes next.
+        requests += answered;
+        failPendingFrom(answered, e.what());
+        reconnect(e.what());
+        return;
     }
     requests += pendingTags.size();
     pendingTags.clear();
     pendingX0.clear();
+    pendingX1.clear();
 }
 
 InferClient::Result
@@ -294,7 +513,8 @@ InferClient::close()
         return;
     // The server would drop uncommitted requests at Close; evaluate
     // them instead so every submit() has a collectible result.
-    commitPending();
+    if (!dead_)
+        commitPending();
     closed = true;
     // Stop stocking before the session goodbyes: a refill racing the
     // server's epilogue would die on a retired stock for nothing.
@@ -302,6 +522,8 @@ InferClient::close()
         sendRes->stopRefill();
     if (recvRes)
         recvRes->stopRefill();
+    if (dead_)
+        return;
     sendInferOp(*ch, InferOp::Close);
     ch->flush();
     if (sendSession)

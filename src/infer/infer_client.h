@@ -92,6 +92,25 @@ class InferClient
         uint16_t wireVersion = kInferWireVersion;
         /** Simulated one-way latency on this end (bench harness). */
         uint64_t simulatedDelayUs = 0;
+
+        /**
+         * Survive a lost server: when a retryable wire error lands
+         * mid-session (daemon killed, connection reset, deadline), tear
+         * the whole transport down — inference channel, COT sessions,
+         * reservoirs, engine — redial under `retry`'s backoff/budget,
+         * re-handshake with the SAME seeds, and resubmit every
+         * UNCOMMITTED request from its stored shares. Requests whose
+         * Commit was already on the wire are NOT retried (the server
+         * may have evaluated them; re-running could answer twice) —
+         * they surface as Result{ok=false} with the triggering error.
+         * Requires a connectTcp* factory (it records the endpoints)
+         * and a v2 session. Off by default: a bench run would rather
+         * die loudly than silently remeasure a reconnect.
+         */
+        bool autoReconnect = false;
+        svc::RetryPolicy retry;
+        /** Observer of reconnect attempts (the --chaos printer). */
+        svc::RetryEventHook retryHook;
     };
 
     /** One reconstructed response (tags are submit()'s return). */
@@ -99,6 +118,14 @@ class InferClient
     {
         uint32_t tag = 0;
         std::vector<int64_t> outputs;
+        /**
+         * false = this request's Commit raced a session loss and its
+         * answer is unknowable (outputs empty, error says why). Only
+         * autoReconnect sessions produce failed Results; without it
+         * the error throws instead.
+         */
+        bool ok = true;
+        std::string error;
     };
 
     /**
@@ -184,6 +211,9 @@ class InferClient
 
     uint64_t requestsRun() const { return requests; }
 
+    /** Successful session recoveries (autoReconnect only). */
+    uint64_t reconnects() const { return reconnectCount; }
+
     /** Correlations this party consumed (both directions). */
     size_t cotsConsumed() const;
 
@@ -205,12 +235,28 @@ class InferClient
   private:
     void handshake();
     void commitPending();
+    void buildReservoirs();
+    bool canRecover(const std::exception &e) const;
+    void reconnect(const std::string &cause);
+    void redial();
+    void resubmitPending();
+    void failPendingFrom(size_t answered, const std::string &what);
 
     std::unique_ptr<net::SocketChannel> ch;
     Options opt_;
     ppml::MlpModelSpec spec_;
     uint64_t sid = 0;
     bool closed = false;
+    bool dead_ = false; ///< recovery budget spent: session is gone
+
+    // Recorded by the connectTcp* factories; recovery needs somewhere
+    // to redial (a session over a caller-supplied channel cannot).
+    std::string host_;
+    uint16_t port_ = 0;
+    std::string cotHost_;
+    uint16_t cotPort_ = 0;
+    bool endpointsKnown_ = false;
+    uint64_t reconnectCount = 0;
     uint16_t depth_ = 1; ///< negotiated in-flight bound
     bool packed_ = false; ///< negotiated wire packing
     uint32_t nextTag = 1;
@@ -234,10 +280,13 @@ class InferClient
     std::vector<uint64_t> x0, x1, y1; ///< staging, reused per request
 
     // Pipelining state: submitted-but-uncommitted requests (tags plus
-    // this party's concatenated input shares) and committed-but-
-    // uncollected responses in submission order.
+    // BOTH parties' concatenated input shares — x1 is stored so a
+    // reconnect can resubmit the exact same shares without touching
+    // the share tape) and committed-but-uncollected responses in
+    // submission order.
     std::vector<uint32_t> pendingTags;
     std::vector<uint64_t> pendingX0;
+    std::vector<uint64_t> pendingX1;
     std::deque<Result> ready;
 };
 

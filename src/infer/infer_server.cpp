@@ -1,6 +1,7 @@
 #include "infer/infer_server.h"
 
 #include "common/logging.h"
+#include "net/wire_error.h"
 #include "ppml/cot_engine.h"
 #include "ppml/mlp_runner.h"
 #include "ppml/secure_compute.h"
@@ -14,6 +15,9 @@ InferServer::InferServer(Config cfg)
     server_.setHandler([this](net::SocketChannel &ch, uint64_t sid) {
         serveSession(ch, sid);
     });
+    server_.setSessionRecvTimeout(cfg_.sessionRecvTimeoutMs);
+    server_.setSessionSendTimeout(cfg_.sessionSendTimeoutMs);
+    server_.setIdleTimeout(cfg_.idleTimeoutMs);
 }
 
 InferServer::~InferServer()
@@ -52,6 +56,19 @@ InferServer::stop()
     server_.stop();
 }
 
+bool
+InferServer::drain(uint64_t timeout_ms)
+{
+    // Opposite order from stop(): in-flight sessions must keep drawing
+    // from the stock until their committed work is answered. drain()
+    // has already force-closed any straggler by the time the stock is
+    // retired, so nothing can park in a stock wait afterwards.
+    const bool clean = server_.drain(timeout_ms);
+    if (stock_)
+        stock_->shutdown();
+    return clean;
+}
+
 size_t
 InferServer::activeSessions() const
 {
@@ -64,6 +81,8 @@ InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
     try {
         if (cfg_.simulatedDelayUs > 0)
             ch.setSimulatedDelay(cfg_.simulatedDelayUs);
+        if (cfg_.simulatedBandwidthBps > 0)
+            ch.setSimulatedBandwidth(cfg_.simulatedBandwidthBps);
         InferHello hello;
         InferStatus st = recvInferHello(ch, &hello);
         // Policy on top of the structural checks.
@@ -213,7 +232,8 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
         const InferOp op = recvInferOp(ch);
         if (op == InferOp::Infer) {
             if (tags.size() >= hello.depth)
-                throw std::runtime_error(
+                throw net::WireError(
+                    net::WireFault::Protocol,
                     "infer session: in-flight depth exceeded");
             tags.push_back(recvInferTag(ch));
             x1cat.resize(x1cat.size() + req_in);

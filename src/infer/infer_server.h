@@ -72,6 +72,18 @@ class InferServer
         uint64_t simulatedDelayUs = 0;
 
         /**
+         * Simulated link bandwidth for every session channel
+         * (SocketChannel::setSimulatedBandwidth, bits/sec); 0 = off.
+         * With simulatedDelayUs this completes the WAN model.
+         */
+        uint64_t simulatedBandwidthBps = 0;
+
+        // -- containment (see net::SessionServer) ----------------------
+        uint64_t sessionRecvTimeoutMs = 0; ///< blocked-read deadline
+        uint64_t sessionSendTimeoutMs = 0; ///< blocked-write deadline
+        uint64_t idleTimeoutMs = 0;        ///< no-traffic reap window
+
+        /**
          * OT parameter shapes Engine-supply sessions may request;
          * empty = any structurally valid shape (dev/loopback).
          * Deployments MUST set this: a structurally valid hello can
@@ -107,6 +119,17 @@ class InferServer
 
     /** Stop accepting, unwind sessions, join everything. Idempotent. */
     void stop();
+
+    /**
+     * Graceful shutdown: stop accepting, give in-flight sessions
+     * @p timeout_ms to finish (they keep drawing from the operator
+     * stock, which is retired only afterwards), then force-close
+     * stragglers. Returns true iff every session ended voluntarily.
+     */
+    bool drain(uint64_t timeout_ms);
+
+    /** Sessions force-closed by the idle reaper. */
+    uint64_t sessionsReaped() const { return server_.sessionsReaped(); }
 
     uint64_t sessionsServed() const { return served.load(); }
     uint64_t sessionsRejected() const { return rejected.load(); }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "net/wire_error.h"
 
 namespace ironman::net {
 
@@ -75,6 +76,14 @@ void
 Channel::recvBitsInto(BitVec &bits)
 {
     uint64_t n = recvUint64();
+    // The length prefix is untrusted wire input: bound it BEFORE the
+    // resize so a corrupted/hostile prefix is a typed error, not a
+    // multi-gigabyte allocation. 2^33 bits = 1 GiB of words, matching
+    // SocketChannel::kMaxFrameBytes.
+    if (n > (uint64_t(1) << 33))
+        throw WireError(WireFault::Protocol,
+                        "recvBits: implausible bit-vector length " +
+                            std::to_string(n));
     bits.resize(n);
     auto &words = bits.rawWords();
     recvBytes(words.data(), words.size() * sizeof(uint64_t));

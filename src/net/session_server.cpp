@@ -52,6 +52,8 @@ SessionServer::startAccepting()
 {
     stopping.store(false);
     acceptThread = std::thread([this] { acceptLoop(); });
+    if (idleTimeoutMs > 0)
+        reaperThread = std::thread([this] { reaperLoop(); });
 }
 
 void
@@ -81,6 +83,13 @@ SessionServer::acceptLoop()
         } catch (...) {
             continue;
         }
+        // No server thread enters a blocking kernel call unbounded:
+        // the deadlines ride on the channel, set before the handler
+        // ever sees it.
+        if (recvTimeoutMs > 0)
+            ch->setRecvTimeout(recvTimeoutMs);
+        if (sendTimeoutMs > 0)
+            ch->setSendTimeout(sendTimeoutMs);
         auto finished = std::make_shared<std::atomic<bool>>(false);
         {
             std::lock_guard<std::mutex> lock(m);
@@ -103,6 +112,7 @@ SessionServer::acceptLoop()
                 {
                     std::lock_guard<std::mutex> lock(m);
                     liveChannels.erase(sid);
+                    activity.erase(sid);
                     --active;
                     cv.notify_all();
                 }
@@ -111,6 +121,41 @@ SessionServer::acceptLoop()
             std::move(ch));
         std::lock_guard<std::mutex> lock(m);
         sessions.push_back(std::move(sess));
+    }
+}
+
+void
+SessionServer::reaperLoop()
+{
+    // Scan period: a fraction of the idle window, so a session is
+    // reaped within ~1.25x the configured timeout of going quiet.
+    const auto period =
+        std::chrono::milliseconds(std::max<uint64_t>(idleTimeoutMs / 4,
+                                                     10));
+    const auto idle = std::chrono::milliseconds(idleTimeoutMs);
+    std::unique_lock<std::mutex> lock(m);
+    while (!stopping.load()) {
+        cv.wait_for(lock, period, [&] { return stopping.load(); });
+        if (stopping.load())
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        for (auto &[sid, ch] : liveChannels) {
+            // Counter reads are relaxed atomics — progress watching,
+            // not synchronization.
+            const uint64_t bytes = ch->bytesSent() + ch->bytesReceived();
+            auto [it, fresh] = activity.try_emplace(sid);
+            if (fresh || it->second.bytes != bytes) {
+                it->second.bytes = bytes;
+                it->second.lastChange = now;
+            } else if (now - it->second.lastChange >= idle) {
+                // Dead weight: wake its thread through the socket (it
+                // unwinds via WireError) and let the normal epilogue
+                // clean up. Erasure of the bookkeeping happens there.
+                ch->shutdownBoth();
+                reaped.fetch_add(1, std::memory_order_relaxed);
+                it->second.lastChange = now; // don't re-reap every scan
+            }
+        }
     }
 }
 
@@ -131,10 +176,8 @@ SessionServer::reapFinishedLocked()
 }
 
 void
-SessionServer::stop()
+SessionServer::retireListener()
 {
-    if (listenFd.load() < 0 && !acceptThread.joinable())
-        return;
     stopping.store(true);
     // Retire the listener first (atomically), then close it: the
     // accept thread either sees -1 or gets EBADF/EINVAL from accept —
@@ -145,28 +188,32 @@ SessionServer::stop()
         ::close(fd);
     }
     {
-        // Wake sessions parked in a recv; their threads unwind through
-        // the exception path and run their epilogues.
+        // Wake the accept loop's slot wait and the reaper's period
+        // wait; neither can touch new sessions after this.
         std::lock_guard<std::mutex> lock(m);
-        for (auto &[sid, ch] : liveChannels)
-            ch->shutdownBoth();
         cv.notify_all();
     }
     if (acceptThread.joinable())
         acceptThread.join();
-    {
-        // Second pass, after the accept loop is gone: a connection
-        // acceptOn() returned just before the pass above registered
-        // AFTER it and would otherwise idle on a live socket while
-        // the joins below wait forever. No further registrations can
-        // occur now, so this pass is exhaustive.
+    if (reaperThread.joinable())
+        reaperThread.join();
+}
+
+void
+SessionServer::finishSessions(bool force)
+{
+    if (force) {
+        // The accept loop and reaper are gone, so this pass over
+        // liveChannels is exhaustive: wake sessions parked in a recv;
+        // their threads unwind through the exception path and run
+        // their epilogues.
         std::lock_guard<std::mutex> lock(m);
         for (auto &[sid, ch] : liveChannels)
             ch->shutdownBoth();
     }
-    // Join every session thread (their sockets are shut down, so they
-    // unwind promptly). Never detach: a detached thread could still be
-    // releasing the server's mutex while the server destructs.
+    // Join every session thread. Never detach: a detached thread could
+    // still be releasing the server's mutex while the server
+    // destructs.
     std::vector<Session> to_join;
     {
         std::lock_guard<std::mutex> lock(m);
@@ -174,6 +221,33 @@ SessionServer::stop()
     }
     for (Session &s : to_join)
         s.thread.join();
+}
+
+void
+SessionServer::stop()
+{
+    if (listenFd.load() < 0 && !acceptThread.joinable())
+        return;
+    retireListener();
+    finishSessions(/*force=*/true);
+}
+
+bool
+SessionServer::drain(uint64_t timeout_ms)
+{
+    retireListener();
+    bool clean;
+    {
+        // Grace window: sessions finish on their own terms — their
+        // sockets stay untouched, so in-flight requests complete and
+        // clients see a normal end-of-session.
+        std::unique_lock<std::mutex> lock(m);
+        clean = cv.wait_for(lock,
+                            std::chrono::milliseconds(timeout_ms),
+                            [&] { return active == 0; });
+    }
+    finishSessions(/*force=*/true); // no-op shutdowns if all finished
+    return clean;
 }
 
 size_t

@@ -21,6 +21,23 @@
  *     through their exception path), then joins the accept loop and
  *     every session thread. Idempotent.
  *
+ * Containment (the failure layer):
+ *
+ *   - setSessionRecvTimeout/setSessionSendTimeout apply poll-based
+ *     deadlines to every accepted channel BEFORE the handler runs, so
+ *     no server thread ever enters a blocking read without a bound —
+ *     a stalled peer becomes a typed WireError{Deadline} and the
+ *     session unwinds;
+ *   - setIdleTimeout arms a reaper thread that watches each live
+ *     channel's byte counters and force-closes sessions that have
+ *     moved no bytes for the configured window (belt to the deadline's
+ *     suspenders: it also catches handlers blocked outside the
+ *     channel, e.g. in a stock wait);
+ *   - drain(timeout) is the rolling-restart path: stop accepting
+ *     immediately, let in-flight sessions FINISH (no socket shutdown),
+ *     and only force-close whatever is still running when the deadline
+ *     expires. Returns true iff every session completed voluntarily.
+ *
  * The handler runs on the session thread and OWNS the protocol loop;
  * it must not outlive the channel reference it is given. Exceptions
  * it throws are the normal way a session ends on a dead peer — the
@@ -31,6 +48,7 @@
 #define IRONMAN_NET_SESSION_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -65,6 +83,22 @@ class SessionServer
     void setHandler(Handler h);
 
     /**
+     * Per-session channel deadlines, applied to every accepted
+     * connection before its handler runs (0 = unbounded, the
+     * pre-failure-layer behavior). Set before listening.
+     */
+    void setSessionRecvTimeout(uint64_t ms) { recvTimeoutMs = ms; }
+    void setSessionSendTimeout(uint64_t ms) { sendTimeoutMs = ms; }
+
+    /**
+     * Arm the idle reaper: a session whose channel moves no bytes in
+     * either direction for @p ms is force-closed (its thread unwinds
+     * through WireError{PeerClosed}). 0 disables. Set before
+     * listening.
+     */
+    void setIdleTimeout(uint64_t ms) { idleTimeoutMs = ms; }
+
+    /**
      * Bind 127.0.0.1:@p port (0 = ephemeral), start the accept loop,
      * return the bound port.
      */
@@ -82,19 +116,40 @@ class SessionServer
      */
     void stop();
 
+    /**
+     * Rolling-restart mode: retire the listener NOW (new connects are
+     * refused), let in-flight sessions run to their own Close for up
+     * to @p timeout_ms, then force-close stragglers and join
+     * everything. Returns true iff all sessions finished voluntarily
+     * (zero interrupted requests). The server is fully stopped either
+     * way.
+     */
+    bool drain(uint64_t timeout_ms);
+
+    /** Sessions the reaper force-closed for idleness. */
+    uint64_t sessionsReaped() const { return reaped.load(); }
+
     size_t activeSessions() const;
 
   private:
     void startAccepting();
     void acceptLoop();
+    void reaperLoop();
     void reapFinishedLocked();
+    void retireListener();
+    void finishSessions(bool force);
 
     Handler handler;
     size_t maxSessions;
+    uint64_t recvTimeoutMs = 0;
+    uint64_t sendTimeoutMs = 0;
+    uint64_t idleTimeoutMs = 0;
 
     std::atomic<int> listenFd{-1}; ///< stop() retires it from another thread
     std::thread acceptThread;
+    std::thread reaperThread;
     std::atomic<bool> stopping{false};
+    std::atomic<uint64_t> reaped{0};
 
     /** One accepted session: its serving thread + completion flag. */
     struct Session
@@ -103,10 +158,18 @@ class SessionServer
         std::shared_ptr<std::atomic<bool>> finished;
     };
 
+    /** Reaper bookkeeping: last observed progress per live channel. */
+    struct Activity
+    {
+        uint64_t bytes = 0;
+        std::chrono::steady_clock::time_point lastChange;
+    };
+
     mutable std::mutex m;
     std::condition_variable cv; ///< session-slot and drain waits
     size_t active = 0;
     std::map<uint64_t, SocketChannel *> liveChannels;
+    std::map<uint64_t, Activity> activity; ///< reaper-only, under m
     std::vector<Session> sessions; ///< joined on reap/stop, never detached
     uint64_t nextSession = 1;
 };

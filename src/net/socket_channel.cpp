@@ -6,12 +6,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <stdexcept>
 #include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -21,10 +21,25 @@ namespace ironman::net {
 namespace {
 
 [[noreturn]] void
-throwErrno(const char *what)
+throwErrno(WireFault fault, const char *what)
 {
-    throw std::runtime_error(std::string(what) + ": " +
-                             std::strerror(errno));
+    throw WireError(fault, std::string(what) + ": " +
+                               std::strerror(errno));
+}
+
+/** Classify a failed send/recv errno: gone peer vs anything else. */
+WireFault
+ioFault(int err)
+{
+    switch (err) {
+      case EPIPE:
+      case ECONNRESET:
+      case ENOTCONN:
+      case ECONNABORTED:
+        return WireFault::PeerClosed;
+      default:
+        return WireFault::Fatal;
+    }
 }
 
 } // namespace
@@ -32,7 +47,7 @@ throwErrno(const char *what)
 SocketChannel::SocketChannel(int fd, bool tcp_nodelay) : sock(fd)
 {
     if (sock < 0)
-        throw std::runtime_error("SocketChannel: bad fd");
+        throw WireError(WireFault::Fatal, "SocketChannel: bad fd");
     if (tcp_nodelay) {
         // Best effort: fails harmlessly on non-TCP sockets.
         int one = 1;
@@ -57,7 +72,16 @@ SocketChannel::SocketChannel(int fd, bool tcp_nodelay) : sock(fd)
                             sizeof(buf)))
                 peer = buf;
         } else if (ss.ss_family == AF_UNIX) {
-            peer = "unix";
+            // SO_PEERCRED is kernel-asserted, so a local quota bucket
+            // is per USER, not one shared "unix" bucket every local
+            // process can drain (or spoof into).
+            ucred cred{};
+            socklen_t clen = sizeof(cred);
+            if (::getsockopt(sock, SOL_SOCKET, SO_PEERCRED, &cred,
+                             &clen) == 0)
+                peer = "unix:uid:" + std::to_string(cred.uid);
+            else
+                peer = "unix";
         }
     }
     if (peer.empty())
@@ -85,14 +109,39 @@ SocketChannel::shutdownBoth()
 }
 
 void
+SocketChannel::pollOrThrow(short events, uint64_t timeout_ms,
+                           const char *what)
+{
+    pollfd pfd{};
+    pfd.fd = sock;
+    pfd.events = events;
+    for (;;) {
+        const int n = ::poll(&pfd, 1, int(timeout_ms));
+        if (n > 0)
+            return; // readable/writable (or HUP/ERR: the recv/send
+                    // that follows reports the precise condition)
+        if (n == 0)
+            throw WireError(WireFault::Deadline,
+                            std::string(what) + ": deadline (" +
+                                std::to_string(timeout_ms) +
+                                " ms) expired waiting on peer");
+        if (errno == EINTR)
+            continue;
+        throwErrno(WireFault::Fatal, "SocketChannel poll");
+    }
+}
+
+void
 SocketChannel::writeAll(const uint8_t *data, size_t len)
 {
     while (len > 0) {
+        if (sendTimeoutMs > 0)
+            pollOrThrow(POLLOUT, sendTimeoutMs, "SocketChannel send");
         ssize_t n = ::send(sock, data, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throwErrno("SocketChannel send");
+            throwErrno(ioFault(errno), "SocketChannel send");
         }
         data += n;
         len -= size_t(n);
@@ -106,24 +155,24 @@ SocketChannel::sendBytes(const void *data, size_t len)
         return;
     if (lastDir != 0) {
         lastDir = 0;
-        ++turnCount;
+        turnCount.fetch_add(1, std::memory_order_relaxed);
     }
     const auto *bytes = static_cast<const uint8_t *>(data);
     txBuf.insert(txBuf.end(), bytes, bytes + len);
-    sent += len;
+    sent.fetch_add(len, std::memory_order_relaxed);
     if (txBuf.size() >= kFlushThreshold)
         flush();
 }
 
 void
-SocketChannel::flush()
+SocketChannel::writeFrames(size_t from)
 {
     // A single sendBytes can exceed the u32 frame-length field (the
     // threshold check fires only after a whole message is buffered);
     // split into as many maximal frames as needed — the reader
     // reassembles a byte stream, so frame boundaries are invisible.
     constexpr size_t kMaxFrame = 0xffffffffu;
-    size_t off = 0;
+    size_t off = from;
     while (off < txBuf.size()) {
         const uint32_t len =
             uint32_t(std::min(txBuf.size() - off, kMaxFrame));
@@ -135,8 +184,125 @@ SocketChannel::flush()
         writeAll(header, sizeof(header));
         writeAll(txBuf.data() + off, len);
         off += len;
+        wireSent += len;
+        // Link-rate pacing: a frame of b payload bytes occupies the
+        // simulated link for 8b/rate seconds (headers ignored — the
+        // accounting is payload-based everywhere).
+        if (bandwidthBps > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                uint64_t(len) * 8'000'000 / bandwidthBps));
     }
     txBuf.clear(); // keeps capacity: steady state reuses the buffer
+}
+
+void
+SocketChannel::applySendFault()
+{
+    faultDone = true;
+    // 0-based offset of the trigger byte within the pending buffer.
+    const size_t off = std::min(
+        txBuf.size() - 1,
+        size_t(fault.atSentByte > wireSent ? fault.atSentByte - wireSent - 1
+                                           : 0));
+    switch (fault.kind) {
+      case FaultPlan::Kind::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(fault.delayUs));
+        writeFrames(0);
+        return;
+      case FaultPlan::Kind::Corrupt:
+        // One flipped payload byte; the frame itself stays well-formed
+        // (framing corruption is the TruncateFrame case) — the damage
+        // surfaces wherever the peer's protocol layer notices, or
+        // doesn't: GMW shares carry no MAC, which is exactly what the
+        // chaos grid documents.
+        txBuf[off] ^= 0xa5;
+        writeFrames(0);
+        return;
+      case FaultPlan::Kind::Close:
+        txBuf.clear();
+        shutdownBoth();
+        throw WireError(WireFault::PeerClosed,
+                        "fault injection: abrupt close");
+      case FaultPlan::Kind::TruncateFrame: {
+        // Promise the full frame, deliver only the bytes up to the
+        // trigger, then vanish: the peer dies inside readFrame().
+        const uint32_t len = uint32_t(
+            std::min(txBuf.size(), size_t(0xffffffffu)));
+        uint8_t header[4];
+        header[0] = uint8_t(len);
+        header[1] = uint8_t(len >> 8);
+        header[2] = uint8_t(len >> 16);
+        header[3] = uint8_t(len >> 24);
+        writeAll(header, sizeof(header));
+        writeAll(txBuf.data(), off);
+        txBuf.clear();
+        shutdownBoth();
+        throw WireError(WireFault::PeerClosed,
+                        "fault injection: frame truncated");
+      }
+      case FaultPlan::Kind::Stall: {
+        // Partial frame, socket left OPEN: the peer blocks on the
+        // missing bytes until ITS deadline fires — the one failure
+        // mode only recv timeouts can contain.
+        const uint32_t len = uint32_t(
+            std::min(txBuf.size(), size_t(0xffffffffu)));
+        uint8_t header[4];
+        header[0] = uint8_t(len);
+        header[1] = uint8_t(len >> 8);
+        header[2] = uint8_t(len >> 16);
+        header[3] = uint8_t(len >> 24);
+        writeAll(header, sizeof(header));
+        writeAll(txBuf.data(), off);
+        txBuf.clear();
+        throw WireError(WireFault::Transient,
+                        "fault injection: stall after partial write");
+      }
+      case FaultPlan::Kind::None:
+        writeFrames(0);
+        return;
+    }
+}
+
+void
+SocketChannel::flush()
+{
+    if (txBuf.empty())
+        return;
+    if (fault.armed() && !faultDone &&
+        wireSent + txBuf.size() >= fault.atSentByte) {
+        applySendFault();
+        return;
+    }
+    writeFrames(0);
+}
+
+void
+SocketChannel::applyTurnFault()
+{
+    switch (fault.kind) {
+      case FaultPlan::Kind::Delay:
+        faultDone = true;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(fault.delayUs));
+        return;
+      case FaultPlan::Kind::Close:
+        faultDone = true;
+        shutdownBoth();
+        throw WireError(WireFault::PeerClosed,
+                        "fault injection: abrupt close at turnaround");
+      case FaultPlan::Kind::Stall:
+        faultDone = true;
+        throw WireError(WireFault::Transient,
+                        "fault injection: stall at turnaround");
+      case FaultPlan::Kind::Corrupt:
+      case FaultPlan::Kind::TruncateFrame:
+        // Send-path faults: re-arm for the next flushed byte.
+        fault.atSentByte = wireSent + 1;
+        return;
+      case FaultPlan::Kind::None:
+        return;
+    }
 }
 
 void
@@ -145,20 +311,28 @@ SocketChannel::readFrame()
     uint8_t header[4];
     size_t got = 0;
     while (got < sizeof(header)) {
+        if (recvTimeoutMs > 0)
+            pollOrThrow(POLLIN, recvTimeoutMs, "SocketChannel recv");
         ssize_t n = ::recv(sock, header + got, sizeof(header) - got, 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throwErrno("SocketChannel recv");
+            throwErrno(ioFault(errno), "SocketChannel recv");
         }
         if (n == 0)
-            throw std::runtime_error(
-                "SocketChannel: peer closed the connection");
+            throw WireError(WireFault::PeerClosed,
+                            "SocketChannel: peer closed the connection");
         got += size_t(n);
     }
     const uint32_t len = getU32(header);
     if (len == 0)
-        throw std::runtime_error("SocketChannel: zero-length frame");
+        throw WireError(WireFault::Protocol,
+                        "SocketChannel: zero-length frame");
+    if (len > kMaxFrameBytes)
+        throw WireError(WireFault::Protocol,
+                        "SocketChannel: oversized frame (" +
+                            std::to_string(len) +
+                            " bytes) — corrupt or hostile header");
 
     // Compact: all delivered payload has been consumed before another
     // frame is needed (recvBytes drains rxBuf first), so the buffer is
@@ -171,16 +345,18 @@ SocketChannel::readFrame()
     rxBuf.resize(base + len);
     size_t filled = 0;
     while (filled < len) {
+        if (recvTimeoutMs > 0)
+            pollOrThrow(POLLIN, recvTimeoutMs, "SocketChannel recv");
         ssize_t n = ::recv(sock, rxBuf.data() + base + filled,
                            len - filled, 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throwErrno("SocketChannel recv");
+            throwErrno(ioFault(errno), "SocketChannel recv");
         }
         if (n == 0)
-            throw std::runtime_error(
-                "SocketChannel: peer closed mid-frame");
+            throw WireError(WireFault::PeerClosed,
+                            "SocketChannel: peer closed mid-frame");
         filled += size_t(n);
     }
 }
@@ -195,7 +371,10 @@ SocketChannel::recvBytes(void *data, size_t len)
         return;
     if (lastDir != 1) {
         lastDir = 1;
-        ++turnCount;
+        const uint64_t turn =
+            turnCount.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (fault.armed() && !faultDone && turn >= fault.atTurn)
+            applyTurnFault();
         // Latency injection point: one sleep per turnaround models the
         // propagation delay of the half-round this endpoint now waits
         // on (see setSimulatedDelay).
@@ -213,7 +392,7 @@ SocketChannel::recvBytes(void *data, size_t len)
         rxPos += take;
         got += take;
     }
-    received += len;
+    received.fetch_add(len, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -225,7 +404,7 @@ tcpListen(uint16_t port, int backlog)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
-        throwErrno("socket");
+        throwErrno(WireFault::Fatal, "socket");
     int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
@@ -235,11 +414,11 @@ tcpListen(uint16_t port, int backlog)
     if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
         0) {
         ::close(fd);
-        throwErrno("bind");
+        throwErrno(WireFault::Fatal, "bind");
     }
     if (::listen(fd, backlog) < 0) {
         ::close(fd);
-        throwErrno("listen");
+        throwErrno(WireFault::Fatal, "listen");
     }
     return fd;
 }
@@ -251,7 +430,7 @@ tcpListenPort(int listen_fd)
     socklen_t len = sizeof(addr);
     if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
                       &len) < 0)
-        throwErrno("getsockname");
+        throwErrno(WireFault::Fatal, "getsockname");
     return ntohs(addr.sin_port);
 }
 
@@ -269,22 +448,48 @@ acceptOn(int listen_fd)
 }
 
 std::unique_ptr<SocketChannel>
-tcpConnect(const std::string &host, uint16_t port)
+tcpConnect(const std::string &host, uint16_t port,
+           const std::string &bind_host)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
-        throwErrno("socket");
+        throwErrno(WireFault::Fatal, "socket");
+    if (!bind_host.empty()) {
+        sockaddr_in src{};
+        src.sin_family = AF_INET;
+        if (::inet_pton(AF_INET, bind_host.c_str(), &src.sin_addr) !=
+            1) {
+            ::close(fd);
+            throw WireError(WireFault::Fatal,
+                            "tcpConnect: bad bind host " + bind_host);
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&src),
+                   sizeof(src)) < 0) {
+            ::close(fd);
+            throwErrno(WireFault::Fatal, "tcpConnect bind");
+        }
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
         ::close(fd);
-        throw std::runtime_error("tcpConnect: bad host " + host);
+        throw WireError(WireFault::Fatal,
+                        "tcpConnect: bad host " + host);
     }
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) < 0) {
+        const int err = errno;
         ::close(fd);
-        throwErrno("connect");
+        errno = err;
+        // Refused/timed out/unreachable: the server may be restarting
+        // — the canonical retry-with-backoff case.
+        const bool transient = err == ECONNREFUSED ||
+                               err == ETIMEDOUT ||
+                               err == EHOSTUNREACH ||
+                               err == ENETUNREACH || err == EAGAIN;
+        throwErrno(transient ? WireFault::Transient : WireFault::Fatal,
+                   "connect");
     }
     return std::make_unique<SocketChannel>(fd);
 }
@@ -294,23 +499,24 @@ unixListen(const std::string &path)
 {
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        throwErrno("socket");
+        throwErrno(WireFault::Fatal, "socket");
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path.size() >= sizeof(addr.sun_path)) {
         ::close(fd);
-        throw std::runtime_error("unixListen: path too long: " + path);
+        throw WireError(WireFault::Fatal,
+                        "unixListen: path too long: " + path);
     }
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
     ::unlink(path.c_str());
     if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
         0) {
         ::close(fd);
-        throwErrno("bind (unix)");
+        throwErrno(WireFault::Fatal, "bind (unix)");
     }
     if (::listen(fd, 16) < 0) {
         ::close(fd);
-        throwErrno("listen (unix)");
+        throwErrno(WireFault::Fatal, "listen (unix)");
     }
     return fd;
 }
@@ -320,18 +526,24 @@ unixConnect(const std::string &path)
 {
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        throwErrno("socket");
+        throwErrno(WireFault::Fatal, "socket");
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path.size() >= sizeof(addr.sun_path)) {
         ::close(fd);
-        throw std::runtime_error("unixConnect: path too long: " + path);
+        throw WireError(WireFault::Fatal,
+                        "unixConnect: path too long: " + path);
     }
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) < 0) {
+        const int err = errno;
         ::close(fd);
-        throwErrno("connect (unix)");
+        errno = err;
+        const bool transient =
+            err == ECONNREFUSED || err == ENOENT || err == EAGAIN;
+        throwErrno(transient ? WireFault::Transient : WireFault::Fatal,
+                   "connect (unix)");
     }
     return std::make_unique<SocketChannel>(fd);
 }
@@ -341,7 +553,7 @@ socketChannelPair()
 {
     int fds[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0)
-        throwErrno("socketpair");
+        throwErrno(WireFault::Fatal, "socketpair");
     return {std::make_unique<SocketChannel>(fds[0]),
             std::make_unique<SocketChannel>(fds[1])};
 }

@@ -19,9 +19,10 @@ CotClient::CotClient(std::unique_ptr<net::SocketChannel> channel,
     sendHello(*ch, h);
     const Accept a = recvAccept(*ch);
     if (a.status != Status::Ok)
-        throw std::runtime_error(
+        throw net::WireError(
+            net::WireFault::Fatal,
             std::string("CotClient: server rejected hello: ") +
-            statusName(a.status));
+                statusName(a.status));
     sid = a.sessionId;
 
     if (opt_.role == Role::Sender) {
@@ -47,6 +48,27 @@ CotClient::connectTcp(const std::string &host, uint16_t port,
 {
     return std::make_unique<CotClient>(net::tcpConnect(host, port),
                                        params, opt);
+}
+
+std::unique_ptr<CotClient>
+CotClient::connectTcpRetry(const std::string &host, uint16_t port,
+                           const ot::FerretParams &params, Options opt,
+                           const RetryPolicy &retry,
+                           const RetryEventHook &hook)
+{
+    const unsigned attempts = retry.maxAttempts > 0 ? retry.maxAttempts
+                                                    : 1u;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            retry.sleepBefore(attempt);
+            return connectTcp(host, port, params, opt);
+        } catch (const net::WireError &e) {
+            if (!e.retryable() || attempt >= attempts)
+                throw;
+            if (hook)
+                hook(attempt, retry.backoffMs(attempt + 1), e.what());
+        }
+    }
 }
 
 std::unique_ptr<CotClient>

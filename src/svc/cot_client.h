@@ -28,6 +28,7 @@
 #include "net/socket_channel.h"
 #include "ot/ferret.h"
 #include "ot/ferret_params.h"
+#include "svc/retry.h"
 #include "svc/wire.h"
 
 namespace ironman::svc {
@@ -45,8 +46,9 @@ class CotClient
 
     /**
      * Handshake over an already-connected channel (from tcpConnect /
-     * unixConnect / socketChannelPair). Throws std::runtime_error when
-     * the server rejects the hello.
+     * unixConnect / socketChannelPair). Throws net::WireError{Fatal}
+     * when the server rejects the hello (a reject is a verdict, not a
+     * hiccup — retrying the same hello gets the same answer).
      */
     CotClient(std::unique_ptr<net::SocketChannel> ch,
               const ot::FerretParams &params, Options opt);
@@ -55,6 +57,20 @@ class CotClient
     static std::unique_ptr<CotClient>
     connectTcp(const std::string &host, uint16_t port,
                const ot::FerretParams &params, Options opt);
+
+    /**
+     * connectTcp with reconnect: retryable failures (refused connect —
+     * the daemon is restarting — or a wire error inside the handshake)
+     * are retried under @p retry's backoff/budget; the last error is
+     * rethrown once the budget is spent. Non-retryable errors (a
+     * server REJECT, bad configuration) propagate immediately.
+     * @p hook observes each retry (may be empty).
+     */
+    static std::unique_ptr<CotClient>
+    connectTcpRetry(const std::string &host, uint16_t port,
+                    const ot::FerretParams &params, Options opt,
+                    const RetryPolicy &retry,
+                    const RetryEventHook &hook = RetryEventHook());
 
     /** Convenience: connect + handshake over a Unix-domain path. */
     static std::unique_ptr<CotClient>

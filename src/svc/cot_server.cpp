@@ -13,6 +13,9 @@ CotServer::CotServer(Config cfg)
     server_.setHandler([this](net::SocketChannel &ch, uint64_t sid) {
         serveSession(ch, sid);
     });
+    server_.setSessionRecvTimeout(cfg_.sessionRecvTimeoutMs);
+    server_.setSessionSendTimeout(cfg_.sessionSendTimeoutMs);
+    server_.setIdleTimeout(cfg_.idleTimeoutMs);
 }
 
 CotServer::~CotServer()
@@ -36,6 +39,12 @@ void
 CotServer::stop()
 {
     server_.stop();
+}
+
+bool
+CotServer::drain(uint64_t timeout_ms)
+{
+    return server_.drain(timeout_ms);
 }
 
 size_t

@@ -51,6 +51,14 @@ class CotServer
         bool pipelined = true;   ///< engine mode (clients must match)
         size_t maxSessions = 32; ///< concurrent-session bound
 
+        // -- containment (see net::SessionServer) ----------------------
+        // Per-session socket deadlines plus an idle reaper, so one
+        // stalled or dead peer cannot pin a session thread forever.
+        // 0 = off (trusted-bench default; the daemons set these).
+        uint64_t sessionRecvTimeoutMs = 0; ///< blocked-read deadline
+        uint64_t sessionSendTimeoutMs = 0; ///< blocked-write deadline
+        uint64_t idleTimeoutMs = 0;        ///< no-traffic reap window
+
         // -- per-client policy, enforced at handshake ------------------
         // A rejected hello gets a clean wire-level Accept{status} (the
         // client can log it) instead of a dropped connection. Clients
@@ -100,6 +108,17 @@ class CotServer
      * unwind, and join the accept loop. Idempotent.
      */
     void stop();
+
+    /**
+     * Graceful shutdown for rolling restarts: stop accepting, give
+     * in-flight sessions @p timeout_ms to finish on their own, then
+     * force-close stragglers. Returns true iff every session ended
+     * voluntarily. Terminal — serve with a fresh server afterwards.
+     */
+    bool drain(uint64_t timeout_ms);
+
+    /** Sessions force-closed by the idle reaper. */
+    uint64_t sessionsReaped() const { return server_.sessionsReaped(); }
 
     EnginePool &pool() { return pool_; }
 

@@ -1,9 +1,9 @@
 #include "svc/operator_stock.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "common/logging.h"
+#include "net/wire_error.h"
 
 namespace ironman::svc {
 
@@ -71,11 +71,13 @@ OperatorStock::takeSend(uint64_t sid, size_t n, std::vector<Block> *q,
             return it != sessions.end() && it->second.haveDelta &&
                    it->second.blocks.size() - it->second.head >= n;
         }))
-        throw std::runtime_error(
+        throw net::WireError(
+            net::WireFault::Deadline,
             "OperatorStock: timed out waiting for stock (client dead, "
             "stalled, or bogus session id)");
     if (stopped)
-        throw std::runtime_error("OperatorStock: retired");
+        throw net::WireError(net::WireFault::Fatal,
+                             "OperatorStock: retired");
     SessionStock &s = sessions[sid];
     q->resize(n);
     std::copy_n(s.blocks.data() + s.head, n, q->data());
@@ -96,11 +98,13 @@ OperatorStock::takeRecv(uint64_t sid, size_t n, BitVec *bits,
             return it != sessions.end() &&
                    it->second.blocks.size() - it->second.head >= n;
         }))
-        throw std::runtime_error(
+        throw net::WireError(
+            net::WireFault::Deadline,
             "OperatorStock: timed out waiting for stock (client dead, "
             "stalled, or bogus session id)");
     if (stopped)
-        throw std::runtime_error("OperatorStock: retired");
+        throw net::WireError(net::WireFault::Fatal,
+                             "OperatorStock: retired");
     SessionStock &s = sessions[sid];
     bits->assignRange(s.bits, s.head, n);
     t->resize(n);

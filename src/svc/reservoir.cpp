@@ -6,11 +6,46 @@
 
 namespace ironman::svc {
 
-Reservoir::Reservoir(CotClient &c, Options opt) : client(c), opt_(opt)
+Reservoir::Reservoir(CotClient &c, Options opt)
+    : client_(&c), opt_(opt), role_(c.role()), usable_(c.usableOts())
 {
     IRONMAN_CHECK(opt_.lowWaterBatches >= 1 &&
                       opt_.maxBatches >= opt_.lowWaterBatches,
                   "reservoir watermarks inverted");
+    refillThread = std::thread([this] { refillLoop(); });
+}
+
+Reservoir::Reservoir(SessionFactory f, Options opt, RetryPolicy retry,
+                     RetryEventHook hook)
+    : factory(std::move(f)), retry_(retry), retryHook(std::move(hook)),
+      opt_(opt)
+{
+    IRONMAN_CHECK(opt_.lowWaterBatches >= 1 &&
+                      opt_.maxBatches >= opt_.lowWaterBatches,
+                  "reservoir watermarks inverted");
+    IRONMAN_CHECK(factory, "reservoir factory mode needs a factory");
+
+    // The initial dial gets the same budget as a recovery dial: a
+    // daemon mid-restart looks identical at connect time.
+    const unsigned attempts =
+        retry_.maxAttempts > 0 ? retry_.maxAttempts : 1u;
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            retry_.sleepBefore(attempt);
+            owned = factory();
+            break;
+        } catch (const net::WireError &e) {
+            if (!e.retryable() || attempt >= attempts)
+                throw;
+            if (retryHook)
+                retryHook(attempt, retry_.backoffMs(attempt + 1),
+                          e.what());
+        }
+    }
+    IRONMAN_CHECK(owned, "reservoir factory returned null");
+    client_ = owned.get();
+    role_ = client_->role();
+    usable_ = client_->usableOts();
     refillThread = std::thread([this] { refillLoop(); });
 }
 
@@ -33,12 +68,73 @@ Reservoir::stopRefill()
 }
 
 void
+Reservoir::markFailed(net::WireFault fault, const std::string &what)
+{
+    std::lock_guard<std::mutex> lock(m);
+    failed = true;
+    failFault = fault;
+    failWhat = what;
+    stockCv.notify_all();
+}
+
+bool
+Reservoir::recoverSession(const net::WireError &cause)
+{
+    // The dead session's stock is unusable: the operator halves lived
+    // in the old server process. Discard before redialing so takers
+    // never see a tape mixing two sessions.
+    {
+        std::lock_guard<std::mutex> lock(m);
+        discardStockLocked();
+    }
+
+    const unsigned attempts =
+        retry_.maxAttempts > 0 ? retry_.maxAttempts : 1u;
+    std::string last = cause.what();
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (!running)
+                return false;
+        }
+        if (retryHook)
+            retryHook(attempt, retry_.backoffMs(attempt + 1), last);
+        try {
+            // Backoff BEFORE the dial: the failure that brought us
+            // here is evidence the daemon is down right now.
+            retry_.sleepBefore(attempt + 1);
+            std::unique_ptr<CotClient> fresh = factory();
+            IRONMAN_CHECK(fresh && fresh->role() == role_ &&
+                              fresh->usableOts() == usable_,
+                          "reservoir factory changed session shape");
+            std::lock_guard<std::mutex> lock(m);
+            owned = std::move(fresh);
+            client_ = owned.get();
+            ++reconnectCount;
+            return true;
+        } catch (const net::WireError &e) {
+            last = e.what();
+            if (!e.retryable()) {
+                markFailed(e.fault(), last);
+                return false;
+            }
+        } catch (const std::exception &e) {
+            markFailed(net::WireFault::Fatal, e.what());
+            return false;
+        }
+    }
+    markFailed(net::WireFault::PeerClosed,
+               "reconnect budget exhausted: " + last);
+    return false;
+}
+
+void
 Reservoir::refillLoop()
 {
-    const size_t usable = client.usableOts();
+    const size_t usable = usable_;
     const size_t low = opt_.lowWaterBatches * usable;
     const size_t cap = opt_.maxBatches * usable;
-    const bool recv_role = client.role() == Role::Receiver;
+    const bool recv_role = role_ == Role::Receiver;
 
     for (;;) {
         {
@@ -58,11 +154,24 @@ Reservoir::refillLoop()
         // OUTSIDE the lock: takers keep draining the existing stock
         // while the session round trips.
         for (;;) {
-            stageBlocks.resize(usable);
-            if (recv_role)
-                client.extendRecv(stageBits, stageBlocks.data());
-            else
-                client.extendSend(stageBlocks.data());
+            try {
+                stageBlocks.resize(usable);
+                if (recv_role)
+                    client_->extendRecv(stageBits, stageBlocks.data());
+                else
+                    client_->extendSend(stageBlocks.data());
+            } catch (const net::WireError &e) {
+                if (!factory || !e.retryable()) {
+                    markFailed(e.fault(), e.what());
+                    return;
+                }
+                if (!recoverSession(e))
+                    return;
+                continue; // retry this extension on the fresh session
+            } catch (const std::exception &e) {
+                markFailed(net::WireFault::Fatal, e.what());
+                return;
+            }
 
             std::lock_guard<std::mutex> lock(m);
             if (recv_role)
@@ -84,6 +193,14 @@ Reservoir::refillLoop()
 }
 
 void
+Reservoir::discardStockLocked()
+{
+    blocks.clear();
+    bits = BitVec();
+    head = 0;
+}
+
+void
 Reservoir::waitForStockLocked(std::unique_lock<std::mutex> &lock,
                               size_t n)
 {
@@ -93,20 +210,29 @@ Reservoir::waitForStockLocked(std::unique_lock<std::mutex> &lock,
     // never clear what a concurrent larger take still needs. The
     // refill loop retires demand once the stock covers it.
     stockCv.wait(lock, [&] {
-        if (!running || blocks.size() - head >= n)
+        if (!running || failed || blocks.size() - head >= n)
             return true;
         demand = std::max(demand, n);
         needCv.notify_all();
         return false;
     });
-    IRONMAN_CHECK(blocks.size() - head >= n,
-                  "reservoir stopped with takers waiting");
+    if (blocks.size() - head < n) {
+        // The taker's error, not the refiller's: a typed throw the
+        // consumer can catch and route, never a process abort.
+        if (failed)
+            throw net::WireError(failFault,
+                                 "Reservoir: supply failed: " +
+                                     failWhat);
+        throw net::WireError(
+            net::WireFault::PeerClosed,
+            "Reservoir: stopped with takers waiting");
+    }
 }
 
 void
 Reservoir::takeRecv(size_t n, BitVec *out_bits, std::vector<Block> *t)
 {
-    IRONMAN_CHECK(client.role() == Role::Receiver,
+    IRONMAN_CHECK(role_ == Role::Receiver,
                   "takeRecv on a sender-role reservoir");
     std::unique_lock<std::mutex> lock(m);
     waitForStockLocked(lock, n);
@@ -117,7 +243,7 @@ Reservoir::takeRecv(size_t n, BitVec *out_bits, std::vector<Block> *t)
     takenCount += n;
 
     // Compact consumed whole batches so the stock stays bounded.
-    const size_t usable = client.usableOts();
+    const size_t usable = usable_;
     if (head >= usable) {
         const size_t drop = head - head % usable;
         blocks.erase(blocks.begin(), blocks.begin() + drop);
@@ -132,7 +258,7 @@ Reservoir::takeRecv(size_t n, BitVec *out_bits, std::vector<Block> *t)
 void
 Reservoir::takeSend(size_t n, std::vector<Block> *q)
 {
-    IRONMAN_CHECK(client.role() == Role::Sender,
+    IRONMAN_CHECK(role_ == Role::Sender,
                   "takeSend on a receiver-role reservoir");
     std::unique_lock<std::mutex> lock(m);
     waitForStockLocked(lock, n);
@@ -141,7 +267,7 @@ Reservoir::takeSend(size_t n, std::vector<Block> *q)
     head += n;
     takenCount += n;
 
-    const size_t usable = client.usableOts();
+    const size_t usable = usable_;
     if (head >= usable) {
         const size_t drop = head - head % usable;
         blocks.erase(blocks.begin(), blocks.begin() + drop);
@@ -169,6 +295,20 @@ Reservoir::taken() const
 {
     std::lock_guard<std::mutex> lock(m);
     return takenCount;
+}
+
+uint64_t
+Reservoir::reconnects() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return reconnectCount;
+}
+
+bool
+Reservoir::failedTerminally() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return failed;
 }
 
 } // namespace ironman::svc

@@ -11,6 +11,18 @@
  * session. The refill thread extends whenever the stock drops under
  * the low-water mark and parks once it holds maxBatches extensions.
  *
+ * Failure handling: a reservoir constructed over an EXTERNAL session
+ * (the legacy reference constructor) treats any refill error as
+ * terminal — the owner owns recovery. A reservoir constructed with a
+ * session FACTORY owns its session and recovers from retryable wire
+ * errors (net::WireError): it discards the dead session's remaining
+ * stock (the peer's matching halves died with the server — mixing
+ * tapes across sessions would hand out unpaired correlations),
+ * redials through the factory under the RetryPolicy's backoff/budget,
+ * and restocks. Only when the budget is spent (or the error is not
+ * retryable) does the failure surface — as a typed WireError thrown
+ * to every blocked and future taker, never as a silent stall.
+ *
  * ReservoirCotSupply composes two reservoirs over two sessions of
  * opposite roles into the dual-direction ppml::CotSupply the GMW
  * engine consumes; the peer holding the matching halves is the
@@ -22,14 +34,19 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bitvec.h"
 #include "common/block.h"
+#include "net/wire_error.h"
 #include "ppml/cot_supply.h"
 #include "svc/cot_client.h"
+#include "svc/retry.h"
 
 namespace ironman::svc {
 
@@ -62,16 +79,31 @@ class Reservoir
         }
     };
 
+    /** Dials one session; called again (under backoff) on recovery. */
+    using SessionFactory =
+        std::function<std::unique_ptr<CotClient>()>;
+
     /**
      * Start refilling immediately. @p client must outlive the
      * reservoir and must not be used elsewhere while it runs (the
-     * refill thread owns the session).
+     * refill thread owns the session). No recovery: a refill error is
+     * terminal for this reservoir.
      */
     explicit Reservoir(CotClient &client)
         : Reservoir(client, Options{})
     {
     }
     Reservoir(CotClient &client, Options opt);
+
+    /**
+     * Owning, self-healing mode: dial the initial session through
+     * @p factory (retried under @p retry if the first dial fails
+     * retryably), and on a retryable refill error discard stock,
+     * redial, restock. @p hook observes retry events (may be empty).
+     */
+    Reservoir(SessionFactory factory, Options opt, RetryPolicy retry,
+              RetryEventHook hook = RetryEventHook());
+
     ~Reservoir();
 
     Reservoir(const Reservoir &) = delete;
@@ -80,12 +112,16 @@ class Reservoir
     /**
      * Take @p n receiver-role correlations into caller storage
      * (resized; reused storage allocates nothing). Blocks until the
-     * refill thread has produced enough.
+     * refill thread has produced enough; throws net::WireError if the
+     * supply failed terminally (see file comment).
      */
     void takeRecv(size_t n, BitVec *bits, std::vector<Block> *t);
 
     /** Take @p n sender-role strings; see takeRecv. */
     void takeSend(size_t n, std::vector<Block> *q);
+
+    /** The current session (rebuilt across recoveries). */
+    CotClient &session() { return *client_; }
 
     /** Correlations currently in stock. */
     size_t stock() const;
@@ -96,6 +132,12 @@ class Reservoir
     /** Correlations handed out. */
     uint64_t taken() const;
 
+    /** Successful session recoveries (factory mode only). */
+    uint64_t reconnects() const;
+
+    /** Whether the supply failed terminally (takers will throw). */
+    bool failedTerminally() const;
+
     /**
      * Stop the refill thread (it finishes any in-flight extension).
      * Called by the destructor; the session itself stays open for the
@@ -105,11 +147,22 @@ class Reservoir
 
   private:
     void refillLoop();
+    bool recoverSession(const net::WireError &cause);
+    void markFailed(net::WireFault fault, const std::string &what);
     void waitForStockLocked(std::unique_lock<std::mutex> &lock,
                             size_t n);
+    void discardStockLocked();
 
-    CotClient &client;
+    CotClient *client_ = nullptr; ///< external, or owned.get()
+    std::unique_ptr<CotClient> owned; ///< factory mode only
+    SessionFactory factory;           ///< empty = no recovery
+    RetryPolicy retry_;
+    RetryEventHook retryHook;
     Options opt_;
+    // Session invariants cached at construction so takers never touch
+    // client_ (the refill thread may be swapping it mid-recovery).
+    Role role_ = Role::Receiver;
+    size_t usable_ = 0;
 
     mutable std::mutex m;
     std::condition_variable stockCv; ///< takers wait for stock
@@ -123,8 +176,12 @@ class Reservoir
     size_t head = 0;
     size_t demand = 0; ///< largest pending take (refiller must cover it)
     bool running = true;
+    bool failed = false; ///< terminal: takers throw instead of waiting
+    net::WireFault failFault = net::WireFault::Fatal;
+    std::string failWhat;
     uint64_t refillCount = 0;
     uint64_t takenCount = 0;
+    uint64_t reconnectCount = 0;
 
     // Refill staging (thread-local to the refill loop, reused).
     BitVec stageBits;

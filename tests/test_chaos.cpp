@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Fault-tolerance tests for the serving stack (net + svc + infer):
+ *
+ *  - deterministic fault-injection grid (close / truncate / stall /
+ *    corrupt / delay at seeded protocol offsets) against BOTH daemons:
+ *    every failure surfaces as a typed net::WireError — never a hang,
+ *    crash, or abort — and the daemon stays serviceable afterwards;
+ *  - server containment: a stalled peer cannot hold a session thread
+ *    past the recv deadline, and a silent one is reaped on the idle
+ *    timeout;
+ *  - graceful drain: in-flight sessions finish with ZERO failed
+ *    requests while new connects are refused;
+ *  - client recovery: the factory-mode svc::Reservoir survives a COT
+ *    daemon kill/restart (discard stock, redial under backoff,
+ *    restock), and infer::InferClient with autoReconnect survives an
+ *    inference-backend kill/restart — uncommitted requests replay
+ *    from stored shares, committed-but-unanswered ones surface as
+ *    typed Result failures, and every COMPLETED image is bit-identical
+ *    to an uninterrupted run (DESIGN.md invariant 15; pinned on the
+ *    exact fracBits-0 zoo model, whose outputs are position-
+ *    independent across session splits).
+ *
+ * Everything runs over real loopback TCP; the file is part of the CI
+ * ASan and TSan jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/fault.h"
+#include "net/socket_channel.h"
+#include "net/wire_error.h"
+#include "ot/ferret_params.h"
+#include "infer/infer_client.h"
+#include "infer/infer_server.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/model_zoo.h"
+#include "svc/cot_client.h"
+#include "svc/cot_server.h"
+#include "svc/operator_stock.h"
+#include "svc/reservoir.h"
+#include "svc/retry.h"
+
+namespace ironman {
+namespace {
+
+using infer::InferClient;
+using infer::InferServer;
+using net::FaultPlan;
+using net::WireError;
+using svc::CotClient;
+using svc::CotServer;
+using svc::Reservoir;
+
+/** Poll @p pred for a few seconds — server-side effects are async. */
+template <typename Pred>
+void
+waitUntil(Pred pred)
+{
+    for (int spin = 0; spin < 5000 && !pred(); ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+/** Fast, test-friendly reconnect policy. */
+svc::RetryPolicy
+fastRetry(unsigned attempts = 6)
+{
+    svc::RetryPolicy r;
+    r.maxAttempts = attempts;
+    r.baseBackoffMs = 5;
+    r.maxBackoffMs = 80;
+    r.jitterSeed = 42;
+    return r;
+}
+
+constexpr FaultPlan::Kind kAllKinds[] = {
+    FaultPlan::Kind::Close,   FaultPlan::Kind::TruncateFrame,
+    FaultPlan::Kind::Stall,   FaultPlan::Kind::Corrupt,
+    FaultPlan::Kind::Delay,
+};
+
+// ---------------------------------------------------------------------------
+// Fault-injection grid: COT daemon
+// ---------------------------------------------------------------------------
+
+TEST(ChaosFaultGridTest, CotServerSurvivesEveryFaultKind)
+{
+    const ot::FerretParams p = ot::tinyTestParams();
+    CotServer::Config cfg;
+    // Containment: Stall leaves the peer's fd open, so only these
+    // deadlines free the session thread.
+    cfg.sessionRecvTimeoutMs = 300;
+    cfg.sessionSendTimeoutMs = 300;
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    for (const FaultPlan::Kind kind : kAllKinds) {
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            SCOPED_TRACE(std::string("kind=") +
+                         FaultPlan::atByte(kind, 0).kindName() +
+                         " seed=" + std::to_string(seed));
+            try {
+                auto ch = net::tcpConnect("127.0.0.1", port);
+                // Offsets land anywhere from inside the handshake to
+                // several extensions deep.
+                ch->setFaultPlan(FaultPlan::seeded(
+                    kind, seed * 977, /*max_byte=*/20000,
+                    /*delay_us=*/5000));
+                CotClient::Options opt;
+                opt.setupSeed = 0xfa110 + seed;
+                CotClient client(std::move(ch), p, opt);
+                BitVec c;
+                std::vector<Block> t(client.usableOts());
+                for (int it = 0; it < 6; ++it)
+                    client.extendRecv(c, t.data());
+                client.close();
+            } catch (const WireError &) {
+                // Typed — exactly what the taxonomy promises.
+            }
+            // No other exception type may escape (ASSERT via gtest:
+            // an untyped throw would propagate and fail the test).
+        }
+    }
+
+    // Containment: every faulted session unwinds (the stalled ones on
+    // the server's recv deadline), no thread left pinned.
+    waitUntil([&] { return server.activeSessions() == 0; });
+    EXPECT_EQ(server.activeSessions(), 0u);
+
+    // The daemon is still healthy: a clean session serves.
+    CotClient::Options opt;
+    opt.setupSeed = 0xc1ea4;
+    auto client = CotClient::connectTcp("127.0.0.1", port, p, opt);
+    BitVec c;
+    std::vector<Block> t(client->usableOts());
+    client->extendRecv(c, t.data());
+    EXPECT_EQ(c.size(), client->usableOts());
+    client->close();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection grid: inference daemon
+// ---------------------------------------------------------------------------
+
+TEST(ChaosFaultGridTest, InferServerSurvivesEveryFaultKind)
+{
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+    InferServer::Config cfg;
+    cfg.sessionRecvTimeoutMs = 300;
+    cfg.sessionSendTimeoutMs = 300;
+    InferServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    const std::vector<int64_t> input =
+        ppml::sampleMlpInput(spec, 777, 1);
+
+    for (const FaultPlan::Kind kind : kAllKinds) {
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            SCOPED_TRACE(std::string("kind=") +
+                         FaultPlan::atByte(kind, 0).kindName() +
+                         " seed=" + std::to_string(seed));
+            try {
+                auto ch = net::tcpConnect("127.0.0.1", port);
+                ch->setFaultPlan(FaultPlan::seeded(
+                    kind, seed * 1381, /*max_byte=*/20000,
+                    /*delay_us=*/5000));
+                InferClient::Options opt;
+                opt.modelId = spec.id;
+                opt.width = 16;
+                opt.setupSeed = 0xdead + seed;
+                InferClient client(std::move(ch), opt);
+                for (int r = 0; r < 3; ++r)
+                    client.infer(input);
+                client.close();
+            } catch (const WireError &) {
+                // Typed.
+            }
+        }
+    }
+
+    waitUntil([&] { return server.activeSessions() == 0; });
+    EXPECT_EQ(server.activeSessions(), 0u);
+
+    // Still serving, still correct.
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 16;
+    opt.setupSeed = 0xfeed;
+    auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+    const std::vector<int64_t> got = client->infer(input);
+    EXPECT_EQ(got, ppml::mlpPlainForward(spec, input))
+        << "fracBits-0 model is exact";
+    client->close();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Containment: deadlines and the idle reaper
+// ---------------------------------------------------------------------------
+
+TEST(ChaosContainmentTest, StalledPeerFreedByRecvDeadline)
+{
+    CotServer::Config cfg;
+    cfg.sessionRecvTimeoutMs = 100;
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    // Connect and go silent WITHOUT closing: without the deadline the
+    // session thread would block in recv forever.
+    auto stalled = net::tcpConnect("127.0.0.1", port);
+    waitUntil([&] { return server.activeSessions() == 0; });
+    EXPECT_EQ(server.activeSessions(), 0u)
+        << "recv deadline must free the session thread";
+    server.stop();
+}
+
+TEST(ChaosContainmentTest, SilentPeerReapedOnIdleTimeout)
+{
+    CotServer::Config cfg;
+    cfg.idleTimeoutMs = 100; // reaper only; blocking reads stay
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    auto silent = net::tcpConnect("127.0.0.1", port);
+    waitUntil([&] { return server.sessionsReaped() >= 1; });
+    EXPECT_GE(server.sessionsReaped(), 1u);
+    waitUntil([&] { return server.activeSessions() == 0; });
+    EXPECT_EQ(server.activeSessions(), 0u);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDrainTest, CotServerDrainFinishesInFlightRejectsNew)
+{
+    const ot::FerretParams p = ot::tinyTestParams();
+    CotServer server;
+    const uint16_t port = server.listenTcp(0);
+
+    // An in-flight session that keeps extending while the drain runs.
+    std::atomic<int> extensions_done{0};
+    std::atomic<bool> client_threw{false};
+    std::thread worker([&] {
+        try {
+            CotClient::Options opt;
+            opt.setupSeed = 0xd4a1;
+            auto client =
+                CotClient::connectTcp("127.0.0.1", port, p, opt);
+            BitVec c;
+            std::vector<Block> t(client->usableOts());
+            for (int it = 0; it < 8; ++it) {
+                client->extendRecv(c, t.data());
+                extensions_done.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            client->close();
+        } catch (...) {
+            client_threw = true;
+        }
+    });
+    waitUntil([&] { return extensions_done.load() >= 2; });
+
+    const bool clean = server.drain(10000);
+    EXPECT_TRUE(clean)
+        << "in-flight session must finish voluntarily within the window";
+    worker.join();
+    EXPECT_FALSE(client_threw.load())
+        << "drain must not fail in-flight work";
+    EXPECT_EQ(extensions_done.load(), 8);
+
+    // The drained daemon refuses new connects.
+    EXPECT_THROW(net::tcpConnect("127.0.0.1", port), WireError);
+}
+
+TEST(ChaosDrainTest, InferServerDrainAnswersEveryPendingRequest)
+{
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+    InferServer server;
+    const uint16_t port = server.listenTcp(0);
+
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 16;
+    opt.depth = 4; // submissions stay pending until drain()
+    opt.setupSeed = 0xd4a2;
+    auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+
+    std::vector<std::vector<int64_t>> reqs;
+    for (int r = 0; r < 3; ++r) {
+        reqs.push_back(ppml::sampleMlpInput(spec, 4500 + r, 1));
+        client->submit(reqs.back());
+    }
+    EXPECT_EQ(client->inFlight(), 3u);
+
+    // Drain starts while the requests are in flight; the session must
+    // be allowed to commit, collect, and close inside the window.
+    std::atomic<bool> drained_clean{false};
+    std::thread drainer(
+        [&] { drained_clean = server.drain(10000); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    const std::vector<InferClient::Result> results = client->drain();
+    ASSERT_EQ(results.size(), 3u);
+    for (size_t r = 0; r < results.size(); ++r) {
+        EXPECT_TRUE(results[r].ok) << "request " << r << ": "
+                                   << results[r].error;
+        EXPECT_EQ(results[r].outputs,
+                  ppml::mlpPlainForward(spec, reqs[r]))
+            << "request " << r;
+    }
+    client->close();
+    drainer.join();
+    EXPECT_TRUE(drained_clean.load())
+        << "zero failed requests and a voluntary session end";
+
+    EXPECT_THROW(net::tcpConnect("127.0.0.1", port), WireError);
+}
+
+// ---------------------------------------------------------------------------
+// Client recovery: factory-mode reservoir vs COT daemon kill/restart
+// ---------------------------------------------------------------------------
+
+TEST(ChaosRecoveryTest, ReservoirSurvivesCotServerKillRestart)
+{
+    const ot::FerretParams p = ot::tinyTestParams();
+    auto cot = std::make_unique<CotServer>();
+    const uint16_t port = cot->listenTcp(0);
+
+    CotClient::Options copt;
+    copt.role = svc::Role::Sender;
+    copt.setupSeed = 0x5ee5;
+    Reservoir res(
+        [&, copt] {
+            return CotClient::connectTcp("127.0.0.1", port, p, copt);
+        },
+        Reservoir::Options{}, fastRetry(10));
+
+    std::vector<Block> q;
+    res.takeSend(100, &q);
+    EXPECT_EQ(q.size(), 100u);
+    EXPECT_EQ(res.reconnects(), 0u);
+
+    // Kill the daemon mid-life (possibly mid-extension: the refill
+    // thread runs continuously) and restart it on the same port.
+    cot->stop();
+    cot = std::make_unique<CotServer>();
+    ASSERT_EQ(cot->listenTcp(port), port);
+
+    // The reservoir discards the dead session's stock, redials under
+    // backoff, restocks — takers just block a little longer.
+    res.takeSend(2 * p.usableOts() + 17, &q);
+    EXPECT_EQ(q.size(), 2 * p.usableOts() + 17);
+    waitUntil([&] { return res.reconnects() >= 1; });
+    EXPECT_GE(res.reconnects(), 1u);
+    EXPECT_FALSE(res.failedTerminally());
+    res.stopRefill();
+    cot->stop();
+}
+
+TEST(ChaosRecoveryTest, ReservoirFailsTypedWhenBudgetExhausted)
+{
+    const ot::FerretParams p = ot::tinyTestParams();
+    auto cot = std::make_unique<CotServer>();
+    const uint16_t port = cot->listenTcp(0);
+
+    Reservoir res(
+        [&] {
+            CotClient::Options copt;
+            copt.setupSeed = 0xbad5eed;
+            return CotClient::connectTcp("127.0.0.1", port, p, copt);
+        },
+        Reservoir::Options{}, fastRetry(3));
+
+    BitVec bits;
+    std::vector<Block> t;
+    res.takeRecv(10, &bits, &t); // healthy first
+
+    cot->stop();
+    cot.reset(); // kill for good: every redial is refused
+
+    // The refiller burns its budget, then every taker gets a typed
+    // error instead of an abort or a forever-block.
+    try {
+        res.takeRecv(64 * p.usableOts(), &bits, &t);
+        FAIL() << "take from a dead supply must throw";
+    } catch (const WireError &e) {
+        EXPECT_TRUE(e.retryable() || e.fault() == net::WireFault::Fatal)
+            << e.what();
+    }
+    EXPECT_TRUE(res.failedTerminally());
+}
+
+// ---------------------------------------------------------------------------
+// Client recovery: InferClient vs backend kill/restart (invariant 15)
+// ---------------------------------------------------------------------------
+
+TEST(ChaosRecoveryTest, InferClientEngineSupplySurvivesKillRestart)
+{
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+    constexpr unsigned kWidth = 16;
+    constexpr uint32_t kBatch = 2;
+    constexpr int kRequests = 6;
+    constexpr int kKillAfter = 3; // requests completed before the kill
+
+    std::vector<std::vector<int64_t>> reqs;
+    for (int r = 0; r < kRequests; ++r)
+        reqs.push_back(ppml::sampleMlpInput(spec, 8800 + r, kBatch));
+    // The uninterrupted reference run (one session, one share tape).
+    const ppml::LocalMlpResult local = ppml::runLocalMlpInference(
+        spec, kWidth, reqs, /*share_seed=*/0x15a5, /*setup_seed=*/0x99,
+        ot::tinyTestParams());
+
+    auto server = std::make_unique<InferServer>();
+    const uint16_t port = server->listenTcp(0);
+
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = kWidth;
+    opt.batch = kBatch;
+    opt.shareSeed = 0x15a5;
+    opt.setupSeed = 0x99;
+    opt.autoReconnect = true;
+    opt.retry = fastRetry(10);
+    auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+
+    size_t completed = 0, failed = 0;
+    for (int r = 0; r < kRequests; ++r) {
+        if (r == kKillAfter) {
+            // Kill the whole backend and restart it on the same port.
+            server->stop();
+            server = std::make_unique<InferServer>();
+            ASSERT_EQ(server->listenTcp(port), port);
+        }
+        client->submit(reqs[r]);
+        const InferClient::Result res = client->collect();
+        if (res.ok) {
+            // Invariant 15: every COMPLETED image is bit-identical to
+            // the uninterrupted run. (Exact model: outputs do not
+            // depend on the session position of the request.)
+            EXPECT_EQ(res.outputs, local.outputs[r]) << "request " << r;
+            ++completed;
+        } else {
+            // Committed-but-unanswered: a typed failure, never a
+            // silent wrong answer or a double evaluation.
+            EXPECT_FALSE(res.error.empty());
+            ++failed;
+        }
+    }
+    EXPECT_GE(client->reconnects(), 1u);
+    EXPECT_LE(failed, 1u) << "only the request racing the kill may fail";
+    EXPECT_GE(completed, size_t(kRequests - 1));
+    client->close();
+    server->stop();
+}
+
+TEST(ChaosRecoveryTest, InferClientReservoirSupplySurvivesKillRestart)
+{
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+    constexpr unsigned kWidth = 16;
+    constexpr int kRequests = 5;
+    constexpr int kKillAfter = 2;
+
+    std::vector<std::vector<int64_t>> reqs;
+    for (int r = 0; r < kRequests; ++r)
+        reqs.push_back(ppml::sampleMlpInput(spec, 9900 + r, 1));
+    const ppml::LocalMlpResult local = ppml::runLocalMlpInference(
+        spec, kWidth, reqs, 0x77a1, 0x51, ot::tinyTestParams());
+
+    // Backend A: COT daemon + stock + inference daemon.
+    auto stock = std::make_unique<svc::OperatorStock>();
+    auto cot = std::make_unique<CotServer>();
+    stock->attach(*cot);
+    const uint16_t cot_port = cot->listenTcp(0);
+    auto server = std::make_unique<InferServer>();
+    server->attachOperatorStock(*stock);
+    const uint16_t port = server->listenTcp(0);
+
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = kWidth;
+    opt.batch = 1;
+    opt.shareSeed = 0x77a1;
+    opt.setupSeed = 0x51;
+    opt.autoReconnect = true;
+    opt.retry = fastRetry(10);
+    auto client = InferClient::connectTcpReservoir(
+        "127.0.0.1", port, "127.0.0.1", cot_port, opt);
+    EXPECT_EQ(client->supply(), infer::SupplyKind::Reservoir);
+
+    size_t completed = 0, failed = 0;
+    for (int r = 0; r < kRequests; ++r) {
+        if (r == kKillAfter) {
+            // Kill the WHOLE backend — inference daemon, COT daemon,
+            // stock — and restart all of it on the same ports. The
+            // client's reconnect rebuilds its COT sessions and
+            // reservoirs from scratch against the fresh stock.
+            server->stop();
+            cot->stop();
+            stock = std::make_unique<svc::OperatorStock>();
+            cot = std::make_unique<CotServer>();
+            stock->attach(*cot);
+            ASSERT_EQ(cot->listenTcp(cot_port), cot_port);
+            server = std::make_unique<InferServer>();
+            server->attachOperatorStock(*stock);
+            ASSERT_EQ(server->listenTcp(port), port);
+        }
+        client->submit(reqs[r]);
+        const InferClient::Result res = client->collect();
+        if (res.ok) {
+            EXPECT_EQ(res.outputs, local.outputs[r]) << "request " << r;
+            ++completed;
+        } else {
+            EXPECT_FALSE(res.error.empty());
+            ++failed;
+        }
+    }
+    EXPECT_GE(client->reconnects(), 1u);
+    EXPECT_LE(failed, 1u);
+    EXPECT_GE(completed, size_t(kRequests - 1));
+    client->close();
+    server->stop();
+    cot->stop();
+}
+
+TEST(ChaosRecoveryTest, InferClientFailsTypedWithoutBackend)
+{
+    const ppml::MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+    auto server = std::make_unique<InferServer>();
+    const uint16_t port = server->listenTcp(0);
+
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 16;
+    opt.autoReconnect = true;
+    opt.retry = fastRetry(3);
+    auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+    const std::vector<int64_t> input =
+        ppml::sampleMlpInput(spec, 321, 1);
+    client->infer(input); // healthy first
+
+    server->stop();
+    server.reset(); // no restart: the budget must expire
+
+    try {
+        client->infer(input);
+        FAIL() << "no backend: the retry budget must expire typed";
+    } catch (const WireError &e) {
+        EXPECT_TRUE(e.retryable() ||
+                    e.fault() == net::WireFault::PeerClosed)
+            << e.what();
+    }
+    // The request that raced the death parked a typed failed Result.
+    const InferClient::Result r = client->collect();
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+    // The session is terminally dead now; further use stays typed.
+    EXPECT_THROW(client->submit(input), WireError);
+}
+
+} // namespace
+} // namespace ironman

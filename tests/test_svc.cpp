@@ -747,5 +747,196 @@ TEST(ReservoirTest, DualDirectionSupplyPairsBothWays)
     server.stop();
 }
 
+// ---------------------------------------------------------------------------
+// Broken-wire fuzz: the extension phase vs a malformed peer
+// ---------------------------------------------------------------------------
+
+/**
+ * A peer that handshakes CORRECTLY and then speaks garbage — bogus
+ * ops, valid frames full of noise, truncated extension traffic,
+ * abrupt disconnects. The server must unwind each session with a
+ * typed error (never a crash, hang, or sanitizer finding) and keep
+ * serving honest clients afterwards.
+ */
+TEST(CotServiceFuzzTest, ExtensionPhaseSurvivesMalformedPeers)
+{
+    const FerretParams p = ot::tinyTestParams();
+    CotServer::Config cfg;
+    cfg.sessionRecvTimeoutMs = 500; // a truncating peer must not pin
+    CotServer server(cfg);          // a session thread forever
+    const uint16_t port = server.listenTcp(0);
+
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Rng rng(0xf022 * seed);
+        try {
+            auto ch = net::tcpConnect("127.0.0.1", port);
+            Hello h;
+            h.role = Role::Receiver;
+            h.setupSeed = 0xbad0 + seed;
+            h.params = WireParams::of(p);
+            sendHello(*ch, h);
+            ch->flush();
+            const Accept a = recvAccept(*ch);
+            ASSERT_EQ(a.status, Status::Ok);
+
+            switch (seed % 4) {
+              case 0:
+                // Vanish right after the handshake.
+                break;
+              case 1: {
+                // A bogus op byte.
+                uint8_t op = uint8_t(200 + rng.nextBelow(50));
+                ch->sendBytes(&op, 1);
+                ch->flush();
+                break;
+              }
+              case 2: {
+                // A real Extend, then noise instead of the protocol.
+                sendOp(*ch, Op::Extend);
+                const size_t words = 1 + rng.nextBelow(200);
+                for (size_t i = 0; i < words; ++i)
+                    ch->sendUint64(rng.nextUint64());
+                ch->flush();
+                break;
+              }
+              default:
+                // A real Extend, then silence: the peer truncates the
+                // exchange and disconnects mid-protocol.
+                sendOp(*ch, Op::Extend);
+                ch->flush();
+                break;
+            }
+            // ch destructs here: abrupt close, no polite Op::Close.
+        } catch (const net::WireError &) {
+            // The server may slam the door first; also typed.
+        }
+    }
+
+    // Every fuzzed session unwinds...
+    waitUntil([&] { return server.activeSessions() == 0; });
+    EXPECT_EQ(server.activeSessions(), 0u);
+
+    // ...and an honest session still gets bit-exact service.
+    const uint64_t seed = 0x600d;
+    SessionRef ref = runDirect(p, seed, 1);
+    CotClient::Options opt;
+    opt.setupSeed = seed;
+    auto client = CotClient::connectTcp("127.0.0.1", port, p, opt);
+    BitVec c;
+    std::vector<Block> t(client->usableOts());
+    client->extendRecv(c, t.data());
+    for (size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(t[i], ref.t[i]);
+    for (size_t i = 0; i < c.size(); ++i)
+        ASSERT_EQ(c.get(i), ref.choice.get(i));
+    client->close();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Quota adversary: a flooding client cannot degrade honest service
+// ---------------------------------------------------------------------------
+
+TEST(CotServicePolicyTest, QuotaAdversaryCannotStarveHonestClient)
+{
+    const FerretParams p = ot::tinyTestParams();
+    CotServer::Config cfg;
+    cfg.maxSessionsPerClient = 2;
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    // Honest client from 127.0.0.1, session open across the flood.
+    const uint64_t seed = 0x40ae57;
+    constexpr int kIters = 4; // one before, two during, one after
+    SessionRef ref = runDirect(p, seed, kIters);
+    CotClient::Options opt;
+    opt.setupSeed = seed;
+    auto honest = CotClient::connectTcp("127.0.0.1", port, p, opt);
+    const size_t usable = p.usableOts();
+    BitVec c;
+    std::vector<Block> t(usable);
+    BitVec got_c;
+    std::vector<Block> got_t;
+    auto extendOnce = [&] {
+        honest->extendRecv(c, t.data());
+        got_c.appendRange(c, 0, c.size());
+        got_t.insert(got_t.end(), t.begin(), t.end());
+    };
+    extendOnce();
+
+    // The adversary floods from its own address (loopback source
+    // bind), burning its session quota...
+    for (uint64_t i = 0; i < 2; ++i) {
+        CotClient::Options aopt;
+        aopt.setupSeed = 0xadd0 + i;
+        CotClient adv(net::tcpConnect("127.0.0.1", port, "127.0.0.2"),
+                      p, aopt);
+        adv.close();
+    }
+    // ...then every further connect gets a clean typed quota reject —
+    // while the honest session keeps extending in between.
+    for (uint64_t i = 0; i < 4; ++i) {
+        try {
+            CotClient::Options aopt;
+            aopt.setupSeed = 0xadd8 + i;
+            CotClient adv(
+                net::tcpConnect("127.0.0.1", port, "127.0.0.2"), p,
+                aopt);
+            FAIL() << "flood connect " << i << " must be rejected";
+        } catch (const net::WireError &e) {
+            EXPECT_NE(std::string(e.what()).find("session quota"),
+                      std::string::npos)
+                << e.what();
+        }
+        if (i % 2 == 0)
+            extendOnce();
+    }
+    extendOnce();
+
+    // The adversary's bucket is full; the honest client's is not, and
+    // its correlations are bit-identical to the direct reference.
+    ASSERT_EQ(got_t.size(), usable * kIters);
+    for (size_t i = 0; i < got_t.size(); ++i)
+        ASSERT_EQ(got_t[i], ref.t[i]);
+    for (size_t i = 0; i < got_c.size(); ++i)
+        ASSERT_EQ(got_c.get(i), ref.choice.get(i));
+    honest->close();
+    server.stop();
+    EXPECT_EQ(server.sessionsRejected(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Unix-domain quota identity: SO_PEERCRED, not a shared bucket
+// ---------------------------------------------------------------------------
+
+TEST(CotServicePolicyTest, UnixPeerAddressIsKernelAssertedUid)
+{
+    // The accepted end of a Unix-domain connection must key quotas by
+    // the kernel-asserted peer uid — not a single "unix" bucket every
+    // local process could drain or spoof into.
+    const std::string path = "/tmp/ironman_peercred_test.sock";
+    int listener = net::unixListen(path);
+    std::thread client([&] {
+        auto ch = net::unixConnect(path);
+        ch->sendUint64(1);
+        ch->flush();
+        EXPECT_EQ(ch->recvUint64(), 2u);
+    });
+    int fd = net::acceptOn(listener);
+    ASSERT_GE(fd, 0);
+    {
+        net::SocketChannel ch(fd);
+        EXPECT_EQ(ch.peerAddress(),
+                  "unix:uid:" + std::to_string(::getuid()));
+        EXPECT_EQ(ch.recvUint64(), 1u);
+        ch.sendUint64(2);
+        ch.flush();
+    }
+    client.join();
+    ::close(listener);
+    ::unlink(path.c_str());
+}
+
 } // namespace
 } // namespace ironman::svc
