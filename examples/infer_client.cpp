@@ -7,8 +7,11 @@
  *   ./infer_client --tcp 127.0.0.1:17617 --cot-tcp 127.0.0.1:17618
  *   ./infer_client --tcp 127.0.0.1:17617 --supply engine
  *   ./infer_client --model mlp-32x16x10 --width 24 --images 8
- *   ./infer_client --tcp ... --cot-tcp ... --depth 8   # pipelined
- *   ./infer_client --tcp ... --cot-tcp ... --unpacked  # PR 5 wire
+ *   ./infer_client --tcp ... --cot-tcp ... --depth 8    # pipelined
+ *   ./infer_client --tcp ... --cot-tcp ... --depth auto # RTT-tuned
+ *   ./infer_client --tcp ... --cot-tcp ... --stream     # streaming
+ *   ./infer_client --tcp ... --cot-tcp ... --ripple     # A/B baseline
+ *   ./infer_client --tcp ... --cot-tcp ... --unpacked   # PR 5 wire
  *
  * Default supply is the reservoir: the client opens two sessions of
  * opposite roles on the server's COT service and stocks them in the
@@ -93,7 +96,15 @@ main(int argc, char **argv)
             opt.supply = s == "engine" ? infer::SupplyKind::Engine
                                        : infer::SupplyKind::Reservoir;
         } else if (arg == "--depth") {
-            opt.depth = uint16_t(std::atoi(next()));
+            const std::string d = next();
+            if (d == "auto")
+                opt.depthAuto = true;
+            else
+                opt.depth = uint16_t(std::atoi(d.c_str()));
+        } else if (arg == "--ripple") {
+            opt.ladderCmp = false;
+        } else if (arg == "--stream") {
+            opt.streamCommit = true;
         } else if (arg == "--unpacked") {
             opt.packedWire = false;
         } else if (arg == "--chaos") {
@@ -115,7 +126,8 @@ main(int argc, char **argv)
                 "usage: infer_client --tcp HOST:PORT "
                 "[--cot-tcp HOST:PORT] [--model NAME] [--width W] "
                 "[--batch B] [--images N] [--supply engine|reservoir] "
-                "[--depth D] [--unpacked] [--seed S] [--chaos]\n");
+                "[--depth D|auto] [--stream] [--ripple] [--unpacked] "
+                "[--seed S] [--chaos]\n");
             return 2;
         }
     }
@@ -150,14 +162,21 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("infer_client: session %llu, %s, width %u, batch %u, "
-                "supply %s, depth %u, %s wire "
+                "supply %s, depth %u%s, %s wire, %s comparison%s "
                 "(%llu COTs/image/direction)\n",
                 (unsigned long long)client->sessionId(),
                 spec->name.c_str(), opt.width, opt.batch,
                 supplyKindName(client->supply()),
                 client->negotiatedDepth(),
+                opt.depthAuto ? " (auto)" : "",
                 client->packedWire() ? "packed" : "unpacked",
-                (unsigned long long)spec->cotsPerImage(opt.width));
+                ppml::cmpModeName(client->comparisonMode()),
+                client->streaming() ? ", streaming commits" : "",
+                (unsigned long long)spec->cotsPerImage(
+                    opt.width, client->comparisonMode()));
+    if (opt.depthAuto)
+        std::printf("infer_client: measured handshake RTT %llu us\n",
+                    (unsigned long long)client->measuredRttUs());
 
     const int64_t bound = ppml::mlpTruncationErrorBound(*spec);
     std::vector<std::vector<int64_t>> inputs;

@@ -1,6 +1,7 @@
 #include "infer/infer_client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <stdexcept>
 
@@ -58,6 +59,7 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
     sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *engine,
                                                opt_.width);
     sc->setWirePacking(packed_);
+    sc->setComparisonMode(comparisonMode());
     runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
 }
 
@@ -83,6 +85,7 @@ InferClient::InferClient(std::unique_ptr<net::SocketChannel> channel,
     sc = std::make_unique<ppml::SecureCompute>(*ch, 0, *reservoirSupply,
                                                opt_.width);
     sc->setWirePacking(packed_);
+    sc->setComparisonMode(comparisonMode());
     runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
 }
 
@@ -91,11 +94,17 @@ InferClient::buildReservoirs()
 {
     // Stock sized from the model's COT estimate: keep one commit
     // group's worth of correlations ahead per direction. Sized from
-    // the REQUESTED depth — the server may clamp lower, which only
-    // leaves the stock oversized, never starved.
-    const uint64_t group = opt_.depth > 0 ? opt_.depth : 1;
+    // the REQUESTED depth and comparison mode (reservoirs exist
+    // before the handshake can negotiate) — the server may clamp or
+    // refuse either, which only leaves the stock oversized, never
+    // starved.
+    const uint64_t group =
+        opt_.depthAuto ? 64 : (opt_.depth > 0 ? opt_.depth : 1);
     const uint64_t per_commit =
-        spec_.cotsPerImage(opt_.width) * opt_.batch * group;
+        spec_.cotsPerImage(opt_.width,
+                           opt_.ladderCmp ? ppml::CmpMode::Ladder
+                                          : ppml::CmpMode::Ripple) *
+        opt_.batch * group;
     const svc::Reservoir::Options res_opt =
         svc::Reservoir::Options::sizedFor(per_commit,
                                           sendSession->usableOts());
@@ -124,16 +133,30 @@ InferClient::handshake()
     h.width = uint8_t(opt_.width);
     h.batch = opt_.batch;
     h.setupSeed = opt_.setupSeed;
-    h.depth = opt_.depth > 0 ? opt_.depth : uint16_t(1);
-    h.flags = opt_.packedWire ? kInferFlagPackedWire : uint16_t(0);
+    // Auto-depth asks for a deep window (the server clamps to its
+    // bound) and tunes the ACTUAL group size locally from the RTT.
+    h.depth = opt_.depthAuto
+                  ? uint16_t(64)
+                  : (opt_.depth > 0 ? opt_.depth : uint16_t(1));
+    h.flags =
+        uint16_t((opt_.packedWire ? kInferFlagPackedWire : 0) |
+                 (opt_.ladderCmp ? kInferFlagLadderCmp : 0) |
+                 (opt_.streamCommit ? kInferFlagStreamCommit : 0));
     if (opt_.supply == SupplyKind::Reservoir) {
         h.sendSessionId = sendSession->sessionId();
         h.recvSessionId = recvSession->sessionId();
     } else {
         h.params = svc::WireParams::of(opt_.params);
     }
+    // The hello/accept turnaround doubles as the RTT probe the depth
+    // auto-tuner uses; it rides every (re)dial, so reconnects re-tune.
+    const auto t0 = std::chrono::steady_clock::now();
     sendInferHello(*ch, h);
     const InferAccept a = recvInferAccept(*ch);
+    rttUs_ = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     if (a.status != InferStatus::Ok)
         throw net::WireError(
             net::WireFault::Fatal,
@@ -145,9 +168,29 @@ InferClient::handshake()
     if (opt_.wireVersion >= 2) {
         depth_ = a.depth > 0 ? a.depth : uint16_t(1);
         packed_ = (a.flags & kInferFlagPackedWire) != 0;
+        ladder_ = (a.flags & kInferFlagLadderCmp) != 0;
+        stream_ = (a.flags & kInferFlagStreamCommit) != 0;
+        if (opt_.depthAuto) {
+            // One commit group costs group_rounds dependent round
+            // trips no matter how many requests ride in it; pick the
+            // depth whose per-request share of that latency meets the
+            // budget. A loopback link lands at depth 1-2, a WAN pins
+            // the negotiated ceiling.
+            const uint64_t group_rounds =
+                uint64_t(spec_.dims.size() - 2) *
+                ppml::reluRounds(opt_.width, comparisonMode());
+            const uint64_t budget =
+                opt_.depthBudgetUs > 0 ? opt_.depthBudgetUs : 1;
+            uint64_t tuned =
+                (group_rounds * rttUs_ + budget - 1) / budget;
+            tuned = std::clamp<uint64_t>(tuned, 1, depth_);
+            depth_ = uint16_t(tuned);
+        }
     } else {
         depth_ = 1;
         packed_ = false;
+        ladder_ = false;
+        stream_ = false;
     }
 }
 
@@ -256,6 +299,7 @@ InferClient::redial()
             *ch, 0, *reservoirSupply, opt_.width);
     }
     sc->setWirePacking(packed_);
+    sc->setComparisonMode(comparisonMode());
     runner = std::make_unique<ppml::MlpRunner>(spec_, opt_.width);
 }
 
@@ -328,18 +372,24 @@ InferClient::resubmitPending()
 }
 
 void
-InferClient::failPendingFrom(size_t answered, const std::string &what)
+InferClient::failPendingFrom(size_t answered, size_t group,
+                             const std::string &what)
 {
-    for (size_t r = answered; r < pendingTags.size(); ++r) {
+    const size_t req_in = size_t(opt_.batch) * spec_.inputDim();
+    for (size_t r = answered; r < group; ++r) {
         Result failed;
         failed.tag = pendingTags[r];
         failed.ok = false;
         failed.error = what;
         ready.push_back(std::move(failed));
     }
-    pendingTags.clear();
-    pendingX0.clear();
-    pendingX1.clear();
+    // Only the COMMITTED group dies; requests streamed ahead of it
+    // were never committed and resubmit with the recovered session.
+    pendingTags.erase(pendingTags.begin(), pendingTags.begin() + group);
+    pendingX0.erase(pendingX0.begin(),
+                    pendingX0.begin() + group * req_in);
+    pendingX1.erase(pendingX1.begin(),
+                    pendingX1.begin() + group * req_in);
 }
 
 std::vector<int64_t>
@@ -407,28 +457,55 @@ InferClient::submit(const std::vector<int64_t> &inputs)
     pendingTags.push_back(tag);
     pendingX0.insert(pendingX0.end(), x0.begin(), x0.end());
     pendingX1.insert(pendingX1.end(), x1.begin(), x1.end());
-    if (pendingTags.size() >= depth_)
-        commitPending();
+    if (stream_) {
+        // Keep the recv-ahead window primed: once two full groups are
+        // pending, commit the OLDEST — its evaluation overlaps the
+        // younger group's frames already crossing the wire. Grouping
+        // boundaries stay every depth_ submissions, exactly like the
+        // non-streaming client, so grouped references stay valid.
+        if (pendingTags.size() >= 2 * size_t(depth_))
+            commitGroup(depth_);
+    } else if (pendingTags.size() >= depth_) {
+        commitGroup(pendingTags.size());
+    }
     return tag;
 }
 
 void
 InferClient::commitPending()
 {
+    while (!pendingTags.empty())
+        commitGroup(stream_ ? std::min(size_t(depth_),
+                                       pendingTags.size())
+                            : pendingTags.size());
+}
+
+void
+InferClient::commitGroup(size_t group)
+{
     if (pendingTags.empty())
         return;
+    IRONMAN_CHECK(group > 0 && group <= pendingTags.size(),
+                  "commit group out of range");
+    IRONMAN_CHECK(stream_ || group == pendingTags.size(),
+                  "partial commits need the streaming flag");
+    const size_t req_in = size_t(opt_.batch) * spec_.inputDim();
     const size_t req_out = size_t(opt_.batch) * spec_.outputDim();
     size_t answered = 0;
     try {
         sendInferOp(*ch, InferOp::Commit);
-        // One joint forward over the whole group: effective batch is
-        // pending * batch, so the DReLU round chain is paid once. The
-        // server makes the exact mirror call.
+        if (stream_)
+            sendCommitCount(*ch, uint16_t(group));
+        // One joint forward over the group: effective batch is group *
+        // batch, so the DReLU round chain is paid once. The server
+        // makes the exact mirror call.
+        const std::vector<uint64_t> x0group(
+            pendingX0.begin(), pendingX0.begin() + group * req_in);
         const std::vector<uint64_t> y0cat =
-            runner->forward(*sc, *ch, pendingX0);
+            runner->forward(*sc, *ch, x0group);
         y1.resize(req_out);
         std::vector<uint64_t> y0(req_out);
-        for (size_t r = 0; r < pendingTags.size(); ++r) {
+        for (size_t r = 0; r < group; ++r) {
             const uint32_t tag = recvInferTag(*ch);
             IRONMAN_CHECK(tag == pendingTags[r],
                           "response tags must follow submission order");
@@ -446,27 +523,32 @@ InferClient::commitPending()
     } catch (const std::exception &e) {
         if (!canRecover(e))
             throw;
-        // The Commit was on the wire: the server may have evaluated
-        // any or all of the group, so replaying could answer a request
-        // twice. Fail the unanswered remainder with the cause (the
-        // answered prefix reconstructed fine and stays collectible)
-        // and recover the SESSION for whatever comes next.
+        // This group's Commit was on the wire: the server may have
+        // evaluated any or all of it, so replaying could answer a
+        // request twice. Fail the group's unanswered remainder with
+        // the cause (the answered prefix reconstructed fine and stays
+        // collectible); requests streamed BEHIND the group were never
+        // committed, so reconnect() resubmits them safely.
         requests += answered;
-        failPendingFrom(answered, e.what());
+        failPendingFrom(answered, group, e.what());
         reconnect(e.what());
         return;
     }
-    requests += pendingTags.size();
-    pendingTags.clear();
-    pendingX0.clear();
-    pendingX1.clear();
+    requests += group;
+    pendingTags.erase(pendingTags.begin(), pendingTags.begin() + group);
+    pendingX0.erase(pendingX0.begin(),
+                    pendingX0.begin() + group * req_in);
+    pendingX1.erase(pendingX1.begin(),
+                    pendingX1.begin() + group * req_in);
 }
 
 InferClient::Result
 InferClient::collect()
 {
-    if (ready.empty())
-        commitPending();
+    if (ready.empty() && !pendingTags.empty())
+        commitGroup(stream_ ? std::min(size_t(depth_),
+                                       pendingTags.size())
+                            : pendingTags.size());
     IRONMAN_CHECK(!ready.empty(), "collect() with nothing submitted");
     Result r = std::move(ready.front());
     ready.pop_front();

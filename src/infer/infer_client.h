@@ -85,6 +85,34 @@ class InferClient
         /** Request width-packed online payloads (v2, default on). */
         bool packedWire = true;
         /**
+         * Request the Kogge-Stone comparison ladder (v2, default on).
+         * The server echoes the honored flag; against a v1 dialect
+         * the session degrades to the ripple baseline, and the
+         * reconstructed outputs are bit-identical either way
+         * (DESIGN.md invariant 16).
+         */
+        bool ladderCmp = true;
+        /**
+         * Streaming commits (v2, default off): submit() keeps up to
+         * 2x the negotiated depth in flight and commits the OLDEST
+         * depth-sized group, so that group's evaluation overlaps the
+         * next group's Infer frames crossing the wire. Grouping
+         * boundaries match the non-streaming client for the same
+         * submit/collect pattern, so results stay bit-identical.
+         */
+        bool streamCommit = false;
+        /**
+         * Pick the in-flight depth from the measured handshake RTT
+         * instead of `depth`: request a deep window (the server
+         * clamps), then run at ceil(group_rounds * rtt /
+         * depthBudgetUs) — slow links amortize the round chain over
+         * more requests, fast links don't batch for nothing.
+         * Re-measured and re-tuned on every reconnect.
+         */
+        bool depthAuto = false;
+        /** Auto-depth: per-request share of group latency (us). */
+        uint64_t depthBudgetUs = 500;
+        /**
          * Dialect to speak. kInferWireVersionV1 pins the PR 5 protocol
          * (depth 1, unpacked, untagged) against any server — the
          * mixed-version compatibility knob tests exercise.
@@ -206,6 +234,19 @@ class InferClient
     /** Whether the session's online payloads travel width-packed. */
     bool packedWire() const { return packed_; }
 
+    /** Negotiated comparison circuit (Ripple on v1 sessions). */
+    ppml::CmpMode
+    comparisonMode() const
+    {
+        return ladder_ ? ppml::CmpMode::Ladder : ppml::CmpMode::Ripple;
+    }
+
+    /** Whether counted streaming commits were negotiated. */
+    bool streaming() const { return stream_; }
+
+    /** Handshake round-trip time of the current dial (us). */
+    uint64_t measuredRttUs() const { return rttUs_; }
+
     /** Direction changes on the inference channel (2 per round). */
     uint64_t onlineTurns() const { return ch->turns(); }
 
@@ -235,12 +276,14 @@ class InferClient
   private:
     void handshake();
     void commitPending();
+    void commitGroup(size_t group);
     void buildReservoirs();
     bool canRecover(const std::exception &e) const;
     void reconnect(const std::string &cause);
     void redial();
     void resubmitPending();
-    void failPendingFrom(size_t answered, const std::string &what);
+    void failPendingFrom(size_t answered, size_t group,
+                         const std::string &what);
 
     std::unique_ptr<net::SocketChannel> ch;
     Options opt_;
@@ -257,8 +300,11 @@ class InferClient
     uint16_t cotPort_ = 0;
     bool endpointsKnown_ = false;
     uint64_t reconnectCount = 0;
-    uint16_t depth_ = 1; ///< negotiated in-flight bound
+    uint16_t depth_ = 1; ///< negotiated (and auto-tuned) group size
     bool packed_ = false; ///< negotiated wire packing
+    bool ladder_ = false; ///< negotiated Kogge-Stone comparison
+    bool stream_ = false; ///< negotiated streaming commits
+    uint64_t rttUs_ = 0;  ///< handshake RTT of the current dial
     uint32_t nextTag = 1;
 
     // Engine supply.

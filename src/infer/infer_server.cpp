@@ -187,6 +187,15 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
     const bool packed =
         hello.version >= 2 && (hello.flags & kInferFlagPackedWire);
     sc.setWirePacking(packed);
+    // Flags 0 (v1 peers, or v2 without the flag) = ripple: both ends
+    // must run the same carry circuit, and absent-flag must degrade to
+    // the baseline dialect.
+    sc.setComparisonMode(hello.version >= 2 &&
+                                 (hello.flags & kInferFlagLadderCmp)
+                             ? ppml::CmpMode::Ladder
+                             : ppml::CmpMode::Ripple);
+    const bool stream =
+        hello.version >= 2 && (hello.flags & kInferFlagStreamCommit);
     ppml::MlpRunner runner(spec, width);
 
     const size_t req_in = size_t(hello.batch) * spec.inputDim();
@@ -221,17 +230,24 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
     }
 
     // v2: tagged requests enqueue up to the negotiated depth; Commit
-    // evaluates the whole group as ONE forward (effective batch =
-    // pending * batch — same lockstep call the client makes), then
-    // answers per request in submission order.
+    // evaluates a group as ONE forward (effective batch = group *
+    // batch — same lockstep call the client makes), then answers per
+    // request in submission order. With streaming negotiated the
+    // recv-ahead bound doubles and Commit carries an explicit group
+    // count, so the NEXT group's Infer frames can cross the wire (and
+    // enqueue here) while the current group's forward evaluates —
+    // overlap the PipeliningSimulator occupancy model says a
+    // fill/drain loop leaves on the table.
+    const size_t recvAhead = stream ? 2 * size_t(hello.depth)
+                                    : size_t(hello.depth);
     std::vector<uint32_t> tags;
     std::vector<uint64_t> x1cat; // pending inputs, concatenated
-    tags.reserve(hello.depth);
-    x1cat.reserve(size_t(hello.depth) * req_in);
+    tags.reserve(recvAhead);
+    x1cat.reserve(recvAhead * req_in);
     for (;;) {
         const InferOp op = recvInferOp(ch);
         if (op == InferOp::Infer) {
-            if (tags.size() >= hello.depth)
+            if (tags.size() >= recvAhead)
                 throw net::WireError(
                     net::WireFault::Protocol,
                     "infer session: in-flight depth exceeded");
@@ -243,11 +259,21 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
             else
                 recvShareVector(ch, dst, req_in);
         } else if (op == InferOp::Commit) {
-            if (tags.empty())
+            size_t group = tags.size();
+            if (stream) {
+                group = recvCommitCount(ch);
+                if (group == 0 || group > tags.size())
+                    throw net::WireError(
+                        net::WireFault::Protocol,
+                        "infer session: bad streaming commit count");
+            } else if (tags.empty()) {
                 continue; // nothing in flight: a no-op, not an error
+            }
+            const std::vector<uint64_t> xgroup(
+                x1cat.begin(), x1cat.begin() + group * req_in);
             const std::vector<uint64_t> y1cat =
-                runner.forward(sc, ch, x1cat);
-            for (size_t r = 0; r < tags.size(); ++r) {
+                runner.forward(sc, ch, xgroup);
+            for (size_t r = 0; r < group; ++r) {
                 sendInferTag(ch, tags[r]);
                 const uint64_t *src = y1cat.data() + r * req_out;
                 if (packed)
@@ -256,9 +282,10 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
                     sendShareVector(ch, src, req_out);
             }
             ch.flush();
-            account(tags.size());
-            tags.clear();
-            x1cat.clear();
+            account(group);
+            tags.erase(tags.begin(), tags.begin() + group);
+            x1cat.erase(x1cat.begin(),
+                        x1cat.begin() + group * req_in);
         } else {
             break;
         }

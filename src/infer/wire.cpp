@@ -30,7 +30,8 @@ constexpr size_t kInferHelloV2BodyBytes = kInferHelloV1BodyBytes + 2 + 2;
 // flags live in bytes that were pad in v1, so one codec serves both.
 constexpr size_t kInferAcceptBytes = 1 + 1 + 2 + 2 + 2 + 8;
 
-constexpr uint16_t kKnownFlags = kInferFlagPackedWire;
+constexpr uint16_t kKnownFlags =
+    kInferFlagPackedWire | kInferFlagLadderCmp | kInferFlagStreamCommit;
 
 size_t
 putHelloBody(uint8_t *p, const InferHello &h)
@@ -244,6 +245,22 @@ recvInferTag(net::Channel &ch)
     uint8_t buf[4];
     ch.recvBytes(buf, sizeof(buf));
     return getU32(buf);
+}
+
+void
+sendCommitCount(net::Channel &ch, uint16_t count)
+{
+    uint8_t buf[2];
+    putU16(buf, count);
+    ch.sendBytes(buf, sizeof(buf));
+}
+
+uint16_t
+recvCommitCount(net::Channel &ch)
+{
+    uint8_t buf[2];
+    ch.recvBytes(buf, sizeof(buf));
+    return getU16(buf);
 }
 
 void

@@ -25,11 +25,19 @@
  *           ──► InferOp::Commit — both ends run ONE joint
  *               MlpRunner::forward over every pending request's
  *               concatenated shares (effective batch = in-flight
- *               count x batch, so the 2(width-1) DReLU rounds are
- *               paid once per group, not once per request)
+ *               count x batch, so the DReLU round chain is paid once
+ *               per group, not once per request)
  *           ◄── per pending request, in submission order: u32 tag,
  *               batch*outputDim output shares (the server's y1)
  *   final:  ──► InferOp::Close
+ *
+ * Streaming commits (kInferFlagStreamCommit, v2): Commit carries a
+ * u16 group COUNT and evaluates only the OLDEST count pending
+ * requests, and the server accepts Infer frames for up to 2x the
+ * negotiated depth — so the client can push group k+1's frames while
+ * group k's forward is still evaluating, keeping the channel busy
+ * during compute. Without the flag Commit has no count byte and
+ * drains everything pending (the PR 6 wire, unchanged).
  *
  * Version negotiation: the server reads the 6-byte magic+version
  * prefix first and parses the rest in the hello's dialect; it replies
@@ -42,9 +50,16 @@
  * (1-bit AND messages, width-bit MUX arms, raw derand bytes) and the
  * tensor shares below as width-bit LE lanes. The unmasked SHARES are
  * bit-identical either way (DESIGN.md invariant 14); packing is a
- * transcript property, negotiated so both ends agree. The server
- * clamps the requested depth to its own bound and echoes the result
- * in the accept; unknown flag bits are dropped, not rejected.
+ * transcript property, negotiated so both ends agree.
+ * kInferFlagLadderCmp selects the Kogge-Stone comparison ladder
+ * (SecureCompute::setComparisonMode) — both ends must run the same
+ * carry circuit, so it is negotiated exactly like packing; a v2 peer
+ * that doesn't set it (or a v1 peer, flags 0) gets the ripple, and
+ * the reconstructed outputs are identical either way (DESIGN.md
+ * invariant 16). kInferFlagStreamCommit enables counted partial
+ * commits (above). The server clamps the requested depth to its own
+ * bound and echoes the result in the accept; unknown flag bits are
+ * dropped, not rejected.
  *
  * Supply negotiation is unchanged from v1 (see SupplyKind).
  */
@@ -66,6 +81,10 @@ constexpr uint16_t kInferWireVersionV1 = 1; ///< PR 5 dialect, still served
 
 /** Hello/accept flag bits (v2). */
 constexpr uint16_t kInferFlagPackedWire = 0x1;
+/** Kogge-Stone comparison ladder (unset = ripple baseline). */
+constexpr uint16_t kInferFlagLadderCmp = 0x2;
+/** Counted partial commits + 2x-depth recv-ahead (streaming). */
+constexpr uint16_t kInferFlagStreamCommit = 0x4;
 
 /** Where a session's COT correlations come from. */
 enum class SupplyKind : uint8_t
@@ -165,6 +184,13 @@ InferOp recvInferOp(net::Channel &ch);
 /** v2 request/response tag. */
 void sendInferTag(net::Channel &ch, uint32_t tag);
 uint32_t recvInferTag(net::Channel &ch);
+
+/**
+ * Streaming-commit group count (follows InferOp::Commit only when
+ * kInferFlagStreamCommit was negotiated).
+ */
+void sendCommitCount(net::Channel &ch, uint16_t count);
+uint16_t recvCommitCount(net::Channel &ch);
 
 /** One secret-shared tensor, explicit-LE u64 per element (v1 wire). */
 void sendShareVector(net::Channel &ch, const uint64_t *shares,

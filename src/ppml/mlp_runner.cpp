@@ -66,11 +66,12 @@ MlpRunner::forward(SecureCompute &sc, net::Channel &ch,
         if (l + 2 < spec_.dims.size()) {
             const size_t cots0 = sc.cotsConsumed();
             const uint64_t bytes0 = ch.bytesSent();
+            const unsigned rounds0 = sc.roundsUsed();
             cur = sc.relu(cur);
             stats_.push_back({"relu" + std::to_string(l),
                               sc.cotsConsumed() - cots0,
                               ch.bytesSent() - bytes0,
-                              2 * (width_ - 1) + 1});
+                              sc.roundsUsed() - rounds0});
         }
     }
     return cur;
@@ -117,7 +118,7 @@ LocalMlpResult
 runLocalMlpInference(const MlpModelSpec &spec, unsigned width,
                      const std::vector<std::vector<int64_t>> &requests,
                      uint64_t share_seed, uint64_t setup_seed,
-                     const ot::FerretParams &params)
+                     const ot::FerretParams &params, CmpMode mode)
 {
     // Pre-share every request with the one tape the inference client
     // would use (party 0 owns the inputs there too).
@@ -135,6 +136,7 @@ runLocalMlpInference(const MlpModelSpec &spec, unsigned width,
         return [&, id](net::Channel &ch) {
             FerretCotEngine engine(ch, id, params, setup_seed);
             SecureCompute sc(ch, id, engine, width);
+            sc.setComparisonMode(mode);
             MlpRunner runner(spec, width);
             for (size_t r = 0; r < x.size(); ++r)
                 y[r] = runner.forward(sc, ch, x[r]);

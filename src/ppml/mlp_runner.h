@@ -79,7 +79,11 @@ class MlpRunner
     const std::vector<MlpLayerStat> &layerStats() const { return stats_; }
 
     /** COTs one image needs per direction (reservoir sizing). */
-    uint64_t cotsPerImage() const { return spec_.cotsPerImage(width_); }
+    uint64_t
+    cotsPerImage(CmpMode mode = CmpMode::Ladder) const
+    {
+        return spec_.cotsPerImage(width_, mode);
+    }
 
     uint64_t
     maskValue(uint64_t v) const
@@ -137,13 +141,16 @@ struct LocalMlpResult
  * party (params/setup_seed as given), one SecureCompute + MlpRunner
  * per party, @p requests evaluated sequentially on one session.
  * Inputs are shared with Rng(share_seed) exactly like
- * infer::InferClient does.
+ * infer::InferClient does. The reconstructed outputs are independent
+ * of @p mode (DESIGN.md invariant 16), so a default-mode reference is
+ * valid for sessions negotiated either way; passing the mode matters
+ * only for cost accounting (cotsPerParty, extensions).
  */
 LocalMlpResult runLocalMlpInference(
     const MlpModelSpec &spec, unsigned width,
     const std::vector<std::vector<int64_t>> &requests,
     uint64_t share_seed, uint64_t setup_seed,
-    const ot::FerretParams &params);
+    const ot::FerretParams &params, CmpMode mode = CmpMode::Ladder);
 
 } // namespace ironman::ppml
 

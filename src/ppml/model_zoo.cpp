@@ -155,11 +155,13 @@ MlpModelSpec::reluElements() const
 }
 
 uint64_t
-MlpModelSpec::cotsPerImage(unsigned width) const
+MlpModelSpec::cotsPerImage(unsigned width, CmpMode mode) const
 {
-    // DReLU: 2 AND gates per bit position over width-1 positions, at
-    // 1 COT per direction each; MUX: 1 COT per direction.
-    return reluElements() * (2ull * (width - 1) + 1);
+    // DReLU: dreluAndGates(width, mode) AND gates per element — 2 per
+    // bit position for the ripple, ~w log2(w) for the Kogge-Stone
+    // ladder (more offline COTs bought back as ~4-9x fewer online
+    // rounds) — at 1 COT per direction each; MUX: 1 COT per direction.
+    return reluElements() * (dreluAndGates(width, mode) + 1);
 }
 
 namespace {

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "ppml/cmp_mode.h"
+
 namespace ironman::ppml {
 
 /** Nonlinear function kinds the frameworks evaluate with OT. */
@@ -98,12 +100,15 @@ struct MlpModelSpec
     uint64_t reluElements() const;
 
     /**
-     * COT correlations one image consumes per direction at @p width:
-     * each ReLU element costs 2(width-1) AND-gate COTs (DReLU ripple)
-     * plus one MUX COT. Drives reservoir stock sizing
-     * (svc::Reservoir::Options::sizedFor).
+     * COT correlations one image consumes per direction at @p width
+     * under comparison mode @p mode: each ReLU element costs
+     * dreluAndGates(width, mode) AND-gate COTs plus one MUX COT.
+     * Drives reservoir stock sizing
+     * (svc::Reservoir::Options::sizedFor) — size for the mode the
+     * session actually negotiates.
      */
-    uint64_t cotsPerImage(unsigned width) const;
+    uint64_t cotsPerImage(unsigned width,
+                          CmpMode mode = CmpMode::Ladder) const;
 
     /** width acceptable for this model (overflow-free both ends). */
     bool widthOk(unsigned width) const

@@ -69,6 +69,7 @@ SecureCompute::andShares(const BitVec &a, const BitVec &b)
 {
     IRONMAN_CHECK(a.size() == b.size());
     const size_t n = a.size();
+    ++rounds;
 
     // Fresh masks for the cross terms.
     Rng mask_rng(0x5eed0000 + party + 31 * tweak);
@@ -105,43 +106,130 @@ SecureCompute::andShares(const BitVec &a, const BitVec &b)
 }
 
 BitVec
-SecureCompute::drelu(const std::vector<uint64_t> &shares)
+SecureCompute::bitShares(const std::vector<uint64_t> &shares,
+                         unsigned i) const
 {
-    const size_t n = shares.size();
+    // Boolean shares of bit i of x = x0 + x1 (before carries): party
+    // p's share is bit i of its own addend.
+    BitVec v(shares.size());
+    for (size_t j = 0; j < shares.size(); ++j)
+        v.set(j, (shares[j] >> i) & 1);
+    return v;
+}
 
-    // Boolean shares of each bit of x = x0 + x1: party p's share of
-    // bit i is bit i of its own addend; the carry is computed with a
-    // ripple of AND gates (2 per bit position, batched over the whole
-    // vector).
-    auto bit_shares = [&](unsigned i) {
-        BitVec v(n);
-        for (size_t j = 0; j < n; ++j)
-            v.set(j, (shares[j] >> i) & 1);
-        return v;
-    };
-
-    BitVec carry(n); // zero shares
-    for (unsigned i = 0; i + 1 < width; ++i) {
-        BitVec ai = bit_shares(i);
-        // The two addends' bits as boolean shares: party 0 contributes
-        // its bits on the left operand, party 1 on the right, with
-        // zero shares on the opposite side.
-        BitVec lhs = party == 0 ? ai : BitVec(n);
-        BitVec rhs = party == 0 ? BitVec(n) : ai;
-        BitVec gen = andShares(lhs, rhs);              // a_i & b_i
-        BitVec prop = xorShares(lhs, rhs);             // a_i ^ b_i
-        BitVec prop_and_c = andShares(carry, prop);    // c_i & (a^b)
-        carry = xorShares(gen, prop_and_c);
-    }
-
+BitVec
+SecureCompute::dreluFinish(const std::vector<uint64_t> &shares,
+                           const BitVec &carry)
+{
     // msb(x) = a_{w-1} ^ b_{w-1} ^ carry; DReLU = NOT msb.
-    BitVec msb_own = bit_shares(width - 1);
-    BitVec out = xorShares(msb_own, carry);
+    BitVec out = xorShares(bitShares(shares, width - 1), carry);
     if (party == 0) {
-        for (size_t j = 0; j < n; ++j)
+        for (size_t j = 0; j < out.size(); ++j)
             out.flip(j);
     }
     return out;
+}
+
+BitVec
+SecureCompute::drelu(const std::vector<uint64_t> &shares)
+{
+    return cmpMode == CmpMode::Ladder ? dreluLadder(shares)
+                                      : dreluRipple(shares);
+}
+
+BitVec
+SecureCompute::dreluRipple(const std::vector<uint64_t> &shares)
+{
+    const size_t n = shares.size();
+    const unsigned m = width - 1; // carry positions below the sign bit
+
+    // The generate bits g_i = a_i & b_i don't depend on the carry, so
+    // ONE batched AND round computes all of them up front; only the
+    // carry recurrence c_{i+1} = g_i ^ (c_i & p_i) stays sequential.
+    // Party 0 contributes its addend's bits on the left operand,
+    // party 1 on the right, with zero shares on the opposite side.
+    BitVec lhs(size_t(m) * n), rhs(size_t(m) * n);
+    BitVec &own = party == 0 ? lhs : rhs;
+    for (unsigned i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            own.set(size_t(i) * n + j, (shares[j] >> i) & 1);
+    const BitVec gen_all = andShares(lhs, rhs);
+
+    BitVec carry(n); // zero shares
+    for (unsigned i = 0; i < m; ++i) {
+        // p_i = a_i ^ b_i: with the opposite side zero-shared, each
+        // party's propagate share is just its own bit.
+        const BitVec prop = bitShares(shares, i);
+        const BitVec prop_and_c = andShares(carry, prop);
+        BitVec gen(n);
+        for (size_t j = 0; j < n; ++j)
+            gen.set(j, gen_all.get(size_t(i) * n + j));
+        carry = xorShares(gen, prop_and_c);
+    }
+    return dreluFinish(shares, carry);
+}
+
+BitVec
+SecureCompute::dreluLadder(const std::vector<uint64_t> &shares)
+{
+    const size_t n = shares.size();
+    const unsigned m = width - 1; // carry positions below the sign bit
+
+    // Level 0, one batched AND round: G_i = g_i = a_i & b_i for every
+    // position and element (position-major lanes: lane i*n+j is
+    // position i of element j). P_i = a_i ^ b_i is local — with the
+    // opposite operand zero-shared it is each party's own bit.
+    BitVec lhs(size_t(m) * n), rhs(size_t(m) * n);
+    BitVec &own = party == 0 ? lhs : rhs;
+    BitVec P(size_t(m) * n);
+    for (unsigned i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            const bool bit = (shares[j] >> i) & 1;
+            own.set(size_t(i) * n + j, bit);
+            P.set(size_t(i) * n + j, bit);
+        }
+    BitVec G = andShares(lhs, rhs);
+
+    // Kogge–Stone combine: after the level at distance d, (G_i, P_i)
+    // spans the min(2d, i+1) trailing positions ending at i. Each
+    // level is ONE batched AND over both updates —
+    //   G_i' = G_i ^ (P_i & G_{i-d}),  P_i' = P_i & P_{i-d}
+    // for all i in [d, m) — except the last level (2d >= m), where
+    // only the final carry G_{m-1} is still needed.
+    for (unsigned d = 1; d < m; d <<= 1) {
+        const bool last = 2 * d >= m;
+        const unsigned lo = last ? m - 1 : d;
+        const size_t span = size_t(m - lo) * n;
+        BitVec a(last ? span : 2 * span), b(last ? span : 2 * span);
+        size_t k = 0;
+        for (unsigned i = lo; i < m; ++i)
+            for (size_t j = 0; j < n; ++j, ++k) {
+                a.set(k, P.get(size_t(i) * n + j));
+                b.set(k, G.get(size_t(i - d) * n + j));
+            }
+        if (!last)
+            for (unsigned i = lo; i < m; ++i)
+                for (size_t j = 0; j < n; ++j, ++k) {
+                    a.set(k, P.get(size_t(i) * n + j));
+                    b.set(k, P.get(size_t(i - d) * n + j));
+                }
+        const BitVec z = andShares(a, b);
+        k = 0;
+        for (unsigned i = lo; i < m; ++i)
+            for (size_t j = 0; j < n; ++j, ++k)
+                G.set(size_t(i) * n + j,
+                      G.get(size_t(i) * n + j) ^ z.get(k));
+        if (!last)
+            for (unsigned i = lo; i < m; ++i)
+                for (size_t j = 0; j < n; ++j, ++k)
+                    P.set(size_t(i) * n + j, z.get(k));
+    }
+
+    // Carry into the sign bit = the full-span G at position m-1.
+    BitVec carry(n);
+    for (size_t j = 0; j < n; ++j)
+        carry.set(j, G.get(size_t(m - 1) * n + j));
+    return dreluFinish(shares, carry);
 }
 
 std::vector<uint64_t>
@@ -150,8 +238,15 @@ SecureCompute::mux(const BitVec &b_shares,
 {
     const size_t n = x_shares.size();
     IRONMAN_CHECK(b_shares.size() == n);
+    ++rounds;
 
-    Rng mask_rng(0xabcd0000 + party + 31 * tweak);
+    // Masks come off a dedicated per-call counter, NOT the tweak: the
+    // tweak diverges across comparison modes (different AND batches),
+    // and tying the masks to it would make relu output shares — and
+    // through the share-local dense truncation, the reconstructed
+    // outputs — mode-dependent. See the mux() doc in the header.
+    Rng mask_rng(0xabcd0000 + party + 31 * muxSeq);
+    muxSeq += n;
     std::vector<uint64_t> r(n);
     for (auto &v : r)
         v = maskValue(mask_rng.nextUint64());
@@ -199,6 +294,7 @@ SecureCompute::lutEval(const std::vector<uint64_t> &x_shares,
     IRONMAN_CHECK(n_msgs >= 2 && std::has_single_bit(n_msgs));
     const unsigned bits = std::countr_zero(n_msgs);
     const size_t cots = batch * bits;
+    ++rounds;
 
     if (party == 0) {
         // Build the rotated, masked tables: message i of instance e is

@@ -11,7 +11,9 @@
  *     direction — this is why the protocol needs role switching and a
  *     unified sender/receiver architecture, Sec. 5.2),
  *   - DReLU: the sign bit of an additively shared fixed-point value,
- *     via a ripple carry over boolean shares,
+ *     via a Kogge–Stone carry-prefix ladder (log-depth, the default)
+ *     or a sequential ripple carry (the A/B baseline) — see
+ *     ppml/cmp_mode.h for the round/gate trade,
  *   - MUX and ReLU on additive shares (2 COTs per element),
  *   - max-pool style pairwise maximum.
  *
@@ -34,6 +36,7 @@
 #include "net/channel.h"
 #include "ot/chosen_ot.h"
 #include "ot/cot.h"
+#include "ppml/cmp_mode.h"
 #include "ppml/cot_engine.h"
 
 namespace ironman::ppml {
@@ -67,13 +70,25 @@ class SecureCompute
 
     /**
      * DReLU: boolean shares of (x >= 0) for additively shared x,
-     * where x is interpreted as a signed bitwidth-bit integer.
+     * where x is interpreted as a signed bitwidth-bit integer. The
+     * carry circuit is comparisonMode()'s; the reconstructed BIT is
+     * the same function either way, but the output SHARES differ
+     * (each mode draws a different AND-mask tape) — downstream
+     * consumers (mux/relu) erase that difference, see mux().
      */
     BitVec drelu(const std::vector<uint64_t> &shares);
 
     /**
      * MUX: additive shares of (b ? x : 0) from boolean shares of b
      * and additive shares of x. 2 COTs per element.
+     *
+     * Output-share determinism: y_p = r_p + (b ? x_{1-p} : 0) -
+     * r_{1-p} depends on the RECONSTRUCTED bit b and the x shares,
+     * never on the individual b shares — and the masks r draw from a
+     * dedicated per-call counter (muxSeq), not the op-order tweak. So
+     * relu() output shares are identical across comparison modes even
+     * though the drelu shares differ (the anchor of the cross-mode
+     * bit-identity invariant, DESIGN.md invariant 16).
      */
     std::vector<uint64_t> mux(const BitVec &b_shares,
                               const std::vector<uint64_t> &x_shares);
@@ -115,6 +130,23 @@ class SecureCompute
     void setWirePacking(bool on) { packedWire = on; }
     bool wirePacking() const { return packedWire; }
 
+    /**
+     * Comparison circuit for drelu/relu (default Ladder). Both
+     * parties must agree BEFORE the first comparison — the modes
+     * consume different COT counts and interleave different AND
+     * batches, so it is protocol state like wire packing, negotiated
+     * by the inference handshake (infer/wire.h kInferFlagLadderCmp).
+     */
+    void setComparisonMode(CmpMode m) { cmpMode = m; }
+    CmpMode comparisonMode() const { return cmpMode; }
+
+    /**
+     * Batched interactions (AND/MUX/LUT rounds) run so far — the
+     * measured round count MlpLayerStat reports; matches
+     * ppml::reluRounds() per relu() call by construction.
+     */
+    unsigned roundsUsed() const { return rounds; }
+
     unsigned bitwidth() const { return width; }
 
     uint64_t
@@ -135,15 +167,31 @@ class SecureCompute
     std::vector<Block> otRecvBatch(const BitVec &choices,
                                    unsigned wire_width);
 
+    /** Boolean shares of bit @p i of every element of @p shares. */
+    BitVec bitShares(const std::vector<uint64_t> &shares,
+                     unsigned i) const;
+    BitVec dreluRipple(const std::vector<uint64_t> &shares);
+    BitVec dreluLadder(const std::vector<uint64_t> &shares);
+    BitVec dreluFinish(const std::vector<uint64_t> &shares,
+                       const BitVec &carry);
+
     net::Channel &ch;
     int party;
     CotSupply *engine = nullptr;
     unsigned width;
     bool packedWire = true;
+    CmpMode cmpMode = CmpMode::Ladder;
+    unsigned rounds = 0;
     crypto::Crhf crhf;
     ot::ChosenOtScratch otScratch;
     Rng localRng;
     uint64_t tweak = 0x10000000;
+    /**
+     * MUX mask counter, deliberately separate from `tweak`: the tweak
+     * advances per COT and therefore diverges across comparison
+     * modes, while the mux masks must not (see mux()).
+     */
+    uint64_t muxSeq = 0;
 };
 
 } // namespace ironman::ppml

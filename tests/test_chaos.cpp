@@ -175,6 +175,10 @@ TEST(ChaosFaultGridTest, InferServerSurvivesEveryFaultKind)
                 opt.modelId = spec.id;
                 opt.width = 16;
                 opt.setupSeed = 0xdead + seed;
+                // Faults must land in the PR 8 wire too: counted
+                // streaming commits over a depth-2 window.
+                opt.depth = 2;
+                opt.streamCommit = true;
                 InferClient client(std::move(ch), opt);
                 for (int r = 0; r < 3; ++r)
                     client.infer(input);
@@ -493,6 +497,11 @@ TEST(ChaosRecoveryTest, InferClientReservoirSupplySurvivesKillRestart)
     opt.setupSeed = 0x51;
     opt.autoReconnect = true;
     opt.retry = fastRetry(10);
+    // Streaming negotiated, but collect() after every submit keeps
+    // the groups single-request — the per-request local reference
+    // stays valid, and recovery must renegotiate the flag.
+    opt.depth = 2;
+    opt.streamCommit = true;
     auto client = InferClient::connectTcpReservoir(
         "127.0.0.1", port, "127.0.0.1", cot_port, opt);
     EXPECT_EQ(client->supply(), infer::SupplyKind::Reservoir);

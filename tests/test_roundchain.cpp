@@ -1,0 +1,505 @@
+/**
+ * @file
+ * PR 8 round-chain guarantees: the Kogge-Stone comparison ladder,
+ * streaming commits, and RTT-driven depth auto-tuning.
+ *
+ *  - Ladder and ripple DReLU reconstruct the same sign bit across
+ *    power-of-two, non-power-of-two, and degenerate widths, and relu
+ *    output SHARES are mode-independent — so full forwards are
+ *    bit-identical across modes (DESIGN.md invariant 16).
+ *  - MlpLayerStat reports MEASURED rounds that match the cost model:
+ *    ceil(log2(width-1))+2 per ReLU layer in ladder mode (<= 8 at
+ *    width 32, the acceptance bound) vs width+1 for the ripple.
+ *  - Streaming commits evaluate the same depth-sized groups as the
+ *    non-streaming client, so served outputs equal the grouped local
+ *    reference bit for bit — engine and reservoir supplies alike.
+ *  - Malformed streaming commits (count 0, count > pending, frame
+ *    floods past the 2x-depth window) kill the session, not the
+ *    server.
+ *  - Depth auto-tune picks a small depth on a fast link and pins the
+ *    negotiated ceiling on a simulated WAN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "infer/infer_client.h"
+#include "infer/infer_server.h"
+#include "infer/wire.h"
+#include "net/socket_channel.h"
+#include "net/two_party.h"
+#include "ot/ferret_params.h"
+#include "ppml/cmp_mode.h"
+#include "ppml/cot_engine.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/model_zoo.h"
+#include "ppml/secure_compute.h"
+#include "svc/cot_server.h"
+#include "svc/operator_stock.h"
+
+namespace ironman::infer {
+namespace {
+
+using ppml::CmpMode;
+using ppml::MlpModelSpec;
+
+constexpr uint64_t kShareSeed = 0x9a11ad;
+constexpr uint64_t kSetupSeed = 4321;
+
+std::vector<std::vector<int64_t>>
+makeRequests(const MlpModelSpec &spec, uint32_t batch, int count)
+{
+    std::vector<std::vector<int64_t>> reqs;
+    for (int r = 0; r < count; ++r)
+        reqs.push_back(ppml::sampleMlpInput(spec, 8200 + r, batch));
+    return reqs;
+}
+
+std::vector<int64_t>
+concatRequests(const std::vector<std::vector<int64_t>> &reqs,
+               size_t first, size_t count)
+{
+    std::vector<int64_t> cat;
+    for (size_t r = first; r < first + count; ++r)
+        cat.insert(cat.end(), reqs[r].begin(), reqs[r].end());
+    return cat;
+}
+
+/** Two in-process GMW parties at an arbitrary width. */
+void
+runParties(uint64_t seed, unsigned width,
+           const std::function<void(ppml::SecureCompute &)> &party0,
+           const std::function<void(ppml::SecureCompute &)> &party1)
+{
+    net::runTwoParty(
+        [&](net::Channel &ch) {
+            ppml::FerretCotEngine engine(ch, 0, ot::tinyTestParams(),
+                                         seed);
+            ppml::SecureCompute sc(ch, 0, engine, width);
+            party0(sc);
+        },
+        [&](net::Channel &ch) {
+            ppml::FerretCotEngine engine(ch, 1, ot::tinyTestParams(),
+                                         seed);
+            ppml::SecureCompute sc(ch, 1, engine, width);
+            party1(sc);
+        });
+}
+
+// ---------------------------------------------------------------------------
+// The carry circuits agree — everywhere
+// ---------------------------------------------------------------------------
+
+// Power-of-two, non-power-of-two (m = width-1 = 11 and 16), and the
+// degenerate width-2 circuit (m = 1: the ladder has no combine
+// levels, the carry IS the lone generate).
+constexpr unsigned kWidths[] = {2, 8, 12, 17, 32};
+
+TEST(RoundChainTest, LadderAndRippleReconstructTheSameSign)
+{
+    const size_t n = 33; // odd, to catch stride bugs in the lanes
+    for (const unsigned width : kWidths) {
+        const uint64_t mask = (uint64_t(1) << width) - 1;
+        const uint64_t sign = uint64_t(1) << (width - 1);
+        Rng rng(0xd0e0 + width);
+        std::vector<uint64_t> values(n), s0(n), s1(n);
+        for (size_t i = 0; i < n; ++i) {
+            // Dense around the boundaries: 0, -1, min, max included.
+            if (i == 0) values[i] = 0;
+            else if (i == 1) values[i] = mask;        // -1
+            else if (i == 2) values[i] = sign;        // most negative
+            else if (i == 3) values[i] = sign - 1;    // most positive
+            else values[i] = rng.nextUint64() & mask;
+            s0[i] = rng.nextUint64() & mask;
+            s1[i] = (values[i] - s0[i]) & mask;
+        }
+
+        for (const CmpMode mode : {CmpMode::Ladder, CmpMode::Ripple}) {
+            BitVec b0, b1;
+            runParties(77, width,
+                       [&](ppml::SecureCompute &sc) {
+                           sc.setComparisonMode(mode);
+                           b0 = sc.drelu(s0);
+                       },
+                       [&](ppml::SecureCompute &sc) {
+                           sc.setComparisonMode(mode);
+                           b1 = sc.drelu(s1);
+                       });
+            for (size_t i = 0; i < n; ++i) {
+                const bool nonneg = (values[i] & sign) == 0;
+                EXPECT_EQ(b0.get(i) ^ b1.get(i), nonneg)
+                    << cmpModeName(mode) << " width " << width
+                    << " value " << values[i];
+            }
+        }
+    }
+}
+
+TEST(RoundChainTest, CrossModeLocalForwardsBitIdentical)
+{
+    struct Case
+    {
+        const char *model;
+        unsigned width;
+    };
+    // The fracBits-0 width-8 floor model, a non-default width, the
+    // acceptance-grid model, and the deep 3-ReLU-layer one.
+    constexpr Case kCases[] = {{"mlp-4x3x2", 8},
+                               {"mlp-12x6x3", 16},
+                               {"mlp-16x8x4", 32},
+                               {"mlp-16x16x16x8", 24}};
+    for (const Case &c : kCases) {
+        const MlpModelSpec &spec = *ppml::findMlpModel(c.model);
+        const auto reqs = makeRequests(spec, 2, 2);
+        const ppml::LocalMlpResult ladder = ppml::runLocalMlpInference(
+            spec, c.width, reqs, kShareSeed, kSetupSeed,
+            ot::tinyTestParams(), CmpMode::Ladder);
+        const ppml::LocalMlpResult ripple = ppml::runLocalMlpInference(
+            spec, c.width, reqs, kShareSeed, kSetupSeed,
+            ot::tinyTestParams(), CmpMode::Ripple);
+
+        // The invariant the whole negotiation story leans on: the
+        // comparison mode never changes output bits.
+        EXPECT_EQ(ladder.outputs, ripple.outputs)
+            << spec.name << " w" << c.width;
+
+        // The trade is real: more ladder COTs (offline), and the
+        // per-mode estimator matches what was actually consumed
+        // (cotsPerImage is per DIRECTION; the party counter sees 2
+        // COTs per AND gate).
+        EXPECT_GT(ladder.cotsPerParty, ripple.cotsPerParty);
+        const uint64_t imgs = 2 * 2; // requests x batch
+        EXPECT_EQ(ladder.cotsPerParty,
+                  2 * imgs * spec.cotsPerImage(c.width, CmpMode::Ladder));
+        EXPECT_EQ(ripple.cotsPerParty,
+                  2 * imgs * spec.cotsPerImage(c.width, CmpMode::Ripple));
+
+        const int64_t bound = ppml::mlpTruncationErrorBound(spec);
+        for (size_t r = 0; r < reqs.size(); ++r) {
+            const auto plain = ppml::mlpPlainForward(spec, reqs[r]);
+            for (size_t i = 0; i < plain.size(); ++i)
+                EXPECT_LE(std::llabs(ladder.outputs[r][i] - plain[i]),
+                          bound)
+                    << spec.name << " output " << i;
+        }
+    }
+}
+
+TEST(RoundChainTest, MeasuredRoundsMatchCostModel)
+{
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+    constexpr unsigned kWidth = 32;
+    const std::vector<uint64_t> x(spec.inputDim(), 5);
+
+    for (const CmpMode mode : {CmpMode::Ladder, CmpMode::Ripple}) {
+        std::vector<ppml::MlpLayerStat> stats;
+        net::runTwoParty(
+            [&](net::Channel &ch) {
+                ppml::FerretCotEngine engine(ch, 0,
+                                             ot::tinyTestParams(), 78);
+                ppml::SecureCompute sc(ch, 0, engine, kWidth);
+                sc.setComparisonMode(mode);
+                ppml::MlpRunner runner(spec, kWidth);
+                runner.forward(sc, ch, x);
+                stats = runner.layerStats();
+            },
+            [&](net::Channel &ch) {
+                ppml::FerretCotEngine engine(ch, 1,
+                                             ot::tinyTestParams(), 78);
+                ppml::SecureCompute sc(ch, 1, engine, kWidth);
+                sc.setComparisonMode(mode);
+                ppml::MlpRunner runner(spec, kWidth);
+                runner.forward(sc, ch, x);
+            });
+
+        bool saw_relu = false;
+        for (const ppml::MlpLayerStat &st : stats) {
+            if (st.label.rfind("relu", 0) != 0)
+                continue;
+            saw_relu = true;
+            // MEASURED interaction batches, not an analytic constant.
+            EXPECT_EQ(st.rounds, ppml::reluRounds(kWidth, mode))
+                << cmpModeName(mode);
+            EXPECT_EQ(st.cots,
+                      spec.reluElements() *
+                          (2 * ppml::dreluAndGates(kWidth, mode) + 2))
+                << cmpModeName(mode);
+        }
+        EXPECT_TRUE(saw_relu);
+        if (mode == CmpMode::Ladder)
+            // The acceptance bound: width-32 DReLU+MUX in <= 8 rounds.
+            EXPECT_LE(ppml::reluRounds(kWidth, mode), 8u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming commits: bit-identity + window mechanics
+// ---------------------------------------------------------------------------
+
+TEST(RoundChainTest, StreamingServedMatchesGroupedReference)
+{
+    svc::OperatorStock stock;
+    svc::CotServer cot;
+    stock.attach(cot);
+    const uint16_t cot_port = cot.listenTcp(0);
+    InferServer server;
+    server.attachOperatorStock(stock);
+    const uint16_t port = server.listenTcp(0);
+
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+    constexpr unsigned kWidth = 32;
+    constexpr uint16_t kDepth = 2;
+    constexpr int kCount = 6;
+    const auto reqs = makeRequests(spec, 1, kCount);
+
+    // Streaming with depth 2 commits groups {0,1}, {2,3}, {4,5} —
+    // the SAME boundaries as the non-streaming depth-2 client — so
+    // the reference is one local session evaluating those three
+    // grouped requests in order.
+    std::vector<std::vector<int64_t>> grouped_reqs;
+    for (int g = 0; g < kCount; g += kDepth)
+        grouped_reqs.push_back(concatRequests(reqs, g, kDepth));
+    const ppml::LocalMlpResult grouped = ppml::runLocalMlpInference(
+        spec, kWidth, grouped_reqs, kShareSeed, kSetupSeed,
+        ot::tinyTestParams());
+    const size_t req_out = spec.outputDim();
+
+    for (const SupplyKind supply :
+         {SupplyKind::Engine, SupplyKind::Reservoir}) {
+        InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = kWidth;
+        opt.batch = 1;
+        opt.setupSeed = kSetupSeed;
+        opt.shareSeed = kShareSeed;
+        opt.depth = kDepth;
+        opt.streamCommit = true;
+        auto client =
+            supply == SupplyKind::Reservoir
+                ? InferClient::connectTcpReservoir(
+                      "127.0.0.1", port, "127.0.0.1", cot_port, opt)
+                : InferClient::connectTcp("127.0.0.1", port, opt);
+        ASSERT_TRUE(client->streaming());
+        ASSERT_EQ(client->negotiatedDepth(), kDepth);
+
+        std::vector<uint32_t> tags;
+        for (int r = 0; r < kCount; ++r)
+            tags.push_back(client->submit(reqs[r]));
+        // Streaming streams AHEAD of the window: after 6 submissions
+        // two groups committed ({0,1} at the 4th, {2,3} at the 6th)
+        // and {4,5} is still pending — more than a non-streaming
+        // client could ever hold after submit() returns.
+        EXPECT_EQ(client->inFlight(), size_t(kDepth));
+
+        const auto results = client->drain();
+        ASSERT_EQ(results.size(), size_t(kCount));
+        for (int r = 0; r < kCount; ++r) {
+            EXPECT_EQ(results[r].tag, tags[r]);
+            const auto &group_out = grouped.outputs[r / kDepth];
+            const size_t off = size_t(r % kDepth) * req_out;
+            EXPECT_EQ(results[r].outputs,
+                      std::vector<int64_t>(group_out.begin() + off,
+                                           group_out.begin() + off +
+                                               req_out))
+                << supplyKindName(supply) << " request " << r;
+        }
+        client->close();
+    }
+
+    // And streaming is purely a scheduling property: a non-streaming
+    // depth-2 session over the same seeds reconstructs the same bits.
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = kWidth;
+    opt.batch = 1;
+    opt.setupSeed = kSetupSeed;
+    opt.shareSeed = kShareSeed;
+    opt.depth = kDepth;
+    auto plainClient = InferClient::connectTcp("127.0.0.1", port, opt);
+    ASSERT_FALSE(plainClient->streaming());
+    for (int r = 0; r < kCount; ++r)
+        plainClient->submit(reqs[r]);
+    const auto plain_results = plainClient->drain();
+    ASSERT_EQ(plain_results.size(), size_t(kCount));
+    for (int r = 0; r < kCount; ++r) {
+        const auto &group_out = grouped.outputs[r / kDepth];
+        const size_t off = size_t(r % kDepth) * req_out;
+        EXPECT_EQ(plain_results[r].outputs,
+                  std::vector<int64_t>(group_out.begin() + off,
+                                       group_out.begin() + off +
+                                           req_out))
+            << "non-streaming request " << r;
+    }
+    plainClient->close();
+    server.stop();
+    cot.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Malformed streaming commits
+// ---------------------------------------------------------------------------
+
+TEST(RoundChainTest, MalformedStreamingCommitsKillSessionNotServer)
+{
+    InferServer::Config cfg;
+    cfg.maxDepth = 2;
+    InferServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-4x3x2");
+
+    // A hand-rolled streaming session that really reaches the v2 op
+    // loop: play the hello AND the interactive engine priming, then
+    // misbehave. (The raw post-accept probes in test_infer_pipeline
+    // die inside engine setup instead, which never exercises the
+    // counted-commit validation.)
+    struct RawSession
+    {
+        std::unique_ptr<net::SocketChannel> ch;
+        std::unique_ptr<ppml::FerretCotEngine> engine;
+    };
+    auto openStreaming = [&]() {
+        RawSession s;
+        s.ch = net::tcpConnect("127.0.0.1", port);
+        InferHello h;
+        h.supply = SupplyKind::Engine;
+        h.modelId = spec.id;
+        h.width = 8;
+        h.batch = 1;
+        h.setupSeed = kSetupSeed;
+        h.params = svc::WireParams::of(ot::tinyTestParams());
+        h.depth = 2;
+        h.flags = kInferFlagStreamCommit; // unpacked, ripple
+        sendInferHello(*s.ch, h);
+        const InferAccept a = recvInferAccept(*s.ch);
+        EXPECT_EQ(a.status, InferStatus::Ok);
+        EXPECT_NE(a.flags & kInferFlagStreamCommit, 0);
+        s.engine = std::make_unique<ppml::FerretCotEngine>(
+            *s.ch, 0, ot::tinyTestParams(), kSetupSeed);
+        return s;
+    };
+    const std::vector<uint64_t> x(spec.inputDim(), 1);
+    auto sendFrame = [&](net::SocketChannel &ch, uint32_t tag) {
+        sendInferOp(ch, InferOp::Infer);
+        sendInferTag(ch, tag);
+        sendShareVector(ch, x.data(), x.size());
+    };
+    // The server must reject WITHOUT answering: the next read sees a
+    // dead session, never a response tag.
+    auto expectSessionDied = [](RawSession &s, const char *what) {
+        try {
+            s.ch->flush();
+            (void)recvInferTag(*s.ch);
+            ADD_FAILURE() << what << ": server answered a bad commit";
+        } catch (const std::exception &) {
+            // Dropped, as required.
+        }
+    };
+
+    {
+        // Commit count 0: meaningless — nothing-pending is expressed
+        // by not committing.
+        RawSession s = openStreaming();
+        sendInferOp(*s.ch, InferOp::Commit);
+        sendCommitCount(*s.ch, 0);
+        expectSessionDied(s, "count zero");
+    }
+    {
+        // Commit count beyond what was enqueued.
+        RawSession s = openStreaming();
+        sendFrame(*s.ch, 1);
+        sendInferOp(*s.ch, InferOp::Commit);
+        sendCommitCount(*s.ch, 2);
+        expectSessionDied(s, "count beyond pending");
+    }
+    {
+        // Frame flood past the streaming window (2 x depth = 4).
+        RawSession s = openStreaming();
+        try {
+            for (uint32_t r = 0; r < 5; ++r)
+                sendFrame(*s.ch, r);
+        } catch (const std::exception &) {
+            // The server may hang up mid-flood; also a pass.
+        }
+        expectSessionDied(s, "window flood");
+    }
+
+    // The server still serves a well-formed streaming session.
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 8;
+    opt.batch = 1;
+    opt.setupSeed = kSetupSeed;
+    opt.shareSeed = kShareSeed;
+    opt.depth = 2;
+    opt.streamCommit = true;
+    auto client = InferClient::connectTcp("127.0.0.1", port, opt);
+    ASSERT_TRUE(client->streaming());
+    const auto reqs = makeRequests(spec, 1, 2);
+    const ppml::LocalMlpResult grouped = ppml::runLocalMlpInference(
+        spec, 8, {concatRequests(reqs, 0, 2)}, kShareSeed, kSetupSeed,
+        ot::tinyTestParams());
+    client->submit(reqs[0]);
+    client->submit(reqs[1]);
+    const auto results = client->drain();
+    ASSERT_EQ(results.size(), 2u);
+    const size_t out = spec.outputDim();
+    for (size_t r = 0; r < 2; ++r)
+        EXPECT_EQ(results[r].outputs,
+                  std::vector<int64_t>(
+                      grouped.outputs[0].begin() + r * out,
+                      grouped.outputs[0].begin() + (r + 1) * out));
+    client->close();
+    server.stop();
+    EXPECT_GE(server.sessionsServed(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Depth auto-tune
+// ---------------------------------------------------------------------------
+
+TEST(RoundChainTest, AutoDepthScalesWithMeasuredRtt)
+{
+    InferServer server; // maxDepth 32: the negotiated ceiling
+    const uint16_t port = server.listenTcp(0);
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 32;
+    opt.batch = 1;
+    opt.setupSeed = kSetupSeed;
+    opt.shareSeed = kShareSeed;
+    opt.depthAuto = true;
+    opt.depthBudgetUs = 2000; // wide margins for a noisy CI box
+
+    // Fast link: loopback RTT against a 2 ms budget tunes shallow.
+    auto lan = InferClient::connectTcp("127.0.0.1", port, opt);
+    const uint16_t lan_depth = lan->negotiatedDepth();
+    EXPECT_GE(lan_depth, 1u);
+    // 7 rounds/group at w32 ladder: hitting 32 would need a ~9 ms
+    // loopback handshake.
+    EXPECT_LT(lan_depth, 32u);
+    lan->infer(makeRequests(spec, 1, 1)[0]); // sane session end to end
+    lan->close();
+
+    // Simulated WAN: >= 40 ms of injected RTT pins the ceiling.
+    opt.simulatedDelayUs = 20000;
+    opt.shareSeed = kShareSeed + 1;
+    auto wan = InferClient::connectTcp("127.0.0.1", port, opt);
+    EXPECT_GE(wan->measuredRttUs(), 20000u);
+    const uint16_t wan_depth = wan->negotiatedDepth();
+    EXPECT_EQ(wan_depth, 32u);
+    EXPECT_GT(wan_depth, lan_depth);
+    wan->close();
+    server.stop();
+}
+
+} // namespace
+} // namespace ironman::infer

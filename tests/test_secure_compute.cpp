@@ -151,26 +151,49 @@ TEST(SecureComputeTest, ReluMatchesPlain)
         std::tie(s0[i], s1[i]) = shareOf(values[i], rng);
     }
 
-    std::vector<uint64_t> y0, y1;
-    size_t cots_used = 0;
-    runParties(14,
-               [&](SecureCompute &sc) {
-                   y0 = sc.relu(s0);
-                   cots_used = sc.cotsConsumed();
-               },
-               [&](SecureCompute &sc) { y1 = sc.relu(s1); });
+    std::vector<std::vector<uint64_t>> y0_by_mode, y1_by_mode;
+    for (CmpMode mode : {CmpMode::Ladder, CmpMode::Ripple}) {
+        std::vector<uint64_t> y0, y1;
+        size_t cots_used = 0;
+        unsigned rounds_used = 0;
+        runParties(14,
+                   [&](SecureCompute &sc) {
+                       sc.setComparisonMode(mode);
+                       y0 = sc.relu(s0);
+                       cots_used = sc.cotsConsumed();
+                       rounds_used = sc.roundsUsed();
+                   },
+                   [&](SecureCompute &sc) {
+                       sc.setComparisonMode(mode);
+                       y1 = sc.relu(s1);
+                   });
 
-    for (size_t i = 0; i < n; ++i) {
-        int64_t v = toSigned(values[i]);
-        uint64_t expect = v >= 0 ? values[i] : 0;
-        EXPECT_EQ(mask(y0[i] + y1[i]), expect)
-            << "value " << v;
+        for (size_t i = 0; i < n; ++i) {
+            int64_t v = toSigned(values[i]);
+            uint64_t expect = v >= 0 ? values[i] : 0;
+            EXPECT_EQ(mask(y0[i] + y1[i]), expect)
+                << cmpModeName(mode) << " value " << v;
+        }
+
+        // COT accounting: 2 COTs per AND gate (one per direction),
+        // gate count per the mode's cost model, mux 2 per element —
+        // the formula reservoir sizing relies on. Rounds likewise.
+        EXPECT_EQ(cots_used,
+                  n * (2 * dreluAndGates(kWidth, mode) + 2))
+            << cmpModeName(mode);
+        EXPECT_EQ(rounds_used, reluRounds(kWidth, mode))
+            << cmpModeName(mode);
+
+        y0_by_mode.push_back(std::move(y0));
+        y1_by_mode.push_back(std::move(y1));
     }
 
-    // COT accounting: drelu uses 4 per bit position per element
-    // (2 ANDs x 2 COTs), mux 2 per element.
-    size_t expect_cots = n * (4 * (kWidth - 1) + 2);
-    EXPECT_EQ(cots_used, expect_cots);
+    // Stronger than equal reconstructions: relu output SHARES are
+    // mode-independent (the mux masks draw from a counter the modes
+    // advance identically), which is what lets a ladder local
+    // reference check a ripple served session bit-for-bit.
+    EXPECT_EQ(y0_by_mode[0], y0_by_mode[1]);
+    EXPECT_EQ(y1_by_mode[0], y1_by_mode[1]);
 }
 
 TEST(SecureComputeTest, MaxElementwiseMatchesPlain)
