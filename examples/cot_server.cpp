@@ -7,6 +7,12 @@
  *   ./cot_server --tcp 0                   # ephemeral port (printed)
  *   ./cot_server --unix /tmp/ironman.sock  # Unix-domain transport
  *   ./cot_server --tcp 17517 --sessions 2  # exit after 2 sessions (CI)
+ *   ./cot_server --tcp 17517 --metrics-port 17519  # scrape surface
+ *   ./cot_server --tcp 17517 --status 5    # one-line status every 5s
+ *
+ * --metrics-port serves the process metrics registry as `name value`
+ * text over plain HTTP; --metrics-json FILE rewrites a JSON snapshot
+ * at every status interval. Out-of-band: the MPC wire is untouched.
  *
  * Pair with ./cot_client. The engine pool keeps finished sessions'
  * engines warm, so a burst of same-shape clients pays the LPN tape
@@ -19,6 +25,8 @@
 #include <string>
 #include <thread>
 
+#include "common/metrics.h"
+#include "net/metrics_endpoint.h"
 #include "svc/cot_server.h"
 
 using namespace ironman;
@@ -31,6 +39,9 @@ main(int argc, char **argv)
     std::string unix_path;
     long max_sessions = -1; // -1 = serve forever
     int engine_threads = 1;
+    int metrics_port = -1; // -1 = no endpoint; 0 = ephemeral
+    long status_secs = 0;  // 0 = no periodic status line
+    std::string metrics_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -51,10 +62,18 @@ main(int argc, char **argv)
             max_sessions = std::atol(next());
         } else if (arg == "--threads") {
             engine_threads = std::atoi(next());
+        } else if (arg == "--metrics-port") {
+            metrics_port = std::atoi(next());
+        } else if (arg == "--status") {
+            status_secs = std::atol(next());
+        } else if (arg == "--metrics-json") {
+            metrics_json = next();
         } else {
             std::fprintf(stderr,
                          "usage: cot_server [--tcp PORT | --unix PATH] "
-                         "[--sessions N] [--threads T]\n");
+                         "[--sessions N] [--threads T] "
+                         "[--metrics-port PORT] [--status SECS] "
+                         "[--metrics-json FILE]\n");
             return 2;
         }
     }
@@ -76,12 +95,43 @@ main(int argc, char **argv)
         std::printf("cot_server: listening on %s (engine threads %d)\n",
                     unix_path.c_str(), engine_threads);
     }
+    net::MetricsEndpoint metrics_ep;
+    if (metrics_port >= 0) {
+        const uint16_t mp =
+            metrics_ep.listenTcp(uint16_t(metrics_port));
+        std::printf("cot_server: metrics on 127.0.0.1:%u\n",
+                    unsigned(mp));
+    }
     std::fflush(stdout);
 
     // Serve until the requested session count completed (or forever).
     uint64_t last_report = 0;
+    uint64_t status_cots = server.cotsServed();
+    uint64_t status_t0_us = metrics::nowUs();
+    uint64_t ticks = 0;
     for (;;) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        ++ticks;
+        if (status_secs > 0 && ticks % (uint64_t(status_secs) * 10) == 0) {
+            const uint64_t now_us = metrics::nowUs();
+            const uint64_t cots_now = server.cotsServed();
+            const double secs = double(now_us - status_t0_us) / 1e6;
+            const double cotps =
+                secs > 0 ? double(cots_now - status_cots) / secs : 0.0;
+            const auto dur = metrics::Registry::instance()
+                                 .histogramSnapshot(
+                                     "cot_session_duration_us");
+            std::printf("cot_server: status %.0f COTs/s, %zu active, "
+                        "%llu reaped, session p99 %llu us\n",
+                        cotps, server.activeSessions(),
+                        (unsigned long long)server.sessionsReaped(),
+                        (unsigned long long)dur.p99);
+            std::fflush(stdout);
+            status_cots = cots_now;
+            status_t0_us = now_us;
+            if (!metrics_json.empty())
+                metrics::Registry::instance().writeJson(metrics_json);
+        }
         const uint64_t done = server.sessionsServed();
         if (done != last_report) {
             std::printf("cot_server: %llu sessions served, %llu "
@@ -100,6 +150,9 @@ main(int argc, char **argv)
             break;
     }
     server.stop();
+    metrics_ep.stop();
+    if (!metrics_json.empty())
+        metrics::Registry::instance().writeJson(metrics_json);
     std::printf("cot_server: done (%llu sessions)\n",
                 (unsigned long long)server.sessionsServed());
     return 0;

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "infer/infer_client.h"
 #include "ppml/model_zoo.h"
@@ -233,6 +234,19 @@ main(int argc, char **argv)
     if (chaos)
         std::printf("infer_client: survived %llu reconnects\n",
                     (unsigned long long)client->reconnects());
+    // Client-side submit->reconstruct latency, from the same process
+    // registry the daemons scrape (see common/metrics.h).
+    const metrics::Histogram::Snapshot lat =
+        metrics::Registry::instance().histogramSnapshot(
+            "infer_client_request_latency_us");
+    if (lat.count > 0)
+        std::printf("infer_client: request latency (us): %llu samples, "
+                    "p50 %llu, p90 %llu, p99 %llu, mean %.0f\n",
+                    (unsigned long long)lat.count,
+                    (unsigned long long)lat.p50,
+                    (unsigned long long)lat.p90,
+                    (unsigned long long)lat.p99,
+                    double(lat.sum) / double(lat.count));
     std::printf("infer_client: %u images in %.3f s -> %.1f images/s; "
                 "%zu COTs, %.1f KB online sent, %.1f KB preproc sent; "
                 "%zu/%zu outputs within +/-%lld of plaintext\n",

@@ -7,6 +7,13 @@
  *   ./infer_server --tcp 17617                    # + ephemeral COT port
  *   ./infer_server --tcp 17617 --cot-tcp 17618    # pin both ports
  *   ./infer_server --tcp 17617 --sessions 2       # exit after 2 (CI)
+ *   ./infer_server --tcp 17617 --metrics-port 17619  # scrape surface
+ *   ./infer_server --tcp 17617 --status 5         # one-liner every 5s
+ *
+ * --metrics-port serves the process metrics registry as Prometheus-
+ * style `name value` text over plain HTTP (curl-able); --metrics-json
+ * FILE rewrites a JSON snapshot of the same registry at every status
+ * interval. Neither touches the MPC wire (DESIGN.md invariant 17).
  *
  * Pair with ./infer_client. One process runs both daemons: the
  * inference server is MPC party 1 AND the COT-service operator, so a
@@ -24,7 +31,9 @@
 #include <string>
 #include <thread>
 
+#include "common/metrics.h"
 #include "infer/infer_server.h"
+#include "net/metrics_endpoint.h"
 #include "svc/cot_server.h"
 #include "svc/operator_stock.h"
 
@@ -51,6 +60,9 @@ main(int argc, char **argv)
     long max_sessions = -1; // -1 = serve forever
     int engine_threads = 1;
     bool drain_on_term = false;
+    int metrics_port = -1; // -1 = no endpoint; 0 = ephemeral
+    long status_secs = 0;  // 0 = no periodic status line
+    std::string metrics_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -82,11 +94,19 @@ main(int argc, char **argv)
                 return 2;
             }
             drain_on_term = true;
+        } else if (arg == "--metrics-port") {
+            metrics_port = std::atoi(next());
+        } else if (arg == "--status") {
+            status_secs = std::atol(next());
+        } else if (arg == "--metrics-json") {
+            metrics_json = next();
         } else {
             std::fprintf(stderr,
                          "usage: infer_server [--tcp PORT] "
                          "[--cot-tcp PORT] [--sessions N] "
-                         "[--threads T] [--drain-on SIGTERM]\n");
+                         "[--threads T] [--drain-on SIGTERM] "
+                         "[--metrics-port PORT] [--status SECS] "
+                         "[--metrics-json FILE]\n");
             return 2;
         }
     }
@@ -119,11 +139,50 @@ main(int argc, char **argv)
     std::printf("infer_server: inference on 127.0.0.1:%u, COT service "
                 "on 127.0.0.1:%u (engine threads %d)\n",
                 unsigned(bound), unsigned(bound_cot), engine_threads);
+
+    net::MetricsEndpoint metrics_ep;
+    if (metrics_port >= 0) {
+        const uint16_t mp =
+            metrics_ep.listenTcp(uint16_t(metrics_port));
+        std::printf("infer_server: metrics on 127.0.0.1:%u\n",
+                    unsigned(mp));
+    }
     std::fflush(stdout);
 
     uint64_t last_report = 0;
+    uint64_t status_images = server.imagesServed();
+    uint64_t status_t0_us = metrics::nowUs();
+    uint64_t ticks = 0;
     for (;;) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        ++ticks;
+        if (status_secs > 0 && ticks % (uint64_t(status_secs) * 10) == 0) {
+            const uint64_t now_us = metrics::nowUs();
+            const uint64_t images_now = server.imagesServed();
+            const double secs =
+                double(now_us - status_t0_us) / 1e6;
+            const double imgps =
+                secs > 0 ? double(images_now - status_images) / secs
+                         : 0.0;
+            const auto lat = metrics::Registry::instance()
+                                 .histogramSnapshot(
+                                     "infer_commit_latency_us");
+            std::printf(
+                "infer_server: status %.1f img/s, %zu active, "
+                "operator bank %lld, reservoir stock %lld, commit "
+                "p99 %llu us\n",
+                imgps, server.activeSessions(),
+                (long long)metrics::Registry::instance().gaugeValue(
+                    "svc_operator_bank_depth"),
+                (long long)metrics::Registry::instance().gaugeValue(
+                    "svc_reservoir_stock_cots"),
+                (unsigned long long)lat.p99);
+            std::fflush(stdout);
+            status_images = images_now;
+            status_t0_us = now_us;
+            if (!metrics_json.empty())
+                metrics::Registry::instance().writeJson(metrics_json);
+        }
         const uint64_t done = server.sessionsServed();
         if (done != last_report) {
             std::printf(
@@ -155,6 +214,11 @@ main(int argc, char **argv)
     }
     server.stop();
     cot.stop();
+    metrics_ep.stop();
+    // Final snapshot after the last session's counters landed, so a
+    // harness reading the file post-exit sees the complete run.
+    if (!metrics_json.empty())
+        metrics::Registry::instance().writeJson(metrics_json);
     std::printf("infer_server: done (%llu sessions)\n",
                 (unsigned long long)server.sessionsServed());
     return 0;

@@ -14,6 +14,10 @@ StatSet::get(const std::string &name) const
 void
 StatSet::merge(const StatSet &o)
 {
+    // Self-merge is a no-op, not a doubling: iterating a map while
+    // inserting into it is also UB-adjacent, so bail out first.
+    if (&o == this)
+        return;
     for (const auto &[name, value] : o.counters)
         counters[name] += value;
 }

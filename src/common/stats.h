@@ -5,6 +5,18 @@
  * Protocol objects expose a StatSet so benches can read operation
  * counts (AES calls, ChaCha calls, bytes moved, DRAM accesses...)
  * without recompiling with instrumentation flags.
+ *
+ * Scope guardrail — StatSet vs common/metrics.h:
+ *  - StatSet is OFFLINE, bench-only accounting: string-keyed map,
+ *    allocates on every new name, and has NO concurrency story —
+ *    callers must externally serialize all access (including reads;
+ *    get()/toString() walk the same map add() mutates). Never place
+ *    it on a serving hot path: it would break both thread safety and
+ *    the zero-alloc warm-path invariant (DESIGN.md invariant 12).
+ *  - Live, multi-threaded, hot-path telemetry belongs to the
+ *    `metrics::` registry (common/metrics.h): pre-registered handles,
+ *    relaxed-atomic record paths, snapshots priced at read time
+ *    (invariant 17).
  */
 
 #ifndef IRONMAN_COMMON_STATS_H
@@ -34,7 +46,8 @@ class StatSet
     /** Reset every counter to zero. */
     void clear() { counters.clear(); }
 
-    /** Merge another set into this one (summing matching names). */
+    /** Merge another set into this one (summing matching names).
+     * Self-merge is a no-op. */
     void merge(const StatSet &o);
 
     const std::map<std::string, uint64_t> &all() const { return counters; }

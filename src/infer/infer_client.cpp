@@ -6,11 +6,21 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "net/wire_error.h"
 
 namespace ironman::infer {
 
 namespace {
+
+/** Client-side request latency (submit -> reconstruction). */
+metrics::Histogram &
+requestLatency()
+{
+    static metrics::Histogram &h =
+        metrics::histogram("infer_client_request_latency_us");
+    return h;
+}
 
 const ppml::MlpModelSpec &
 specOrThrow(uint32_t model_id)
@@ -390,6 +400,8 @@ InferClient::failPendingFrom(size_t answered, size_t group,
                     pendingX0.begin() + group * req_in);
     pendingX1.erase(pendingX1.begin(),
                     pendingX1.begin() + group * req_in);
+    pendingT0Us.erase(pendingT0Us.begin(),
+                      pendingT0Us.begin() + group);
 }
 
 std::vector<int64_t>
@@ -418,6 +430,7 @@ InferClient::submit(const std::vector<int64_t> &inputs)
                   "inputs are batch * inputDim values");
 
     const uint32_t tag = nextTag++;
+    const uint64_t t0_us = metrics::nowUs();
     // The tape advances exactly once per submission, reconnect or not.
     ppml::shareMlpValues(shareRng, opt_.width, inputs, &x0, &x1);
 
@@ -430,8 +443,10 @@ InferClient::submit(const std::vector<int64_t> &inputs)
         y1.resize(size_t(opt_.batch) * spec_.outputDim());
         recvShareVector(*ch, y1.data(), y1.size());
         ++requests;
-        ready.push_back(
-            {tag, ppml::reconstructMlpValues(opt_.width, y0, y1)});
+        Result r{tag, ppml::reconstructMlpValues(opt_.width, y0, y1)};
+        r.latencyUs = metrics::nowUs() - t0_us;
+        requestLatency().record(r.latencyUs);
+        ready.push_back(std::move(r));
         return tag;
     }
 
@@ -457,6 +472,7 @@ InferClient::submit(const std::vector<int64_t> &inputs)
     pendingTags.push_back(tag);
     pendingX0.insert(pendingX0.end(), x0.begin(), x0.end());
     pendingX1.insert(pendingX1.end(), x1.begin(), x1.end());
+    pendingT0Us.push_back(t0_us);
     if (stream_) {
         // Keep the recv-ahead window primed: once two full groups are
         // pending, commit the OLDEST — its evaluation overlaps the
@@ -516,8 +532,11 @@ InferClient::commitGroup(size_t group)
                 recvShareVector(*ch, y1.data(), req_out);
             std::copy(y0cat.begin() + r * req_out,
                       y0cat.begin() + (r + 1) * req_out, y0.begin());
-            ready.push_back(
-                {tag, ppml::reconstructMlpValues(opt_.width, y0, y1)});
+            Result res{tag,
+                       ppml::reconstructMlpValues(opt_.width, y0, y1)};
+            res.latencyUs = metrics::nowUs() - pendingT0Us[r];
+            requestLatency().record(res.latencyUs);
+            ready.push_back(std::move(res));
             ++answered;
         }
     } catch (const std::exception &e) {
@@ -540,6 +559,8 @@ InferClient::commitGroup(size_t group)
                     pendingX0.begin() + group * req_in);
     pendingX1.erase(pendingX1.begin(),
                     pendingX1.begin() + group * req_in);
+    pendingT0Us.erase(pendingT0Us.begin(),
+                      pendingT0Us.begin() + group);
 }
 
 InferClient::Result

@@ -154,6 +154,13 @@ class InferClient
          */
         bool ok = true;
         std::string error;
+        /**
+         * Submit-to-reconstruction time (us) of this request, also
+         * recorded in the process registry histogram
+         * `infer_client_request_latency_us` — the client-side mirror
+         * of the server's commit-latency histogram.
+         */
+        uint64_t latencyUs = 0;
     };
 
     /**
@@ -333,6 +340,7 @@ class InferClient
     std::vector<uint32_t> pendingTags;
     std::vector<uint64_t> pendingX0;
     std::vector<uint64_t> pendingX1;
+    std::vector<uint64_t> pendingT0Us; ///< submit() stamps, per tag
     std::deque<Result> ready;
 };
 

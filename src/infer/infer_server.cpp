@@ -1,6 +1,8 @@
 #include "infer/infer_server.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "net/flight_recorder.h"
 #include "net/wire_error.h"
 #include "ppml/cot_engine.h"
 #include "ppml/mlp_runner.h"
@@ -8,10 +10,47 @@
 
 namespace ironman::infer {
 
+namespace {
+
+/**
+ * Online-phase telemetry, summed across sessions. The histograms are
+ * the serving-quality surface: commit latency is the server-side share
+ * of the client's submit->collect time, group size and window
+ * occupancy say how well pipelining is actually filling the negotiated
+ * depth. The rounds/COTs/bytes counters aggregate MlpLayerStat totals
+ * per forward — the live mirror of the bench-only StatSet breakdown.
+ */
+struct InferMetrics {
+    metrics::Counter &requests =
+        metrics::counter("infer_requests_total");
+    metrics::Counter &images = metrics::counter("infer_images_total");
+    metrics::Counter &cots = metrics::counter("infer_cots_total");
+    metrics::Counter &rounds = metrics::counter("infer_rounds_total");
+    metrics::Counter &onlineBytes =
+        metrics::counter("infer_online_bytes_total");
+    metrics::Histogram &commitUs =
+        metrics::histogram("infer_commit_latency_us");
+    metrics::Histogram &groupSize =
+        metrics::histogram("infer_commit_group_size");
+    metrics::Histogram &windowOccupancy =
+        metrics::histogram("infer_window_occupancy");
+};
+
+InferMetrics &
+inferMetrics()
+{
+    static InferMetrics m;
+    return m;
+}
+
+} // namespace
+
 InferServer::InferServer(Config cfg)
     : cfg_(cfg), server_(cfg.maxSessions)
 {
     IRONMAN_CHECK(cfg_.maxBatch > 0, "need a nonzero batch bound");
+    server_.setMetricsPrefix("infer");
+    inferMetrics(); // register handles before any session traffic
     server_.setHandler([this](net::SocketChannel &ch, uint64_t sid) {
         serveSession(ch, sid);
     });
@@ -78,6 +117,7 @@ InferServer::activeSessions() const
 void
 InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 {
+    net::FlightRecorder fr;
     try {
         if (cfg_.simulatedDelayUs > 0)
             ch.setSimulatedDelay(cfg_.simulatedDelayUs);
@@ -85,6 +125,7 @@ InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
             ch.setSimulatedBandwidth(cfg_.simulatedBandwidthBps);
         InferHello hello;
         InferStatus st = recvInferHello(ch, &hello);
+        fr.note("hello", uint32_t(st));
         // Policy on top of the structural checks.
         if (st == InferStatus::Ok && hello.batch > cfg_.maxBatch)
             st = InferStatus::BadBatch;
@@ -126,14 +167,26 @@ InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
         }
         sendInferAccept(ch, accept);
         ch.flush();
+        fr.note("accept", uint32_t(st));
         if (st == InferStatus::Ok) {
-            runSession(ch, sid, hello);
+            runSession(ch, sid, hello, fr);
             served.fetch_add(1, std::memory_order_relaxed);
         } else {
             rejected.fetch_add(1, std::memory_order_relaxed);
         }
+    } catch (const net::WireError &e) {
+        // A dying client must not take the server down. Classify the
+        // fault here (the skeleton never sees this exception) and dump
+        // the flight ring — the last opcodes before the unwind are the
+        // forensic record a chaos run asserts on.
+        server_.metrics().noteFailure(e.fault());
+        fr.dump(sid, net::wireFaultName(e.fault()));
+        IRONMAN_WARN("infer session %llu aborted (%s): %s",
+                     (unsigned long long)sid,
+                     net::wireFaultName(e.fault()), e.what());
     } catch (const std::exception &e) {
-        // A dying client must not take the server down.
+        server_.metrics().noteFailure(net::WireFault::Fatal);
+        fr.dump(sid, "exception");
         IRONMAN_WARN("infer session %llu aborted: %s",
                      (unsigned long long)sid, e.what());
     }
@@ -141,7 +194,8 @@ InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 
 void
 InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
-                        const InferHello &hello)
+                        const InferHello &hello,
+                        net::FlightRecorder &fr)
 {
     const ppml::MlpModelSpec &spec = *ppml::findMlpModel(hello.modelId);
     const unsigned width = hello.width;
@@ -200,15 +254,26 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
 
     const size_t req_in = size_t(hello.batch) * spec.inputDim();
     const size_t req_out = size_t(hello.batch) * spec.outputDim();
+    InferMetrics &im = inferMetrics();
     auto account = [&, cots_counted = size_t(0)](size_t reqs) mutable {
         requests.fetch_add(reqs, std::memory_order_relaxed);
         images.fetch_add(uint64_t(reqs) * hello.batch,
                          std::memory_order_relaxed);
         // Per commit, not at Close: an aborted session must not leave
         // its consumption uncounted next to counted images.
-        cots.fetch_add(sc.cotsConsumed() - cots_counted,
-                       std::memory_order_relaxed);
+        const uint64_t consumed = sc.cotsConsumed() - cots_counted;
+        cots.fetch_add(consumed, std::memory_order_relaxed);
         cots_counted = sc.cotsConsumed();
+        im.requests.inc(reqs);
+        im.images.inc(uint64_t(reqs) * hello.batch);
+        im.cots.inc(consumed);
+        // Live mirror of the bench-only StatSet breakdown: totals of
+        // the last forward's per-layer rows (a short fixed vector — no
+        // allocation on the warm path).
+        for (const ppml::MlpLayerStat &ls : runner.layerStats()) {
+            im.rounds.inc(ls.rounds);
+            im.onlineBytes.inc(ls.bytes);
+        }
     };
 
     if (hello.version < 2) {
@@ -216,13 +281,19 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
         std::vector<uint64_t> x1(req_in);
         for (;;) {
             const InferOp op = recvInferOp(ch);
+            fr.note("op", uint32_t(op));
             if (op != InferOp::Infer)
                 break;
+            const uint64_t t0_us = metrics::nowUs();
             recvShareVector(ch, x1.data(), x1.size());
             const std::vector<uint64_t> y1 =
                 runner.forward(sc, ch, x1);
             sendShareVector(ch, y1.data(), y1.size());
             ch.flush();
+            fr.note("infer", 0, req_out * sizeof(uint64_t));
+            im.commitUs.recordSinceUs(t0_us);
+            im.groupSize.record(1);
+            im.windowOccupancy.record(1);
             account(1);
         }
         (void)sid;
@@ -246,6 +317,7 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
     x1cat.reserve(recvAhead * req_in);
     for (;;) {
         const InferOp op = recvInferOp(ch);
+        fr.note("op", uint32_t(op));
         if (op == InferOp::Infer) {
             if (tags.size() >= recvAhead)
                 throw net::WireError(
@@ -258,6 +330,7 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
                 recvShareVectorPacked(ch, dst, req_in, width);
             else
                 recvShareVector(ch, dst, req_in);
+            fr.note("infer", tags.back(), req_in * sizeof(uint64_t));
         } else if (op == InferOp::Commit) {
             size_t group = tags.size();
             if (stream) {
@@ -269,6 +342,10 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
             } else if (tags.empty()) {
                 continue; // nothing in flight: a no-op, not an error
             }
+            const uint64_t t0_us = metrics::nowUs();
+            // Occupancy at commit time: how much of the negotiated
+            // window the client actually keeps in flight.
+            im.windowOccupancy.record(tags.size());
             const std::vector<uint64_t> xgroup(
                 x1cat.begin(), x1cat.begin() + group * req_in);
             const std::vector<uint64_t> y1cat =
@@ -282,6 +359,10 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
                     sendShareVector(ch, src, req_out);
             }
             ch.flush();
+            fr.note("commit", uint32_t(group),
+                    group * req_out * sizeof(uint64_t));
+            im.commitUs.recordSinceUs(t0_us);
+            im.groupSize.record(group);
             account(group);
             tags.erase(tags.begin(), tags.begin() + group);
             x1cat.erase(x1cat.begin(),

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "infer/wire.h"
+#include "net/flight_recorder.h"
 #include "net/session_server.h"
 #include "net/socket_channel.h"
 #include "svc/cot_server.h"
@@ -141,7 +142,7 @@ class InferServer
   private:
     void serveSession(net::SocketChannel &ch, uint64_t sid);
     void runSession(net::SocketChannel &ch, uint64_t sid,
-                    const InferHello &hello);
+                    const InferHello &hello, net::FlightRecorder &fr);
 
     Config cfg_;
     svc::OperatorStock *stock_ = nullptr;

@@ -1,0 +1,79 @@
+#include "net/flight_recorder.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/metrics.h"
+
+namespace ironman::net {
+
+namespace {
+
+std::mutex g_lastDumpMutex;
+std::string g_lastDump;
+
+} // namespace
+
+void
+FlightRecorder::note(const char *label, uint32_t tag, uint64_t bytes)
+{
+    Event &e = ring_[seq_ % kCapacity];
+    e.t_us = metrics::nowUs();
+    e.label = label;
+    e.bytes = bytes;
+    e.tag = tag;
+    ++seq_;
+}
+
+std::string
+FlightRecorder::render() const
+{
+    const uint64_t kept = seq_ < kCapacity ? seq_ : kCapacity;
+    std::string out;
+    if (kept == 0)
+        return out;
+    // Timestamps are printed relative to the oldest retained event so
+    // a dump reads as a timeline, not as raw clock values.
+    const uint64_t t0 = ring_[(seq_ - kept) % kCapacity].t_us;
+    char line[160];
+    for (uint64_t i = seq_ - kept; i < seq_; ++i) {
+        const Event &e = ring_[i % kCapacity];
+        std::snprintf(line, sizeof(line),
+                      "  +%8lluus %-12s tag=%u bytes=%llu\n",
+                      (unsigned long long)(e.t_us - t0), e.label, e.tag,
+                      (unsigned long long)e.bytes);
+        out += line;
+    }
+    return out;
+}
+
+void
+FlightRecorder::dump(uint64_t sid, const char *reason) const
+{
+    const uint64_t kept = seq_ < kCapacity ? seq_ : kCapacity;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "flight recorder: session %llu unwound (%s); last "
+                  "%llu/%llu events:\n",
+                  (unsigned long long)sid, reason,
+                  (unsigned long long)kept, (unsigned long long)seq_);
+    std::string text = head;
+    text += render();
+    std::fputs(text.c_str(), stderr);
+    {
+        std::lock_guard<std::mutex> lock(g_lastDumpMutex);
+        g_lastDump = std::move(text);
+    }
+    static metrics::Counter &dumps =
+        metrics::counter("net_flight_dumps_total");
+    dumps.inc();
+}
+
+std::string
+lastFlightDump()
+{
+    std::lock_guard<std::mutex> lock(g_lastDumpMutex);
+    return g_lastDump;
+}
+
+} // namespace ironman::net

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-session flight recorder: a fixed-size ring of trace events the
+ * session loop stamps as it processes opcodes, cheap enough to stay on
+ * by default (no allocation, no locks, no syscalls at record time).
+ *
+ * When a session unwinds through a WireError the daemon dumps the
+ * ring — the session's last opcodes, tags, byte counts, and relative
+ * timestamps — to stderr, turning an injected chaos fault or a field
+ * failure into a postmortem artifact instead of a bare typed
+ * exception. The most recent dump is also retained process-wide
+ * (lastFlightDump()) so tests and tooling can assert on it without
+ * scraping stderr.
+ *
+ * The recorder is strictly session-thread-local: note() is not
+ * thread-safe and never needs to be, because exactly one thread runs a
+ * session loop. Labels must be string literals (the ring stores the
+ * pointer, not a copy).
+ */
+
+#ifndef IRONMAN_NET_FLIGHT_RECORDER_H
+#define IRONMAN_NET_FLIGHT_RECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ironman::net {
+
+class FlightRecorder
+{
+  public:
+    /** Events retained; older ones are overwritten (64 * 32 B/session,
+     * sized to hold several full pipelined windows of opcodes). */
+    static constexpr size_t kCapacity = 64;
+
+    struct Event
+    {
+        uint64_t t_us;       ///< metrics::nowUs() at record time
+        const char *label;   ///< static string (opcode/phase name)
+        uint64_t bytes;      ///< payload size, 0 when n/a
+        uint32_t tag;        ///< request tag, 0 when n/a
+    };
+
+    /** Record one event. Allocation-free; @p label MUST be a literal. */
+    void
+    note(const char *label, uint32_t tag = 0, uint64_t bytes = 0);
+
+    /** Forget everything (e.g. at session handshake completion). */
+    void clear() { seq_ = 0; }
+
+    /** Events recorded since construction/clear (not capped). */
+    uint64_t total() const { return seq_; }
+
+    /** Render retained events oldest-first (cold path; allocates). */
+    std::string render() const;
+
+    /**
+     * Postmortem dump: writes a header naming @p sid and @p reason
+     * plus the rendered ring to stderr, stores the same text as the
+     * process-wide last dump, and bumps net_flight_dumps_total.
+     */
+    void dump(uint64_t sid, const char *reason) const;
+
+  private:
+    Event ring_[kCapacity];
+    uint64_t seq_ = 0;
+};
+
+/** Text of the most recent FlightRecorder::dump() ("" if none yet). */
+std::string lastFlightDump();
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_FLIGHT_RECORDER_H

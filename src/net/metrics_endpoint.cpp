@@ -1,0 +1,84 @@
+#include "net/metrics_endpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/metrics.h"
+#include "net/socket_channel.h"
+
+namespace ironman::net {
+
+MetricsEndpoint::~MetricsEndpoint()
+{
+    stop();
+}
+
+uint16_t
+MetricsEndpoint::listenTcp(uint16_t port)
+{
+    const int fd = net::tcpListen(port);
+    listenFd_.store(fd);
+    const uint16_t bound = net::tcpListenPort(fd);
+    thread_ = std::thread([this] { acceptLoop(); });
+    return bound;
+}
+
+void
+MetricsEndpoint::stop()
+{
+    const int fd = listenFd_.exchange(-1);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+MetricsEndpoint::acceptLoop()
+{
+    // One connection at a time, serially: a scrape is a few KB of
+    // text, and serializing keeps the endpoint incapable of becoming
+    // a load source against the daemons it observes.
+    for (;;) {
+        const int listener = listenFd_.load(std::memory_order_acquire);
+        if (listener < 0)
+            return;
+        const int fd = net::acceptOn(listener);
+        if (fd < 0)
+            return; // listener closed by stop()
+        // Drain (and ignore) whatever request the client sent, with a
+        // short timeout so a silent client cannot park the loop. A
+        // bare /dev/tcp reader sends nothing — that's fine too.
+        struct timeval tv = {0, 200 * 1000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        char scratch[1024];
+        (void)::recv(fd, scratch, sizeof(scratch), 0);
+        const std::string body =
+            metrics::Registry::instance().renderText();
+        char head[128];
+        std::snprintf(head, sizeof(head),
+                      "HTTP/1.0 200 OK\r\n"
+                      "Content-Type: text/plain; version=0.0.4\r\n"
+                      "Content-Length: %zu\r\n\r\n",
+                      body.size());
+        std::string reply = head;
+        reply += body;
+        size_t off = 0;
+        while (off < reply.size()) {
+            const ssize_t n = ::send(fd, reply.data() + off,
+                                     reply.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                break; // scraper went away; nothing to salvage
+            off += size_t(n);
+        }
+        ::close(fd);
+    }
+}
+
+} // namespace ironman::net

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Scrapeable stats surface: a tiny read-only TCP endpoint that serves
+ * the process-wide metrics registry as Prometheus-style "name value"
+ * text, one connection at a time (one-shot accept loop).
+ *
+ * This is deliberately NOT part of the MPC wire: it lives on its own
+ * port (--metrics-port on both daemons), never writes into a session
+ * channel, and a scrape can neither observe nor perturb protocol
+ * bytes (invariant 17). The response is a minimal HTTP/1.0 reply so
+ * curl/wget and plain `exec 3<>/dev/tcp/...` both work; the request
+ * bytes are drained and ignored (every path serves the same body).
+ */
+
+#ifndef IRONMAN_NET_METRICS_ENDPOINT_H
+#define IRONMAN_NET_METRICS_ENDPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ironman::net {
+
+class MetricsEndpoint
+{
+  public:
+    MetricsEndpoint() = default;
+    ~MetricsEndpoint();
+
+    MetricsEndpoint(const MetricsEndpoint &) = delete;
+    MetricsEndpoint &operator=(const MetricsEndpoint &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral), start the accept loop,
+     * return the bound port. Throws WireError on bind failure.
+     */
+    uint16_t listenTcp(uint16_t port);
+
+    /** Retire the listener and join the accept thread. Idempotent. */
+    void stop();
+
+    bool listening() const { return listenFd_.load() >= 0; }
+
+  private:
+    void acceptLoop();
+
+    std::atomic<int> listenFd_{-1};
+    std::thread thread_;
+};
+
+} // namespace ironman::net
+
+#endif // IRONMAN_NET_METRICS_ENDPOINT_H

@@ -7,6 +7,21 @@
 
 namespace ironman::net {
 
+void
+SessionMetrics::init(const std::string &prefix)
+{
+    accepted_ = &metrics::counter(prefix + "_sessions_accepted_total");
+    active_ = &metrics::gauge(prefix + "_sessions_active");
+    reaped_ = &metrics::counter(prefix + "_sessions_reaped_total");
+    duration_ = &metrics::histogram(prefix + "_session_duration_us");
+    // Metric names take the underscore spelling of wireFaultName().
+    static const char *const kinds[kFaultKinds] = {
+        "transient", "peer_closed", "deadline", "protocol", "fatal"};
+    for (size_t k = 0; k < kFaultKinds; ++k)
+        failed_[k] = &metrics::counter(prefix + "_sessions_failed_" +
+                                       kinds[k] + "_total");
+}
+
 SessionServer::SessionServer(size_t max_sessions)
     : maxSessions(max_sessions)
 {
@@ -98,17 +113,27 @@ SessionServer::acceptLoop()
             liveChannels[sid] = ch.get();
             reapFinishedLocked();
         }
+        metrics_.noteAccepted();
         Session sess;
         sess.finished = finished;
         sess.thread = std::thread(
             [this, sid, finished](std::unique_ptr<SocketChannel> sess_ch) {
+                const uint64_t t0_us = metrics::nowUs();
                 try {
                     handler(*sess_ch, sid);
+                } catch (const WireError &e) {
+                    // A handler that lets the typed unwind escape left
+                    // classification to the skeleton.
+                    metrics_.noteFailure(e.fault());
+                    IRONMAN_WARN("session %llu aborted: %s",
+                                 (unsigned long long)sid, e.what());
                 } catch (const std::exception &e) {
                     // A dying client must not take the server down.
+                    metrics_.noteFailure(WireFault::Fatal);
                     IRONMAN_WARN("session %llu aborted: %s",
                                  (unsigned long long)sid, e.what());
                 }
+                metrics_.noteFinished(metrics::nowUs() - t0_us);
                 {
                     std::lock_guard<std::mutex> lock(m);
                     liveChannels.erase(sid);
@@ -153,6 +178,7 @@ SessionServer::reaperLoop()
                 // clean up. Erasure of the bookkeeping happens there.
                 ch->shutdownBoth();
                 reaped.fetch_add(1, std::memory_order_relaxed);
+                metrics_.noteReaped();
                 it->second.lastChange = now; // don't re-reap every scan
             }
         }

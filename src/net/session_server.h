@@ -59,9 +59,81 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/socket_channel.h"
 
 namespace ironman::net {
+
+/**
+ * Session telemetry for one daemon, registered under a name prefix
+ * ("cot", "infer") so both daemons in one process stay separable.
+ * Handles are registered once in init() (allocating, cold); every
+ * note*() after that is lock- and allocation-free. Before init() all
+ * note*() calls are no-ops, so a bare SessionServer (tests) pays one
+ * null check per event.
+ *
+ * noteFailure() is public on purpose: the daemons catch their own
+ * session exceptions (the skeleton's wrapper only sees what escapes),
+ * so whichever layer handles the unwind classifies it — exactly one
+ * layer sees each failure.
+ */
+class SessionMetrics
+{
+  public:
+    /** Register handles: <p>_sessions_accepted_total, _active,
+     * _reaped_total, <p>_session_duration_us, and one
+     * <p>_sessions_failed_<kind>_total per WireFault kind. */
+    void init(const std::string &prefix);
+
+    void
+    noteAccepted()
+    {
+        if (accepted_) {
+            accepted_->inc();
+            active_->add(1);
+        }
+    }
+
+    void
+    noteFinished(uint64_t duration_us)
+    {
+        if (accepted_) {
+            active_->sub(1);
+            duration_->record(duration_us);
+        }
+    }
+
+    void
+    noteReaped()
+    {
+        if (reaped_)
+            reaped_->inc();
+    }
+
+    /** Count one session unwound by a fault of this kind. */
+    void
+    noteFailure(WireFault fault)
+    {
+        const size_t k = size_t(fault);
+        if (accepted_ && k < kFaultKinds)
+            failed_[k]->inc();
+    }
+
+    uint64_t
+    failures(WireFault fault) const
+    {
+        const size_t k = size_t(fault);
+        return accepted_ && k < kFaultKinds ? failed_[k]->value() : 0;
+    }
+
+  private:
+    static constexpr size_t kFaultKinds = 5;
+    metrics::Counter *accepted_ = nullptr;
+    metrics::Gauge *active_ = nullptr;
+    metrics::Counter *reaped_ = nullptr;
+    metrics::Counter *failed_[kFaultKinds] = {};
+    metrics::Histogram *duration_ = nullptr;
+};
 
 class SessionServer
 {
@@ -81,6 +153,19 @@ class SessionServer
 
     /** Set before listening. */
     void setHandler(Handler h);
+
+    /**
+     * Register session telemetry under @p prefix (e.g. "cot",
+     * "infer"). Call before listening; without it the server emits no
+     * metrics (bare skeletons in tests stay silent).
+     */
+    void setMetricsPrefix(const std::string &prefix)
+    {
+        metrics_.init(prefix);
+    }
+
+    /** Telemetry handle — daemons classify session failures here. */
+    SessionMetrics &metrics() { return metrics_; }
 
     /**
      * Per-session channel deadlines, applied to every accepted
@@ -140,6 +225,7 @@ class SessionServer
     void finishSessions(bool force);
 
     Handler handler;
+    SessionMetrics metrics_;
     size_t maxSessions;
     uint64_t recvTimeoutMs = 0;
     uint64_t sendTimeoutMs = 0;

@@ -1,5 +1,6 @@
 #include "net/socket_channel.h"
 
+#include "common/metrics.h"
 #include "net/codec.h"
 
 #include <algorithm>
@@ -42,10 +43,34 @@ ioFault(int err)
     }
 }
 
+/**
+ * Process-wide wire totals across every SocketChannel. Registered on
+ * first channel construction (cold), recorded with relaxed adds right
+ * next to the per-channel counters the accounting already pays.
+ */
+struct ChannelMetrics {
+    metrics::Counter &bytesSent =
+        metrics::counter("net_bytes_sent_total");
+    metrics::Counter &bytesReceived =
+        metrics::counter("net_bytes_received_total");
+    metrics::Counter &turns = metrics::counter("net_turns_total");
+    metrics::Counter &deadlineHits =
+        metrics::counter("net_deadline_hits_total");
+};
+
+ChannelMetrics &
+channelMetrics()
+{
+    static ChannelMetrics m;
+    return m;
+}
+
 } // namespace
 
 SocketChannel::SocketChannel(int fd, bool tcp_nodelay) : sock(fd)
 {
+    channelMetrics(); // register handles before any hot-path record
+
     if (sock < 0)
         throw WireError(WireFault::Fatal, "SocketChannel: bad fd");
     if (tcp_nodelay) {
@@ -120,11 +145,13 @@ SocketChannel::pollOrThrow(short events, uint64_t timeout_ms,
         if (n > 0)
             return; // readable/writable (or HUP/ERR: the recv/send
                     // that follows reports the precise condition)
-        if (n == 0)
+        if (n == 0) {
+            channelMetrics().deadlineHits.inc();
             throw WireError(WireFault::Deadline,
                             std::string(what) + ": deadline (" +
                                 std::to_string(timeout_ms) +
                                 " ms) expired waiting on peer");
+        }
         if (errno == EINTR)
             continue;
         throwErrno(WireFault::Fatal, "SocketChannel poll");
@@ -156,10 +183,12 @@ SocketChannel::sendBytes(const void *data, size_t len)
     if (lastDir != 0) {
         lastDir = 0;
         turnCount.fetch_add(1, std::memory_order_relaxed);
+        channelMetrics().turns.inc();
     }
     const auto *bytes = static_cast<const uint8_t *>(data);
     txBuf.insert(txBuf.end(), bytes, bytes + len);
     sent.fetch_add(len, std::memory_order_relaxed);
+    channelMetrics().bytesSent.inc(len);
     if (txBuf.size() >= kFlushThreshold)
         flush();
 }
@@ -371,6 +400,7 @@ SocketChannel::recvBytes(void *data, size_t len)
         return;
     if (lastDir != 1) {
         lastDir = 1;
+        channelMetrics().turns.inc();
         const uint64_t turn =
             turnCount.fetch_add(1, std::memory_order_relaxed) + 1;
         if (fault.armed() && !faultDone && turn >= fault.atTurn)
@@ -393,6 +423,7 @@ SocketChannel::recvBytes(void *data, size_t len)
         got += take;
     }
     received.fetch_add(len, std::memory_order_relaxed);
+    channelMetrics().bytesReceived.inc(len);
 }
 
 // ---------------------------------------------------------------------------

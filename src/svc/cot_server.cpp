@@ -1,7 +1,9 @@
 #include "svc/cot_server.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "net/wire_error.h"
 
 namespace ironman::svc {
 
@@ -10,6 +12,7 @@ CotServer::CotServer(Config cfg)
       pool_(EnginePool::Config{cfg.engineThreads, cfg.pipelined}),
       server_(cfg.maxSessions)
 {
+    server_.setMetricsPrefix("cot");
     server_.setHandler([this](net::SocketChannel &ch, uint64_t sid) {
         serveSession(ch, sid);
     });
@@ -86,9 +89,11 @@ CotServer::bytesServedTo(const std::string &client_addr) const
 void
 CotServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 {
+    net::FlightRecorder fr;
     try {
         Hello hello;
         Status st = recvHello(ch, &hello);
+        fr.note("hello", uint32_t(st));
         if (st == Status::Ok)
             st = admitSession(ch.peerAddress(), hello);
         // Before the Accept: the client can only quote this sid once
@@ -97,18 +102,29 @@ CotServer::serveSession(net::SocketChannel &ch, uint64_t sid)
             sessionStartSink(sid, ch.peerAddress());
         sendAccept(ch, Accept{st, sid});
         ch.flush();
+        fr.note("accept", uint32_t(st));
         if (st == Status::Ok) {
             if (hello.role == Role::Receiver)
-                serveSenderSession(ch, sid, hello);
+                serveSenderSession(ch, sid, hello, fr);
             else
-                serveReceiverSession(ch, sid, hello);
+                serveReceiverSession(ch, sid, hello, fr);
             served.fetch_add(1, std::memory_order_relaxed);
         } else {
             rejected.fetch_add(1, std::memory_order_relaxed);
         }
-    } catch (const std::exception &e) {
+    } catch (const net::WireError &e) {
         // A dying client must not take the server down; the engine
         // lease already unwound and the engine is back in the pool.
+        // Classify HERE — the skeleton's handler wrapper never sees
+        // this exception, so exactly one layer counts each failure.
+        server_.metrics().noteFailure(e.fault());
+        fr.dump(sid, net::wireFaultName(e.fault()));
+        IRONMAN_WARN("svc session %llu aborted (%s): %s",
+                     (unsigned long long)sid,
+                     net::wireFaultName(e.fault()), e.what());
+    } catch (const std::exception &e) {
+        server_.metrics().noteFailure(net::WireFault::Fatal);
+        fr.dump(sid, "exception");
         IRONMAN_WARN("svc session %llu aborted: %s",
                      (unsigned long long)sid, e.what());
     }
@@ -122,7 +138,8 @@ CotServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 
 void
 CotServer::serveSenderSession(net::SocketChannel &ch, uint64_t sid,
-                              const Hello &hello)
+                              const Hello &hello,
+                              net::FlightRecorder &fr)
 {
     const ot::FerretParams p = hello.params.toFerretParams();
     ot::CotSenderBatch half;
@@ -135,10 +152,13 @@ CotServer::serveSenderSession(net::SocketChannel &ch, uint64_t sid,
     Rng rng(senderRngSeed(hello.setupSeed));
     std::vector<Block> out(p.usableOts());
     for (uint64_t iter = 0;; ++iter) {
-        if (recvOp(ch) != Op::Extend)
+        const Op op = recvOp(ch);
+        fr.note("op", uint32_t(op));
+        if (op != Op::Extend)
             break;
         lease->extendInto(rng, out.data());
         ch.flush();
+        fr.note("extend", uint32_t(iter), out.size() * sizeof(Block));
         extensions.fetch_add(1, std::memory_order_relaxed);
         cots.fetch_add(out.size(), std::memory_order_relaxed);
         if (senderSink)
@@ -149,7 +169,8 @@ CotServer::serveSenderSession(net::SocketChannel &ch, uint64_t sid,
 
 void
 CotServer::serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
-                                const Hello &hello)
+                                const Hello &hello,
+                                net::FlightRecorder &fr)
 {
     const ot::FerretParams p = hello.params.toFerretParams();
     ot::CotReceiverBatch half;
@@ -162,10 +183,13 @@ CotServer::serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
     BitVec choice;
     std::vector<Block> out(p.usableOts());
     for (uint64_t iter = 0;; ++iter) {
-        if (recvOp(ch) != Op::Extend)
+        const Op op = recvOp(ch);
+        fr.note("op", uint32_t(op));
+        if (op != Op::Extend)
             break;
         lease->extendInto(rng, choice, out.data());
         ch.flush();
+        fr.note("extend", uint32_t(iter), out.size() * sizeof(Block));
         extensions.fetch_add(1, std::memory_order_relaxed);
         cots.fetch_add(out.size(), std::memory_order_relaxed);
         if (receiverSink)

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "net/flight_recorder.h"
 #include "net/session_server.h"
 #include "net/socket_channel.h"
 #include "svc/engine_pool.h"
@@ -188,9 +189,11 @@ class CotServer
     Status admitSession(const std::string &client, const Hello &hello);
     void serveSession(net::SocketChannel &ch, uint64_t sid);
     void serveSenderSession(net::SocketChannel &ch, uint64_t sid,
-                            const Hello &hello);
+                            const Hello &hello,
+                            net::FlightRecorder &fr);
     void serveReceiverSession(net::SocketChannel &ch, uint64_t sid,
-                              const Hello &hello);
+                              const Hello &hello,
+                              net::FlightRecorder &fr);
 
     Config cfg_;
     EnginePool pool_;

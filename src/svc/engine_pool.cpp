@@ -1,6 +1,33 @@
 #include "svc/engine_pool.h"
 
+#include "common/metrics.h"
+
 namespace ironman::svc {
+
+namespace {
+
+/**
+ * Pool telemetry, shared across every EnginePool in the process.
+ * Registered on the first checkout (a cold path: the counting-
+ * allocator suite's warm-up session) so the warm checkout fast path
+ * is a pure relaxed increment — invariant 12 stays intact.
+ */
+struct PoolMetrics {
+    metrics::Counter &checkouts =
+        metrics::counter("svc_engine_checkouts_total");
+    metrics::Counter &warmHits =
+        metrics::counter("svc_engine_warm_hits_total");
+    metrics::Counter &built = metrics::counter("svc_engine_built_total");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+} // namespace
 
 EngineKey
 EngineKey::of(const ot::FerretParams &p)
@@ -105,6 +132,8 @@ EnginePool::SenderLease
 EnginePool::checkoutSender(const ot::FerretParams &p)
 {
     const EngineKey key = EngineKey::of(p);
+    PoolMetrics &pm = poolMetrics();
+    pm.checkouts.inc();
     SenderLease lease;
     lease.pool = this;
     lease.key = key;
@@ -114,10 +143,12 @@ EnginePool::checkoutSender(const ot::FerretParams &p)
         if (it != idleSend.end() && !it->second.empty()) {
             lease.engine = std::move(it->second.back());
             it->second.pop_back();
+            pm.warmHits.inc();
             return lease;
         }
         ++madeSenders;
     }
+    pm.built.inc();
     // Construction + prewarm outside the lock: tape builds are slow
     // and other sessions must keep checking out.
     lease.engine = makeSender(p);
@@ -128,6 +159,8 @@ EnginePool::ReceiverLease
 EnginePool::checkoutReceiver(const ot::FerretParams &p)
 {
     const EngineKey key = EngineKey::of(p);
+    PoolMetrics &pm = poolMetrics();
+    pm.checkouts.inc();
     ReceiverLease lease;
     lease.pool = this;
     lease.key = key;
@@ -137,10 +170,12 @@ EnginePool::checkoutReceiver(const ot::FerretParams &p)
         if (it != idleRecv.end() && !it->second.empty()) {
             lease.engine = std::move(it->second.back());
             it->second.pop_back();
+            pm.warmHits.inc();
             return lease;
         }
         ++madeReceivers;
     }
+    pm.built.inc();
     lease.engine = makeReceiver(p);
     return lease;
 }

@@ -3,19 +3,44 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "net/wire_error.h"
 
 namespace ironman::svc {
 
+namespace {
+
+/** Server-side bank telemetry, summed across sessions and stocks. */
+struct StockMetrics {
+    metrics::Gauge &depth = metrics::gauge("svc_operator_bank_depth");
+    metrics::Counter &taken =
+        metrics::counter("svc_operator_taken_total");
+    metrics::Counter &waits =
+        metrics::counter("svc_operator_waits_total");
+    metrics::Counter &waitUs =
+        metrics::counter("svc_operator_wait_us_total");
+};
+
+StockMetrics &
+stockMetrics()
+{
+    static StockMetrics m;
+    return m;
+}
+
+} // namespace
+
 void
 OperatorStock::attach(CotServer &server)
 {
+    stockMetrics(); // register handles before any session traffic
     server.setSenderSink([this](const CotServer::SenderBatch &b) {
         std::lock_guard<std::mutex> lock(m);
         SessionStock &s = sessions[b.sessionId];
         s.blocks.insert(s.blocks.end(), b.q, b.q + b.count);
         s.delta = b.delta;
         s.haveDelta = true;
+        stockMetrics().depth.add(int64_t(b.count));
         cv.notify_all();
     });
     server.setReceiverSink([this](const CotServer::ReceiverBatch &b) {
@@ -23,6 +48,7 @@ OperatorStock::attach(CotServer &server)
         SessionStock &s = sessions[b.sessionId];
         s.blocks.insert(s.blocks.end(), b.t, b.t + b.count);
         s.bits.appendRange(*b.choice, 0, b.count);
+        stockMetrics().depth.add(int64_t(b.count));
         cv.notify_all();
     });
     // Ownership, recorded before the client can quote the sid: the
@@ -61,6 +87,7 @@ OperatorStock::takeSend(uint64_t sid, size_t n, std::vector<Block> *q,
                         Block *delta)
 {
     std::unique_lock<std::mutex> lock(m);
+    const uint64_t t0_us = metrics::nowUs();
     // find(), never operator[]: a take must not materialize entries
     // for sids nobody stocks (a bogus hello would otherwise grow the
     // map permanently with every probe).
@@ -78,6 +105,7 @@ OperatorStock::takeSend(uint64_t sid, size_t n, std::vector<Block> *q,
     if (stopped)
         throw net::WireError(net::WireFault::Fatal,
                              "OperatorStock: retired");
+    noteTakeLocked(t0_us, n);
     SessionStock &s = sessions[sid];
     q->resize(n);
     std::copy_n(s.blocks.data() + s.head, n, q->data());
@@ -91,6 +119,7 @@ OperatorStock::takeRecv(uint64_t sid, size_t n, BitVec *bits,
                         std::vector<Block> *t)
 {
     std::unique_lock<std::mutex> lock(m);
+    const uint64_t t0_us = metrics::nowUs();
     if (!cv.wait_for(lock, waitTimeout, [&] {
             if (stopped)
                 return true;
@@ -105,6 +134,7 @@ OperatorStock::takeRecv(uint64_t sid, size_t n, BitVec *bits,
     if (stopped)
         throw net::WireError(net::WireFault::Fatal,
                              "OperatorStock: retired");
+    noteTakeLocked(t0_us, n);
     SessionStock &s = sessions[sid];
     bits->assignRange(s.bits, s.head, n);
     t->resize(n);
@@ -132,10 +162,29 @@ OperatorStock::stock(uint64_t sid) const
 }
 
 void
+OperatorStock::noteTakeLocked(uint64_t t0_us, size_t n)
+{
+    StockMetrics &sm = stockMetrics();
+    const uint64_t waited = metrics::nowUs() - t0_us;
+    if (waited > 0) {
+        sm.waits.inc();
+        sm.waitUs.inc(waited);
+    }
+    sm.taken.inc(n);
+    sm.depth.sub(int64_t(n));
+}
+
+void
 OperatorStock::drop(uint64_t sid)
 {
     std::lock_guard<std::mutex> lock(m);
-    sessions.erase(sid);
+    const auto it = sessions.find(sid);
+    if (it == sessions.end())
+        return;
+    // Unconsumed residue leaves the bank with its session.
+    stockMetrics().depth.sub(
+        int64_t(it->second.blocks.size() - it->second.head));
+    sessions.erase(it);
 }
 
 void

@@ -133,6 +133,8 @@ class OperatorStock
     };
 
     void compactLocked(SessionStock &s);
+    /** Record wait time + take size + depth delta (telemetry). */
+    void noteTakeLocked(uint64_t t0_us, size_t n);
 
     mutable std::mutex m;
     std::condition_variable cv;

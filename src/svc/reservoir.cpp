@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ironman::svc {
+
+namespace {
+
+/**
+ * Stock telemetry summed across every Reservoir in the process — the
+ * demand signal the ROADMAP's refill-scheduling item needs. The stock
+ * gauge moves by deltas so concurrent reservoirs compose.
+ */
+struct ReservoirMetrics {
+    metrics::Gauge &stock = metrics::gauge("svc_reservoir_stock_cots");
+    metrics::Counter &refills =
+        metrics::counter("svc_reservoir_refills_total");
+    metrics::Counter &reconnects =
+        metrics::counter("svc_reservoir_reconnects_total");
+    metrics::Counter &stalls =
+        metrics::counter("svc_reservoir_stalls_total");
+    metrics::Counter &stallUs =
+        metrics::counter("svc_reservoir_stall_us_total");
+    metrics::Counter &taken = metrics::counter("svc_reservoir_taken_total");
+};
+
+ReservoirMetrics &
+reservoirMetrics()
+{
+    static ReservoirMetrics m;
+    return m;
+}
+
+} // namespace
 
 Reservoir::Reservoir(CotClient &c, Options opt)
     : client_(&c), opt_(opt), role_(c.role()), usable_(c.usableOts())
@@ -12,6 +42,7 @@ Reservoir::Reservoir(CotClient &c, Options opt)
     IRONMAN_CHECK(opt_.lowWaterBatches >= 1 &&
                       opt_.maxBatches >= opt_.lowWaterBatches,
                   "reservoir watermarks inverted");
+    reservoirMetrics(); // register handles before the refill loop runs
     refillThread = std::thread([this] { refillLoop(); });
 }
 
@@ -46,12 +77,17 @@ Reservoir::Reservoir(SessionFactory f, Options opt, RetryPolicy retry,
     client_ = owned.get();
     role_ = client_->role();
     usable_ = client_->usableOts();
+    reservoirMetrics();
     refillThread = std::thread([this] { refillLoop(); });
 }
 
 Reservoir::~Reservoir()
 {
     stopRefill();
+    // Retire the remaining stock from the process-wide gauge so a
+    // finished reservoir doesn't leave phantom inventory behind.
+    std::lock_guard<std::mutex> lock(m);
+    reservoirMetrics().stock.sub(int64_t(blocks.size() - head));
 }
 
 void
@@ -111,6 +147,7 @@ Reservoir::recoverSession(const net::WireError &cause)
             owned = std::move(fresh);
             client_ = owned.get();
             ++reconnectCount;
+            reservoirMetrics().reconnects.inc();
             return true;
         } catch (const net::WireError &e) {
             last = e.what();
@@ -179,6 +216,8 @@ Reservoir::refillLoop()
             blocks.insert(blocks.end(), stageBlocks.begin(),
                           stageBlocks.end());
             ++refillCount;
+            reservoirMetrics().refills.inc();
+            reservoirMetrics().stock.add(int64_t(stageBlocks.size()));
             stockCv.notify_all();
             const size_t have = blocks.size() - head;
             // The refiller retires demand once covered — a woken taker
@@ -195,6 +234,7 @@ Reservoir::refillLoop()
 void
 Reservoir::discardStockLocked()
 {
+    reservoirMetrics().stock.sub(int64_t(blocks.size() - head));
     blocks.clear();
     bits = BitVec();
     head = 0;
@@ -204,6 +244,10 @@ void
 Reservoir::waitForStockLocked(std::unique_lock<std::mutex> &lock,
                               size_t n)
 {
+    // Stall accounting: time spent by takers blocked under the low
+    // water mark is THE congestion signal for refill scheduling.
+    const bool stalled = running && !failed && blocks.size() - head < n;
+    const uint64_t t0_us = stalled ? metrics::nowUs() : 0;
     // The demand re-arms on EVERY unsatisfied wake (the predicate runs
     // under the lock): another taker may have drained the stock after
     // the refiller retired the previous figure, and a woken taker must
@@ -216,6 +260,10 @@ Reservoir::waitForStockLocked(std::unique_lock<std::mutex> &lock,
         needCv.notify_all();
         return false;
     });
+    if (stalled) {
+        reservoirMetrics().stalls.inc();
+        reservoirMetrics().stallUs.inc(metrics::nowUs() - t0_us);
+    }
     if (blocks.size() - head < n) {
         // The taker's error, not the refiller's: a typed throw the
         // consumer can catch and route, never a process abort.
@@ -241,6 +289,8 @@ Reservoir::takeRecv(size_t n, BitVec *out_bits, std::vector<Block> *t)
     std::copy_n(blocks.data() + head, n, t->data());
     head += n;
     takenCount += n;
+    reservoirMetrics().taken.inc(n);
+    reservoirMetrics().stock.sub(int64_t(n));
 
     // Compact consumed whole batches so the stock stays bounded.
     const size_t usable = usable_;
@@ -266,6 +316,8 @@ Reservoir::takeSend(size_t n, std::vector<Block> *q)
     std::copy_n(blocks.data() + head, n, q->data());
     head += n;
     takenCount += n;
+    reservoirMetrics().taken.inc(n);
+    reservoirMetrics().stock.sub(int64_t(n));
 
     const size_t usable = usable_;
     if (head >= usable) {

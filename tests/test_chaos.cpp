@@ -32,8 +32,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "net/fault.h"
+#include "net/flight_recorder.h"
 #include "net/socket_channel.h"
 #include "net/wire_error.h"
 #include "ot/ferret_params.h"
@@ -142,6 +144,139 @@ TEST(ChaosFaultGridTest, CotServerSurvivesEveryFaultKind)
     client->extendRecv(c, t.data());
     EXPECT_EQ(c.size(), client->usableOts());
     client->close();
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: failed-by-kind counters + flight-recorder forensics
+// ---------------------------------------------------------------------------
+
+/** Registry spellings of net::SessionMetrics' failure classes, indexed
+ * by WireFault value. */
+constexpr const char *kFaultCounterKinds[] = {
+    "transient", "peer_closed", "deadline", "protocol", "fatal"};
+constexpr size_t kNumFaultKinds = 5;
+
+uint64_t
+cotFailedByKind(size_t k)
+{
+    return metrics::Registry::instance().counterValue(
+        std::string("cot_sessions_failed_") + kFaultCounterKinds[k] +
+        "_total");
+}
+
+TEST(ChaosTelemetryTest, FaultKindsLandInMatchingCountersWithDumps)
+{
+    const ot::FerretParams p = ot::tinyTestParams();
+    CotServer::Config cfg;
+    cfg.sessionRecvTimeoutMs = 300;
+    cfg.sessionSendTimeoutMs = 300;
+    CotServer server(cfg);
+    const uint16_t port = server.listenTcp(0);
+
+    struct Case
+    {
+        FaultPlan::Kind kind;
+        bool mustFail;
+        bool acceptable[kNumFaultKinds];
+    };
+    // Which server-side classifications each injected kind may
+    // legitimately produce. The faulted client closes its socket as it
+    // unwinds, so even Stall usually lands as peer_closed rather than
+    // deadline; the invariant is that NOTHING lands outside the set.
+    // Corrupt flips one payload byte on a MAC-less semi-honest wire:
+    // the frame may still parse, so a seed is allowed to produce no
+    // failure at all — but never a hang or an unclassified one.
+    const Case kCases[] = {
+        {FaultPlan::Kind::Close,
+         true,
+         {true, true, false, false, false}},
+        {FaultPlan::Kind::TruncateFrame,
+         true,
+         {true, true, false, true, false}},
+        {FaultPlan::Kind::Stall,
+         true,
+         {true, true, true, false, false}},
+        {FaultPlan::Kind::Corrupt,
+         false,
+         {true, true, true, true, true}},
+    };
+
+    for (const Case &c : kCases) {
+        SCOPED_TRACE(FaultPlan::atByte(c.kind, 0).kindName());
+        uint64_t before[kNumFaultKinds];
+        for (size_t k = 0; k < kNumFaultKinds; ++k)
+            before[k] = cotFailedByKind(k);
+        const uint64_t dumps_before =
+            metrics::Registry::instance().counterValue(
+                "net_flight_dumps_total");
+
+        // Drive seeded faulted sessions until one registers (offsets
+        // land anywhere in the first 20 kB, and Corrupt in particular
+        // can pass undetected), bounded so a regression fails fast.
+        bool counted = false;
+        for (uint64_t seed = 1; seed <= 8 && !counted; ++seed) {
+            try {
+                auto ch = net::tcpConnect("127.0.0.1", port);
+                ch->setFaultPlan(FaultPlan::seeded(
+                    c.kind, seed * 977, /*max_byte=*/20000,
+                    /*delay_us=*/5000));
+                CotClient::Options opt;
+                opt.setupSeed = 0x7e1e + seed;
+                CotClient client(std::move(ch), p, opt);
+                BitVec bits;
+                std::vector<Block> t(client.usableOts());
+                for (int it = 0; it < 6; ++it)
+                    client.extendRecv(bits, t.data());
+                client.close();
+            } catch (const WireError &) {
+                // Typed, as the grid test asserts at length.
+            }
+            // The session thread classifies as it unwinds — async.
+            waitUntil([&] { return server.activeSessions() == 0; });
+            uint64_t sum = 0;
+            for (size_t k = 0; k < kNumFaultKinds; ++k)
+                sum += cotFailedByKind(k) - before[k];
+            counted = sum > 0;
+        }
+
+        if (c.mustFail)
+            EXPECT_TRUE(counted)
+                << "no seeded fault produced a counted failure";
+        uint64_t total_delta = 0;
+        for (size_t k = 0; k < kNumFaultKinds; ++k) {
+            const uint64_t delta = cotFailedByKind(k) - before[k];
+            total_delta += delta;
+            if (!c.acceptable[k])
+                EXPECT_EQ(delta, 0u) << "failure misclassified as "
+                                     << kFaultCounterKinds[k];
+        }
+
+        if (total_delta > 0) {
+            // Every counted failure dumped the flight ring; the
+            // retained copy names the session and its last opcodes.
+            EXPECT_GT(metrics::Registry::instance().counterValue(
+                          "net_flight_dumps_total"),
+                      dumps_before);
+            const std::string dump = net::lastFlightDump();
+            EXPECT_NE(dump.find("flight recorder"), std::string::npos)
+                << dump;
+            if (dump.find("tag=") != std::string::npos) {
+                // Non-empty ring (fault landed past the handshake):
+                // the dump must name at least one session opcode.
+                const bool named_op =
+                    dump.find("hello") != std::string::npos ||
+                    dump.find("accept") != std::string::npos ||
+                    dump.find("op") != std::string::npos ||
+                    dump.find("extend") != std::string::npos;
+                EXPECT_TRUE(named_op) << dump;
+            }
+        }
+    }
+
+    // The daemon survived the whole telemetry grid.
+    waitUntil([&] { return server.activeSessions() == 0; });
+    EXPECT_EQ(server.activeSessions(), 0u);
     server.stop();
 }
 

@@ -27,8 +27,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "net/channel.h"
+#include "net/flight_recorder.h"
 #include "ot/ferret_params.h"
 #include "svc/engine_pool.h"
 #include "svc/wire.h"
@@ -203,6 +205,38 @@ TEST(SvcPoolAllocTest, SessionTurnoverIsAllocationFree)
 TEST(SvcPoolAllocTest, ScatterFreeSessionTurnoverIsAllocationFree)
 {
     expectPooledSessionsAllocationFree(ot::tinyAlignedParams());
+}
+
+TEST(SvcPoolAllocTest, MetricsRecordingIsAllocationFree)
+{
+    // Invariant 17: recording on pre-registered handles allocates
+    // nothing — telemetry must be free to leave on by default on the
+    // invariant-12 warm paths. Registration (the only allocating
+    // step) is the warm-up here, exactly as the instrumented
+    // subsystems do it in their constructors.
+    metrics::Counter &c = metrics::counter("alloc_probe_counter");
+    metrics::Gauge &g = metrics::gauge("alloc_probe_gauge");
+    metrics::Histogram &h = metrics::histogram("alloc_probe_hist");
+    net::FlightRecorder fr;
+    c.inc();
+    g.add(1);
+    h.record(1);
+    fr.note("warmup");
+
+    const uint64_t start = g_allocCount.load();
+    for (uint64_t i = 0; i < 10000; ++i) {
+        c.inc();
+        g.add(3);
+        g.sub(3);
+        h.record(i * 37);
+        h.recordSinceUs(metrics::nowUs());
+        fr.note("probe", uint32_t(i), i);
+    }
+    EXPECT_EQ(g_allocCount.load() - start, 0u)
+        << "metric recording on the warm path performed allocations";
+    EXPECT_EQ(c.value(), 10001u);
+    EXPECT_EQ(g.value(), 1);
+    EXPECT_EQ(fr.total(), 10001u);
 }
 
 } // namespace
