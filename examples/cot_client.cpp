@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/trace.h"
 #include "ot/ferret_params.h"
 #include "svc/cot_client.h"
 #include "svc/reservoir.h"
@@ -31,6 +32,7 @@ main(int argc, char **argv)
     uint16_t port = 0;
     std::string unix_path;
     uint64_t want_ots = 1000000;
+    std::string trace_file;
     svc::CotClient::Options opt;
     opt.setupSeed = 0x5eedULL ^ uint64_t(::getpid()) << 16;
 
@@ -63,13 +65,22 @@ main(int argc, char **argv)
             const std::string r = next();
             opt.role = r == "send" ? svc::Role::Sender
                                    : svc::Role::Receiver;
+        } else if (arg == "--trace") {
+            trace_file = next();
         } else {
             std::fprintf(
                 stderr,
                 "usage: cot_client [--tcp HOST:PORT | --unix PATH] "
-                "[--ots N] [--role recv|send] [--seed S]\n");
+                "[--ots N] [--role recv|send] [--seed S] "
+                "[--trace FILE]\n");
             return 2;
         }
+    }
+
+    if (!trace_file.empty()) {
+        trace::setEnabled(true);
+        trace::setParty(0);
+        trace::setThreadLabel("client");
     }
 
     const ot::FerretParams p = ot::tinyAlignedParams();
@@ -104,6 +115,9 @@ main(int argc, char **argv)
     }
     const double secs = timer.seconds();
     client->close();
+    if (!trace_file.empty() && !trace::writeChromeTrace(trace_file))
+        std::fprintf(stderr, "cot_client: cannot write trace %s\n",
+                     trace_file.c_str());
 
     std::printf("cot_client: %llu COTs in %.3f s -> %.2f M OT/s "
                 "(%llu extensions, %.1f KB sent)\n",

@@ -19,6 +19,8 @@
  * build once per concurrency slot, not once per connection.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,10 +28,26 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "net/flight_recorder.h"
 #include "net/metrics_endpoint.h"
 #include "svc/cot_server.h"
 
 using namespace ironman;
+
+namespace {
+
+/** Set by SIGUSR1; the tick loop answers with an all-sessions flight
+ * recorder dump. */
+std::atomic<bool> g_flight_signal{false};
+
+void
+onFlightSignal(int)
+{
+    g_flight_signal.store(true);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -42,6 +60,7 @@ main(int argc, char **argv)
     int metrics_port = -1; // -1 = no endpoint; 0 = ephemeral
     long status_secs = 0;  // 0 = no periodic status line
     std::string metrics_json;
+    std::string trace_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -68,17 +87,25 @@ main(int argc, char **argv)
             status_secs = std::atol(next());
         } else if (arg == "--metrics-json") {
             metrics_json = next();
+        } else if (arg == "--trace") {
+            trace_file = next();
         } else {
             std::fprintf(stderr,
                          "usage: cot_server [--tcp PORT | --unix PATH] "
                          "[--sessions N] [--threads T] "
                          "[--metrics-port PORT] [--status SECS] "
-                         "[--metrics-json FILE]\n");
+                         "[--metrics-json FILE] [--trace FILE]\n");
             return 2;
         }
     }
     if (!use_tcp && unix_path.empty()) {
         use_tcp = true; // default: loopback TCP, ephemeral port
+    }
+
+    std::signal(SIGUSR1, onFlightSignal);
+    if (!trace_file.empty()) {
+        trace::setEnabled(true);
+        trace::setParty(1); // service operator = MPC party 1
     }
 
     svc::CotServer::Config cfg;
@@ -132,6 +159,8 @@ main(int argc, char **argv)
             if (!metrics_json.empty())
                 metrics::Registry::instance().writeJson(metrics_json);
         }
+        if (g_flight_signal.exchange(false))
+            net::dumpAllFlightRecorders("SIGUSR1");
         const uint64_t done = server.sessionsServed();
         if (done != last_report) {
             std::printf("cot_server: %llu sessions served, %llu "
@@ -153,6 +182,9 @@ main(int argc, char **argv)
     metrics_ep.stop();
     if (!metrics_json.empty())
         metrics::Registry::instance().writeJson(metrics_json);
+    if (!trace_file.empty() && !trace::writeChromeTrace(trace_file))
+        std::fprintf(stderr, "cot_server: cannot write trace %s\n",
+                     trace_file.c_str());
     std::printf("cot_server: done (%llu sessions)\n",
                 (unsigned long long)server.sessionsServed());
     return 0;

@@ -27,6 +27,7 @@
 
 #include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "infer/infer_client.h"
 #include "ppml/model_zoo.h"
 
@@ -57,6 +58,7 @@ main(int argc, char **argv)
     std::string model_name = "mlp-16x8x4";
     unsigned images = 4;
     bool chaos = false;
+    std::string trace_file;
     infer::InferClient::Options opt;
     opt.batch = 2;
     opt.supply = infer::SupplyKind::Reservoir;
@@ -121,6 +123,11 @@ main(int argc, char **argv)
                              attempt, (unsigned long long)backoff_ms,
                              what.c_str());
             };
+        } else if (arg == "--trace") {
+            // Record locally AND propagate the trace id over the
+            // handshake so the server's export joins this timeline.
+            trace_file = next();
+            opt.traceWire = true;
         } else {
             std::fprintf(
                 stderr,
@@ -128,9 +135,15 @@ main(int argc, char **argv)
                 "[--cot-tcp HOST:PORT] [--model NAME] [--width W] "
                 "[--batch B] [--images N] [--supply engine|reservoir] "
                 "[--depth D|auto] [--stream] [--ripple] [--unpacked] "
-                "[--seed S] [--chaos]\n");
+                "[--seed S] [--chaos] [--trace FILE]\n");
             return 2;
         }
+    }
+
+    if (!trace_file.empty()) {
+        trace::setEnabled(true);
+        trace::setParty(0); // the inference client is MPC party 0
+        trace::setThreadLabel("client");
     }
 
     const ppml::MlpModelSpec *spec = ppml::findMlpModel(model_name);
@@ -247,6 +260,18 @@ main(int argc, char **argv)
                     (unsigned long long)lat.p90,
                     (unsigned long long)lat.p99,
                     double(lat.sum) / double(lat.count));
+    if (!trace_file.empty()) {
+        if (trace::writeChromeTrace(trace_file))
+            std::printf("infer_client: trace written to %s "
+                        "(trace id %016llx, clock offset %lld us)\n",
+                        trace_file.c_str(),
+                        (unsigned long long)client->traceId(),
+                        (long long)client->peerClockOffsetUs());
+        else
+            std::fprintf(stderr,
+                         "infer_client: cannot write trace %s\n",
+                         trace_file.c_str());
+    }
     std::printf("infer_client: %u images in %.3f s -> %.1f images/s; "
                 "%zu COTs, %.1f KB online sent, %.1f KB preproc sent; "
                 "%zu/%zu outputs within +/-%lld of plaintext\n",

@@ -32,7 +32,9 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "infer/infer_server.h"
+#include "net/flight_recorder.h"
 #include "net/metrics_endpoint.h"
 #include "svc/cot_server.h"
 #include "svc/operator_stock.h"
@@ -50,6 +52,16 @@ onDrainSignal(int sig)
     g_drain_signal.store(sig);
 }
 
+/** Set by SIGUSR1; the main loop answers with an all-sessions flight
+ * recorder dump (async-signal-safe handler, cold work on the tick). */
+std::atomic<bool> g_flight_signal{false};
+
+void
+onFlightSignal(int)
+{
+    g_flight_signal.store(true);
+}
+
 } // namespace
 
 int
@@ -63,6 +75,7 @@ main(int argc, char **argv)
     int metrics_port = -1; // -1 = no endpoint; 0 = ephemeral
     long status_secs = 0;  // 0 = no periodic status line
     std::string metrics_json;
+    std::string trace_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -100,19 +113,26 @@ main(int argc, char **argv)
             status_secs = std::atol(next());
         } else if (arg == "--metrics-json") {
             metrics_json = next();
+        } else if (arg == "--trace") {
+            trace_file = next();
         } else {
             std::fprintf(stderr,
                          "usage: infer_server [--tcp PORT] "
                          "[--cot-tcp PORT] [--sessions N] "
                          "[--threads T] [--drain-on SIGTERM] "
                          "[--metrics-port PORT] [--status SECS] "
-                         "[--metrics-json FILE]\n");
+                         "[--metrics-json FILE] [--trace FILE]\n");
             return 2;
         }
     }
 
     if (drain_on_term)
         std::signal(SIGTERM, onDrainSignal);
+    std::signal(SIGUSR1, onFlightSignal);
+    if (!trace_file.empty()) {
+        trace::setEnabled(true);
+        trace::setParty(1); // the inference server is MPC party 1
+    }
 
     // Daemon posture: only the shapes this deployment actually serves
     // — an unlisted (if structurally valid) hello gets a clean
@@ -183,6 +203,8 @@ main(int argc, char **argv)
             if (!metrics_json.empty())
                 metrics::Registry::instance().writeJson(metrics_json);
         }
+        if (g_flight_signal.exchange(false))
+            net::dumpAllFlightRecorders("SIGUSR1");
         const uint64_t done = server.sessionsServed();
         if (done != last_report) {
             std::printf(
@@ -219,6 +241,15 @@ main(int argc, char **argv)
     // harness reading the file post-exit sees the complete run.
     if (!metrics_json.empty())
         metrics::Registry::instance().writeJson(metrics_json);
+    if (!trace_file.empty()) {
+        if (trace::writeChromeTrace(trace_file))
+            std::printf("infer_server: trace written to %s\n",
+                        trace_file.c_str());
+        else
+            std::fprintf(stderr,
+                         "infer_server: cannot write trace %s\n",
+                         trace_file.c_str());
+    }
     std::printf("infer_server: done (%llu sessions)\n",
                 (unsigned long long)server.sessionsServed());
     return 0;

@@ -193,51 +193,82 @@ Registry::renderText() const
                       name.c_str(), (unsigned long long)s.p90,
                       name.c_str(), (unsigned long long)s.p99);
         out += line;
+        // Sparse cumulative buckets, closed by the mandatory +Inf
+        // line (= _count, including overflow samples).
+        h->forEachNonEmptyBucket([&](uint64_t le, uint64_t cum) {
+            std::snprintf(line, sizeof(line),
+                          "%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+                          (unsigned long long)le,
+                          (unsigned long long)cum);
+            out += line;
+        });
+        std::snprintf(line, sizeof(line),
+                      "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                      (unsigned long long)s.count);
+        out += line;
     }
+    return out;
+}
+
+std::string
+Registry::renderJson() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.m);
+    std::string out;
+    out.reserve(4096);
+    char line[320];
+    out += "{\n  \"schema\": \"ironman.metrics.v1\",\n";
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : i.counters) {
+        std::snprintf(line, sizeof(line), "%s\n    \"%s\": %llu",
+                      first ? "" : ",", name.c_str(),
+                      (unsigned long long)c->value());
+        out += line;
+        first = false;
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : i.gauges) {
+        std::snprintf(line, sizeof(line), "%s\n    \"%s\": %lld",
+                      first ? "" : ",", name.c_str(),
+                      (long long)g->value());
+        out += line;
+        first = false;
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : i.histograms) {
+        const Histogram::Snapshot s = h->snapshot();
+        std::snprintf(line, sizeof(line),
+                      "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                      "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+                      "\"overflow\": %llu}",
+                      first ? "" : ",", name.c_str(),
+                      (unsigned long long)s.count,
+                      (unsigned long long)s.sum, (unsigned long long)s.p50,
+                      (unsigned long long)s.p90, (unsigned long long)s.p99,
+                      (unsigned long long)s.overflow);
+        out += line;
+        first = false;
+    }
+    out += "\n  }\n}\n";
     return out;
 }
 
 bool
 Registry::writeJson(const std::string &path) const
 {
-    Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.m);
+    // renderJson takes the registry lock; the file write happens
+    // outside it.
+    const std::string doc = renderJson();
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
-    std::fprintf(f, "{\n  \"schema\": \"ironman.metrics.v1\",\n");
-    std::fprintf(f, "  \"counters\": {");
-    bool first = true;
-    for (const auto &[name, c] : i.counters) {
-        std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",",
-                     name.c_str(), (unsigned long long)c->value());
-        first = false;
-    }
-    std::fprintf(f, "\n  },\n  \"gauges\": {");
-    first = true;
-    for (const auto &[name, g] : i.gauges) {
-        std::fprintf(f, "%s\n    \"%s\": %lld", first ? "" : ",",
-                     name.c_str(), (long long)g->value());
-        first = false;
-    }
-    std::fprintf(f, "\n  },\n  \"histograms\": {");
-    first = true;
-    for (const auto &[name, h] : i.histograms) {
-        const Histogram::Snapshot s = h->snapshot();
-        std::fprintf(f,
-                     "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
-                     "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
-                     "\"overflow\": %llu}",
-                     first ? "" : ",", name.c_str(),
-                     (unsigned long long)s.count, (unsigned long long)s.sum,
-                     (unsigned long long)s.p50, (unsigned long long)s.p90,
-                     (unsigned long long)s.p99,
-                     (unsigned long long)s.overflow);
-        first = false;
-    }
-    std::fprintf(f, "\n  }\n}\n");
+    const size_t wrote = std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
-    return true;
+    return wrote == doc.size();
 }
 
 } // namespace ironman::metrics

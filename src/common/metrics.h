@@ -175,6 +175,29 @@ class Histogram
      * may skew the tail by in-flight samples, never corrupt it). */
     Snapshot snapshot() const;
 
+    /**
+     * Visit the non-empty buckets in ascending order as
+     * fn(upper_bound, cumulative_count) — the Prometheus
+     * `_bucket{le="..."}` shape, sparse so a 272-bucket histogram
+     * with a tight distribution stays a handful of lines. Overflow
+     * samples are NOT visited; the caller closes the series with an
+     * explicit le="+Inf" line at count().
+     */
+    template <typename Fn>
+    void
+    forEachNonEmptyBucket(Fn &&fn) const
+    {
+        uint64_t cum = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            const uint64_t c =
+                buckets_[i].load(std::memory_order_relaxed);
+            if (c == 0)
+                continue;
+            cum += c;
+            fn(bucketLowerBound(i + 1), cum);
+        }
+    }
+
   private:
     std::atomic<uint64_t> buckets_[kBuckets + 1] = {};
     std::atomic<uint64_t> count_{0};
@@ -205,10 +228,14 @@ class Registry
 
     /**
      * Prometheus-style exposition: one "name value" line per counter
-     * and gauge, and name_count/_sum/_p50/_p90/_p99 lines per
-     * histogram, sorted by name.
+     * and gauge, and name_count/_sum/_p50/_p90/_p99 plus cumulative
+     * name_bucket{le="..."} lines per histogram, sorted by name.
      */
     std::string renderText() const;
+
+    /** The writeJson() document as a string (the /metrics.json
+     * endpoint body). Schema "ironman.metrics.v1". */
+    std::string renderJson() const;
 
     /** JSON snapshot (bench::JsonWriter idiom — see BENCH_*.json).
      * Returns false if the file cannot be written. */

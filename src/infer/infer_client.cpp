@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "net/wire_error.h"
 
 namespace ironman::infer {
@@ -151,7 +152,16 @@ InferClient::handshake()
     h.flags =
         uint16_t((opt_.packedWire ? kInferFlagPackedWire : 0) |
                  (opt_.ladderCmp ? kInferFlagLadderCmp : 0) |
-                 (opt_.streamCommit ? kInferFlagStreamCommit : 0));
+                 (opt_.streamCommit ? kInferFlagStreamCommit : 0) |
+                 (opt_.traceWire ? kInferFlagTrace : 0));
+    if (opt_.traceWire) {
+        // One id per dial (a reconnect is a new timeline segment);
+        // both parties' spans correlate under it in the merged export.
+        traceId_ = opt_.traceId ? opt_.traceId
+                                : trace::newTraceId(opt_.setupSeed);
+        h.traceId = traceId_;
+        h.traceSampled = opt_.traceSampled ? 1 : 0;
+    }
     if (opt_.supply == SupplyKind::Reservoir) {
         h.sendSessionId = sendSession->sessionId();
         h.recvSessionId = recvSession->sessionId();
@@ -159,14 +169,15 @@ InferClient::handshake()
         h.params = svc::WireParams::of(opt_.params);
     }
     // The hello/accept turnaround doubles as the RTT probe the depth
-    // auto-tuner uses; it rides every (re)dial, so reconnects re-tune.
-    const auto t0 = std::chrono::steady_clock::now();
+    // auto-tuner uses — and, with the trace flag, as the clock-offset
+    // probe: the server stamps the accept with its own clock, and the
+    // RTT midpoint is our best estimate of when that stamp was taken
+    // (Cristian). It rides every (re)dial, so reconnects re-tune.
+    const uint64_t t0_us = trace::nowUs();
     sendInferHello(*ch, h);
     const InferAccept a = recvInferAccept(*ch);
-    rttUs_ = uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
+    const uint64_t t1_us = trace::nowUs();
+    rttUs_ = t1_us - t0_us;
     if (a.status != InferStatus::Ok)
         throw net::WireError(
             net::WireFault::Fatal,
@@ -180,6 +191,16 @@ InferClient::handshake()
         packed_ = (a.flags & kInferFlagPackedWire) != 0;
         ladder_ = (a.flags & kInferFlagLadderCmp) != 0;
         stream_ = (a.flags & kInferFlagStreamCommit) != 0;
+        traceOn_ = (a.flags & kInferFlagTrace) != 0;
+        if (traceOn_) {
+            clockOffsetUs_ = int64_t(a.serverClockUs) -
+                             int64_t((t0_us + t1_us) / 2);
+            trace::setContext(traceId_, opt_.traceSampled);
+            trace::setPeerClockOffsetUs(clockOffsetUs_);
+            trace::instant("handshake", "infer", 0, rttUs_);
+        } else {
+            traceId_ = 0;
+        }
         if (opt_.depthAuto) {
             // One commit group costs group_rounds dependent round
             // trips no matter how many requests ride in it; pick the
@@ -201,6 +222,8 @@ InferClient::handshake()
         packed_ = false;
         ladder_ = false;
         stream_ = false;
+        traceOn_ = false;
+        traceId_ = 0;
     }
 }
 
@@ -452,6 +475,8 @@ InferClient::submit(const std::vector<int64_t> &inputs)
 
     for (;;) {
         try {
+            trace::Span submit_span("submit", "infer", tag,
+                                    x1.size() * sizeof(uint64_t));
             sendInferOp(*ch, InferOp::Infer);
             sendInferTag(*ch, tag);
             if (packed_)
@@ -509,6 +534,8 @@ InferClient::commitGroup(size_t group)
     const size_t req_out = size_t(opt_.batch) * spec_.outputDim();
     size_t answered = 0;
     try {
+        trace::Span commit_span("commit_group", "infer",
+                                uint32_t(group));
         sendInferOp(*ch, InferOp::Commit);
         if (stream_)
             sendCommitCount(*ch, uint16_t(group));
@@ -536,6 +563,11 @@ InferClient::commitGroup(size_t group)
                        ppml::reconstructMlpValues(opt_.width, y0, y1)};
             res.latencyUs = metrics::nowUs() - pendingT0Us[r];
             requestLatency().record(res.latencyUs);
+            // The per-request span every server-side layer span of
+            // this tag nests inside on the merged timeline.
+            trace::emitSpan("request", "infer", pendingT0Us[r],
+                            res.latencyUs, tag,
+                            res.outputs.size() * sizeof(int64_t));
             ready.push_back(std::move(res));
             ++answered;
         }

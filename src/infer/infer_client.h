@@ -118,6 +118,23 @@ class InferClient
          * mixed-version compatibility knob tests exercise.
          */
         uint16_t wireVersion = kInferWireVersion;
+        /**
+         * Request wire-propagated trace context (v2, default off):
+         * the hello carries a 64-bit trace id + sampled bit
+         * (kInferFlagTrace) so both parties' span recorders correlate
+         * under one id, and the accept returns the server's clock
+         * sample — paired with the hello/accept RTT midpoint this
+         * yields the clock-offset estimate trace_merge aligns the two
+         * exports with (read it back via peerClockOffsetUs()). The
+         * flag changes ONLY the handshake trailer, never online
+         * bytes; it does not by itself enable recording (that is
+         * IRONMAN_TRACE / trace::setEnabled).
+         */
+        bool traceWire = false;
+        /** Trace id to propagate (0 = generate one per dial). */
+        uint64_t traceId = 0;
+        /** Sampled bit to propagate (unsampled = negotiate only). */
+        bool traceSampled = true;
         /** Simulated one-way latency on this end (bench harness). */
         uint64_t simulatedDelayUs = 0;
 
@@ -254,6 +271,20 @@ class InferClient
     /** Handshake round-trip time of the current dial (us). */
     uint64_t measuredRttUs() const { return rttUs_; }
 
+    /** Whether the trace-context flag was negotiated. */
+    bool traceNegotiated() const { return traceOn_; }
+
+    /** Trace id of the current dial (0 = trace flag not negotiated). */
+    uint64_t traceId() const { return traceId_; }
+
+    /**
+     * Server clock minus client clock (us), estimated from the accept's
+     * clock sample and the handshake RTT midpoint (Cristian); 0 until
+     * a traced handshake completes. Loopback pairs share the monotonic
+     * clock, so the estimate there is the measurement error (≈ RTT/2).
+     */
+    int64_t peerClockOffsetUs() const { return clockOffsetUs_; }
+
     /** Direction changes on the inference channel (2 per round). */
     uint64_t onlineTurns() const { return ch->turns(); }
 
@@ -312,6 +343,9 @@ class InferClient
     bool ladder_ = false; ///< negotiated Kogge-Stone comparison
     bool stream_ = false; ///< negotiated streaming commits
     uint64_t rttUs_ = 0;  ///< handshake RTT of the current dial
+    bool traceOn_ = false;     ///< negotiated trace context
+    uint64_t traceId_ = 0;     ///< propagated trace id (0 = none)
+    int64_t clockOffsetUs_ = 0; ///< server clock - client clock
     uint32_t nextTag = 1;
 
     // Engine supply.

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "net/flight_recorder.h"
 #include "net/wire_error.h"
 #include "ppml/cot_engine.h"
@@ -118,6 +119,7 @@ void
 InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 {
     net::FlightRecorder fr;
+    fr.setSession(sid);
     try {
         if (cfg_.simulatedDelayUs > 0)
             ch.setSimulatedDelay(cfg_.simulatedDelayUs);
@@ -164,6 +166,16 @@ InferServer::serveSession(net::SocketChannel &ch, uint64_t sid)
                 hello.depth = bound;
             accept.depth = hello.depth;
             accept.flags = hello.flags;
+            if (hello.flags & kInferFlagTrace) {
+                // Adopt the wire context for every span this session
+                // thread records, and stamp the accept with our clock
+                // so the client can estimate the cross-party offset
+                // from the RTT midpoint it measures anyway.
+                trace::setContext(hello.traceId,
+                                  hello.traceSampled != 0);
+                trace::setThreadLabel("infer-session");
+                accept.serverClockUs = trace::nowUs();
+            }
         }
         sendInferAccept(ch, accept);
         ch.flush();
@@ -311,6 +323,9 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
     // fill/drain loop leaves on the table.
     const size_t recvAhead = stream ? 2 * size_t(hello.depth)
                                     : size_t(hello.depth);
+    const bool traced =
+        hello.version >= 2 && (hello.flags & kInferFlagTrace);
+    const uint64_t sess_t0_us = trace::nowUs();
     std::vector<uint32_t> tags;
     std::vector<uint64_t> x1cat; // pending inputs, concatenated
     tags.reserve(recvAhead);
@@ -331,6 +346,8 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
             else
                 recvShareVector(ch, dst, req_in);
             fr.note("infer", tags.back(), req_in * sizeof(uint64_t));
+            trace::instant("recv_infer", "infer", tags.back(),
+                           req_in * sizeof(uint64_t));
         } else if (op == InferOp::Commit) {
             size_t group = tags.size();
             if (stream) {
@@ -346,6 +363,8 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
             // Occupancy at commit time: how much of the negotiated
             // window the client actually keeps in flight.
             im.windowOccupancy.record(tags.size());
+            trace::Span commit_span("commit", "infer",
+                                    uint32_t(group));
             const std::vector<uint64_t> xgroup(
                 x1cat.begin(), x1cat.begin() + group * req_in);
             const std::vector<uint64_t> y1cat =
@@ -359,6 +378,7 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
                     sendShareVector(ch, src, req_out);
             }
             ch.flush();
+            commit_span.setArg(group * req_out * sizeof(uint64_t));
             fr.note("commit", uint32_t(group),
                     group * req_out * sizeof(uint64_t));
             im.commitUs.recordSinceUs(t0_us);
@@ -370,6 +390,13 @@ InferServer::runSession(net::SocketChannel &ch, uint64_t sid,
         } else {
             break;
         }
+    }
+    if (traced && trace::enabled()) {
+        // The session closed voluntarily: publish its timeline as the
+        // endpoint's "most recent completed session" document.
+        trace::emitSpan("session", "infer", sess_t0_us,
+                        trace::nowUs() - sess_t0_us, uint32_t(sid));
+        trace::retainExport();
     }
     (void)sid;
 }

@@ -26,12 +26,20 @@ constexpr size_t kInferHelloV1BodyBytes =
     1 + 1 + 4 + 4 + 3 * 8 + (1 + 3 + 4 * 8 + 2 * 4);
 // v2 body appends depth(2) flags(2).
 constexpr size_t kInferHelloV2BodyBytes = kInferHelloV1BodyBytes + 2 + 2;
+// kInferFlagTrace trailer: traceId(8) sampled(1), present exactly when
+// the hello's flag word carries the bit — so flagless transcripts stay
+// byte-identical and the fixed-size body parse stays version-driven.
+constexpr size_t kInferHelloTraceBytes = 8 + 1;
 // status(1) pad(1) depth(2) flags(2) pad(2) sessionId(8) — depth and
 // flags live in bytes that were pad in v1, so one codec serves both.
 constexpr size_t kInferAcceptBytes = 1 + 1 + 2 + 2 + 2 + 8;
+// Accept trailer when the echoed flags carry kInferFlagTrace: the
+// server's monotonic clock sample (8), the clock-offset anchor.
+constexpr size_t kInferAcceptTraceBytes = 8;
 
-constexpr uint16_t kKnownFlags =
-    kInferFlagPackedWire | kInferFlagLadderCmp | kInferFlagStreamCommit;
+constexpr uint16_t kKnownFlags = kInferFlagPackedWire |
+                                 kInferFlagLadderCmp |
+                                 kInferFlagStreamCommit | kInferFlagTrace;
 
 size_t
 putHelloBody(uint8_t *p, const InferHello &h)
@@ -68,6 +76,11 @@ putHelloBody(uint8_t *p, const InferHello &h)
         p += 2;
         putU16(p, h.flags);
         p += 2;
+        if (h.flags & kInferFlagTrace) {
+            putU64(p, h.traceId);
+            p += 8;
+            *p++ = h.traceSampled ? 1 : 0;
+        }
     }
     return size_t(p - base);
 }
@@ -144,7 +157,8 @@ inferStatusName(InferStatus s)
 void
 sendInferHello(net::Channel &ch, const InferHello &h)
 {
-    uint8_t buf[kInferHelloPrefixBytes + kInferHelloV2BodyBytes] = {};
+    uint8_t buf[kInferHelloPrefixBytes + kInferHelloV2BodyBytes +
+                kInferHelloTraceBytes] = {};
     putU32(buf, kInferMagic);
     putU16(buf + 4, h.version);
     const size_t body = putHelloBody(buf + kInferHelloPrefixBytes, h);
@@ -171,6 +185,17 @@ recvInferHello(net::Channel &ch, InferHello *out)
     if (uint8_t(body[0]) > uint8_t(SupplyKind::Reservoir))
         return InferStatus::BadSupply;
     getHelloBody(body, out);
+    if (out->version >= 2 && (out->flags & kInferFlagTrace)) {
+        // The trace trailer travels iff the flag bit is set, so both
+        // ends agree on the body length without a second negotiation.
+        uint8_t trailer[kInferHelloTraceBytes];
+        ch.recvBytes(trailer, sizeof(trailer));
+        out->traceId = getU64(trailer);
+        out->traceSampled = trailer[8] != 0;
+    } else {
+        out->traceId = 0;
+        out->traceSampled = 0;
+    }
 
     const ppml::MlpModelSpec *spec =
         ppml::findMlpModel(out->modelId);
@@ -195,12 +220,17 @@ recvInferHello(net::Channel &ch, InferHello *out)
 void
 sendInferAccept(net::Channel &ch, const InferAccept &a)
 {
-    uint8_t buf[kInferAcceptBytes] = {};
+    uint8_t buf[kInferAcceptBytes + kInferAcceptTraceBytes] = {};
     buf[0] = uint8_t(a.status);
     putU16(buf + 2, a.depth);
     putU16(buf + 4, a.flags);
     putU64(buf + 8, a.sessionId);
-    ch.sendBytes(buf, sizeof(buf));
+    size_t len = kInferAcceptBytes;
+    if (a.flags & kInferFlagTrace) {
+        putU64(buf + len, a.serverClockUs);
+        len += kInferAcceptTraceBytes;
+    }
+    ch.sendBytes(buf, len);
 }
 
 InferAccept
@@ -213,6 +243,11 @@ recvInferAccept(net::Channel &ch)
     a.depth = getU16(buf + 2);
     a.flags = getU16(buf + 4) & kKnownFlags;
     a.sessionId = getU64(buf + 8);
+    if (a.flags & kInferFlagTrace) {
+        uint8_t trailer[kInferAcceptTraceBytes];
+        ch.recvBytes(trailer, sizeof(trailer));
+        a.serverClockUs = getU64(trailer);
+    }
     return a;
 }
 

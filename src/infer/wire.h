@@ -85,6 +85,16 @@ constexpr uint16_t kInferFlagPackedWire = 0x1;
 constexpr uint16_t kInferFlagLadderCmp = 0x2;
 /** Counted partial commits + 2x-depth recv-ahead (streaming). */
 constexpr uint16_t kInferFlagStreamCommit = 0x4;
+/**
+ * Wire-propagated trace context (PR 10): the hello carries a 64-bit
+ * trace id + sampled bit as trailing bytes, the accept returns the
+ * server's monotonic clock sample (the client pairs it with the
+ * hello->accept RTT midpoint for the cross-party clock-offset
+ * estimate — see common/trace.h). Both trailers exist ONLY when this
+ * bit is set on the respective message, so v1 peers and flagless v2
+ * transcripts are byte-identical to the PR 8 wire.
+ */
+constexpr uint16_t kInferFlagTrace = 0x8;
 
 /** Where a session's COT correlations come from. */
 enum class SupplyKind : uint8_t
@@ -149,6 +159,12 @@ struct InferHello
     uint16_t depth = 1;
     /** v2: requested wire properties (kInferFlag*). */
     uint16_t flags = kInferFlagPackedWire;
+    /** v2 + kInferFlagTrace: the Dapper-style trace id this session's
+     * spans correlate under on both parties (0 = let the client pick). */
+    uint64_t traceId = 0;
+    /** v2 + kInferFlagTrace: whether the chain is sampled (servers
+     * adopt the bit; unsampled sessions negotiate but record nothing). */
+    uint8_t traceSampled = 1;
 };
 
 /** Server's reply (depth/flags meaningful only for v2 hellos). */
@@ -158,6 +174,9 @@ struct InferAccept
     uint16_t depth = 0; ///< negotiated in-flight bound
     uint16_t flags = 0; ///< negotiated wire properties
     uint64_t sessionId = 0;
+    /** kInferFlagTrace only: the server's trace::nowUs() sample taken
+     * while sending this accept — the client's clock-offset anchor. */
+    uint64_t serverClockUs = 0;
 };
 
 void sendInferHello(net::Channel &ch, const InferHello &h);

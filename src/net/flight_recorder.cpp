@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <mutex>
+#include <vector>
 
 #include "common/metrics.h"
 
@@ -12,53 +13,25 @@ namespace {
 std::mutex g_lastDumpMutex;
 std::string g_lastDump;
 
-} // namespace
-
-void
-FlightRecorder::note(const char *label, uint32_t tag, uint64_t bytes)
+/** Live recorders, for dump-on-demand. A recorder's destructor blocks
+ * on this mutex, so a registered pointer stays valid for as long as
+ * dumpAllFlightRecorders holds the lock. */
+struct LiveList
 {
-    Event &e = ring_[seq_ % kCapacity];
-    e.t_us = metrics::nowUs();
-    e.label = label;
-    e.bytes = bytes;
-    e.tag = tag;
-    ++seq_;
-}
+    std::mutex m;
+    std::vector<const FlightRecorder *> recorders;
+};
 
-std::string
-FlightRecorder::render() const
+LiveList &
+liveList()
 {
-    const uint64_t kept = seq_ < kCapacity ? seq_ : kCapacity;
-    std::string out;
-    if (kept == 0)
-        return out;
-    // Timestamps are printed relative to the oldest retained event so
-    // a dump reads as a timeline, not as raw clock values.
-    const uint64_t t0 = ring_[(seq_ - kept) % kCapacity].t_us;
-    char line[160];
-    for (uint64_t i = seq_ - kept; i < seq_; ++i) {
-        const Event &e = ring_[i % kCapacity];
-        std::snprintf(line, sizeof(line),
-                      "  +%8lluus %-12s tag=%u bytes=%llu\n",
-                      (unsigned long long)(e.t_us - t0), e.label, e.tag,
-                      (unsigned long long)e.bytes);
-        out += line;
-    }
-    return out;
+    static LiveList l;
+    return l;
 }
 
 void
-FlightRecorder::dump(uint64_t sid, const char *reason) const
+retainDump(std::string text)
 {
-    const uint64_t kept = seq_ < kCapacity ? seq_ : kCapacity;
-    char head[160];
-    std::snprintf(head, sizeof(head),
-                  "flight recorder: session %llu unwound (%s); last "
-                  "%llu/%llu events:\n",
-                  (unsigned long long)sid, reason,
-                  (unsigned long long)kept, (unsigned long long)seq_);
-    std::string text = head;
-    text += render();
     std::fputs(text.c_str(), stderr);
     {
         std::lock_guard<std::mutex> lock(g_lastDumpMutex);
@@ -69,11 +42,124 @@ FlightRecorder::dump(uint64_t sid, const char *reason) const
     dumps.inc();
 }
 
+} // namespace
+
+FlightRecorder::FlightRecorder()
+{
+    LiveList &l = liveList();
+    std::lock_guard<std::mutex> lock(l.m);
+    l.recorders.push_back(this);
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    LiveList &l = liveList();
+    std::lock_guard<std::mutex> lock(l.m);
+    for (auto it = l.recorders.begin(); it != l.recorders.end(); ++it)
+        if (*it == this) {
+            l.recorders.erase(it);
+            break;
+        }
+}
+
+void
+FlightRecorder::note(const char *label, uint32_t tag, uint64_t bytes)
+{
+    Event &e = ring_[seq_.load(std::memory_order_relaxed) % kCapacity];
+    // Label last, release: a concurrent renderer that acquires a
+    // non-null label sees fields from this event or an older complete
+    // one — never a label paired with uninitialized words.
+    e.label.store(nullptr, std::memory_order_relaxed);
+    e.t_us.store(metrics::nowUs(), std::memory_order_relaxed);
+    e.bytes.store(bytes, std::memory_order_relaxed);
+    e.tag.store(tag, std::memory_order_relaxed);
+    e.label.store(label, std::memory_order_release);
+    seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+FlightRecorder::render() const
+{
+    const uint64_t seq = seq_.load(std::memory_order_relaxed);
+    const uint64_t kept = seq < kCapacity ? seq : kCapacity;
+    std::string out;
+    if (kept == 0)
+        return out;
+    // Timestamps are printed relative to the oldest retained event so
+    // a dump reads as a timeline, not as raw clock values.
+    const uint64_t t0 =
+        ring_[(seq - kept) % kCapacity].t_us.load(std::memory_order_relaxed);
+    char line[160];
+    for (uint64_t i = seq - kept; i < seq; ++i) {
+        const Event &e = ring_[i % kCapacity];
+        const char *label = e.label.load(std::memory_order_acquire);
+        if (!label)
+            continue; // slot mid-write by the owning session thread
+        std::snprintf(line, sizeof(line),
+                      "  +%8lluus %-12s tag=%u bytes=%llu\n",
+                      (unsigned long long)(e.t_us.load(
+                                               std::memory_order_relaxed) -
+                                           t0),
+                      label, e.tag.load(std::memory_order_relaxed),
+                      (unsigned long long)e.bytes.load(
+                          std::memory_order_relaxed));
+        out += line;
+    }
+    return out;
+}
+
+void
+FlightRecorder::dump(uint64_t sid, const char *reason) const
+{
+    const uint64_t seq = seq_.load(std::memory_order_relaxed);
+    const uint64_t kept = seq < kCapacity ? seq : kCapacity;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "flight recorder: session %llu unwound (%s); last "
+                  "%llu/%llu events:\n",
+                  (unsigned long long)sid, reason,
+                  (unsigned long long)kept, (unsigned long long)seq);
+    std::string text = head;
+    text += render();
+    retainDump(std::move(text));
+}
+
 std::string
 lastFlightDump()
 {
     std::lock_guard<std::mutex> lock(g_lastDumpMutex);
     return g_lastDump;
+}
+
+std::string
+dumpAllFlightRecorders(const char *reason)
+{
+    LiveList &l = liveList();
+    std::string text;
+    {
+        std::lock_guard<std::mutex> lock(l.m);
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "flight recorder: on-demand dump (%s); %zu live "
+                      "session ring(s):\n",
+                      reason, l.recorders.size());
+        text = head;
+        for (const FlightRecorder *fr : l.recorders) {
+            const uint64_t seq = fr->total();
+            const uint64_t kept =
+                seq < FlightRecorder::kCapacity ? seq
+                                                : FlightRecorder::kCapacity;
+            std::snprintf(head, sizeof(head),
+                          " session %llu: last %llu/%llu events:\n",
+                          (unsigned long long)fr->session(),
+                          (unsigned long long)kept,
+                          (unsigned long long)seq);
+            text += head;
+            text += fr->render();
+        }
+    }
+    retainDump(text);
+    return text;
 }
 
 } // namespace ironman::net

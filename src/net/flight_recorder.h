@@ -12,15 +12,24 @@
  * (lastFlightDump()) so tests and tooling can assert on it without
  * scraping stderr.
  *
- * The recorder is strictly session-thread-local: note() is not
- * thread-safe and never needs to be, because exactly one thread runs a
- * session loop. Labels must be string literals (the ring stores the
- * pointer, not a copy).
+ * Dump-on-demand: every live recorder registers itself in a
+ * process-wide list at construction, so dumpAllFlightRecorders() —
+ * wired to SIGUSR1 on both daemons and to the /flight endpoint route —
+ * can render EVERY in-flight session's ring while the sessions keep
+ * running. That makes the event words cross-thread: each field is an
+ * atomic, with the label stored last (release) and read first
+ * (acquire) so a concurrent reader sees either a complete event or an
+ * older complete one, never a torn mix with a garbage pointer.
+ *
+ * note() remains single-writer: exactly one thread runs a session
+ * loop. Labels must be string literals (the ring stores the pointer,
+ * not a copy).
  */
 
 #ifndef IRONMAN_NET_FLIGHT_RECORDER_H
 #define IRONMAN_NET_FLIGHT_RECORDER_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -30,29 +39,42 @@ namespace ironman::net {
 class FlightRecorder
 {
   public:
-    /** Events retained; older ones are overwritten (64 * 32 B/session,
+    /** Events retained; older ones are overwritten (64 * 40 B/session,
      * sized to hold several full pipelined windows of opcodes). */
     static constexpr size_t kCapacity = 64;
 
     struct Event
     {
-        uint64_t t_us;       ///< metrics::nowUs() at record time
-        const char *label;   ///< static string (opcode/phase name)
-        uint64_t bytes;      ///< payload size, 0 when n/a
-        uint32_t tag;        ///< request tag, 0 when n/a
+        std::atomic<uint64_t> t_us{0}; ///< metrics::nowUs() at record
+        std::atomic<const char *> label{nullptr}; ///< static string
+        std::atomic<uint64_t> bytes{0}; ///< payload size, 0 when n/a
+        std::atomic<uint32_t> tag{0};   ///< request tag, 0 when n/a
     };
+
+    /** Registers in the live-recorder list (mutex; cold path). */
+    FlightRecorder();
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
 
     /** Record one event. Allocation-free; @p label MUST be a literal. */
     void
     note(const char *label, uint32_t tag = 0, uint64_t bytes = 0);
 
     /** Forget everything (e.g. at session handshake completion). */
-    void clear() { seq_ = 0; }
+    void clear() { seq_.store(0, std::memory_order_relaxed); }
 
     /** Events recorded since construction/clear (not capped). */
-    uint64_t total() const { return seq_; }
+    uint64_t total() const { return seq_.load(std::memory_order_relaxed); }
 
-    /** Render retained events oldest-first (cold path; allocates). */
+    /** Session id stamped on all-ring dumps (0 until the handshake
+     * assigns one). */
+    void setSession(uint64_t sid) { sid_.store(sid, std::memory_order_relaxed); }
+    uint64_t session() const { return sid_.load(std::memory_order_relaxed); }
+
+    /** Render retained events oldest-first (cold path; allocates).
+     * Safe to call from any thread while the owner records. */
     std::string render() const;
 
     /**
@@ -64,11 +86,21 @@ class FlightRecorder
 
   private:
     Event ring_[kCapacity];
-    uint64_t seq_ = 0;
+    std::atomic<uint64_t> seq_{0};
+    std::atomic<uint64_t> sid_{0};
 };
 
 /** Text of the most recent FlightRecorder::dump() ("" if none yet). */
 std::string lastFlightDump();
+
+/**
+ * Render every live session's ring under one header (the SIGUSR1 /
+ * endpoint "what is the daemon doing right now" snapshot), write it
+ * to stderr, retain it as the last dump, and return it. Sessions keep
+ * recording while this reads; events overwritten mid-render surface
+ * as older-but-complete entries, never torn ones.
+ */
+std::string dumpAllFlightRecorders(const char *reason);
 
 } // namespace ironman::net
 

@@ -8,9 +8,33 @@
 #include <unistd.h>
 
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "net/flight_recorder.h"
 #include "net/socket_channel.h"
 
 namespace ironman::net {
+
+namespace {
+
+/** Path of "GET /x HTTP/1.0" ("" when the client sent no parseable
+ * request line — the bare /dev/tcp reader, which gets /metrics). */
+std::string
+requestPath(const char *buf, size_t len)
+{
+    const std::string req(buf, len);
+    if (req.compare(0, 4, "GET ") != 0)
+        return "";
+    const size_t start = 4;
+    size_t end = req.find(' ', start);
+    const size_t eol = req.find('\r', start);
+    if (end == std::string::npos || (eol != std::string::npos && eol < end))
+        end = eol;
+    if (end == std::string::npos || end <= start)
+        return "";
+    return req.substr(start, end - start);
+}
+
+} // namespace
 
 MetricsEndpoint::~MetricsEndpoint()
 {
@@ -52,21 +76,47 @@ MetricsEndpoint::acceptLoop()
         const int fd = net::acceptOn(listener);
         if (fd < 0)
             return; // listener closed by stop()
-        // Drain (and ignore) whatever request the client sent, with a
-        // short timeout so a silent client cannot park the loop. A
-        // bare /dev/tcp reader sends nothing — that's fine too.
+        // Read the request line, with a short timeout so a silent
+        // client cannot park the loop. A bare /dev/tcp reader sends
+        // nothing — it gets the /metrics body, the pre-routing
+        // behavior every existing scrape script relies on.
         struct timeval tv = {0, 200 * 1000};
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         char scratch[1024];
-        (void)::recv(fd, scratch, sizeof(scratch), 0);
-        const std::string body =
-            metrics::Registry::instance().renderText();
-        char head[128];
+        const ssize_t got = ::recv(fd, scratch, sizeof(scratch), 0);
+        const std::string path =
+            requestPath(scratch, got > 0 ? size_t(got) : 0);
+
+        const char *status = "200 OK";
+        const char *ctype = "text/plain; version=0.0.4";
+        std::string body;
+        if (path.empty() || path == "/" || path == "/metrics") {
+            body = metrics::Registry::instance().renderText();
+        } else if (path == "/metrics.json") {
+            ctype = "application/json";
+            body = metrics::Registry::instance().renderJson();
+        } else if (path == "/trace") {
+            // The last completed traced session; a live export when
+            // no session has been retained yet.
+            ctype = "application/json";
+            body = trace::lastRetainedExport();
+            if (body.empty())
+                body = trace::exportChromeTrace();
+        } else if (path == "/flight") {
+            body = lastFlightDump();
+            if (body.empty())
+                body = "no flight dump recorded yet\n";
+        } else {
+            status = "404 Not Found";
+            ctype = "text/plain";
+            body = "unknown path: " + path + "\n";
+        }
+        char head[160];
         std::snprintf(head, sizeof(head),
-                      "HTTP/1.0 200 OK\r\n"
-                      "Content-Type: text/plain; version=0.0.4\r\n"
+                      "HTTP/1.0 %s\r\n"
+                      "Content-Type: %s\r\n"
                       "Content-Length: %zu\r\n\r\n",
-                      body.size());
+                      status, ctype, body.size());
         std::string reply = head;
         reply += body;
         size_t off = 0;

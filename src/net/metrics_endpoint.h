@@ -8,8 +8,13 @@
  * port (--metrics-port on both daemons), never writes into a session
  * channel, and a scrape can neither observe nor perturb protocol
  * bytes (invariant 17). The response is a minimal HTTP/1.0 reply so
- * curl/wget and plain `exec 3<>/dev/tcp/...` both work; the request
- * bytes are drained and ignored (every path serves the same body).
+ * curl/wget and plain `exec 3<>/dev/tcp/...` both work. Routing:
+ * /metrics (and "/" or no request line — the bare /dev/tcp reader)
+ * serves the Prometheus text, /metrics.json the JSON snapshot,
+ * /trace the last retained Chrome-trace export (live export when
+ * none), /flight the last flight-recorder dump; anything else is a
+ * 404. Content-Type and Content-Length are always correct for the
+ * body served.
  */
 
 #ifndef IRONMAN_NET_METRICS_ENDPOINT_H

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace ironman::net {
 
@@ -119,6 +120,9 @@ SessionServer::acceptLoop()
         sess.thread = std::thread(
             [this, sid, finished](std::unique_ptr<SocketChannel> sess_ch) {
                 const uint64_t t0_us = metrics::nowUs();
+                trace::setThreadLabel("session");
+                trace::Span session_span("session_thread", "svc",
+                                         uint32_t(sid));
                 try {
                     handler(*sess_ch, sid);
                 } catch (const WireError &e) {

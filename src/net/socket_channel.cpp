@@ -1,6 +1,7 @@
 #include "net/socket_channel.h"
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "net/codec.h"
 
 #include <algorithm>
@@ -298,6 +299,7 @@ SocketChannel::flush()
 {
     if (txBuf.empty())
         return;
+    trace::Span span("flush", "net", 0, txBuf.size());
     if (fault.armed() && !faultDone &&
         wireSent + txBuf.size() >= fault.atSentByte) {
         applySendFault();
@@ -337,6 +339,7 @@ SocketChannel::applyTurnFault()
 void
 SocketChannel::readFrame()
 {
+    trace::Span span("read_frame", "net");
     uint8_t header[4];
     size_t got = 0;
     while (got < sizeof(header)) {
@@ -362,6 +365,7 @@ SocketChannel::readFrame()
                         "SocketChannel: oversized frame (" +
                             std::to_string(len) +
                             " bytes) — corrupt or hostile header");
+    span.setArg(len);
 
     // Compact: all delivered payload has been consumed before another
     // frame is needed (recvBytes drains rxBuf first), so the buffer is
@@ -403,6 +407,7 @@ SocketChannel::recvBytes(void *data, size_t len)
         channelMetrics().turns.inc();
         const uint64_t turn =
             turnCount.fetch_add(1, std::memory_order_relaxed) + 1;
+        trace::instant("turn", "net", 0, turn);
         if (fault.armed() && !faultDone && turn >= fault.atTurn)
             applyTurnFault();
         // Latency injection point: one sleep per turnaround models the

@@ -3,11 +3,42 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "ot/spcot.h"
 
 namespace ironman::ot {
 
 namespace {
+
+/**
+ * Engine phases are traced on every Nth extension only: a saturated
+ * reservoir extends continuously and per-phase spans for all of them
+ * would wash the per-request timeline out of the bounded rings. The
+ * phase Timers already run for the stats ledger, so a sampled span is
+ * just one extra ring write re-using their duration.
+ */
+constexpr uint64_t kTracePhaseSampleEvery = 4;
+
+bool
+sampleThisExtension()
+{
+    if (!trace::enabled())
+        return false;
+    static std::atomic<uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) %
+               kTracePhaseSampleEvery ==
+           0;
+}
+
+/** Span with explicit duration ending now (the Timer's phase). */
+void
+phaseSpan(bool sampled, const char *name, uint64_t dur_us,
+          uint64_t arg = 0)
+{
+    if (sampled)
+        trace::emitSpan(name, "engine", trace::nowUs() - dur_us, dur_us,
+                        0, arg);
+}
 
 LpnParams
 lpnParamsOf(const FerretParams &p)
@@ -128,6 +159,7 @@ void
 FerretCotSender::extendInto(Rng &rng, Block *out)
 {
     Timer total;
+    const bool traced = sampleThisExtension();
     IRONMAN_CHECK(ch && baseQ.size() >= p.reservedCots(),
                   "engine not bound to a session (resetSession)");
     // Scatter-free feed: every bucket is one whole tree, so SPCOT
@@ -164,8 +196,10 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
         Timer phase;
         spcotSendInto(*ch, cfg, p.t, delta_, spcot_q, rng, tweak, ws.pool,
                       ws.spcot, ws.leaf[0], &prg_ops);
-        stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+        const uint64_t spcot_us = uint64_t(phase.seconds() * 1e6);
+        stats_.add("spcot_us", spcot_us);
         stats_.add("spcot_prg_ops", prg_ops);
+        phaseSpan(traced, "spcot_send", spcot_us, prg_ops);
 
         // 3. Scatter tree leaves into the length-n w vector (no-op
         // when scatter-free), then LPN.
@@ -178,7 +212,9 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
                 std::copy_n(ws.leaf[0] + tr * leaves, width, z + row0);
             }
         encodePooled(encoder, ws, lpn_r, z, 0, p.n);
-        stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+        const uint64_t lpn_us = uint64_t(phase.seconds() * 1e6);
+        stats_.add("lpn_us", lpn_us);
+        phaseSpan(traced, "lpn_encode", lpn_us, p.n);
 
         // 4. Bootstrap: re-reserve, hand out the rest.
         baseQ.assign(z, z + reserved);
@@ -213,7 +249,9 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
         }
     encodePooled(encoder, ws, lpn_r, z, 0, reserved);
     baseNext.assign(z, z + reserved);
-    stats_.add("lpn_prefix_us", uint64_t(phase.seconds() * 1e6));
+    const uint64_t lpn_prefix_us = uint64_t(phase.seconds() * 1e6);
+    stats_.add("lpn_prefix_us", lpn_prefix_us);
+    phaseSpan(traced, "lpn_prefix", lpn_prefix_us, reserved);
 
     // Hand the output tail to the pool workers and, while they
     // gather-XOR, push iteration i+1's SPCOT transcript from this
@@ -234,10 +272,14 @@ FerretCotSender::extendInto(Rng &rng, Block *out)
     spcotSendTranscript(*ch, cfg, p.t, delta_, baseNext.data() + p.k,
                         rng, tweak, /*pool=*/nullptr, ws.spcot,
                         ws.leaf[next], &prefetch_ops);
-    stats_.add("spcot_us", uint64_t(spcot_timer.seconds() * 1e6));
+    const uint64_t spcot_us = uint64_t(spcot_timer.seconds() * 1e6);
+    stats_.add("spcot_us", spcot_us);
+    phaseSpan(traced, "spcot_transcript", spcot_us, prefetch_ops);
 
     ws.pool.wait();
-    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+    const uint64_t lpn_us = uint64_t(phase.seconds() * 1e6);
+    stats_.add("lpn_us", lpn_us);
+    phaseSpan(traced, "lpn_encode", lpn_us, p.n);
     std::copy(z + reserved, z + p.n, out);
 
     baseQ.swap(baseNext);
@@ -307,6 +349,7 @@ void
 FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
 {
     Timer total;
+    const bool traced = sampleThisExtension();
     IRONMAN_CHECK(ch && baseT.size() >= p.reservedCots(),
                   "engine not bound to a session (resetSession)");
     // See the sender: scatter-free aliases the single leaf slot onto
@@ -356,8 +399,10 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
         spcotRecvInto(*ch, cfg, p.t, ws.alphas.data(), baseChoice, p.k,
                       baseT.data() + p.k, tweak, ws.pool, ws.spcot,
                       ws.leaf[0], &prg_ops);
-        stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+        const uint64_t spcot_us = uint64_t(phase.seconds() * 1e6);
+        stats_.add("spcot_us", spcot_us);
         stats_.add("spcot_prg_ops", prg_ops);
+        phaseSpan(traced, "spcot_recv", spcot_us, prg_ops);
 
         // 3. Build (u, v) over the n rows (scatter-free: the leaf
         // matrix already is v), then LPN-encode into (x, y).
@@ -374,7 +419,9 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
         }
         encode_bits(ws.e, ws.x);
         encodePooled(encoder, ws, lpn_s, y, 0, p.n);
-        stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+        const uint64_t lpn_us = uint64_t(phase.seconds() * 1e6);
+        stats_.add("lpn_us", lpn_us);
+        phaseSpan(traced, "lpn_encode", lpn_us, p.n);
 
         // 4. Bootstrap.
         baseChoice.assignRange(ws.x, 0, reserved);
@@ -405,8 +452,10 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
     }
     spcotRecvFinish(cfg, p.t, baseT.data() + p.k, ws.pool, ws.spcot,
                     *slot, ws.leaf[0], &prg_ops);
-    stats_.add("spcot_us", uint64_t(phase.seconds() * 1e6));
+    const uint64_t spcot_us = uint64_t(phase.seconds() * 1e6);
+    stats_.add("spcot_us", spcot_us);
     stats_.add("spcot_prg_ops", prg_ops);
+    phaseSpan(traced, "spcot_finish", spcot_us, prg_ops);
 
     // Bit-LPN first: the next transcript's derandomization bits need
     // only x = e*A ^ u.
@@ -424,7 +473,9 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
         ws.x.set(row0 + slot->alphas[tr], true);
     }
     encode_bits(ws.e, ws.x);
-    stats_.add("lpn_bits_us", uint64_t(phase.seconds() * 1e6));
+    const uint64_t lpn_bits_us = uint64_t(phase.seconds() * 1e6);
+    stats_.add("lpn_bits_us", lpn_bits_us);
+    phaseSpan(traced, "lpn_bits", lpn_bits_us, p.n);
 
     // Prefetch iteration i+1: choices out, then the block LPN runs on
     // the workers while this thread blocks on the returning
@@ -443,7 +494,9 @@ FerretCotReceiver::extendInto(Rng &rng, BitVec &choice_out, Block *t_out)
     ws.pool.parallelForAsync(p.n, encode_blocks);
     spcotRecvRecvTranscript(*ch, cfg, p.t, ws.spcot, *next_slot);
     ws.pool.wait();
-    stats_.add("lpn_us", uint64_t(phase.seconds() * 1e6));
+    const uint64_t lpn_us = uint64_t(phase.seconds() * 1e6);
+    stats_.add("lpn_us", lpn_us);
+    phaseSpan(traced, "lpn_encode", lpn_us, p.n);
 
     // Bootstrap + output.
     baseTNext.assign(y, y + reserved);

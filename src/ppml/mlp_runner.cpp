@@ -3,10 +3,37 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "net/two_party.h"
 #include "ppml/cot_engine.h"
 
 namespace ironman::ppml {
+
+namespace {
+// Trace labels must be string literals (the ring stores the pointer),
+// so per-layer names come from fixed tables; deeper models share the
+// overflow label and disambiguate by the span's tag (= layer index).
+constexpr const char *kDenseNames[] = {
+    "dense0", "dense1", "dense2", "dense3",
+    "dense4", "dense5", "dense6", "dense7"};
+constexpr const char *kReluNames[] = {
+    "relu0", "relu1", "relu2", "relu3",
+    "relu4", "relu5", "relu6", "relu7"};
+constexpr size_t kLayerNameCount =
+    sizeof(kDenseNames) / sizeof(kDenseNames[0]);
+
+const char *
+denseName(size_t l)
+{
+    return l < kLayerNameCount ? kDenseNames[l] : "dense+";
+}
+
+const char *
+reluName(size_t l)
+{
+    return l < kLayerNameCount ? kReluNames[l] : "relu+";
+}
+} // namespace
 
 MlpRunner::MlpRunner(const MlpModelSpec &spec, unsigned width)
     : spec_(spec), width_(width)
@@ -61,13 +88,19 @@ MlpRunner::forward(SecureCompute &sc, net::Channel &ch,
     stats_.clear();
     std::vector<uint64_t> cur = x_shares;
     for (size_t l = 0; l + 1 < spec_.dims.size(); ++l) {
-        cur = denseLocal(l, cur, batch);
+        {
+            trace::Span dense_span(denseName(l), "layer", uint32_t(l),
+                                   cur.size() * sizeof(uint64_t));
+            cur = denseLocal(l, cur, batch);
+        }
         stats_.push_back({"dense" + std::to_string(l), 0, 0, 0});
         if (l + 2 < spec_.dims.size()) {
             const size_t cots0 = sc.cotsConsumed();
             const uint64_t bytes0 = ch.bytesSent();
             const unsigned rounds0 = sc.roundsUsed();
+            trace::Span relu_span(reluName(l), "layer", uint32_t(l));
             cur = sc.relu(cur);
+            relu_span.setArg(ch.bytesSent() - bytes0);
             stats_.push_back({"relu" + std::to_string(l),
                               sc.cotsConsumed() - cots0,
                               ch.bytesSent() - bytes0,

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "ot/base_cot.h"
 #include "ot/chosen_ot.h"
 #include "ot/one_of_n.h"
@@ -24,6 +25,7 @@ SecureCompute::otSendBatch(const std::vector<Block> &m0,
                            unsigned wire_width)
 {
     const size_t n = m0.size();
+    trace::Span span("ot_send", "crhf", 0, n);
     uint64_t tw = tweak;
     tweak += n;
     const Block *q = engine->takeSend(n);
@@ -40,6 +42,7 @@ std::vector<Block>
 SecureCompute::otRecvBatch(const BitVec &choices, unsigned wire_width)
 {
     const size_t n = choices.size();
+    trace::Span span("ot_recv", "crhf", 0, n);
     uint64_t tw = tweak;
     tweak += n;
     std::vector<Block> out(n);
@@ -70,6 +73,7 @@ SecureCompute::andShares(const BitVec &a, const BitVec &b)
     IRONMAN_CHECK(a.size() == b.size());
     const size_t n = a.size();
     ++rounds;
+    trace::Span span("and_shares", "gmw", uint32_t(rounds), n);
 
     // Fresh masks for the cross terms.
     Rng mask_rng(0x5eed0000 + party + 31 * tweak);

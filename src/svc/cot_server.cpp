@@ -90,6 +90,7 @@ void
 CotServer::serveSession(net::SocketChannel &ch, uint64_t sid)
 {
     net::FlightRecorder fr;
+    fr.setSession(sid);
     try {
         Hello hello;
         Status st = recvHello(ch, &hello);

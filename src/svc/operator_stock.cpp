@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "net/wire_error.h"
 
 namespace ironman::svc {
@@ -169,6 +170,7 @@ OperatorStock::noteTakeLocked(uint64_t t0_us, size_t n)
     if (waited > 0) {
         sm.waits.inc();
         sm.waitUs.inc(waited);
+        trace::emitSpan("stock_wait", "svc", t0_us, waited, 0, n);
     }
     sm.taken.inc(n);
     sm.depth.sub(int64_t(n));

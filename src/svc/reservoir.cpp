@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace ironman::svc {
 
@@ -191,6 +192,8 @@ Reservoir::refillLoop()
         // OUTSIDE the lock: takers keep draining the existing stock
         // while the session round trips.
         for (;;) {
+            trace::Span refill_span("refill", "svc",
+                                    recv_role ? 1u : 0u, usable);
             try {
                 stageBlocks.resize(usable);
                 if (recv_role)

@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -186,6 +187,70 @@ TEST(MetricsRegistryTest, RenderTextExposesAllKinds)
     EXPECT_NE(text.find("test_render_hist_p99 "), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, RenderTextEmitsCumulativeBucketLines)
+{
+    metrics::Histogram &h =
+        metrics::histogram("test_bucket_lines_hist");
+    h.record(10);
+    h.record(10);
+    h.record(5000);
+
+    const std::string text =
+        metrics::Registry::instance().renderText();
+    // Existing series survive (the CI smoke greps _count/_p99)...
+    EXPECT_NE(text.find("test_bucket_lines_hist_count 3\n"),
+              std::string::npos)
+        << text;
+    // ...and the new cumulative buckets close with a mandatory +Inf
+    // line equal to _count.
+    EXPECT_NE(text.find("test_bucket_lines_hist_bucket{le=\"11\"} 2\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("test_bucket_lines_hist_bucket{le=\"+Inf\"} 3\n"),
+        std::string::npos)
+        << text;
+    // Cumulative means the tail bucket counts all three samples.
+    size_t last_cum = 0;
+    size_t at = 0;
+    while ((at = text.find("test_bucket_lines_hist_bucket{le=\"",
+                           at)) != std::string::npos) {
+        const size_t sp = text.find("} ", at);
+        const size_t cum = size_t(
+            std::atoll(text.c_str() + sp + 2));
+        EXPECT_GE(cum, last_cum);
+        last_cum = cum;
+        at = sp;
+    }
+    EXPECT_EQ(last_cum, 3u);
+}
+
+TEST(MetricsRegistryTest, RenderJsonMatchesWriteJson)
+{
+    metrics::counter("test_render_json_counter").inc(9);
+    const std::string doc =
+        metrics::Registry::instance().renderJson();
+    EXPECT_EQ(doc.front(), '{');
+    EXPECT_EQ(doc[doc.size() - 2], '}'); // trailing newline after }
+    EXPECT_NE(doc.find("\"ironman.metrics.v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"test_render_json_counter\": 9"),
+              std::string::npos);
+
+    const std::string path = "test_metrics_render_json.json";
+    ASSERT_TRUE(metrics::Registry::instance().writeJson(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string body(1 << 20, '\0');
+    body.resize(std::fread(body.data(), 1, body.size(), f));
+    std::fclose(f);
+    std::remove(path.c_str());
+    // One code path: the file IS the endpoint body (modulo counters
+    // that moved between the two snapshots — compare the prefix up to
+    // the first volatile value instead of full equality).
+    EXPECT_EQ(body.substr(0, body.find("\"counters\"")),
+              doc.substr(0, doc.find("\"counters\"")));
+}
+
 TEST(MetricsRegistryTest, WriteJsonProducesSnapshotFile)
 {
     metrics::counter("test_json_counter").inc(7);
@@ -278,12 +343,40 @@ TEST(FlightRecorderTest, DumpStoresForensicRecord)
               1u);
 }
 
+TEST(FlightRecorderTest, DumpAllRendersEveryLiveRing)
+{
+    net::FlightRecorder a;
+    a.setSession(101);
+    a.note("alpha", 1);
+    net::FlightRecorder b;
+    b.setSession(202);
+    b.note("beta", 2, 64);
+
+    const std::string all = net::dumpAllFlightRecorders("SIGUSR1");
+    EXPECT_NE(all.find("SIGUSR1"), std::string::npos) << all;
+    EXPECT_NE(all.find("session 101"), std::string::npos);
+    EXPECT_NE(all.find("session 202"), std::string::npos);
+    EXPECT_NE(all.find("alpha"), std::string::npos);
+    EXPECT_NE(all.find("beta"), std::string::npos);
+    // Retained: the /flight endpoint serves the same text.
+    EXPECT_EQ(net::lastFlightDump(), all);
+
+    // The owner can keep recording while another thread dumps.
+    std::thread dumper([&] {
+        for (int i = 0; i < 8; ++i)
+            (void)net::dumpAllFlightRecorders("race");
+    });
+    for (uint32_t i = 0; i < 5000; ++i)
+        a.note("spin", i, i);
+    dumper.join();
+}
+
 // ---------------------------------------------------------------------------
 // Metrics endpoint (scrape over plain HTTP)
 // ---------------------------------------------------------------------------
 
 std::string
-scrapeOnce(uint16_t port)
+scrapeOnce(uint16_t port, const std::string &path = "/metrics")
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd, 0);
@@ -294,9 +387,9 @@ scrapeOnce(uint16_t port)
     EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                         sizeof(addr)),
               0);
-    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
-    EXPECT_EQ(::send(fd, req, sizeof(req) - 1, 0),
-              ssize_t(sizeof(req) - 1));
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+              ssize_t(req.size()));
     std::string body;
     char buf[4096];
     for (;;) {
@@ -332,6 +425,63 @@ TEST(MetricsEndpointTest, ServesRegistryAsText)
     ep.stop();
     EXPECT_FALSE(ep.listening());
     ep.stop(); // idempotent
+}
+
+TEST(MetricsEndpointTest, RoutesPathsWithCorrectTypes)
+{
+    metrics::counter("test_routes_counter").inc(5);
+    net::FlightRecorder fr;
+    fr.note("probe", 1, 2);
+    net::dumpAllFlightRecorders("test");
+
+    net::MetricsEndpoint ep;
+    const uint16_t port = ep.listenTcp(0);
+
+    // /metrics and / and the bare (request-less) reader all serve the
+    // Prometheus text.
+    EXPECT_NE(scrapeOnce(port, "/metrics")
+                  .find("test_routes_counter 5\n"),
+              std::string::npos);
+    EXPECT_NE(scrapeOnce(port, "/").find("test_routes_counter 5\n"),
+              std::string::npos);
+
+    // /metrics.json: JSON body, JSON Content-Type.
+    const std::string json = scrapeOnce(port, "/metrics.json");
+    EXPECT_NE(json.find("Content-Type: application/json"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"ironman.metrics.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"test_routes_counter\": 5"),
+              std::string::npos);
+
+    // /trace: always a parseable trace document (live export when no
+    // session retained one yet).
+    const std::string tr = scrapeOnce(port, "/trace");
+    EXPECT_NE(tr.find("Content-Type: application/json"),
+              std::string::npos);
+    EXPECT_NE(tr.find("\"traceEvents\""), std::string::npos) << tr;
+
+    // /flight: the retained all-sessions dump.
+    const std::string fl = scrapeOnce(port, "/flight");
+    EXPECT_NE(fl.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(fl.find("probe"), std::string::npos) << fl;
+
+    // Unknown paths are a 404, not a silent /metrics alias.
+    const std::string missing = scrapeOnce(port, "/nope");
+    EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"),
+              std::string::npos)
+        << missing;
+    EXPECT_EQ(missing.find("test_routes_counter"), std::string::npos);
+
+    // Every reply advertises a correct Content-Length.
+    const size_t hdr_end = json.find("\r\n\r\n");
+    ASSERT_NE(hdr_end, std::string::npos);
+    const size_t cl = json.find("Content-Length: ");
+    ASSERT_NE(cl, std::string::npos);
+    EXPECT_EQ(size_t(std::atoll(json.c_str() + cl + 16)),
+              json.size() - (hdr_end + 4));
+
+    ep.stop();
 }
 
 // ---------------------------------------------------------------------------

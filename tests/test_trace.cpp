@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Cross-party request tracing (common/trace.h + the kInferFlagTrace
+ * handshake extension) and its guardrails:
+ *
+ *  - wire negotiation matrix: a v2 hello with the trace flag carries
+ *    the 64-bit id + sampled bit and the accept returns the server
+ *    clock sample; v1 and flagless v2 peers exchange byte-identical
+ *    transcripts with no trailers (extended invariant 17);
+ *  - fuzzed trace ids (0, all-ones, random) neither change a single
+ *    output-share bit versus the in-process reference nor kill the
+ *    server — trace context is observability, never protocol input;
+ *  - recording on/off does not change online wire bytes for the same
+ *    request stream;
+ *  - the Chrome-trace export is structurally sound: spans nest
+ *    (inner [ts, ts+dur] inside outer), instants carry thread scope,
+ *    and the client's submit->reconstruct request span encloses the
+ *    server-side layer spans once merged on the handshake offset.
+ *
+ * The export's JSON well-formedness is additionally validated by the
+ * CI traced-loopback smoke with `python3 -m json.tool`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "infer/infer_client.h"
+#include "infer/infer_server.h"
+#include "infer/wire.h"
+#include "net/channel.h"
+#include "ot/ferret_params.h"
+#include "ppml/mlp_runner.h"
+#include "ppml/model_zoo.h"
+
+namespace ironman::infer {
+namespace {
+
+using ppml::MlpModelSpec;
+
+constexpr uint64_t kShareSeed = 0x517a9e;
+constexpr uint64_t kSetupSeed = 4242;
+
+// ---------------------------------------------------------------------------
+// Wire negotiation matrix
+// ---------------------------------------------------------------------------
+
+TEST(TraceWireTest, V2HelloCarriesTraceContext)
+{
+    net::MemoryDuplex duplex;
+    InferHello h;
+    h.modelId = ppml::inferenceZoo().front().id;
+    h.width = 32;
+    h.batch = 1;
+    h.supply = SupplyKind::Engine;
+    h.params = svc::WireParams::of(ot::tinyTestParams());
+    h.flags = kInferFlagTrace;
+    h.traceId = 0xabcdef0123456789ULL;
+    h.traceSampled = 0;
+    sendInferHello(duplex.a(), h);
+
+    InferHello got;
+    ASSERT_EQ(recvInferHello(duplex.b(), &got), InferStatus::Ok);
+    EXPECT_EQ(got.flags, kInferFlagTrace);
+    EXPECT_EQ(got.traceId, h.traceId);
+    EXPECT_EQ(got.traceSampled, 0);
+
+    InferAccept reply;
+    reply.status = InferStatus::Ok;
+    reply.depth = 1;
+    reply.flags = kInferFlagTrace;
+    reply.sessionId = 7;
+    reply.serverClockUs = 123456789;
+    sendInferAccept(duplex.b(), reply);
+    const InferAccept a = recvInferAccept(duplex.a());
+    EXPECT_EQ(a.flags, kInferFlagTrace);
+    EXPECT_EQ(a.serverClockUs, 123456789u);
+}
+
+TEST(TraceWireTest, FlaglessAndV1HellosHaveNoTrailer)
+{
+    // Extended invariant 17: without the negotiated bit, the trace
+    // fields leave NO trace on the wire — a flagless hello is
+    // byte-identical whether or not the struct carries an id, so old
+    // peers parse the same transcript they always did.
+    auto helloBytes = [](uint64_t trace_id, uint16_t flags,
+                         uint8_t version) {
+        net::MemoryDuplex duplex;
+        InferHello h;
+        h.version = version;
+        h.modelId = ppml::inferenceZoo().front().id;
+        h.width = 32;
+        h.batch = 1;
+        h.supply = SupplyKind::Engine;
+        h.params = svc::WireParams::of(ot::tinyTestParams());
+        h.flags = flags;
+        h.traceId = trace_id;
+        sendInferHello(duplex.a(), h);
+        return duplex.a().bytesSent();
+    };
+    EXPECT_EQ(helloBytes(0, 0, kInferWireVersion),
+              helloBytes(~uint64_t(0), 0, kInferWireVersion));
+    EXPECT_EQ(helloBytes(0, 0, kInferWireVersionV1),
+              helloBytes(0x1234, 0, kInferWireVersionV1));
+    // And the flagged hello is strictly longer: the trailer exists
+    // only when negotiated.
+    EXPECT_GT(helloBytes(1, kInferFlagTrace, kInferWireVersion),
+              helloBytes(1, 0, kInferWireVersion));
+
+    // A v1 receiver parse never surfaces trace fields.
+    net::MemoryDuplex duplex;
+    InferHello h;
+    h.version = kInferWireVersionV1;
+    h.modelId = ppml::inferenceZoo().front().id;
+    h.width = 32;
+    h.batch = 1;
+    h.supply = SupplyKind::Engine;
+    h.params = svc::WireParams::of(ot::tinyTestParams());
+    h.traceId = 0x9999;
+    sendInferHello(duplex.a(), h);
+    InferHello got;
+    ASSERT_EQ(recvInferHello(duplex.b(), &got), InferStatus::Ok);
+    EXPECT_EQ(got.traceId, 0u);
+    EXPECT_EQ(got.flags & kInferFlagTrace, 0);
+}
+
+TEST(TraceWireTest, FlaglessAcceptHasNoClockTrailer)
+{
+    auto acceptBytes = [](uint16_t flags) {
+        net::MemoryDuplex duplex;
+        InferAccept a;
+        a.status = InferStatus::Ok;
+        a.depth = 1;
+        a.flags = flags;
+        a.sessionId = 1;
+        a.serverClockUs = 0xdeadbeef;
+        sendInferAccept(duplex.a(), a);
+        return duplex.a().bytesSent();
+    };
+    EXPECT_GT(acceptBytes(kInferFlagTrace), acceptBytes(0));
+}
+
+// ---------------------------------------------------------------------------
+// Service negotiation + fuzzed ids vs. output-share bit-identity
+// ---------------------------------------------------------------------------
+
+TEST(TraceServiceTest, NegotiationMatrixOverLoopback)
+{
+    InferServer server;
+    const uint16_t port = server.listenTcp(0);
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 32;
+    opt.batch = 1;
+    opt.supply = SupplyKind::Engine;
+    opt.setupSeed = kSetupSeed;
+
+    {
+        // No trace flag: nothing negotiated.
+        auto c = InferClient::connectTcp("127.0.0.1", port, opt);
+        EXPECT_FALSE(c->traceNegotiated());
+        EXPECT_EQ(c->traceId(), 0u);
+        c->close();
+    }
+    {
+        // Trace flag: id generated, server clock echoed, offset
+        // measured. Loopback + one shared steady clock => the offset
+        // is bounded by the RTT, not by wall-clock skew.
+        opt.traceWire = true;
+        auto c = InferClient::connectTcp("127.0.0.1", port, opt);
+        EXPECT_TRUE(c->traceNegotiated());
+        EXPECT_NE(c->traceId(), 0u);
+        EXPECT_LE(std::llabs((long long)c->peerClockOffsetUs()),
+                  (long long)c->measuredRttUs() + 1000);
+        c->close();
+    }
+    {
+        // Explicit id propagates verbatim.
+        opt.traceId = 0x5ca1ab1e;
+        auto c = InferClient::connectTcp("127.0.0.1", port, opt);
+        EXPECT_TRUE(c->traceNegotiated());
+        EXPECT_EQ(c->traceId(), 0x5ca1ab1eULL);
+        c->close();
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsServed(), 3u);
+}
+
+TEST(TraceServiceTest, FuzzedTraceIdsNeverChangeOutputShares)
+{
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+    const std::vector<std::vector<int64_t>> reqs = {
+        ppml::sampleMlpInput(spec, 9000, 2),
+        ppml::sampleMlpInput(spec, 9001, 2)};
+    const ppml::LocalMlpResult local = ppml::runLocalMlpInference(
+        spec, 32, reqs, kShareSeed, kSetupSeed, ot::tinyTestParams());
+
+    InferServer server;
+    const uint16_t port = server.listenTcp(0);
+
+    const uint64_t fuzz_ids[] = {0, ~uint64_t(0), 0x8000000000000000ULL,
+                                 0xdb91f6e49c3a5512ULL};
+    for (const uint64_t id : fuzz_ids) {
+        InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = 32;
+        opt.batch = 2;
+        opt.supply = SupplyKind::Engine;
+        opt.setupSeed = kSetupSeed;
+        opt.shareSeed = kShareSeed;
+        opt.traceWire = true;
+        opt.traceId = id;
+        opt.traceSampled = (id & 1) != 0;
+        auto c = InferClient::connectTcp("127.0.0.1", port, opt);
+        ASSERT_TRUE(c->traceNegotiated());
+        for (size_t r = 0; r < reqs.size(); ++r) {
+            // THE guardrail: outputs bit-identical to the untraced
+            // in-process path for every fuzzed id.
+            EXPECT_EQ(c->infer(reqs[r]), local.outputs[r])
+                << "trace id " << id << " request " << r;
+        }
+        c->close();
+    }
+    server.stop();
+    // The server survived every fuzzed id.
+    EXPECT_EQ(server.sessionsServed(),
+              sizeof(fuzz_ids) / sizeof(fuzz_ids[0]));
+}
+
+TEST(TraceServiceTest, RecordingOnOffKeepsWireBytesIdentical)
+{
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-12x6x3");
+    const std::vector<int64_t> req = ppml::sampleMlpInput(spec, 42, 1);
+
+    auto runOnce = [&](bool record) {
+        trace::resetForTest();
+        trace::setEnabled(record);
+        InferServer server;
+        const uint16_t port = server.listenTcp(0);
+        InferClient::Options opt;
+        opt.modelId = spec.id;
+        opt.width = 32;
+        opt.batch = 1;
+        opt.supply = SupplyKind::Engine;
+        opt.setupSeed = kSetupSeed;
+        opt.shareSeed = kShareSeed;
+        opt.traceWire = true;
+        auto c = InferClient::connectTcp("127.0.0.1", port, opt);
+        (void)c->infer(req);
+        const uint64_t online = c->onlineBytesSent();
+        c->close();
+        server.stop();
+        return online;
+    };
+    const uint64_t bytes_recording = runOnce(true);
+    const uint64_t bytes_off = runOnce(false);
+    trace::setEnabled(false);
+    EXPECT_GT(bytes_off, 0u);
+    // Exact wire-byte parity: recording is a local ring write, never
+    // a protocol participant.
+    EXPECT_EQ(bytes_recording, bytes_off);
+}
+
+// ---------------------------------------------------------------------------
+// Export structure
+// ---------------------------------------------------------------------------
+
+/** First `"key":<num>` after @p from in @p doc (-1 when absent). */
+long long
+jsonNum(const std::string &doc, const std::string &key, size_t from)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t pos = doc.find(needle, from);
+    if (pos == std::string::npos)
+        return -1;
+    return std::atoll(doc.c_str() + pos + needle.size());
+}
+
+TEST(TraceExportTest, SpansNestAndDocumentIsStructured)
+{
+    trace::resetForTest();
+    trace::setEnabled(true);
+    trace::setParty(0);
+    trace::setContext(0x77, true);
+    trace::setThreadLabel("test-thread");
+    {
+        trace::Span outer("outer_span", "test", 1, 100);
+        {
+            trace::Span inner("inner_span", "test", 2, 50);
+            trace::instant("marker", "test", 3, 7);
+        }
+    }
+    const std::string doc = trace::exportChromeTrace();
+    trace::setEnabled(false);
+
+    // Structural frame.
+    EXPECT_EQ(doc.find("{\n\"traceEvents\":[\n"), 0u) << doc;
+    EXPECT_NE(doc.find("\"schema\":\"ironman.trace.v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"test-thread\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ironman party 0\""), std::string::npos);
+
+    // The instant is thread-scoped and tagged.
+    const size_t marker = doc.find("\"name\":\"marker\"");
+    ASSERT_NE(marker, std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"s\":\"t\"", marker), std::string::npos);
+
+    // The propagated context rides every event.
+    EXPECT_NE(doc.find("\"trace_id\":\"0000000000000077\""),
+              std::string::npos)
+        << doc;
+
+    // Nesting: inner's [ts, ts+dur] lies within outer's.
+    const size_t o = doc.find("\"name\":\"outer_span\"");
+    const size_t i = doc.find("\"name\":\"inner_span\"");
+    ASSERT_NE(o, std::string::npos);
+    ASSERT_NE(i, std::string::npos);
+    const long long o_ts = jsonNum(doc, "ts", o);
+    const long long o_dur = jsonNum(doc, "dur", o);
+    const long long i_ts = jsonNum(doc, "ts", i);
+    const long long i_dur = jsonNum(doc, "dur", i);
+    ASSERT_GE(o_ts, 0);
+    ASSERT_GE(i_ts, 0);
+    EXPECT_LE(o_ts, i_ts);
+    EXPECT_GE(o_ts + o_dur, i_ts + i_dur);
+}
+
+TEST(TraceExportTest, ServedSessionRetainsMergeableTimeline)
+{
+    // One traced loopback request, recording on: the client's
+    // "request" span must enclose the server's per-layer spans once
+    // both rings land in the same process-wide export (loopback: one
+    // clock, offset ~0).
+    trace::resetForTest();
+    trace::setEnabled(true);
+    trace::setParty(0);
+
+    const MlpModelSpec &spec = *ppml::findMlpModel("mlp-16x8x4");
+    InferServer server;
+    const uint16_t port = server.listenTcp(0);
+    InferClient::Options opt;
+    opt.modelId = spec.id;
+    opt.width = 32;
+    opt.batch = 1;
+    opt.supply = SupplyKind::Engine;
+    opt.setupSeed = kSetupSeed;
+    opt.traceWire = true;
+    auto c = InferClient::connectTcp("127.0.0.1", port, opt);
+    (void)c->infer(ppml::sampleMlpInput(spec, 7, 1));
+    c->close();
+    server.stop();
+
+    const std::string doc = trace::exportChromeTrace();
+    trace::setEnabled(false);
+
+    const size_t req = doc.find("\"name\":\"request\"");
+    const size_t dense = doc.find("\"name\":\"dense0\"");
+    const size_t relu = doc.find("\"name\":\"relu0\"");
+    ASSERT_NE(req, std::string::npos) << doc;
+    ASSERT_NE(dense, std::string::npos) << doc;
+    ASSERT_NE(relu, std::string::npos) << doc;
+    const long long req_ts = jsonNum(doc, "ts", req);
+    const long long req_dur = jsonNum(doc, "dur", req);
+    const long long dense_ts = jsonNum(doc, "ts", dense);
+    const long long dense_dur = jsonNum(doc, "dur", dense);
+    // Client request span encloses the server's layer work.
+    EXPECT_LE(req_ts, dense_ts);
+    EXPECT_GE(req_ts + req_dur, dense_ts + dense_dur);
+
+    // The retained per-session export (the /trace endpoint body)
+    // contains the server-side session span.
+    const std::string retained = trace::lastRetainedExport();
+    EXPECT_NE(retained.find("\"name\":\"session\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ironman::infer

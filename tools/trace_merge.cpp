@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Merge two parties' Chrome-trace exports into ONE timeline.
+ *
+ *   ./trace_merge client.json server.json > merged.json
+ *   ./trace_merge client.json server.json -o merged.json
+ *
+ * Inputs are ironman.trace.v1 documents (common/trace.h): the client
+ * (party 0) export carries `otherData.clock_offset_us` — the Cristian
+ * estimate of (server clock - client clock) measured over the infer
+ * hello->accept RTT — and the server (party 1) export carries the
+ * spans the session recorded under the same wire-propagated trace id.
+ * The merge rewrites every server event's `ts` onto the client clock
+ * (ts' = ts - offset) and concatenates both event streams, so opening
+ * the output in chrome://tracing or Perfetto shows the client's
+ * submit->reconstruct span enclosing the server's per-layer work with
+ * the wire turnarounds between them.
+ *
+ * The exporter writes one event per line precisely so this tool can
+ * stay textual: no JSON library, just line splitting plus one numeric
+ * field rewrite. Party roles are read from `otherData.party`, not
+ * argument order.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "trace_merge: cannot read %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** First integer following `"key":` in @p doc (0 when absent). */
+long long
+numberField(const std::string &doc, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const size_t pos = doc.find(needle);
+    if (pos == std::string::npos)
+        return 0;
+    return std::atoll(doc.c_str() + pos + needle.size());
+}
+
+/**
+ * The event lines of a v1 export: everything between the
+ * `"traceEvents":[` line and the closing `],`, one object per line,
+ * stripped of the inter-event commas.
+ */
+std::vector<std::string>
+eventLines(const std::string &doc, const std::string &path)
+{
+    const size_t open = doc.find("\"traceEvents\":[");
+    const size_t close = doc.find("\n],", open);
+    if (open == std::string::npos || close == std::string::npos) {
+        std::fprintf(stderr,
+                     "trace_merge: %s is not an ironman.trace.v1 "
+                     "export\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    const size_t body0 = doc.find('\n', open) + 1;
+    std::vector<std::string> lines;
+    size_t at = body0;
+    while (at < close) {
+        size_t eol = doc.find('\n', at);
+        if (eol == std::string::npos || eol > close)
+            eol = close;
+        std::string line = doc.substr(at, eol - at);
+        while (!line.empty() &&
+               (line.back() == ',' || line.back() == '\r'))
+            line.pop_back();
+        if (!line.empty())
+            lines.push_back(std::move(line));
+        at = eol + 1;
+    }
+    return lines;
+}
+
+/** Rewrite `"ts":N` to `"ts":N-offset` (clamped at 0); metadata
+ * events carry no ts and pass through unchanged. */
+std::string
+shiftTs(const std::string &line, long long offset_us)
+{
+    const size_t pos = line.find("\"ts\":");
+    if (pos == std::string::npos || offset_us == 0)
+        return line;
+    const size_t num0 = pos + 5;
+    size_t num1 = num0;
+    while (num1 < line.size() &&
+           (std::isdigit((unsigned char)line[num1]) ||
+            line[num1] == '-'))
+        ++num1;
+    const long long ts = std::atoll(line.c_str() + num0);
+    long long shifted = ts - offset_us;
+    if (shifted < 0)
+        shifted = 0;
+    return line.substr(0, num0) + std::to_string(shifted) +
+           line.substr(num1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "trace_merge: missing value for -o\n");
+                return 2;
+            }
+            out_path = argv[++i];
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: trace_merge CLIENT.json SERVER.json "
+                     "[-o MERGED.json]\n");
+        return 2;
+    }
+
+    const std::string doc_a = readFile(inputs[0]);
+    const std::string doc_b = readFile(inputs[1]);
+    const bool a_is_client = numberField(doc_a, "party") == 0;
+    const std::string &client = a_is_client ? doc_a : doc_b;
+    const std::string &server = a_is_client ? doc_b : doc_a;
+    const std::string &client_path = a_is_client ? inputs[0] : inputs[1];
+    const std::string &server_path = a_is_client ? inputs[1] : inputs[0];
+
+    // The client measured (server clock - client clock); shifting the
+    // server's timestamps by -offset lands them on the client clock,
+    // which the merged document uses as its one timebase.
+    const long long offset_us = numberField(client, "clock_offset_us");
+
+    std::vector<std::string> events =
+        eventLines(client, client_path);
+    const size_t client_events = events.size();
+    for (const std::string &line : eventLines(server, server_path))
+        events.push_back(shiftTs(line, offset_us));
+
+    std::string out;
+    out.reserve(client.size() + server.size());
+    out += "{\n\"traceEvents\":[\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        out += events[i];
+        if (i + 1 < events.size())
+            out += ',';
+        out += '\n';
+    }
+    char tail[256];
+    std::snprintf(tail, sizeof(tail),
+                  "],\n\"otherData\":{\"schema\":\"ironman.trace."
+                  "merged.v1\",\"clock_offset_us\":%lld,"
+                  "\"client_events\":%zu,\"server_events\":%zu}\n}\n",
+                  offset_us, client_events,
+                  events.size() - client_events);
+    out += tail;
+
+    if (out_path.empty()) {
+        std::fwrite(out.data(), 1, out.size(), stdout);
+    } else {
+        std::ofstream f(out_path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        f << out;
+    }
+    std::fprintf(stderr,
+                 "trace_merge: %zu client + %zu server events, clock "
+                 "offset %lld us\n",
+                 client_events, events.size() - client_events,
+                 offset_us);
+    return 0;
+}
